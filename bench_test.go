@@ -1,0 +1,612 @@
+// Package pairfn_test is the benchmark harness: one benchmark per paper
+// artifact (Figs. 2–6 and the quantitative claims of §3–§4, experiments
+// E1–E20 in DESIGN.md), plus the ablation benches DESIGN.md §6 calls out.
+//
+// Run with: go test -bench=. -benchmem .
+package pairfn_test
+
+import (
+	"testing"
+
+	"pairfn/internal/apf"
+	"pairfn/internal/core"
+	"pairfn/internal/extarray"
+	"pairfn/internal/hashstore"
+	"pairfn/internal/numtheory"
+	"pairfn/internal/polysearch"
+	"pairfn/internal/spread"
+	"pairfn/internal/tuple"
+	"pairfn/internal/wbc"
+)
+
+var (
+	sinkI64 int64
+	sinkInt int
+)
+
+// --- E1–E3: the PF sample tables of Figs. 2–4 ---
+
+func benchTable(b *testing.B, f core.PF, rows, cols int64) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var sum int64
+		for x := int64(1); x <= rows; x++ {
+			for y := int64(1); y <= cols; y++ {
+				z, err := f.Encode(x, y)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum += z
+			}
+		}
+		sinkI64 = sum
+	}
+}
+
+// BenchmarkFig2Diagonal regenerates Fig. 2 (experiment E1).
+func BenchmarkFig2Diagonal(b *testing.B) { benchTable(b, core.Diagonal{}, 8, 8) }
+
+// BenchmarkFig3SquareShell regenerates Fig. 3 (experiment E2).
+func BenchmarkFig3SquareShell(b *testing.B) { benchTable(b, core.SquareShell{}, 8, 8) }
+
+// BenchmarkFig4Hyperbolic regenerates Fig. 4 (experiment E3).
+func BenchmarkFig4Hyperbolic(b *testing.B) { benchTable(b, core.Hyperbolic{}, 8, 7) }
+
+// --- E4: Fig. 5's lattice region ---
+
+// BenchmarkFig5Lattice enumerates the aggregate positions of all arrays
+// with ≤ 16 positions (experiment E4).
+func BenchmarkFig5Lattice(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pts := spread.HyperbolaPoints(16)
+		if len(pts) != 50 {
+			b.Fatalf("region size %d", len(pts))
+		}
+		sinkInt = len(pts)
+	}
+}
+
+// --- E5: Fig. 6's APF sample table ---
+
+// BenchmarkFig6APFTable regenerates the Fig. 6 rows (experiment E5).
+func BenchmarkFig6APFTable(b *testing.B) {
+	type spec struct {
+		f  *apf.Constructed
+		xs []int64
+	}
+	specs := []spec{
+		{apf.NewTC(1), []int64{14, 15}},
+		{apf.NewTC(3), []int64{14, 15, 28, 29}},
+		{apf.NewTHash(), []int64{28, 29}},
+		{apf.NewTStar(), []int64{28, 29}},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum int64
+		for _, s := range specs {
+			for _, x := range s.xs {
+				for y := int64(1); y <= 5; y++ {
+					z, err := s.f.Encode(x, y)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sum += z
+				}
+			}
+		}
+		sinkI64 = sum
+	}
+}
+
+// --- E6–E9: the §3.2 spread comparison ---
+
+func benchSpread(b *testing.B, f core.StorageMapping, n int64) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, _, err := spread.Measure(f, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkI64 = s
+	}
+}
+
+// BenchmarkSpreadDiagonal measures S_𝒟(1024) ≈ n²/2 (experiment E6).
+func BenchmarkSpreadDiagonal(b *testing.B) { benchSpread(b, core.Diagonal{}, 1024) }
+
+// BenchmarkSpreadSquareShell measures S_𝒜₁,₁(1024) = n².
+func BenchmarkSpreadSquareShell(b *testing.B) { benchSpread(b, core.SquareShell{}, 1024) }
+
+// BenchmarkSpreadAspect measures the conforming spread of 𝒜₁,₂ (eq. 3.2,
+// experiment E7).
+func BenchmarkSpreadAspect(b *testing.B) {
+	f := core.MustAspect(1, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := spread.MeasureConforming(f, 1, 2, 1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkI64 = s
+	}
+}
+
+// BenchmarkSpreadDovetail measures the 3-way dovetail (§3.2.2, experiment
+// E8).
+func BenchmarkSpreadDovetail(b *testing.B) {
+	benchSpread(b, core.MustDovetail(
+		core.MustAspect(1, 1), core.MustAspect(1, 2), core.MustAspect(2, 1)), 1024)
+}
+
+// BenchmarkSpreadHyperbolic measures S_ℋ(1024) = D(1024) = Θ(n log n)
+// (experiment E9).
+func BenchmarkSpreadHyperbolic(b *testing.B) {
+	benchSpread(b, core.NewCachedHyperbolic(1024), 1024)
+}
+
+// --- E10–E16: APF stride analyses ---
+
+// BenchmarkCrossover recomputes the §4.2.2 dominance points (experiment
+// E13).
+func BenchmarkCrossover(b *testing.B) {
+	th := apf.NewTHash()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, c := range []int{1, 2, 3} {
+			x0, _, err := apf.Crossover(apf.NewTC(c), th, 256)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkI64 = x0
+		}
+	}
+}
+
+// BenchmarkStrideTable sweeps exact strides for each family (experiments
+// E11, E12, E14, E15).
+func BenchmarkStrideTable(b *testing.B) {
+	for _, f := range apf.Families() {
+		f := f
+		b.Run(f.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tbl, err := apf.StrideTable(f, 256)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkInt = len(tbl)
+			}
+		})
+	}
+}
+
+// --- E17: the reshape-cost race ---
+
+// BenchmarkReshapePF grows a 64-row array column by column under the
+// square-shell PF: zero moves (experiment E17).
+func BenchmarkReshapePF(b *testing.B) {
+	benchReshape(b, func() extarray.Table[int64] {
+		return extarray.NewMapBacked[int64](core.SquareShell{}, 64, 1)
+	})
+}
+
+// BenchmarkReshapeNaive is the remap-on-reshape baseline: Θ(n²) work for
+// the same sequence of reshapes (experiment E17).
+func BenchmarkReshapeNaive(b *testing.B) {
+	benchReshape(b, func() extarray.Table[int64] {
+		return extarray.NewNaiveRowMajor[int64](64, 1)
+	})
+}
+
+func benchReshape(b *testing.B, mk func() extarray.Table[int64]) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := mk()
+		for x := int64(1); x <= 64; x++ {
+			if err := t.Set(x, 1, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for c := int64(2); c <= 64; c++ {
+			if err := t.Resize(64, c); err != nil {
+				b.Fatal(err)
+			}
+			for x := int64(1); x <= 64; x++ {
+				if err := t.Set(x, c, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		sinkI64 = t.Stats().Moves
+	}
+}
+
+// --- E18: the §3-aside hash stores ---
+
+// BenchmarkHashStoreOpen measures the open-addressing store's throughput
+// at its < 2n space bound (experiment E18).
+func BenchmarkHashStoreOpen(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := hashstore.NewOpen[int64]()
+		for k := int64(0); k < 4096; k++ {
+			s.Set(hashstore.Position{X: k % 64, Y: k / 64}, k)
+		}
+		var sum int64
+		for k := int64(0); k < 4096; k++ {
+			v, _ := s.Get(hashstore.Position{X: k % 64, Y: k / 64})
+			sum += v
+		}
+		sinkI64 = sum
+	}
+}
+
+// BenchmarkHashStoreTwoLevel measures the FKS-style store's O(1)
+// worst-case lookups (experiment E18).
+func BenchmarkHashStoreTwoLevel(b *testing.B) {
+	s := hashstore.NewTwoLevel[int64]()
+	for k := int64(0); k < 4096; k++ {
+		s.Set(hashstore.Position{X: k % 64, Y: k / 64}, k)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum int64
+		for k := int64(0); k < 4096; k++ {
+			v, _ := s.Get(hashstore.Position{X: k % 64, Y: k / 64})
+			sum += v
+		}
+		sinkI64 = sum
+	}
+}
+
+// --- E19: WBC allocation and simulation ---
+
+// BenchmarkWBCAllocate measures pure task allocation + attribution through
+// 𝒯# (experiment E19).
+func BenchmarkWBCAllocate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := wbc.NewCoordinator(wbc.Config{
+			APF: apf.NewTHash(), Workload: wbc.DivisorSum{}, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var vols []wbc.VolunteerID
+		for v := 0; v < 16; v++ {
+			vols = append(vols, c.Register(1))
+		}
+		for t := 0; t < 32; t++ {
+			for _, v := range vols {
+				k, err := c.NextTask(v)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c.Attribute(k); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c.Submit(v, k, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		sinkI64 = c.Metrics().Footprint
+	}
+}
+
+// BenchmarkWBCSimulate runs the full concurrent simulation (experiment
+// E19).
+func BenchmarkWBCSimulate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, _, err := wbc.Simulate(wbc.SimConfig{
+			Coordinator: wbc.Config{
+				APF: apf.NewTHash(), Workload: wbc.DivisorSum{},
+				AuditRate: 0.25, StrikeLimit: 2, Seed: 3,
+			},
+			Profiles: []wbc.Profile{
+				{Name: "honest", Count: 8, Tasks: 20, Speed: 1},
+				{Name: "malicious", Count: 2, ErrorRate: 0.9, Tasks: 20, Speed: 1},
+			},
+			Seed: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.AttributionErrors != 0 {
+			b.Fatal("attribution errors")
+		}
+		sinkI64 = res.Metrics.Footprint
+	}
+}
+
+// --- E20: the polynomial search ---
+
+// BenchmarkPolySearch runs the quadratic PF search at numerator bound 2
+// (the full bound-4 search is TestQuadraticUniqueness; experiment E20).
+func BenchmarkPolySearch(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		got := polysearch.SearchQuadratics(2, 12)
+		sinkInt = len(got)
+	}
+}
+
+// --- micro-benchmarks: Encode/Decode per PF ---
+
+func BenchmarkEncode(b *testing.B) {
+	pfs := []core.PF{
+		core.Diagonal{}, core.SquareShell{}, core.MustAspect(2, 3),
+		core.Morton{}, core.Hilbert{Order: 10},
+		core.NewCachedHyperbolic(1 << 20), core.Hyperbolic{},
+	}
+	for _, f := range pfs {
+		f := f
+		b.Run(f.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				z, err := f.Encode(int64(i%1000)+1, int64(i%997)+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkI64 = z
+			}
+		})
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	pfs := []core.PF{
+		core.Diagonal{}, core.SquareShell{}, core.MustAspect(2, 3),
+		core.NewCachedHyperbolic(1 << 20),
+	}
+	for _, f := range pfs {
+		f := f
+		b.Run(f.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				x, y, err := f.Decode(int64(i%100000) + 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkI64 = x + y
+			}
+		})
+	}
+}
+
+// BenchmarkAPFEncode covers the APF fast path per family.
+func BenchmarkAPFEncode(b *testing.B) {
+	for _, f := range apf.Families() {
+		f := f
+		b.Run(f.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				z, err := f.Encode(int64(i%24)+1, int64(i%31)+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkI64 = z
+			}
+		})
+	}
+}
+
+// BenchmarkTupleEncode covers iterated pairing at arity 4.
+func BenchmarkTupleEncode(b *testing.B) {
+	c := tuple.MustNew(core.SquareShell{}, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		z, err := c.Encode(int64(i%16)+1, int64(i%13)+1, int64(i%11)+1, int64(i%7)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkI64 = z
+	}
+}
+
+// --- ablations (DESIGN.md §6) ---
+
+// BenchmarkDivisorSummatoryHyperbola vs ...Naive: the O(√n) Dirichlet
+// identity against direct summation (ablation 2).
+func BenchmarkDivisorSummatoryHyperbola(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkI64 = numtheory.DivisorSummatory(1 << 16)
+	}
+}
+
+func BenchmarkDivisorSummatoryNaive(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkI64 = numtheory.DivisorSummatoryNaive(1 << 10) // already O(n√n): keep n modest
+	}
+}
+
+// BenchmarkCountPrimesTrial vs ...Segmented: the WBC workload's audit cost
+// under per-number trial division vs the segmented sieve.
+func BenchmarkCountPrimesTrial(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkI64 = numtheory.CountPrimes(1<<20, 1<<20+2000)
+	}
+}
+
+func BenchmarkCountPrimesSegmented(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkI64 = numtheory.CountPrimesSegmented(1<<20, 1<<20+2000)
+	}
+}
+
+// BenchmarkEnumeratedVsClosedForm quantifies Theorem 3.1's generality tax:
+// the generic shell-constructor PF vs the closed form, on the same shells.
+func BenchmarkEnumeratedVsClosedForm(b *testing.B) {
+	pairs := []struct {
+		name string
+		f    core.PF
+	}{
+		{"enumerated-square", core.NewEnumerated(core.SquareShells{})},
+		{"closed-square", core.SquareShell{}},
+		{"enumerated-diagonal", core.NewEnumerated(core.DiagonalShells{})},
+		{"closed-diagonal", core.Diagonal{}},
+	}
+	for _, p := range pairs {
+		p := p
+		b.Run(p.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				z, err := p.f.Encode(int64(i%512)+1, int64(i%509)+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkI64 = z
+			}
+		})
+	}
+}
+
+// BenchmarkHyperbolicDecodeDirect vs ...Cached: binary search over D vs
+// the precomputed shell-prefix table (ablation 1).
+func BenchmarkHyperbolicDecodeDirect(b *testing.B) {
+	var h core.Hyperbolic
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x, y, err := h.Decode(int64(i%100000) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkI64 = x + y
+	}
+}
+
+func BenchmarkHyperbolicDecodeCached(b *testing.B) {
+	h := core.NewCachedHyperbolic(1 << 20)
+	if _, _, err := h.Decode(1); err != nil { // force table build outside timer
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, y, err := h.Decode(int64(i%100000) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkI64 = x + y
+	}
+}
+
+// BenchmarkAPFGroupLookupClosed vs ...Search: closed-form g = f(x) against
+// the prefix-sum binary search (ablation 3). Both compute 𝒯# values; the
+// search variant is built without the closed form.
+func BenchmarkAPFGroupLookupClosed(b *testing.B) {
+	f := apf.NewTHash()
+	benchAPFEncodeSweep(b, f)
+}
+
+func BenchmarkAPFGroupLookupSearch(b *testing.B) {
+	f := apf.New("T#-search", func(g int64) int64 { return g }, nil)
+	benchAPFEncodeSweep(b, f)
+}
+
+func benchAPFEncodeSweep(b *testing.B, f *apf.Constructed) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var sum int64
+		for x := int64(1); x <= 512; x++ {
+			z, err := f.Encode(x, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sum += z
+		}
+		sinkI64 = sum
+	}
+}
+
+// BenchmarkArrayBackingMap vs ...Paged: map-backed vs paged-slice-backed
+// stores under PF addressing (ablation 4).
+func BenchmarkArrayBackingMap(b *testing.B) {
+	benchBacking(b, func() extarray.Store[int64] { return extarray.NewMapStore[int64]() })
+}
+
+func BenchmarkArrayBackingPaged(b *testing.B) {
+	benchBacking(b, func() extarray.Store[int64] { return extarray.NewPagedStore[int64]() })
+}
+
+func benchBacking(b *testing.B, mk func() extarray.Store[int64]) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a, err := extarray.New[int64](core.SquareShell{}, mk(), 64, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for x := int64(1); x <= 64; x++ {
+			for y := int64(1); y <= 64; y++ {
+				if err := a.Set(x, y, x*y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		v, _, err := a.Get(32, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkI64 = v
+	}
+}
+
+// BenchmarkAPFBigEncode vs BenchmarkAPFFastEncode: math/big totality vs the
+// int64 fast path (ablation 5).
+func BenchmarkAPFFastEncode(b *testing.B) {
+	f := apf.NewTStar()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		z, err := f.Encode(int64(i%100)+1, int64(i%50)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkI64 = z
+	}
+}
+
+func BenchmarkAPFBigEncode(b *testing.B) {
+	f := apf.NewTStar()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		z, err := f.EncodeBig(int64(i%100)+1, int64(i%50)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkInt = z.BitLen()
+	}
+}
+
+// BenchmarkSpreadSerial vs BenchmarkSpreadParallel: the measurement
+// harness itself, sharded across GOMAXPROCS workers.
+func BenchmarkSpreadSerial(b *testing.B) {
+	f := core.NewCachedHyperbolic(1 << 13)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, _, err := spread.Measure(f, 1<<13)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkI64 = s
+	}
+}
+
+func BenchmarkSpreadParallel(b *testing.B) {
+	f := core.NewCachedHyperbolic(1 << 13)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, _, err := spread.MeasureParallel(f, 1<<13, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkI64 = s
+	}
+}

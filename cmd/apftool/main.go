@@ -1,0 +1,149 @@
+// Command apftool is a CLI for the §4 additive pairing functions: inspect
+// bases, strides and groups, encode/decode task indices, and locate stride
+// crossovers between families.
+//
+// Usage:
+//
+//	apftool rows   -apf T# -n 16            # x, g, κ, base, stride table
+//	apftool encode -apf T* 7 42             # 𝒯(7, 42)
+//	apftool decode -apf T# 1424             # 𝒯⁻¹(1424)
+//	apftool cross  -a T<3> -b T# -limit 4096
+//	apftool list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"pairfn/internal/apf"
+)
+
+func lookup(name string) (*apf.Constructed, error) {
+	switch name {
+	case "T<1>":
+		return apf.NewTC(1), nil
+	case "T<2>":
+		return apf.NewTC(2), nil
+	case "T<3>":
+		return apf.NewTC(3), nil
+	case "T<4>":
+		return apf.NewTC(4), nil
+	case "T#":
+		return apf.NewTHash(), nil
+	case "T[2]":
+		return apf.NewTPow(2), nil
+	case "T[3]":
+		return apf.NewTPow(3), nil
+	case "T*":
+		return apf.NewTStar(), nil
+	case "Texp":
+		return apf.NewTExp(), nil
+	}
+	return nil, fmt.Errorf("unknown APF %q (try apftool list)", name)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "list":
+		fmt.Println("T<1> T<2> T<3> T<4> T# T[2] T[3] T* Texp")
+	case "rows":
+		cmdRows(args)
+	case "encode":
+		cmdEncode(args)
+	case "decode":
+		cmdDecode(args)
+	case "cross":
+		cmdCross(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: apftool {rows|encode|decode|cross|list} [flags] [args]")
+	os.Exit(2)
+}
+
+func cmdRows(args []string) {
+	fs := flag.NewFlagSet("rows", flag.ExitOnError)
+	name := fs.String("apf", "T#", "APF name")
+	n := fs.Int64("n", 16, "rows to print")
+	_ = fs.Parse(args)
+	t, err := lookup(*name)
+	die(err)
+	fmt.Printf("%6s %4s %6s %22s %22s\n", "x", "g", "κ(g)", "base B_x", "stride S_x")
+	for x := int64(1); x <= *n; x++ {
+		g, k, err := t.Group(x)
+		die(err)
+		b, err := t.BaseBig(x)
+		die(err)
+		s, err := t.StrideBig(x)
+		die(err)
+		fmt.Printf("%6d %4d %6d %22s %22s\n", x, g, k, b, s)
+	}
+}
+
+func cmdEncode(args []string) {
+	fs := flag.NewFlagSet("encode", flag.ExitOnError)
+	name := fs.String("apf", "T#", "APF name")
+	_ = fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) != 2 {
+		die(fmt.Errorf("encode needs x y"))
+	}
+	x, err := strconv.ParseInt(rest[0], 10, 64)
+	die(err)
+	y, err := strconv.ParseInt(rest[1], 10, 64)
+	die(err)
+	t, err := lookup(*name)
+	die(err)
+	z, err := t.EncodeBig(x, y)
+	die(err)
+	fmt.Printf("%s(%d, %d) = %s\n", t.Name(), x, y, z)
+}
+
+func cmdDecode(args []string) {
+	fs := flag.NewFlagSet("decode", flag.ExitOnError)
+	name := fs.String("apf", "T#", "APF name")
+	_ = fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) != 1 {
+		die(fmt.Errorf("decode needs z"))
+	}
+	z, err := strconv.ParseInt(rest[0], 10, 64)
+	die(err)
+	t, err := lookup(*name)
+	die(err)
+	x, y, err := t.Decode(z)
+	die(err)
+	fmt.Printf("%s⁻¹(%d) = (volunteer %d, task #%d)\n", t.Name(), z, x, y)
+}
+
+func cmdCross(args []string) {
+	fs := flag.NewFlagSet("cross", flag.ExitOnError)
+	an := fs.String("a", "T<3>", "dominating APF")
+	bn := fs.String("b", "T#", "reference APF")
+	limit := fs.Int64("limit", 4096, "verify dominance up to this row")
+	_ = fs.Parse(args)
+	a, err := lookup(*an)
+	die(err)
+	b, err := lookup(*bn)
+	die(err)
+	x0, last, err := apf.Crossover(a, b, *limit)
+	die(err)
+	fmt.Printf("S_%s(x) ≥ S_%s(x) for all x in [%d, %d]; last strictly-below row: %d\n",
+		a.Name(), b.Name(), x0, *limit, last)
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apftool:", err)
+		os.Exit(1)
+	}
+}

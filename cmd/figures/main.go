@@ -1,0 +1,240 @@
+// Command figures regenerates every figure and table of Rosenberg's
+// "Efficient Pairing Functions — and Why You Should Care" (IPPS 2002) from
+// the pairfn library, printing paper values next to measured values.
+//
+// Usage:
+//
+//	figures           # all figures and quantitative claims
+//	figures -fig 4    # one figure (2, 3, 4, 5 or 6)
+//	figures -claims   # only the quantitative §3/§4 claims
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"pairfn/internal/apf"
+	"pairfn/internal/core"
+	"pairfn/internal/numtheory"
+	"pairfn/internal/spread"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "print only this figure (2-6); 0 = everything")
+	claims := flag.Bool("claims", false, "print only the quantitative claims")
+	flag.Parse()
+
+	if *claims {
+		printClaims()
+		return
+	}
+	switch *fig {
+	case 0:
+		fig2()
+		fig3()
+		fig4()
+		fig5()
+		fig6()
+		printClaims()
+	case 2:
+		fig2()
+	case 3:
+		fig3()
+	case 4:
+		fig4()
+	case 5:
+		fig5()
+	case 6:
+		fig6()
+	default:
+		fmt.Fprintf(os.Stderr, "figures: unknown figure %d (have 2-6)\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func printTable(title string, f core.PF, rows, cols int) {
+	fmt.Printf("%s — %s\n", title, f.Name())
+	t := core.Table(f, rows, cols)
+	for _, row := range t {
+		for _, v := range row {
+			fmt.Printf("%6d", v)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+func fig2() {
+	printTable("Figure 2: the diagonal PF 𝒟 (eq. 2.1)", core.Diagonal{}, 8, 8)
+}
+
+func fig3() {
+	printTable("Figure 3: the square-shell PF 𝒜₁,₁ (eq. 3.3)", core.SquareShell{}, 8, 8)
+}
+
+func fig4() {
+	printTable("Figure 4: the hyperbolic PF ℋ (eq. 3.4)", core.Hyperbolic{}, 8, 7)
+}
+
+func fig5() {
+	fmt.Println("Figure 5: aggregate positions of arrays having ≤ 16 positions")
+	const n = 16
+	pts := spread.HyperbolaPoints(n)
+	marked := make(map[[2]int64]bool, len(pts))
+	for _, p := range pts {
+		marked[[2]int64{p.X, p.Y}] = true
+	}
+	for x := int64(1); x <= n; x++ {
+		if n/x == 0 {
+			break
+		}
+		for y := int64(1); y <= n; y++ {
+			if marked[[2]int64{x, y}] {
+				fmt.Print(" ●")
+			} else {
+				fmt.Print(" ·")
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("lattice points under xy = %d: %d (= D(%d); Θ(n log n))\n\n",
+		n, len(pts), n)
+}
+
+func fig6() {
+	fmt.Println("Figure 6: sample values by several APFs (y = 1..5)")
+	type rowSpec struct {
+		f  *apf.Constructed
+		xs []int64
+	}
+	specs := []rowSpec{
+		{apf.NewTC(1), []int64{14, 15}},
+		{apf.NewTC(3), []int64{14, 15, 28, 29}},
+		{apf.NewTHash(), []int64{28, 29}},
+		{apf.NewTStar(), []int64{28, 29}},
+	}
+	for _, s := range specs {
+		fmt.Printf("  %s\n", s.f.Name())
+		fmt.Printf("    %4s %3s %s\n", "x", "g", "𝒯(x, 1..5)")
+		for _, x := range s.xs {
+			g, _, err := s.f.Group(x)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("    %4d %3d", x, g)
+			for y := int64(1); y <= 5; y++ {
+				v, err := s.f.EncodeBig(x, y)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Printf(" %10s", v)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println()
+}
+
+func printClaims() {
+	fmt.Println("Quantitative claims, paper vs measured")
+	fmt.Println("--------------------------------------")
+
+	// §3.2: spread of 𝒟.
+	n := int64(1024)
+	s, at, err := spread.Measure(core.Diagonal{}, n)
+	must(err)
+	fmt.Printf("§3.2  S_𝒟(%d): paper (n²+n)/2 = %d; measured %d at (%d, %d)\n",
+		n, (n*n+n)/2, s, at.X, at.Y)
+	fmt.Printf("§3.2  𝒟(n, n) = 2n²: 𝒟(%d, %d) = %d (2n² = %d)\n",
+		n, n, core.MustEncode(core.Diagonal{}, n, n), 2*n*n)
+
+	// eq. 3.2: perfect compactness of 𝒜_{a,b}.
+	f12 := core.MustAspect(1, 2)
+	c, err := spread.MeasureConforming(f12, 1, 2, 1000)
+	must(err)
+	fmt.Printf("eq3.2 𝒜₁,₂ conforming spread at n = 1000: paper = largest 2k² ≤ n = 968; measured %d\n", c)
+
+	// §3.2.2: dovetail bound.
+	fs := []core.PF{core.MustAspect(1, 1), core.MustAspect(1, 2), core.MustAspect(2, 1)}
+	dv := core.MustDovetail(fs...)
+	sd, _, err := spread.Measure(dv, 256)
+	must(err)
+	best := int64(-1)
+	for _, f := range fs {
+		si, _, err := spread.Measure(f, 256)
+		must(err)
+		if best < 0 || si < best {
+			best = si
+		}
+	}
+	fmt.Printf("§3.2.2 dovetail: S(256) = %d ≤ m·min = 3·%d = %d\n", sd, best, 3*best)
+
+	// §3.2.3: hyperbolic optimality.
+	h := core.NewCachedHyperbolic(1 << 14)
+	for _, nn := range []int64{1 << 10, 1 << 14} {
+		sh, _, err := spread.Measure(h, nn)
+		must(err)
+		fmt.Printf("§3.2.3 S_ℋ(%d) = %d = D(n) = %d; S/(n ln n) = %.3f (Θ(n log n), optimal)\n",
+			nn, sh, numtheory.DivisorSummatory(nn), spread.FitNLogN(nn, sh))
+	}
+
+	// Measured growth exponents over n = 2^6 … 2^12.
+	ns := []int64{1 << 6, 1 << 8, 1 << 10, 1 << 12}
+	fmt.Println("§3.2  fitted spread growth S(n) ≈ C·n^α over n = 2^6..2^12:")
+	for _, f := range []core.StorageMapping{
+		core.Diagonal{}, core.SquareShell{}, core.Morton{}, core.NewCachedHyperbolic(1 << 12),
+	} {
+		ss, err := spread.Curve(f, ns)
+		must(err)
+		fit, err := spread.FitGrowth(ns, ss)
+		must(err)
+		fmt.Printf("   %-18s %s\n", f.Name(), fit)
+	}
+
+	// §4.2: stride growth and crossovers.
+	th := apf.NewTHash()
+	fmt.Println("§4.2.2 crossovers x₀ where S^<c> ≥ S^# for all x ≥ x₀ (limit 4096):")
+	for _, c := range []int{1, 2, 3} {
+		x0, last, err := apf.Crossover(apf.NewTC(c), th, 1<<12)
+		must(err)
+		paper := map[int]int64{1: 5, 2: 11, 3: 25}[c]
+		note := ""
+		if x0 != paper {
+			note = "  ← measured deviation (see EXPERIMENTS.md E13)"
+		}
+		fmt.Printf("   T<%d>: paper %d, measured %d (last below at %d)%s\n",
+			c, paper, x0, last, note)
+	}
+
+	// Prop 4.2 / 4.4: quadratic vs subquadratic strides.
+	x := int64(1 << 20)
+	sh2, err := th.StrideBig(x)
+	must(err)
+	ss, err := apf.NewTStar().StrideBig(x)
+	must(err)
+	fmt.Printf("§4.2.3 strides at x = 2^20: S^# = %s (≤ 2x² = %d); S^★ = %s (≈ 8x·4^√(2 log x) = %.3g)\n",
+		sh2, 2*x*x, ss, 8*float64(x)*math.Pow(4, math.Sqrt(40)))
+
+	// §4.2.3: the κ = 2^g danger.
+	te := apf.NewTExp()
+	fmt.Println("§4.2.3 κ(g) = 2^g group fronts: stride vs x²·log₂ x (superquadratic from g = 3):")
+	for g := int64(3); g <= 5; g++ {
+		front, err := apf.GroupFront(te, g)
+		must(err)
+		st, err := te.StrideBig(front)
+		must(err)
+		bound := float64(front) * float64(front) * math.Log2(float64(front))
+		fmt.Printf("   g = %d: x = %d, S_x = %s > x² log x ≈ %.0f\n", g, front, st, bound)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}

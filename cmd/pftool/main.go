@@ -1,0 +1,160 @@
+// Command pftool is a CLI for the pairfn pairing-function library: print
+// sample tables, encode/decode positions, and sweep spread functions.
+//
+// Usage:
+//
+//	pftool table  -pf hyperbolic -rows 8 -cols 7
+//	pftool encode -pf diagonal 3 4
+//	pftool decode -pf square-shell 24
+//	pftool spread -pf diagonal,square-shell,hyperbolic -n 1024
+//	pftool list
+//
+// Known -pf names: diagonal, diagonal-twin, square-shell, square-shell-cw,
+// aspect-AxB (e.g. aspect-2x3), hyperbolic, dovetail (the 3-way
+// square/wide/tall dovetail).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pairfn/internal/core"
+	"pairfn/internal/spread"
+)
+
+func lookupPF(name string) (core.PF, error) {
+	switch name {
+	case "diagonal":
+		return core.Diagonal{}, nil
+	case "diagonal-twin":
+		return core.Diagonal{Twin: true}, nil
+	case "square-shell":
+		return core.SquareShell{}, nil
+	case "square-shell-cw":
+		return core.SquareShell{Clockwise: true}, nil
+	case "hyperbolic":
+		return core.Hyperbolic{}, nil
+	case "morton":
+		return core.Morton{}, nil
+	case "hilbert":
+		return core.Hilbert{Order: 16}, nil
+	case "dovetail":
+		return core.MustDovetail(
+			core.MustAspect(1, 1), core.MustAspect(1, 2), core.MustAspect(2, 1)), nil
+	}
+	if rest, ok := strings.CutPrefix(name, "aspect-"); ok {
+		parts := strings.SplitN(rest, "x", 2)
+		if len(parts) == 2 {
+			a, errA := strconv.ParseInt(parts[0], 10, 64)
+			b, errB := strconv.ParseInt(parts[1], 10, 64)
+			if errA == nil && errB == nil {
+				return core.NewAspect(a, b)
+			}
+		}
+	}
+	return nil, fmt.Errorf("unknown PF %q (try pftool list)", name)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "list":
+		fmt.Println("diagonal  diagonal-twin  square-shell  square-shell-cw  hyperbolic  morton  dovetail  aspect-AxB")
+	case "table":
+		cmdTable(args)
+	case "encode":
+		cmdEncode(args)
+	case "decode":
+		cmdDecode(args)
+	case "spread":
+		cmdSpread(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: pftool {table|encode|decode|spread|list} [flags] [args]`)
+	os.Exit(2)
+}
+
+func cmdTable(args []string) {
+	fs := flag.NewFlagSet("table", flag.ExitOnError)
+	name := fs.String("pf", "diagonal", "pairing function name")
+	rows := fs.Int("rows", 8, "rows to print")
+	cols := fs.Int("cols", 8, "columns to print")
+	_ = fs.Parse(args)
+	f, err := lookupPF(*name)
+	die(err)
+	for _, row := range core.Table(f, *rows, *cols) {
+		for _, v := range row {
+			fmt.Printf("%8d", v)
+		}
+		fmt.Println()
+	}
+}
+
+func cmdEncode(args []string) {
+	fs := flag.NewFlagSet("encode", flag.ExitOnError)
+	name := fs.String("pf", "diagonal", "pairing function name")
+	_ = fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) != 2 {
+		die(fmt.Errorf("encode needs x y"))
+	}
+	x, err := strconv.ParseInt(rest[0], 10, 64)
+	die(err)
+	y, err := strconv.ParseInt(rest[1], 10, 64)
+	die(err)
+	f, err := lookupPF(*name)
+	die(err)
+	z, err := f.Encode(x, y)
+	die(err)
+	fmt.Printf("%s(%d, %d) = %d\n", f.Name(), x, y, z)
+}
+
+func cmdDecode(args []string) {
+	fs := flag.NewFlagSet("decode", flag.ExitOnError)
+	name := fs.String("pf", "diagonal", "pairing function name")
+	_ = fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) != 1 {
+		die(fmt.Errorf("decode needs z"))
+	}
+	z, err := strconv.ParseInt(rest[0], 10, 64)
+	die(err)
+	f, err := lookupPF(*name)
+	die(err)
+	x, y, err := f.Decode(z)
+	die(err)
+	fmt.Printf("%s⁻¹(%d) = (%d, %d)\n", f.Name(), z, x, y)
+}
+
+func cmdSpread(args []string) {
+	fs := flag.NewFlagSet("spread", flag.ExitOnError)
+	names := fs.String("pf", "diagonal,square-shell,hyperbolic", "comma-separated PF names")
+	n := fs.Int64("n", 256, "max array size (positions)")
+	_ = fs.Parse(args)
+	fmt.Printf("%-18s %12s %12s %10s %10s\n", "pf", "n", "S(n)", "S/n²", "S/(n ln n)")
+	for _, name := range strings.Split(*names, ",") {
+		f, err := lookupPF(strings.TrimSpace(name))
+		die(err)
+		s, _, err := spread.Measure(f, *n)
+		die(err)
+		fmt.Printf("%-18s %12d %12d %10.4f %10.4f\n",
+			f.Name(), *n, s, spread.FitQuadratic(*n, s), spread.FitNLogN(*n, s))
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pftool:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,52 @@
+// Command spreadbench sweeps the spread function S_A(n) of eq. 3.1 over n
+// for each storage mapping and emits CSV, suitable for regenerating the
+// §3.2 compactness comparison: quadratic spreads for 𝒟 and 𝒜₁,₁ versus the
+// optimal Θ(n log n) spread of ℋ.
+//
+// Usage:
+//
+//	spreadbench -max 4096 -points 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pairfn/internal/core"
+	"pairfn/internal/numtheory"
+	"pairfn/internal/spread"
+)
+
+func main() {
+	max := flag.Int64("max", 4096, "largest n (array positions)")
+	points := flag.Int("points", 8, "number of sample points (doubling from max downward)")
+	flag.Parse()
+
+	mappings := []core.StorageMapping{
+		core.Diagonal{},
+		core.SquareShell{},
+		core.Morton{},
+		core.MustAspect(1, 2),
+		core.MustDovetail(core.MustAspect(1, 1), core.MustAspect(1, 2), core.MustAspect(2, 1)),
+		core.NewCachedHyperbolic(*max),
+	}
+	var ns []int64
+	for n, i := *max, 0; n >= 2 && i < *points; n, i = n/2, i+1 {
+		ns = append([]int64{n}, ns...)
+	}
+	fmt.Println("mapping,n,spread,spread_over_n2,spread_over_nlogn,lower_bound_Dn")
+	for _, f := range mappings {
+		for _, n := range ns {
+			s, _, err := spread.Measure(f, n)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "spreadbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s,%d,%d,%.5f,%.5f,%d\n",
+				f.Name(), n, s,
+				spread.FitQuadratic(n, s), spread.FitNLogN(n, s),
+				numtheory.DivisorSummatory(n))
+		}
+	}
+}

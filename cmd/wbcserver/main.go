@@ -1,0 +1,77 @@
+// Command wbcserver serves the §4 Web-Based Computing website: a JSON/HTTP
+// API over the APF task-allocation coordinator. Volunteers register, fetch
+// prime-counting tasks, and submit results; the project head can query
+// attribution of any task index and live metrics.
+//
+// Usage:
+//
+//	wbcserver -addr :8080 -apf T# -audit 0.25 -strikes 2 -span 1000
+//
+// Then, from any HTTP client:
+//
+//	curl -X POST localhost:8080/register -d '{"speed":1}'
+//	curl -X POST localhost:8080/next     -d '{"volunteer":1}'
+//	curl -X POST localhost:8080/submit   -d '{"volunteer":1,"task":3,"result":168}'
+//	curl 'localhost:8080/attribute?task=3'
+//	curl  localhost:8080/metrics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"pairfn/internal/apf"
+	"pairfn/internal/wbc"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	apfName := flag.String("apf", "T#", "task-allocation APF (T<1> T<2> T<3> T# T[2] T*)")
+	audit := flag.Float64("audit", 0.25, "inline audit probability")
+	strikes := flag.Int("strikes", 2, "strikes before ban")
+	span := flag.Int64("span", 1000, "prime-count block width")
+	seed := flag.Int64("seed", time.Now().UnixNano()%1e9, "audit sampling seed")
+	flag.Parse()
+
+	var f apf.APF
+	switch *apfName {
+	case "T<1>":
+		f = apf.NewTC(1)
+	case "T<2>":
+		f = apf.NewTC(2)
+	case "T<3>":
+		f = apf.NewTC(3)
+	case "T#":
+		f = apf.NewTHash()
+	case "T[2]":
+		f = apf.NewTPow(2)
+	case "T*":
+		f = apf.NewTStar()
+	default:
+		fmt.Fprintf(os.Stderr, "wbcserver: unknown APF %q\n", *apfName)
+		os.Exit(2)
+	}
+
+	c, err := wbc.NewCoordinator(wbc.Config{
+		APF:         f,
+		Workload:    wbc.PrimeCount{Span: *span},
+		AuditRate:   *audit,
+		StrikeLimit: *strikes,
+		Seed:        *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wbcserver: serving %s tasks via %s on %s (audit %.2f, strikes %d)",
+		"prime-count", f.Name(), *addr, *audit, *strikes)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           wbc.NewHTTPHandler(c),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}

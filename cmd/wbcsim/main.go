@@ -1,0 +1,188 @@
+// Command wbcsim runs the §4 Web-Based Computing accountability simulation:
+// a mixed population of honest, careless and malicious volunteers computes
+// verifiable tasks allocated through an additive pairing function; the
+// server audits a sample, bans errant volunteers, and at the end attributes
+// every bad result through 𝒯⁻¹ plus the binding ledger.
+//
+// Usage:
+//
+//	wbcsim -apf T# -honest 8 -careless 3 -malicious 2 -tasks 50 -audit 0.2
+//	wbcsim -footprints             # compactness race across APF families
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"pairfn/internal/apf"
+	"pairfn/internal/wbc"
+)
+
+func lookupAPF(name string) (apf.APF, error) {
+	switch name {
+	case "T<1>":
+		return apf.NewTC(1), nil
+	case "T<2>":
+		return apf.NewTC(2), nil
+	case "T<3>":
+		return apf.NewTC(3), nil
+	case "T#":
+		return apf.NewTHash(), nil
+	case "T[2]":
+		return apf.NewTPow(2), nil
+	case "T*":
+		return apf.NewTStar(), nil
+	}
+	return nil, fmt.Errorf("unknown APF %q (have T<1> T<2> T<3> T# T[2] T*)", name)
+}
+
+func main() {
+	apfName := flag.String("apf", "T#", "task-allocation APF")
+	honest := flag.Int("honest", 8, "honest volunteers")
+	careless := flag.Int("careless", 3, "careless volunteers (10% bad results)")
+	malicious := flag.Int("malicious", 2, "malicious volunteers (90% bad results)")
+	churners := flag.Int("churners", 2, "honest volunteers that depart and are replaced")
+	tasks := flag.Int("tasks", 50, "tasks per volunteer")
+	audit := flag.Float64("audit", 0.2, "inline audit probability")
+	strikes := flag.Int("strikes", 2, "strikes before ban")
+	span := flag.Int64("span", 200, "prime-count block width")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	footprints := flag.Bool("footprints", false, "only run the APF footprint race")
+	replicate := flag.Int("replicate", 0, "run the r-way replication/voting comparison instead")
+	flag.Parse()
+
+	if *footprints {
+		runFootprints(*tasks)
+		return
+	}
+	if *replicate > 0 {
+		runReplicated(*replicate, *tasks, *seed)
+		return
+	}
+
+	f, err := lookupAPF(*apfName)
+	die(err)
+	res, c, err := wbc.Simulate(wbc.SimConfig{
+		Coordinator: wbc.Config{
+			APF:         f,
+			Workload:    wbc.PrimeCount{Span: *span},
+			AuditRate:   *audit,
+			StrikeLimit: *strikes,
+			Seed:        *seed,
+		},
+		Profiles: []wbc.Profile{
+			{Name: "honest", Count: *honest, ErrorRate: 0, Tasks: *tasks, Speed: 1},
+			{Name: "careless", Count: *careless, ErrorRate: 0.10, Tasks: *tasks, Speed: 1},
+			{Name: "malicious", Count: *malicious, ErrorRate: 0.90, Tasks: *tasks, Speed: 2},
+			{Name: "churner", Count: *churners, ErrorRate: 0, Tasks: *tasks,
+				DepartAfter: *tasks / 3, Speed: 0.5},
+		},
+		Seed: *seed + 1,
+	})
+	die(err)
+
+	m := res.Metrics
+	fmt.Printf("WBC simulation over %s (%s, span %d)\n", f.Name(), "prime-count", *span)
+	fmt.Printf("  volunteers registered: %d (active at end: %d)\n", m.Registered, m.Active)
+	fmt.Printf("  tasks issued/completed: %d/%d (%d reissues after churn)\n",
+		m.Issued, m.Completed, m.Reissues)
+	fmt.Printf("  inline audits: %d, bad caught inline: %d, bans: %d\n",
+		m.Audited, m.BadCaught, m.Bans)
+	fmt.Printf("  task-table footprint: %d (utilization %.4f)\n",
+		m.Footprint, float64(m.Issued)/float64(m.Footprint))
+	fmt.Printf("  full end-of-run audit: attribution errors = %d\n", res.AttributionErrors)
+	for v, ks := range res.BadByVolunteer {
+		if len(ks) > 0 {
+			fmt.Printf("    volunteer %3d charged with %d bad results (banned: %v)\n",
+				v, len(ks), c.Banned(v))
+		}
+	}
+	fmt.Println("  roster:")
+	for _, r := range c.Report() {
+		status := "active"
+		switch {
+		case r.Banned:
+			status = "BANNED"
+		case r.Departed:
+			status = "departed"
+		}
+		fmt.Printf("    volunteer %3d  row %3d  completed %4d  strikes %d  %s\n",
+			r.ID, r.Row, r.Completed, r.Strikes, status)
+	}
+}
+
+func runFootprints(tasks int) {
+	fmt.Printf("APF footprint race: 64 honest volunteers × %d tasks\n", tasks)
+	for _, f := range []apf.APF{apf.NewTC(3), apf.NewTHash(), apf.NewTPow(2), apf.NewTStar()} {
+		_, c, err := wbc.Simulate(wbc.SimConfig{
+			Coordinator: wbc.Config{APF: f, Workload: wbc.Null{}, Seed: 1},
+			Profiles: []wbc.Profile{
+				{Name: "honest", Count: 64, ErrorRate: 0, Tasks: tasks, Speed: 1},
+			},
+			Seed: 2,
+		})
+		die(err)
+		m := c.Metrics()
+		fmt.Printf("  %s\n", wbc.FootprintReport{
+			Name:        f.Name(),
+			Footprint:   m.Footprint,
+			Utilization: float64(m.Issued) / float64(m.Footprint),
+		})
+	}
+}
+
+// runReplicated compares accepted-bad-result rates at replication 1 vs r
+// for a 10%-careless population — the wbc.Voting extension.
+func runReplicated(r, tasks int, seed int64) {
+	run := func(rep int) wbc.VotingMetrics {
+		v, err := wbc.NewVoting(wbc.Config{
+			APF: apf.NewTHash(), Workload: wbc.DivisorSum{}, Seed: seed,
+		}, rep)
+		die(err)
+		c := v.Coordinator()
+		type vol struct {
+			id  wbc.VolunteerID
+			rng *rand.Rand
+		}
+		var vols []vol
+		for i := 0; i < 6; i++ {
+			vols = append(vols, vol{c.Register(1), rand.New(rand.NewSource(seed + int64(i)))})
+		}
+		for step := 0; step < tasks; step++ {
+			for _, w := range vols {
+				k, l, err := v.NextTask(w.id)
+				die(err)
+				res := (wbc.DivisorSum{}).Do(wbc.TaskID(l))
+				if w.rng.Float64() < 0.10 {
+					res++
+				}
+				_, err = v.Submit(w.id, k, res)
+				die(err)
+			}
+		}
+		return v.Metrics()
+	}
+	fmt.Printf("Replication comparison (6 volunteers, 10%% careless, %d replicas each):\n", tasks)
+	for _, rep := range []int{1, r} {
+		m := run(rep)
+		fmt.Printf("  r = %d: decided %4d logical tasks, accepted bad %3d (%.2f%%), ties %d\n",
+			rep, m.Decided, m.AcceptedBad,
+			100*float64(m.AcceptedBad)/float64(max64(m.Decided, 1)), m.Ties)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wbcsim:", err)
+		os.Exit(1)
+	}
+}

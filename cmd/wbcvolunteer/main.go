@@ -1,0 +1,72 @@
+// Command wbcvolunteer is a volunteer client for wbcserver: it registers,
+// then loops fetching prime-counting tasks and submitting results. With
+// -error it misbehaves at the given rate, which is how one demos the
+// accountability pipeline end to end:
+//
+//	wbcserver -audit 0.5 -strikes 2 &
+//	wbcvolunteer -tasks 20                 # honest
+//	wbcvolunteer -tasks 20 -error 0.5      # soon banned; then ask the server:
+//	curl 'localhost:8080/attribute?task=…'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"pairfn/internal/wbc"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:8080", "wbcserver base URL")
+	tasks := flag.Int("tasks", 10, "tasks to compute before departing")
+	errRate := flag.Float64("error", 0, "probability of corrupting each result")
+	span := flag.Int64("span", 1000, "prime-count block width (must match the server)")
+	speed := flag.Float64("speed", 1, "speed hint for the front end")
+	seed := flag.Int64("seed", time.Now().UnixNano(), "corruption RNG seed")
+	depart := flag.Bool("depart", true, "deregister when done")
+	flag.Parse()
+
+	cl := &wbc.Client{BaseURL: *url}
+	rng := rand.New(rand.NewSource(*seed))
+	workload := wbc.PrimeCount{Span: *span}
+
+	id, err := cl.Register(*speed)
+	if err != nil {
+		log.Fatalf("register: %v", err)
+	}
+	log.Printf("registered as volunteer %d", id)
+	for i := 0; i < *tasks; i++ {
+		k, err := cl.Next(id)
+		if err != nil {
+			log.Printf("next: %v (banned?)", err)
+			os.Exit(1)
+		}
+		result := workload.Do(k)
+		note := ""
+		if rng.Float64() < *errRate {
+			result++
+			note = "  (corrupted!)"
+		}
+		caught, err := cl.Submit(id, k, result)
+		if err != nil {
+			log.Printf("submit: %v", err)
+			os.Exit(1)
+		}
+		status := ""
+		if caught {
+			status = "  ← audit caught this one"
+		}
+		fmt.Printf("task %8d → %d%s%s\n", k, result, note, status)
+	}
+	if *depart {
+		if err := cl.Depart(id); err != nil {
+			log.Printf("depart: %v", err)
+		} else {
+			log.Printf("departed; row recycled for the next arrival")
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Quickstart: the three faces of a pairing function.
+//
+// This example walks through the library's core objects in a few lines
+// each: encoding/decoding with the classic pairing functions, measuring
+// spread (the §3.2 compactness metric), and using an additive PF as a
+// task-allocation function (§4).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pairfn/internal/apf"
+	"pairfn/internal/core"
+	"pairfn/internal/spread"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Pairing functions are bijections N×N ↔ N.
+	pfs := []core.PF{core.Diagonal{}, core.SquareShell{}, core.Hyperbolic{}}
+	fmt.Println("Encoding position (3, 5) and decoding address 20:")
+	for _, f := range pfs {
+		z, err := f.Encode(3, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		x, y, err := f.Decode(20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s (3,5) → %4d      20 → (%d, %d)\n", f.Name(), z, x, y)
+	}
+
+	// 2. Spread: how much storage does an n-position array scatter over?
+	fmt.Println("\nSpread S(n) = largest address used by any array with ≤ n positions:")
+	for _, f := range pfs {
+		s, at, err := spread.Measure(f, 256)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s S(256) = %6d  (worst shape peaks at (%d, %d))\n",
+			f.Name(), s, at.X, at.Y)
+	}
+	fmt.Println("  ℋ achieves the optimal Θ(n log n); 𝒟 and 𝒜₁,₁ are quadratic.")
+
+	// 3. Additive PFs: every row is an arithmetic progression, so volunteer
+	//    v's t-th task is base + (t−1)·stride — trivially computable, and
+	//    invertible for accountability.
+	t := apf.NewTHash()
+	fmt.Println("\nAdditive PF 𝒯# as a task-allocation function:")
+	for v := int64(1); v <= 4; v++ {
+		b, err := t.Base(v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := t.Stride(v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  volunteer %d: tasks %d, %d, %d, … (stride %d)\n",
+			v, b, b+s, b+2*s, s)
+	}
+	k, err := t.Encode(3, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, seq, err := t.Decode(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  who computed task %d? 𝒯⁻¹(%d) = volunteer %d, their task #%d\n",
+		k, k, v, seq)
+}

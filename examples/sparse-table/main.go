@@ -1,0 +1,95 @@
+// Sparse-table: the §3.2.3 relational-database scenario.
+//
+// A relational table's shape cannot be bounded a priori: one workload adds
+// attributes (columns), another adds tuples (rows). §3.2.3 shows the
+// hyperbolic PF ℋ is the right storage mapping here — its worst-case spread
+// Θ(n log n) is optimal over arbitrary shapes. This example reshapes one
+// table through wildly different aspect ratios under three mappings and
+// compares footprints, then demonstrates the aside's alternative: a
+// position-keyed hash store with < 2n slots when only point access is
+// needed.
+//
+// Run with: go run ./examples/sparse-table
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pairfn/internal/core"
+	"pairfn/internal/extarray"
+	"pairfn/internal/hashstore"
+)
+
+// phase is one workload era of the table's life.
+type phase struct {
+	name       string
+	rows, cols int64
+}
+
+func main() {
+	log.SetFlags(0)
+
+	phases := []phase{
+		{"OLTP ingest (tall)", 512, 4},
+		{"feature engineering (wide)", 16, 128},
+		{"archival (square-ish)", 48, 40},
+		{"pruned (tall again)", 256, 8},
+	}
+
+	mappings := []core.StorageMapping{
+		core.Diagonal{},
+		core.SquareShell{},
+		core.NewCachedHyperbolic(1 << 16),
+	}
+
+	fmt.Println("Reshaping one table through 4 workload phases:")
+	fmt.Printf("%-28s", "phase (rows×cols)")
+	tables := make([]*extarray.Array[string], len(mappings))
+	for i, m := range mappings {
+		tables[i] = extarray.NewMapBacked[string](m, 1, 1)
+		fmt.Printf("  %16s", m.Name())
+	}
+	fmt.Println()
+
+	for _, ph := range phases {
+		for _, t := range tables {
+			if err := t.Resize(ph.rows, ph.cols); err != nil {
+				log.Fatal(err)
+			}
+			// Touch every cell of the current shape (tuples materialize).
+			for x := int64(1); x <= ph.rows; x++ {
+				for y := int64(1); y <= ph.cols; y++ {
+					if err := t.Set(x, y, "r"); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}
+		}
+		fmt.Printf("%-28s", fmt.Sprintf("%s (%d×%d)", ph.name, ph.rows, ph.cols))
+		for _, t := range tables {
+			fmt.Printf("  %16d", t.Stats().Footprint)
+		}
+		fmt.Println()
+	}
+	fmt.Println("(numbers are footprints: the largest address each mapping has used)")
+	fmt.Println("ℋ stays near n·log n across every shape; 𝒟 and 𝒜₁,₁ blow up on the")
+	fmt.Println("shapes they disfavor — §3.2.3's optimality, live.")
+
+	// The aside: access-by-position only ⇒ hash the positions.
+	fmt.Println("\n§3 aside: if the table is only ever accessed by position,")
+	fmt.Println("a hash store beats every PF's spread:")
+	open := hashstore.NewOpen[string]()
+	n := 0
+	for _, ph := range phases {
+		for x := int64(1); x <= ph.rows; x++ {
+			for y := int64(1); y <= ph.cols; y++ {
+				open.Set(hashstore.Position{X: x, Y: y}, "r")
+			}
+		}
+		n = open.Len()
+		fmt.Printf("  after %-28s %6d keys in %6d slots (< 2n), mean probes %.2f\n",
+			ph.name+":", n, open.Slots(), open.Stats().Mean())
+	}
+	fmt.Println("  …at the price of losing address arithmetic and locality (§3 aside).")
+}

@@ -1,0 +1,3 @@
+module pairfn
+
+go 1.22

@@ -1,0 +1,63 @@
+package apf
+
+import (
+	"math/big"
+	"testing"
+)
+
+// TestNoBidirectionalAdditivity documents the §3.2 remark that PF-based
+// storage gives up "the bidirectional arithmetic progressions enjoyed by
+// the standard row- or column-major indexings": every APF is additive
+// along rows by construction, but no family is additive along columns —
+// the x-direction steps 𝒯(x+1, y) − 𝒯(x, y) vary with x for every fixed y
+// we probe. (A total bijection N×N ↔ N additive in both directions cannot
+// exist: bidirectional additivity forces 𝒯(x, y) = a·x + b·y + c, which is
+// never injective on N×N.)
+func TestNoBidirectionalAdditivity(t *testing.T) {
+	for _, f := range Families() {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			for y := int64(1); y <= 4; y++ {
+				// Collect the first few x-steps and require them non-constant.
+				var steps []*big.Int
+				prev, err := f.EncodeBig(1, y)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for x := int64(2); x <= 12; x++ {
+					cur, err := f.EncodeBig(x, y)
+					if err != nil {
+						t.Fatal(err)
+					}
+					steps = append(steps, new(big.Int).Sub(cur, prev))
+					prev = cur
+				}
+				constant := true
+				for i := 1; i < len(steps); i++ {
+					if steps[i].Cmp(steps[0]) != 0 {
+						constant = false
+						break
+					}
+				}
+				if constant {
+					t.Errorf("column y = %d of %s is an arithmetic progression — impossible for a valid APF", y, f.Name())
+				}
+			}
+		})
+	}
+}
+
+// TestLinearMapsAreNotPFs backs the parenthetical claim above: a·x+b·y+c
+// collides on N×N for every positive a, b (take (x+b, y) vs (x, y+a)).
+func TestLinearMapsAreNotPFs(t *testing.T) {
+	for a := int64(1); a <= 5; a++ {
+		for b := int64(1); b <= 5; b++ {
+			x, y := int64(1), int64(1)
+			v1 := a*(x+b) + b*y
+			v2 := a*x + b*(y+a)
+			if v1 != v2 {
+				t.Fatalf("expected collision for a=%d b=%d", a, b)
+			}
+		}
+	}
+}

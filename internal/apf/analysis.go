@@ -1,0 +1,126 @@
+package apf
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Crossover returns the smallest row index x0 such that the strides of a
+// are at least as large as the strides of b for every x in [x0, limit]
+// (checked exactly with big.Int arithmetic), along with the last x < x0
+// where a's stride is still smaller (0 if none). §4.2.2 reports these
+// dominance points for 𝒯^<c> vs 𝒯^#: x0 = 5 for c = 1, 11 for c = 2, and
+// 25 for c = 3.
+//
+// Crossover returns an error if a's strides do not dominate b's anywhere in
+// [1, limit], or if a stride is uncomputable.
+func Crossover(a, b *Constructed, limit int64) (x0 int64, lastBelow int64, err error) {
+	if limit < 1 {
+		return 0, 0, fmt.Errorf("apf: Crossover limit %d < 1", limit)
+	}
+	// Scan from the top: x0−1 is the largest x where S_a(x) < S_b(x).
+	x0 = 1
+	for x := int64(1); x <= limit; x++ {
+		sa, err := a.StrideBig(x)
+		if err != nil {
+			return 0, 0, fmt.Errorf("apf: Crossover: %s stride at %d: %w", a.Name(), x, err)
+		}
+		sb, err := b.StrideBig(x)
+		if err != nil {
+			return 0, 0, fmt.Errorf("apf: Crossover: %s stride at %d: %w", b.Name(), x, err)
+		}
+		if sa.Cmp(sb) < 0 {
+			lastBelow = x
+			x0 = x + 1
+		}
+	}
+	if x0 > limit {
+		return 0, 0, fmt.Errorf("apf: %s's strides never dominate %s's within [1, %d]",
+			a.Name(), b.Name(), limit)
+	}
+	return x0, lastBelow, nil
+}
+
+// Interval is a closed row-index range [Lo, Hi].
+type Interval struct {
+	Lo, Hi int64
+}
+
+// DominanceIntervals returns the maximal intervals within [1, limit] on
+// which S_a(x) ≥ S_b(x), computed exactly. It is the full-resolution form
+// of Crossover: for 𝒯^<3> vs 𝒯^# it returns [5,8], [25,31], [33,limit], …
+// exposing the dip at x = 32 that moves the paper's crossover from 25 to
+// 33 (EXPERIMENTS.md E13).
+func DominanceIntervals(a, b *Constructed, limit int64) ([]Interval, error) {
+	if limit < 1 {
+		return nil, fmt.Errorf("apf: DominanceIntervals limit %d < 1", limit)
+	}
+	var out []Interval
+	var openLo int64 = -1
+	for x := int64(1); x <= limit; x++ {
+		sa, err := a.StrideBig(x)
+		if err != nil {
+			return nil, err
+		}
+		sb, err := b.StrideBig(x)
+		if err != nil {
+			return nil, err
+		}
+		if sa.Cmp(sb) >= 0 {
+			if openLo < 0 {
+				openLo = x
+			}
+		} else if openLo >= 0 {
+			out = append(out, Interval{Lo: openLo, Hi: x - 1})
+			openLo = -1
+		}
+	}
+	if openLo >= 0 {
+		out = append(out, Interval{Lo: openLo, Hi: limit})
+	}
+	return out, nil
+}
+
+// StrideRatio returns S_t(x)/x² as an exact rational. Prop 4.2 bounds it by
+// 2 for 𝒯^#; Prop 4.3 sends it to 0 for 𝒯^[k]; for 𝒯^<c> it diverges.
+func StrideRatio(t *Constructed, x int64) (*big.Rat, error) {
+	s, err := t.StrideBig(x)
+	if err != nil {
+		return nil, err
+	}
+	x2 := new(big.Int).Mul(big.NewInt(x), big.NewInt(x))
+	return new(big.Rat).SetFrac(s, x2), nil
+}
+
+// GroupFront returns the first row x of group g for t, i.e. start(g) — the
+// row where a fresh (larger) stride takes effect. The κ(g)=2^g analysis of
+// §4.2.3 evaluates strides exactly at these fronts. Fronts beyond int64
+// report ErrOverflow; use GroupFrontBig for those.
+func GroupFront(t *Constructed, g int64) (int64, error) {
+	s, err := t.startOfBig(g)
+	if err != nil {
+		return 0, err
+	}
+	if !s.IsInt64() {
+		return 0, fmt.Errorf("apf: %s: group %d starts at %s: %w", t.Name(), g, s, ErrOverflow)
+	}
+	return s.Int64(), nil
+}
+
+// GroupFrontBig returns start(g) exactly, however large.
+func GroupFrontBig(t *Constructed, g int64) (*big.Int, error) {
+	return t.startOfBig(g)
+}
+
+// StrideTable returns the strides S_x for x = 1..n as exact big.Ints.
+func StrideTable(t *Constructed, n int64) ([]*big.Int, error) {
+	out := make([]*big.Int, 0, n)
+	for x := int64(1); x <= n; x++ {
+		s, err := t.StrideBig(x)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

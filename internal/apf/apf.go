@@ -1,0 +1,485 @@
+// Package apf implements the additive pairing functions (APFs) of §4 of
+// Rosenberg's "Efficient Pairing Functions — and Why You Should Care"
+// (IPPS 2002): bijections 𝒯 between N×N and N in which each row x is an
+// arithmetic progression,
+//
+//	𝒯(x, y) = B_x + (y−1)·S_x,
+//
+// with base row-entry B_x and stride S_x. In the paper's Web-computing
+// application, row x is a volunteer, y is the sequence number of a task, and
+// 𝒯(x, y) is the task index — so 𝒯, 𝒯⁻¹ and the strides must all be easy to
+// compute, and slow-growing strides make the task table compact.
+//
+// The package implements Procedure APF-Constructor (built on Lemma 4.1)
+// generically for an arbitrary copy-index function κ(g), plus the paper's
+// explicit families: 𝒯^<c> (equal-size groups, §4.2.1), 𝒯^# (κ(g)=g,
+// §4.2.2), 𝒯^[k] (κ(g)=g^k) and 𝒯^★ (κ(g)=⌈g²/2⌉) (§4.2.3), and the
+// cautionary κ(g)=2^g family whose strides grow superquadratically.
+//
+// Rows, columns and addresses are 1-based; group indices g are 0-based as
+// in the paper. Fast-growing κ put group fronts beyond int64 within a few
+// groups (e.g. group 9 of 𝒯^[2] starts past 2^64), so the group-start table
+// is kept exactly as big.Ints; the int64 Encode/Decode fast paths report
+// ErrOverflow where a value leaves int64 range, and the *Big methods are
+// total (up to a sanity cap on materializing astronomically large strides).
+package apf
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+	"sync"
+
+	"pairfn/internal/numtheory"
+)
+
+// ErrOverflow reports that an exact int64 computation would exceed int64
+// range; the *Big methods remain available.
+var ErrOverflow = errors.New("apf: int64 overflow")
+
+// ErrDomain reports a coordinate or address outside N (i.e. < 1).
+var ErrDomain = errors.New("apf: argument outside N (must be ≥ 1)")
+
+// ErrUncomputable reports a value whose exact representation is too large
+// to materialize even as a big.Int (e.g. a stride of 2^(2^62)), or a group
+// search that would enumerate an unreasonable number of groups.
+var ErrUncomputable = errors.New("apf: value too large to materialize")
+
+// maxKappaBits bounds the strides the *Big methods will materialize:
+// 2^(1+g+κ) with 1+g+κ beyond this limit returns ErrUncomputable instead of
+// attempting a multi-gigabyte big.Int.
+const maxKappaBits = 1 << 22
+
+// maxGroups bounds how many group starts a prefix-sum search will
+// materialize before giving up (a κ like κ ≡ 0 without a closed-form lookup
+// would otherwise scan one group per row).
+const maxGroups = 1 << 21
+
+// An APF is an additive pairing function. In addition to the PF contract
+// (Encode/Decode are mutually inverse bijections N×N ↔ N), every row is an
+// arithmetic progression: Encode(x, y) = Base(x) + (y−1)·Stride(x), and
+// Base(x) < Stride(x) (Theorem 4.2).
+type APF interface {
+	// Name returns a short identifier used in tables and benchmarks.
+	Name() string
+	// Encode returns the task index 𝒯(x, y).
+	Encode(x, y int64) (int64, error)
+	// Decode inverts Encode.
+	Decode(z int64) (x, y int64, err error)
+	// Base returns B_x = 𝒯(x, 1).
+	Base(x int64) (int64, error)
+	// Stride returns S_x = 𝒯(x, y+1) − 𝒯(x, y).
+	Stride(x int64) (int64, error)
+	// Group returns the 0-based group index g of row x and the copy index
+	// κ(g) assigned by Procedure APF-Constructor.
+	Group(x int64) (g, kappa int64, err error)
+}
+
+// Kappa is a copy-index function κ: group index g (0-based) → κ(g) ≥ 0
+// (§4.1 Step 2). Group g then holds 2^κ(g) consecutive rows. κ may grow
+// arbitrarily fast; group fronts beyond int64 are tracked exactly.
+type Kappa func(g int64) int64
+
+// GroupLookup is an optional closed form for the group of row x, returning
+// (g, true) when available; the constructor falls back to prefix-sum binary
+// search otherwise. §4.1 notes that translating the range (4.3) into an
+// efficient g = f(x) "may be a simple or a challenging enterprise".
+type GroupLookup func(x int64) (int64, bool)
+
+// Constructed is the APF produced by Procedure APF-Constructor from a copy
+// index κ. Group g starts at row start(g) = 1 + Σ_{j<g} 2^κ(j) (eq. 4.3);
+// its i-th member (1-based) carries the odd signature-class residue
+// r = 2i−1 (mod 2^{1+κ(g)}) of Lemma 4.1, and
+//
+//	𝒯(x, y) = 2^g · (2^{1+κ(g)}·(y−1) + r)        (eq. 4.1)
+//
+// so B_x = 2^g·r and S_x = 2^{1+g+κ(g)} (eq. 4.2). Safe for concurrent use.
+type Constructed struct {
+	name   string
+	kappa  Kappa
+	lookup GroupLookup
+
+	mu sync.Mutex
+	// starts[g] = first row of group g, exact; starts[0] = 1. Extended
+	// lazily; superlinear κ keep this slice very short.
+	starts []*big.Int
+	// starts64 mirrors starts where the value fits int64, with
+	// math.MaxInt64 as the saturation sentinel; it keeps the int64 fast
+	// paths allocation-free.
+	starts64 []int64
+}
+
+// New returns the APF built by Procedure APF-Constructor from κ. The name
+// is used in tables and benchmarks; lookup may be nil.
+func New(name string, kappa Kappa, lookup GroupLookup) *Constructed {
+	return &Constructed{
+		name: name, kappa: kappa, lookup: lookup,
+		starts:   []*big.Int{big.NewInt(1)},
+		starts64: []int64{1},
+	}
+}
+
+// Name implements APF.
+func (t *Constructed) Name() string { return t.name }
+
+// kappaOf returns κ(g), validating non-negativity.
+func (t *Constructed) kappaOf(g int64) (int64, error) {
+	k := t.kappa(g)
+	if k < 0 {
+		return 0, fmt.Errorf("apf: %s: κ(%d) = %d is negative", t.name, g, k)
+	}
+	return k, nil
+}
+
+// growLocked appends start(len(starts)) = start(last) + 2^κ(last).
+func (t *Constructed) growLocked() error {
+	if len(t.starts) >= maxGroups {
+		return fmt.Errorf("apf: %s: more than %d groups materialized: %w",
+			t.name, maxGroups, ErrUncomputable)
+	}
+	g := int64(len(t.starts) - 1)
+	k, err := t.kappaOf(g)
+	if err != nil {
+		return err
+	}
+	if k > maxKappaBits {
+		return fmt.Errorf("apf: %s: group %d has 2^%d rows: %w",
+			t.name, g, k, ErrUncomputable)
+	}
+	size := new(big.Int).Lsh(big.NewInt(1), uint(k))
+	next := size.Add(size, t.starts[g])
+	t.starts = append(t.starts, next)
+	if next.IsInt64() {
+		t.starts64 = append(t.starts64, next.Int64())
+	} else {
+		t.starts64 = append(t.starts64, maxInt64) // saturation sentinel
+	}
+	return nil
+}
+
+// maxInt64 is the starts64 saturation sentinel for group starts past int64.
+const maxInt64 = int64(^uint64(0) >> 1)
+
+// groupOf64 returns the group and exact start of an int64 row without
+// allocating, provided the start fits int64 (it always does for a row that
+// fits int64, since start(g) ≤ x). Used by the fast paths.
+func (t *Constructed) groupOf64(x int64) (g, start int64, err error) {
+	if t.lookup != nil {
+		if lg, ok := t.lookup(x); ok {
+			t.mu.Lock()
+			for int64(len(t.starts)) <= lg {
+				if err := t.growLocked(); err != nil {
+					t.mu.Unlock()
+					return 0, 0, err
+				}
+			}
+			s := t.starts64[lg]
+			t.mu.Unlock()
+			return lg, s, nil
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for last := t.starts64[len(t.starts64)-1]; last <= x && last != maxInt64; last = t.starts64[len(t.starts64)-1] {
+		if err := t.growLocked(); err != nil {
+			return 0, 0, err
+		}
+	}
+	i := sort.Search(len(t.starts64), func(i int) bool { return t.starts64[i] > x }) - 1
+	if t.starts64[i] == maxInt64 && !t.starts[i].IsInt64() {
+		// Only reachable for x = MaxInt64 against a saturated table.
+		return 0, 0, fmt.Errorf("apf: %s: row %d: %w", t.name, x, ErrOverflow)
+	}
+	return int64(i), t.starts64[i], nil
+}
+
+// startOfBig returns start(g) exactly, extending the table as needed.
+func (t *Constructed) startOfBig(g int64) (*big.Int, error) {
+	if g < 0 {
+		return nil, fmt.Errorf("apf: %s: negative group %d", t.name, g)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for int64(len(t.starts)) <= g {
+		if err := t.growLocked(); err != nil {
+			return nil, err
+		}
+	}
+	return t.starts[g], nil
+}
+
+// groupOfBig returns the group index g and exact start(g) for a row x ≥ 1
+// of any size.
+func (t *Constructed) groupOfBig(x *big.Int) (g int64, start *big.Int, err error) {
+	if t.lookup != nil && x.IsInt64() {
+		if g, ok := t.lookup(x.Int64()); ok {
+			s, err := t.startOfBig(g)
+			if err != nil {
+				return 0, nil, err
+			}
+			return g, s, nil
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for t.starts[len(t.starts)-1].Cmp(x) <= 0 {
+		if err := t.growLocked(); err != nil {
+			return 0, nil, err
+		}
+	}
+	i := sort.Search(len(t.starts), func(i int) bool { return t.starts[i].Cmp(x) > 0 }) - 1
+	return int64(i), t.starts[i], nil
+}
+
+// Group implements APF.
+func (t *Constructed) Group(x int64) (int64, int64, error) {
+	if x < 1 {
+		return 0, 0, fmt.Errorf("%w: row %d", ErrDomain, x)
+	}
+	g, _, err := t.groupOf64(x)
+	if err != nil {
+		return 0, 0, err
+	}
+	k, err := t.kappaOf(g)
+	if err != nil {
+		return 0, 0, err
+	}
+	return g, k, nil
+}
+
+// residueBig returns the Lemma 4.1 residue r = 2(x − start(g)) + 1 of row
+// x, with its group and copy index.
+func (t *Constructed) residueBig(x *big.Int) (g, kappa int64, r *big.Int, err error) {
+	g, start, err := t.groupOfBig(x)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	kappa, err = t.kappaOf(g)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	r = new(big.Int).Sub(x, start)
+	r.Lsh(r, 1)
+	r.Add(r, big.NewInt(1))
+	return g, kappa, r, nil
+}
+
+// Encode implements APF (eq. 4.1). Values that leave int64 report
+// ErrOverflow; use EncodeBig for totality. This path is allocation-free
+// (see BenchmarkAPFFastEncode vs BenchmarkAPFBigEncode).
+func (t *Constructed) Encode(x, y int64) (int64, error) {
+	if x < 1 || y < 1 {
+		return 0, fmt.Errorf("%w: position (%d, %d)", ErrDomain, x, y)
+	}
+	g, start, err := t.groupOf64(x)
+	if err != nil {
+		return 0, err
+	}
+	kappa, err := t.kappaOf(g)
+	if err != nil {
+		return 0, err
+	}
+	if x-start > (maxInt64-1)/2 {
+		return 0, ErrOverflow // r alone would exceed int64
+	}
+	r := 2*(x-start) + 1
+	// odd = 2^{1+κ}·(y−1) + r; z = odd·2^g. Any overflow means the true
+	// value exceeds int64.
+	shift := 1 + kappa
+	if shift > 63 {
+		shift = 63 // shifting a nonzero y−1 by ≥ 63 overflows below anyway
+	}
+	block, err := numtheory.ShlCheck(y-1, int(shift))
+	if err != nil {
+		return 0, ErrOverflow
+	}
+	odd, err := numtheory.AddCheck(block, r)
+	if err != nil {
+		return 0, ErrOverflow
+	}
+	if g > 62 {
+		return 0, ErrOverflow
+	}
+	z, err := numtheory.ShlCheck(odd, int(g))
+	if err != nil {
+		return 0, ErrOverflow
+	}
+	return z, nil
+}
+
+// EncodeBig returns 𝒯(x, y) exactly as a big.Int, even when it overflows
+// int64 (e.g. the κ(g)=2^g family at moderate x). It returns
+// ErrUncomputable if the representation itself would be astronomically
+// large.
+func (t *Constructed) EncodeBig(x, y int64) (*big.Int, error) {
+	if x < 1 || y < 1 {
+		return nil, fmt.Errorf("%w: position (%d, %d)", ErrDomain, x, y)
+	}
+	return t.EncodeBigInt(big.NewInt(x), big.NewInt(y))
+}
+
+// EncodeBigInt is EncodeBig for rows and columns of any size.
+func (t *Constructed) EncodeBigInt(x, y *big.Int) (*big.Int, error) {
+	if x.Sign() < 1 || y.Sign() < 1 {
+		return nil, fmt.Errorf("%w: position (%s, %s)", ErrDomain, x, y)
+	}
+	g, kappa, r, err := t.residueBig(x)
+	if err != nil {
+		return nil, err
+	}
+	if 1+g+kappa > maxKappaBits {
+		return nil, fmt.Errorf("apf: %s: 2^(1+%d+%d): %w", t.name, g, kappa, ErrUncomputable)
+	}
+	odd := new(big.Int).Sub(y, big.NewInt(1))
+	odd.Lsh(odd, uint(1+kappa))
+	odd.Add(odd, r)
+	return odd.Lsh(odd, uint(g)), nil
+}
+
+// Decode implements APF. The 2-adic valuation of z identifies the group
+// (the "trailing 0's of each image integer", Theorem 4.2); the residue
+// mod 2^{1+κ(g)} identifies the row; the quotient identifies y. A preimage
+// row beyond int64 (possible for fast-growing κ, whose group fronts
+// explode) reports ErrOverflow; DecodeBig is total.
+func (t *Constructed) Decode(z int64) (int64, int64, error) {
+	if z < 1 {
+		return 0, 0, fmt.Errorf("%w: address %d", ErrDomain, z)
+	}
+	g := int64(0)
+	for z&(1<<uint(g)) == 0 {
+		g++
+	}
+	start, err := t.startOfBig(g)
+	if err != nil {
+		return 0, 0, err
+	}
+	kappa, err := t.kappaOf(g)
+	if err != nil {
+		return 0, 0, err
+	}
+	w := z >> uint(g) // odd part
+	var r, y int64
+	if kappa >= 63 {
+		r, y = w, 1
+	} else {
+		mod := int64(1) << uint(1+kappa)
+		r = w % mod
+		y = (w-r)/mod + 1
+	}
+	if !start.IsInt64() {
+		return 0, 0, fmt.Errorf("apf: %s: preimage row of %d starts past int64: %w",
+			t.name, z, ErrOverflow)
+	}
+	x, err := numtheory.AddCheck(start.Int64(), (r-1)/2)
+	if err != nil {
+		return 0, 0, fmt.Errorf("apf: %s: preimage row of %d: %w", t.name, z, ErrOverflow)
+	}
+	return x, y, nil
+}
+
+// DecodeBig inverts EncodeBigInt for addresses of any size.
+func (t *Constructed) DecodeBig(z *big.Int) (x, y *big.Int, err error) {
+	if z.Sign() < 1 {
+		return nil, nil, fmt.Errorf("%w: address %s", ErrDomain, z)
+	}
+	var g int64
+	for z.Bit(int(g)) == 0 {
+		g++
+	}
+	start, err := t.startOfBig(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	kappa, err := t.kappaOf(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	if 1+g+kappa > maxKappaBits {
+		return nil, nil, fmt.Errorf("apf: %s: 2^(1+%d+%d): %w", t.name, g, kappa, ErrUncomputable)
+	}
+	w := new(big.Int).Rsh(z, uint(g))
+	mod := new(big.Int).Lsh(big.NewInt(1), uint(1+kappa))
+	r := new(big.Int).Mod(w, mod)
+	y = new(big.Int).Sub(w, r)
+	y.Div(y, mod)
+	y.Add(y, big.NewInt(1))
+	x = new(big.Int).Sub(r, big.NewInt(1))
+	x.Rsh(x, 1)
+	x.Add(x, start)
+	return x, y, nil
+}
+
+// Base implements APF: B_x = 2^g · r.
+func (t *Constructed) Base(x int64) (int64, error) {
+	if x < 1 {
+		return 0, fmt.Errorf("%w: row %d", ErrDomain, x)
+	}
+	g, start, err := t.groupOf64(x)
+	if err != nil {
+		return 0, err
+	}
+	if g > 62 {
+		return 0, ErrOverflow
+	}
+	b, err := numtheory.ShlCheck(2*(x-start)+1, int(g))
+	if err != nil {
+		return 0, ErrOverflow
+	}
+	return b, nil
+}
+
+// Stride implements APF: S_x = 2^{1+g+κ(g)} (eq. 4.2).
+func (t *Constructed) Stride(x int64) (int64, error) {
+	if x < 1 {
+		return 0, fmt.Errorf("%w: row %d", ErrDomain, x)
+	}
+	g, kappa, err := t.Group(x)
+	if err != nil {
+		return 0, err
+	}
+	if 1+g+kappa >= 63 {
+		return 0, ErrOverflow
+	}
+	return int64(1) << uint(1+g+kappa), nil
+}
+
+// StrideBig returns S_x = 2^{1+g+κ(g)} exactly.
+func (t *Constructed) StrideBig(x int64) (*big.Int, error) {
+	if x < 1 {
+		return nil, fmt.Errorf("%w: row %d", ErrDomain, x)
+	}
+	g, kappa, err := t.Group(x)
+	if err != nil {
+		return nil, err
+	}
+	if 1+g+kappa > maxKappaBits {
+		return nil, fmt.Errorf("apf: %s: 2^(1+%d+%d): %w", t.name, g, kappa, ErrUncomputable)
+	}
+	return new(big.Int).Lsh(big.NewInt(1), uint(1+g+kappa)), nil
+}
+
+// StrideExponent returns (g, κ(g), 1+g+κ(g)) for row x: the exact base-2
+// exponent of S_x, useful when S_x itself is astronomically large.
+func (t *Constructed) StrideExponent(x int64) (g, kappa, exp int64, err error) {
+	if x < 1 {
+		return 0, 0, 0, fmt.Errorf("%w: row %d", ErrDomain, x)
+	}
+	g, kappa, err = t.Group(x)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return g, kappa, 1 + g + kappa, nil
+}
+
+// BaseBig returns B_x = 2^g · r exactly.
+func (t *Constructed) BaseBig(x int64) (*big.Int, error) {
+	if x < 1 {
+		return nil, fmt.Errorf("%w: row %d", ErrDomain, x)
+	}
+	g, _, r, err := t.residueBig(big.NewInt(x))
+	if err != nil {
+		return nil, err
+	}
+	return r.Lsh(r, uint(g)), nil
+}

@@ -1,0 +1,306 @@
+package apf
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// testFamilies returns the APFs under test, including the dangerous
+// κ(g)=2^g family for small coordinates.
+func testFamilies() []*Constructed {
+	fs := Families()
+	fs = append(fs, NewTC(4), NewTC(6), NewTPow(3), NewTExp())
+	return fs
+}
+
+// TestBijectionOnBox checks injectivity and Decode∘Encode = id on a box
+// (restricted where values overflow int64 — those positions are skipped,
+// which exercises the overflow reporting too).
+func TestBijectionOnBox(t *testing.T) {
+	for _, f := range testFamilies() {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			seen := make(map[int64][2]int64)
+			checked := 0
+			for x := int64(1); x <= 48; x++ {
+				for y := int64(1); y <= 48; y++ {
+					z, err := f.Encode(x, y)
+					if errors.Is(err, ErrOverflow) {
+						continue
+					}
+					if err != nil {
+						t.Fatalf("Encode(%d, %d): %v", x, y, err)
+					}
+					if p, dup := seen[z]; dup {
+						t.Fatalf("collision: (%d,%d) and (%d,%d) → %d", p[0], p[1], x, y, z)
+					}
+					seen[z] = [2]int64{x, y}
+					gx, gy, err := f.Decode(z)
+					if err != nil {
+						t.Fatalf("Decode(%d): %v", z, err)
+					}
+					if gx != x || gy != y {
+						t.Fatalf("Decode(Encode(%d, %d)) = (%d, %d)", x, y, gx, gy)
+					}
+					checked++
+				}
+			}
+			if checked == 0 {
+				t.Fatal("no positions checked")
+			}
+		})
+	}
+}
+
+// TestSurjectivePrefix checks that every address in an initial segment has
+// a preimage — Theorem 4.2's "every positive integer equals some power of 2
+// times some odd integer" made concrete. For fast-growing κ the preimage
+// row can exceed int64 (e.g. 𝒯^[2]'s group 9 starts past 2^64), so the big
+// path does the round trip; the int64 path must then report ErrOverflow,
+// not a wrong answer.
+func TestSurjectivePrefix(t *testing.T) {
+	for _, f := range testFamilies() {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			for z := int64(1); z <= 4096; z++ {
+				bx, by, err := f.DecodeBig(big.NewInt(z))
+				if err != nil {
+					t.Fatalf("DecodeBig(%d): %v", z, err)
+				}
+				back, err := f.EncodeBigInt(bx, by)
+				if err != nil {
+					t.Fatalf("EncodeBigInt(%s, %s): %v", bx, by, err)
+				}
+				if back.Cmp(big.NewInt(z)) != 0 {
+					t.Fatalf("Encode(Decode(%d)) = %s", z, back)
+				}
+				x, y, err := f.Decode(z)
+				if bx.IsInt64() && by.IsInt64() {
+					if err != nil || x != bx.Int64() || y != by.Int64() {
+						t.Fatalf("Decode(%d) = (%d, %d), %v; big path says (%s, %s)",
+							z, x, y, err, bx, by)
+					}
+				} else if !errors.Is(err, ErrOverflow) {
+					t.Fatalf("Decode(%d) with big preimage: err = %v, want ErrOverflow", z, err)
+				}
+			}
+		})
+	}
+}
+
+// TestTheorem42 verifies eq. 4.2 for every family (experiment E10):
+// B_x < S_x = 2^{1+g+κ(g)}, and rows are arithmetic progressions:
+// 𝒯(x, y+1) − 𝒯(x, y) = S_x, exactly, in big arithmetic.
+func TestTheorem42(t *testing.T) {
+	for _, f := range testFamilies() {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			for x := int64(1); x <= 300; x++ {
+				g, kappa, err := f.Group(x)
+				if err != nil {
+					t.Fatalf("Group(%d): %v", x, err)
+				}
+				s, err := f.StrideBig(x)
+				if errors.Is(err, ErrUncomputable) {
+					continue
+				}
+				if err != nil {
+					t.Fatalf("StrideBig(%d): %v", x, err)
+				}
+				want := new(big.Int).Lsh(big.NewInt(1), uint(1+g+kappa))
+				if s.Cmp(want) != 0 {
+					t.Fatalf("S_%d = %s ≠ 2^(1+%d+%d)", x, s, g, kappa)
+				}
+				b, err := f.BaseBig(x)
+				if err != nil {
+					t.Fatalf("BaseBig(%d): %v", x, err)
+				}
+				if b.Cmp(s) >= 0 {
+					t.Fatalf("B_%d = %s ≥ S_%d = %s", x, b, x, s)
+				}
+				if b.Sign() < 1 {
+					t.Fatalf("B_%d = %s not positive", x, b)
+				}
+				// Arithmetic-progression law for a few y.
+				prev, err := f.EncodeBig(x, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if prev.Cmp(b) != 0 {
+					t.Fatalf("𝒯(%d, 1) = %s ≠ B_x = %s", x, prev, b)
+				}
+				for y := int64(2); y <= 5; y++ {
+					cur, err := f.EncodeBig(x, y)
+					if err != nil {
+						t.Fatal(err)
+					}
+					diff := new(big.Int).Sub(cur, prev)
+					if diff.Cmp(s) != 0 {
+						t.Fatalf("𝒯(%d, %d) − 𝒯(%d, %d) = %s ≠ S_x = %s",
+							x, y, x, y-1, diff, s)
+					}
+					prev = cur
+				}
+			}
+		})
+	}
+}
+
+// TestEncodeBigMatchesEncode cross-validates the two encode paths wherever
+// int64 succeeds.
+func TestEncodeBigMatchesEncode(t *testing.T) {
+	for _, f := range testFamilies() {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			check := func(a, b uint16) bool {
+				x, y := int64(a)+1, int64(b)+1
+				z, err := f.Encode(x, y)
+				if err != nil {
+					return true // overflow path exercised elsewhere
+				}
+				bz, err := f.EncodeBig(x, y)
+				return err == nil && bz.IsInt64() && bz.Int64() == z
+			}
+			if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestDecodeBigRoundTrip round-trips addresses too large for int64.
+func TestDecodeBigRoundTrip(t *testing.T) {
+	for _, f := range testFamilies() {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			for _, pos := range [][2]int64{{1, 1}, {7, 1 << 40}, {33, 12345}, {100, 3}} {
+				z, err := f.EncodeBig(pos[0], pos[1])
+				if errors.Is(err, ErrUncomputable) {
+					continue
+				}
+				if err != nil {
+					t.Fatalf("EncodeBig(%d, %d): %v", pos[0], pos[1], err)
+				}
+				x, y, err := f.DecodeBig(z)
+				if err != nil {
+					t.Fatalf("DecodeBig(%s): %v", z, err)
+				}
+				if !x.IsInt64() || !y.IsInt64() || x.Int64() != pos[0] || y.Int64() != pos[1] {
+					t.Errorf("round trip (%d, %d) → %s → (%s, %s)", pos[0], pos[1], z, x, y)
+				}
+			}
+		})
+	}
+}
+
+// TestDomainErrors checks rejection of out-of-domain arguments.
+func TestDomainErrors(t *testing.T) {
+	f := NewTHash()
+	if _, err := f.Encode(0, 1); !errors.Is(err, ErrDomain) {
+		t.Errorf("Encode(0, 1): %v", err)
+	}
+	if _, err := f.Encode(1, 0); !errors.Is(err, ErrDomain) {
+		t.Errorf("Encode(1, 0): %v", err)
+	}
+	if _, _, err := f.Decode(0); !errors.Is(err, ErrDomain) {
+		t.Errorf("Decode(0): %v", err)
+	}
+	if _, err := f.Base(-1); !errors.Is(err, ErrDomain) {
+		t.Errorf("Base(-1): %v", err)
+	}
+	if _, err := f.Stride(0); !errors.Is(err, ErrDomain) {
+		t.Errorf("Stride(0): %v", err)
+	}
+	if _, _, err := f.Group(0); !errors.Is(err, ErrDomain) {
+		t.Errorf("Group(0): %v", err)
+	}
+	if _, err := f.EncodeBig(0, 1); !errors.Is(err, ErrDomain) {
+		t.Errorf("EncodeBig(0, 1): %v", err)
+	}
+	if _, _, err := f.DecodeBig(big.NewInt(-5)); !errors.Is(err, ErrDomain) {
+		t.Errorf("DecodeBig(-5): %v", err)
+	}
+}
+
+// TestGroupLayout verifies eq. 4.3 directly: group g's rows are the
+// contiguous block of 2^κ(g) indices after Σ_{j<g} 2^κ(j).
+func TestGroupLayout(t *testing.T) {
+	for _, f := range []*Constructed{NewTC(3), NewTHash(), NewTStar(), NewTPow(2)} {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			start := int64(1)
+			for g := int64(0); start <= 2000; g++ {
+				kappa := f.kappa(g)
+				size := int64(1) << uint(kappa)
+				for x := start; x < start+size && x <= 2000; x++ {
+					gg, kk, err := f.Group(x)
+					if err != nil {
+						t.Fatalf("Group(%d): %v", x, err)
+					}
+					if gg != g || kk != kappa {
+						t.Fatalf("Group(%d) = (%d, %d), want (%d, %d)", x, gg, kk, g, kappa)
+					}
+				}
+				start += size
+			}
+		})
+	}
+}
+
+// TestConcurrentAccess exercises the lazy prefix table under concurrency
+// (run with -race).
+func TestConcurrentAccess(t *testing.T) {
+	f := NewTStar()
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			for x := int64(1); x <= 500; x++ {
+				z, err := f.Encode(x, int64(w)+1)
+				if err != nil {
+					done <- err
+					return
+				}
+				gx, gy, err := f.Decode(z)
+				if err != nil || gx != x || gy != int64(w)+1 {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestKappaValidation checks that a negative κ is reported, not silently
+// misused.
+func TestKappaValidation(t *testing.T) {
+	f := New("bad", func(g int64) int64 { return -1 }, nil)
+	if _, err := f.Encode(1, 1); err == nil {
+		t.Error("negative κ should be an error")
+	}
+}
+
+// TestConstructorPanics checks family constructor validation.
+func TestConstructorPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewTC(0) },
+		func() { NewTC(63) },
+		func() { NewTPow(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

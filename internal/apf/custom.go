@@ -1,0 +1,110 @@
+package apf
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// NewCustom returns the APF built from an explicit leading group plan plus
+// a tail rule: group g has copy index plan[g] for g < len(plan) and
+// tail(g) beyond — Step 1 of Procedure APF-Constructor in full generality
+// ("with any desired mix of equal-size and distinct-size groups"). The
+// plan entries and tail values must be ≥ 0; tail must be non-nil.
+//
+// Example: NewCustom("burst", []int64{6, 0, 0}, func(g int64) int64 {
+// return g }) opens with one 64-row group, two singleton groups, then
+// grows like 𝒯^#.
+func NewCustom(name string, plan []int64, tail Kappa) (*Constructed, error) {
+	if tail == nil {
+		return nil, fmt.Errorf("apf: NewCustom(%q): tail rule is required", name)
+	}
+	for g, k := range plan {
+		if k < 0 {
+			return nil, fmt.Errorf("apf: NewCustom(%q): plan[%d] = %d is negative", name, g, k)
+		}
+	}
+	fixed := append([]int64(nil), plan...)
+	return New(name, func(g int64) int64 {
+		if g < int64(len(fixed)) {
+			return fixed[g]
+		}
+		return tail(g)
+	}, nil), nil
+}
+
+// VerifyAPF checks, on a bounded region, the two laws that make any
+// 𝒯: N×N → N a valid additive pairing function:
+//
+//  1. additivity — every row is an arithmetic progression with
+//     Base(x) < Stride(x) (Theorem 4.2's shape), checked for x ≤ rows,
+//     y ≤ cols;
+//  2. bijectivity on a prefix — every address z ≤ prefix has exactly one
+//     preimage, and Encode(Decode(z)) = z.
+//
+// Values beyond int64 are checked through the exact big paths. VerifyAPF
+// is how the tests certify user-supplied custom groupings without trusting
+// the constructor.
+func VerifyAPF(t *Constructed, rows, cols, prefix int64) error {
+	if rows < 1 || cols < 2 || prefix < 1 {
+		return fmt.Errorf("apf: VerifyAPF(%d, %d, %d): region too small", rows, cols, prefix)
+	}
+	seen := make(map[string][2]int64, rows*cols)
+	for x := int64(1); x <= rows; x++ {
+		s, err := t.StrideBig(x)
+		if err != nil {
+			return fmt.Errorf("apf: VerifyAPF: StrideBig(%d): %w", x, err)
+		}
+		b, err := t.BaseBig(x)
+		if err != nil {
+			return fmt.Errorf("apf: VerifyAPF: BaseBig(%d): %w", x, err)
+		}
+		if b.Sign() < 1 || b.Cmp(s) >= 0 {
+			return fmt.Errorf("apf: VerifyAPF: row %d: base %s outside (0, stride %s)", x, b, s)
+		}
+		prev := new(big.Int).Set(b)
+		for y := int64(1); y <= cols; y++ {
+			z, err := t.EncodeBig(x, y)
+			if err != nil {
+				return fmt.Errorf("apf: VerifyAPF: Encode(%d, %d): %w", x, y, err)
+			}
+			if y == 1 {
+				if z.Cmp(b) != 0 {
+					return fmt.Errorf("apf: VerifyAPF: 𝒯(%d, 1) = %s ≠ Base = %s", x, z, b)
+				}
+			} else {
+				diff := new(big.Int).Sub(z, prev)
+				if diff.Cmp(s) != 0 {
+					return fmt.Errorf("apf: VerifyAPF: row %d not additive at y = %d: step %s ≠ stride %s",
+						x, y, diff, s)
+				}
+			}
+			prev.Set(z)
+			key := z.String()
+			if p, dup := seen[key]; dup {
+				return fmt.Errorf("apf: VerifyAPF: collision: (%d, %d) and (%d, %d) → %s",
+					p[0], p[1], x, y, z)
+			}
+			seen[key] = [2]int64{x, y}
+		}
+	}
+	// Bijectivity on the prefix.
+	z := new(big.Int)
+	for v := int64(1); v <= prefix; v++ {
+		z.SetInt64(v)
+		x, y, err := t.DecodeBig(z)
+		if err != nil {
+			return fmt.Errorf("apf: VerifyAPF: Decode(%d): %w", v, err)
+		}
+		if x.Sign() < 1 || y.Sign() < 1 {
+			return fmt.Errorf("apf: VerifyAPF: Decode(%d) = (%s, %s) outside N×N", v, x, y)
+		}
+		back, err := t.EncodeBigInt(x, y)
+		if err != nil {
+			return fmt.Errorf("apf: VerifyAPF: re-encode of %d: %w", v, err)
+		}
+		if back.Cmp(z) != 0 {
+			return fmt.Errorf("apf: VerifyAPF: Encode(Decode(%d)) = %s", v, back)
+		}
+	}
+	return nil
+}

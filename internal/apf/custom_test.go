@@ -1,0 +1,105 @@
+package apf
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestVerifyAPFAcceptsFamilies certifies every built-in family through the
+// generic validator.
+func TestVerifyAPFAcceptsFamilies(t *testing.T) {
+	for _, f := range Families() {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			if err := VerifyAPF(f, 64, 8, 2048); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestCustomGroupings exercises §4.1 Step 1's freedom: arbitrary mixes of
+// equal-size and distinct-size groups all yield valid APFs (Theorem 4.2).
+func TestCustomGroupings(t *testing.T) {
+	cases := []struct {
+		name string
+		plan []int64
+		tail Kappa
+	}{
+		{"burst-then-hash", []int64{6, 0, 0}, func(g int64) int64 { return g }},
+		{"alternating", []int64{1, 3, 1, 3, 1, 3}, func(g int64) int64 { return 2 }},
+		{"empty-plan", nil, func(g int64) int64 { return g / 2 }},
+		{"front-heavy", []int64{10}, func(g int64) int64 { return 0 }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			f, err := NewCustom(c.name, c.plan, c.tail)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyAPF(f, 48, 6, 1024); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestCustomGroupLayout checks the plan actually drives the group sizes.
+func TestCustomGroupLayout(t *testing.T) {
+	f, err := NewCustom("burst", []int64{3, 0, 2}, func(g int64) int64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Groups: sizes 8, 1, 4, then 2, 2, 2, …; starts 1, 9, 10, 14, 16, …
+	wantStarts := []int64{1, 9, 10, 14, 16, 18}
+	for g, want := range wantStarts {
+		got, err := GroupFront(f, int64(g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("start(%d) = %d, want %d", g, got, want)
+		}
+	}
+	// Row 12 lies in group 2 (κ = 2).
+	g, kappa, err := f.Group(12)
+	if err != nil || g != 2 || kappa != 2 {
+		t.Errorf("Group(12) = (%d, %d), %v; want (2, 2)", g, kappa, err)
+	}
+}
+
+// TestNewCustomValidation covers rejection paths.
+func TestNewCustomValidation(t *testing.T) {
+	if _, err := NewCustom("x", nil, nil); err == nil {
+		t.Error("nil tail should fail")
+	}
+	if _, err := NewCustom("x", []int64{1, -2}, func(int64) int64 { return 0 }); err == nil {
+		t.Error("negative plan entry should fail")
+	}
+}
+
+// TestVerifyAPFRejects checks the validator catches a non-additive and a
+// colliding construction (built by bypassing the constructor's κ
+// discipline with an inconsistent lookup).
+func TestVerifyAPFRejects(t *testing.T) {
+	// A lookup that assigns two different rows to the same group position
+	// breaks injectivity; VerifyAPF must notice.
+	bad := New("bad-lookup", func(g int64) int64 { return 1 },
+		func(x int64) (int64, bool) { return 0, true }) // every row in group 0
+	err := VerifyAPF(bad, 8, 4, 64)
+	// Rows past the group's capacity get residues ≥ 2^{1+κ}, which the
+	// validator reports either as base ≥ stride or as a collision,
+	// whichever it reaches first.
+	if err == nil ||
+		!(strings.Contains(err.Error(), "collision") || strings.Contains(err.Error(), "base")) {
+		t.Errorf("expected a base/collision report, got %v", err)
+	}
+	// Region validation.
+	if err := VerifyAPF(NewTHash(), 0, 4, 64); err == nil {
+		t.Error("rows = 0 should fail")
+	}
+	if err := VerifyAPF(NewTHash(), 4, 1, 64); err == nil {
+		t.Error("cols = 1 should fail (additivity needs 2 points)")
+	}
+}

@@ -1,0 +1,85 @@
+package apf
+
+import "testing"
+
+// TestDominanceIntervalsT3 maps the complete dominance structure of
+// 𝒯^<3> vs 𝒯^# up to 256, pinning the E13 finding at full resolution.
+func TestDominanceIntervalsT3(t *testing.T) {
+	got, err := DominanceIntervals(NewTC(3), NewTHash(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute the expected intervals directly from the stride formulas:
+	// S^<3>_x = 2^{⌊(x−1)/4⌋+3}, S^#_x = 2^{1+2⌊log₂ x⌋}.
+	exp := func(x int64) int64 { return (x-1)/4 + 3 }
+	hxp := func(x int64) int64 {
+		lg := int64(0)
+		for v := x; v > 1; v >>= 1 {
+			lg++
+		}
+		return 1 + 2*lg
+	}
+	var want []Interval
+	openLo := int64(-1)
+	for x := int64(1); x <= 256; x++ {
+		if exp(x) >= hxp(x) {
+			if openLo < 0 {
+				openLo = x
+			}
+		} else if openLo >= 0 {
+			want = append(want, Interval{openLo, x - 1})
+			openLo = -1
+		}
+	}
+	if openLo >= 0 {
+		want = append(want, Interval{openLo, 256})
+	}
+	if len(got) != len(want) {
+		t.Fatalf("intervals %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("interval %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+	// The structural facts the paper's §4.2.2 narrative implies:
+	// equality/dominance holds on [25, 31], breaks at 32, and the final
+	// interval starts at 33 and reaches the limit.
+	last := got[len(got)-1]
+	if last.Lo != 33 || last.Hi != 256 {
+		t.Errorf("final interval %v, want [33, 256]", last)
+	}
+	covered := func(x int64) bool {
+		for _, iv := range got {
+			if x >= iv.Lo && x <= iv.Hi {
+				return true
+			}
+		}
+		return false
+	}
+	if !covered(25) || !covered(31) {
+		t.Error("[25, 31] should be dominated")
+	}
+	if covered(32) {
+		t.Error("x = 32 must be the dip")
+	}
+}
+
+// TestDominanceIntervalsT1 cross-checks Crossover: a single interval
+// [5, limit] (after the small-x noise below 5).
+func TestDominanceIntervalsT1(t *testing.T) {
+	got, err := DominanceIntervals(NewTC(1), NewTHash(), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no dominance intervals")
+	}
+	last := got[len(got)-1]
+	if last.Lo != 5 || last.Hi != 128 {
+		t.Errorf("final interval %v, want [5, 128]", last)
+	}
+	if _, err := DominanceIntervals(NewTC(1), NewTHash(), 0); err == nil {
+		t.Error("limit 0 should fail")
+	}
+}

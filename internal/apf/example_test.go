@@ -1,0 +1,58 @@
+package apf_test
+
+import (
+	"fmt"
+
+	"pairfn/internal/apf"
+)
+
+func ExampleNewTHash() {
+	t := apf.NewTHash()
+	// Volunteer 28's first tasks — the Fig. 6 row.
+	for y := int64(1); y <= 5; y++ {
+		z, _ := t.Encode(28, y)
+		fmt.Print(z, " ")
+	}
+	fmt.Println()
+	// Output: 400 912 1424 1936 2448
+}
+
+func ExampleConstructed_Decode() {
+	t := apf.NewTHash()
+	// Who computed task 1424? One inversion answers.
+	v, seq, _ := t.Decode(1424)
+	fmt.Printf("volunteer %d, their task #%d\n", v, seq)
+	// Output: volunteer 28, their task #3
+}
+
+func ExampleConstructed_Stride() {
+	t := apf.NewTStar()
+	b, _ := t.Base(29)
+	s, _ := t.Stride(29)
+	fmt.Println(b, s) // Fig. 6's 𝒯^★ row for x = 29
+	// Output: 344 512
+}
+
+func ExampleCrossover() {
+	x0, _, _ := apf.Crossover(apf.NewTC(2), apf.NewTHash(), 1024)
+	fmt.Println(x0) // §4.2.2: 𝒯^<2>'s strides dominate 𝒯^#'s from 11 on
+	// Output: 11
+}
+
+func ExampleNew() {
+	// Procedure APF-Constructor with a custom copy index κ(g) = 3g.
+	t := apf.New("T3g", func(g int64) int64 { return 3 * g }, nil)
+	// Groups hold 1, 8, 64, 512, … rows, starting at 1, 2, 10, 74, …
+	g, kappa, _ := t.Group(100)
+	fmt.Println(g, kappa)
+	// Output: 3 9
+}
+
+func ExampleNewCustom() {
+	// One 64-row opening group, then 𝒯#-style growth.
+	t, _ := apf.NewCustom("burst", []int64{6}, func(g int64) int64 { return g })
+	s1, _ := t.Stride(1)
+	s64, _ := t.Stride(64)
+	fmt.Println(s1 == s64) // both rows share the big opening group
+	// Output: true
+}

@@ -1,0 +1,111 @@
+package apf
+
+import (
+	"fmt"
+
+	"pairfn/internal/numtheory"
+)
+
+// NewTC returns 𝒯^<c> (§4.2.1): Procedure APF-Constructor with equal-size
+// groups, κ(g) ≡ c−1, so group g = ⌊(x−1)/2^{c−1}⌋ holds 2^{c−1} rows and
+//
+//	𝒯^<c>(x, y) = 2^{⌊(x−1)/2^{c−1}⌋} · (2^c·(y−1) + (2x−1 mod 2^c)).
+//
+// Strides grow exponentially with x (Prop 4.1): S_x = 2^{⌊(x−1)/2^{c−1}⌋+c}.
+// Larger c penalizes a few low-index rows but gives all others smaller
+// bases and strides. c must be ≥ 1 and ≤ 62.
+func NewTC(c int) *Constructed {
+	if c < 1 || c > 62 {
+		panic(fmt.Sprintf("apf: NewTC(%d): c must be in [1, 62]", c))
+	}
+	groupSize := int64(1) << uint(c-1)
+	return New(
+		fmt.Sprintf("T<%d>", c),
+		func(g int64) int64 { return int64(c - 1) },
+		func(x int64) (int64, bool) { return (x - 1) / groupSize, true },
+	)
+}
+
+// NewTHash returns 𝒯^# (§4.2.2, eq. 4.6): κ(g) = g, which aggregates rows
+// into groups of exponentially growing sizes — group g holds rows
+// 2^g … 2^{g+1}−1, so g = ⌊log₂ x⌋ (eq. 4.5) and
+//
+//	𝒯^#(x, y) = 2^{⌊log x⌋} · (2^{1+⌊log x⌋}·(y−1) + (2x+1 mod 2^{1+⌊log x⌋})).
+//
+// Bases and strides grow only quadratically (Prop 4.2):
+// S_x = 2^{1+2⌊log x⌋} ≤ 2x².
+func NewTHash() *Constructed {
+	return New(
+		"T#",
+		func(g int64) int64 { return g },
+		func(x int64) (int64, bool) { return int64(numtheory.Log2Floor(x)), true },
+	)
+}
+
+// NewTPow returns 𝒯^[k] (§4.2.3): κ(g) = g^k, whose strides grow
+// subquadratically, S_x = x·2^{O((log x)^{1/k})} (Prop 4.3). No closed form
+// for the group of x is known ("closed-form expressions … have eluded us"),
+// so group lookup uses the constructor's prefix-sum search. k must be ≥ 1.
+func NewTPow(k int) *Constructed {
+	if k < 1 {
+		panic(fmt.Sprintf("apf: NewTPow(%d): k must be ≥ 1", k))
+	}
+	return New(
+		fmt.Sprintf("T[%d]", k),
+		func(g int64) int64 {
+			p := int64(1)
+			for i := 0; i < k; i++ {
+				var err error
+				p, err = numtheory.MulCheck(p, g)
+				if err != nil {
+					return int64(1) << 62 // saturate: group is unreachably large
+				}
+			}
+			return p
+		},
+		nil,
+	)
+}
+
+// NewTStar returns 𝒯^★ (§4.2.3): κ(g) = ⌈g²/2⌉, a close relative of 𝒯^[2]
+// that exhibits subquadratic stride growth at much smaller x:
+// S_x ≈ 8x·4^{√(2 log x)} (Prop 4.4).
+func NewTStar() *Constructed {
+	return New(
+		"T*",
+		func(g int64) int64 {
+			sq, err := numtheory.MulCheck(g, g)
+			if err != nil {
+				return int64(1) << 62
+			}
+			return (sq + 1) / 2 // ⌈g²/2⌉
+		},
+		nil,
+	)
+}
+
+// NewTExp returns the cautionary family of §4.2.3's closing discussion:
+// κ(g) = 2^g grows so fast that the strides of the resulting APF grow
+// superquadratically — at each group front x ≈ √(2^κ(g)) the stride is
+// S_x > 2^κ(g)·κ(g) ≈ x²·log x — confuting the goal of beating quadratic
+// growth.
+func NewTExp() *Constructed {
+	return New(
+		"Texp",
+		func(g int64) int64 {
+			if g >= 62 {
+				return int64(1) << 62
+			}
+			return int64(1) << uint(g)
+		},
+		nil,
+	)
+}
+
+// Families returns the paper's named APF families in presentation order:
+// 𝒯^<1>, 𝒯^<2>, 𝒯^<3>, 𝒯^#, 𝒯^[2], 𝒯^★. Useful for sweeps and tables.
+func Families() []*Constructed {
+	return []*Constructed{
+		NewTC(1), NewTC(2), NewTC(3), NewTHash(), NewTPow(2), NewTStar(),
+	}
+}

@@ -1,0 +1,89 @@
+package apf
+
+import "testing"
+
+// fig6 transcribes Fig. 6 of the paper verbatim: sample values 𝒯(x, y) for
+// y = 1..5 of four APFs, together with the group index g of each row.
+var fig6 = []struct {
+	family string
+	x      int64
+	g      int64
+	vals   [5]int64
+}{
+	{"T<1>", 14, 13, [5]int64{8192, 24576, 40960, 57344, 73728}},
+	{"T<1>", 15, 14, [5]int64{16384, 49152, 81920, 114688, 147456}},
+	{"T<3>", 14, 3, [5]int64{24, 88, 152, 216, 280}},
+	{"T<3>", 15, 3, [5]int64{40, 104, 168, 232, 296}},
+	{"T<3>", 28, 6, [5]int64{448, 960, 1472, 1984, 2496}},
+	{"T<3>", 29, 7, [5]int64{128, 1152, 2176, 3200, 4224}},
+	{"T#", 28, 4, [5]int64{400, 912, 1424, 1936, 2448}},
+	{"T#", 29, 4, [5]int64{432, 944, 1456, 1968, 2480}},
+	{"T*", 28, 3, [5]int64{328, 840, 1352, 1864, 2376}},
+	{"T*", 29, 3, [5]int64{344, 856, 1368, 1880, 2392}},
+}
+
+func familyByName(t *testing.T, name string) *Constructed {
+	t.Helper()
+	switch name {
+	case "T<1>":
+		return NewTC(1)
+	case "T<3>":
+		return NewTC(3)
+	case "T#":
+		return NewTHash()
+	case "T*":
+		return NewTStar()
+	}
+	t.Fatalf("unknown family %q", name)
+	return nil
+}
+
+// TestFig6Exact reproduces every value and group index in Fig. 6
+// (experiment E5).
+func TestFig6Exact(t *testing.T) {
+	for _, row := range fig6 {
+		f := familyByName(t, row.family)
+		g, _, err := f.Group(row.x)
+		if err != nil {
+			t.Fatalf("%s: Group(%d): %v", row.family, row.x, err)
+		}
+		if g != row.g {
+			t.Errorf("%s: group of x = %d is %d, paper says %d", row.family, row.x, g, row.g)
+		}
+		for j, want := range row.vals {
+			y := int64(j + 1)
+			got, err := f.Encode(row.x, y)
+			if err != nil {
+				t.Fatalf("%s(%d, %d): %v", row.family, row.x, y, err)
+			}
+			if got != want {
+				t.Errorf("%s(%d, %d) = %d, paper says %d", row.family, row.x, y, got, want)
+			}
+		}
+	}
+}
+
+// TestFig6Strides checks that consecutive Fig. 6 values differ by exactly
+// Stride(x), i.e. the table rows really are arithmetic progressions.
+func TestFig6Strides(t *testing.T) {
+	for _, row := range fig6 {
+		f := familyByName(t, row.family)
+		s, err := f.Stride(row.x)
+		if err != nil {
+			t.Fatalf("%s: Stride(%d): %v", row.family, row.x, err)
+		}
+		for j := 1; j < len(row.vals); j++ {
+			if diff := row.vals[j] - row.vals[j-1]; diff != s {
+				t.Errorf("%s row %d: consecutive difference %d ≠ stride %d",
+					row.family, row.x, diff, s)
+			}
+		}
+		b, err := f.Base(row.x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b != row.vals[0] {
+			t.Errorf("%s: Base(%d) = %d, want %d", row.family, row.x, b, row.vals[0])
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package apf
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+)
+
+// FuzzAPFRoundTrip checks the bijection laws on arbitrary coordinates for
+// the practical families, with overflow reported rather than wrapped.
+func FuzzAPFRoundTrip(f *testing.F) {
+	f.Add(int64(1), int64(1))
+	f.Add(int64(28), int64(5))
+	f.Add(int64(1<<20), int64(1<<20))
+	f.Fuzz(func(t *testing.T, a, b int64) {
+		x := a % (1 << 22)
+		if x < 0 {
+			x = -x
+		}
+		x++
+		y := b % (1 << 22)
+		if y < 0 {
+			y = -y
+		}
+		y++
+		for _, fam := range []*Constructed{NewTC(3), NewTHash(), NewTStar()} {
+			z, err := fam.Encode(x, y)
+			if errors.Is(err, ErrOverflow) {
+				// The exact value must indeed exceed int64.
+				bz, err := fam.EncodeBig(x, y)
+				if err != nil {
+					t.Fatalf("%s: EncodeBig(%d, %d): %v", fam.Name(), x, y, err)
+				}
+				if bz.IsInt64() {
+					t.Fatalf("%s: Encode(%d, %d) claimed overflow for %s", fam.Name(), x, y, bz)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s: Encode(%d, %d): %v", fam.Name(), x, y, err)
+			}
+			gx, gy, err := fam.Decode(z)
+			if err != nil || gx != x || gy != y {
+				t.Fatalf("%s: (%d, %d) → %d → (%d, %d), %v", fam.Name(), x, y, z, gx, gy, err)
+			}
+		}
+	})
+}
+
+// FuzzAPFDecodeTotal: every positive int64 address has a preimage (maybe
+// beyond int64 — then the big path must deliver it).
+func FuzzAPFDecodeTotal(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(512))
+	f.Add(int64(3) << 40)
+	f.Fuzz(func(t *testing.T, z int64) {
+		if z < 1 {
+			z = -z%(1<<50) + 1
+		}
+		for _, fam := range []*Constructed{NewTC(2), NewTHash(), NewTPow(2)} {
+			bx, by, err := fam.DecodeBig(big.NewInt(z))
+			if err != nil {
+				t.Fatalf("%s: DecodeBig(%d): %v", fam.Name(), z, err)
+			}
+			back, err := fam.EncodeBigInt(bx, by)
+			if err != nil || back.Cmp(big.NewInt(z)) != 0 {
+				t.Fatalf("%s: Encode(Decode(%d)) = %s, %v", fam.Name(), z, back, err)
+			}
+		}
+	})
+}

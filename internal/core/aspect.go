@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"pairfn/internal/numtheory"
+)
+
+// Aspect is the aspect-ratio pairing function 𝒜_{a,b} of §3.2.1. Its shells
+// follow the nested ak×bk arrays: shell k comprises the positions of the
+// a·k × b·k array that are not in the a(k−1) × b(k−1) array. Enumeration
+// inside shell k covers the b new columns first (each column of height ak,
+// taken bottom-up in x), then the a new rows (each of length b(k−1)).
+//
+// 𝒜_{a,b} manages storage perfectly for its aspect ratio (eq. 3.2): every
+// position of an ak×bk array receives an address ≤ abk², the array's exact
+// size, so S_{𝒜_{a,b}}(n) = n over conforming arrays.
+type Aspect struct {
+	a, b int64
+}
+
+// NewAspect returns the PF 𝒜_{a,b}. Both a and b must be ≥ 1.
+func NewAspect(a, b int64) (*Aspect, error) {
+	if a < 1 || b < 1 {
+		return nil, fmt.Errorf("%w: aspect ratio (%d, %d)", ErrDomain, a, b)
+	}
+	return &Aspect{a: a, b: b}, nil
+}
+
+// MustAspect is NewAspect with a panic on error.
+func MustAspect(a, b int64) *Aspect {
+	f, err := NewAspect(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Ratio returns the aspect ratio ⟨a, b⟩ the PF favors.
+func (f *Aspect) Ratio() (a, b int64) { return f.a, f.b }
+
+// Name implements PF.
+func (f *Aspect) Name() string { return fmt.Sprintf("aspect-%dx%d", f.a, f.b) }
+
+// shellOf returns the shell index of ⟨x, y⟩: the smallest k with x ≤ ak and
+// y ≤ bk.
+func (f *Aspect) shellOf(x, y int64) int64 {
+	k := numtheory.CeilDiv(x, f.a)
+	if k2 := numtheory.CeilDiv(y, f.b); k2 > k {
+		k = k2
+	}
+	return k
+}
+
+// Encode implements PF.
+func (f *Aspect) Encode(x, y int64) (int64, error) {
+	if err := checkPos(x, y); err != nil {
+		return 0, err
+	}
+	k := f.shellOf(x, y)
+	ab, err := numtheory.MulCheck(f.a, f.b)
+	if err != nil {
+		return 0, err
+	}
+	km1sq, err := numtheory.MulCheck(k-1, k-1)
+	if err != nil {
+		return 0, err
+	}
+	base, err := numtheory.MulCheck(ab, km1sq) // positions of the (k−1) array
+	if err != nil {
+		return 0, err
+	}
+	if y > f.b*(k-1) {
+		// New-columns arm: column y−b(k−1) of b, height a·k.
+		col := y - f.b*(k-1) - 1
+		ak, err := numtheory.MulCheck(f.a, k)
+		if err != nil {
+			return 0, err
+		}
+		off, err := numtheory.MulCheck(col, ak)
+		if err != nil {
+			return 0, err
+		}
+		z, err := numtheory.AddCheck(base, off)
+		if err != nil {
+			return 0, err
+		}
+		return numtheory.AddCheck(z, x)
+	}
+	// New-rows arm: row x−a(k−1) of a, length b(k−1); preceded by the
+	// ab·k positions of the new-columns arm.
+	abk, err := numtheory.MulCheck(ab, k)
+	if err != nil {
+		return 0, err
+	}
+	base, err = numtheory.AddCheck(base, abk)
+	if err != nil {
+		return 0, err
+	}
+	row := x - f.a*(k-1) - 1
+	off, err := numtheory.MulCheck(row, f.b*(k-1))
+	if err != nil {
+		return 0, err
+	}
+	z, err := numtheory.AddCheck(base, off)
+	if err != nil {
+		return 0, err
+	}
+	return numtheory.AddCheck(z, y)
+}
+
+// Decode implements PF.
+func (f *Aspect) Decode(z int64) (int64, int64, error) {
+	if err := checkAddr(z); err != nil {
+		return 0, 0, err
+	}
+	ab := f.a * f.b
+	// Smallest k with abk² ≥ z. An overflowing abk² is certainly ≥ z.
+	k := numtheory.Isqrt((z - 1) / ab)
+	for {
+		sq, err := numtheory.MulCheck(k, k)
+		if err == nil {
+			sq, err = numtheory.MulCheck(ab, sq)
+		}
+		if err != nil || sq >= z {
+			break
+		}
+		k++
+	}
+	r := z - ab*(k-1)*(k-1) // 1 … ab(2k−1)
+	if r <= ab*k {
+		// New-columns arm.
+		ak := f.a * k
+		y := f.b*(k-1) + 1 + (r-1)/ak
+		x := (r-1)%ak + 1
+		return x, y, nil
+	}
+	r -= ab * k
+	bk1 := f.b * (k - 1)
+	x := f.a*(k-1) + 1 + (r-1)/bk1
+	y := (r-1)%bk1 + 1
+	return x, y, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestAspectPerfectCompactness verifies eq. 3.2 (experiment E7): 𝒜_{a,b}
+// maps every position of an ak×bk array to an address ≤ abk² — perfect
+// storage utilization for the favored aspect ratio.
+func TestAspectPerfectCompactness(t *testing.T) {
+	ratios := [][2]int64{{1, 1}, {1, 2}, {2, 1}, {2, 3}, {3, 2}, {4, 7}, {1, 5}}
+	for _, r := range ratios {
+		a, b := r[0], r[1]
+		f := MustAspect(a, b)
+		for k := int64(1); k <= 12; k++ {
+			size := a * b * k * k
+			var maxAddr int64
+			for x := int64(1); x <= a*k; x++ {
+				for y := int64(1); y <= b*k; y++ {
+					z := MustEncode(f, x, y)
+					if z > maxAddr {
+						maxAddr = z
+					}
+				}
+			}
+			if maxAddr != size {
+				t.Errorf("%s: max address over %d×%d = %d, want exactly %d",
+					f.Name(), a*k, b*k, maxAddr, size)
+			}
+		}
+	}
+}
+
+// TestAspectShellNesting checks that shell k of 𝒜_{a,b} occupies exactly
+// the address interval (ab(k−1)², abk²].
+func TestAspectShellNesting(t *testing.T) {
+	f := MustAspect(2, 3)
+	a, b := f.Ratio()
+	for k := int64(1); k <= 8; k++ {
+		lo, hi := a*b*(k-1)*(k-1), a*b*k*k
+		seen := make(map[int64]bool)
+		for x := int64(1); x <= a*k; x++ {
+			for y := int64(1); y <= b*k; y++ {
+				if x <= a*(k-1) && y <= b*(k-1) {
+					continue // previous shells
+				}
+				z := MustEncode(f, x, y)
+				if z <= lo || z > hi {
+					t.Fatalf("shell %d: (%d, %d) → %d outside (%d, %d]", k, x, y, z, lo, hi)
+				}
+				if seen[z] {
+					t.Fatalf("shell %d: duplicate address %d", k, z)
+				}
+				seen[z] = true
+			}
+		}
+		if int64(len(seen)) != hi-lo {
+			t.Fatalf("shell %d: %d addresses, want %d", k, len(seen), hi-lo)
+		}
+	}
+}
+
+// TestAspectRoundTripProperty quick-checks the bijection law for random
+// ratios and positions.
+func TestAspectRoundTripProperty(t *testing.T) {
+	f := func(ar, br uint8, xr, yr uint16) bool {
+		a, b := int64(ar%6)+1, int64(br%6)+1
+		x, y := int64(xr)+1, int64(yr)+1
+		pf := MustAspect(a, b)
+		z, err := pf.Encode(x, y)
+		if err != nil {
+			return false
+		}
+		gx, gy, err := pf.Decode(z)
+		return err == nil && gx == x && gy == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAspectInvalid checks constructor validation.
+func TestAspectInvalid(t *testing.T) {
+	if _, err := NewAspect(0, 1); err == nil {
+		t.Error("NewAspect(0, 1) should fail")
+	}
+	if _, err := NewAspect(1, -2); err == nil {
+		t.Error("NewAspect(1, -2) should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAspect(0, 0) did not panic")
+		}
+	}()
+	MustAspect(0, 0)
+}
+
+// TestAspect11IsPerfectOnSquares sanity-checks that 𝒜₁,₁ via the Aspect
+// construction shares the square-shell PF's perfect compactness even though
+// the within-shell walk differs from eq. 3.3's.
+func TestAspect11IsPerfectOnSquares(t *testing.T) {
+	f := MustAspect(1, 1)
+	for n := int64(1); n <= 20; n++ {
+		var maxAddr int64
+		for x := int64(1); x <= n; x++ {
+			for y := int64(1); y <= n; y++ {
+				if z := MustEncode(f, x, y); z > maxAddr {
+					maxAddr = z
+				}
+			}
+		}
+		if maxAddr != n*n {
+			t.Errorf("n = %d: max = %d, want %d", n, maxAddr, n*n)
+		}
+	}
+}

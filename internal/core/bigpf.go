@@ -1,0 +1,70 @@
+package core
+
+import "math/big"
+
+// BigPF is the arbitrary-precision face of a pairing function: exact
+// encode/decode on big.Ints, total for all positive inputs. Diagonal and
+// SquareShell implement it; the hyperbolic PF does not (its shell-prefix
+// term D(xy−1) is a summatory function whose exact evaluation beyond int64
+// is outside this library's scope).
+type BigPF interface {
+	PF
+	// EncodeBig returns the address of ⟨x, y⟩ exactly.
+	EncodeBig(x, y *big.Int) (*big.Int, error)
+	// DecodeBig inverts EncodeBig.
+	DecodeBig(z *big.Int) (x, y *big.Int, err error)
+}
+
+// Static interface checks.
+var (
+	_ BigPF = Diagonal{}
+	_ BigPF = SquareShell{}
+)
+
+// EncodeBig returns 𝒜₁,₁(x, y) = m² + m + y − x + 1, m = max(x−1, y−1),
+// for arbitrarily large positive coordinates.
+func (s SquareShell) EncodeBig(x, y *big.Int) (*big.Int, error) {
+	if x.Sign() < 1 || y.Sign() < 1 {
+		return nil, ErrDomain
+	}
+	if s.Clockwise {
+		x, y = y, x
+	}
+	m := new(big.Int)
+	if x.Cmp(y) >= 0 {
+		m.Sub(x, big.NewInt(1))
+	} else {
+		m.Sub(y, big.NewInt(1))
+	}
+	z := new(big.Int).Mul(m, m)
+	z.Add(z, m)
+	z.Add(z, y)
+	z.Sub(z, x)
+	return z.Add(z, big.NewInt(1)), nil
+}
+
+// DecodeBig inverts EncodeBig: m = ⌊√(z−1)⌋, then walk the shell's two
+// arms.
+func (s SquareShell) DecodeBig(z *big.Int) (*big.Int, *big.Int, error) {
+	if z.Sign() < 1 {
+		return nil, nil, ErrDomain
+	}
+	m := new(big.Int).Sub(z, big.NewInt(1))
+	m.Sqrt(m)
+	r := new(big.Int).Mul(m, m)
+	r.Sub(z, r) // 1 … 2m+1
+	mp1 := new(big.Int).Add(m, big.NewInt(1))
+	var x, y *big.Int
+	if r.Cmp(mp1) <= 0 {
+		x, y = mp1, r
+	} else {
+		x = new(big.Int).Lsh(m, 1)
+		x.Add(x, big.NewInt(2))
+		x.Sub(x, r)
+		y = mp1
+	}
+	if s.Clockwise {
+		x, y = y, x
+	}
+	return x, y, nil
+}

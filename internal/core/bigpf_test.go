@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// TestSquareShellBigMatchesInt64 cross-validates the two paths.
+func TestSquareShellBigMatchesInt64(t *testing.T) {
+	for _, cw := range []bool{false, true} {
+		s := SquareShell{Clockwise: cw}
+		for x := int64(1); x <= 30; x++ {
+			for y := int64(1); y <= 30; y++ {
+				want := MustEncode(s, x, y)
+				got, err := s.EncodeBig(big.NewInt(x), big.NewInt(y))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Int64() != want {
+					t.Fatalf("EncodeBig(%d, %d) = %s, want %d", x, y, got, want)
+				}
+				bx, by, err := s.DecodeBig(got)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if bx.Int64() != x || by.Int64() != y {
+					t.Fatalf("DecodeBig(%s) = (%s, %s)", got, bx, by)
+				}
+			}
+		}
+	}
+}
+
+// TestSquareShellBigHuge round-trips far beyond int64.
+func TestSquareShellBigHuge(t *testing.T) {
+	var s SquareShell
+	x, _ := new(big.Int).SetString("340282366920938463463374607431768211457", 10) // 2^128+1
+	y := big.NewInt(12345)
+	z, err := s.EncodeBig(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gx, gy, err := s.DecodeBig(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gx.Cmp(x) != 0 || gy.Cmp(y) != 0 {
+		t.Errorf("round trip failed: (%s, %s)", gx, gy)
+	}
+	// The shell identity 𝒜₁,₁(x, 1) = (x−1)² + (x−1) + 2 − x = x²−2x+2.
+	z1, err := s.EncodeBig(x, big.NewInt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := new(big.Int).Mul(x, x)
+	want.Sub(want, new(big.Int).Lsh(x, 1))
+	want.Add(want, big.NewInt(2))
+	if z1.Cmp(want) != 0 {
+		t.Errorf("𝒜₁,₁(x, 1) = %s, want x²−2x+2 = %s", z1, want)
+	}
+}
+
+// TestSquareShellBigProperty quick-checks the big round trip with mixed
+// magnitudes.
+func TestSquareShellBigProperty(t *testing.T) {
+	f := func(a, b uint32, shift uint8, cw bool) bool {
+		s := SquareShell{Clockwise: cw}
+		x := new(big.Int).SetUint64(uint64(a) + 1)
+		x.Lsh(x, uint(shift%80))
+		y := new(big.Int).SetUint64(uint64(b) + 1)
+		z, err := s.EncodeBig(x, y)
+		if err != nil {
+			return false
+		}
+		gx, gy, err := s.DecodeBig(z)
+		return err == nil && gx.Cmp(x) == 0 && gy.Cmp(y) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBigDomain checks domain rejection on both BigPF implementations.
+func TestBigDomain(t *testing.T) {
+	for _, f := range []BigPF{Diagonal{}, SquareShell{}} {
+		if _, err := f.EncodeBig(big.NewInt(0), big.NewInt(3)); err == nil {
+			t.Errorf("%s: EncodeBig(0, 3) should fail", f.Name())
+		}
+		if _, _, err := f.DecodeBig(big.NewInt(-7)); err == nil {
+			t.Errorf("%s: DecodeBig(-7) should fail", f.Name())
+		}
+	}
+}

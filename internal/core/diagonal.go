@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/big"
+
+	"pairfn/internal/numtheory"
+)
+
+// Diagonal is the Cauchy–Cantor diagonal pairing function 𝒟 of eq. 2.1:
+//
+//	𝒟(x, y) = C(x+y−1, 2) + y = (x+y−1)(x+y−2)/2 + y.
+//
+// It enumerates N×N upward along the diagonal shells x+y = 2, 3, 4, …
+// (Fig. 2). Up to exchanging x and y it is the only quadratic polynomial PF
+// (Fueter–Pólya). If Twin is true the mirrored polynomial 𝒟(y, x) is used.
+//
+// The zero value is the paper's 𝒟.
+type Diagonal struct {
+	// Twin selects the mirrored polynomial obtained by exchanging x and y.
+	Twin bool
+}
+
+// Name implements PF.
+func (d Diagonal) Name() string {
+	if d.Twin {
+		return "diagonal-twin"
+	}
+	return "diagonal"
+}
+
+// Encode implements PF. The diagonal shell of ⟨x, y⟩ is s = x+y; the shell's
+// first address is C(s−1, 2) + 1 and positions are taken in increasing y.
+func (d Diagonal) Encode(x, y int64) (int64, error) {
+	if err := checkPos(x, y); err != nil {
+		return 0, err
+	}
+	if d.Twin {
+		x, y = y, x
+	}
+	s, err := numtheory.AddCheck(x, y)
+	if err != nil {
+		return 0, err
+	}
+	tri, err := numtheory.Triangular(s - 2) // C(s−1, 2) = (s−1)(s−2)/2
+	if err != nil {
+		return 0, err
+	}
+	return numtheory.AddCheck(tri, y)
+}
+
+// Decode implements PF. Given z, the shell index is the largest s with
+// C(s−1, 2) < z, recovered through the triangular root of z−1.
+func (d Diagonal) Decode(z int64) (int64, int64, error) {
+	if err := checkAddr(z); err != nil {
+		return 0, 0, err
+	}
+	k := numtheory.TriangularRoot(z - 1) // largest k with k(k+1)/2 ≤ z−1
+	tri, err := numtheory.Triangular(k)
+	if err != nil {
+		return 0, 0, err
+	}
+	y := z - tri
+	x := k + 2 - y
+	if d.Twin {
+		x, y = y, x
+	}
+	return x, y, nil
+}
+
+// EncodeBig returns 𝒟(x, y) for arbitrarily large positive x, y.
+func (d Diagonal) EncodeBig(x, y *big.Int) (*big.Int, error) {
+	if x.Sign() < 1 || y.Sign() < 1 {
+		return nil, ErrDomain
+	}
+	if d.Twin {
+		x, y = y, x
+	}
+	s := new(big.Int).Add(x, y) // s = x+y
+	a := new(big.Int).Sub(s, big.NewInt(1))
+	b := new(big.Int).Sub(s, big.NewInt(2))
+	tri := new(big.Int).Mul(a, b)
+	tri.Rsh(tri, 1) // (s−1)(s−2)/2
+	return tri.Add(tri, y), nil
+}
+
+// DecodeBig inverts EncodeBig.
+func (d Diagonal) DecodeBig(z *big.Int) (x, y *big.Int, err error) {
+	if z.Sign() < 1 {
+		return nil, nil, ErrDomain
+	}
+	// Largest k with k(k+1)/2 ≤ z−1, via k = ⌊(√(8(z−1)+1) − 1)/2⌋ with
+	// exact integer sqrt, then local correction.
+	m := new(big.Int).Sub(z, big.NewInt(1))
+	t := new(big.Int).Lsh(m, 3)
+	t.Add(t, big.NewInt(1))
+	t.Sqrt(t)
+	t.Sub(t, big.NewInt(1))
+	k := t.Rsh(t, 1)
+	tri := func(k *big.Int) *big.Int {
+		r := new(big.Int).Add(k, big.NewInt(1))
+		r.Mul(r, k)
+		return r.Rsh(r, 1)
+	}
+	for tri(new(big.Int).Add(k, big.NewInt(1))).Cmp(m) <= 0 {
+		k.Add(k, big.NewInt(1))
+	}
+	for k.Sign() > 0 && tri(k).Cmp(m) > 0 {
+		k.Sub(k, big.NewInt(1))
+	}
+	y = new(big.Int).Sub(z, tri(k))
+	x = new(big.Int).Add(k, big.NewInt(2))
+	x.Sub(x, y)
+	if d.Twin {
+		x, y = y, x
+	}
+	return x, y, nil
+}

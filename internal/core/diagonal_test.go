@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// TestDiagonalBigMatchesInt64 checks the math/big path against the int64
+// path on the int64-safe range.
+func TestDiagonalBigMatchesInt64(t *testing.T) {
+	var d Diagonal
+	for _, p := range [][2]int64{{1, 1}, {3, 4}, {1000, 1}, {1, 1000}, {123456, 654321}} {
+		want, err := d.Encode(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.EncodeBig(big.NewInt(p[0]), big.NewInt(p[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Int64() != want {
+			t.Errorf("EncodeBig(%d, %d) = %s, want %d", p[0], p[1], got, want)
+		}
+		bx, by, err := d.DecodeBig(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bx.Int64() != p[0] || by.Int64() != p[1] {
+			t.Errorf("DecodeBig(%s) = (%s, %s), want (%d, %d)", got, bx, by, p[0], p[1])
+		}
+	}
+}
+
+// TestDiagonalBigHuge round-trips coordinates far beyond int64.
+func TestDiagonalBigHuge(t *testing.T) {
+	var d Diagonal
+	x, _ := new(big.Int).SetString("123456789012345678901234567890", 10)
+	y, _ := new(big.Int).SetString("987654321098765432109876543210", 10)
+	z, err := d.EncodeBig(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gx, gy, err := d.DecodeBig(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gx.Cmp(x) != 0 || gy.Cmp(y) != 0 {
+		t.Errorf("big round trip failed: got (%s, %s)", gx, gy)
+	}
+}
+
+// TestDiagonalBigProperty is the quick-check form of the big round trip.
+func TestDiagonalBigProperty(t *testing.T) {
+	var d Diagonal
+	f := func(a, b uint32, twin bool) bool {
+		dd := Diagonal{Twin: twin}
+		x := new(big.Int).SetUint64(uint64(a) + 1)
+		y := new(big.Int).SetUint64(uint64(b) + 1)
+		// Stretch beyond int64 occasionally.
+		x.Mul(x, big.NewInt(1<<40))
+		z, err := dd.EncodeBig(x, y)
+		if err != nil {
+			return false
+		}
+		gx, gy, err := dd.DecodeBig(z)
+		if err != nil {
+			return false
+		}
+		_ = d
+		return gx.Cmp(x) == 0 && gy.Cmp(y) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDiagonalBigDomain checks domain validation on the big path.
+func TestDiagonalBigDomain(t *testing.T) {
+	var d Diagonal
+	if _, err := d.EncodeBig(big.NewInt(0), big.NewInt(1)); err == nil {
+		t.Error("EncodeBig(0, 1) should fail")
+	}
+	if _, _, err := d.DecodeBig(big.NewInt(0)); err == nil {
+		t.Error("DecodeBig(0) should fail")
+	}
+}
+
+// TestDiagonalOverflow checks ErrOverflow near the int64 boundary.
+func TestDiagonalOverflow(t *testing.T) {
+	var d Diagonal
+	if _, err := d.Encode(1<<62, 1<<62); err == nil {
+		t.Error("Encode(2^62, 2^62) should overflow")
+	}
+	// A value that fits: x+y ≈ 2^32 gives z ≈ 2^63/2.
+	if _, err := d.Encode(1<<31, 1<<31); err != nil {
+		t.Errorf("Encode(2^31, 2^31) should fit: %v", err)
+	}
+}
+
+// TestDiagonalShellStructure verifies that 𝒟 fills each diagonal shell
+// contiguously upward: along shell s (x+y = s), values are consecutive.
+func TestDiagonalShellStructure(t *testing.T) {
+	var d Diagonal
+	for s := int64(2); s <= 100; s++ {
+		prev := int64(0)
+		for y := int64(1); y < s; y++ {
+			z := MustEncode(d, s-y, y)
+			if y == 1 {
+				// First element of shell s is C(s−1, 2) + 1.
+				want := (s-1)*(s-2)/2 + 1
+				if z != want {
+					t.Fatalf("shell %d starts at %d, want %d", s, z, want)
+				}
+			} else if z != prev+1 {
+				t.Fatalf("shell %d not contiguous at y = %d: %d after %d", s, y, z, prev)
+			}
+			prev = z
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"pairfn/internal/numtheory"
+)
+
+// Dovetail combines m pairing functions 𝒜₁ … 𝒜_m into a single storage
+// mapping whose compactness is at worst m times that of the most compact
+// constituent (§3.2.2):
+//
+//	𝒜(x, y) = min_k { m·𝒜_k(x, y) + k − 1 + 1 }
+//
+// (the trailing +1 keeps addresses 1-based: constituent k owns the residue
+// class k−1 (mod m) of the 0-based addresses, exactly as in the paper).
+//
+// The result is injective — distinct positions map to distinct addresses —
+// and satisfies S_𝒜(n) ≤ m · min_k S_{𝒜_k}(n), which is the property §3.2.2
+// uses it for. It is not surjective onto N: a class-k address that is not
+// the minimum for its position is never used, and Decode reports
+// ErrNotInRange for it. As a storage mapping (the paper's application)
+// injectivity plus the spread bound is exactly what is required.
+type Dovetail struct {
+	fs []PF
+}
+
+// NewDovetail returns the dovetail of the given PFs, which must be
+// non-empty.
+func NewDovetail(fs ...PF) (*Dovetail, error) {
+	if len(fs) == 0 {
+		return nil, fmt.Errorf("core: NewDovetail requires at least one PF")
+	}
+	return &Dovetail{fs: append([]PF(nil), fs...)}, nil
+}
+
+// MustDovetail is NewDovetail with a panic on error.
+func MustDovetail(fs ...PF) *Dovetail {
+	d, err := NewDovetail(fs...)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Name implements PF.
+func (d *Dovetail) Name() string {
+	names := make([]string, len(d.fs))
+	for i, f := range d.fs {
+		names[i] = f.Name()
+	}
+	return "dovetail(" + strings.Join(names, ",") + ")"
+}
+
+// Constituents returns the dovetailed PFs in order.
+func (d *Dovetail) Constituents() []PF { return append([]PF(nil), d.fs...) }
+
+// Encode implements PF: the minimum over the constituents' signed copies.
+func (d *Dovetail) Encode(x, y int64) (int64, error) {
+	if err := checkPos(x, y); err != nil {
+		return 0, err
+	}
+	m := int64(len(d.fs))
+	best := int64(-1)
+	var firstErr error
+	for k, f := range d.fs {
+		z, err := f.Encode(x, y)
+		if err != nil {
+			// One constituent overflowing does not overflow the min
+			// unless all do.
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		v, err := numtheory.MulCheck(m, z)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		// 0-based class value m·z + k − m = m·(z−1) + k; store 1-based.
+		v = v - m + int64(k) + 1
+		if best < 0 || v < best {
+			best = v
+		}
+	}
+	if best < 0 {
+		return 0, firstErr
+	}
+	return best, nil
+}
+
+// Decode implements PF. The residue class of z−1 identifies the
+// constituent; the quotient is its address. Because the dovetail is not
+// surjective, the candidate preimage is verified by re-encoding.
+func (d *Dovetail) Decode(z int64) (int64, int64, error) {
+	if err := checkAddr(z); err != nil {
+		return 0, 0, err
+	}
+	m := int64(len(d.fs))
+	k := (z - 1) % m
+	zk := (z-1)/m + 1
+	x, y, err := d.fs[k].Decode(zk)
+	if err != nil {
+		return 0, 0, err
+	}
+	back, err := d.Encode(x, y)
+	if err != nil {
+		return 0, 0, err
+	}
+	if back != z {
+		return 0, 0, fmt.Errorf("%w: %d belongs to %s but position (%d, %d) dovetails to %d",
+			ErrNotInRange, z, d.fs[k].Name(), x, y, back)
+	}
+	return x, y, nil
+}

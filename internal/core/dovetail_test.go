@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestDovetailInjective checks injectivity of the dovetailed mapping on a
+// large box.
+func TestDovetailInjective(t *testing.T) {
+	d := MustDovetail(MustAspect(1, 1), MustAspect(1, 2), MustAspect(2, 1))
+	seen := make(map[int64][2]int64)
+	for x := int64(1); x <= 50; x++ {
+		for y := int64(1); y <= 50; y++ {
+			z, err := d.Encode(x, y)
+			if err != nil {
+				t.Fatalf("Encode(%d, %d): %v", x, y, err)
+			}
+			if p, dup := seen[z]; dup {
+				t.Fatalf("collision: (%d,%d) and (%d,%d) → %d", p[0], p[1], x, y, z)
+			}
+			seen[z] = [2]int64{x, y}
+		}
+	}
+}
+
+// TestDovetailDecode checks that Decode inverts Encode and that addresses
+// outside the image report ErrNotInRange.
+func TestDovetailDecode(t *testing.T) {
+	d := MustDovetail(SquareShell{}, Diagonal{})
+	inImage := make(map[int64]bool)
+	for x := int64(1); x <= 40; x++ {
+		for y := int64(1); y <= 40; y++ {
+			z := MustEncode(d, x, y)
+			inImage[z] = true
+			gx, gy, err := d.Decode(z)
+			if err != nil {
+				t.Fatalf("Decode(%d): %v", z, err)
+			}
+			if gx != x || gy != y {
+				t.Fatalf("Decode(Encode(%d, %d)) = (%d, %d)", x, y, gx, gy)
+			}
+		}
+	}
+	// Addresses ≤ 2·40 that are not in the image must be rejected; the
+	// image over the box covers all small addresses that belong to it.
+	var holes int
+	for z := int64(1); z <= 80; z++ {
+		if inImage[z] {
+			continue
+		}
+		if _, _, err := d.Decode(z); err == nil {
+			// A valid preimage outside the 40×40 box is possible; verify.
+			x, y, _ := d.Decode(z)
+			if x <= 40 && y <= 40 {
+				t.Errorf("Decode(%d) = (%d, %d) inside box but address not in image", z, x, y)
+			}
+		} else if !errors.Is(err, ErrNotInRange) {
+			t.Errorf("Decode(%d) err = %v, want ErrNotInRange", z, err)
+		} else {
+			holes++
+		}
+	}
+	if holes == 0 {
+		t.Error("expected some out-of-range addresses (dovetail is not surjective)")
+	}
+}
+
+// TestDovetailSpreadBound verifies §3.2.2 (experiment E8):
+// S_A(n) ≤ m·min_k S_{A_k}(n), checked pointwise — for every position, the
+// dovetailed address is within m× the best constituent address.
+func TestDovetailSpreadBound(t *testing.T) {
+	fs := []PF{MustAspect(1, 1), MustAspect(1, 3), MustAspect(3, 1)}
+	d := MustDovetail(fs...)
+	m := int64(len(fs))
+	for x := int64(1); x <= 60; x++ {
+		for y := int64(1); y <= 60; y++ {
+			z := MustEncode(d, x, y)
+			best := int64(-1)
+			for _, f := range fs {
+				v := MustEncode(f, x, y)
+				if best < 0 || v < best {
+					best = v
+				}
+			}
+			if z > m*best {
+				t.Fatalf("(%d, %d): dovetail %d > %d × best %d", x, y, z, m, best)
+			}
+		}
+	}
+}
+
+// TestDovetailSingle checks the degenerate single-constituent dovetail is
+// the constituent itself (addresses unchanged).
+func TestDovetailSingle(t *testing.T) {
+	d := MustDovetail(Diagonal{})
+	for x := int64(1); x <= 20; x++ {
+		for y := int64(1); y <= 20; y++ {
+			if MustEncode(d, x, y) != MustEncode(Diagonal{}, x, y) {
+				t.Fatalf("single dovetail differs at (%d, %d)", x, y)
+			}
+		}
+	}
+}
+
+// TestDovetailEmpty checks constructor validation.
+func TestDovetailEmpty(t *testing.T) {
+	if _, err := NewDovetail(); err == nil {
+		t.Error("NewDovetail() should fail")
+	}
+}
+
+// TestDovetailResidueClasses checks that constituent k's addresses land in
+// residue class (k−1) mod m of z−1, the signature §3.2.2 uses.
+func TestDovetailResidueClasses(t *testing.T) {
+	fs := []PF{MustAspect(1, 1), MustAspect(1, 2)}
+	d := MustDovetail(fs...)
+	m := int64(len(fs))
+	for x := int64(1); x <= 30; x++ {
+		for y := int64(1); y <= 30; y++ {
+			z := MustEncode(d, x, y)
+			k := (z - 1) % m
+			// The class-k constituent must reproduce the quotient.
+			zk := (z-1)/m + 1
+			if got := MustEncode(fs[k], x, y); got != zk {
+				t.Fatalf("(%d, %d): class %d quotient %d ≠ constituent address %d",
+					x, y, k, zk, got)
+			}
+		}
+	}
+}

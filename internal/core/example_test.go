@@ -1,0 +1,80 @@
+package core_test
+
+import (
+	"fmt"
+
+	"pairfn/internal/core"
+)
+
+func ExampleDiagonal() {
+	var d core.Diagonal
+	z, _ := d.Encode(3, 4) // C(6, 2) + 4
+	x, y, _ := d.Decode(z)
+	fmt.Println(z, x, y)
+	// Output: 19 3 4
+}
+
+func ExampleSquareShell() {
+	var s core.SquareShell
+	// Row 1 of Fig. 3 is the perfect squares.
+	for y := int64(1); y <= 5; y++ {
+		z, _ := s.Encode(1, y)
+		fmt.Print(z, " ")
+	}
+	fmt.Println()
+	// Output: 1 4 9 16 25
+}
+
+func ExampleHyperbolic() {
+	var h core.Hyperbolic
+	// Shell xy = 4 holds the three factorizations of 4, in reverse
+	// lexicographic order after the D(3) = 5 earlier positions.
+	for _, p := range [][2]int64{{4, 1}, {2, 2}, {1, 4}} {
+		z, _ := h.Encode(p[0], p[1])
+		fmt.Print(z, " ")
+	}
+	fmt.Println()
+	// Output: 6 7 8
+}
+
+func ExampleNewEnumerated() {
+	// Procedure PF-Constructor (Thm 3.1): any shell partition is a PF.
+	f := core.NewEnumerated(core.DiagonalShells{})
+	z, _ := f.Encode(3, 4)
+	fmt.Println(z) // agrees with the closed form 𝒟
+	// Output: 19
+}
+
+func ExampleNewDovetail() {
+	// Dovetailing is compact for every constituent's favorite shape at the
+	// price of a factor m = 2.
+	dv, _ := core.NewDovetail(core.MustAspect(1, 2), core.MustAspect(2, 1))
+	z, _ := dv.Encode(4, 2) // a 2:1-shaped position
+	fmt.Println(z <= 2*8)   // within 2× the 4×2 array's size
+	// Output: true
+}
+
+func ExampleMorton() {
+	var m core.Morton
+	z, _ := m.Encode(3, 3) // interleave(2)<<1 | interleave(2), plus 1
+	fmt.Println(z)
+	// Output: 13
+}
+
+func ExampleHilbert() {
+	h := core.Hilbert{Order: 1}
+	for z := int64(1); z <= 4; z++ {
+		x, y, _ := h.Decode(z)
+		fmt.Printf("(%d,%d) ", x, y)
+	}
+	fmt.Println()
+	// Output: (1,1) (1,2) (2,2) (2,1)
+}
+
+func ExampleTransposed() {
+	t := core.Transposed{Inner: core.Diagonal{}}
+	a, _ := core.Diagonal{}.Encode(2, 5)
+	b, _ := t.Encode(5, 2)
+	fmt.Println(a == b)
+	// Output: true
+}

@@ -1,0 +1,175 @@
+package core
+
+import "testing"
+
+// fig2 is the 8×8 sample of the diagonal PF 𝒟 printed in Fig. 2 of the
+// paper, transcribed verbatim.
+var fig2 = [8][8]int64{
+	{1, 3, 6, 10, 15, 21, 28, 36},
+	{2, 5, 9, 14, 20, 27, 35, 44},
+	{4, 8, 13, 19, 26, 34, 43, 53},
+	{7, 12, 18, 25, 33, 42, 52, 63},
+	{11, 17, 24, 32, 41, 51, 62, 74},
+	{16, 23, 31, 40, 50, 61, 73, 86},
+	{22, 30, 39, 49, 60, 72, 85, 99},
+	{29, 38, 48, 59, 71, 84, 98, 113},
+}
+
+// fig3 is the 8×8 sample of the square-shell PF 𝒜₁,₁ printed in Fig. 3.
+var fig3 = [8][8]int64{
+	{1, 4, 9, 16, 25, 36, 49, 64},
+	{2, 3, 8, 15, 24, 35, 48, 63},
+	{5, 6, 7, 14, 23, 34, 47, 62},
+	{10, 11, 12, 13, 22, 33, 46, 61},
+	{17, 18, 19, 20, 21, 32, 45, 60},
+	{26, 27, 28, 29, 30, 31, 44, 59},
+	{37, 38, 39, 40, 41, 42, 43, 58},
+	{50, 51, 52, 53, 54, 55, 56, 57},
+}
+
+// fig4 is the 8×7 sample of the hyperbolic PF ℋ printed in Fig. 4.
+var fig4 = [8][7]int64{
+	{1, 3, 5, 8, 10, 14, 16},
+	{2, 7, 13, 19, 26, 34, 40},
+	{4, 12, 22, 33, 44, 56, 69},
+	{6, 18, 32, 48, 64, 81, 99},
+	{9, 25, 43, 63, 86, 108, 130},
+	{11, 31, 55, 80, 107, 136, 165},
+	{15, 39, 68, 98, 129, 164, 200},
+	{17, 47, 79, 116, 154, 193, 235},
+}
+
+// TestFig2Exact reproduces Fig. 2 exactly (experiment E1).
+func TestFig2Exact(t *testing.T) {
+	var d Diagonal
+	for i := range fig2 {
+		for j := range fig2[i] {
+			x, y := int64(i+1), int64(j+1)
+			got, err := d.Encode(x, y)
+			if err != nil {
+				t.Fatalf("𝒟(%d, %d): %v", x, y, err)
+			}
+			if got != fig2[i][j] {
+				t.Errorf("𝒟(%d, %d) = %d, paper says %d", x, y, got, fig2[i][j])
+			}
+		}
+	}
+}
+
+// TestFig2Twin checks the twin is the transpose of Fig. 2.
+func TestFig2Twin(t *testing.T) {
+	tw := Diagonal{Twin: true}
+	for i := range fig2 {
+		for j := range fig2[i] {
+			got, err := tw.Encode(int64(j+1), int64(i+1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != fig2[i][j] {
+				t.Errorf("twin(%d, %d) = %d, want %d", j+1, i+1, got, fig2[i][j])
+			}
+		}
+	}
+}
+
+// TestFig3Exact reproduces Fig. 3 exactly (experiment E2).
+func TestFig3Exact(t *testing.T) {
+	var s SquareShell
+	for i := range fig3 {
+		for j := range fig3[i] {
+			x, y := int64(i+1), int64(j+1)
+			got, err := s.Encode(x, y)
+			if err != nil {
+				t.Fatalf("𝒜₁,₁(%d, %d): %v", x, y, err)
+			}
+			if got != fig3[i][j] {
+				t.Errorf("𝒜₁,₁(%d, %d) = %d, paper says %d", x, y, got, fig3[i][j])
+			}
+		}
+	}
+}
+
+// TestFig3Clockwise checks the clockwise twin transposes Fig. 3.
+func TestFig3Clockwise(t *testing.T) {
+	s := SquareShell{Clockwise: true}
+	for i := range fig3 {
+		for j := range fig3[i] {
+			got, err := s.Encode(int64(j+1), int64(i+1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != fig3[i][j] {
+				t.Errorf("cw(%d, %d) = %d, want %d", j+1, i+1, got, fig3[i][j])
+			}
+		}
+	}
+}
+
+// TestFig4Exact reproduces Fig. 4 exactly (experiment E3).
+func TestFig4Exact(t *testing.T) {
+	var h Hyperbolic
+	for i := range fig4 {
+		for j := range fig4[i] {
+			x, y := int64(i+1), int64(j+1)
+			got, err := h.Encode(x, y)
+			if err != nil {
+				t.Fatalf("ℋ(%d, %d): %v", x, y, err)
+			}
+			if got != fig4[i][j] {
+				t.Errorf("ℋ(%d, %d) = %d, paper says %d", x, y, got, fig4[i][j])
+			}
+		}
+	}
+}
+
+// TestFig4Cached reproduces Fig. 4 with the cached variant, both inside and
+// beyond the table limit (exercising the fallback path).
+func TestFig4Cached(t *testing.T) {
+	for _, limit := range []int64{1, 10, 1000} {
+		h := NewCachedHyperbolic(limit)
+		for i := range fig4 {
+			for j := range fig4[i] {
+				x, y := int64(i+1), int64(j+1)
+				got, err := h.Encode(x, y)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != fig4[i][j] {
+					t.Errorf("limit %d: ℋ(%d, %d) = %d, want %d", limit, x, y, got, fig4[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestTableHelper checks the figure-printing helper against Fig. 2.
+func TestTableHelper(t *testing.T) {
+	tab := Table(Diagonal{}, 8, 8)
+	for i := range fig2 {
+		for j := range fig2[i] {
+			if tab[i][j] != fig2[i][j] {
+				t.Fatalf("Table[%d][%d] = %d, want %d", i, j, tab[i][j], fig2[i][j])
+			}
+		}
+	}
+}
+
+// TestPaperSpreadExamples checks the §3.2 spot values. Exactly:
+// 𝒟(1,1) = 1, 𝒟(n,n) = 2n²−2n+1 (the paper rounds this to "2n²"), and
+// 𝒟(1,n) = (n²+n)/2 (exact as stated).
+func TestPaperSpreadExamples(t *testing.T) {
+	var d Diagonal
+	for _, n := range []int64{1, 2, 10, 100, 4096, 1 << 20} {
+		want := 2*n*n - 2*n + 1
+		if got := MustEncode(d, n, n); got != want {
+			t.Errorf("𝒟(%d, %d) = %d, want 2n²−2n+1 = %d", n, n, got, want)
+		}
+		// The paper's "2n²" is the right leading order: within 2n of it.
+		if got := MustEncode(d, n, n); 2*n*n-got > 2*n {
+			t.Errorf("𝒟(%d, %d) = %d strays from the paper's 2n² by more than 2n", n, n, got)
+		}
+		if got := MustEncode(d, 1, n); got != (n*n+n)/2 {
+			t.Errorf("𝒟(1, %d) = %d, want (n²+n)/2 = %d", n, got, (n*n+n)/2)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import "testing"
+
+// Native fuzz targets. Under plain `go test` they run their seed corpus;
+// under `go test -fuzz=FuzzX` they explore. Each asserts the bijection
+// laws on arbitrary inputs with graceful domain/overflow handling.
+
+func fuzzRoundTrip(f PF, coordCap int64) func(*testing.T, int64, int64) {
+	return func(t *testing.T, a, b int64) {
+		x := a % coordCap
+		if x < 0 {
+			x = -x
+		}
+		x++
+		y := b % coordCap
+		if y < 0 {
+			y = -y
+		}
+		y++
+		z, err := f.Encode(x, y)
+		if err != nil {
+			return // overflow: legitimate for huge coordinates
+		}
+		gx, gy, err := f.Decode(z)
+		if err != nil {
+			t.Fatalf("%s: Decode(%d): %v", f.Name(), z, err)
+		}
+		if gx != x || gy != y {
+			t.Fatalf("%s: (%d, %d) → %d → (%d, %d)", f.Name(), x, y, z, gx, gy)
+		}
+	}
+}
+
+func FuzzDiagonalRoundTrip(f *testing.F) {
+	f.Add(int64(1), int64(1))
+	f.Add(int64(8), int64(8))
+	f.Add(int64(1<<30), int64(3))
+	f.Fuzz(fuzzRoundTrip(Diagonal{}, 1<<31))
+}
+
+func FuzzSquareShellRoundTrip(f *testing.F) {
+	f.Add(int64(5), int64(5))
+	f.Add(int64(1), int64(1<<30))
+	f.Fuzz(fuzzRoundTrip(SquareShell{}, 1<<31))
+}
+
+func FuzzHyperbolicRoundTrip(f *testing.F) {
+	f.Add(int64(6), int64(6))
+	f.Add(int64(997), int64(2))
+	f.Fuzz(fuzzRoundTrip(Hyperbolic{}, 2000))
+}
+
+func FuzzMortonRoundTrip(f *testing.F) {
+	f.Add(int64(3), int64(3))
+	f.Add(int64(1<<20), int64(1<<20))
+	f.Fuzz(fuzzRoundTrip(Morton{}, 1<<31))
+}
+
+func FuzzAspectRoundTrip(f *testing.F) {
+	f.Add(int64(2), int64(3), int64(10), int64(20))
+	f.Fuzz(func(t *testing.T, ar, br, xr, yr int64) {
+		a := ar%5 + 1
+		if a < 1 {
+			a += 5
+		}
+		b := br%5 + 1
+		if b < 1 {
+			b += 5
+		}
+		fuzzRoundTrip(MustAspect(a, b), 1<<20)(t, xr, yr)
+	})
+}
+
+// FuzzDecodeTotal: every positive address decodes and re-encodes for the
+// total PFs.
+func FuzzDecodeTotal(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(113))
+	f.Add(int64(1 << 40))
+	f.Fuzz(func(t *testing.T, z int64) {
+		z = z % (1 << 40)
+		if z < 1 {
+			z = -z + 1
+		}
+		for _, pf := range []PF{Diagonal{}, SquareShell{}, Morton{}} {
+			x, y, err := pf.Decode(z)
+			if err != nil {
+				t.Fatalf("%s: Decode(%d): %v", pf.Name(), z, err)
+			}
+			back, err := pf.Encode(x, y)
+			if err != nil || back != z {
+				t.Fatalf("%s: Encode(Decode(%d)) = %d, %v", pf.Name(), z, back, err)
+			}
+		}
+	})
+}

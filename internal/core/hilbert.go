@@ -1,0 +1,99 @@
+package core
+
+import "fmt"
+
+// Hilbert is the Hilbert space-filling curve on the fixed square
+// [1, 2^Order]², the locality gold standard among storage mappings:
+// consecutive addresses are always 4-adjacent cells, so every traversal
+// has the best attainable page behaviour. Like RowMajor it is a *bounded*
+// mapping, not a PF on all of N×N (positions outside the square return
+// ErrDomain) — which is exactly the §3 trade-off from the other side:
+// perfect locality and perfect compactness on its square, but no
+// extendibility at all; growing past 2^Order means remapping everything.
+// Compare core.Morton (unbounded, dyadic locality) and the paper's ℋ
+// (unbounded, optimal spread, no locality).
+type Hilbert struct {
+	// Order k fixes the square side 2^k; 1 ≤ Order ≤ 31.
+	Order uint
+}
+
+// Name implements PF.
+func (h Hilbert) Name() string { return fmt.Sprintf("hilbert-%d", h.Order) }
+
+// Side returns the square's side length 2^Order.
+func (h Hilbert) Side() int64 { return int64(1) << h.Order }
+
+func (h Hilbert) check() error {
+	if h.Order < 1 || h.Order > 31 {
+		return fmt.Errorf("%w: hilbert order %d outside [1, 31]", ErrDomain, h.Order)
+	}
+	return nil
+}
+
+// Encode implements PF on the bounded square, using the classic
+// rotate-and-accumulate walk from the top bit down.
+func (h Hilbert) Encode(x, y int64) (int64, error) {
+	if err := h.check(); err != nil {
+		return 0, err
+	}
+	if err := checkPos(x, y); err != nil {
+		return 0, err
+	}
+	side := h.Side()
+	if x > side || y > side {
+		return 0, fmt.Errorf("%w: (%d, %d) outside the %d×%d Hilbert square",
+			ErrDomain, x, y, side, side)
+	}
+	ux, uy := x-1, y-1
+	var d int64
+	for s := side / 2; s > 0; s /= 2 {
+		var rx, ry int64
+		if ux&s > 0 {
+			rx = 1
+		}
+		if uy&s > 0 {
+			ry = 1
+		}
+		d += s * s * ((3 * rx) ^ ry)
+		ux, uy = hilbertRotate(side, ux, uy, rx, ry)
+	}
+	return d + 1, nil
+}
+
+// Decode implements PF on the bounded square.
+func (h Hilbert) Decode(z int64) (int64, int64, error) {
+	if err := h.check(); err != nil {
+		return 0, 0, err
+	}
+	if err := checkAddr(z); err != nil {
+		return 0, 0, err
+	}
+	side := h.Side()
+	if z > side*side {
+		return 0, 0, fmt.Errorf("%w: address %d outside the %d-cell Hilbert square",
+			ErrDomain, z, side*side)
+	}
+	t := z - 1
+	var ux, uy int64
+	for s := int64(1); s < side; s *= 2 {
+		rx := (t / 2) & 1
+		ry := (t ^ rx) & 1
+		ux, uy = hilbertRotate(s, ux, uy, rx, ry)
+		ux += s * rx
+		uy += s * ry
+		t /= 4
+	}
+	return ux + 1, uy + 1, nil
+}
+
+// hilbertRotate flips/rotates a quadrant-relative coordinate pair.
+func hilbertRotate(s, x, y, rx, ry int64) (int64, int64) {
+	if ry == 0 {
+		if rx == 1 {
+			x = s - 1 - x
+			y = s - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}

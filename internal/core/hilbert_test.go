@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHilbertBijectionOnSquare(t *testing.T) {
+	for _, order := range []uint{1, 2, 3, 5} {
+		h := Hilbert{Order: order}
+		side := h.Side()
+		seen := make(map[int64][2]int64, side*side)
+		for x := int64(1); x <= side; x++ {
+			for y := int64(1); y <= side; y++ {
+				z := MustEncode(h, x, y)
+				if z < 1 || z > side*side {
+					t.Fatalf("order %d: address %d outside [1, %d]", order, z, side*side)
+				}
+				if p, dup := seen[z]; dup {
+					t.Fatalf("order %d: collision (%v)/(%d,%d) → %d", order, p, x, y, z)
+				}
+				seen[z] = [2]int64{x, y}
+				gx, gy := MustDecode(h, z)
+				if gx != x || gy != y {
+					t.Fatalf("order %d: round trip (%d,%d) → %d → (%d,%d)", order, x, y, z, gx, gy)
+				}
+			}
+		}
+		if int64(len(seen)) != side*side {
+			t.Fatalf("order %d: %d addresses, want %d", order, len(seen), side*side)
+		}
+	}
+}
+
+// TestHilbertAdjacency is the curve's defining property: consecutive
+// addresses are 4-adjacent cells (Manhattan distance exactly 1) — locality
+// no unbounded PF in the paper can offer.
+func TestHilbertAdjacency(t *testing.T) {
+	h := Hilbert{Order: 6}
+	side := h.Side()
+	px, py := MustDecode(h, 1)
+	for z := int64(2); z <= side*side; z++ {
+		x, y := MustDecode(h, z)
+		dx, dy := x-px, y-py
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		if dx+dy != 1 {
+			t.Fatalf("addresses %d and %d are at (%d,%d)→(%d,%d), not adjacent",
+				z-1, z, px, py, x, y)
+		}
+		px, py = x, y
+	}
+}
+
+// TestHilbertKnownOrder1: the order-1 curve visits (1,1),(1,2),(2,2),(2,1).
+func TestHilbertKnownOrder1(t *testing.T) {
+	h := Hilbert{Order: 1}
+	want := [][2]int64{{1, 1}, {1, 2}, {2, 2}, {2, 1}}
+	for i, w := range want {
+		x, y := MustDecode(h, int64(i)+1)
+		if x != w[0] || y != w[1] {
+			t.Errorf("d = %d: (%d, %d), want (%d, %d)", i+1, x, y, w[0], w[1])
+		}
+	}
+}
+
+// TestHilbertQuadrantContiguity: each quadrant of the square is one
+// contiguous quarter of the address range (the recursive structure).
+func TestHilbertQuadrantContiguity(t *testing.T) {
+	h := Hilbert{Order: 5}
+	side := h.Side()
+	half := side / 2
+	quarter := side * side / 4
+	for qx := int64(0); qx < 2; qx++ {
+		for qy := int64(0); qy < 2; qy++ {
+			min, max := int64(1<<62), int64(0)
+			for dx := int64(1); dx <= half; dx++ {
+				for dy := int64(1); dy <= half; dy++ {
+					z := MustEncode(h, qx*half+dx, qy*half+dy)
+					if z < min {
+						min = z
+					}
+					if z > max {
+						max = z
+					}
+				}
+			}
+			if max-min+1 != quarter {
+				t.Errorf("quadrant (%d,%d) spans [%d, %d], want contiguous %d",
+					qx, qy, min, max, quarter)
+			}
+		}
+	}
+}
+
+func TestHilbertDomainErrors(t *testing.T) {
+	h := Hilbert{Order: 3}
+	if _, err := h.Encode(9, 1); err == nil {
+		t.Error("x beyond the square should fail")
+	}
+	if _, err := h.Encode(0, 1); err == nil {
+		t.Error("x = 0 should fail")
+	}
+	if _, _, err := h.Decode(65); err == nil {
+		t.Error("address beyond side² should fail")
+	}
+	if _, _, err := h.Decode(0); err == nil {
+		t.Error("address 0 should fail")
+	}
+	bad := Hilbert{Order: 0}
+	if _, err := bad.Encode(1, 1); err == nil {
+		t.Error("order 0 should fail")
+	}
+	big := Hilbert{Order: 40}
+	if _, err := big.Encode(1, 1); err == nil {
+		t.Error("order 40 should fail")
+	}
+}
+
+func TestHilbertQuickRoundTrip(t *testing.T) {
+	h := Hilbert{Order: 20}
+	side := h.Side()
+	f := func(a, b uint32) bool {
+		x := int64(a)%side + 1
+		y := int64(b)%side + 1
+		z, err := h.Encode(x, y)
+		if err != nil {
+			return false
+		}
+		gx, gy, err := h.Decode(z)
+		return err == nil && gx == x && gy == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLocalityLadder quantifies the §3-aside "varying computational costs"
+// across the whole mapping zoo on one workload: scanning an aligned 16×16
+// block of a 64×64 array. Hilbert and Morton keep the block within a small
+// address window; the paper's PFs pay spread-shaped penalties; row-major
+// pays its stride.
+func TestLocalityLadder(t *testing.T) {
+	type result struct {
+		name string
+		span int64
+	}
+	mappings := []PF{
+		Hilbert{Order: 6},
+		Morton{},
+		RowMajor{Width: 64},
+		SquareShell{},
+		Diagonal{},
+	}
+	var spans []result
+	for _, f := range mappings {
+		min, max := int64(1<<62), int64(0)
+		for x := int64(17); x <= 32; x++ {
+			for y := int64(17); y <= 32; y++ {
+				z := MustEncode(f, x, y)
+				if z < min {
+					min = z
+				}
+				if z > max {
+					max = z
+				}
+			}
+		}
+		spans = append(spans, result{f.Name(), max - min + 1})
+	}
+	// Hilbert and Morton: the aligned 16×16 block is exactly 256 contiguous
+	// addresses.
+	for i := 0; i < 2; i++ {
+		if spans[i].span != 256 {
+			t.Errorf("%s: block span %d, want 256", spans[i].name, spans[i].span)
+		}
+	}
+	// Row-major: 15 full strides plus 16.
+	if spans[2].span != 64*15+16 {
+		t.Errorf("row-major block span %d, want %d", spans[2].span, 64*15+16)
+	}
+	// The unbounded PFs must be strictly worse than the dyadic curves here.
+	for _, r := range spans[3:] {
+		if r.span <= 256 {
+			t.Errorf("%s: span %d unexpectedly beats the curves", r.name, r.span)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"pairfn/internal/numtheory"
+)
+
+// TestHyperbolicShellPrefix checks ℋ's first address of each shell:
+// ℋ(largest divisor first) and that shell N spans exactly δ(N) addresses
+// after D(N−1).
+func TestHyperbolicShellPrefix(t *testing.T) {
+	var h Hyperbolic
+	for n := int64(1); n <= 200; n++ {
+		prefix := numtheory.DivisorSummatory(n - 1)
+		divs := numtheory.Divisors(n)
+		// Reverse-lex order: x descending.
+		for i := len(divs) - 1; i >= 0; i-- {
+			x := divs[i]
+			y := n / x
+			want := prefix + int64(len(divs)-i)
+			if got := MustEncode(h, x, y); got != want {
+				t.Fatalf("ℋ(%d, %d) = %d, want %d", x, y, got, want)
+			}
+		}
+	}
+}
+
+// TestHyperbolicSpreadIsSummatory checks S_ℋ(n) = D(n) exactly: the
+// largest address over {xy ≤ n} is the divisor summatory function — the
+// optimality claim of §3.2.3 (experiment E9's exact core).
+func TestHyperbolicSpreadIsSummatory(t *testing.T) {
+	var h Hyperbolic
+	for _, n := range []int64{1, 2, 3, 10, 16, 64, 200} {
+		var max int64
+		for x := int64(1); x <= n; x++ {
+			for y := int64(1); y <= n/x; y++ {
+				if z := MustEncode(h, x, y); z > max {
+					max = z
+				}
+			}
+		}
+		if want := numtheory.DivisorSummatory(n); max != want {
+			t.Errorf("S_ℋ(%d) = %d, want D(n) = %d", n, max, want)
+		}
+	}
+}
+
+// TestHyperbolicLargeRoundTrip exercises the O(√n) encode and the
+// binary-search decode far from the origin.
+func TestHyperbolicLargeRoundTrip(t *testing.T) {
+	var h Hyperbolic
+	coords := [][2]int64{
+		{1, 1 << 20}, {1 << 20, 1}, {1 << 10, 1 << 10},
+		{999983, 2}, {12345, 6789}, {1, 1}, {2, 3},
+	}
+	for _, c := range coords {
+		z, err := h.Encode(c[0], c[1])
+		if err != nil {
+			t.Fatalf("Encode(%d, %d): %v", c[0], c[1], err)
+		}
+		x, y, err := h.Decode(z)
+		if err != nil {
+			t.Fatalf("Decode(%d): %v", z, err)
+		}
+		if x != c[0] || y != c[1] {
+			t.Errorf("round trip (%d, %d) → %d → (%d, %d)", c[0], c[1], z, x, y)
+		}
+	}
+}
+
+// TestCachedHyperbolicMatches checks cached and direct variants agree on
+// both encode and decode across the cache boundary.
+func TestCachedHyperbolicMatches(t *testing.T) {
+	var h Hyperbolic
+	cached := NewCachedHyperbolic(100) // boundary at xy = 100
+	for x := int64(1); x <= 25; x++ {
+		for y := int64(1); y <= 25; y++ {
+			a := MustEncode(h, x, y)
+			b := MustEncode(cached, x, y)
+			if a != b {
+				t.Fatalf("(%d, %d): direct %d ≠ cached %d", x, y, a, b)
+			}
+		}
+	}
+	for z := int64(1); z <= 800; z++ {
+		ax, ay := MustDecode(h, z)
+		bx, by := MustDecode(cached, z)
+		if ax != bx || ay != by {
+			t.Fatalf("Decode(%d): direct (%d,%d) ≠ cached (%d,%d)", z, ax, ay, bx, by)
+		}
+	}
+}
+
+// TestRowColumnMajorPartial tests the fixed-strip baselines.
+func TestRowColumnMajorPartial(t *testing.T) {
+	r := RowMajor{Width: 5}
+	for x := int64(1); x <= 20; x++ {
+		for y := int64(1); y <= 5; y++ {
+			z := MustEncode(r, x, y)
+			if want := (x-1)*5 + y; z != want {
+				t.Fatalf("row-major(%d, %d) = %d, want %d", x, y, z, want)
+			}
+			gx, gy := MustDecode(r, z)
+			if gx != x || gy != y {
+				t.Fatalf("row-major decode(%d) = (%d, %d)", z, gx, gy)
+			}
+		}
+	}
+	if _, err := r.Encode(1, 6); err == nil {
+		t.Error("row-major Encode(1, 6) should reject y > width")
+	}
+	c := ColumnMajor{Height: 7}
+	for y := int64(1); y <= 20; y++ {
+		for x := int64(1); x <= 7; x++ {
+			z := MustEncode(c, x, y)
+			if want := (y-1)*7 + x; z != want {
+				t.Fatalf("column-major(%d, %d) = %d, want %d", x, y, z, want)
+			}
+		}
+	}
+	if _, err := c.Encode(8, 1); err == nil {
+		t.Error("column-major Encode(8, 1) should reject x > height")
+	}
+	if _, err := (RowMajor{}).Encode(1, 1); err == nil {
+		t.Error("zero-width row-major should reject")
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import "math/bits"
+
+// Morton is the Z-order (bit-interleaving) pairing function, the storage
+// mapping modern spatial systems reach for. It is not in the paper — we
+// include it as the natural present-day baseline for the §3.2 compactness
+// race: interleaving the bits of x−1 and y−1 gives a bijection N×N ↔ N
+// whose shells are the nested 2^k×2^k squares, so like 𝒜₁,₁ it is
+// quadratically compact on squares (S(4^k) = 4^k exactly at power-of-four
+// sizes) and quadratically wasteful on thin arrays — but unlike any of the
+// paper's PFs its block locality is dyadic: every aligned 2^j×2^j block is
+// one contiguous address range, which BenchmarkEncode and the extarray
+// traversal costs quantify.
+//
+// The zero value is ready to use.
+type Morton struct{}
+
+// Name implements PF.
+func (Morton) Name() string { return "morton" }
+
+// Encode implements PF: interleave the bits of x−1 (odd positions) and
+// y−1 (even positions), plus 1.
+func (Morton) Encode(x, y int64) (int64, error) {
+	if err := checkPos(x, y); err != nil {
+		return 0, err
+	}
+	ux, uy := uint64(x-1), uint64(y-1)
+	if bits.Len64(ux) > 31 || bits.Len64(uy) > 31 {
+		return 0, ErrOverflow // interleaved result would pass 63 bits
+	}
+	z := interleave(uy) | interleave(ux)<<1
+	return int64(z) + 1, nil
+}
+
+// Decode implements PF.
+func (Morton) Decode(z int64) (int64, int64, error) {
+	if err := checkAddr(z); err != nil {
+		return 0, 0, err
+	}
+	u := uint64(z - 1)
+	y := deinterleave(u)
+	x := deinterleave(u >> 1)
+	return int64(x) + 1, int64(y) + 1, nil
+}
+
+// interleave spreads the low 32 bits of v into the even bit positions.
+func interleave(v uint64) uint64 {
+	v &= 0xFFFFFFFF
+	v = (v | v<<16) & 0x0000FFFF0000FFFF
+	v = (v | v<<8) & 0x00FF00FF00FF00FF
+	v = (v | v<<4) & 0x0F0F0F0F0F0F0F0F
+	v = (v | v<<2) & 0x3333333333333333
+	v = (v | v<<1) & 0x5555555555555555
+	return v
+}
+
+// deinterleave gathers the even bit positions of v into the low 32 bits.
+func deinterleave(v uint64) uint64 {
+	v &= 0x5555555555555555
+	v = (v | v>>1) & 0x3333333333333333
+	v = (v | v>>2) & 0x0F0F0F0F0F0F0F0F
+	v = (v | v>>4) & 0x00FF00FF00FF00FF
+	v = (v | v>>8) & 0x0000FFFF0000FFFF
+	v = (v | v>>16) & 0x00000000FFFFFFFF
+	return v
+}

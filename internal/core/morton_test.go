@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMortonBijectionOnBox(t *testing.T) {
+	var m Morton
+	seen := make(map[int64][2]int64)
+	for x := int64(1); x <= 64; x++ {
+		for y := int64(1); y <= 64; y++ {
+			z := MustEncode(m, x, y)
+			if p, dup := seen[z]; dup {
+				t.Fatalf("collision (%d,%d)/(%d,%d) → %d", p[0], p[1], x, y, z)
+			}
+			seen[z] = [2]int64{x, y}
+			gx, gy := MustDecode(m, z)
+			if gx != x || gy != y {
+				t.Fatalf("round trip (%d, %d) → %d → (%d, %d)", x, y, z, gx, gy)
+			}
+		}
+	}
+	// Surjective prefix: a 64×64 box is the Morton cube [1, 4096].
+	for z := int64(1); z <= 4096; z++ {
+		if _, dup := seen[z]; !dup {
+			t.Fatalf("address %d missing from the 64×64 box", z)
+		}
+	}
+}
+
+func TestMortonKnownValues(t *testing.T) {
+	var m Morton
+	cases := []struct{ x, y, z int64 }{
+		{1, 1, 1}, {1, 2, 2}, {2, 1, 3}, {2, 2, 4},
+		{1, 3, 5}, {3, 1, 9}, {3, 3, 13}, {4, 4, 16},
+	}
+	for _, c := range cases {
+		if got := MustEncode(m, c.x, c.y); got != c.z {
+			t.Errorf("morton(%d, %d) = %d, want %d", c.x, c.y, got, c.z)
+		}
+	}
+}
+
+// TestMortonDyadicBlocks verifies the locality property: every aligned
+// 2^j×2^j block occupies one contiguous address range of length 4^j.
+func TestMortonDyadicBlocks(t *testing.T) {
+	var m Morton
+	for j := uint(0); j <= 3; j++ {
+		side := int64(1) << j
+		for bx := int64(0); bx < 4; bx++ {
+			for by := int64(0); by < 4; by++ {
+				min, max := int64(1<<62), int64(0)
+				for dx := int64(1); dx <= side; dx++ {
+					for dy := int64(1); dy <= side; dy++ {
+						z := MustEncode(m, bx*side+dx, by*side+dy)
+						if z < min {
+							min = z
+						}
+						if z > max {
+							max = z
+						}
+					}
+				}
+				if max-min+1 != side*side {
+					t.Fatalf("block (%d,%d) side %d spans [%d, %d], want contiguous %d",
+						bx, by, side, min, max, side*side)
+				}
+			}
+		}
+	}
+}
+
+// TestMortonSpread: like 𝒜₁,₁, Morton is quadratic on arbitrary shapes
+// (thin arrays devastate it) and perfect at power-of-four square sizes.
+func TestMortonSpread(t *testing.T) {
+	var m Morton
+	// Perfect on the 2^k×2^k square.
+	for k := uint(0); k <= 5; k++ {
+		side := int64(1) << k
+		var max int64
+		for x := int64(1); x <= side; x++ {
+			for y := int64(1); y <= side; y++ {
+				if z := MustEncode(m, x, y); z > max {
+					max = z
+				}
+			}
+		}
+		if max != side*side {
+			t.Errorf("S over %d×%d = %d, want %d", side, side, max, side*side)
+		}
+	}
+	// Quadratic on the 1×n thin array: morton(1, n) ≈ the deinterleaved
+	// square. For n = 2^k+1, morton(1, n) > n²/4.
+	n := int64(1<<10 + 1)
+	z := MustEncode(m, 1, n)
+	if z <= n*n/4 {
+		t.Errorf("morton(1, %d) = %d, expected quadratic blow-up", n, z)
+	}
+}
+
+func TestMortonOverflowAndDomain(t *testing.T) {
+	var m Morton
+	if _, err := m.Encode(1<<31+1, 1); err == nil {
+		t.Error("coordinates past 2^31 should overflow the interleave")
+	}
+	if _, err := m.Encode(1<<31, 1); err != nil {
+		t.Errorf("2^31 should fit: %v", err)
+	}
+	if _, err := m.Encode(0, 1); err == nil {
+		t.Error("x = 0 should fail")
+	}
+	if _, _, err := m.Decode(0); err == nil {
+		t.Error("z = 0 should fail")
+	}
+}
+
+func TestMortonQuickRoundTrip(t *testing.T) {
+	var m Morton
+	f := func(a, b uint32) bool {
+		// Stay within the 31-bit-per-coordinate interleave capacity.
+		x, y := int64(a%(1<<31))+1, int64(b%(1<<31))+1
+		z, err := m.Encode(x, y)
+		if err != nil {
+			return false
+		}
+		gx, gy, err := m.Decode(z)
+		return err == nil && gx == x && gy == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

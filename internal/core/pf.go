@@ -1,0 +1,105 @@
+// Package core implements the pairing functions of Rosenberg's "Efficient
+// Pairing Functions — and Why You Should Care" (IPPS 2002): bijections
+// between N×N and N (N = positive integers) together with the injective
+// storage mappings derived from them.
+//
+// The package provides:
+//
+//   - the Cauchy–Cantor diagonal PF 𝒟 (eq. 2.1) and its twin,
+//   - the square-shell PF 𝒜₁,₁ (eq. 3.3) and its clockwise twin,
+//   - the aspect-ratio PFs 𝒜_{a,b} with perfect compactness (eq. 3.2),
+//   - the dovetail combinator of §3.2.2,
+//   - the hyperbolic PF ℋ with optimal Θ(n log n) spread (eq. 3.4),
+//   - the generic Procedure PF-Constructor of §3.1 (Theorem 3.1), and
+//   - row-/column-major baselines for comparison.
+//
+// All coordinates and addresses are 1-based, matching the paper's
+// convention N = {1, 2, 3, …}. Encode returns ErrOverflow rather than a
+// wrapped value when the exact address does not fit in int64.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOverflow reports that an exact address or coordinate computation would
+// exceed the range of int64.
+var ErrOverflow = errors.New("core: int64 overflow")
+
+// ErrDomain reports a coordinate or address outside N (i.e. < 1).
+var ErrDomain = errors.New("core: argument outside N (must be ≥ 1)")
+
+// ErrNotInRange reports that an address is not in the range of an injective
+// (non-surjective) storage mapping and therefore has no preimage.
+var ErrNotInRange = errors.New("core: address not in the mapping's range")
+
+// A PF is a pairing function: a bijection N×N ↔ N. Encode maps a position
+// ⟨x, y⟩ (row, column; both ≥ 1) to its address; Decode inverts it.
+//
+// Implementations must satisfy, for all x, y, z ≥ 1 (within int64 range):
+//
+//	Decode(Encode(x, y)) = (x, y)   and   Encode(Decode(z)) = z.
+type PF interface {
+	// Name returns a short identifier used in tables and benchmarks.
+	Name() string
+	// Encode returns the address of position ⟨x, y⟩.
+	Encode(x, y int64) (int64, error)
+	// Decode returns the position stored at address z.
+	Decode(z int64) (x, y int64, err error)
+}
+
+// A StorageMapping is an injective map N×N → N. Every PF is a
+// StorageMapping; the dovetail combinator of §3.2.2 yields StorageMappings
+// that are injective but not surjective (its Decode returns ErrNotInRange
+// for addresses outside the image). The spread measure S_A(n) of eq. 3.1 is
+// defined for any StorageMapping.
+type StorageMapping = PF
+
+// checkPos validates a 1-based position.
+func checkPos(x, y int64) error {
+	if x < 1 || y < 1 {
+		return fmt.Errorf("%w: position (%d, %d)", ErrDomain, x, y)
+	}
+	return nil
+}
+
+// checkAddr validates a 1-based address.
+func checkAddr(z int64) error {
+	if z < 1 {
+		return fmt.Errorf("%w: address %d", ErrDomain, z)
+	}
+	return nil
+}
+
+// MustEncode is Encode with a panic on error; intended for examples, tests
+// and table printers operating far from the int64 boundary.
+func MustEncode(f PF, x, y int64) int64 {
+	z, err := f.Encode(x, y)
+	if err != nil {
+		panic(fmt.Sprintf("core: %s.Encode(%d, %d): %v", f.Name(), x, y, err))
+	}
+	return z
+}
+
+// MustDecode is Decode with a panic on error.
+func MustDecode(f PF, z int64) (int64, int64) {
+	x, y, err := f.Decode(z)
+	if err != nil {
+		panic(fmt.Sprintf("core: %s.Decode(%d): %v", f.Name(), z, err))
+	}
+	return x, y
+}
+
+// Table returns the rows×cols sample of f laid out as in the paper's
+// figures: Table[i][j] = f(i+1, j+1).
+func Table(f PF, rows, cols int) [][]int64 {
+	t := make([][]int64, rows)
+	for i := range t {
+		t[i] = make([]int64, cols)
+		for j := range t[i] {
+			t[i][j] = MustEncode(f, int64(i+1), int64(j+1))
+		}
+	}
+	return t
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// allPFs returns every total PF in the package (row/column-major are
+// partial and tested separately; Dovetail is injective-only and tested in
+// dovetail_test.go).
+func allPFs() []PF {
+	return []PF{
+		Diagonal{},
+		Diagonal{Twin: true},
+		SquareShell{},
+		SquareShell{Clockwise: true},
+		MustAspect(1, 1),
+		MustAspect(1, 2),
+		MustAspect(2, 1),
+		MustAspect(2, 3),
+		MustAspect(5, 1),
+		Hyperbolic{},
+		NewCachedHyperbolic(4096),
+		NewEnumerated(DiagonalShells{}),
+		NewEnumerated(SquareShells{}),
+		NewEnumerated(HyperbolicShells{}),
+	}
+}
+
+// TestBijectionOnBox checks, for every PF, that Encode is injective on
+// [1,60]² and that Decode inverts it.
+func TestBijectionOnBox(t *testing.T) {
+	const B = 60
+	for _, f := range allPFs() {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			seen := make(map[int64][2]int64, B*B)
+			for x := int64(1); x <= B; x++ {
+				for y := int64(1); y <= B; y++ {
+					z, err := f.Encode(x, y)
+					if err != nil {
+						t.Fatalf("Encode(%d, %d): %v", x, y, err)
+					}
+					if z < 1 {
+						t.Fatalf("Encode(%d, %d) = %d < 1", x, y, z)
+					}
+					if p, dup := seen[z]; dup {
+						t.Fatalf("collision: (%d,%d) and (%d,%d) → %d", p[0], p[1], x, y, z)
+					}
+					seen[z] = [2]int64{x, y}
+					gx, gy, err := f.Decode(z)
+					if err != nil {
+						t.Fatalf("Decode(%d): %v", z, err)
+					}
+					if gx != x || gy != y {
+						t.Fatalf("Decode(Encode(%d, %d)) = (%d, %d)", x, y, gx, gy)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSurjectivePrefix checks that every PF's Decode∘Encode is the identity
+// on an initial segment of addresses — i.e. every small address has a
+// preimage (surjectivity of the enumeration).
+func TestSurjectivePrefix(t *testing.T) {
+	const N = 3000
+	for _, f := range allPFs() {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			for z := int64(1); z <= N; z++ {
+				x, y, err := f.Decode(z)
+				if err != nil {
+					t.Fatalf("Decode(%d): %v", z, err)
+				}
+				if x < 1 || y < 1 {
+					t.Fatalf("Decode(%d) = (%d, %d) outside N×N", z, x, y)
+				}
+				back, err := f.Encode(x, y)
+				if err != nil {
+					t.Fatalf("Encode(Decode(%d)): %v", z, err)
+				}
+				if back != z {
+					t.Fatalf("Encode(Decode(%d)) = %d", z, back)
+				}
+			}
+		})
+	}
+}
+
+// coordCap bounds property-test coordinates per PF: the hyperbolic decode
+// costs O(√(xy) log xy) and the generic Enumerated PF materializes one
+// prefix entry per shell, so their shells must stay laptop-sized. The
+// closed-form polynomial PFs get the full 10⁵ range.
+func coordCap(f PF) int64 {
+	switch f.(type) {
+	case Hyperbolic, *CachedHyperbolic:
+		return 3000 // xy ≤ 9·10⁶
+	case *Enumerated:
+		if _, ok := f.(*Enumerated).Partition().(HyperbolicShells); ok {
+			return 300 // xy = shell count ≤ 9·10⁴
+		}
+		return 30000
+	default:
+		return 100000
+	}
+}
+
+// TestRoundTripProperty is the testing/quick form of the bijection law on
+// random coordinates across the full int64-safe range.
+func TestRoundTripProperty(t *testing.T) {
+	for _, f := range allPFs() {
+		f := f
+		limit := coordCap(f)
+		t.Run(f.Name(), func(t *testing.T) {
+			check := func(a, b int64) bool {
+				x := a%limit + 1
+				y := b%limit + 1
+				if x < 1 {
+					x += limit
+				}
+				if y < 1 {
+					y += limit
+				}
+				z, err := f.Encode(x, y)
+				if err != nil {
+					return false
+				}
+				gx, gy, err := f.Decode(z)
+				return err == nil && gx == x && gy == y
+			}
+			cfg := &quick.Config{MaxCount: 200}
+			if err := quick.Check(check, cfg); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestDomainErrors checks uniform rejection of out-of-domain arguments.
+func TestDomainErrors(t *testing.T) {
+	for _, f := range allPFs() {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			for _, p := range [][2]int64{{0, 1}, {1, 0}, {0, 0}, {-3, 5}, {5, -3}} {
+				if _, err := f.Encode(p[0], p[1]); !errors.Is(err, ErrDomain) {
+					t.Errorf("Encode(%d, %d) err = %v, want ErrDomain", p[0], p[1], err)
+				}
+			}
+			for _, z := range []int64{0, -1, -100} {
+				if _, _, err := f.Decode(z); !errors.Is(err, ErrDomain) {
+					t.Errorf("Decode(%d) err = %v, want ErrDomain", z, err)
+				}
+			}
+		})
+	}
+}
+
+// TestEnumeratedMatchesClosedForms cross-validates Theorem 3.1: the PFs
+// built generically by Procedure PF-Constructor from the diagonal, square
+// and hyperbolic shell partitions must agree everywhere with the closed
+// forms (eqs. 2.1, 3.3, 3.4).
+func TestEnumeratedMatchesClosedForms(t *testing.T) {
+	pairs := []struct {
+		enum   PF
+		closed PF
+	}{
+		{NewEnumerated(DiagonalShells{}), Diagonal{}},
+		{NewEnumerated(SquareShells{}), SquareShell{}},
+		{NewEnumerated(HyperbolicShells{}), Hyperbolic{}},
+	}
+	for _, p := range pairs {
+		p := p
+		t.Run(p.closed.Name(), func(t *testing.T) {
+			for x := int64(1); x <= 40; x++ {
+				for y := int64(1); y <= 40; y++ {
+					a := MustEncode(p.enum, x, y)
+					b := MustEncode(p.closed, x, y)
+					if a != b {
+						t.Fatalf("(%d, %d): enumerated %d ≠ closed form %d", x, y, a, b)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShellPartitionContracts checks the ShellPartition laws directly.
+func TestShellPartitionContracts(t *testing.T) {
+	parts := []ShellPartition{DiagonalShells{}, SquareShells{}, HyperbolicShells{}}
+	for _, p := range parts {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			for x := int64(1); x <= 30; x++ {
+				for y := int64(1); y <= 30; y++ {
+					c := p.Shell(x, y)
+					r := p.Rank(x, y)
+					if r < 1 || r > p.Size(c) {
+						t.Fatalf("Rank(%d, %d) = %d outside [1, %d]", x, y, r, p.Size(c))
+					}
+					gx, gy := p.Unrank(c, r)
+					if gx != x || gy != y {
+						t.Fatalf("Unrank(Shell, Rank) of (%d, %d) = (%d, %d)", x, y, gx, gy)
+					}
+				}
+			}
+			// Each shell's ranks are a permutation of 1..Size.
+			for c := int64(1); c <= 20; c++ {
+				seen := make(map[int64]bool)
+				for r := int64(1); r <= p.Size(c); r++ {
+					x, y := p.Unrank(c, r)
+					if p.Shell(x, y) != c {
+						t.Fatalf("Unrank(%d, %d) = (%d, %d) in shell %d", c, r, x, y, p.Shell(x, y))
+					}
+					if seen[r] {
+						t.Fatalf("duplicate rank %d in shell %d", r, c)
+					}
+					seen[r] = true
+				}
+			}
+		})
+	}
+}
+
+// TestMustHelpers checks the panic behaviour of MustEncode/MustDecode.
+func TestMustHelpers(t *testing.T) {
+	// 𝒟(3, 4) = C(6, 2) + 4 = 19 (Fig. 2, row 3, column 4).
+	if got := MustEncode(Diagonal{}, 3, 4); got != 19 {
+		t.Errorf("MustEncode = %d, want 19", got)
+	}
+	x, y := MustDecode(Diagonal{}, 19)
+	if x != 3 || y != 4 {
+		t.Errorf("MustDecode(19) = (%d, %d)", x, y)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEncode(0, 0) did not panic")
+		}
+	}()
+	MustEncode(Diagonal{}, 0, 0)
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"pairfn/internal/numtheory"
+)
+
+// RowMajor is the standard fixed-width row-major indexing used by most
+// compilers (§3.2): addr(x, y) = (x−1)·Width + y. It is the baseline the
+// paper's storage mappings are measured against.
+//
+// RowMajor is a bijection between the strip {(x, y) : y ≤ Width} and N, not
+// between N×N and N: positions with y > Width are outside its domain and
+// Encode returns ErrDomain for them. Reshaping an array stored this way
+// requires remapping every element whenever the width changes — the
+// Ω(n²)-work-for-O(n)-changes behaviour criticized in §3; see package
+// extarray for that cost measured.
+type RowMajor struct {
+	// Width is the fixed number of columns; must be ≥ 1.
+	Width int64
+}
+
+// Name implements PF.
+func (r RowMajor) Name() string { return fmt.Sprintf("row-major-%d", r.Width) }
+
+// Encode implements PF for the strip y ≤ Width.
+func (r RowMajor) Encode(x, y int64) (int64, error) {
+	if err := checkPos(x, y); err != nil {
+		return 0, err
+	}
+	if r.Width < 1 {
+		return 0, fmt.Errorf("%w: row-major width %d", ErrDomain, r.Width)
+	}
+	if y > r.Width {
+		return 0, fmt.Errorf("%w: column %d exceeds fixed width %d", ErrDomain, y, r.Width)
+	}
+	off, err := numtheory.MulCheck(x-1, r.Width)
+	if err != nil {
+		return 0, err
+	}
+	return numtheory.AddCheck(off, y)
+}
+
+// Decode implements PF.
+func (r RowMajor) Decode(z int64) (int64, int64, error) {
+	if err := checkAddr(z); err != nil {
+		return 0, 0, err
+	}
+	if r.Width < 1 {
+		return 0, 0, fmt.Errorf("%w: row-major width %d", ErrDomain, r.Width)
+	}
+	return (z-1)/r.Width + 1, (z-1)%r.Width + 1, nil
+}
+
+// ColumnMajor is the column-major twin of RowMajor for a fixed number of
+// rows: addr(x, y) = (y−1)·Height + x, defined on the strip x ≤ Height.
+type ColumnMajor struct {
+	// Height is the fixed number of rows; must be ≥ 1.
+	Height int64
+}
+
+// Name implements PF.
+func (c ColumnMajor) Name() string { return fmt.Sprintf("column-major-%d", c.Height) }
+
+// Encode implements PF for the strip x ≤ Height.
+func (c ColumnMajor) Encode(x, y int64) (int64, error) {
+	if err := checkPos(x, y); err != nil {
+		return 0, err
+	}
+	if c.Height < 1 {
+		return 0, fmt.Errorf("%w: column-major height %d", ErrDomain, c.Height)
+	}
+	if x > c.Height {
+		return 0, fmt.Errorf("%w: row %d exceeds fixed height %d", ErrDomain, x, c.Height)
+	}
+	off, err := numtheory.MulCheck(y-1, c.Height)
+	if err != nil {
+		return 0, err
+	}
+	return numtheory.AddCheck(off, x)
+}
+
+// Decode implements PF.
+func (c ColumnMajor) Decode(z int64) (int64, int64, error) {
+	if err := checkAddr(z); err != nil {
+		return 0, 0, err
+	}
+	if c.Height < 1 {
+		return 0, 0, fmt.Errorf("%w: column-major height %d", ErrDomain, c.Height)
+	}
+	return (z-1)%c.Height + 1, (z-1)/c.Height + 1, nil
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"pairfn/internal/numtheory"
+)
+
+// A ShellPartition describes Step 1 and Step 2b of Procedure PF-Constructor
+// (§3.1): a partition of N×N into finite, linearly ordered shells together
+// with a linear order inside each shell. Shells are indexed 1, 2, 3, …
+//
+// Implementations must satisfy, for every position (x, y) and shell c:
+//
+//	1 ≤ Rank(x, y) ≤ Size(Shell(x, y))
+//	Unrank(Shell(x, y), Rank(x, y)) = (x, y)
+//
+// and every position must belong to exactly one shell.
+type ShellPartition interface {
+	// Name identifies the partition in tables and benchmarks.
+	Name() string
+	// Shell returns the 1-based shell index of position ⟨x, y⟩.
+	Shell(x, y int64) int64
+	// Size returns the number of positions in shell c.
+	Size(c int64) int64
+	// Rank returns the 1-based position of ⟨x, y⟩ in its shell's order.
+	Rank(x, y int64) int64
+	// Unrank returns the r-th position of shell c.
+	Unrank(c, r int64) (x, y int64)
+}
+
+// Enumerated realizes Theorem 3.1: given any ShellPartition it is a valid
+// PF, obtained by enumerating N×N shell by shell (Step 2a) and honoring the
+// within-shell order (Step 2b). Shell-prefix sums are cached incrementally,
+// so the first access to shell c costs O(c) and later accesses to shells
+// ≤ c cost O(log c). Safe for concurrent use.
+type Enumerated struct {
+	part ShellPartition
+
+	mu     sync.Mutex
+	prefix []int64 // prefix[c] = Σ_{j ≤ c} Size(j); prefix[0] = 0
+}
+
+// NewEnumerated returns the PF that Procedure PF-Constructor builds from
+// the given shell partition.
+func NewEnumerated(part ShellPartition) *Enumerated {
+	return &Enumerated{part: part, prefix: []int64{0}}
+}
+
+// Name implements PF.
+func (e *Enumerated) Name() string { return "enumerated(" + e.part.Name() + ")" }
+
+// Partition returns the underlying shell partition.
+func (e *Enumerated) Partition() ShellPartition { return e.part }
+
+// prefixOf returns Σ_{j ≤ c} Size(j), extending the cache as needed.
+func (e *Enumerated) prefixOf(c int64) (int64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for int64(len(e.prefix)) <= c {
+		j := int64(len(e.prefix))
+		s, err := numtheory.AddCheck(e.prefix[j-1], e.part.Size(j))
+		if err != nil {
+			return 0, err
+		}
+		e.prefix = append(e.prefix, s)
+	}
+	return e.prefix[c], nil
+}
+
+// Encode implements PF.
+func (e *Enumerated) Encode(x, y int64) (int64, error) {
+	if err := checkPos(x, y); err != nil {
+		return 0, err
+	}
+	c := e.part.Shell(x, y)
+	if c < 1 {
+		return 0, fmt.Errorf("core: partition %s returned shell %d for (%d, %d)",
+			e.part.Name(), c, x, y)
+	}
+	p, err := e.prefixOf(c - 1)
+	if err != nil {
+		return 0, err
+	}
+	return numtheory.AddCheck(p, e.part.Rank(x, y))
+}
+
+// Decode implements PF: find the shell whose prefix range contains z, then
+// unrank.
+func (e *Enumerated) Decode(z int64) (int64, int64, error) {
+	if err := checkAddr(z); err != nil {
+		return 0, 0, err
+	}
+	e.mu.Lock()
+	// Extend the cache until it covers z.
+	for e.prefix[len(e.prefix)-1] < z {
+		j := int64(len(e.prefix))
+		s, err := numtheory.AddCheck(e.prefix[j-1], e.part.Size(j))
+		if err != nil {
+			e.mu.Unlock()
+			return 0, 0, err
+		}
+		e.prefix = append(e.prefix, s)
+	}
+	// Binary search: smallest c with prefix[c] ≥ z.
+	lo, hi := 1, len(e.prefix)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.prefix[mid] >= z {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	r := z - e.prefix[lo-1]
+	e.mu.Unlock()
+	x, y := e.part.Unrank(int64(lo), r)
+	return x, y, nil
+}
+
+// DiagonalShells is the partition x + y = c+1 (shell c = diagonal x+y−1 = c,
+// so shell 1 = {(1,1)}), ordered by increasing y — the shells that define
+// the diagonal PF 𝒟 of eq. 2.1 and Fig. 2.
+type DiagonalShells struct{}
+
+// Name implements ShellPartition.
+func (DiagonalShells) Name() string { return "diagonal-shells" }
+
+// Shell implements ShellPartition.
+func (DiagonalShells) Shell(x, y int64) int64 { return x + y - 1 }
+
+// Size implements ShellPartition: the diagonal x+y = c+1 has c positions.
+func (DiagonalShells) Size(c int64) int64 { return c }
+
+// Rank implements ShellPartition: by increasing y.
+func (DiagonalShells) Rank(x, y int64) int64 { return y }
+
+// Unrank implements ShellPartition.
+func (DiagonalShells) Unrank(c, r int64) (int64, int64) { return c + 1 - r, r }
+
+// SquareShells is the partition max(x, y) = c, walked counterclockwise: up
+// the column x = c first, then right-to-left along the row y = c — the
+// shells of the square-shell PF 𝒜₁,₁ of eq. 3.3 and Fig. 3.
+type SquareShells struct{}
+
+// Name implements ShellPartition.
+func (SquareShells) Name() string { return "square-shells" }
+
+// Shell implements ShellPartition.
+func (SquareShells) Shell(x, y int64) int64 {
+	if x > y {
+		return x
+	}
+	return y
+}
+
+// Size implements ShellPartition: shell c is an L of 2c−1 positions.
+func (SquareShells) Size(c int64) int64 { return 2*c - 1 }
+
+// Rank implements ShellPartition.
+func (SquareShells) Rank(x, y int64) int64 {
+	if x >= y {
+		return y // ascending the column x = c
+	}
+	return 2*y - x // then right-to-left along the row y = c
+}
+
+// Unrank implements ShellPartition.
+func (SquareShells) Unrank(c, r int64) (int64, int64) {
+	if r <= c {
+		return c, r
+	}
+	return 2*c - r, c
+}
+
+// HyperbolicShells is the partition xy = c with reverse-lexicographic order
+// inside each shell — the shells of the hyperbolic PF ℋ of eq. 3.4 and
+// Fig. 4. Size(c) = δ(c), so shell sizes are the divisor function.
+type HyperbolicShells struct{}
+
+// Name implements ShellPartition.
+func (HyperbolicShells) Name() string { return "hyperbolic-shells" }
+
+// Shell implements ShellPartition.
+func (HyperbolicShells) Shell(x, y int64) int64 { return x * y }
+
+// Size implements ShellPartition.
+func (HyperbolicShells) Size(c int64) int64 { return numtheory.DivisorCount(c) }
+
+// Rank implements ShellPartition: reverse-lexicographic position, i.e. the
+// number of divisors of xy that are ≥ x.
+func (HyperbolicShells) Rank(x, y int64) int64 {
+	return numtheory.DivisorsAtLeast(x*y, x)
+}
+
+// Unrank implements ShellPartition: the r-th largest divisor of c.
+func (HyperbolicShells) Unrank(c, r int64) (int64, int64) {
+	divs := numtheory.Divisors(c)
+	x := divs[int64(len(divs))-r]
+	return x, c / x
+}

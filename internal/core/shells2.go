@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"pairfn/internal/numtheory"
+)
+
+// This file supplies further instances of Procedure PF-Constructor's
+// Step 1/Step 2b design space (§3.1): the aside lists diagonal, square and
+// hyperbolic shell partitions, and Step 2b notes that either traversal
+// direction inside a shell "works as well". Each partition here
+// cross-validates a closed-form PF elsewhere in the package, or exhibits a
+// legitimate variant the paper allows.
+
+// DiagonalShellsByX is the diagonal partition of Fig. 2 with the opposite
+// within-shell order: increasing x (decreasing y) — the Step 2b variant.
+// The resulting PF is 𝒟's twin.
+type DiagonalShellsByX struct{}
+
+// Name implements ShellPartition.
+func (DiagonalShellsByX) Name() string { return "diagonal-shells-by-x" }
+
+// Shell implements ShellPartition.
+func (DiagonalShellsByX) Shell(x, y int64) int64 { return x + y - 1 }
+
+// Size implements ShellPartition.
+func (DiagonalShellsByX) Size(c int64) int64 { return c }
+
+// Rank implements ShellPartition: by increasing x.
+func (DiagonalShellsByX) Rank(x, y int64) int64 { return x }
+
+// Unrank implements ShellPartition.
+func (DiagonalShellsByX) Unrank(c, r int64) (int64, int64) { return r, c + 1 - r }
+
+// SquareShellsClockwise walks each square shell in the clockwise
+// direction: along the row y = c first (left to right in x), then down the
+// column x = c — eq. 3.3's "twin that proceeds in a clockwise direction".
+type SquareShellsClockwise struct{}
+
+// Name implements ShellPartition.
+func (SquareShellsClockwise) Name() string { return "square-shells-cw" }
+
+// Shell implements ShellPartition.
+func (SquareShellsClockwise) Shell(x, y int64) int64 {
+	if x > y {
+		return x
+	}
+	return y
+}
+
+// Size implements ShellPartition.
+func (SquareShellsClockwise) Size(c int64) int64 { return 2*c - 1 }
+
+// Rank implements ShellPartition.
+func (SquareShellsClockwise) Rank(x, y int64) int64 {
+	if y >= x {
+		return x // along the row y = c
+	}
+	return 2*x - y // then down the column x = c
+}
+
+// Unrank implements ShellPartition.
+func (SquareShellsClockwise) Unrank(c, r int64) (int64, int64) {
+	if r <= c {
+		return r, c
+	}
+	return c, 2*c - r
+}
+
+// AspectShells is the nested-rectangle partition of §3.2.1: shell k holds
+// the positions of the ak×bk array outside the a(k−1)×b(k−1) array,
+// enumerated new-columns-first exactly as the Aspect PF does — so
+// Enumerated(AspectShells{a,b}) must agree with MustAspect(a, b)
+// everywhere, which TestEnumeratedMatchesAspect verifies.
+type AspectShells struct {
+	// A, B is the favored aspect ratio; both ≥ 1.
+	A, B int64
+}
+
+// Name implements ShellPartition.
+func (p AspectShells) Name() string { return fmt.Sprintf("aspect-shells-%dx%d", p.A, p.B) }
+
+// Shell implements ShellPartition.
+func (p AspectShells) Shell(x, y int64) int64 {
+	k := numtheory.CeilDiv(x, p.A)
+	if k2 := numtheory.CeilDiv(y, p.B); k2 > k {
+		k = k2
+	}
+	return k
+}
+
+// Size implements ShellPartition: ab(2k−1).
+func (p AspectShells) Size(c int64) int64 { return p.A * p.B * (2*c - 1) }
+
+// Rank implements ShellPartition: the new-columns arm (b columns of height
+// ak, bottom-up), then the new-rows arm (a rows of length b(k−1)).
+func (p AspectShells) Rank(x, y int64) int64 {
+	k := p.Shell(x, y)
+	if y > p.B*(k-1) {
+		col := y - p.B*(k-1) - 1
+		return col*p.A*k + x
+	}
+	row := x - p.A*(k-1) - 1
+	return p.A*p.B*k + row*p.B*(k-1) + y
+}
+
+// Unrank implements ShellPartition.
+func (p AspectShells) Unrank(c, r int64) (int64, int64) {
+	if r <= p.A*p.B*c {
+		ak := p.A * c
+		y := p.B*(c-1) + 1 + (r-1)/ak
+		x := (r-1)%ak + 1
+		return x, y
+	}
+	r -= p.A * p.B * c
+	bk1 := p.B * (c - 1)
+	x := p.A*(c-1) + 1 + (r-1)/bk1
+	y := (r-1)%bk1 + 1
+	return x, y
+}
+
+// HyperbolicShellsLex is the hyperbolic partition with the *forward*
+// lexicographic within-shell order (x ascending) — the other legitimate
+// Step 2b choice for eq. 3.4's shells. It shares ℋ's optimal spread
+// because the shells are identical; only within-shell ranks differ.
+type HyperbolicShellsLex struct{}
+
+// Name implements ShellPartition.
+func (HyperbolicShellsLex) Name() string { return "hyperbolic-shells-lex" }
+
+// Shell implements ShellPartition.
+func (HyperbolicShellsLex) Shell(x, y int64) int64 { return x * y }
+
+// Size implements ShellPartition.
+func (HyperbolicShellsLex) Size(c int64) int64 { return numtheory.DivisorCount(c) }
+
+// Rank implements ShellPartition: |{d | xy : d ≤ x}|.
+func (HyperbolicShellsLex) Rank(x, y int64) int64 {
+	n := x * y
+	return numtheory.DivisorCount(n) - numtheory.DivisorsAtLeast(n, x+1)
+}
+
+// Unrank implements ShellPartition: the r-th smallest divisor.
+func (HyperbolicShellsLex) Unrank(c, r int64) (int64, int64) {
+	divs := numtheory.Divisors(c)
+	x := divs[r-1]
+	return x, c / x
+}

@@ -1,0 +1,74 @@
+package core
+
+import "pairfn/internal/numtheory"
+
+// SquareShell is the square-shell pairing function 𝒜₁,₁ of eq. 3.3:
+//
+//	𝒜₁,₁(x, y) = m² + m + y − x + 1,  m = max(x−1, y−1).
+//
+// It enumerates N×N counterclockwise along the square shells
+// max(x, y) = 1, 2, 3, … (Fig. 3) and utilizes storage perfectly — in the
+// sense of eq. 3.2 — on square arrays: every position of an n-position
+// square array receives an address ≤ n. If Clockwise is true the twin that
+// walks each shell in the opposite direction is used.
+//
+// The zero value is the paper's 𝒜₁,₁.
+type SquareShell struct {
+	// Clockwise selects the twin that proceeds clockwise along each shell,
+	// i.e. exchanges the roles of x and y.
+	Clockwise bool
+}
+
+// Name implements PF.
+func (s SquareShell) Name() string {
+	if s.Clockwise {
+		return "square-shell-cw"
+	}
+	return "square-shell"
+}
+
+// Encode implements PF.
+func (s SquareShell) Encode(x, y int64) (int64, error) {
+	if err := checkPos(x, y); err != nil {
+		return 0, err
+	}
+	if s.Clockwise {
+		x, y = y, x
+	}
+	m := x - 1
+	if y-1 > m {
+		m = y - 1
+	}
+	sq, err := numtheory.MulCheck(m, m)
+	if err != nil {
+		return 0, err
+	}
+	// m² + m + (y − x) + 1; the shell term dominates, so the remaining
+	// additions stay within one shell width (≤ 2m+1) of sq.
+	z, err := numtheory.AddCheck(sq, m+1)
+	if err != nil {
+		return 0, err
+	}
+	return z + (y - x), nil
+}
+
+// Decode implements PF. Shell m holds addresses m²+1 … (m+1)²; within the
+// shell, the first m+1 addresses run up the column x = m+1 and the rest run
+// right-to-left along the row y = m+1.
+func (s SquareShell) Decode(z int64) (int64, int64, error) {
+	if err := checkAddr(z); err != nil {
+		return 0, 0, err
+	}
+	m := numtheory.Isqrt(z - 1)
+	r := z - m*m // 1 … 2m+1
+	var x, y int64
+	if r <= m+1 {
+		x, y = m+1, r
+	} else {
+		x, y = 2*m+2-r, m+1
+	}
+	if s.Clockwise {
+		x, y = y, x
+	}
+	return x, y, nil
+}

@@ -1,0 +1,24 @@
+package core
+
+// Transposed is the twin combinator: it exchanges the roles of x and y in
+// any PF, generalizing the bespoke Twin/Clockwise fields of 𝒟 and 𝒜₁,₁
+// ("which, of course, has a twin obtained by exchanging x and y", §2).
+// Transposing preserves bijectivity trivially and reflects the spread
+// profile across the diagonal: a PF that favors wide arrays starts
+// favoring tall ones.
+type Transposed struct {
+	// Inner is the PF whose axes are exchanged.
+	Inner PF
+}
+
+// Name implements PF.
+func (t Transposed) Name() string { return "transposed(" + t.Inner.Name() + ")" }
+
+// Encode implements PF.
+func (t Transposed) Encode(x, y int64) (int64, error) { return t.Inner.Encode(y, x) }
+
+// Decode implements PF.
+func (t Transposed) Decode(z int64) (int64, int64, error) {
+	x, y, err := t.Inner.Decode(z)
+	return y, x, err
+}

@@ -1,0 +1,114 @@
+package core
+
+import "fmt"
+
+// Verification utilities: machine checks of the PF laws on bounded
+// regions, shared by this repository's tests and available to users
+// validating their own ShellPartitions or PFs (Theorem 3.1 guarantees
+// validity for anything built through Procedure PF-Constructor; these
+// checks catch hand-written Rank/Unrank bugs).
+
+// VerifyInjective checks that f assigns distinct positive addresses to
+// every position of [1, rows]×[1, cols] and that Decode inverts Encode
+// there.
+func VerifyInjective(f PF, rows, cols int64) error {
+	if rows < 1 || cols < 1 {
+		return fmt.Errorf("core: VerifyInjective(%d, %d): empty box", rows, cols)
+	}
+	seen := make(map[int64][2]int64, rows*cols)
+	for x := int64(1); x <= rows; x++ {
+		for y := int64(1); y <= cols; y++ {
+			z, err := f.Encode(x, y)
+			if err != nil {
+				return fmt.Errorf("core: %s.Encode(%d, %d): %w", f.Name(), x, y, err)
+			}
+			if z < 1 {
+				return fmt.Errorf("core: %s.Encode(%d, %d) = %d < 1", f.Name(), x, y, z)
+			}
+			if p, dup := seen[z]; dup {
+				return fmt.Errorf("core: %s: collision: (%d, %d) and (%d, %d) → %d",
+					f.Name(), p[0], p[1], x, y, z)
+			}
+			seen[z] = [2]int64{x, y}
+			gx, gy, err := f.Decode(z)
+			if err != nil {
+				return fmt.Errorf("core: %s.Decode(%d): %w", f.Name(), z, err)
+			}
+			if gx != x || gy != y {
+				return fmt.Errorf("core: %s: Decode(Encode(%d, %d)) = (%d, %d)",
+					f.Name(), x, y, gx, gy)
+			}
+		}
+	}
+	return nil
+}
+
+// VerifySurjectivePrefix checks that every address in [1, n] has a
+// preimage in N×N: Decode succeeds and Encode maps back — the
+// "enumeration" half of Theorem 3.1's proof.
+func VerifySurjectivePrefix(f PF, n int64) error {
+	if n < 1 {
+		return fmt.Errorf("core: VerifySurjectivePrefix(%d): empty prefix", n)
+	}
+	for z := int64(1); z <= n; z++ {
+		x, y, err := f.Decode(z)
+		if err != nil {
+			return fmt.Errorf("core: %s.Decode(%d): %w", f.Name(), z, err)
+		}
+		if x < 1 || y < 1 {
+			return fmt.Errorf("core: %s.Decode(%d) = (%d, %d) outside N×N", f.Name(), z, x, y)
+		}
+		back, err := f.Encode(x, y)
+		if err != nil {
+			return fmt.Errorf("core: %s.Encode(Decode(%d)): %w", f.Name(), z, err)
+		}
+		if back != z {
+			return fmt.Errorf("core: %s: Encode(Decode(%d)) = %d", f.Name(), z, back)
+		}
+	}
+	return nil
+}
+
+// VerifyPartition checks the ShellPartition contract on a box and on the
+// first shells: ranks are in range, Unrank inverts (Shell, Rank), and each
+// shell's ranks enumerate 1..Size without repetition.
+func VerifyPartition(p ShellPartition, box, shells int64) error {
+	if box < 1 || shells < 1 {
+		return fmt.Errorf("core: VerifyPartition(%d, %d): empty region", box, shells)
+	}
+	for x := int64(1); x <= box; x++ {
+		for y := int64(1); y <= box; y++ {
+			c := p.Shell(x, y)
+			if c < 1 {
+				return fmt.Errorf("core: %s.Shell(%d, %d) = %d < 1", p.Name(), x, y, c)
+			}
+			r := p.Rank(x, y)
+			if r < 1 || r > p.Size(c) {
+				return fmt.Errorf("core: %s.Rank(%d, %d) = %d outside [1, %d]",
+					p.Name(), x, y, r, p.Size(c))
+			}
+			gx, gy := p.Unrank(c, r)
+			if gx != x || gy != y {
+				return fmt.Errorf("core: %s: Unrank(%d, %d) = (%d, %d), want (%d, %d)",
+					p.Name(), c, r, gx, gy, x, y)
+			}
+		}
+	}
+	for c := int64(1); c <= shells; c++ {
+		size := p.Size(c)
+		if size < 1 {
+			return fmt.Errorf("core: %s.Size(%d) = %d < 1", p.Name(), c, size)
+		}
+		for r := int64(1); r <= size; r++ {
+			x, y := p.Unrank(c, r)
+			if got := p.Shell(x, y); got != c {
+				return fmt.Errorf("core: %s: Unrank(%d, %d) = (%d, %d) lies in shell %d",
+					p.Name(), c, r, x, y, got)
+			}
+			if got := p.Rank(x, y); got != r {
+				return fmt.Errorf("core: %s: Rank(Unrank(%d, %d)) = %d", p.Name(), c, r, got)
+			}
+		}
+	}
+	return nil
+}

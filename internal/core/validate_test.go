@@ -1,0 +1,79 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestVerifyHelpersAcceptAll runs the exported validators over the whole
+// PF zoo and every shell partition — the package eating its own dog food.
+func TestVerifyHelpersAcceptAll(t *testing.T) {
+	for _, f := range allPFs() {
+		if err := VerifyInjective(f, 40, 40); err != nil {
+			t.Errorf("%v", err)
+		}
+		if err := VerifySurjectivePrefix(f, 1000); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+	for _, f := range []PF{Morton{}, Hilbert{Order: 6}} {
+		if err := VerifyInjective(f, 40, 40); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+	parts := []ShellPartition{
+		DiagonalShells{}, SquareShells{}, HyperbolicShells{},
+		DiagonalShellsByX{}, SquareShellsClockwise{},
+		AspectShells{A: 3, B: 2}, HyperbolicShellsLex{},
+	}
+	for _, p := range parts {
+		if err := VerifyPartition(p, 25, 15); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+}
+
+// brokenPartition violates the rank contract on purpose.
+type brokenPartition struct{ DiagonalShells }
+
+func (brokenPartition) Name() string { return "broken" }
+func (brokenPartition) Rank(x, y int64) int64 {
+	if x == 3 && y == 2 {
+		return 1 // collides with the true rank-1 member of shell 4
+	}
+	return y
+}
+
+// TestVerifyHelpersReject checks the validators actually catch breakage.
+func TestVerifyHelpersReject(t *testing.T) {
+	if err := VerifyPartition(brokenPartition{}, 10, 6); err == nil {
+		t.Error("broken partition accepted")
+	}
+	// The PF built from it must fail verification — either as a collision
+	// or, earlier, as a broken round trip (Decode lands on the position
+	// the duplicate rank shadows).
+	bad := NewEnumerated(brokenPartition{})
+	err := VerifyInjective(bad, 10, 10)
+	if err == nil ||
+		!(strings.Contains(err.Error(), "collision") || strings.Contains(err.Error(), "Decode(Encode")) {
+		t.Errorf("broken PF: %v", err)
+	}
+	// RowMajor is partial: surjectivity on a prefix holds, injectivity on
+	// a box wider than its strip fails with a domain error.
+	if err := VerifyInjective(RowMajor{Width: 4}, 3, 10); err == nil {
+		t.Error("partial mapping should fail the wide box")
+	}
+	if err := VerifySurjectivePrefix(RowMajor{Width: 4}, 100); err != nil {
+		t.Errorf("row-major prefix: %v", err)
+	}
+	// Degenerate regions.
+	if err := VerifyInjective(Diagonal{}, 0, 5); err == nil {
+		t.Error("empty box should fail")
+	}
+	if err := VerifySurjectivePrefix(Diagonal{}, 0); err == nil {
+		t.Error("empty prefix should fail")
+	}
+	if err := VerifyPartition(DiagonalShells{}, 0, 1); err == nil {
+		t.Error("empty region should fail")
+	}
+}

@@ -1,0 +1,170 @@
+package extarray
+
+import (
+	"errors"
+	"fmt"
+
+	"pairfn/internal/core"
+)
+
+// ErrBounds reports access outside the array's current logical bounds.
+var ErrBounds = errors.New("extarray: position outside current bounds")
+
+// ErrShrink reports an attempt to shrink an array below 0×0.
+var ErrShrink = errors.New("extarray: cannot shrink below zero")
+
+// Stats records the cost of a table's lifetime of operations.
+type Stats struct {
+	// Moves counts elements physically relocated to a different address by
+	// reshaping. PF-mapped arrays never move elements; the naive row-major
+	// scheme moves the whole array on each width change.
+	Moves int64
+	// Reshapes counts grow/shrink operations.
+	Reshapes int64
+	// Footprint is the largest address ever occupied (the realized spread).
+	Footprint int64
+}
+
+// A Table is a dynamically reshapable two-dimensional array with 1-based
+// positions (x = row, y = column).
+type Table[T any] interface {
+	// Dims returns the current logical dimensions (rows, cols).
+	Dims() (rows, cols int64)
+	// Get returns the element at (x, y); ok is false if the position was
+	// never set. An error means the position is outside current bounds.
+	Get(x, y int64) (v T, ok bool, err error)
+	// Set stores v at (x, y).
+	Set(x, y int64, v T) error
+	// Resize sets the logical dimensions, growing and/or shrinking in one
+	// step. Shrinking discards elements outside the new bounds.
+	Resize(rows, cols int64) error
+	// Stats returns the accumulated cost counters.
+	Stats() Stats
+}
+
+// Array is a Table whose positions are laid out by a pairing function (or
+// any injective storage mapping): reshaping never remaps surviving
+// positions, so Moves stays 0 for pure growth and equals only the number of
+// discarded elements for shrinks.
+type Array[T any] struct {
+	f     core.StorageMapping
+	store Store[T]
+	rows  int64
+	cols  int64
+	stats Stats
+}
+
+// New returns an empty rows×cols Array laid out by f and backed by store.
+func New[T any](f core.StorageMapping, store Store[T], rows, cols int64) (*Array[T], error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("extarray: dimensions %d×%d invalid", rows, cols)
+	}
+	return &Array[T]{f: f, store: store, rows: rows, cols: cols}, nil
+}
+
+// NewMapBacked returns a rows×cols Array over f with a fresh MapStore.
+func NewMapBacked[T any](f core.StorageMapping, rows, cols int64) *Array[T] {
+	a, err := New[T](f, NewMapStore[T](), rows, cols)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Mapping returns the storage mapping laying out this array.
+func (a *Array[T]) Mapping() core.StorageMapping { return a.f }
+
+// Dims implements Table.
+func (a *Array[T]) Dims() (int64, int64) { return a.rows, a.cols }
+
+func (a *Array[T]) check(x, y int64) error {
+	if x < 1 || y < 1 || x > a.rows || y > a.cols {
+		return fmt.Errorf("%w: (%d, %d) in %d×%d", ErrBounds, x, y, a.rows, a.cols)
+	}
+	return nil
+}
+
+// Get implements Table.
+func (a *Array[T]) Get(x, y int64) (T, bool, error) {
+	var zero T
+	if err := a.check(x, y); err != nil {
+		return zero, false, err
+	}
+	addr, err := a.f.Encode(x, y)
+	if err != nil {
+		return zero, false, err
+	}
+	v, ok := a.store.Get(addr)
+	return v, ok, nil
+}
+
+// Set implements Table.
+func (a *Array[T]) Set(x, y int64, v T) error {
+	if err := a.check(x, y); err != nil {
+		return err
+	}
+	addr, err := a.f.Encode(x, y)
+	if err != nil {
+		return err
+	}
+	a.store.Set(addr, v)
+	if addr > a.stats.Footprint {
+		a.stats.Footprint = addr
+	}
+	return nil
+}
+
+// Resize implements Table. Growth moves nothing — that is the point of
+// PF-based storage mappings. Shrinking deletes the elements of discarded
+// rows/columns (counted as moves, since a remapping scheme would have to
+// touch at least those too) and leaves every surviving element in place.
+func (a *Array[T]) Resize(rows, cols int64) error {
+	if rows < 0 || cols < 0 {
+		return fmt.Errorf("%w: to %d×%d", ErrShrink, rows, cols)
+	}
+	a.stats.Reshapes++
+	// Discard elements that fall outside the new bounds.
+	if rows < a.rows || cols < a.cols {
+		for x := int64(1); x <= a.rows; x++ {
+			for y := int64(1); y <= a.cols; y++ {
+				if x <= rows && y <= cols {
+					continue
+				}
+				addr, err := a.f.Encode(x, y)
+				if err != nil {
+					return err
+				}
+				if _, ok := a.store.Get(addr); ok {
+					a.store.Delete(addr)
+					a.stats.Moves++
+				}
+			}
+		}
+	}
+	a.rows, a.cols = rows, cols
+	return nil
+}
+
+// GrowRows adds delta rows (delta ≥ 0).
+func (a *Array[T]) GrowRows(delta int64) error { return a.Resize(a.rows+delta, a.cols) }
+
+// GrowCols adds delta columns (delta ≥ 0).
+func (a *Array[T]) GrowCols(delta int64) error { return a.Resize(a.rows, a.cols+delta) }
+
+// ShrinkRows removes delta rows.
+func (a *Array[T]) ShrinkRows(delta int64) error { return a.Resize(a.rows-delta, a.cols) }
+
+// ShrinkCols removes delta columns.
+func (a *Array[T]) ShrinkCols(delta int64) error { return a.Resize(a.rows, a.cols-delta) }
+
+// Stats implements Table.
+func (a *Array[T]) Stats() Stats {
+	s := a.stats
+	if m := a.store.MaxAddr(); m > s.Footprint {
+		s.Footprint = m
+	}
+	return s
+}
+
+// Len returns the number of elements currently stored.
+func (a *Array[T]) Len() int { return a.store.Len() }

@@ -1,0 +1,93 @@
+package extarray
+
+import (
+	"fmt"
+
+	"pairfn/internal/hashstore"
+)
+
+// HashBacked is the §3 aside as a Table: elements are keyed directly by
+// position in a hash store — no storage mapping, no addresses, no spread.
+// Reshaping only adjusts bounds (shrink discards out-of-bounds elements),
+// access is O(1) expected regardless of aspect ratio, and memory stays
+// within 2n slots. What it gives up is everything address arithmetic
+// provides: no row/column/block locality, no contiguity for bulk I/O —
+// the exact trade the aside describes against PF mappings.
+type HashBacked[T any] struct {
+	store *hashstore.Open[T]
+	rows  int64
+	cols  int64
+	stats Stats
+}
+
+// NewHashBacked returns an empty rows×cols hash-backed table.
+func NewHashBacked[T any](rows, cols int64) *HashBacked[T] {
+	return &HashBacked[T]{store: hashstore.NewOpen[T](), rows: rows, cols: cols}
+}
+
+// Dims implements Table.
+func (h *HashBacked[T]) Dims() (int64, int64) { return h.rows, h.cols }
+
+func (h *HashBacked[T]) check(x, y int64) error {
+	if x < 1 || y < 1 || x > h.rows || y > h.cols {
+		return fmt.Errorf("%w: (%d, %d) in %d×%d", ErrBounds, x, y, h.rows, h.cols)
+	}
+	return nil
+}
+
+// Get implements Table.
+func (h *HashBacked[T]) Get(x, y int64) (T, bool, error) {
+	var zero T
+	if err := h.check(x, y); err != nil {
+		return zero, false, err
+	}
+	v, ok := h.store.Get(hashstore.Position{X: x, Y: y})
+	return v, ok, nil
+}
+
+// Set implements Table.
+func (h *HashBacked[T]) Set(x, y int64, v T) error {
+	if err := h.check(x, y); err != nil {
+		return err
+	}
+	h.store.Set(hashstore.Position{X: x, Y: y}, v)
+	if s := int64(h.store.Slots()); s > h.stats.Footprint {
+		h.stats.Footprint = s
+	}
+	return nil
+}
+
+// Resize implements Table. Shrinks walk the discarded region (the hash
+// store has no order to exploit); growth is free like any PF table.
+func (h *HashBacked[T]) Resize(rows, cols int64) error {
+	if rows < 0 || cols < 0 {
+		return fmt.Errorf("%w: to %d×%d", ErrShrink, rows, cols)
+	}
+	h.stats.Reshapes++
+	if rows < h.rows || cols < h.cols {
+		for x := int64(1); x <= h.rows; x++ {
+			for y := int64(1); y <= h.cols; y++ {
+				if x <= rows && y <= cols {
+					continue
+				}
+				p := hashstore.Position{X: x, Y: y}
+				if _, ok := h.store.Get(p); ok {
+					h.store.Delete(p)
+					h.stats.Moves++
+				}
+			}
+		}
+	}
+	h.rows, h.cols = rows, cols
+	return nil
+}
+
+// Stats implements Table: Footprint reports the peak slot count of the
+// hash store (≤ 2·elements), the §3-aside space bound.
+func (h *HashBacked[T]) Stats() Stats { return h.stats }
+
+// Len returns the number of stored elements.
+func (h *HashBacked[T]) Len() int { return h.store.Len() }
+
+// ProbeStats exposes the underlying store's access-cost measurements.
+func (h *HashBacked[T]) ProbeStats() hashstore.ProbeStats { return h.store.Stats() }

@@ -1,0 +1,108 @@
+package extarray
+
+import (
+	"errors"
+	"testing"
+
+	"pairfn/internal/core"
+)
+
+func TestHashBackedSemantics(t *testing.T) {
+	h := NewHashBacked[int64](4, 4)
+	fill(t, h, 4, 4)
+	verify(t, h, 4, 4)
+	if err := h.Resize(8, 8); err != nil {
+		t.Fatal(err)
+	}
+	verify(t, h, 4, 4)
+	fill(t, h, 8, 8)
+	verify(t, h, 8, 8)
+	if err := h.Resize(3, 5); err != nil {
+		t.Fatal(err)
+	}
+	verify(t, h, 3, 5)
+	if h.Len() != 15 {
+		t.Fatalf("Len = %d, want 15", h.Len())
+	}
+	if h.Stats().Moves != 64-15 {
+		t.Fatalf("discards = %d, want %d", h.Stats().Moves, 64-15)
+	}
+	if err := h.Set(4, 1, 1); !errors.Is(err, ErrBounds) {
+		t.Errorf("out-of-bounds Set: %v", err)
+	}
+	if _, _, err := h.Get(1, 6); !errors.Is(err, ErrBounds) {
+		t.Errorf("out-of-bounds Get: %v", err)
+	}
+	if err := h.Resize(-1, 1); err == nil {
+		t.Error("negative resize should fail")
+	}
+}
+
+// TestHashBackedFootprintBeatsEveryPF: for the wild-shape workload, the
+// hash table's peak slot bill (≤ 2n) beats even the optimal PF's Θ(n log n)
+// footprint — the aside's whole point — at the cost of having no addresses
+// at all.
+func TestHashBackedFootprintBeatsEveryPF(t *testing.T) {
+	const n = 512
+	hb := NewHashBacked[int64](1, n)
+	pf := NewMapBacked[int64](core.Hyperbolic{}, 1, n)
+	for y := int64(1); y <= n; y++ {
+		if err := hb.Set(1, y, y); err != nil {
+			t.Fatal(err)
+		}
+		if err := pf.Set(1, y, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hb.Stats().Footprint > 2*int64(hb.Len()) {
+		t.Errorf("hash footprint %d > 2n = %d", hb.Stats().Footprint, 2*hb.Len())
+	}
+	if hb.Stats().Footprint >= pf.Stats().Footprint {
+		t.Errorf("hash footprint %d should beat ℋ's %d", hb.Stats().Footprint, pf.Stats().Footprint)
+	}
+	if mean := hb.ProbeStats().Mean(); mean > 6 {
+		t.Errorf("mean probes %v, want O(1)", mean)
+	}
+}
+
+// TestHashBackedInModel reuses the model-equivalence battery with the
+// hash-backed table standing in for the PF table.
+func TestHashBackedInModel(t *testing.T) {
+	hb := NewHashBacked[int64](3, 3)
+	naive := NewNaiveRowMajor[int64](3, 3)
+	type key struct{ x, y int64 }
+	model := map[key]int64{}
+	// A fixed deterministic script touching every operation class.
+	script := []func() error{
+		func() error { model[key{1, 1}] = 5; _ = naive.Set(1, 1, 5); return hb.Set(1, 1, 5) },
+		func() error { model[key{3, 3}] = 7; _ = naive.Set(3, 3, 7); return hb.Set(3, 3, 7) },
+		func() error { _ = naive.Resize(5, 2); return hb.Resize(5, 2) },
+		func() error { model[key{5, 2}] = 9; _ = naive.Set(5, 2, 9); return hb.Set(5, 2, 9) },
+		func() error { _ = naive.Resize(2, 2); return hb.Resize(2, 2) },
+	}
+	for i, step := range script {
+		if err := step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	for k := range model {
+		if k.x > 2 || k.y > 2 {
+			delete(model, k)
+		}
+	}
+	for x := int64(1); x <= 2; x++ {
+		for y := int64(1); y <= 2; y++ {
+			hv, hok, err := hb.Get(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mv, mok := model[key{x, y}]
+			if hok != mok || (mok && hv != mv) {
+				t.Fatalf("(%d,%d): hash (%d,%v) model (%d,%v)", x, y, hv, hok, mv, mok)
+			}
+		}
+	}
+	if hb.Len() != len(model) {
+		t.Fatalf("Len %d vs model %d", hb.Len(), len(model))
+	}
+}

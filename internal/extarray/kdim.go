@@ -1,0 +1,147 @@
+package extarray
+
+import (
+	"fmt"
+
+	"pairfn/internal/tuple"
+)
+
+// KArray is a k-dimensional extendible array laid out by an iterated
+// pairing function (package tuple) — the paper's remark that "extending
+// this work to higher dimensionalities is immediate" (§3) made executable.
+// Growth along any axis moves nothing.
+type KArray[T any] struct {
+	code  *tuple.Code
+	store Store[T]
+	dims  []int64
+	stats Stats
+}
+
+// NewK returns an empty k-dimensional array with the given initial
+// dimensions, laid out by code (whose arity must equal len(dims)).
+func NewK[T any](code *tuple.Code, store Store[T], dims ...int64) (*KArray[T], error) {
+	if code.Arity() != len(dims) {
+		return nil, fmt.Errorf("extarray: code arity %d ≠ %d dims", code.Arity(), len(dims))
+	}
+	for i, d := range dims {
+		if d < 0 {
+			return nil, fmt.Errorf("extarray: dimension %d is %d", i+1, d)
+		}
+	}
+	return &KArray[T]{code: code, store: store, dims: append([]int64(nil), dims...)}, nil
+}
+
+// Dims returns a copy of the current dimensions.
+func (a *KArray[T]) Dims() []int64 { return append([]int64(nil), a.dims...) }
+
+func (a *KArray[T]) check(pos []int64) error {
+	if len(pos) != len(a.dims) {
+		return fmt.Errorf("extarray: position arity %d ≠ %d dims", len(pos), len(a.dims))
+	}
+	for i, p := range pos {
+		if p < 1 || p > a.dims[i] {
+			return fmt.Errorf("%w: axis %d position %d of %d", ErrBounds, i+1, p, a.dims[i])
+		}
+	}
+	return nil
+}
+
+// Get returns the element at pos.
+func (a *KArray[T]) Get(pos ...int64) (T, bool, error) {
+	var zero T
+	if err := a.check(pos); err != nil {
+		return zero, false, err
+	}
+	addr, err := a.code.Encode(pos...)
+	if err != nil {
+		return zero, false, err
+	}
+	v, ok := a.store.Get(addr)
+	return v, ok, nil
+}
+
+// Set stores v at pos.
+func (a *KArray[T]) Set(v T, pos ...int64) error {
+	if err := a.check(pos); err != nil {
+		return err
+	}
+	addr, err := a.code.Encode(pos...)
+	if err != nil {
+		return err
+	}
+	a.store.Set(addr, v)
+	if addr > a.stats.Footprint {
+		a.stats.Footprint = addr
+	}
+	return nil
+}
+
+// Grow extends axis (1-based) by delta ≥ 0; no elements move.
+func (a *KArray[T]) Grow(axis int, delta int64) error {
+	if axis < 1 || axis > len(a.dims) {
+		return fmt.Errorf("extarray: axis %d of %d", axis, len(a.dims))
+	}
+	if delta < 0 {
+		return fmt.Errorf("extarray: Grow by %d; use Shrink", delta)
+	}
+	a.dims[axis-1] += delta
+	a.stats.Reshapes++
+	return nil
+}
+
+// Shrink trims axis (1-based) by delta, discarding stored elements outside
+// the new bounds.
+func (a *KArray[T]) Shrink(axis int, delta int64) error {
+	if axis < 1 || axis > len(a.dims) {
+		return fmt.Errorf("extarray: axis %d of %d", axis, len(a.dims))
+	}
+	if delta < 0 || delta > a.dims[axis-1] {
+		return fmt.Errorf("%w: axis %d by %d from %d", ErrShrink, axis, delta, a.dims[axis-1])
+	}
+	old := a.dims[axis-1]
+	a.dims[axis-1] = old - delta
+	a.stats.Reshapes++
+	// Walk the discarded slab and delete any stored elements.
+	pos := make([]int64, len(a.dims))
+	for i := range pos {
+		pos[i] = 1
+	}
+	var walk func(axisIdx int) error
+	walk = func(i int) error {
+		if i == len(a.dims) {
+			addr, err := a.code.Encode(pos...)
+			if err != nil {
+				return err
+			}
+			if _, ok := a.store.Get(addr); ok {
+				a.store.Delete(addr)
+				a.stats.Moves++
+			}
+			return nil
+		}
+		lo, hi := int64(1), a.dims[i]
+		if i == axis-1 {
+			lo, hi = a.dims[i]+1, old
+		}
+		for pos[i] = lo; pos[i] <= hi; pos[i]++ {
+			if err := walk(i + 1); err != nil {
+				return err
+			}
+		}
+		pos[i] = 1
+		return nil
+	}
+	return walk(0)
+}
+
+// Stats returns the accumulated cost counters.
+func (a *KArray[T]) Stats() Stats {
+	s := a.stats
+	if m := a.store.MaxAddr(); m > s.Footprint {
+		s.Footprint = m
+	}
+	return s
+}
+
+// Len returns the number of stored elements.
+func (a *KArray[T]) Len() int { return a.store.Len() }

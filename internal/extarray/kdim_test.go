@@ -1,0 +1,133 @@
+package extarray
+
+import (
+	"errors"
+	"testing"
+
+	"pairfn/internal/core"
+	"pairfn/internal/tuple"
+)
+
+func TestKArrayRoundTrip(t *testing.T) {
+	code := tuple.MustNew(core.SquareShell{}, 3)
+	a, err := NewK(code, NewMapStore[string](), 3, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := int64(1); x <= 3; x++ {
+		for y := int64(1); y <= 4; y++ {
+			for z := int64(1); z <= 5; z++ {
+				if err := a.Set("v", x, y, z); err != nil {
+					t.Fatalf("Set(%d,%d,%d): %v", x, y, z, err)
+				}
+			}
+		}
+	}
+	if a.Len() != 60 {
+		t.Fatalf("Len = %d, want 60", a.Len())
+	}
+	v, ok, err := a.Get(2, 3, 4)
+	if err != nil || !ok || v != "v" {
+		t.Fatalf("Get(2,3,4) = %q, %v, %v", v, ok, err)
+	}
+}
+
+func TestKArrayGrowMovesNothing(t *testing.T) {
+	code := tuple.MustNew(core.Hyperbolic{}, 3)
+	a, err := NewK(code, NewMapStore[int64](), 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(0)
+	for x := int64(1); x <= 2; x++ {
+		for y := int64(1); y <= 2; y++ {
+			for z := int64(1); z <= 2; z++ {
+				n++
+				if err := a.Set(n, x, y, z); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	for axis := 1; axis <= 3; axis++ {
+		if err := a.Grow(axis, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.Dims(); got[0] != 4 || got[1] != 4 || got[2] != 4 {
+		t.Fatalf("Dims = %v", got)
+	}
+	if a.Stats().Moves != 0 {
+		t.Fatalf("growth moved %d elements", a.Stats().Moves)
+	}
+	// All old data intact.
+	n = 0
+	for x := int64(1); x <= 2; x++ {
+		for y := int64(1); y <= 2; y++ {
+			for z := int64(1); z <= 2; z++ {
+				n++
+				v, ok, err := a.Get(x, y, z)
+				if err != nil || !ok || v != n {
+					t.Fatalf("Get(%d,%d,%d) = %d, %v, %v; want %d", x, y, z, v, ok, err, n)
+				}
+			}
+		}
+	}
+}
+
+func TestKArrayShrinkDiscards(t *testing.T) {
+	code := tuple.MustNew(core.Diagonal{}, 2)
+	a, err := NewK(code, NewMapStore[int64](), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := int64(1); x <= 4; x++ {
+		for y := int64(1); y <= 4; y++ {
+			if err := a.Set(x*10+y, x, y); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := a.Shrink(2, 1); err != nil { // drop column 4
+		t.Fatal(err)
+	}
+	if a.Len() != 12 {
+		t.Fatalf("Len = %d, want 12", a.Len())
+	}
+	if a.Stats().Moves != 4 {
+		t.Fatalf("Moves = %d, want 4", a.Stats().Moves)
+	}
+	if _, _, err := a.Get(1, 4); !errors.Is(err, ErrBounds) {
+		t.Errorf("Get outside bounds: %v", err)
+	}
+	v, ok, _ := a.Get(3, 3)
+	if !ok || v != 33 {
+		t.Errorf("surviving cell = %d, %v", v, ok)
+	}
+}
+
+func TestKArrayErrors(t *testing.T) {
+	code := tuple.MustNew(core.Diagonal{}, 2)
+	if _, err := NewK(code, NewMapStore[int64](), 1, 2, 3); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if _, err := NewK(code, NewMapStore[int64](), 1, -2); err == nil {
+		t.Error("negative dim should fail")
+	}
+	a, _ := NewK(code, NewMapStore[int64](), 2, 2)
+	if err := a.Set(1, 3, 1); !errors.Is(err, ErrBounds) {
+		t.Errorf("Set out of bounds: %v", err)
+	}
+	if err := a.Grow(3, 1); err == nil {
+		t.Error("bad axis should fail")
+	}
+	if err := a.Grow(1, -1); err == nil {
+		t.Error("negative grow should fail")
+	}
+	if err := a.Shrink(1, 5); err == nil {
+		t.Error("over-shrink should fail")
+	}
+	if err := a.Shrink(0, 1); err == nil {
+		t.Error("bad axis should fail")
+	}
+}

@@ -1,0 +1,136 @@
+package extarray
+
+import "fmt"
+
+// NaiveRowMajor is the remap-on-reshape baseline: the storage discipline of
+// the language processors §3 criticizes, which "implement the capability
+// quite naively, by completely remapping an array/table with each
+// reshaping". Elements live in a dense row-major slice of the current
+// width; adding or removing a column changes the row stride and therefore
+// physically relocates every element of the array, so accommodating O(n)
+// single-column reshapes of an n-element array costs Ω(n²) moves. Adding
+// rows appends in place (row-major's one free direction) — the asymmetry is
+// itself instructive: a PF-mapped Array is reshape-free in *both*
+// directions.
+type NaiveRowMajor[T any] struct {
+	data  []T
+	set   []bool
+	rows  int64
+	cols  int64
+	stats Stats
+}
+
+// NewNaiveRowMajor returns an empty rows×cols naive row-major table.
+func NewNaiveRowMajor[T any](rows, cols int64) *NaiveRowMajor[T] {
+	n := &NaiveRowMajor[T]{rows: rows, cols: cols}
+	n.data = make([]T, rows*cols)
+	n.set = make([]bool, rows*cols)
+	return n
+}
+
+// Dims implements Table.
+func (n *NaiveRowMajor[T]) Dims() (int64, int64) { return n.rows, n.cols }
+
+func (n *NaiveRowMajor[T]) index(x, y int64) (int64, error) {
+	if x < 1 || y < 1 || x > n.rows || y > n.cols {
+		return 0, fmt.Errorf("%w: (%d, %d) in %d×%d", ErrBounds, x, y, n.rows, n.cols)
+	}
+	return (x-1)*n.cols + (y - 1), nil
+}
+
+// Get implements Table.
+func (n *NaiveRowMajor[T]) Get(x, y int64) (T, bool, error) {
+	var zero T
+	i, err := n.index(x, y)
+	if err != nil {
+		return zero, false, err
+	}
+	if !n.set[i] {
+		return zero, false, nil
+	}
+	return n.data[i], true, nil
+}
+
+// Set implements Table.
+func (n *NaiveRowMajor[T]) Set(x, y int64, v T) error {
+	i, err := n.index(x, y)
+	if err != nil {
+		return err
+	}
+	n.data[i] = v
+	n.set[i] = true
+	if i+1 > n.stats.Footprint {
+		n.stats.Footprint = i + 1
+	}
+	return nil
+}
+
+// Resize implements Table. A width change remaps the entire array: every
+// surviving element is copied to its new row-major address (one move each).
+// A pure row-count change keeps the stride and only truncates or extends.
+func (n *NaiveRowMajor[T]) Resize(rows, cols int64) error {
+	if rows < 0 || cols < 0 {
+		return fmt.Errorf("%w: to %d×%d", ErrShrink, rows, cols)
+	}
+	n.stats.Reshapes++
+	if cols == n.cols {
+		// Stride unchanged: extend or truncate in place.
+		if rows > n.rows {
+			grow := make([]T, (rows-n.rows)*cols)
+			n.data = append(n.data, grow...)
+			n.set = append(n.set, make([]bool, (rows-n.rows)*cols)...)
+		} else if rows < n.rows {
+			for i := rows * cols; i < n.rows*n.cols; i++ {
+				if n.set[i] {
+					n.stats.Moves++ // discarded elements still cost a touch
+				}
+			}
+			n.data = n.data[:rows*cols]
+			n.set = n.set[:rows*cols]
+		}
+		n.rows = rows
+		return nil
+	}
+	// Width change: full remap.
+	data := make([]T, rows*cols)
+	set := make([]bool, rows*cols)
+	keepRows, keepCols := min64(rows, n.rows), min64(cols, n.cols)
+	for x := int64(0); x < keepRows; x++ {
+		for y := int64(0); y < keepCols; y++ {
+			old := x*n.cols + y
+			if !n.set[old] {
+				continue
+			}
+			data[x*cols+y] = n.data[old]
+			set[x*cols+y] = true
+			n.stats.Moves++
+		}
+	}
+	n.data, n.set, n.rows, n.cols = data, set, rows, cols
+	if f := rows * cols; f > n.stats.Footprint {
+		n.stats.Footprint = f
+	}
+	return nil
+}
+
+// GrowRows adds delta rows.
+func (n *NaiveRowMajor[T]) GrowRows(delta int64) error { return n.Resize(n.rows+delta, n.cols) }
+
+// GrowCols adds delta columns.
+func (n *NaiveRowMajor[T]) GrowCols(delta int64) error { return n.Resize(n.rows, n.cols+delta) }
+
+// ShrinkRows removes delta rows.
+func (n *NaiveRowMajor[T]) ShrinkRows(delta int64) error { return n.Resize(n.rows-delta, n.cols) }
+
+// ShrinkCols removes delta columns.
+func (n *NaiveRowMajor[T]) ShrinkCols(delta int64) error { return n.Resize(n.rows, n.cols-delta) }
+
+// Stats implements Table.
+func (n *NaiveRowMajor[T]) Stats() Stats { return n.stats }
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

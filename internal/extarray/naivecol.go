@@ -1,0 +1,123 @@
+package extarray
+
+import "fmt"
+
+// NaiveColumnMajor is the column-major twin of NaiveRowMajor: elements
+// live in a dense column-major slice of the current height, so adding or
+// removing a *row* changes the column stride and relocates every element,
+// while column growth appends in place. Together the two naive baselines
+// show that no fixed lexicographic layout escapes §3's complaint — each
+// merely chooses which reshaping direction is ruinous, whereas a PF
+// layout is reshape-free in both.
+type NaiveColumnMajor[T any] struct {
+	data  []T
+	set   []bool
+	rows  int64
+	cols  int64
+	stats Stats
+}
+
+// NewNaiveColumnMajor returns an empty rows×cols naive column-major table.
+func NewNaiveColumnMajor[T any](rows, cols int64) *NaiveColumnMajor[T] {
+	n := &NaiveColumnMajor[T]{rows: rows, cols: cols}
+	n.data = make([]T, rows*cols)
+	n.set = make([]bool, rows*cols)
+	return n
+}
+
+// Dims implements Table.
+func (n *NaiveColumnMajor[T]) Dims() (int64, int64) { return n.rows, n.cols }
+
+func (n *NaiveColumnMajor[T]) index(x, y int64) (int64, error) {
+	if x < 1 || y < 1 || x > n.rows || y > n.cols {
+		return 0, fmt.Errorf("%w: (%d, %d) in %d×%d", ErrBounds, x, y, n.rows, n.cols)
+	}
+	return (y-1)*n.rows + (x - 1), nil
+}
+
+// Get implements Table.
+func (n *NaiveColumnMajor[T]) Get(x, y int64) (T, bool, error) {
+	var zero T
+	i, err := n.index(x, y)
+	if err != nil {
+		return zero, false, err
+	}
+	if !n.set[i] {
+		return zero, false, nil
+	}
+	return n.data[i], true, nil
+}
+
+// Set implements Table.
+func (n *NaiveColumnMajor[T]) Set(x, y int64, v T) error {
+	i, err := n.index(x, y)
+	if err != nil {
+		return err
+	}
+	n.data[i] = v
+	n.set[i] = true
+	if i+1 > n.stats.Footprint {
+		n.stats.Footprint = i + 1
+	}
+	return nil
+}
+
+// Resize implements Table: a height change remaps the entire array; a pure
+// column-count change extends or truncates in place.
+func (n *NaiveColumnMajor[T]) Resize(rows, cols int64) error {
+	if rows < 0 || cols < 0 {
+		return fmt.Errorf("%w: to %d×%d", ErrShrink, rows, cols)
+	}
+	n.stats.Reshapes++
+	if rows == n.rows {
+		if cols > n.cols {
+			grow := make([]T, (cols-n.cols)*rows)
+			n.data = append(n.data, grow...)
+			n.set = append(n.set, make([]bool, (cols-n.cols)*rows)...)
+		} else if cols < n.cols {
+			for i := cols * rows; i < n.cols*n.rows; i++ {
+				if n.set[i] {
+					n.stats.Moves++
+				}
+			}
+			n.data = n.data[:cols*rows]
+			n.set = n.set[:cols*rows]
+		}
+		n.cols = cols
+		return nil
+	}
+	data := make([]T, rows*cols)
+	set := make([]bool, rows*cols)
+	keepRows, keepCols := min64(rows, n.rows), min64(cols, n.cols)
+	for y := int64(0); y < keepCols; y++ {
+		for x := int64(0); x < keepRows; x++ {
+			old := y*n.rows + x
+			if !n.set[old] {
+				continue
+			}
+			data[y*rows+x] = n.data[old]
+			set[y*rows+x] = true
+			n.stats.Moves++
+		}
+	}
+	n.data, n.set, n.rows, n.cols = data, set, rows, cols
+	if f := rows * cols; f > n.stats.Footprint {
+		n.stats.Footprint = f
+	}
+	return nil
+}
+
+// GrowRows adds delta rows (full remap).
+func (n *NaiveColumnMajor[T]) GrowRows(delta int64) error { return n.Resize(n.rows+delta, n.cols) }
+
+// GrowCols adds delta columns (in place).
+func (n *NaiveColumnMajor[T]) GrowCols(delta int64) error { return n.Resize(n.rows, n.cols+delta) }
+
+// ShrinkRows removes delta rows (full remap).
+func (n *NaiveColumnMajor[T]) ShrinkRows(delta int64) error { return n.Resize(n.rows-delta, n.cols) }
+
+// ShrinkCols removes delta columns (in place).
+func (n *NaiveColumnMajor[T]) ShrinkCols(delta int64) error { return n.Resize(n.rows, n.cols-delta) }
+
+// Stats implements Table.
+func (n *NaiveColumnMajor[T]) Stats() Stats { return n.stats }

@@ -1,0 +1,81 @@
+package extarray
+
+import "testing"
+
+// TestNaiveColumnMajorSemantics mirrors the row-major baseline's test with
+// the axes exchanged.
+func TestNaiveColumnMajorSemantics(t *testing.T) {
+	a := NewNaiveColumnMajor[int64](4, 3)
+	fill(t, a, 4, 3)
+	if err := a.GrowRows(2); err != nil { // remap
+		t.Fatal(err)
+	}
+	verify(t, a, 4, 3)
+	if err := a.GrowCols(2); err != nil { // in place
+		t.Fatal(err)
+	}
+	verify(t, a, 4, 3)
+	if err := a.ShrinkRows(3); err != nil {
+		t.Fatal(err)
+	}
+	verify(t, a, 3, 3)
+	if err := a.ShrinkCols(4); err != nil {
+		t.Fatal(err)
+	}
+	verify(t, a, 3, 1)
+	if r, c := a.Dims(); r != 3 || c != 1 {
+		t.Fatalf("dims %d×%d", r, c)
+	}
+}
+
+// TestNaiveBaselinesAreDuals: adding rows is free for row-major and a full
+// remap for column-major, and vice versa for columns — no lexicographic
+// layout is reshape-free in both directions.
+func TestNaiveBaselinesAreDuals(t *testing.T) {
+	rm := NewNaiveRowMajor[int64](8, 8)
+	cm := NewNaiveColumnMajor[int64](8, 8)
+	fill(t, rm, 8, 8)
+	fill(t, cm, 8, 8)
+	if err := rm.GrowRows(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cm.GrowRows(1); err != nil {
+		t.Fatal(err)
+	}
+	if rm.Stats().Moves != 0 {
+		t.Errorf("row-major row growth moved %d", rm.Stats().Moves)
+	}
+	if cm.Stats().Moves != 64 {
+		t.Errorf("column-major row growth moved %d, want 64", cm.Stats().Moves)
+	}
+	if err := rm.GrowCols(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cm.GrowCols(1); err != nil {
+		t.Fatal(err)
+	}
+	if rm.Stats().Moves != 64 { // the 64 set cells carried to the new stride
+		t.Errorf("row-major col growth total moves %d, want 64", rm.Stats().Moves)
+	}
+	if cm.Stats().Moves != 64 {
+		t.Errorf("column-major col growth should stay at 64, got %d", cm.Stats().Moves)
+	}
+	verify(t, rm, 8, 8)
+	verify(t, cm, 8, 8)
+}
+
+func TestNaiveColumnMajorBounds(t *testing.T) {
+	a := NewNaiveColumnMajor[int64](2, 2)
+	if err := a.Set(3, 1, 1); err == nil {
+		t.Error("out of bounds Set should fail")
+	}
+	if _, _, err := a.Get(1, 3); err == nil {
+		t.Error("out of bounds Get should fail")
+	}
+	if err := a.Resize(-1, 1); err == nil {
+		t.Error("negative resize should fail")
+	}
+	if _, ok, err := a.Get(1, 1); ok || err != nil {
+		t.Error("unset cell should read absent")
+	}
+}

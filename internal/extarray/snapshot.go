@@ -1,0 +1,106 @@
+package extarray
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshot is the gob wire form of an Array.
+type snapshot[T any] struct {
+	Mapping string
+	Rows    int64
+	Cols    int64
+	Stats   Stats
+	Addrs   []int64
+	Values  []T
+}
+
+// Save serializes the array — dimensions, cost counters and every stored
+// element with its address — with encoding/gob. The storage mapping itself
+// is not serialized (mappings are code); its Name is recorded and checked
+// on Load, because addresses are only meaningful under the mapping that
+// produced them.
+func (a *Array[T]) Save(w io.Writer) error {
+	snap := snapshot[T]{
+		Mapping: a.f.Name(),
+		Rows:    a.rows,
+		Cols:    a.cols,
+		Stats:   a.stats,
+	}
+	// Walk the logical box; only stored elements are emitted. (Stores do
+	// not expose iteration; the logical walk keeps the Store interface
+	// minimal and the snapshot deterministic.)
+	for x := int64(1); x <= a.rows; x++ {
+		for y := int64(1); y <= a.cols; y++ {
+			addr, err := a.f.Encode(x, y)
+			if err != nil {
+				return fmt.Errorf("extarray: Save: %w", err)
+			}
+			if v, ok := a.store.Get(addr); ok {
+				snap.Addrs = append(snap.Addrs, addr)
+				snap.Values = append(snap.Values, v)
+			}
+		}
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// Load reconstructs an Array saved by Save. The caller supplies the same
+// storage mapping (checked by name) and a fresh backing store.
+func Load[T any](r io.Reader, f interface {
+	Name() string
+	Encode(x, y int64) (int64, error)
+	Decode(z int64) (x, y int64, err error)
+}, store Store[T]) (*Array[T], error) {
+	var snap snapshot[T]
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("extarray: Load: %w", err)
+	}
+	if snap.Mapping != f.Name() {
+		return nil, fmt.Errorf("extarray: Load: snapshot was laid out by %q, not %q",
+			snap.Mapping, f.Name())
+	}
+	if len(snap.Addrs) != len(snap.Values) {
+		return nil, fmt.Errorf("extarray: Load: corrupt snapshot (%d addrs, %d values)",
+			len(snap.Addrs), len(snap.Values))
+	}
+	a, err := New[T](f, store, snap.Rows, snap.Cols)
+	if err != nil {
+		return nil, err
+	}
+	for i, addr := range snap.Addrs {
+		// Validate the address decodes into the logical box before
+		// trusting it.
+		x, y, err := f.Decode(addr)
+		if err != nil {
+			return nil, fmt.Errorf("extarray: Load: address %d: %w", addr, err)
+		}
+		if x < 1 || y < 1 || x > snap.Rows || y > snap.Cols {
+			return nil, fmt.Errorf("extarray: Load: address %d decodes to (%d, %d) outside %d×%d",
+				addr, x, y, snap.Rows, snap.Cols)
+		}
+		store.Set(addr, snap.Values[i])
+	}
+	a.stats = snap.Stats
+	return a, nil
+}
+
+// Range calls fn for every stored element in row-major logical order,
+// stopping early if fn returns false.
+func (a *Array[T]) Range(fn func(x, y int64, v T) bool) error {
+	for x := int64(1); x <= a.rows; x++ {
+		for y := int64(1); y <= a.cols; y++ {
+			addr, err := a.f.Encode(x, y)
+			if err != nil {
+				return err
+			}
+			if v, ok := a.store.Get(addr); ok {
+				if !fn(x, y, v) {
+					return nil
+				}
+			}
+		}
+	}
+	return nil
+}

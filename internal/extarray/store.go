@@ -1,0 +1,135 @@
+// Package extarray implements dynamically extendible two-dimensional
+// arrays/tables (§3): the programmer may expand and shrink them at run
+// time. When the storage mapping is a pairing function, positions
+// unaffected by a reshaping are never remapped — growing an r×c array by a
+// row or a column moves zero elements — whereas the naive row-major scheme
+// used by the language processors the paper criticizes remaps the whole
+// array, doing Ω(n²) work to accommodate O(n) changes (§3, §1).
+//
+// The package also accounts for the storage cost of PF-based mapping: the
+// footprint (largest address used) is exactly the spread S_A of eq. 3.1
+// applied to the positions actually touched, which is what §3.2's compact
+// PFs minimize.
+package extarray
+
+// A Store is an address-indexed backing memory for array elements.
+// Addresses are the 1-based values produced by a storage mapping.
+type Store[T any] interface {
+	// Get returns the element at addr and whether it is present.
+	Get(addr int64) (T, bool)
+	// Set stores v at addr.
+	Set(addr int64, v T)
+	// Delete removes the element at addr (no-op if absent).
+	Delete(addr int64)
+	// Len returns the number of stored elements.
+	Len() int
+	// MaxAddr returns the largest address ever occupied — the footprint.
+	MaxAddr() int64
+}
+
+// MapStore is a hash-map-backed Store: O(1) expected access, memory
+// proportional to the number of stored elements regardless of spread.
+// This is the §3-aside trade-off in its simplest form (see package
+// hashstore for the measured variants).
+type MapStore[T any] struct {
+	m   map[int64]T
+	max int64
+}
+
+// NewMapStore returns an empty MapStore.
+func NewMapStore[T any]() *MapStore[T] {
+	return &MapStore[T]{m: make(map[int64]T)}
+}
+
+// Get implements Store.
+func (s *MapStore[T]) Get(addr int64) (T, bool) {
+	v, ok := s.m[addr]
+	return v, ok
+}
+
+// Set implements Store.
+func (s *MapStore[T]) Set(addr int64, v T) {
+	s.m[addr] = v
+	if addr > s.max {
+		s.max = addr
+	}
+}
+
+// Delete implements Store.
+func (s *MapStore[T]) Delete(addr int64) { delete(s.m, addr) }
+
+// Len implements Store.
+func (s *MapStore[T]) Len() int { return len(s.m) }
+
+// MaxAddr implements Store.
+func (s *MapStore[T]) MaxAddr() int64 { return s.max }
+
+// pageBits sizes PagedStore pages at 2^pageBits elements.
+const pageBits = 10
+
+// PagedStore is a paged-slice-backed Store: contiguous pages of 2^10
+// elements allocated on demand. Unlike MapStore its memory is proportional
+// to the *address range touched* (rounded up to pages), so it makes the
+// spread of the storage mapping physically visible: a mapping with spread
+// S(n) allocates ≈ S(n)/2^10 pages to hold n elements. This is the memory
+// model under which §3.2's compactness race matters.
+type PagedStore[T any] struct {
+	pages map[int64][]T
+	used  map[int64][]bool
+	n     int
+	max   int64
+}
+
+// NewPagedStore returns an empty PagedStore.
+func NewPagedStore[T any]() *PagedStore[T] {
+	return &PagedStore[T]{pages: make(map[int64][]T), used: make(map[int64][]bool)}
+}
+
+// Get implements Store.
+func (s *PagedStore[T]) Get(addr int64) (T, bool) {
+	var zero T
+	p, off := addr>>pageBits, addr&(1<<pageBits-1)
+	u, ok := s.used[p]
+	if !ok || !u[off] {
+		return zero, false
+	}
+	return s.pages[p][off], true
+}
+
+// Set implements Store.
+func (s *PagedStore[T]) Set(addr int64, v T) {
+	p, off := addr>>pageBits, addr&(1<<pageBits-1)
+	if _, ok := s.pages[p]; !ok {
+		s.pages[p] = make([]T, 1<<pageBits)
+		s.used[p] = make([]bool, 1<<pageBits)
+	}
+	if !s.used[p][off] {
+		s.used[p][off] = true
+		s.n++
+	}
+	s.pages[p][off] = v
+	if addr > s.max {
+		s.max = addr
+	}
+}
+
+// Delete implements Store.
+func (s *PagedStore[T]) Delete(addr int64) {
+	p, off := addr>>pageBits, addr&(1<<pageBits-1)
+	if u, ok := s.used[p]; ok && u[off] {
+		var zero T
+		s.pages[p][off] = zero
+		u[off] = false
+		s.n--
+	}
+}
+
+// Len implements Store.
+func (s *PagedStore[T]) Len() int { return s.n }
+
+// MaxAddr implements Store.
+func (s *PagedStore[T]) MaxAddr() int64 { return s.max }
+
+// Pages returns the number of pages currently allocated — the physical
+// memory proxy that exposes spread.
+func (s *PagedStore[T]) Pages() int { return len(s.pages) }

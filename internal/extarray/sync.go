@@ -1,0 +1,55 @@
+package extarray
+
+import "sync"
+
+// Sync wraps any Table with a read-write mutex, making it safe for
+// concurrent use by worker goroutines — the natural deployment of a
+// PF-addressed array in a parallel solver (see examples/extendible-matrix
+// for the serial version). Gets take the read lock; Sets and Resizes take
+// the write lock. Reshapes therefore act as barriers, which is exactly the
+// semantics a grow-then-fill refinement loop needs.
+type Sync[T any] struct {
+	mu    sync.RWMutex
+	inner Table[T]
+}
+
+// NewSync wraps inner. The wrapped table must not be used directly
+// afterwards.
+func NewSync[T any](inner Table[T]) *Sync[T] {
+	return &Sync[T]{inner: inner}
+}
+
+// Dims implements Table.
+func (s *Sync[T]) Dims() (int64, int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inner.Dims()
+}
+
+// Get implements Table.
+func (s *Sync[T]) Get(x, y int64) (T, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inner.Get(x, y)
+}
+
+// Set implements Table.
+func (s *Sync[T]) Set(x, y int64, v T) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Set(x, y, v)
+}
+
+// Resize implements Table.
+func (s *Sync[T]) Resize(rows, cols int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Resize(rows, cols)
+}
+
+// Stats implements Table.
+func (s *Sync[T]) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inner.Stats()
+}

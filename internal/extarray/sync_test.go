@@ -1,0 +1,72 @@
+package extarray
+
+import (
+	"sync"
+	"testing"
+
+	"pairfn/internal/core"
+)
+
+// TestSyncConcurrentFill: workers fill disjoint rows concurrently, the
+// array grows between phases, and every value survives (run with -race).
+func TestSyncConcurrentFill(t *testing.T) {
+	tab := NewSync[int64](NewMapBacked[int64](core.SquareShell{}, 8, 8))
+	const workers = 8
+	fill := func(rows, cols int64) {
+		var wg sync.WaitGroup
+		for w := int64(0); w < workers; w++ {
+			wg.Add(1)
+			go func(w int64) {
+				defer wg.Done()
+				for x := w + 1; x <= rows; x += workers {
+					for y := int64(1); y <= cols; y++ {
+						if err := tab.Set(x, y, x*1000+y); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	fill(8, 8)
+	if err := tab.Resize(16, 12); err != nil {
+		t.Fatal(err)
+	}
+	fill(16, 12)
+	// Concurrent readers validate while more writers churn one row.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for x := int64(1); x <= 16; x++ {
+				for y := int64(1); y <= 12; y++ {
+					v, ok, err := tab.Get(x, y)
+					if err != nil || !ok || v != x*1000+y {
+						t.Errorf("Get(%d,%d) = %d, %v, %v", x, y, v, ok, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			if err := tab.Set(1, 1, 1001); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if r, c := tab.Dims(); r != 16 || c != 12 {
+		t.Errorf("dims %d×%d", r, c)
+	}
+	if tab.Stats().Moves != 0 {
+		t.Errorf("growth moved %d elements", tab.Stats().Moves)
+	}
+}

@@ -1,0 +1,134 @@
+package extarray
+
+import (
+	"fmt"
+
+	"pairfn/internal/core"
+)
+
+// The §3 aside observes that PF-based storage gives "a broad range of ways
+// of accessing one's arrays/tables: by position, by row/column, by block
+// (at varying computational costs)". This file provides those traversals
+// plus a locality cost model: traversing a row/column/block visits a
+// sequence of addresses, and the number of distinct memory pages touched is
+// the classic proxy for that traversal's cost. Row-major indexing makes
+// rows perfectly local and columns terrible; the PFs trade both against
+// reshape-freedom, each in its own way (diagonal shells favor
+// anti-diagonals, square shells favor square blocks, hyperbolic shells
+// favor nothing but stay compact).
+
+// Addresses returns the addresses of the positions of row x, columns
+// 1..cols, under mapping f.
+func RowAddresses(f core.StorageMapping, x, cols int64) ([]int64, error) {
+	if x < 1 || cols < 0 {
+		return nil, fmt.Errorf("extarray: RowAddresses(%d, %d) domain error", x, cols)
+	}
+	out := make([]int64, 0, cols)
+	for y := int64(1); y <= cols; y++ {
+		z, err := f.Encode(x, y)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, z)
+	}
+	return out, nil
+}
+
+// ColAddresses returns the addresses of the positions of column y, rows
+// 1..rows, under mapping f.
+func ColAddresses(f core.StorageMapping, y, rows int64) ([]int64, error) {
+	if y < 1 || rows < 0 {
+		return nil, fmt.Errorf("extarray: ColAddresses(%d, %d) domain error", y, rows)
+	}
+	out := make([]int64, 0, rows)
+	for x := int64(1); x <= rows; x++ {
+		z, err := f.Encode(x, y)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, z)
+	}
+	return out, nil
+}
+
+// BlockAddresses returns the addresses of the block [x0, x1] × [y0, y1]
+// under mapping f, in row-major visit order.
+func BlockAddresses(f core.StorageMapping, x0, x1, y0, y1 int64) ([]int64, error) {
+	if x0 < 1 || y0 < 1 || x1 < x0 || y1 < y0 {
+		return nil, fmt.Errorf("extarray: BlockAddresses(%d..%d, %d..%d) domain error",
+			x0, x1, y0, y1)
+	}
+	out := make([]int64, 0, (x1-x0+1)*(y1-y0+1))
+	for x := x0; x <= x1; x++ {
+		for y := y0; y <= y1; y++ {
+			z, err := f.Encode(x, y)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, z)
+		}
+	}
+	return out, nil
+}
+
+// TraversalCost summarizes the locality of one traversal.
+type TraversalCost struct {
+	// Elements is the number of positions visited.
+	Elements int64
+	// Span is max−min+1 over the visited addresses: the window a
+	// prefetcher would have to cover.
+	Span int64
+	// Pages is the number of distinct pages of 2^pageBits addresses
+	// touched — the cache/VM cost proxy.
+	Pages int64
+}
+
+// Cost computes the TraversalCost of an address sequence.
+func Cost(addrs []int64) TraversalCost {
+	if len(addrs) == 0 {
+		return TraversalCost{}
+	}
+	min, max := addrs[0], addrs[0]
+	pages := make(map[int64]struct{}, len(addrs))
+	for _, a := range addrs {
+		if a < min {
+			min = a
+		}
+		if a > max {
+			max = a
+		}
+		pages[a>>pageBits] = struct{}{}
+	}
+	return TraversalCost{
+		Elements: int64(len(addrs)),
+		Span:     max - min + 1,
+		Pages:    int64(len(pages)),
+	}
+}
+
+// RowCost is Cost(RowAddresses(f, x, cols)).
+func RowCost(f core.StorageMapping, x, cols int64) (TraversalCost, error) {
+	a, err := RowAddresses(f, x, cols)
+	if err != nil {
+		return TraversalCost{}, err
+	}
+	return Cost(a), nil
+}
+
+// ColCost is Cost(ColAddresses(f, y, rows)).
+func ColCost(f core.StorageMapping, y, rows int64) (TraversalCost, error) {
+	a, err := ColAddresses(f, y, rows)
+	if err != nil {
+		return TraversalCost{}, err
+	}
+	return Cost(a), nil
+}
+
+// BlockCost is Cost(BlockAddresses(f, x0, x1, y0, y1)).
+func BlockCost(f core.StorageMapping, x0, x1, y0, y1 int64) (TraversalCost, error) {
+	a, err := BlockAddresses(f, x0, x1, y0, y1)
+	if err != nil {
+		return TraversalCost{}, err
+	}
+	return Cost(a), nil
+}

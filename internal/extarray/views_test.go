@@ -1,0 +1,143 @@
+package extarray
+
+import (
+	"testing"
+
+	"pairfn/internal/core"
+)
+
+func TestRowColBlockAddresses(t *testing.T) {
+	f := core.RowMajor{Width: 100}
+	row, err := RowAddresses(f, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range row {
+		if want := int64(2*100 + i + 1); a != want {
+			t.Errorf("row address[%d] = %d, want %d", i, a, want)
+		}
+	}
+	col, err := ColAddresses(f, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range col {
+		if want := int64(i*100 + 2); a != want {
+			t.Errorf("col address[%d] = %d, want %d", i, a, want)
+		}
+	}
+	blk, err := BlockAddresses(f, 2, 3, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{105, 106, 205, 206}
+	for i := range want {
+		if blk[i] != want[i] {
+			t.Fatalf("block = %v, want %v", blk, want)
+		}
+	}
+}
+
+func TestCost(t *testing.T) {
+	c := Cost([]int64{1, 2, 3, 1024, 1025})
+	if c.Elements != 5 || c.Span != 1025 {
+		t.Errorf("cost = %+v", c)
+	}
+	if c.Pages != 2 { // addresses 1..3 on page 0, 1024..1025 on page 1
+		t.Errorf("pages = %d, want 2", c.Pages)
+	}
+	if (Cost(nil) != TraversalCost{}) {
+		t.Error("empty cost should be zero")
+	}
+}
+
+// TestAccessCostTradeoffs captures the §3 aside quantitatively:
+//   - row-major: rows perfectly local (span = cols), columns terrible;
+//   - square-shell: the column x-range [1,n] of column n is one shell arm —
+//     span ~ n for the *last* column, quadratic for the first;
+//   - hyperbolic: nothing is an arithmetic progression, but every
+//     traversal of an n-position array stays within its Θ(n log n) spread.
+func TestAccessCostTradeoffs(t *testing.T) {
+	const n = 64
+	rm := core.RowMajor{Width: n}
+	rmRow, err := RowCost(rm, 5, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmRow.Span != n {
+		t.Errorf("row-major row span = %d, want %d", rmRow.Span, n)
+	}
+	rmCol, err := ColCost(rm, 5, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmCol.Span != n*(n-1)+1 {
+		t.Errorf("row-major col span = %d, want %d", rmCol.Span, n*(n-1)+1)
+	}
+
+	ss := core.SquareShell{}
+	// Column y = n under 𝒜₁,₁ crosses shells max(x,y) for x ≤ n, i.e. the
+	// single shell n: addresses are contiguous along the arm.
+	ssCol, err := ColCost(ss, n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ssCol.Span != n {
+		t.Errorf("square-shell last-column span = %d, want %d (one shell arm)", ssCol.Span, n)
+	}
+	// Row x = 1 under 𝒜₁,₁ hits every shell: quadratic span.
+	ssRow, err := RowCost(ss, 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ssRow.Span != n*n-1+1 {
+		t.Errorf("square-shell first-row span = %d, want %d", ssRow.Span, n*n)
+	}
+
+	// Hyperbolic: a thin row of n² elements spans ≤ S_ℋ(n²) = Θ(n² log n²),
+	// two orders below the diagonal PF's quadratic Θ(n⁴) span on the same
+	// row.
+	h := core.Hyperbolic{}
+	hRow, err := RowCost(h, 1, n*n) // n² elements in a thin array
+	if err != nil {
+		t.Fatal(err)
+	}
+	dRow, err := RowCost(core.Diagonal{}, 1, n*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hRow.Span*100 >= dRow.Span {
+		t.Errorf("hyperbolic thin-row span %d not ≪ diagonal's %d", hRow.Span, dRow.Span)
+	}
+
+	// Block access: a square block under 𝒜₁,₁ touches only its own shells.
+	blk, err := BlockCost(ss, n/2, n/2+7, n/2, n/2+7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blk.Elements != 64 {
+		t.Errorf("block elements = %d", blk.Elements)
+	}
+	// The 8×8 block at (32,32) lives within shells 32..40: span bounded by
+	// the shell-40 boundary minus the shell-31 boundary.
+	if max := int64(40*40 - 31*31); blk.Span > max {
+		t.Errorf("block span = %d, want ≤ %d", blk.Span, max)
+	}
+}
+
+func TestViewDomainErrors(t *testing.T) {
+	f := core.Diagonal{}
+	if _, err := RowAddresses(f, 0, 5); err == nil {
+		t.Error("RowAddresses(0, ·) should fail")
+	}
+	if _, err := ColAddresses(f, 1, -1); err == nil {
+		t.Error("ColAddresses(·, -1) should fail")
+	}
+	if _, err := BlockAddresses(f, 2, 1, 1, 1); err == nil {
+		t.Error("inverted block should fail")
+	}
+	// Partial mapping error propagation.
+	if _, err := RowAddresses(core.RowMajor{Width: 3}, 1, 5); err == nil {
+		t.Error("row beyond width should surface mapping error")
+	}
+}

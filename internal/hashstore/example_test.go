@@ -1,0 +1,28 @@
+package hashstore_test
+
+import (
+	"fmt"
+
+	"pairfn/internal/hashstore"
+)
+
+func ExampleOpen() {
+	// Position-keyed storage: no pairing function, ≤ 2n slots, O(1)
+	// expected access (the §3 aside).
+	s := hashstore.NewOpen[string]()
+	s.Set(hashstore.Position{X: 1000000, Y: 3}, "far corner")
+	v, ok := s.Get(hashstore.Position{X: 1000000, Y: 3})
+	fmt.Println(v, ok, s.Len())
+	// Output: far corner true 1
+}
+
+func ExampleTwoLevel() {
+	// FKS-style two-level hashing: every lookup is exactly two probes.
+	s := hashstore.NewTwoLevel[int64]()
+	for i := int64(1); i <= 100; i++ {
+		s.Set(hashstore.Position{X: i, Y: i}, i)
+	}
+	_, _ = s.Get(hashstore.Position{X: 50, Y: 50})
+	fmt.Println(s.Stats().MaxProbe)
+	// Output: 2
+}

@@ -1,0 +1,66 @@
+// Package hashstore implements the §3-aside alternative to PF storage
+// mappings: when an extendible array/table is accessed *only by position*,
+// hashing beats any pairing function's spread. The aside cites
+// Rosenberg–Stockmeyer (J. ACM 1977), whose schemes use fewer than 2n
+// memory locations for an n-position table of any aspect ratio, with O(1)
+// expected and O(log log n) worst-case access time.
+//
+// We provide two modern stand-ins that preserve the claims the paper uses
+// the aside for (documented as a substitution in DESIGN.md):
+//
+//   - Open: open-addressing with load factor kept in [1/2, 4/5], hence
+//     fewer than 2n slots and O(1) expected probes;
+//   - TwoLevel: an FKS-style two-level table with collision-free buckets,
+//     hence O(1) worst-case probes per lookup (amortized rebuilds), at
+//     O(n) slots.
+//
+// Both are keyed directly by position ⟨x, y⟩, need no pairing function, and
+// are oblivious to aspect ratio — which is exactly the trade-off the aside
+// describes: compact constant-time access, but no address arithmetic, no
+// row/column locality and no block access.
+package hashstore
+
+// Position is a 1-based array position.
+type Position struct {
+	X, Y int64
+}
+
+// splitmix64 is the SplitMix64 finalizer: a high-quality 64-bit mixer.
+func splitmix64(z uint64) uint64 {
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// hashPos mixes a position with a seed into a 64-bit hash.
+func hashPos(p Position, seed uint64) uint64 {
+	h := splitmix64(uint64(p.X) ^ seed)
+	return splitmix64(h ^ uint64(p.Y)*0xD1B54A32D192ED03)
+}
+
+// ProbeStats accumulates access-cost measurements.
+type ProbeStats struct {
+	// Lookups is the number of Get/Set/Delete key searches performed.
+	Lookups int64
+	// Probes is the total number of slot inspections across all searches.
+	Probes int64
+	// MaxProbe is the longest single probe sequence observed.
+	MaxProbe int64
+}
+
+// Mean returns the average probes per lookup (0 if no lookups).
+func (s ProbeStats) Mean() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Probes) / float64(s.Lookups)
+}
+
+func (s *ProbeStats) record(probes int64) {
+	s.Lookups++
+	s.Probes += probes
+	if probes > s.MaxProbe {
+		s.MaxProbe = probes
+	}
+}

@@ -1,0 +1,224 @@
+package hashstore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// storeAPI lets the same battery run over both stores.
+type storeAPI interface {
+	Get(Position) (int64, bool)
+	Set(Position, int64)
+	Delete(Position)
+	Len() int
+	Slots() int
+}
+
+func stores() map[string]func() storeAPI {
+	return map[string]func() storeAPI{
+		"open":     func() storeAPI { return NewOpen[int64]() },
+		"twolevel": func() storeAPI { return NewTwoLevel[int64]() },
+	}
+}
+
+func TestBasicOps(t *testing.T) {
+	for name, mk := range stores() {
+		mk := mk
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			if _, ok := s.Get(Position{1, 1}); ok {
+				t.Error("empty store Get should miss")
+			}
+			s.Set(Position{1, 1}, 10)
+			s.Set(Position{1, 2}, 20)
+			s.Set(Position{2, 1}, 30)
+			if v, ok := s.Get(Position{1, 2}); !ok || v != 20 {
+				t.Errorf("Get(1,2) = %d, %v", v, ok)
+			}
+			s.Set(Position{1, 2}, 21) // overwrite
+			if v, _ := s.Get(Position{1, 2}); v != 21 {
+				t.Errorf("overwrite failed: %d", v)
+			}
+			if s.Len() != 3 {
+				t.Errorf("Len = %d, want 3", s.Len())
+			}
+			s.Delete(Position{1, 1})
+			if _, ok := s.Get(Position{1, 1}); ok {
+				t.Error("deleted key still present")
+			}
+			s.Delete(Position{9, 9}) // absent: no-op
+			if s.Len() != 2 {
+				t.Errorf("Len = %d, want 2", s.Len())
+			}
+		})
+	}
+}
+
+// TestAgainstMap drives random workloads and compares to a reference map.
+func TestAgainstMap(t *testing.T) {
+	for name, mk := range stores() {
+		mk := mk
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			ref := make(map[Position]int64)
+			rng := rand.New(rand.NewSource(42))
+			for op := 0; op < 20000; op++ {
+				p := Position{X: rng.Int63n(50) + 1, Y: rng.Int63n(50) + 1}
+				switch rng.Intn(3) {
+				case 0, 1:
+					v := rng.Int63()
+					s.Set(p, v)
+					ref[p] = v
+				case 2:
+					s.Delete(p)
+					delete(ref, p)
+				}
+				if s.Len() != len(ref) {
+					t.Fatalf("op %d: Len %d vs ref %d", op, s.Len(), len(ref))
+				}
+			}
+			for p, want := range ref {
+				if got, ok := s.Get(p); !ok || got != want {
+					t.Fatalf("Get(%v) = %d, %v; want %d", p, got, ok, want)
+				}
+			}
+		})
+	}
+}
+
+// TestHashStoreBounds is experiment E18: the open store must stay under 2n
+// slots (n ≥ 8) with O(1) mean probes; the two-level store must do exactly
+// 2 probes per lookup with O(n) slots.
+func TestHashStoreBounds(t *testing.T) {
+	open := NewOpen[int64]()
+	// Fill with a worst-case-ish pattern: a long thin row, then a block.
+	n := 0
+	for y := int64(1); y <= 4000; y++ {
+		open.Set(Position{1, y}, y)
+		n++
+		if n >= 8 && open.Slots() > 2*n {
+			t.Fatalf("open store: %d slots for %d keys (> 2n)", open.Slots(), n)
+		}
+	}
+	for x := int64(2); x <= 60; x++ {
+		for y := int64(1); y <= 60; y++ {
+			open.Set(Position{x, y}, x+y)
+			n++
+			if open.Slots() > 2*n {
+				t.Fatalf("open store: %d slots for %d keys (> 2n)", open.Slots(), n)
+			}
+		}
+	}
+	if mean := open.Stats().Mean(); mean > 6 {
+		t.Errorf("open store mean probes = %v, want O(1) (≤ 6 at load ≤ 0.7)", mean)
+	}
+
+	tl := NewTwoLevel[int64]()
+	for y := int64(1); y <= 4000; y++ {
+		tl.Set(Position{1, y}, y)
+	}
+	for y := int64(1); y <= 4000; y++ {
+		if v, ok := tl.Get(Position{1, y}); !ok || v != y {
+			t.Fatalf("twolevel Get(1, %d) = %d, %v", y, v, ok)
+		}
+	}
+	if max := tl.Stats().MaxProbe; max != 2 {
+		t.Errorf("twolevel max probe = %d, want exactly 2", max)
+	}
+	if slots := tl.Slots(); slots > 16*tl.Len() {
+		t.Errorf("twolevel slots %d ≫ O(n) for n = %d", slots, tl.Len())
+	}
+}
+
+// TestOpenStoreShrinks verifies the table shrinks after mass deletion, so
+// the < 2n bound also holds on the way down.
+func TestOpenStoreShrinks(t *testing.T) {
+	s := NewOpen[int64]()
+	for i := int64(0); i < 10000; i++ {
+		s.Set(Position{i, i}, i)
+	}
+	grown := s.Slots()
+	for i := int64(0); i < 9900; i++ {
+		s.Delete(Position{i, i})
+	}
+	if s.Slots() >= grown {
+		t.Errorf("slots did not shrink: %d → %d", grown, s.Slots())
+	}
+	if s.Len() >= 8 && s.Slots() > 2*s.Len()+openMinSlots {
+		t.Errorf("after shrink: %d slots for %d keys", s.Slots(), s.Len())
+	}
+	for i := int64(9900); i < 10000; i++ {
+		if v, ok := s.Get(Position{i, i}); !ok || v != i {
+			t.Fatalf("survivor %d lost: %d, %v", i, v, ok)
+		}
+	}
+}
+
+// TestTombstoneChurn hammers one key-set with set/delete cycles to stress
+// tombstone reclamation.
+func TestTombstoneChurn(t *testing.T) {
+	s := NewOpen[int64]()
+	for round := 0; round < 50; round++ {
+		for i := int64(0); i < 200; i++ {
+			s.Set(Position{i, 0}, i)
+		}
+		for i := int64(0); i < 200; i++ {
+			s.Delete(Position{i, 0})
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after churn", s.Len())
+	}
+	if s.Slots() > 64 {
+		t.Errorf("churn left %d slots allocated", s.Slots())
+	}
+}
+
+// TestQuickSetGet is the property form: Set then Get returns the value.
+func TestQuickSetGet(t *testing.T) {
+	for name, mk := range stores() {
+		mk := mk
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			f := func(x, y uint16, v int64) bool {
+				p := Position{int64(x) + 1, int64(y) + 1}
+				s.Set(p, v)
+				got, ok := s.Get(p)
+				return ok && got == v
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestTwoLevelRebuildAccounting sanity-checks that rebuild counters move
+// and stay sane (amortization evidence).
+func TestTwoLevelRebuildAccounting(t *testing.T) {
+	s := NewTwoLevel[int64]()
+	for i := int64(0); i < 5000; i++ {
+		s.Set(Position{i % 97, i}, i)
+	}
+	global, bucket := s.Rebuilds()
+	if global == 0 {
+		t.Error("expected at least one global rebuild")
+	}
+	// Amortized O(1): salt retries should be O(n), not O(n²).
+	if bucket > 10*5000 {
+		t.Errorf("bucket rebuilds = %d, far beyond O(n)", bucket)
+	}
+}
+
+func TestProbeStatsMean(t *testing.T) {
+	var s ProbeStats
+	if s.Mean() != 0 {
+		t.Error("empty Mean should be 0")
+	}
+	s.record(3)
+	s.record(5)
+	if s.Mean() != 4 || s.MaxProbe != 5 || s.Lookups != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}

@@ -1,0 +1,162 @@
+package hashstore
+
+const (
+	openMinSlots = 8
+	// Load factor bounds: resizing to 7n/4 slots keeps the table at or
+	// under 2n slots (the Rosenberg–Stockmeyer space bound) while linear
+	// probing at load ≤ 0.7 keeps expected probe counts at a small
+	// constant.
+	openMaxLoadNum, openMaxLoadDen = 7, 10 // grow when occupancy > 7/10
+	openMinLoadNum, openMinLoadDen = 1, 2  // shrink when n/slots < 1/2
+	openTargetNum, openTargetDen   = 7, 4  // resize to slots = 7n/4
+)
+
+// Open is a position-keyed open-addressing hash store for extendible-array
+// elements. Its live load factor is kept within [1/2, 7/10], so for n ≥ 8
+// stored elements it occupies at most 2n slots — the space bound of the §3
+// aside — while linear probing at load ≤ 0.7 gives O(1) expected probes.
+// Deletions use tombstones; the table rehashes when tombstones accumulate.
+type Open[T any] struct {
+	slots []openSlot[T]
+	n     int // live entries
+	dead  int // tombstones
+	seed  uint64
+	stats ProbeStats
+}
+
+type openSlot[T any] struct {
+	state uint8 // 0 empty, 1 live, 2 tombstone
+	key   Position
+	val   T
+}
+
+// NewOpen returns an empty Open store.
+func NewOpen[T any]() *Open[T] {
+	return &Open[T]{slots: make([]openSlot[T], openMinSlots), seed: 0x9E3779B97F4A7C15}
+}
+
+// Len returns the number of stored elements.
+func (h *Open[T]) Len() int { return h.n }
+
+// Slots returns the current number of slots; tests assert Slots < 2·Len
+// once Len ≥ 8.
+func (h *Open[T]) Slots() int { return len(h.slots) }
+
+// Stats returns accumulated probe statistics.
+func (h *Open[T]) Stats() ProbeStats { return h.stats }
+
+// find locates key, returning (index, found). When not found, index is the
+// first insertable slot (empty or tombstone) on the probe path.
+func (h *Open[T]) find(key Position) (int, bool) {
+	m := uint64(len(h.slots))
+	i := hashPos(key, h.seed) % m
+	insert := -1
+	var probes int64
+	for {
+		probes++
+		s := &h.slots[i]
+		switch s.state {
+		case 0:
+			h.stats.record(probes)
+			if insert >= 0 {
+				return insert, false
+			}
+			return int(i), false
+		case 1:
+			if s.key == key {
+				h.stats.record(probes)
+				return int(i), true
+			}
+		case 2:
+			if insert < 0 {
+				insert = int(i)
+			}
+		}
+		i++
+		if i == m {
+			i = 0
+		}
+	}
+}
+
+// Get returns the element stored at key.
+func (h *Open[T]) Get(key Position) (T, bool) {
+	var zero T
+	i, ok := h.find(key)
+	if !ok {
+		return zero, false
+	}
+	return h.slots[i].val, true
+}
+
+// Set stores v at key.
+func (h *Open[T]) Set(key Position, v T) {
+	i, ok := h.find(key)
+	if ok {
+		h.slots[i].val = v
+		return
+	}
+	if h.slots[i].state == 2 {
+		h.dead--
+	}
+	h.slots[i] = openSlot[T]{state: 1, key: key, val: v}
+	h.n++
+	h.maybeResize()
+}
+
+// Delete removes key if present.
+func (h *Open[T]) Delete(key Position) {
+	i, ok := h.find(key)
+	if !ok {
+		return
+	}
+	var zero T
+	h.slots[i].state = 2
+	h.slots[i].val = zero
+	h.n--
+	h.dead++
+	h.maybeResize()
+}
+
+// maybeResize rehashes when the live load leaves [1/2, 4/5] or tombstones
+// exceed a quarter of the table.
+func (h *Open[T]) maybeResize() {
+	m := len(h.slots)
+	occupied := h.n + h.dead
+	switch {
+	case occupied*openMaxLoadDen > m*openMaxLoadNum:
+		h.rehash()
+	case m > openMinSlots && h.n*openMinLoadDen < m*openMinLoadNum:
+		h.rehash()
+	case h.dead*4 > m:
+		h.rehash()
+	}
+}
+
+// rehash rebuilds the table at 7n/4 slots (≥ openMinSlots), dropping
+// tombstones.
+func (h *Open[T]) rehash() {
+	target := h.n * openTargetNum / openTargetDen
+	if target < openMinSlots {
+		target = openMinSlots
+	}
+	old := h.slots
+	h.slots = make([]openSlot[T], target)
+	h.dead = 0
+	h.seed = splitmix64(h.seed)
+	for _, s := range old {
+		if s.state != 1 {
+			continue
+		}
+		// Direct insert without stats or resize recursion.
+		m := uint64(len(h.slots))
+		i := hashPos(s.key, h.seed) % m
+		for h.slots[i].state == 1 {
+			i++
+			if i == m {
+				i = 0
+			}
+		}
+		h.slots[i] = s
+	}
+}

@@ -1,0 +1,209 @@
+package hashstore
+
+// TwoLevel is an FKS-style two-level hash store: a top-level table of m
+// buckets, each bucket a collision-free secondary table of size b²
+// (b = bucket population) with its own salt. Every lookup inspects exactly
+// two slots — one top-level bucket header plus one secondary slot — giving
+// O(1) *worst-case* probes, the modern sharpening of the O(log log n)
+// worst-case bound the §3 aside cites from Rosenberg–Stockmeyer. Expected
+// total space is O(n): with universal hashing, Σ b_i² = O(n) for m = Θ(n),
+// and salts are retried until each bucket is collision-free.
+//
+// Mutations may rebuild a bucket (or, when n drifts past the rebuild
+// thresholds, the whole structure); the cost is amortized O(1) per update.
+type TwoLevel[T any] struct {
+	buckets []tlBucket[T]
+	n       int
+	builtAt int // n at the time of the last global rebuild
+	seed    uint64
+	stats   ProbeStats
+	// rebuilds counts global rebuilds; bucketRebuilds counts salt retries.
+	rebuilds       int64
+	bucketRebuilds int64
+}
+
+type tlBucket[T any] struct {
+	salt  uint64
+	slots []tlSlot[T]
+	n     int
+}
+
+type tlSlot[T any] struct {
+	live bool
+	key  Position
+	val  T
+}
+
+const tlMinBuckets = 8
+
+// NewTwoLevel returns an empty TwoLevel store.
+func NewTwoLevel[T any]() *TwoLevel[T] {
+	t := &TwoLevel[T]{seed: 0xC2B2AE3D27D4EB4F}
+	t.buckets = make([]tlBucket[T], tlMinBuckets)
+	return t
+}
+
+// Len returns the number of stored elements.
+func (t *TwoLevel[T]) Len() int { return t.n }
+
+// Slots returns the total number of secondary slots allocated.
+func (t *TwoLevel[T]) Slots() int {
+	total := 0
+	for i := range t.buckets {
+		total += len(t.buckets[i].slots)
+	}
+	return total
+}
+
+// Stats returns accumulated probe statistics. Every successful or failed
+// lookup records exactly 2 probes (bucket header + secondary slot).
+func (t *TwoLevel[T]) Stats() ProbeStats { return t.stats }
+
+// Rebuilds returns (global rebuilds, bucket salt retries) — the amortized
+// costs behind the O(1) worst-case lookups.
+func (t *TwoLevel[T]) Rebuilds() (global, bucket int64) {
+	return t.rebuilds, t.bucketRebuilds
+}
+
+func (t *TwoLevel[T]) bucketOf(key Position) *tlBucket[T] {
+	i := hashPos(key, t.seed) % uint64(len(t.buckets))
+	return &t.buckets[i]
+}
+
+// slotOf returns the secondary slot index of key within b.
+func (b *tlBucket[T]) slotOf(key Position) int {
+	return int(hashPos(key, b.salt) % uint64(len(b.slots)))
+}
+
+// Get returns the element stored at key: always exactly two probes.
+func (t *TwoLevel[T]) Get(key Position) (T, bool) {
+	var zero T
+	t.stats.record(2)
+	b := t.bucketOf(key)
+	if len(b.slots) == 0 {
+		return zero, false
+	}
+	s := &b.slots[b.slotOf(key)]
+	if s.live && s.key == key {
+		return s.val, true
+	}
+	return zero, false
+}
+
+// Set stores v at key, rebuilding the bucket on collision.
+func (t *TwoLevel[T]) Set(key Position, v T) {
+	t.stats.record(2)
+	b := t.bucketOf(key)
+	if len(b.slots) > 0 {
+		s := &b.slots[b.slotOf(key)]
+		if s.live && s.key == key {
+			s.val = v
+			return
+		}
+		if !s.live {
+			*s = tlSlot[T]{live: true, key: key, val: v}
+			b.n++
+			t.n++
+			t.maybeRebuild()
+			return
+		}
+	}
+	// Collision or empty bucket: rebuild the bucket with the new key.
+	keys := make([]tlSlot[T], 0, b.n+1)
+	for _, s := range b.slots {
+		if s.live {
+			keys = append(keys, s)
+		}
+	}
+	keys = append(keys, tlSlot[T]{live: true, key: key, val: v})
+	t.rebuildBucket(b, keys)
+	b.n = len(keys)
+	t.n++
+	t.maybeRebuild()
+}
+
+// Delete removes key if present.
+func (t *TwoLevel[T]) Delete(key Position) {
+	t.stats.record(2)
+	b := t.bucketOf(key)
+	if len(b.slots) == 0 {
+		return
+	}
+	s := &b.slots[b.slotOf(key)]
+	if !s.live || s.key != key {
+		return
+	}
+	var zero T
+	*s = tlSlot[T]{val: zero}
+	b.n--
+	t.n--
+	t.maybeRebuild()
+}
+
+// rebuildBucket finds a salt under which the keys are collision-free in a
+// table of size max(1, len(keys)²).
+func (t *TwoLevel[T]) rebuildBucket(b *tlBucket[T], keys []tlSlot[T]) {
+	size := len(keys) * len(keys)
+	if size < 1 {
+		b.slots, b.n = nil, 0
+		return
+	}
+	salt := splitmix64(b.salt ^ 0xA076_1D64_78BD_642F)
+	for {
+		t.bucketRebuilds++
+		slots := make([]tlSlot[T], size)
+		ok := true
+		for _, k := range keys {
+			i := hashPos(k.key, salt) % uint64(size)
+			if slots[i].live {
+				ok = false
+				break
+			}
+			slots[i] = k
+		}
+		if ok {
+			b.salt = salt
+			b.slots = slots
+			return
+		}
+		salt = splitmix64(salt)
+	}
+}
+
+// maybeRebuild triggers a global rebuild when n has doubled or quartered
+// since the last one, keeping m = Θ(n) buckets and Σ b_i² = O(n) slots.
+func (t *TwoLevel[T]) maybeRebuild() {
+	if t.n > 2*t.builtAt+tlMinBuckets || (t.builtAt > 4*tlMinBuckets && 4*t.n < t.builtAt) {
+		t.rebuildAll()
+	}
+}
+
+// rebuildAll redistributes every key over max(tlMinBuckets, n) buckets.
+func (t *TwoLevel[T]) rebuildAll() {
+	t.rebuilds++
+	var entries []tlSlot[T]
+	for i := range t.buckets {
+		for _, s := range t.buckets[i].slots {
+			if s.live {
+				entries = append(entries, s)
+			}
+		}
+	}
+	m := len(entries)
+	if m < tlMinBuckets {
+		m = tlMinBuckets
+	}
+	t.seed = splitmix64(t.seed)
+	t.buckets = make([]tlBucket[T], m)
+	t.builtAt = len(entries)
+	groups := make(map[int][]tlSlot[T])
+	for _, e := range entries {
+		i := int(hashPos(e.key, t.seed) % uint64(m))
+		groups[i] = append(groups[i], e)
+	}
+	for i, g := range groups {
+		b := &t.buckets[i]
+		t.rebuildBucket(b, g)
+		b.n = len(g)
+	}
+}

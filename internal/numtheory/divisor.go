@@ -1,0 +1,142 @@
+package numtheory
+
+import "sort"
+
+// DivisorCount returns δ(n), the number of positive divisors of n ≥ 1.
+// It runs in O(√n) time. It panics if n < 1.
+func DivisorCount(n int64) int64 {
+	if n < 1 {
+		panic("numtheory: DivisorCount of non-positive number")
+	}
+	var count int64
+	r := Isqrt(n)
+	for d := int64(1); d <= r; d++ {
+		if n%d == 0 {
+			count += 2
+		}
+	}
+	if r*r == n {
+		count--
+	}
+	return count
+}
+
+// Divisors returns the positive divisors of n ≥ 1 in increasing order.
+// It runs in O(√n) time plus a sort of the δ(n) divisors.
+func Divisors(n int64) []int64 {
+	if n < 1 {
+		panic("numtheory: Divisors of non-positive number")
+	}
+	var small, large []int64
+	r := Isqrt(n)
+	for d := int64(1); d <= r; d++ {
+		if n%d == 0 {
+			small = append(small, d)
+			if q := n / d; q != d {
+				large = append(large, q)
+			}
+		}
+	}
+	for i := len(large) - 1; i >= 0; i-- {
+		small = append(small, large[i])
+	}
+	return small
+}
+
+// DivisorsAtLeast returns |{d : d | n, d ≥ x}| for n ≥ 1, x ≥ 1.
+// This is the reverse-lexicographic rank of the factorization ⟨x, n/x⟩ among
+// the two-part factorizations of n when x | n (eq. 3.4 of the paper).
+func DivisorsAtLeast(n, x int64) int64 {
+	if n < 1 || x < 1 {
+		panic("numtheory: DivisorsAtLeast domain error")
+	}
+	var count int64
+	r := Isqrt(n)
+	for d := int64(1); d <= r; d++ {
+		if n%d == 0 {
+			if d >= x {
+				count++
+			}
+			if q := n / d; q != d && q >= x {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// DivisorSummatory returns D(n) = Σ_{k=1..n} δ(k) for n ≥ 0, computed
+// exactly in O(√n) time by the Dirichlet hyperbola identity
+//
+//	D(n) = 2·Σ_{i=1..⌊√n⌋} ⌊n/i⌋ − ⌊√n⌋².
+//
+// D(n) is also the number of lattice points (x,y) ∈ N×N with xy ≤ n — the
+// cardinality of the Fig. 5 region — and equals the optimal worst-case
+// spread S_ℋ(n) of the hyperbolic PF.
+func DivisorSummatory(n int64) int64 {
+	if n < 0 {
+		panic("numtheory: DivisorSummatory of negative number")
+	}
+	if n == 0 {
+		return 0
+	}
+	r := Isqrt(n)
+	var sum int64
+	for i := int64(1); i <= r; i++ {
+		sum += n / i
+	}
+	return 2*sum - r*r
+}
+
+// DivisorSummatoryNaive returns D(n) by direct summation of δ(k); O(n√n).
+// Retained as the ablation baseline for BenchmarkDivisorSummatory* and as a
+// cross-check in tests.
+func DivisorSummatoryNaive(n int64) int64 {
+	if n < 0 {
+		panic("numtheory: DivisorSummatoryNaive of negative number")
+	}
+	var sum int64
+	for k := int64(1); k <= n; k++ {
+		sum += DivisorCount(k)
+	}
+	return sum
+}
+
+// DivisorTable returns the table t with t[k] = δ(k) for 1 ≤ k ≤ n (t[0] is
+// unused and zero), computed by a sieve in O(n log n) time. Useful when many
+// consecutive δ values are needed, e.g. when tabulating hyperbolic shells.
+func DivisorTable(n int64) []int64 {
+	if n < 0 {
+		panic("numtheory: DivisorTable of negative number")
+	}
+	t := make([]int64, n+1)
+	for d := int64(1); d <= n; d++ {
+		for m := d; m <= n; m += d {
+			t[m]++
+		}
+	}
+	return t
+}
+
+// SummatoryInverse returns the smallest N ≥ 1 with DivisorSummatory(N) ≥ z,
+// for z ≥ 1. This locates the hyperbolic shell xy = N containing the
+// address z. It runs in O(√N · log N) time via exponential + binary search.
+func SummatoryInverse(z int64) int64 {
+	if z < 1 {
+		panic("numtheory: SummatoryInverse domain error")
+	}
+	// Exponential search for an upper bound.
+	hi := int64(1)
+	for DivisorSummatory(hi) < z {
+		if hi > (1<<62)/2 {
+			hi = 1 << 62
+			break
+		}
+		hi *= 2
+	}
+	lo := int64(1)
+	off := sort.Search(int(hi-lo+1), func(i int) bool {
+		return DivisorSummatory(lo+int64(i)) >= z
+	})
+	return lo + int64(off)
+}

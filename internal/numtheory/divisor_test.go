@@ -1,0 +1,155 @@
+package numtheory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDivisorCountSmall(t *testing.T) {
+	// OEIS A000005.
+	want := []int64{1, 2, 2, 3, 2, 4, 2, 4, 3, 4, 2, 6, 2, 4, 4, 5, 2, 6, 2, 6,
+		4, 4, 2, 8, 3, 4, 4, 6, 2, 8, 2, 6, 4, 4, 4, 9}
+	for i, w := range want {
+		if got := DivisorCount(int64(i + 1)); got != w {
+			t.Errorf("δ(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestDivisorCountMatchesFactorization(t *testing.T) {
+	for n := int64(1); n <= 3000; n++ {
+		_, exps := Factor(n)
+		if got, want := DivisorCount(n), DivisorCountFromFactorization(exps); got != want {
+			t.Fatalf("δ(%d): trial %d vs factorization %d", n, got, want)
+		}
+	}
+}
+
+func TestDivisors(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want []int64
+	}{
+		{1, []int64{1}},
+		{2, []int64{1, 2}},
+		{6, []int64{1, 2, 3, 6}},
+		{12, []int64{1, 2, 3, 4, 6, 12}},
+		{36, []int64{1, 2, 3, 4, 6, 9, 12, 18, 36}},
+		{97, []int64{1, 97}},
+	}
+	for _, c := range cases {
+		got := Divisors(c.n)
+		if len(got) != len(c.want) {
+			t.Errorf("Divisors(%d) = %v, want %v", c.n, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Divisors(%d) = %v, want %v", c.n, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestDivisorsProperties(t *testing.T) {
+	for n := int64(1); n <= 500; n++ {
+		divs := Divisors(n)
+		if int64(len(divs)) != DivisorCount(n) {
+			t.Fatalf("|Divisors(%d)| = %d ≠ δ = %d", n, len(divs), DivisorCount(n))
+		}
+		for i, d := range divs {
+			if n%d != 0 {
+				t.Fatalf("Divisors(%d) contains non-divisor %d", n, d)
+			}
+			if i > 0 && divs[i-1] >= d {
+				t.Fatalf("Divisors(%d) not strictly increasing: %v", n, divs)
+			}
+		}
+	}
+}
+
+func TestDivisorsAtLeast(t *testing.T) {
+	for n := int64(1); n <= 300; n++ {
+		divs := Divisors(n)
+		for x := int64(1); x <= n+2; x++ {
+			var want int64
+			for _, d := range divs {
+				if d >= x {
+					want++
+				}
+			}
+			if got := DivisorsAtLeast(n, x); got != want {
+				t.Fatalf("DivisorsAtLeast(%d, %d) = %d, want %d", n, x, got, want)
+			}
+		}
+	}
+}
+
+func TestDivisorSummatoryAgainstNaive(t *testing.T) {
+	for n := int64(0); n <= 2000; n++ {
+		if got, want := DivisorSummatory(n), DivisorSummatoryNaive(n); got != want {
+			t.Fatalf("D(%d): hyperbola %d vs naive %d", n, got, want)
+		}
+	}
+}
+
+func TestDivisorSummatoryKnownValues(t *testing.T) {
+	// D(n) = Σ_{k≤n} δ(k); D(10) = 27 (OEIS A006218), D(100) = 482.
+	cases := []struct{ n, want int64 }{
+		{1, 1}, {2, 3}, {3, 5}, {6, 14}, {10, 27}, {100, 482}, {1000, 7069},
+	}
+	for _, c := range cases {
+		if got := DivisorSummatory(c.n); got != c.want {
+			t.Errorf("D(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestDivisorSummatoryIsLatticeCount(t *testing.T) {
+	// D(n) must equal the number of lattice points under xy = n.
+	for _, n := range []int64{1, 2, 16, 137, 1000} {
+		var count int64
+		for x := int64(1); x <= n; x++ {
+			count += n / x
+		}
+		if got := DivisorSummatory(n); got != count {
+			t.Errorf("D(%d) = %d, lattice count %d", n, got, count)
+		}
+	}
+}
+
+func TestDivisorTable(t *testing.T) {
+	tab := DivisorTable(500)
+	for k := int64(1); k <= 500; k++ {
+		if tab[k] != DivisorCount(k) {
+			t.Fatalf("DivisorTable[%d] = %d, want %d", k, tab[k], DivisorCount(k))
+		}
+	}
+}
+
+func TestSummatoryInverse(t *testing.T) {
+	for z := int64(1); z <= 3000; z++ {
+		n := SummatoryInverse(z)
+		if DivisorSummatory(n) < z {
+			t.Fatalf("SummatoryInverse(%d) = %d: D(n) = %d < z", z, n, DivisorSummatory(n))
+		}
+		if n > 1 && DivisorSummatory(n-1) >= z {
+			t.Fatalf("SummatoryInverse(%d) = %d not minimal", z, n)
+		}
+	}
+}
+
+func TestSummatoryInverseProperty(t *testing.T) {
+	f := func(v int64) bool {
+		if v < 0 {
+			v = -v
+		}
+		z := v%1_000_000 + 1
+		n := SummatoryInverse(z)
+		return DivisorSummatory(n) >= z && (n == 1 || DivisorSummatory(n-1) < z)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

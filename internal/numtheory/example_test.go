@@ -1,0 +1,21 @@
+package numtheory_test
+
+import (
+	"fmt"
+
+	"pairfn/internal/numtheory"
+)
+
+func ExampleDivisorSummatory() {
+	// D(16) = Σ_{k≤16} δ(k): the size of Fig. 5's region and the optimal
+	// worst-case spread S_ℋ(16).
+	fmt.Println(numtheory.DivisorSummatory(16))
+	// Output: 50
+}
+
+func ExampleDivisorsAtLeast() {
+	// The reverse-lexicographic rank of ⟨2, 2⟩ among the two-part
+	// factorizations of 4 (eq. 3.4's second term).
+	fmt.Println(numtheory.DivisorsAtLeast(4, 2))
+	// Output: 2
+}

@@ -1,0 +1,181 @@
+// Package numtheory provides the elementary number-theoretic substrate used
+// throughout pairfn: exact integer square roots and logarithms,
+// overflow-checked arithmetic on int64, divisor counting and enumeration,
+// the divisor summatory function computed by the Dirichlet hyperbola method,
+// and a small prime sieve with factorization.
+//
+// Everything operates on exact integers (int64 fast paths, math/big where
+// noted) because pairing functions are bijections: a single off-by-one or a
+// silent overflow destroys bijectivity, so no floating point is used in any
+// load-bearing computation.
+package numtheory
+
+import (
+	"errors"
+	"math/bits"
+)
+
+// ErrOverflow reports that an exact int64 computation would exceed the range
+// of int64. Callers that need totality should switch to the math/big paths.
+var ErrOverflow = errors.New("numtheory: int64 overflow")
+
+// Isqrt returns ⌊√n⌋ for n ≥ 0. It panics if n < 0.
+func Isqrt(n int64) int64 {
+	if n < 0 {
+		panic("numtheory: Isqrt of negative number")
+	}
+	if n < 2 {
+		return n
+	}
+	// Initial estimate from the bit length, then Newton iterations.
+	// For n < 2^63 this converges in a handful of steps.
+	x := int64(1) << ((bits.Len64(uint64(n)) + 1) / 2)
+	for {
+		y := (x + n/x) / 2
+		if y >= x {
+			break
+		}
+		x = y
+	}
+	// Correct the rare one-off from the estimate. Comparisons use division
+	// (x ≤ n/x ⟺ x² ≤ n for positive ints) so no intermediate overflows.
+	for x > 0 && x > n/x {
+		x--
+	}
+	for x+1 <= n/(x+1) {
+		x++
+	}
+	return x
+}
+
+// Log2Floor returns ⌊log₂ n⌋ for n ≥ 1. It panics if n < 1.
+func Log2Floor(n int64) int {
+	if n < 1 {
+		panic("numtheory: Log2Floor of non-positive number")
+	}
+	return bits.Len64(uint64(n)) - 1
+}
+
+// Log2Ceil returns ⌈log₂ n⌉ for n ≥ 1. It panics if n < 1.
+func Log2Ceil(n int64) int {
+	if n < 1 {
+		panic("numtheory: Log2Ceil of non-positive number")
+	}
+	if n&(n-1) == 0 {
+		return bits.Len64(uint64(n)) - 1
+	}
+	return bits.Len64(uint64(n))
+}
+
+// Pow2 returns 2^k as an int64, or ErrOverflow if k ≥ 63 or k < 0.
+func Pow2(k int) (int64, error) {
+	if k < 0 || k >= 63 {
+		return 0, ErrOverflow
+	}
+	return int64(1) << uint(k), nil
+}
+
+// MulCheck returns a*b, or ErrOverflow if the product does not fit in int64.
+// Both operands must be non-negative.
+func MulCheck(a, b int64) (int64, error) {
+	if a < 0 || b < 0 {
+		panic("numtheory: MulCheck of negative operand")
+	}
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	if hi != 0 || lo > uint64(1<<63-1) {
+		return 0, ErrOverflow
+	}
+	return int64(lo), nil
+}
+
+// AddCheck returns a+b, or ErrOverflow if the sum does not fit in int64.
+// Both operands must be non-negative.
+func AddCheck(a, b int64) (int64, error) {
+	if a < 0 || b < 0 {
+		panic("numtheory: AddCheck of negative operand")
+	}
+	s := a + b
+	if s < 0 {
+		return 0, ErrOverflow
+	}
+	return s, nil
+}
+
+// ShlCheck returns a << k, or ErrOverflow if the result does not fit in
+// int64. a must be non-negative.
+func ShlCheck(a int64, k int) (int64, error) {
+	if a < 0 {
+		panic("numtheory: ShlCheck of negative operand")
+	}
+	if a == 0 {
+		return 0, nil
+	}
+	if k < 0 || k >= 63 || bits.Len64(uint64(a))+k > 63 {
+		return 0, ErrOverflow
+	}
+	return a << uint(k), nil
+}
+
+// CeilDiv returns ⌈a/b⌉ for a ≥ 0, b > 0.
+func CeilDiv(a, b int64) int64 {
+	if a < 0 || b <= 0 {
+		panic("numtheory: CeilDiv domain error")
+	}
+	return (a + b - 1) / b
+}
+
+// TrailingZeros64 returns the 2-adic valuation v₂(n) of n > 0, i.e. the
+// number of trailing zero bits. It panics if n ≤ 0.
+func TrailingZeros64(n int64) int {
+	if n <= 0 {
+		panic("numtheory: TrailingZeros64 of non-positive number")
+	}
+	return bits.TrailingZeros64(uint64(n))
+}
+
+// Triangular returns the k-th triangular number k(k+1)/2, or ErrOverflow.
+func Triangular(k int64) (int64, error) {
+	if k < 0 {
+		panic("numtheory: Triangular of negative number")
+	}
+	// Exactly one of k, k+1 is even; divide it first to avoid overflow at
+	// the boundary.
+	a, b := k, k+1
+	if a%2 == 0 {
+		a /= 2
+	} else {
+		b /= 2
+	}
+	return MulCheck(a, b)
+}
+
+// TriangularRoot returns the largest k with k(k+1)/2 ≤ n, for n ≥ 0.
+func TriangularRoot(n int64) int64 {
+	if n < 0 {
+		panic("numtheory: TriangularRoot of negative number")
+	}
+	// k ≈ (√(8n+1) − 1)/2. Compute with Isqrt and correct locally.
+	// 8n+1 can overflow for n near 2^63, so work at n/2 scale:
+	// k ≤ √(2n) ≤ Isqrt(n)·2 guard. Use the direct form when safe.
+	var k int64
+	if n <= (1<<62-1)/8 {
+		k = (Isqrt(8*n+1) - 1) / 2
+	} else {
+		k = 2 * Isqrt(n/2)
+	}
+	for {
+		t, err := Triangular(k + 1)
+		if err != nil || t > n {
+			break
+		}
+		k++
+	}
+	for k > 0 {
+		t, err := Triangular(k)
+		if err == nil && t <= n {
+			break
+		}
+		k--
+	}
+	return k
+}

@@ -1,0 +1,203 @@
+package numtheory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsqrtSmall(t *testing.T) {
+	for n := int64(0); n <= 10000; n++ {
+		r := Isqrt(n)
+		if r*r > n || (r+1)*(r+1) <= n {
+			t.Fatalf("Isqrt(%d) = %d", n, r)
+		}
+	}
+}
+
+func TestIsqrtLarge(t *testing.T) {
+	cases := []int64{
+		1<<62 - 1, 1 << 62, 1<<63 - 1,
+		(1 << 31) * (1 << 31), (1<<31+1)*(1<<31+1) - 1,
+		999999999999999999,
+	}
+	for _, n := range cases {
+		r := Isqrt(n)
+		if r*r > n {
+			t.Errorf("Isqrt(%d) = %d: square exceeds n", n, r)
+		}
+		// (r+1)² may overflow; check via division.
+		if r+1 <= math.MaxInt64/(r+1) && (r+1)*(r+1) <= n {
+			t.Errorf("Isqrt(%d) = %d: not maximal", n, r)
+		}
+	}
+}
+
+func TestIsqrtProperty(t *testing.T) {
+	f := func(v int64) bool {
+		if v < 0 {
+			v = -v
+		}
+		r := Isqrt(v)
+		return r >= 0 && r*r <= v && (r >= 3037000499 || (r+1)*(r+1) > v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsqrtPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Isqrt(-1) did not panic")
+		}
+	}()
+	Isqrt(-1)
+}
+
+func TestLog2(t *testing.T) {
+	cases := []struct {
+		n           int64
+		floor, ceil int
+	}{
+		{1, 0, 0}, {2, 1, 1}, {3, 1, 2}, {4, 2, 2}, {5, 2, 3},
+		{7, 2, 3}, {8, 3, 3}, {9, 3, 4}, {1023, 9, 10}, {1024, 10, 10},
+		{1025, 10, 11}, {1 << 62, 62, 62}, {1<<62 + 1, 62, 63},
+	}
+	for _, c := range cases {
+		if got := Log2Floor(c.n); got != c.floor {
+			t.Errorf("Log2Floor(%d) = %d, want %d", c.n, got, c.floor)
+		}
+		if got := Log2Ceil(c.n); got != c.ceil {
+			t.Errorf("Log2Ceil(%d) = %d, want %d", c.n, got, c.ceil)
+		}
+	}
+}
+
+func TestPow2(t *testing.T) {
+	for k := 0; k < 63; k++ {
+		v, err := Pow2(k)
+		if err != nil || v != int64(1)<<uint(k) {
+			t.Errorf("Pow2(%d) = %d, %v", k, v, err)
+		}
+	}
+	if _, err := Pow2(63); err == nil {
+		t.Error("Pow2(63) should overflow")
+	}
+	if _, err := Pow2(-1); err == nil {
+		t.Error("Pow2(-1) should fail")
+	}
+}
+
+func TestMulCheck(t *testing.T) {
+	if v, err := MulCheck(3037000499, 3037000499); err != nil || v != 3037000499*3037000499 {
+		t.Errorf("MulCheck near boundary: %d, %v", v, err)
+	}
+	if _, err := MulCheck(3037000500, 3037000500); err == nil {
+		t.Error("MulCheck(3037000500²) should overflow")
+	}
+	if _, err := MulCheck(1<<32, 1<<31); err == nil {
+		t.Error("MulCheck(2^32·2^31) should overflow")
+	}
+	if v, err := MulCheck(0, 1<<62); err != nil || v != 0 {
+		t.Errorf("MulCheck(0, big) = %d, %v", v, err)
+	}
+}
+
+func TestAddCheck(t *testing.T) {
+	if v, err := AddCheck(1<<62, 1<<62-1); err != nil || v != 1<<63-1 {
+		t.Errorf("AddCheck boundary: %d, %v", v, err)
+	}
+	if _, err := AddCheck(1<<62, 1<<62); err == nil {
+		t.Error("AddCheck(2^62+2^62) should overflow")
+	}
+}
+
+func TestShlCheck(t *testing.T) {
+	if v, err := ShlCheck(1, 62); err != nil || v != 1<<62 {
+		t.Errorf("ShlCheck(1, 62) = %d, %v", v, err)
+	}
+	if _, err := ShlCheck(1, 63); err == nil {
+		t.Error("ShlCheck(1, 63) should overflow")
+	}
+	if v, err := ShlCheck(0, 1000); err != nil || v != 0 {
+		t.Errorf("ShlCheck(0, 1000) = %d, %v", v, err)
+	}
+	if _, err := ShlCheck(3, 62); err == nil {
+		t.Error("ShlCheck(3, 62) should overflow")
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 1, 0}, {1, 1, 1}, {1, 2, 1}, {2, 2, 1}, {3, 2, 2},
+		{10, 3, 4}, {9, 3, 3}, {100, 7, 15},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTrailingZeros64(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want int
+	}{{1, 0}, {2, 1}, {3, 0}, {8, 3}, {12, 2}, {1 << 62, 62}, {3 << 20, 20}}
+	for _, c := range cases {
+		if got := TrailingZeros64(c.n); got != c.want {
+			t.Errorf("TrailingZeros64(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestTriangular(t *testing.T) {
+	want := int64(0)
+	for k := int64(0); k <= 1000; k++ {
+		got, err := Triangular(k)
+		if err != nil || got != want {
+			t.Fatalf("Triangular(%d) = %d, %v; want %d", k, got, err, want)
+		}
+		want += k + 1
+	}
+	if _, err := Triangular(1 << 33); err == nil {
+		t.Error("Triangular(2^33) should overflow")
+	}
+	// Largest k whose triangular number fits int64: T(k) ≤ 2^63−1 ⇒
+	// k = 2^32−1 (T(2^32) = 2^63 + 2^31 overflows).
+	if v, err := Triangular(1<<32 - 1); err != nil || v != (1<<31)*(1<<32-1) {
+		t.Errorf("Triangular(2^32−1) = %d, %v", v, err)
+	}
+	if _, err := Triangular(1 << 32); err == nil {
+		t.Error("Triangular(2^32) should overflow")
+	}
+}
+
+func TestTriangularRoot(t *testing.T) {
+	for n := int64(0); n <= 5000; n++ {
+		k := TriangularRoot(n)
+		tk, _ := Triangular(k)
+		tk1, err := Triangular(k + 1)
+		if tk > n || (err == nil && tk1 <= n) {
+			t.Fatalf("TriangularRoot(%d) = %d (T(k)=%d, T(k+1)=%d)", n, k, tk, tk1)
+		}
+	}
+}
+
+func TestTriangularRootRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		if v < 0 {
+			v = -v
+		}
+		k := v % 3_000_000_000
+		tk, err := Triangular(k)
+		if err != nil {
+			return true
+		}
+		return TriangularRoot(tk) == k && (k == 0 || TriangularRoot(tk-1) == k-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,96 @@
+package numtheory
+
+// SievePrimes returns all primes ≤ n in increasing order using the sieve of
+// Eratosthenes. For n < 2 it returns an empty slice.
+func SievePrimes(n int64) []int64 {
+	if n < 2 {
+		return nil
+	}
+	composite := make([]bool, n+1)
+	var primes []int64
+	for p := int64(2); p <= n; p++ {
+		if composite[p] {
+			continue
+		}
+		primes = append(primes, p)
+		for m := p * p; m <= n && m > 0; m += p {
+			composite[m] = true
+		}
+	}
+	return primes
+}
+
+// CountPrimes returns π(hi) − π(lo−1): the number of primes p with
+// lo ≤ p ≤ hi. It is the verifiable unit of work handed to WBC volunteers —
+// cheap for the server to audit, expensive enough to be a plausible task.
+// It runs a segmented trial division in O((hi−lo)·√hi / log hi) time.
+func CountPrimes(lo, hi int64) int64 {
+	if lo < 2 {
+		lo = 2
+	}
+	if hi < lo {
+		return 0
+	}
+	var count int64
+	for n := lo; n <= hi; n++ {
+		if IsPrime(n) {
+			count++
+		}
+	}
+	return count
+}
+
+// IsPrime reports whether n is prime, by trial division up to √n.
+func IsPrime(n int64) bool {
+	if n < 2 {
+		return false
+	}
+	if n%2 == 0 {
+		return n == 2
+	}
+	if n%3 == 0 {
+		return n == 3
+	}
+	for d := int64(5); d*d <= n; d += 6 {
+		if n%d == 0 || n%(d+2) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Factor returns the prime factorization of n ≥ 1 as parallel slices of
+// primes and exponents, in increasing prime order. Factor(1) returns empty
+// slices. It runs in O(√n) time.
+func Factor(n int64) (primes []int64, exps []int) {
+	if n < 1 {
+		panic("numtheory: Factor of non-positive number")
+	}
+	for p := int64(2); p*p <= n; p++ {
+		if n%p != 0 {
+			continue
+		}
+		e := 0
+		for n%p == 0 {
+			n /= p
+			e++
+		}
+		primes = append(primes, p)
+		exps = append(exps, e)
+	}
+	if n > 1 {
+		primes = append(primes, n)
+		exps = append(exps, 1)
+	}
+	return primes, exps
+}
+
+// DivisorCountFromFactorization returns δ(n) = Π(eᵢ+1) given n's prime
+// factorization exponents.
+func DivisorCountFromFactorization(exps []int) int64 {
+	d := int64(1)
+	for _, e := range exps {
+		d *= int64(e + 1)
+	}
+	return d
+}

@@ -1,0 +1,76 @@
+package numtheory
+
+import "testing"
+
+func TestSievePrimes(t *testing.T) {
+	got := SievePrimes(50)
+	want := []int64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47}
+	if len(got) != len(want) {
+		t.Fatalf("SievePrimes(50) = %v", got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("SievePrimes(50)[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if SievePrimes(1) != nil {
+		t.Error("SievePrimes(1) should be empty")
+	}
+}
+
+func TestIsPrimeAgainstSieve(t *testing.T) {
+	const n = 5000
+	primes := SievePrimes(n)
+	inSieve := make(map[int64]bool, len(primes))
+	for _, p := range primes {
+		inSieve[p] = true
+	}
+	for k := int64(0); k <= n; k++ {
+		if IsPrime(k) != inSieve[k] {
+			t.Fatalf("IsPrime(%d) = %v, sieve says %v", k, IsPrime(k), inSieve[k])
+		}
+	}
+}
+
+func TestCountPrimes(t *testing.T) {
+	cases := []struct{ lo, hi, want int64 }{
+		{1, 10, 4},   // 2 3 5 7
+		{2, 2, 1},    // 2
+		{4, 4, 0},    //
+		{10, 1, 0},   // empty interval
+		{1, 100, 25}, // π(100)
+		{90, 100, 1}, // 97
+		{1, 1000, 168} /* π(1000) */}
+	for _, c := range cases {
+		if got := CountPrimes(c.lo, c.hi); got != c.want {
+			t.Errorf("CountPrimes(%d, %d) = %d, want %d", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestFactor(t *testing.T) {
+	for n := int64(1); n <= 2000; n++ {
+		ps, es := Factor(n)
+		if len(ps) != len(es) {
+			t.Fatalf("Factor(%d): mismatched slices", n)
+		}
+		prod := int64(1)
+		for i, p := range ps {
+			if !IsPrime(p) {
+				t.Fatalf("Factor(%d): %d is not prime", n, p)
+			}
+			if i > 0 && ps[i-1] >= p {
+				t.Fatalf("Factor(%d): primes not increasing", n)
+			}
+			if es[i] < 1 {
+				t.Fatalf("Factor(%d): exponent %d", n, es[i])
+			}
+			for e := 0; e < es[i]; e++ {
+				prod *= p
+			}
+		}
+		if prod != n {
+			t.Fatalf("Factor(%d): product = %d", n, prod)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package polysearch_test
+
+import (
+	"fmt"
+	"math/big"
+
+	"pairfn/internal/polysearch"
+)
+
+func ExampleCheckPF() {
+	// The Cauchy–Cantor polynomial passes the PF laws on a box…
+	rep := polysearch.CheckPF(polysearch.DiagonalPoly(false), 16)
+	fmt.Println(rep.OK)
+	// Output: true
+}
+
+func ExampleDensityCount() {
+	// …while a positive-coefficient cubic leaves range gaps (§2): far
+	// fewer than M positions attain values ≤ M.
+	p := polysearch.NewPoly(
+		polysearch.Term{I: 3, J: 0, C: ratOne()},
+		polysearch.Term{I: 0, J: 3, C: ratOne()},
+	)
+	count, _ := polysearch.DensityCount(p, 1000)
+	fmt.Println(count < 500)
+	// Output: true
+}
+
+func ratOne() *big.Rat { return big.NewRat(1, 1) }

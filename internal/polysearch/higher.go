@@ -1,0 +1,142 @@
+package polysearch
+
+import "math/big"
+
+// Monomial identifies x^I·y^J in a search template.
+type Monomial struct{ I, J int }
+
+// SearchFamily exhaustively searches the polynomial family spanned by the
+// given monomials, with half-integer coefficients whose numerators range
+// over [−numerBound, numerBound], returning every candidate that (a) has a
+// nonzero coefficient on at least one monomial of the family's top total
+// degree and (b) passes CheckPF on [1, B]².
+//
+// §2 items 3–4 predict zero survivors for any cubic or quartic family —
+// "no cubic or quartic polynomial is a PF" — which TestNoCubicPF and
+// TestNoQuarticPF verify over symmetric families; SearchQuadratics is the
+// degree-2 specialization with its own fast pre-filter.
+func SearchFamily(monomials []Monomial, numerBound int64, B int64) []*Poly {
+	if len(monomials) == 0 || numerBound < 1 || B < 4 {
+		return nil
+	}
+	top := 0
+	for _, m := range monomials {
+		if m.I+m.J > top {
+			top = m.I + m.J
+		}
+	}
+	// Precompute doubled monomial values on the 4×4 pre-filter box.
+	const pre = 4
+	monoVals := make([][pre * pre]int64, len(monomials))
+	for mi, m := range monomials {
+		for x := int64(1); x <= pre; x++ {
+			for y := int64(1); y <= pre; y++ {
+				v := int64(1)
+				for i := 0; i < m.I; i++ {
+					v *= x
+				}
+				for j := 0; j < m.J; j++ {
+					v *= y
+				}
+				monoVals[mi][(x-1)*pre+y-1] = v
+			}
+		}
+	}
+	numers := make([]int64, len(monomials)) // coefficient numerators (/2)
+	for i := range numers {
+		numers[i] = -numerBound
+	}
+	var out []*Poly
+	var vals [pre * pre]int64
+	for {
+		if topNonzero(monomials, numers, top) {
+			if prefilter(monoVals, numers, &vals) {
+				terms := make([]Term, 0, len(monomials))
+				for i, m := range monomials {
+					terms = append(terms, Term{m.I, m.J, big.NewRat(numers[i], 2)})
+				}
+				q := NewPoly(terms...)
+				if rep := CheckPF(q, B); rep.OK {
+					out = append(out, q)
+				}
+			}
+		}
+		// Odometer increment.
+		i := 0
+		for ; i < len(numers); i++ {
+			numers[i]++
+			if numers[i] <= numerBound {
+				break
+			}
+			numers[i] = -numerBound
+		}
+		if i == len(numers) {
+			return out
+		}
+	}
+}
+
+// topNonzero reports whether some top-degree monomial has a nonzero
+// coefficient — the candidate genuinely has the family's degree.
+func topNonzero(monomials []Monomial, numers []int64, top int) bool {
+	for i, m := range monomials {
+		if m.I+m.J == top && numers[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// prefilter replays SearchQuadratics' cheap exact test: doubled values on
+// the 4×4 box must be positive even integers, pairwise distinct, and
+// attain the value 1 (doubled: 2).
+func prefilter(monoVals [][16]int64, numers []int64, vals *[16]int64) bool {
+	sawOne := false
+	for p := 0; p < 16; p++ {
+		var v2 int64
+		for i := range numers {
+			v2 += numers[i] * monoVals[i][p]
+		}
+		if v2 < 2 || v2%2 != 0 {
+			return false
+		}
+		if v2 == 2 {
+			sawOne = true
+		}
+		vals[p] = v2
+	}
+	if !sawOne {
+		return false
+	}
+	for i := 0; i < 16; i++ {
+		for j := i + 1; j < 16; j++ {
+			if vals[i] == vals[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CubicFamily is the complete cubic template — all ten monomials of total
+// degree ≤ 3, each with an independent coefficient. With numerator bound 2
+// that is 5^10 ≈ 9.7M candidates, all dispatched by the early-exit
+// pre-filter in well under a minute.
+func CubicFamily() []Monomial {
+	return []Monomial{
+		{3, 0}, {2, 1}, {1, 2}, {0, 3},
+		{2, 0}, {1, 1}, {0, 2},
+		{1, 0}, {0, 1}, {0, 0},
+	}
+}
+
+// QuarticFamily is a 9-parameter quartic slice (full quartics have 15
+// coefficients; dropping the x³y and xy³ cross terms keeps the search
+// exhaustive-within-family yet tractable at 5^9 ≈ 2M candidates).
+func QuarticFamily() []Monomial {
+	return []Monomial{
+		{4, 0}, {2, 2}, {0, 4},
+		{2, 0}, {1, 1}, {0, 2},
+		{1, 0}, {0, 1}, {0, 0},
+	}
+}

@@ -1,0 +1,127 @@
+package polysearch
+
+import (
+	"math/big"
+	"testing"
+)
+
+// TestNoCubicPF reproduces §2 item 3 for cubics: no genuine cubic in the
+// complete 10-monomial family with half-integer coefficients (numerators
+// in [−2, 2]) passes the PF check.
+func TestNoCubicPF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive cubic search skipped in -short mode")
+	}
+	// Box size matters: impostors like x²y+xy²+y³−x²+y²−y−1 are injective
+	// on [1,12]² (their collisions involve positions like (19, 1)) and
+	// only die on a 16-box.
+	got := SearchFamily(CubicFamily(), 2, 16)
+	for _, p := range got {
+		t.Errorf("unexpected cubic survivor: %s", p)
+	}
+}
+
+// TestNoQuarticPF reproduces §2 item 3 for (a 9-parameter slice of)
+// quartics.
+func TestNoQuarticPF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive quartic search skipped in -short mode")
+	}
+	// Quartic impostors (e.g. y⁴+xy+y²−y−1, whose row y = 1 is the
+	// identity p(x,1) = x) survive boxes up to 20; 24 kills them all.
+	got := SearchFamily(QuarticFamily(), 2, 24)
+	for _, p := range got {
+		t.Errorf("unexpected quartic survivor: %s", p)
+	}
+}
+
+// TestSearchFamilyFindsDiagonal sanity-checks SearchFamily against the
+// known positive: over the quadratic template it must rediscover 𝒟 and its
+// twin (agreeing with SearchQuadratics).
+func TestSearchFamilyFindsDiagonal(t *testing.T) {
+	quad := []Monomial{{2, 0}, {1, 1}, {0, 2}, {1, 0}, {0, 1}, {0, 0}}
+	got := SearchFamily(quad, 3, 12)
+	if len(got) != 2 {
+		for _, p := range got {
+			t.Logf("survivor: %s", p)
+		}
+		t.Fatalf("quadratic template: %d survivors, want 2", len(got))
+	}
+	want := map[string]bool{
+		DiagonalPoly(false).String(): true,
+		DiagonalPoly(true).String():  true,
+	}
+	for _, p := range got {
+		if !want[p.String()] {
+			t.Errorf("unexpected survivor %s", p)
+		}
+	}
+}
+
+// TestSearchFamilyDegenerateInputs covers the guard clauses.
+func TestSearchFamilyDegenerateInputs(t *testing.T) {
+	if SearchFamily(nil, 2, 12) != nil {
+		t.Error("empty family should return nil")
+	}
+	if SearchFamily(CubicFamily(), 0, 12) != nil {
+		t.Error("zero bound should return nil")
+	}
+	if SearchFamily(CubicFamily(), 2, 2) != nil {
+		t.Error("tiny box should return nil")
+	}
+}
+
+// TestTopNonzeroFilter checks that candidates without a genuine top-degree
+// term are excluded (they belong to the lower-degree search).
+func TestTopNonzeroFilter(t *testing.T) {
+	// A pure-quadratic coefficient vector inside the cubic family: even
+	// though 𝒟 itself is in the family's span, it must NOT be reported by
+	// the cubic search.
+	got := SearchFamily([]Monomial{
+		{3, 0}, // top-degree monomial, coefficient forced through [−1, 1]
+		{2, 0}, {1, 1}, {0, 2}, {1, 0}, {0, 1}, {0, 0},
+	}, 1, 12)
+	for _, p := range got {
+		if p.Degree() < 3 {
+			t.Errorf("survivor of degree %d leaked through: %s", p.Degree(), p)
+		}
+	}
+}
+
+// TestPrefilterConsistency: anything CheckPF accepts must pass the
+// pre-filter (no false negatives on the 4×4 box for valid PFs).
+func TestPrefilterConsistency(t *testing.T) {
+	d := DiagonalPoly(false)
+	monomials := []Monomial{{2, 0}, {1, 1}, {0, 2}, {1, 0}, {0, 1}, {0, 0}}
+	// 𝒟's doubled numerators in family order.
+	numers := []int64{1, 2, 1, -3, -1, 2}
+	monoVals := make([][16]int64, len(monomials))
+	for mi, m := range monomials {
+		for x := int64(1); x <= 4; x++ {
+			for y := int64(1); y <= 4; y++ {
+				v := int64(1)
+				for i := 0; i < m.I; i++ {
+					v *= x
+				}
+				for j := 0; j < m.J; j++ {
+					v *= y
+				}
+				monoVals[mi][(x-1)*4+y-1] = v
+			}
+		}
+	}
+	var vals [16]int64
+	if !prefilter(monoVals, numers, &vals) {
+		t.Fatal("pre-filter rejects 𝒟")
+	}
+	// And the doubled values match 2·𝒟.
+	for x := int64(1); x <= 4; x++ {
+		for y := int64(1); y <= 4; y++ {
+			want := new(big.Rat).SetInt64(2)
+			want.Mul(want, d.Eval(x, y))
+			if got := vals[(x-1)*4+y-1]; new(big.Rat).SetInt64(got).Cmp(want) != 0 {
+				t.Fatalf("doubled value at (%d, %d) = %d, want %s", x, y, got, want)
+			}
+		}
+	}
+}

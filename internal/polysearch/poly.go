@@ -1,0 +1,176 @@
+// Package polysearch provides machine checks of §2's discussion of
+// polynomial pairing functions: exact bivariate polynomials over ℚ,
+// verification of the PF property on bounded boxes, an exhaustive search
+// over quadratic candidates that empirically reproduces the Fueter–Pólya
+// uniqueness of the Cauchy–Cantor diagonal polynomial 𝒟 (and its twin), and
+// the density/gap argument showing that super-quadratic polynomials with
+// positive coefficients cannot be PFs ("their lead terms grow faster than
+// the quadratic growth of the plane, hence must leave large gaps in their
+// ranges").
+//
+// All arithmetic is exact (math/big): a pairing function is a bijection,
+// and rounding would make every verdict worthless.
+package polysearch
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+)
+
+// Term is a monomial c·x^i·y^j with exact rational coefficient.
+type Term struct {
+	I, J int
+	C    *big.Rat
+}
+
+// Poly is a bivariate polynomial over ℚ, a candidate pairing function.
+type Poly struct {
+	terms []Term
+}
+
+// NewPoly returns the polynomial with the given terms. Zero-coefficient
+// terms are dropped; like terms are combined.
+func NewPoly(terms ...Term) *Poly {
+	type key struct{ i, j int }
+	acc := make(map[key]*big.Rat)
+	for _, t := range terms {
+		if t.I < 0 || t.J < 0 {
+			panic(fmt.Sprintf("polysearch: negative exponent in term x^%d y^%d", t.I, t.J))
+		}
+		k := key{t.I, t.J}
+		if acc[k] == nil {
+			acc[k] = new(big.Rat)
+		}
+		acc[k].Add(acc[k], t.C)
+	}
+	var out []Term
+	for k, c := range acc {
+		if c.Sign() != 0 {
+			out = append(out, Term{I: k.i, J: k.j, C: c})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].I+out[a].J != out[b].I+out[b].J {
+			return out[a].I+out[a].J > out[b].I+out[b].J
+		}
+		if out[a].I != out[b].I {
+			return out[a].I > out[b].I
+		}
+		return out[a].J > out[b].J
+	})
+	return &Poly{terms: out}
+}
+
+// Quadratic returns a·x² + b·xy + c·y² + d·x + e·y + f with the given
+// exact rational coefficients.
+func Quadratic(a, b, c, d, e, f *big.Rat) *Poly {
+	return NewPoly(
+		Term{2, 0, a}, Term{1, 1, b}, Term{0, 2, c},
+		Term{1, 0, d}, Term{0, 1, e}, Term{0, 0, f},
+	)
+}
+
+// DiagonalPoly returns the Cauchy–Cantor polynomial of eq. 2.1 expanded,
+//
+//	𝒟(x, y) = ½x² + xy + ½y² − 3/2·x − 1/2·y + 1,
+//
+// or its twin (x and y exchanged) if twin is true.
+func DiagonalPoly(twin bool) *Poly {
+	half := big.NewRat(1, 2)
+	one := big.NewRat(1, 1)
+	dx, dy := big.NewRat(-3, 2), big.NewRat(-1, 2)
+	if twin {
+		dx, dy = dy, dx
+	}
+	return Quadratic(half, one, half, dx, dy, one)
+}
+
+// Degree returns the total degree (0 for the zero polynomial).
+func (p *Poly) Degree() int {
+	d := 0
+	for _, t := range p.terms {
+		if t.I+t.J > d {
+			d = t.I + t.J
+		}
+	}
+	return d
+}
+
+// Terms returns the terms in descending degree order.
+func (p *Poly) Terms() []Term { return append([]Term(nil), p.terms...) }
+
+// AllCoefficientsPositive reports whether every (nonzero) coefficient is
+// positive — the hypothesis of §2's sample exclusion: "a super-quadratic
+// polynomial whose coefficients are all positive cannot be a PF".
+func (p *Poly) AllCoefficientsPositive() bool {
+	for _, t := range p.terms {
+		if t.C.Sign() <= 0 {
+			return false
+		}
+	}
+	return len(p.terms) > 0
+}
+
+// Eval returns p(x, y) as an exact rational.
+func (p *Poly) Eval(x, y int64) *big.Rat {
+	bx, by := big.NewInt(x), big.NewInt(y)
+	sum := new(big.Rat)
+	pow := func(b *big.Int, e int) *big.Int {
+		return new(big.Int).Exp(b, big.NewInt(int64(e)), nil)
+	}
+	for _, t := range p.terms {
+		m := new(big.Int).Mul(pow(bx, t.I), pow(by, t.J))
+		term := new(big.Rat).SetInt(m)
+		term.Mul(term, t.C)
+		sum.Add(sum, term)
+	}
+	return sum
+}
+
+// EvalInt returns p(x, y) if it is an integer, with ok reporting
+// integrality.
+func (p *Poly) EvalInt(x, y int64) (*big.Int, bool) {
+	v := p.Eval(x, y)
+	if !v.IsInt() {
+		return nil, false
+	}
+	return new(big.Int).Set(v.Num()), true
+}
+
+// String renders the polynomial in conventional form.
+func (p *Poly) String() string {
+	if len(p.terms) == 0 {
+		return "0"
+	}
+	var b strings.Builder
+	for i, t := range p.terms {
+		c := t.C.RatString()
+		if i > 0 {
+			if strings.HasPrefix(c, "-") {
+				b.WriteString(" - ")
+				c = c[1:]
+			} else {
+				b.WriteString(" + ")
+			}
+		}
+		mono := ""
+		switch {
+		case t.I > 0 && t.J > 0:
+			mono = fmt.Sprintf("x^%d y^%d", t.I, t.J)
+		case t.I > 0:
+			mono = fmt.Sprintf("x^%d", t.I)
+		case t.J > 0:
+			mono = fmt.Sprintf("y^%d", t.J)
+		}
+		if mono == "" {
+			b.WriteString(c)
+		} else if c == "1" {
+			b.WriteString(mono)
+		} else {
+			b.WriteString(c + "·" + mono)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,185 @@
+package polysearch
+
+import (
+	"math/big"
+	"testing"
+
+	"pairfn/internal/core"
+)
+
+// TestDiagonalPolyMatchesPF checks the expanded polynomial form of eq. 2.1
+// against the core implementation.
+func TestDiagonalPolyMatchesPF(t *testing.T) {
+	p := DiagonalPoly(false)
+	tw := DiagonalPoly(true)
+	var d core.Diagonal
+	dt := core.Diagonal{Twin: true}
+	for x := int64(1); x <= 30; x++ {
+		for y := int64(1); y <= 30; y++ {
+			v, ok := p.EvalInt(x, y)
+			if !ok {
+				t.Fatalf("𝒟 poly non-integral at (%d, %d)", x, y)
+			}
+			if want := core.MustEncode(d, x, y); v.Int64() != want {
+				t.Fatalf("poly(%d, %d) = %s, PF says %d", x, y, v, want)
+			}
+			w, _ := tw.EvalInt(x, y)
+			if want := core.MustEncode(dt, x, y); w.Int64() != want {
+				t.Fatalf("twin poly(%d, %d) = %s, PF says %d", x, y, w, want)
+			}
+		}
+	}
+}
+
+// TestCheckPFAcceptsDiagonal checks the verifier passes 𝒟 and its twin.
+func TestCheckPFAcceptsDiagonal(t *testing.T) {
+	for _, twin := range []bool{false, true} {
+		rep := CheckPF(DiagonalPoly(twin), 24)
+		if !rep.OK {
+			t.Errorf("CheckPF rejects 𝒟 (twin=%v): %s", twin, rep.Reason)
+		}
+		if rep.Covered < 200 {
+			t.Errorf("coverage only to %d", rep.Covered)
+		}
+	}
+}
+
+// TestCheckPFRejects exercises each rejection path.
+func TestCheckPFRejects(t *testing.T) {
+	r := func(p *Poly) string { return CheckPF(p, 12).Reason }
+	// Non-integral: x²/3.
+	if got := r(NewPoly(Term{2, 0, big.NewRat(1, 3)})); got == "" {
+		t.Error("x²/3 should be rejected")
+	}
+	// Non-positive: x − 10.
+	if got := r(NewPoly(Term{1, 0, big.NewRat(1, 1)}, Term{0, 0, big.NewRat(-10, 1)})); got == "" {
+		t.Error("x − 10 should be rejected")
+	}
+	// Collision: x + y.
+	if got := r(NewPoly(Term{1, 0, big.NewRat(1, 1)}, Term{0, 1, big.NewRat(1, 1)})); got == "" {
+		t.Error("x + y should be rejected (collisions)")
+	}
+	// Holes: x² + y² is injective-ish on small boxes but leaves gaps.
+	if got := r(NewPoly(Term{2, 0, big.NewRat(1, 1)}, Term{0, 2, big.NewRat(2, 1)})); got == "" {
+		t.Error("x² + 2y² should be rejected")
+	}
+	// Cubic with positive coefficients: gaps.
+	cube := NewPoly(Term{3, 0, big.NewRat(1, 1)}, Term{0, 3, big.NewRat(1, 1)},
+		Term{1, 1, big.NewRat(1, 1)})
+	if got := r(cube); got == "" {
+		t.Error("x³ + y³ + xy should be rejected")
+	}
+}
+
+// TestQuadraticUniqueness is experiment E20's headline: the exhaustive
+// search over half-integer quadratics with numerators in [−4, 4] finds
+// exactly 𝒟 and its twin — the Fueter–Pólya phenomenon, empirically.
+func TestQuadraticUniqueness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive search skipped in -short mode")
+	}
+	got := SearchQuadratics(4, 16)
+	if len(got) != 2 {
+		for _, p := range got {
+			t.Logf("survivor: %s", p)
+		}
+		t.Fatalf("search found %d survivors, want exactly 2 (𝒟 and twin)", len(got))
+	}
+	want := map[string]bool{DiagonalPoly(false).String(): true, DiagonalPoly(true).String(): true}
+	for _, p := range got {
+		if !want[p.String()] {
+			t.Errorf("unexpected survivor %s", p)
+		}
+	}
+}
+
+// TestSuperQuadraticGaps verifies §2's density argument (experiment E20):
+// positive-coefficient polynomials of degree ≥ 3 attain far fewer than M
+// values ≤ M, hence cannot be pairing functions.
+func TestSuperQuadraticGaps(t *testing.T) {
+	one := big.NewRat(1, 1)
+	candidates := []*Poly{
+		NewPoly(Term{3, 0, one}, Term{0, 3, one}),                  // x³ + y³
+		NewPoly(Term{2, 1, one}, Term{1, 2, one}, Term{0, 0, one}), // x²y + xy² + 1
+		NewPoly(Term{4, 0, one}, Term{1, 1, one}, Term{0, 4, one}), // x⁴ + xy + y⁴
+		NewPoly(Term{3, 3, big.NewRat(1, 2)}, Term{1, 0, one}, Term{0, 1, one}),
+	}
+	const M = 100000
+	for _, p := range candidates {
+		count, err := DensityCount(p, M)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if count >= M/2 {
+			t.Errorf("%s: %d positions with value ≤ %d — no certified gap", p, count, M)
+		}
+	}
+	// Contrast: the quadratic PF 𝒟 has exactly M positions with value ≤ M
+	// (unit density). DensityCount requires positive coefficients, so count
+	// directly via the polynomial.
+	p := DiagonalPoly(false)
+	limit := new(big.Rat).SetInt64(M)
+	var count int64
+	for x := int64(1); ; x++ {
+		if p.Eval(x, 1).Cmp(limit) > 0 {
+			break
+		}
+		for y := int64(1); p.Eval(x, y).Cmp(limit) <= 0; y++ {
+			count++
+		}
+	}
+	if count != M {
+		t.Errorf("𝒟: %d positions with value ≤ %d, want exactly %d (unit density)", count, M, M)
+	}
+}
+
+// TestDensityCountRequiresPositive checks the precondition.
+func TestDensityCountRequiresPositive(t *testing.T) {
+	p := NewPoly(Term{2, 0, big.NewRat(-1, 1)})
+	if _, err := DensityCount(p, 100); err == nil {
+		t.Error("negative coefficients should be rejected")
+	}
+}
+
+// TestPolyAlgebra covers construction, combination and printing.
+func TestPolyAlgebra(t *testing.T) {
+	p := NewPoly(
+		Term{2, 0, big.NewRat(1, 2)},
+		Term{2, 0, big.NewRat(1, 2)}, // combines to x²
+		Term{0, 0, big.NewRat(0, 1)}, // dropped
+		Term{1, 1, big.NewRat(-3, 1)},
+	)
+	if p.Degree() != 2 {
+		t.Errorf("Degree = %d", p.Degree())
+	}
+	if len(p.Terms()) != 2 {
+		t.Errorf("Terms = %v", p.Terms())
+	}
+	if got := p.Eval(2, 3); got.Cmp(big.NewRat(4-18, 1)) != 0 {
+		t.Errorf("Eval(2, 3) = %s", got)
+	}
+	if p.AllCoefficientsPositive() {
+		t.Error("AllCoefficientsPositive should be false")
+	}
+	if s := p.String(); s == "" || s == "0" {
+		t.Errorf("String = %q", s)
+	}
+	if NewPoly().String() != "0" {
+		t.Error("zero polynomial should print 0")
+	}
+	q := NewPoly(Term{2, 0, big.NewRat(1, 1)}, Term{0, 1, big.NewRat(1, 1)})
+	if !q.AllCoefficientsPositive() {
+		t.Error("AllCoefficientsPositive should be true")
+	}
+}
+
+// TestEvalIntDetectsNonIntegral covers the integrality check.
+func TestEvalIntDetectsNonIntegral(t *testing.T) {
+	p := NewPoly(Term{1, 0, big.NewRat(1, 2)})
+	if _, ok := p.EvalInt(3, 1); ok {
+		t.Error("x/2 at x = 3 should be non-integral")
+	}
+	if v, ok := p.EvalInt(4, 1); !ok || v.Int64() != 2 {
+		t.Error("x/2 at x = 4 should be 2")
+	}
+}

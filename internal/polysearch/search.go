@@ -1,0 +1,75 @@
+package polysearch
+
+import "math/big"
+
+// SearchQuadratics exhaustively searches quadratic candidates
+//
+//	q(x, y) = a·x² + b·xy + c·y² + d·x + e·y + f
+//
+// with half-integer coefficients whose numerators (of the /2
+// representation) range over [−numerBound, numerBound], returning every
+// candidate that passes CheckPF on the box [1, B]². The Fueter–Pólya
+// theorem (§2 item 1) predicts exactly two survivors: the Cauchy–Cantor
+// polynomial 𝒟 and its twin.
+//
+// A fast exact int64 pre-filter (integrality, positivity and injectivity of
+// 2·q on the 4×4 box, plus attainment of the value 1) discards almost all
+// of the (2·numerBound+1)⁶ candidates before the full rational check runs.
+func SearchQuadratics(numerBound int64, B int64) []*Poly {
+	if numerBound < 1 || B < 4 {
+		return nil
+	}
+	var out []*Poly
+	lo, hi := -numerBound, numerBound
+	// Pre-filter workspace: doubled values 2·q(x, y) on the 4×4 box.
+	const pre = 4
+	var vals [pre * pre]int64
+	for a := lo; a <= hi; a++ {
+		for b := lo; b <= hi; b++ {
+			for c := lo; c <= hi; c++ {
+				for d := lo; d <= hi; d++ {
+					for e := lo; e <= hi; e++ {
+					next:
+						for f := lo; f <= hi; f++ {
+							sawOne := false
+							for x := int64(1); x <= pre; x++ {
+								for y := int64(1); y <= pre; y++ {
+									v2 := a*x*x + b*x*y + c*y*y + d*x + e*y + f
+									if v2 < 2 || v2%2 != 0 {
+										continue next // non-positive or non-integral
+									}
+									if v2 == 2 {
+										sawOne = true
+									}
+									vals[(x-1)*pre+y-1] = v2
+								}
+							}
+							if !sawOne {
+								// q never attains 1 on the 4×4 box; for
+								// outward-monotone candidates (the only
+								// ones CheckPF accepts) 1 must appear
+								// there, since values only grow outward.
+								continue next
+							}
+							for i := 0; i < pre*pre; i++ {
+								for j := i + 1; j < pre*pre; j++ {
+									if vals[i] == vals[j] {
+										continue next
+									}
+								}
+							}
+							q := Quadratic(
+								big.NewRat(a, 2), big.NewRat(b, 2), big.NewRat(c, 2),
+								big.NewRat(d, 2), big.NewRat(e, 2), big.NewRat(f, 2),
+							)
+							if rep := CheckPF(q, B); rep.OK {
+								out = append(out, q)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package polysearch
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Report is the outcome of checking the PF property on a bounded region.
+type Report struct {
+	// OK is true when no violation was found: every value on the box is a
+	// positive integer, values are pairwise distinct, and every integer in
+	// [1, M] is achieved (M = Covered).
+	OK bool
+	// Covered is the threshold M used for the surjectivity check: the
+	// largest M such that every position with value ≤ M provably lies in
+	// the box (see EdgeMin).
+	Covered int64
+	// Reason describes the first violation found, empty when OK.
+	Reason string
+}
+
+// CheckPF verifies the PF property of p on the box [1, B]²:
+//
+//  1. integrality and positivity of every value on the box,
+//  2. injectivity on the box,
+//  3. surjectivity onto [1, M], where M = (minimum value on the box
+//     boundary) − 1 — any position outside the box has, for candidates
+//     that are coordinate-monotone beyond the boundary, a value exceeding
+//     every boundary value, so a hole below M is a genuine hole.
+//
+// Monotonicity is verified empirically on the boundary rim (values on rows
+// B and B+1 and columns B and B+1 must increase outward); candidates
+// violating it are rejected as "not verifiable", which is conservative for
+// a search whose survivors are then inspected by eye (there are two).
+func CheckPF(p *Poly, B int64) Report {
+	if B < 2 {
+		return Report{Reason: "box too small"}
+	}
+	seen := make(map[string][2]int64, B*B)
+	var edgeMin *big.Int
+	for x := int64(1); x <= B; x++ {
+		for y := int64(1); y <= B; y++ {
+			v, ok := p.EvalInt(x, y)
+			if !ok {
+				return Report{Reason: fmt.Sprintf("non-integral value at (%d, %d)", x, y)}
+			}
+			if v.Sign() < 1 {
+				return Report{Reason: fmt.Sprintf("non-positive value %s at (%d, %d)", v, x, y)}
+			}
+			k := v.String()
+			if prev, dup := seen[k]; dup {
+				return Report{Reason: fmt.Sprintf("collision: (%d, %d) and (%d, %d) both map to %s",
+					prev[0], prev[1], x, y, v)}
+			}
+			seen[k] = [2]int64{x, y}
+			if x == B || y == B {
+				if edgeMin == nil || v.Cmp(edgeMin) < 0 {
+					edgeMin = v
+				}
+			}
+		}
+	}
+	// Outward monotonicity on the rim: stepping from the boundary to the
+	// next shell must not decrease values, else values below edgeMin could
+	// hide outside the box and the hole check would be unsound.
+	for i := int64(1); i <= B+1; i++ {
+		pairs := [][4]int64{{i, B, i, B + 1}, {B, i, B + 1, i}}
+		for _, q := range pairs {
+			in := p.Eval(q[0], q[1])
+			out := p.Eval(q[2], q[3])
+			if out.Cmp(in) <= 0 {
+				return Report{Reason: fmt.Sprintf(
+					"not outward-monotone at (%d, %d)→(%d, %d)", q[0], q[1], q[2], q[3])}
+			}
+		}
+	}
+	if edgeMin == nil || !edgeMin.IsInt64() {
+		return Report{Reason: "boundary minimum out of range"}
+	}
+	m := edgeMin.Int64() - 1
+	if m > B*B {
+		m = B * B // cannot have more than B² values from the box anyway
+	}
+	for want := int64(1); want <= m; want++ {
+		if _, ok := seen[big.NewInt(want).String()]; !ok {
+			return Report{Reason: fmt.Sprintf("hole: %d not attained (all positions with value ≤ %d lie in the box)", want, m)}
+		}
+	}
+	return Report{OK: true, Covered: m}
+}
+
+// DensityCount returns |{(x, y) ∈ N×N : p(x, y) ≤ M}| for a polynomial all
+// of whose coefficients are positive (hence p is strictly increasing in
+// each coordinate). A pairing function must attain every integer in [1, M]
+// at distinct positions, so a count < M certifies range gaps — the §2 lead
+// term/density argument for excluding super-quadratic polynomials.
+func DensityCount(p *Poly, M int64) (int64, error) {
+	if !p.AllCoefficientsPositive() {
+		return 0, fmt.Errorf("polysearch: DensityCount requires all-positive coefficients (got %s)", p)
+	}
+	bm := big.NewInt(M)
+	var count int64
+	for x := int64(1); ; x++ {
+		if p.Eval(x, 1).Cmp(new(big.Rat).SetInt(bm)) > 0 {
+			break
+		}
+		for y := int64(1); ; y++ {
+			if p.Eval(x, y).Cmp(new(big.Rat).SetInt(bm)) > 0 {
+				break
+			}
+			count++
+		}
+	}
+	return count, nil
+}

@@ -1,0 +1,22 @@
+package spread_test
+
+import (
+	"fmt"
+
+	"pairfn/internal/core"
+	"pairfn/internal/spread"
+)
+
+func ExampleMeasure() {
+	// S_𝒟(16): the worst ≤16-position array under the diagonal PF is the
+	// 1×16 row, spread over (16²+16)/2 addresses (§3.2).
+	s, at, _ := spread.Measure(core.Diagonal{}, 16)
+	fmt.Println(s, at.X, at.Y)
+	// Output: 136 1 16
+}
+
+func ExampleRegionSize() {
+	// Fig. 5's region: lattice points under xy ≤ 16.
+	fmt.Println(spread.RegionSize(16))
+	// Output: 50
+}

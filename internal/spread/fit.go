@@ -1,0 +1,71 @@
+package spread
+
+import (
+	"fmt"
+	"math"
+)
+
+// GrowthFit is the least-squares fit of S(n) ≈ C·n^Alpha on a log-log
+// scale: Alpha is the estimated growth exponent, C the scale, and R2 the
+// coefficient of determination of the fit in log space.
+//
+// It turns the paper's asymptotic statements into measurable numbers:
+// quadratic mappings fit Alpha ≈ 2, the hyperbolic PF fits Alpha ≈ 1 plus
+// the log factor (which shows up as Alpha slightly above 1 over finite
+// ranges; see FitNLogN for the direct Θ(n log n) normalization).
+type GrowthFit struct {
+	Alpha float64
+	C     float64
+	R2    float64
+}
+
+// FitGrowth fits S(n) = C·n^Alpha by linear regression of log S on log n.
+// It needs at least two samples with n ≥ 2 and S ≥ 1.
+func FitGrowth(ns, ss []int64) (GrowthFit, error) {
+	if len(ns) != len(ss) {
+		return GrowthFit{}, fmt.Errorf("spread: FitGrowth: %d ns vs %d ss", len(ns), len(ss))
+	}
+	var xs, ys []float64
+	for i := range ns {
+		if ns[i] < 2 || ss[i] < 1 {
+			continue
+		}
+		xs = append(xs, math.Log(float64(ns[i])))
+		ys = append(ys, math.Log(float64(ss[i])))
+	}
+	if len(xs) < 2 {
+		return GrowthFit{}, fmt.Errorf("spread: FitGrowth: need ≥ 2 usable samples, have %d", len(xs))
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return GrowthFit{}, fmt.Errorf("spread: FitGrowth: degenerate sample (all n equal)")
+	}
+	alpha := (n*sxy - sx*sy) / den
+	b := (sy - alpha*sx) / n
+	// R² in log space.
+	mean := sy / n
+	var ssTot, ssRes float64
+	for i := range xs {
+		pred := alpha*xs[i] + b
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - mean) * (ys[i] - mean)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return GrowthFit{Alpha: alpha, C: math.Exp(b), R2: r2}, nil
+}
+
+// String renders the fit.
+func (g GrowthFit) String() string {
+	return fmt.Sprintf("S(n) ≈ %.3g·n^%.3f (R²=%.4f)", g.C, g.Alpha, g.R2)
+}

@@ -1,0 +1,70 @@
+package spread
+
+import (
+	"math"
+	"testing"
+
+	"pairfn/internal/core"
+)
+
+func TestFitGrowthExact(t *testing.T) {
+	// S = 3n²: exact power law must be recovered.
+	ns := []int64{4, 8, 16, 32, 64}
+	ss := make([]int64, len(ns))
+	for i, n := range ns {
+		ss[i] = 3 * n * n
+	}
+	fit, err := FitGrowth(ns, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-2) > 1e-9 || math.Abs(fit.C-3) > 1e-6 || fit.R2 < 0.999999 {
+		t.Errorf("fit = %+v", fit)
+	}
+}
+
+func TestFitGrowthErrors(t *testing.T) {
+	if _, err := FitGrowth([]int64{1, 2}, []int64{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := FitGrowth([]int64{1, 1}, []int64{1, 1}); err == nil {
+		t.Error("unusable samples should fail")
+	}
+	if _, err := FitGrowth([]int64{5, 5, 5}, []int64{2, 2, 2}); err == nil {
+		t.Error("degenerate n should fail")
+	}
+}
+
+// TestMeasuredGrowthExponents is the quantitative §3.2 summary: fitted
+// exponents of the measured spread curves. 𝒟 and 𝒜₁,₁ fit α ≈ 2; ℋ fits
+// α ≈ 1.1–1.3 over this range (n^1·log n masquerades as a small
+// super-linear power on finite data).
+func TestMeasuredGrowthExponents(t *testing.T) {
+	ns := []int64{1 << 6, 1 << 8, 1 << 10, 1 << 12}
+	cases := []struct {
+		f        core.StorageMapping
+		lo, hi   float64
+		minwellR float64
+	}{
+		{core.Diagonal{}, 1.95, 2.05, 0.999},
+		{core.SquareShell{}, 1.95, 2.05, 0.999},
+		{core.NewCachedHyperbolic(1 << 12), 1.0, 1.35, 0.99},
+	}
+	for _, c := range cases {
+		ss, err := Curve(c.f, ns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fit, err := FitGrowth(ns, ss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fit.Alpha < c.lo || fit.Alpha > c.hi {
+			t.Errorf("%s: α = %.3f outside [%.2f, %.2f] (%s)",
+				c.f.Name(), fit.Alpha, c.lo, c.hi, fit)
+		}
+		if fit.R2 < c.minwellR {
+			t.Errorf("%s: poor fit %s", c.f.Name(), fit)
+		}
+	}
+}

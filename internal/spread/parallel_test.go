@@ -1,0 +1,54 @@
+package spread
+
+import (
+	"testing"
+
+	"pairfn/internal/core"
+)
+
+// TestMeasureParallelMatchesSerial: identical results for every worker
+// count, including the degenerate ones.
+func TestMeasureParallelMatchesSerial(t *testing.T) {
+	mappings := []core.StorageMapping{
+		core.Diagonal{},
+		core.SquareShell{},
+		core.NewCachedHyperbolic(2048),
+		core.MustDovetail(core.MustAspect(1, 1), core.MustAspect(2, 1)),
+	}
+	for _, f := range mappings {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			for _, n := range []int64{1, 7, 256, 2048} {
+				wantS, wantAt, err := Measure(f, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{0, 1, 3, 8, 64} {
+					s, at, err := MeasureParallel(f, n, workers)
+					if err != nil {
+						t.Fatalf("workers %d: %v", workers, err)
+					}
+					if s != wantS {
+						t.Fatalf("workers %d: S = %d, serial %d", workers, s, wantS)
+					}
+					if at != wantAt {
+						// Multiple positions may share the max address only
+						// for injective-but-equal values — impossible; the
+						// argmax must agree.
+						t.Fatalf("workers %d: at %+v, serial %+v", workers, at, wantAt)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestMeasureParallelErrors(t *testing.T) {
+	if _, _, err := MeasureParallel(core.Diagonal{}, 0, 4); err == nil {
+		t.Error("n = 0 should fail")
+	}
+	// Partial mapping error propagates from a worker.
+	if _, _, err := MeasureParallel(core.RowMajor{Width: 2}, 16, 4); err == nil {
+		t.Error("partial mapping should surface the worker error")
+	}
+}

@@ -1,0 +1,148 @@
+// Package spread measures the compactness of storage mappings via the
+// spread function of eq. 3.1:
+//
+//	S_A(n) = max{ A(x, y) : xy ≤ n },
+//
+// the largest address the mapping A assigns to any position of an
+// array/table with n or fewer positions. The domain of the maximum — the
+// integer lattice points under the hyperbola xy = n — is the union of the
+// positions of all arrays with ≤ n positions (Fig. 5) and has cardinality
+// D(n) = Θ(n log n), which is why no PF has worst-case spread below
+// Ω(n log n) and why the hyperbolic PF's S_ℋ(n) = D(n) is optimal (§3.2.3).
+package spread
+
+import (
+	"fmt"
+	"math"
+
+	"pairfn/internal/core"
+	"pairfn/internal/numtheory"
+)
+
+// Point is an integer lattice point (1-based).
+type Point struct {
+	X, Y int64
+}
+
+// HyperbolaPoints returns the lattice points (x, y) ∈ N×N with xy ≤ n, in
+// row-major order — the aggregate set of positions of all arrays with ≤ n
+// positions (Fig. 5). The slice has exactly RegionSize(n) entries.
+func HyperbolaPoints(n int64) []Point {
+	if n < 1 {
+		return nil
+	}
+	pts := make([]Point, 0, RegionSize(n))
+	for x := int64(1); x <= n; x++ {
+		for y := int64(1); y <= n/x; y++ {
+			pts = append(pts, Point{X: x, Y: y})
+		}
+	}
+	return pts
+}
+
+// RegionSize returns |{(x, y) : xy ≤ n}| = D(n), the divisor summatory
+// function, in O(√n) time.
+func RegionSize(n int64) int64 {
+	if n < 1 {
+		return 0
+	}
+	return numtheory.DivisorSummatory(n)
+}
+
+// Measure returns S_A(n) by enumerating the Θ(n log n) lattice points under
+// the hyperbola and taking the maximum address. The position achieving the
+// maximum is returned as well.
+func Measure(f core.StorageMapping, n int64) (s int64, at Point, err error) {
+	if n < 1 {
+		return 0, Point{}, fmt.Errorf("spread: n = %d < 1", n)
+	}
+	for x := int64(1); x <= n; x++ {
+		for y := int64(1); y <= n/x; y++ {
+			z, err := f.Encode(x, y)
+			if err != nil {
+				return 0, Point{}, fmt.Errorf("spread: %s(%d, %d): %w", f.Name(), x, y, err)
+			}
+			if z > s {
+				s, at = z, Point{X: x, Y: y}
+			}
+		}
+	}
+	return s, at, nil
+}
+
+// MeasureConforming returns the eq. 3.2 restricted spread of f over arrays
+// of the fixed aspect ratio ⟨a, b⟩:
+//
+//	max{ f(x, y) : x ≤ ak, y ≤ bk, abk² ≤ n }
+//
+// i.e. the largest address assigned to any position of a conforming
+// (ak × bk) array with ≤ n positions. For the paper's 𝒜_{a,b} this equals
+// the size abk² of the largest conforming array that fits — perfect storage
+// utilization. Returns 0 if no conforming array has ≤ n positions.
+func MeasureConforming(f core.StorageMapping, a, b, n int64) (int64, error) {
+	if a < 1 || b < 1 || n < 1 {
+		return 0, fmt.Errorf("spread: MeasureConforming domain error (a=%d b=%d n=%d)", a, b, n)
+	}
+	var s int64
+	for k := int64(1); a*b*k*k <= n; k++ {
+		// Only the new shell relative to k−1 can raise the maximum, but the
+		// full rectangle is scanned to keep this an independent check of
+		// the mapping, not of its shell structure.
+		for x := int64(1); x <= a*k; x++ {
+			for y := int64(1); y <= b*k; y++ {
+				z, err := f.Encode(x, y)
+				if err != nil {
+					return 0, err
+				}
+				if z > s {
+					s = z
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+// WorstShape returns the dimensions of the ≤ n-position array on which
+// the mapping realizes its spread: the bounding box (at.X × y-extent)
+// containing the argmax position — concretely, the shape a user should
+// avoid giving this mapping. For 𝒟, 𝒜₁,₁ and Morton it is the thin 1×n
+// array; for 𝒜_{a,b} it is the most off-ratio shape; ℋ has no avoidable
+// shape (its max sits on the hyperbola's rim wherever δ peaks).
+func WorstShape(f core.StorageMapping, n int64) (rows, cols, spread int64, err error) {
+	s, at, err := Measure(f, n)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	// The smallest array containing the argmax position is at.X × at.Y;
+	// it has at.X·at.Y ≤ n positions by construction.
+	return at.X, at.Y, s, nil
+}
+
+// Curve returns S_A(n) for each n in ns.
+func Curve(f core.StorageMapping, ns []int64) ([]int64, error) {
+	out := make([]int64, len(ns))
+	for i, n := range ns {
+		s, _, err := Measure(f, n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// FitNLogN returns S/(n·ln n) for the given sample — approximately constant
+// when S = Θ(n log n), as it is for the hyperbolic PF.
+func FitNLogN(n, s int64) float64 {
+	if n < 2 {
+		return float64(s)
+	}
+	return float64(s) / (float64(n) * math.Log(float64(n)))
+}
+
+// FitQuadratic returns S/n² — approximately constant when S = Θ(n²), as it
+// is for the diagonal (≈ 1/2) and square-shell (≈ 1) PFs.
+func FitQuadratic(n, s int64) float64 {
+	return float64(s) / (float64(n) * float64(n))
+}

@@ -1,0 +1,266 @@
+package spread
+
+import (
+	"math"
+	"testing"
+
+	"pairfn/internal/core"
+	"pairfn/internal/numtheory"
+)
+
+// TestFig5Count reproduces Fig. 5 (experiment E4): the aggregate set of
+// positions of arrays having 16 or fewer positions — the lattice points
+// under xy = 16 — and its cardinality.
+func TestFig5Count(t *testing.T) {
+	pts := HyperbolaPoints(16)
+	// D(16) = Σ_{k≤16} δ(k) = 1+2+2+3+2+4+2+4+3+4+2+6+2+4+4+5 = 50.
+	if len(pts) != 50 {
+		t.Fatalf("|region(16)| = %d, want 50", len(pts))
+	}
+	if RegionSize(16) != 50 {
+		t.Fatalf("RegionSize(16) = %d, want 50", RegionSize(16))
+	}
+	// Every point satisfies xy ≤ 16; every row x has exactly ⌊16/x⌋ points.
+	perRow := make(map[int64]int64)
+	for _, p := range pts {
+		if p.X*p.Y > 16 || p.X < 1 || p.Y < 1 {
+			t.Fatalf("point (%d, %d) outside region", p.X, p.Y)
+		}
+		perRow[p.X]++
+	}
+	for x := int64(1); x <= 16; x++ {
+		if perRow[x] != 16/x {
+			t.Errorf("row %d has %d points, want %d", x, perRow[x], 16/x)
+		}
+	}
+}
+
+// TestRegionGrowthNLogN checks the Θ(n log n) growth of the region.
+func TestRegionGrowthNLogN(t *testing.T) {
+	for _, n := range []int64{1 << 8, 1 << 12, 1 << 16} {
+		size := RegionSize(n)
+		ratio := float64(size) / (float64(n) * math.Log(float64(n)))
+		// D(n) ≈ n·ln n + (2γ−1)n, so the ratio approaches 1 from above.
+		if ratio < 0.9 || ratio > 1.6 {
+			t.Errorf("D(%d)/(n ln n) = %v, expected near 1", n, ratio)
+		}
+	}
+}
+
+// TestDiagonalSpreadClaims verifies the §3.2 claims about 𝒟 (experiment
+// E6): S_𝒟(n) is attained on the 1×n (or n×1) array and equals
+// max(𝒟(1,n), 𝒟(n,1)) = (n²+n)/2.
+func TestDiagonalSpreadClaims(t *testing.T) {
+	var d core.Diagonal
+	for _, n := range []int64{1, 2, 4, 16, 64, 256} {
+		s, at, err := Measure(d, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := (n*n + n) / 2; s != want {
+			t.Errorf("S_𝒟(%d) = %d, want (n²+n)/2 = %d", n, s, want)
+		}
+		if n > 1 && !(at.X == 1 && at.Y == n) {
+			t.Errorf("S_𝒟(%d) attained at (%d, %d), want (1, %d)", n, at.X, at.Y, n)
+		}
+	}
+}
+
+// TestSquareShellSpread verifies S_𝒜₁,₁(n) = n², attained on the thinnest
+// array: 𝒜₁,₁(1, n) = n² — perfect on squares, quadratic on arbitrary
+// shapes.
+func TestSquareShellSpread(t *testing.T) {
+	var f core.SquareShell
+	for _, n := range []int64{1, 2, 5, 32, 128} {
+		s, _, err := Measure(f, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != n*n {
+			t.Errorf("S_𝒜₁,₁(%d) = %d, want n² = %d", n, s, n*n)
+		}
+	}
+}
+
+// TestHyperbolicSpreadNLogN verifies experiment E9: S_ℋ(n) = D(n) exactly
+// and the asymptotic ordering S_ℋ ≪ S_𝒟 < S_𝒜₁,₁ for large n.
+func TestHyperbolicSpreadNLogN(t *testing.T) {
+	h := core.NewCachedHyperbolic(1 << 12)
+	for _, n := range []int64{16, 256, 1 << 12} {
+		s, _, err := Measure(h, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := numtheory.DivisorSummatory(n); s != want {
+			t.Errorf("S_ℋ(%d) = %d, want D(n) = %d", n, s, want)
+		}
+	}
+	n := int64(1 << 12)
+	sh, _, _ := Measure(h, n)
+	sd, _, _ := Measure(core.Diagonal{}, n)
+	ss, _, _ := Measure(core.SquareShell{}, n)
+	if !(sh < sd && sd < ss) {
+		t.Errorf("expected S_ℋ < S_𝒟 < S_𝒜₁,₁, got %d, %d, %d", sh, sd, ss)
+	}
+	// ℋ's advantage is asymptotic: quadratic vs n log n.
+	if float64(sd)/float64(sh) < 10 {
+		t.Errorf("𝒟 should spread ≫ ℋ at n = 2^12: %d vs %d", sd, sh)
+	}
+}
+
+// TestNoMappingBeatsNLogN verifies the §3.2.3 lower-bound argument: any
+// injective mapping must spread some ≤n-position array over ≥ D(n)
+// addresses, because the region's D(n) positions need distinct addresses
+// and every array contains (1, 1). We check the bound for every PF we have.
+func TestNoMappingBeatsNLogN(t *testing.T) {
+	mappings := []core.StorageMapping{
+		core.Diagonal{}, core.SquareShell{}, core.MustAspect(2, 3),
+		core.Hyperbolic{},
+		core.MustDovetail(core.MustAspect(1, 1), core.MustAspect(1, 2)),
+	}
+	for _, n := range []int64{16, 128, 1024} {
+		lower := numtheory.DivisorSummatory(n)
+		for _, f := range mappings {
+			s, _, err := Measure(f, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s < lower {
+				t.Errorf("%s: S(%d) = %d beats the D(n) = %d lower bound — impossible",
+					f.Name(), n, s, lower)
+			}
+		}
+	}
+}
+
+// TestMeasureConforming verifies eq. 3.2 through the spread lens
+// (experiment E7): restricted to conforming arrays, 𝒜_{a,b}'s spread equals
+// the size of the largest conforming array that fits.
+func TestMeasureConforming(t *testing.T) {
+	for _, r := range [][2]int64{{1, 1}, {1, 2}, {3, 2}} {
+		a, b := r[0], r[1]
+		f := core.MustAspect(a, b)
+		for _, n := range []int64{1, 10, 100, 1000} {
+			got, err := MeasureConforming(f, a, b, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want int64
+			for k := int64(1); a*b*k*k <= n; k++ {
+				want = a * b * k * k
+			}
+			if got != want {
+				t.Errorf("%s: conforming spread at n = %d is %d, want %d",
+					f.Name(), n, got, want)
+			}
+		}
+	}
+	// A non-favoring PF wastes storage even on conforming arrays.
+	d := core.Diagonal{}
+	got, err := MeasureConforming(d, 1, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 100 {
+		t.Errorf("𝒟 on 10×10 should spread beyond 100 addresses, got %d", got)
+	}
+}
+
+// TestDovetailBound verifies §3.2.2's bound S_A(n) ≤ m·min_i S_{A_i}(n) at
+// the spread level (experiment E8).
+func TestDovetailBound(t *testing.T) {
+	fs := []core.PF{core.MustAspect(1, 1), core.MustAspect(1, 2), core.MustAspect(2, 1)}
+	dv := core.MustDovetail(fs...)
+	m := int64(len(fs))
+	for _, n := range []int64{4, 16, 64, 256} {
+		sd, _, err := Measure(dv, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := int64(-1)
+		for _, f := range fs {
+			s, _, err := Measure(f, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if best < 0 || s < best {
+				best = s
+			}
+		}
+		if sd > m*best {
+			t.Errorf("S_dovetail(%d) = %d > %d·min = %d", n, sd, m, m*best)
+		}
+	}
+}
+
+// TestCurveAndFits exercises the sweep helpers.
+func TestCurveAndFits(t *testing.T) {
+	ns := []int64{4, 8, 16, 32}
+	curve, err := Curve(core.Diagonal{}, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range ns {
+		if want := (n*n + n) / 2; curve[i] != want {
+			t.Errorf("curve[%d] = %d, want %d", i, curve[i], want)
+		}
+		if q := FitQuadratic(n, curve[i]); q < 0.4 || q > 0.7 {
+			t.Errorf("quadratic fit of 𝒟 at n = %d is %v, want ≈ 1/2", n, q)
+		}
+	}
+	if FitNLogN(1, 7) != 7 {
+		t.Error("FitNLogN(1, s) should degrade to s")
+	}
+}
+
+// TestMeasureErrors checks error propagation.
+func TestMeasureErrors(t *testing.T) {
+	if _, _, err := Measure(core.Diagonal{}, 0); err == nil {
+		t.Error("Measure(n = 0) should fail")
+	}
+	// RowMajor with width 2 cannot encode the region's (1, n) points.
+	if _, _, err := Measure(core.RowMajor{Width: 2}, 9); err == nil {
+		t.Error("Measure over a partial mapping should surface the error")
+	}
+	if _, err := MeasureConforming(core.Diagonal{}, 0, 1, 10); err == nil {
+		t.Error("MeasureConforming domain error expected")
+	}
+}
+
+// TestHyperbolaPointsEmpty covers the degenerate inputs.
+func TestHyperbolaPointsEmpty(t *testing.T) {
+	if HyperbolaPoints(0) != nil {
+		t.Error("HyperbolaPoints(0) should be empty")
+	}
+	if RegionSize(0) != 0 {
+		t.Error("RegionSize(0) should be 0")
+	}
+}
+
+// TestWorstShape identifies the shapes that realize each mapping's spread.
+func TestWorstShape(t *testing.T) {
+	// 𝒟's and 𝒜₁,₁'s spread is realized on the 1×n thin array.
+	for _, f := range []core.StorageMapping{core.Diagonal{}, core.SquareShell{}} {
+		r, c, s, err := WorstShape(f, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r != 1 || c != 256 {
+			t.Errorf("%s: worst shape %d×%d, want 1×256", f.Name(), r, c)
+		}
+		if s < 256*256/2 {
+			t.Errorf("%s: spread %d suspiciously small", f.Name(), s)
+		}
+	}
+	// 𝒜₂,₁ favors tall arrays, so its worst shape is the widest one.
+	r, c, _, err := WorstShape(core.MustAspect(2, 1), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(c > 8*r) {
+		t.Errorf("𝒜₂,₁ worst shape %d×%d should be much wider than tall", r, c)
+	}
+	if _, _, _, err := WorstShape(core.Diagonal{}, 0); err == nil {
+		t.Error("n = 0 should fail")
+	}
+}

@@ -1,0 +1,27 @@
+package tuple_test
+
+import (
+	"fmt"
+
+	"pairfn/internal/core"
+	"pairfn/internal/tuple"
+)
+
+func ExampleCode() {
+	// "By iteration, among worldviews of arbitrary finite
+	// dimensionalities" (§1.1): a 3-D code from a 2-D PF.
+	c := tuple.MustNew(core.Diagonal{}, 3)
+	z, _ := c.Encode(2, 3, 4)
+	xs, _ := c.Decode(z)
+	fmt.Println(xs)
+	// Output: [2 3 4]
+}
+
+func ExampleNewMixed() {
+	// A different PF per fold level.
+	m, _ := tuple.NewMixed(core.Hyperbolic{}, core.SquareShell{})
+	z, _ := m.Encode(1, 2, 3)
+	xs, _ := m.Decode(z)
+	fmt.Println(xs)
+	// Output: [1 2 3]
+}

@@ -1,0 +1,152 @@
+// Package tuple extends pairing functions to arbitrary finite
+// dimensionalities: the paper's observation (§1.1) that PFs let one "slip
+// gracefully … by iteration, among worldviews of arbitrary finite
+// dimensionalities". A k-tuple code is the bijection N^k ↔ N obtained by
+// folding a 2-D pairing function right to left:
+//
+//	code(x₁, …, x_k) = F(x₁, F(x₂, … F(x_{k−1}, x_k)…)).
+//
+// Any core.PF can serve as the underlying F; different PFs trade spread for
+// computation cost exactly as in two dimensions.
+package tuple
+
+import (
+	"errors"
+	"fmt"
+
+	"pairfn/internal/core"
+)
+
+// ErrArity reports a tuple whose length does not match the code's arity.
+var ErrArity = errors.New("tuple: wrong tuple length")
+
+// Code is a bijection N^k ↔ N built by iterating a pairing function.
+type Code struct {
+	f core.PF
+	k int
+}
+
+// New returns a k-dimensional tuple code over the pairing function f.
+// k must be ≥ 1; k = 1 is the identity and k = 2 is f itself.
+func New(f core.PF, k int) (*Code, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("tuple: arity %d < 1", k)
+	}
+	return &Code{f: f, k: k}, nil
+}
+
+// MustNew is New with a panic on error.
+func MustNew(f core.PF, k int) *Code {
+	c, err := New(f, k)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Arity returns k.
+func (c *Code) Arity() int { return c.k }
+
+// PF returns the underlying pairing function.
+func (c *Code) PF() core.PF { return c.f }
+
+// Name returns an identifier for tables and benchmarks.
+func (c *Code) Name() string { return fmt.Sprintf("tuple-%d(%s)", c.k, c.f.Name()) }
+
+// Encode maps the k-tuple xs (each coordinate ≥ 1) to its code.
+func (c *Code) Encode(xs ...int64) (int64, error) {
+	if len(xs) != c.k {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrArity, len(xs), c.k)
+	}
+	for i, x := range xs {
+		if x < 1 {
+			return 0, fmt.Errorf("tuple: coordinate %d is %d (must be ≥ 1)", i+1, x)
+		}
+	}
+	z := xs[c.k-1]
+	for i := c.k - 2; i >= 0; i-- {
+		var err error
+		z, err = c.f.Encode(xs[i], z)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return z, nil
+}
+
+// Decode inverts Encode, returning the k coordinates.
+func (c *Code) Decode(z int64) ([]int64, error) {
+	if z < 1 {
+		return nil, fmt.Errorf("tuple: code %d < 1", z)
+	}
+	xs := make([]int64, c.k)
+	for i := 0; i < c.k-1; i++ {
+		x, rest, err := c.f.Decode(z)
+		if err != nil {
+			return nil, err
+		}
+		xs[i] = x
+		z = rest
+	}
+	xs[c.k-1] = z
+	return xs, nil
+}
+
+// Mixed is a k-tuple code that may use a different pairing function at
+// each fold level: code = F₁(x₁, F₂(x₂, … F_{k−1}(x_{k−1}, x_k)…)). The
+// paper's spread analysis composes: inner levels see the (already large)
+// codes of the levels below, so putting the most compact PF (ℋ) at the
+// *outer* levels matters most — TestMixedCompactness quantifies this.
+type Mixed struct {
+	fs []core.PF // fs[i] pairs coordinate i+1 with the code of the rest
+}
+
+// NewMixed returns a (len(fs)+1)-dimensional code folding with fs.
+func NewMixed(fs ...core.PF) (*Mixed, error) {
+	if len(fs) < 1 {
+		return nil, fmt.Errorf("tuple: NewMixed needs at least one PF")
+	}
+	return &Mixed{fs: append([]core.PF(nil), fs...)}, nil
+}
+
+// Arity returns the tuple length len(fs)+1.
+func (m *Mixed) Arity() int { return len(m.fs) + 1 }
+
+// Encode maps the tuple to its code.
+func (m *Mixed) Encode(xs ...int64) (int64, error) {
+	if len(xs) != m.Arity() {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrArity, len(xs), m.Arity())
+	}
+	for i, x := range xs {
+		if x < 1 {
+			return 0, fmt.Errorf("tuple: coordinate %d is %d (must be ≥ 1)", i+1, x)
+		}
+	}
+	z := xs[len(xs)-1]
+	for i := len(m.fs) - 1; i >= 0; i-- {
+		var err error
+		z, err = m.fs[i].Encode(xs[i], z)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return z, nil
+}
+
+// Decode inverts Encode.
+func (m *Mixed) Decode(z int64) ([]int64, error) {
+	if z < 1 {
+		return nil, fmt.Errorf("tuple: code %d < 1", z)
+	}
+	xs := make([]int64, m.Arity())
+	for i, f := range m.fs {
+		x, rest, err := f.Decode(z)
+		if err != nil {
+			return nil, err
+		}
+		xs[i] = x
+		z = rest
+	}
+	xs[len(xs)-1] = z
+	return xs, nil
+}

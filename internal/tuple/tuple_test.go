@@ -1,0 +1,238 @@
+package tuple
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pairfn/internal/core"
+)
+
+func TestRoundTrip3D(t *testing.T) {
+	c := MustNew(core.Diagonal{}, 3)
+	for x := int64(1); x <= 12; x++ {
+		for y := int64(1); y <= 12; y++ {
+			for z := int64(1); z <= 12; z++ {
+				code, err := c.Encode(x, y, z)
+				if err != nil {
+					t.Fatalf("Encode(%d, %d, %d): %v", x, y, z, err)
+				}
+				got, err := c.Decode(code)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got[0] != x || got[1] != y || got[2] != z {
+					t.Fatalf("round trip (%d,%d,%d) → %d → %v", x, y, z, code, got)
+				}
+			}
+		}
+	}
+}
+
+func TestInjective3D(t *testing.T) {
+	c := MustNew(core.SquareShell{}, 3)
+	seen := make(map[int64][3]int64)
+	for x := int64(1); x <= 10; x++ {
+		for y := int64(1); y <= 10; y++ {
+			for z := int64(1); z <= 10; z++ {
+				code, err := c.Encode(x, y, z)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if p, dup := seen[code]; dup {
+					t.Fatalf("collision %v and (%d,%d,%d) → %d", p, x, y, z, code)
+				}
+				seen[code] = [3]int64{x, y, z}
+			}
+		}
+	}
+}
+
+// TestSurjectivePrefix3D checks every small code decodes and re-encodes.
+func TestSurjectivePrefix3D(t *testing.T) {
+	c := MustNew(core.Diagonal{}, 3)
+	for code := int64(1); code <= 2000; code++ {
+		xs, err := c.Decode(code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := c.Encode(xs...)
+		if err != nil || back != code {
+			t.Fatalf("Encode(Decode(%d)) = %d, %v", code, back, err)
+		}
+	}
+}
+
+func TestArity1And2(t *testing.T) {
+	one := MustNew(core.Diagonal{}, 1)
+	for v := int64(1); v <= 100; v++ {
+		code, err := one.Encode(v)
+		if err != nil || code != v {
+			t.Fatalf("arity-1 Encode(%d) = %d, %v", v, code, err)
+		}
+	}
+	two := MustNew(core.Diagonal{}, 2)
+	for x := int64(1); x <= 15; x++ {
+		for y := int64(1); y <= 15; y++ {
+			a, err := two.Encode(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b := core.MustEncode(core.Diagonal{}, x, y); a != b {
+				t.Fatalf("arity-2 (%d, %d): %d ≠ PF %d", x, y, a, b)
+			}
+		}
+	}
+}
+
+func TestTupleErrors(t *testing.T) {
+	if _, err := New(core.Diagonal{}, 0); err == nil {
+		t.Error("arity 0 should fail")
+	}
+	c := MustNew(core.Diagonal{}, 3)
+	if _, err := c.Encode(1, 2); err == nil {
+		t.Error("wrong tuple length should fail")
+	}
+	if _, err := c.Encode(1, 0, 2); err == nil {
+		t.Error("coordinate 0 should fail")
+	}
+	if _, err := c.Decode(0); err == nil {
+		t.Error("Decode(0) should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(f, -1) did not panic")
+		}
+	}()
+	MustNew(core.Diagonal{}, -1)
+}
+
+func TestQuickRoundTrip4D(t *testing.T) {
+	c := MustNew(core.SquareShell{}, 4)
+	f := func(a, b, cc, d uint8) bool {
+		xs := []int64{int64(a%50) + 1, int64(b%50) + 1, int64(cc%50) + 1, int64(d%50) + 1}
+		code, err := c.Encode(xs...)
+		if err != nil {
+			return false
+		}
+		got, err := c.Decode(code)
+		if err != nil {
+			return false
+		}
+		for i := range xs {
+			if got[i] != xs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHyperbolicTupleCompactness demonstrates why iterating the hyperbolic
+// PF matters: the 3-D code of a box with n total positions stays much
+// smaller under ℋ than under 𝒟 for flat boxes.
+func TestHyperbolicTupleCompactness(t *testing.T) {
+	hd := MustNew(core.Hyperbolic{}, 3)
+	dd := MustNew(core.Diagonal{}, 3)
+	var maxH, maxD int64
+	// 1×1×n "needle" of 64 elements, the worst shape for 𝒟.
+	for z := int64(1); z <= 64; z++ {
+		h, err := hd.Encode(1, 1, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := dd.Encode(1, 1, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h > maxH {
+			maxH = h
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	if maxH >= maxD {
+		t.Errorf("hyperbolic needle footprint %d should beat diagonal %d", maxH, maxD)
+	}
+}
+
+func TestMixedRoundTrip(t *testing.T) {
+	m, err := NewMixed(core.Hyperbolic{}, core.Diagonal{}, core.SquareShell{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Arity() != 4 {
+		t.Fatalf("arity %d", m.Arity())
+	}
+	for a := int64(1); a <= 6; a++ {
+		for b := int64(1); b <= 6; b++ {
+			for c := int64(1); c <= 6; c++ {
+				for d := int64(1); d <= 6; d++ {
+					z, err := m.Encode(a, b, c, d)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := m.Decode(z)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got[0] != a || got[1] != b || got[2] != c || got[3] != d {
+						t.Fatalf("(%d,%d,%d,%d) → %d → %v", a, b, c, d, z, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMixedCompactness: for thin 3-D "needles", hyperbolic-at-every-level
+// beats mixing in a diagonal at the outer level.
+func TestMixedCompactness(t *testing.T) {
+	allH, err := NewMixed(core.Hyperbolic{}, core.Hyperbolic{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outerD, err := NewMixed(core.Diagonal{}, core.Hyperbolic{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxH, maxD int64
+	for z := int64(1); z <= 64; z++ {
+		h, err := allH.Encode(1, 1, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := outerD.Encode(1, 1, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h > maxH {
+			maxH = h
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	if maxH >= maxD {
+		t.Errorf("all-hyperbolic footprint %d should beat outer-diagonal %d", maxH, maxD)
+	}
+}
+
+func TestMixedErrors(t *testing.T) {
+	if _, err := NewMixed(); err == nil {
+		t.Error("empty NewMixed should fail")
+	}
+	m, _ := NewMixed(core.Diagonal{})
+	if _, err := m.Encode(1, 2, 3); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	if _, err := m.Encode(0, 1); err == nil {
+		t.Error("coordinate 0 should fail")
+	}
+	if _, err := m.Decode(0); err == nil {
+		t.Error("code 0 should fail")
+	}
+}

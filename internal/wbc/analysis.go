@@ -1,0 +1,94 @@
+package wbc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TaskRecord is one issued task reconstructed from the ledger alone.
+type TaskRecord struct {
+	Task TaskID
+	Row  int64
+	Seq  int64
+	Vol  VolunteerID
+}
+
+// History reconstructs the complete issuance history — which volunteer is
+// accountable for every task ever issued — purely from the ledger's APF,
+// binding records and overrides, with no per-task log. This is the §4
+// scheme's payoff made explicit: the allocation function *is* the
+// database. Records are returned in increasing task-index order.
+func (l *Ledger) History() ([]TaskRecord, error) {
+	var out []TaskRecord
+	for row := range l.rows {
+		issued := l.Issued(row)
+		for seq := int64(1); seq <= issued; seq++ {
+			z, err := l.t.Encode(row, seq)
+			if err != nil {
+				return nil, fmt.Errorf("wbc: History: 𝒯(%d, %d): %w", row, seq, err)
+			}
+			vol, _, _, err := l.Attribute(TaskID(z))
+			if err != nil {
+				return nil, fmt.Errorf("wbc: History: attribute %d: %w", z, err)
+			}
+			out = append(out, TaskRecord{Task: TaskID(z), Row: row, Seq: seq, Vol: vol})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Task < out[j].Task })
+	return out, nil
+}
+
+// ExpectedBadBeforeBan returns the expected number of bad results a
+// volunteer submits before accumulating `strikes` audited-and-caught
+// strikes, under independent audits at rate p: strikes/p (the negative
+// binomial mean). It quantifies the §4 audit-policy trade-off the
+// simulation measures: cheaper audits ⇒ more damage before a ban.
+func ExpectedBadBeforeBan(auditRate float64, strikes int) (float64, error) {
+	if auditRate <= 0 || auditRate > 1 {
+		return 0, fmt.Errorf("wbc: audit rate %v outside (0, 1]", auditRate)
+	}
+	if strikes < 1 {
+		return 0, fmt.Errorf("wbc: strike limit %d < 1", strikes)
+	}
+	return float64(strikes) / auditRate, nil
+}
+
+// DetectionProbability returns the probability that a volunteer who has
+// submitted m bad results has accumulated at least `strikes` strikes under
+// independent audits at rate p — the tail of a Binomial(m, p).
+func DetectionProbability(auditRate float64, strikes int, m int) (float64, error) {
+	if auditRate < 0 || auditRate > 1 {
+		return 0, fmt.Errorf("wbc: audit rate %v outside [0, 1]", auditRate)
+	}
+	if strikes < 1 || m < 0 {
+		return 0, fmt.Errorf("wbc: strikes %d, m %d invalid", strikes, m)
+	}
+	// P[X ≥ strikes] = 1 − Σ_{i<strikes} C(m, i) p^i (1−p)^{m−i}.
+	var below float64
+	for i := 0; i < strikes && i <= m; i++ {
+		below += binomPMF(m, i, auditRate)
+	}
+	p := 1 - below
+	if p < 0 {
+		p = 0
+	}
+	return p, nil
+}
+
+func binomPMF(n, k int, p float64) float64 {
+	// C(n, k) p^k (1−p)^{n−k}, computed multiplicatively for stability at
+	// the modest n the simulator uses.
+	c := 1.0
+	for i := 0; i < k; i++ {
+		c = c * float64(n-i) / float64(i+1)
+	}
+	pk := 1.0
+	for i := 0; i < k; i++ {
+		pk *= p
+	}
+	q := 1.0
+	for i := 0; i < n-k; i++ {
+		q *= 1 - p
+	}
+	return c * pk * q
+}

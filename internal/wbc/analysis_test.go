@@ -1,0 +1,164 @@
+package wbc
+
+import (
+	"math"
+	"testing"
+
+	"pairfn/internal/apf"
+)
+
+// TestHistoryReconstruction checks that History rebuilt from the ledger
+// alone matches every task actually issued, including churned rows and
+// reissues.
+func TestHistoryReconstruction(t *testing.T) {
+	c := newTestCoordinator(t, apf.NewTStar(), 0, 1)
+	type issue struct {
+		task TaskID
+		vol  VolunteerID
+	}
+	var issued []issue
+	v1, v2 := c.Register(1), c.Register(2)
+	for i := 0; i < 7; i++ {
+		k, err := c.NextTask(v1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		issued = append(issued, issue{k, v1})
+		if _, err := c.Submit(v1, k, c.cfg.Workload.Do(k)); err != nil {
+			t.Fatal(err)
+		}
+		k, err = c.NextTask(v2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		issued = append(issued, issue{k, v2})
+		if _, err := c.Submit(v2, k, c.cfg.Workload.Do(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Churn: v1 leaves with one task outstanding; v3 inherits row and task.
+	k, err := c.NextTask(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Depart(v1); err != nil {
+		t.Fatal(err)
+	}
+	v3 := c.Register(1)
+	rk, err := c.NextTask(v3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rk != k {
+		t.Fatalf("expected reissue of %d, got %d", k, rk)
+	}
+	issued = append(issued, issue{rk, v3})
+
+	hist, err := c.Ledger().History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[TaskID]VolunteerID, len(issued))
+	for _, is := range issued {
+		want[is.task] = is.vol
+	}
+	if len(hist) != len(want) {
+		t.Fatalf("history has %d records, want %d", len(hist), len(want))
+	}
+	for i, rec := range hist {
+		if i > 0 && hist[i-1].Task >= rec.Task {
+			t.Fatalf("history not sorted at %d", i)
+		}
+		if wv, ok := want[rec.Task]; !ok || wv != rec.Vol {
+			t.Errorf("history: task %d → vol %d, want %d", rec.Task, rec.Vol, wv)
+		}
+		// Cross-check the APF inversion.
+		row, seq, err := c.Ledger().APF().Decode(int64(rec.Task))
+		if err != nil || row != rec.Row || seq != rec.Seq {
+			t.Errorf("record (%d, %d) vs decode (%d, %d)", rec.Row, rec.Seq, row, seq)
+		}
+	}
+}
+
+func TestExpectedBadBeforeBan(t *testing.T) {
+	got, err := ExpectedBadBeforeBan(0.25, 2)
+	if err != nil || got != 8 {
+		t.Errorf("ExpectedBadBeforeBan(0.25, 2) = %v, %v; want 8", got, err)
+	}
+	if _, err := ExpectedBadBeforeBan(0, 1); err == nil {
+		t.Error("rate 0 should fail")
+	}
+	if _, err := ExpectedBadBeforeBan(0.5, 0); err == nil {
+		t.Error("strikes 0 should fail")
+	}
+}
+
+func TestDetectionProbability(t *testing.T) {
+	// strikes = 1: P = 1 − (1−p)^m.
+	for _, m := range []int{0, 1, 5, 20} {
+		got, err := DetectionProbability(0.3, 1, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - math.Pow(0.7, float64(m))
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("P(detect|m=%d) = %v, want %v", m, got, want)
+		}
+	}
+	// Monotone in m; bounded by [0, 1].
+	prev := -1.0
+	for m := 0; m <= 30; m++ {
+		p, err := DetectionProbability(0.2, 3, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < prev-1e-12 || p < 0 || p > 1 {
+			t.Fatalf("P not monotone/bounded at m=%d: %v after %v", m, p, prev)
+		}
+		prev = p
+	}
+	if _, err := DetectionProbability(2, 1, 1); err == nil {
+		t.Error("rate 2 should fail")
+	}
+	if _, err := DetectionProbability(0.5, 1, -1); err == nil {
+		t.Error("m = -1 should fail")
+	}
+}
+
+// TestBanLatencyMatchesTheory runs many seeded simulations of a single
+// always-bad volunteer and compares the mean number of bad results it
+// lands before being banned against strikes/auditRate (±50% — it is a
+// stochastic check, but with 200 runs the estimator is tight).
+func TestBanLatencyMatchesTheory(t *testing.T) {
+	const (
+		auditRate = 0.5
+		strikes   = 2
+		runs      = 200
+	)
+	var total int64
+	for seed := int64(0); seed < runs; seed++ {
+		c, err := NewCoordinator(Config{
+			APF: apf.NewTHash(), Workload: DivisorSum{},
+			AuditRate: auditRate, StrikeLimit: strikes, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := c.Register(1)
+		for {
+			k, err := c.NextTask(v)
+			if err != nil {
+				break // banned
+			}
+			if _, err := c.Submit(v, k, -1); err != nil {
+				break
+			}
+		}
+		total += c.Metrics().Completed
+	}
+	mean := float64(total) / runs
+	want, _ := ExpectedBadBeforeBan(auditRate, strikes)
+	if mean < want*0.5 || mean > want*1.5 {
+		t.Errorf("mean bad-before-ban = %v, theory %v", mean, want)
+	}
+}

@@ -1,0 +1,45 @@
+package wbc_test
+
+import (
+	"fmt"
+
+	"pairfn/internal/apf"
+	"pairfn/internal/wbc"
+)
+
+func ExampleCoordinator() {
+	c, _ := wbc.NewCoordinator(wbc.Config{
+		APF:      apf.NewTHash(),
+		Workload: wbc.DivisorSum{},
+	})
+	v := c.Register(1)
+	k, _ := c.NextTask(v)
+	_, _ = c.Submit(v, k, wbc.DivisorSum{}.Do(k))
+	who, _ := c.Attribute(k)
+	fmt.Println(who == v)
+	// Output: true
+}
+
+func ExampleLedger_Attribute() {
+	c, _ := wbc.NewCoordinator(wbc.Config{
+		APF:      apf.NewTHash(),
+		Workload: wbc.DivisorSum{},
+	})
+	v := c.Register(1)
+	for i := 0; i < 3; i++ {
+		k, _ := c.NextTask(v)
+		_, _ = c.Submit(v, k, 0)
+	}
+	// The third task of row 1 under 𝒯# is 𝒯(1, 3) = 2·2 + 1 = 5.
+	vol, row, seq, _ := c.Ledger().Attribute(5)
+	fmt.Println(vol, row, seq)
+	// Output: 1 1 3
+}
+
+func ExampleExpectedBadBeforeBan() {
+	// With 25% audits and a 2-strike policy, an always-bad volunteer lands
+	// 8 bad results on average before being banned.
+	e, _ := wbc.ExpectedBadBeforeBan(0.25, 2)
+	fmt.Println(e)
+	// Output: 8
+}

@@ -1,0 +1,241 @@
+package wbc
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// §4 describes WBC operationally: "volunteers register with a WBC website
+// … each volunteer visits the website from time to time to receive a task
+// … returns the results from that task and receives a new task". This file
+// is that website: a JSON-over-HTTP facade for a Coordinator, plus a typed
+// client. The protocol carries only integers — volunteer ids, task
+// indices, results — because the APF is the whole addressing scheme.
+//
+// Endpoints:
+//
+//	POST /register  {"speed": 1.5}                     → {"volunteer": 7}
+//	POST /next      {"volunteer": 7}                   → {"task": 912}
+//	POST /submit    {"volunteer": 7, "task": 912,
+//	                 "result": 4}                      → {"caught": false}
+//	GET  /attribute?task=912                           → {"volunteer": 7}
+//	GET  /metrics                                      → Metrics
+//
+// Coordinator errors map to HTTP statuses: banned/departed → 403, unknown
+// volunteer/task → 404, ownership violations → 409, domain errors → 400.
+
+type registerRequest struct {
+	Speed float64 `json:"speed"`
+}
+
+type registerResponse struct {
+	Volunteer VolunteerID `json:"volunteer"`
+}
+
+type nextRequest struct {
+	Volunteer VolunteerID `json:"volunteer"`
+}
+
+type nextResponse struct {
+	Task TaskID `json:"task"`
+}
+
+type submitRequest struct {
+	Volunteer VolunteerID `json:"volunteer"`
+	Task      TaskID      `json:"task"`
+	Result    int64       `json:"result"`
+}
+
+type submitResponse struct {
+	Caught bool `json:"caught"`
+}
+
+type attributeResponse struct {
+	Volunteer VolunteerID `json:"volunteer"`
+	Row       int64       `json:"row"`
+	Seq       int64       `json:"seq"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewHTTPHandler returns the WBC website serving c.
+func NewHTTPHandler(c *Coordinator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /register", func(w http.ResponseWriter, r *http.Request) {
+		var req registerRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		writeJSON(w, http.StatusOK, registerResponse{Volunteer: c.Register(req.Speed)})
+	})
+	mux.HandleFunc("POST /next", func(w http.ResponseWriter, r *http.Request) {
+		var req nextRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		k, err := c.NextTask(req.Volunteer)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, nextResponse{Task: k})
+	})
+	mux.HandleFunc("POST /submit", func(w http.ResponseWriter, r *http.Request) {
+		var req submitRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		caught, err := c.Submit(req.Volunteer, req.Task, req.Result)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, submitResponse{Caught: caught})
+	})
+	mux.HandleFunc("POST /depart", func(w http.ResponseWriter, r *http.Request) {
+		var req nextRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		if err := c.Depart(req.Volunteer); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct{}{})
+	})
+	mux.HandleFunc("GET /attribute", func(w http.ResponseWriter, r *http.Request) {
+		k, err := strconv.ParseInt(r.URL.Query().Get("task"), 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "task must be an integer"})
+			return
+		}
+		vol, row, seq, err := c.Ledger().Attribute(TaskID(k))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, attributeResponse{Volunteer: vol, Row: row, Seq: seq})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Metrics())
+	})
+	return mux
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBanned), errors.Is(err, ErrDeparted):
+		status = http.StatusForbidden
+	case errors.Is(err, ErrUnknownVolunteer), errors.Is(err, ErrUnknownTask):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrNotIssuedToYou):
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// Client is a typed volunteer-side client for the WBC website.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://host:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (cl *Client) httpc() *http.Client {
+	if cl.HTTPClient != nil {
+		return cl.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (cl *Client) post(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := cl.httpc().Post(cl.BaseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		var e errorResponse
+		_ = json.NewDecoder(r.Body).Decode(&e)
+		return fmt.Errorf("wbc: %s: %s (%s)", path, e.Error, r.Status)
+	}
+	return json.NewDecoder(r.Body).Decode(resp)
+}
+
+// Register registers a volunteer with the given speed hint.
+func (cl *Client) Register(speed float64) (VolunteerID, error) {
+	var resp registerResponse
+	if err := cl.post("/register", registerRequest{Speed: speed}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Volunteer, nil
+}
+
+// Next fetches the next task for volunteer id.
+func (cl *Client) Next(id VolunteerID) (TaskID, error) {
+	var resp nextResponse
+	if err := cl.post("/next", nextRequest{Volunteer: id}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Task, nil
+}
+
+// Submit returns the result for task k.
+func (cl *Client) Submit(id VolunteerID, k TaskID, result int64) (caught bool, err error) {
+	var resp submitResponse
+	if err := cl.post("/submit", submitRequest{Volunteer: id, Task: k, Result: result}, &resp); err != nil {
+		return false, err
+	}
+	return resp.Caught, nil
+}
+
+// Depart deregisters volunteer id.
+func (cl *Client) Depart(id VolunteerID) error {
+	var resp struct{}
+	return cl.post("/depart", nextRequest{Volunteer: id}, &resp)
+}
+
+// Attribute asks the server who computed task k.
+func (cl *Client) Attribute(k TaskID) (VolunteerID, error) {
+	r, err := cl.httpc().Get(fmt.Sprintf("%s/attribute?task=%d", cl.BaseURL, k))
+	if err != nil {
+		return 0, err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		var e errorResponse
+		_ = json.NewDecoder(r.Body).Decode(&e)
+		return 0, fmt.Errorf("wbc: /attribute: %s (%s)", e.Error, r.Status)
+	}
+	var resp attributeResponse
+	if err := json.NewDecoder(r.Body).Decode(&resp); err != nil {
+		return 0, err
+	}
+	return resp.Volunteer, nil
+}

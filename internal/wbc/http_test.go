@@ -1,0 +1,233 @@
+package wbc
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"pairfn/internal/apf"
+)
+
+func newTestServer(t *testing.T, auditRate float64, strikes int) (*httptest.Server, *Coordinator) {
+	t.Helper()
+	c, err := NewCoordinator(Config{
+		APF: apf.NewTHash(), Workload: DivisorSum{},
+		AuditRate: auditRate, StrikeLimit: strikes, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHTTPHandler(c))
+	t.Cleanup(srv.Close)
+	return srv, c
+}
+
+// TestHTTPEndToEnd drives the full volunteer protocol over real HTTP:
+// register → next → submit loop, attribution query, metrics.
+func TestHTTPEndToEnd(t *testing.T) {
+	srv, c := newTestServer(t, 0, 1)
+	cl := &Client{BaseURL: srv.URL}
+	v, err := cl.Register(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := map[TaskID]VolunteerID{}
+	for i := 0; i < 8; i++ {
+		k, err := cl.Next(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owner[k] = v
+		caught, err := cl.Submit(v, k, (DivisorSum{}).Do(k))
+		if err != nil || caught {
+			t.Fatalf("submit: %v caught=%v", err, caught)
+		}
+	}
+	for k, want := range owner {
+		got, err := cl.Attribute(k)
+		if err != nil || got != want {
+			t.Fatalf("Attribute(%d) = %d, %v; want %d", k, got, err, want)
+		}
+	}
+	if m := c.Metrics(); m.Completed != 8 || m.Registered != 1 {
+		t.Errorf("metrics: %+v", m)
+	}
+}
+
+// TestHTTPConcurrentVolunteers runs a population of HTTP clients on
+// goroutines against one server.
+func TestHTTPConcurrentVolunteers(t *testing.T) {
+	srv, c := newTestServer(t, 0, 1)
+	var wg sync.WaitGroup
+	const workers, tasks = 6, 10
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := &Client{BaseURL: srv.URL}
+			v, err := cl.Register(1)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < tasks; i++ {
+				k, err := cl.Next(v)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := cl.Submit(v, k, (DivisorSum{}).Do(k)); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := c.Metrics(); m.Completed != workers*tasks || m.Registered != workers {
+		t.Errorf("metrics: %+v", m)
+	}
+}
+
+// TestHTTPBanFlow: a saboteur is banned over the wire; later calls get 403.
+func TestHTTPBanFlow(t *testing.T) {
+	srv, _ := newTestServer(t, 1.0, 2)
+	cl := &Client{BaseURL: srv.URL}
+	v, err := cl.Register(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caughtTotal := 0
+	for i := 0; i < 10; i++ {
+		k, err := cl.Next(v)
+		if err != nil {
+			if caughtTotal != 2 {
+				t.Fatalf("banned after %d catches, want 2", caughtTotal)
+			}
+			if !strings.Contains(err.Error(), "403") {
+				t.Fatalf("want 403, got %v", err)
+			}
+			return
+		}
+		caught, err := cl.Submit(v, k, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if caught {
+			caughtTotal++
+		}
+	}
+	t.Fatal("saboteur never banned over HTTP")
+}
+
+// TestHTTPErrorStatuses exercises each error mapping.
+func TestHTTPErrorStatuses(t *testing.T) {
+	srv, c := newTestServer(t, 0, 1)
+	post := func(path, body string) int {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := post("/next", `{"volunteer": 999}`); got != http.StatusNotFound {
+		t.Errorf("unknown volunteer: %d", got)
+	}
+	if got := post("/register", `{bad json`); got != http.StatusBadRequest {
+		t.Errorf("bad json: %d", got)
+	}
+	v := c.Register(1)
+	k, err := c.NextTask(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := c.Register(1)
+	body, _ := json.Marshal(submitRequest{Volunteer: other, Task: k, Result: 0})
+	if got := post("/submit", string(body)); got != http.StatusConflict {
+		t.Errorf("cross submit: %d", got)
+	}
+	// Attribution of a never-issued task.
+	resp, err := http.Get(srv.URL + "/attribute?task=999999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown task: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/attribute?task=abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("non-integer task: %d", resp.StatusCode)
+	}
+	// Departed volunteer → 403.
+	if err := c.Depart(other); err != nil {
+		t.Fatal(err)
+	}
+	body, _ = json.Marshal(nextRequest{Volunteer: other})
+	if got := post("/next", string(body)); got != http.StatusForbidden {
+		t.Errorf("departed volunteer: %d", got)
+	}
+	// Metrics endpoint decodes.
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Registered != 2 {
+		t.Errorf("metrics over HTTP: %+v", m)
+	}
+}
+
+// TestHTTPDepartAndInherit covers the front end over the wire: departure
+// then a new client inheriting the vacated row.
+func TestHTTPDepartAndInherit(t *testing.T) {
+	srv, c := newTestServer(t, 0, 1)
+	cl := &Client{BaseURL: srv.URL}
+	v1, err := cl.Register(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, err := cl.Next(v1) // outstanding at departure
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Depart(v1); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := cl.Register(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := cl.Next(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2 != k1 {
+		t.Fatalf("expected reissue of %d, got %d", k1, k2)
+	}
+	got, err := cl.Attribute(k2)
+	if err != nil || got != v2 {
+		t.Fatalf("reissued attribution = %d, %v; want %d", got, err, v2)
+	}
+	_ = c
+}

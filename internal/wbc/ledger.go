@@ -1,0 +1,129 @@
+package wbc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pairfn/internal/apf"
+)
+
+// VolunteerID identifies a registered volunteer. IDs are never reused, even
+// when row indices are (accountability outlives departure and banning).
+type VolunteerID int64
+
+// ErrUnknownTask reports an attribution query for a task index that was
+// never issued.
+var ErrUnknownTask = errors.New("wbc: task was never issued")
+
+// A Binding records that from sequence number FromSeq onward (until the
+// next binding of the same row), tasks of row Row were assigned to
+// volunteer Vol. Bindings are the "added mechanism" §4 says dynamic
+// departure/reassignment demands in order to retain accountability: the APF
+// alone inverts a task index to ⟨row, seq⟩; the binding history finishes
+// the job of naming a volunteer.
+type Binding struct {
+	Row     int64
+	Vol     VolunteerID
+	FromSeq int64
+}
+
+// Ledger is the accountability ledger: an APF plus, per row, the history of
+// volunteer bindings, plus explicit overrides for reissued tasks. It
+// answers Attribute(k) in O(time of 𝒯⁻¹) + O(log bindings).
+type Ledger struct {
+	t apf.APF
+	// rows[r] = binding history of row r, in increasing FromSeq order.
+	rows map[int64][]Binding
+	// nextSeq[r] = next unissued sequence number of row r (starts at 1).
+	nextSeq map[int64]int64
+	// overrides attributes reissued tasks (issued to one volunteer,
+	// abandoned, and re-issued to another) to their actual computer.
+	overrides map[TaskID]VolunteerID
+	// maxIssued is the largest task index issued — the realized footprint.
+	maxIssued TaskID
+}
+
+// NewLedger returns an empty ledger over the task-allocation function t.
+func NewLedger(t apf.APF) *Ledger {
+	return &Ledger{
+		t:         t,
+		rows:      make(map[int64][]Binding),
+		nextSeq:   make(map[int64]int64),
+		overrides: make(map[TaskID]VolunteerID),
+	}
+}
+
+// APF returns the task-allocation function.
+func (l *Ledger) APF() apf.APF { return l.t }
+
+// Bind appends a binding: from the row's current sequence position onward,
+// its tasks belong to vol.
+func (l *Ledger) Bind(row int64, vol VolunteerID) {
+	if _, ok := l.nextSeq[row]; !ok {
+		l.nextSeq[row] = 1
+	}
+	l.rows[row] = append(l.rows[row], Binding{Row: row, Vol: vol, FromSeq: l.nextSeq[row]})
+}
+
+// Issue allocates the next task of row, returning its index 𝒯(row, seq).
+func (l *Ledger) Issue(row int64) (TaskID, error) {
+	seq, ok := l.nextSeq[row]
+	if !ok || len(l.rows[row]) == 0 {
+		return 0, fmt.Errorf("wbc: row %d has no bound volunteer", row)
+	}
+	z, err := l.t.Encode(row, seq)
+	if err != nil {
+		return 0, fmt.Errorf("wbc: allocating task (%d, %d): %w", row, seq, err)
+	}
+	l.nextSeq[row] = seq + 1
+	if TaskID(z) > l.maxIssued {
+		l.maxIssued = TaskID(z)
+	}
+	return TaskID(z), nil
+}
+
+// Override records that task k, originally attributed via the APF, was
+// actually computed by vol (used when abandoned tasks are reissued).
+func (l *Ledger) Override(k TaskID, vol VolunteerID) { l.overrides[k] = vol }
+
+// Attribute returns the volunteer accountable for task index k, along with
+// the row and sequence number 𝒯⁻¹(k).
+func (l *Ledger) Attribute(k TaskID) (VolunteerID, int64, int64, error) {
+	if v, ok := l.overrides[k]; ok {
+		row, seq, err := l.t.Decode(int64(k))
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		return v, row, seq, nil
+	}
+	row, seq, err := l.t.Decode(int64(k))
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("wbc: inverting task %d: %w", k, err)
+	}
+	hist := l.rows[row]
+	if len(hist) == 0 || seq >= l.nextSeq[row] || seq < hist[0].FromSeq {
+		return 0, 0, 0, fmt.Errorf("%w: index %d (row %d, seq %d)", ErrUnknownTask, k, row, seq)
+	}
+	// Last binding with FromSeq ≤ seq.
+	i := sort.Search(len(hist), func(i int) bool { return hist[i].FromSeq > seq }) - 1
+	return hist[i].Vol, row, seq, nil
+}
+
+// Footprint returns the largest task index issued so far — the size of the
+// task table a memory manager must provision, which §4 argues is kept small
+// by APFs with slowly growing strides.
+func (l *Ledger) Footprint() TaskID { return l.maxIssued }
+
+// Issued returns the number of tasks issued on row (seq−1).
+func (l *Ledger) Issued(row int64) int64 {
+	if s, ok := l.nextSeq[row]; ok {
+		return s - 1
+	}
+	return 0
+}
+
+// Bindings returns a copy of row's binding history.
+func (l *Ledger) Bindings(row int64) []Binding {
+	return append([]Binding(nil), l.rows[row]...)
+}

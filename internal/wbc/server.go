@@ -1,0 +1,416 @@
+package wbc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"pairfn/internal/apf"
+)
+
+// ErrBanned reports an operation by a banned volunteer.
+var ErrBanned = errors.New("wbc: volunteer is banned")
+
+// ErrDeparted reports an operation by a departed volunteer.
+var ErrDeparted = errors.New("wbc: volunteer has departed")
+
+// ErrUnknownVolunteer reports an operation by an unregistered volunteer.
+var ErrUnknownVolunteer = errors.New("wbc: unknown volunteer")
+
+// ErrNotIssuedToYou reports a submission for a task the submitter does not
+// own.
+var ErrNotIssuedToYou = errors.New("wbc: task not issued to this volunteer")
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// APF is the task-allocation function 𝒯.
+	APF apf.APF
+	// Workload defines task semantics; required for auditing.
+	Workload Workload
+	// AuditRate is the probability a submission is audited by
+	// recomputation, in [0, 1].
+	AuditRate float64
+	// StrikeLimit bans a volunteer at this many confirmed bad results
+	// (≥ 1; default 1).
+	StrikeLimit int
+	// Seed drives the audit sampling.
+	Seed int64
+}
+
+// Metrics is a snapshot of coordinator counters.
+type Metrics struct {
+	Registered int64 // volunteers ever registered
+	Active     int64 // currently active volunteers
+	Issued     int64 // tasks issued (including reissues)
+	Completed  int64 // submissions accepted
+	Audited    int64 // submissions audited inline
+	BadCaught  int64 // audited submissions found wrong
+	Bans       int64 // volunteers banned
+	Reissues   int64 // abandoned tasks reissued
+	Footprint  int64 // largest task index issued (table size)
+}
+
+type volState struct {
+	id        VolunteerID
+	row       int64 // current row; −1 when unbound (departed/banned)
+	speed     float64
+	strikes   int
+	banned    bool
+	departed  bool
+	completed int64
+	// out is the set of tasks issued to this volunteer and not yet
+	// submitted.
+	out map[TaskID]bool
+}
+
+// Coordinator is the WBC server: it registers volunteers, allocates tasks
+// through the ledger's APF, collects results, audits a sample, bans errant
+// volunteers, and reassigns the rows (and abandoned tasks) of departed or
+// banned volunteers to newcomers — the §4 "front end". Safe for concurrent
+// use by volunteer goroutines.
+type Coordinator struct {
+	mu  sync.Mutex
+	cfg Config
+	rng *rand.Rand
+
+	ledger  *Ledger
+	nextVol VolunteerID
+	nextRow int64
+	// freeRows are rows vacated by departed/banned volunteers, available
+	// for rebinding (smallest first, so newcomers inherit compact rows).
+	freeRows []int64
+	// orphans are tasks issued to a row's previous owner and never
+	// submitted; the row's next owner receives them first.
+	orphans map[int64][]TaskID
+	vols    map[VolunteerID]*volState
+	rowVol  map[int64]VolunteerID
+	results map[TaskID]int64
+	m       Metrics
+}
+
+// NewCoordinator returns a Coordinator for the given configuration.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if cfg.APF == nil {
+		return nil, fmt.Errorf("wbc: Config.APF is required")
+	}
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("wbc: Config.Workload is required")
+	}
+	if cfg.AuditRate < 0 || cfg.AuditRate > 1 {
+		return nil, fmt.Errorf("wbc: AuditRate %v outside [0, 1]", cfg.AuditRate)
+	}
+	if cfg.StrikeLimit < 1 {
+		cfg.StrikeLimit = 1
+	}
+	return &Coordinator{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		ledger:  NewLedger(cfg.APF),
+		nextVol: 1,
+		nextRow: 1,
+		orphans: make(map[int64][]TaskID),
+		vols:    make(map[VolunteerID]*volState),
+		rowVol:  make(map[int64]VolunteerID),
+		results: make(map[TaskID]int64),
+	}, nil
+}
+
+// Register adds a volunteer and binds it to a row: the smallest vacated row
+// if any (inheriting its orphaned tasks), else the next fresh row. The
+// speed hint participates in Rebalance's faster-volunteers-get-smaller-rows
+// ordering.
+func (c *Coordinator) Register(speed float64) VolunteerID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.nextVol
+	c.nextVol++
+	var row int64
+	if len(c.freeRows) > 0 {
+		sort.Slice(c.freeRows, func(i, j int) bool { return c.freeRows[i] < c.freeRows[j] })
+		row = c.freeRows[0]
+		c.freeRows = c.freeRows[1:]
+	} else {
+		row = c.nextRow
+		c.nextRow++
+	}
+	v := &volState{id: id, row: row, speed: speed, out: make(map[TaskID]bool)}
+	c.vols[id] = v
+	c.rowVol[row] = id
+	c.ledger.Bind(row, id)
+	c.m.Registered++
+	c.m.Active++
+	return id
+}
+
+// Depart removes a volunteer; its row and outstanding tasks become
+// available to the next arrival.
+func (c *Coordinator) Depart(id VolunteerID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.vols[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownVolunteer, id)
+	}
+	if v.departed {
+		return fmt.Errorf("%w: %d", ErrDeparted, id)
+	}
+	v.departed = true
+	c.m.Active--
+	c.vacateLocked(v)
+	return nil
+}
+
+// vacateLocked unbinds v from its row, parking outstanding tasks as
+// orphans.
+func (c *Coordinator) vacateLocked(v *volState) {
+	if v.row < 0 {
+		return
+	}
+	row := v.row
+	v.row = -1
+	delete(c.rowVol, row)
+	c.freeRows = append(c.freeRows, row)
+	for k := range v.out {
+		c.orphans[row] = append(c.orphans[row], k)
+	}
+	v.out = make(map[TaskID]bool)
+}
+
+// NextTask issues the next task for volunteer id: an orphaned task of its
+// row if one is pending (reissue), else the fresh index 𝒯(row, seq).
+func (c *Coordinator) NextTask(id VolunteerID) (TaskID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, err := c.activeLocked(id)
+	if err != nil {
+		return 0, err
+	}
+	if q := c.orphans[v.row]; len(q) > 0 {
+		k := q[0]
+		c.orphans[v.row] = q[1:]
+		c.ledger.Override(k, id)
+		v.out[k] = true
+		c.m.Issued++
+		c.m.Reissues++
+		return k, nil
+	}
+	k, err := c.ledger.Issue(v.row)
+	if err != nil {
+		return 0, err
+	}
+	v.out[k] = true
+	c.m.Issued++
+	if int64(c.ledger.Footprint()) > c.m.Footprint {
+		c.m.Footprint = int64(c.ledger.Footprint())
+	}
+	return k, nil
+}
+
+func (c *Coordinator) activeLocked(id VolunteerID) (*volState, error) {
+	v, ok := c.vols[id]
+	switch {
+	case !ok:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownVolunteer, id)
+	case v.banned:
+		return nil, fmt.Errorf("%w: %d", ErrBanned, id)
+	case v.departed:
+		return nil, fmt.Errorf("%w: %d", ErrDeparted, id)
+	}
+	return v, nil
+}
+
+// Submit records volunteer id's result for task k. With probability
+// AuditRate the result is audited by recomputation; a confirmed bad result
+// is a strike, and StrikeLimit strikes ban the volunteer (its row and
+// outstanding tasks are recycled). Submit reports whether the submission
+// was audited and found bad.
+func (c *Coordinator) Submit(id VolunteerID, k TaskID, result int64) (caught bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, err := c.activeLocked(id)
+	if err != nil {
+		return false, err
+	}
+	if !v.out[k] {
+		return false, fmt.Errorf("%w: volunteer %d, task %d", ErrNotIssuedToYou, id, k)
+	}
+	delete(v.out, k)
+	c.results[k] = result
+	v.completed++
+	c.m.Completed++
+	if c.rng.Float64() < c.cfg.AuditRate {
+		c.m.Audited++
+		if c.cfg.Workload.Do(k) != result {
+			c.m.BadCaught++
+			v.strikes++
+			caught = true
+			if v.strikes >= c.cfg.StrikeLimit {
+				v.banned = true
+				c.m.Bans++
+				c.m.Active--
+				c.vacateLocked(v)
+			}
+		}
+	}
+	return caught, nil
+}
+
+// Attribute returns the volunteer accountable for task k — the scheme's
+// raison d'être: 𝒯⁻¹ plus the binding history answer instantly, with no
+// per-task bookkeeping.
+func (c *Coordinator) Attribute(k TaskID) (VolunteerID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, _, _, err := c.ledger.Attribute(k)
+	return v, err
+}
+
+// AuditAll recomputes every accepted result and returns, per accountable
+// volunteer, the list of task indices it answered incorrectly. This is the
+// end-of-run accounting a project head would use to assess volunteers.
+func (c *Coordinator) AuditAll() (map[VolunteerID][]TaskID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bad := make(map[VolunteerID][]TaskID)
+	for k, res := range c.results {
+		if c.cfg.Workload.Do(k) == res {
+			continue
+		}
+		v, _, _, err := c.ledger.Attribute(k)
+		if err != nil {
+			return nil, err
+		}
+		bad[v] = append(bad[v], k)
+	}
+	for _, ks := range bad {
+		sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	}
+	return bad, nil
+}
+
+// Rebalance rebinds rows so that faster volunteers (higher measured
+// throughput, falling back to the registration speed hint) occupy smaller
+// row indices — the ordering §4's front end maintains, which keeps the
+// heaviest progressions on the smallest strides. Outstanding tasks follow
+// their owners via attribution overrides; past tasks keep their historical
+// attribution through the binding records.
+func (c *Coordinator) Rebalance() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	type slot struct {
+		v   *volState
+		row int64
+	}
+	var active []slot
+	for _, v := range c.vols {
+		if v.row >= 0 && !v.banned && !v.departed {
+			active = append(active, slot{v: v, row: v.row})
+		}
+	}
+	if len(active) < 2 {
+		return
+	}
+	rows := make([]int64, len(active))
+	for i, s := range active {
+		rows[i] = s.row
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	sort.Slice(active, func(i, j int) bool {
+		a, b := active[i].v, active[j].v
+		if a.completed != b.completed {
+			return a.completed > b.completed
+		}
+		if a.speed != b.speed {
+			return a.speed > b.speed
+		}
+		return a.id < b.id
+	})
+	for i, s := range active {
+		row := rows[i]
+		if s.v.row == row {
+			continue
+		}
+		s.v.row = row
+	}
+	// Rewrite bindings and ownership after all moves are decided.
+	for i, s := range active {
+		row := rows[i]
+		if cur, ok := c.rowVol[row]; !ok || cur != s.v.id {
+			c.rowVol[row] = s.v.id
+			c.ledger.Bind(row, s.v.id)
+		}
+		// In-flight tasks keep correct attribution through the seq-range
+		// bindings; nothing to move. Orphans of the row now belong to its
+		// new owner by construction.
+	}
+}
+
+// Row returns the current row of volunteer id (−1 if unbound).
+func (c *Coordinator) Row(id VolunteerID) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.vols[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownVolunteer, id)
+	}
+	return v.row, nil
+}
+
+// Banned reports whether volunteer id is banned.
+func (c *Coordinator) Banned(id VolunteerID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.vols[id]
+	return ok && v.banned
+}
+
+// VolunteerReport is a per-volunteer accounting row.
+type VolunteerReport struct {
+	ID          VolunteerID
+	Row         int64 // current row (−1 if departed/banned)
+	Completed   int64
+	Strikes     int
+	Banned      bool
+	Departed    bool
+	Outstanding int // tasks fetched but not submitted
+}
+
+// Report returns per-volunteer accounting in ID order — the project
+// head's roster view.
+func (c *Coordinator) Report() []VolunteerReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]VolunteerReport, 0, len(c.vols))
+	for _, v := range c.vols {
+		out = append(out, VolunteerReport{
+			ID: v.id, Row: v.row, Completed: v.completed, Strikes: v.strikes,
+			Banned: v.banned, Departed: v.departed, Outstanding: len(v.out),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Metrics returns a snapshot of the counters.
+func (c *Coordinator) Metrics() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m
+}
+
+// Ledger exposes the accountability ledger (read-mostly; callers must not
+// mutate it concurrently with coordinator use).
+func (c *Coordinator) Ledger() *Ledger { return c.ledger }
+
+// Results returns a copy of the accepted results table.
+func (c *Coordinator) Results() map[TaskID]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[TaskID]int64, len(c.results))
+	for k, v := range c.results {
+		out[k] = v
+	}
+	return out
+}

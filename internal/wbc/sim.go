@@ -1,0 +1,230 @@
+package wbc
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Profile describes a simulated volunteer population segment.
+type Profile struct {
+	// Name labels the segment in reports.
+	Name string
+	// Count is the number of volunteers with this profile.
+	Count int
+	// ErrorRate is the probability each submitted result is corrupted
+	// (0 = honest, small = careless, large = malicious).
+	ErrorRate float64
+	// Tasks is how many tasks each volunteer computes before stopping.
+	Tasks int
+	// DepartAfter, if > 0, makes the volunteer deregister after that many
+	// tasks (simulating churn); a replacement volunteer with the same
+	// profile registers in its place and inherits the vacated row.
+	DepartAfter int
+	// Speed is the front end's speed hint (higher = faster volunteer).
+	Speed float64
+}
+
+// SimConfig parameterizes a simulation run.
+type SimConfig struct {
+	Coordinator Config
+	Profiles    []Profile
+	// RebalanceEvery triggers a front-end rebalance after every that many
+	// completed tasks across the population (0 = never).
+	RebalanceEvery int
+	// Seed drives volunteer randomness (distinct from the audit seed).
+	Seed int64
+}
+
+// SimResult summarizes a simulation run.
+type SimResult struct {
+	Metrics Metrics
+	// Corrupted is the ground truth: for each volunteer, the set of task
+	// indices whose submitted result it deliberately corrupted.
+	Corrupted map[VolunteerID]map[TaskID]bool
+	// BadByVolunteer is the coordinator's end-of-run full audit: per
+	// accountable volunteer, the bad task indices it is charged with.
+	BadByVolunteer map[VolunteerID][]TaskID
+	// AttributionErrors counts bad results charged to the wrong volunteer
+	// (0 in a correct implementation).
+	AttributionErrors int
+	// Banned lists banned volunteers in ID order.
+	Banned []VolunteerID
+}
+
+// volunteerRun drives one volunteer through its task loop. It is executed
+// on its own goroutine; all coordination happens inside the Coordinator.
+func volunteerRun(c *Coordinator, p Profile, rng *rand.Rand, truth map[TaskID]bool) (VolunteerID, []VolunteerID) {
+	id := c.Register(p.Speed)
+	ids := []VolunteerID{id}
+	done := 0
+	sinceArrival := 0
+	for done < p.Tasks {
+		k, err := c.NextTask(id)
+		if err != nil {
+			// Banned mid-run (or raced with a reshape): stop this identity.
+			break
+		}
+		result := c.cfg.Workload.Do(k)
+		if rng.Float64() < p.ErrorRate {
+			result++ // corrupt deterministically detectably
+			truth[k] = true
+		}
+		if _, err := c.Submit(id, k, result); err != nil {
+			break
+		}
+		done++
+		sinceArrival++
+		if p.DepartAfter > 0 && sinceArrival >= p.DepartAfter && done < p.Tasks {
+			// Churn: depart and re-register as a fresh volunteer that
+			// inherits a vacated row (and any orphaned tasks).
+			if err := c.Depart(id); err != nil {
+				break
+			}
+			id = c.Register(p.Speed)
+			ids = append(ids, id)
+			sinceArrival = 0
+		}
+	}
+	return id, ids
+}
+
+// Simulate runs the volunteer population against a fresh Coordinator and
+// returns the full accounting. Volunteers run concurrently (one goroutine
+// each); the result's invariants (attribution correctness, footprint
+// bounds) are schedule-independent.
+func Simulate(cfg SimConfig) (*SimResult, *Coordinator, error) {
+	c, err := NewCoordinator(cfg.Coordinator)
+	if err != nil {
+		return nil, nil, err
+	}
+	type volOutcome struct {
+		ids   []VolunteerID
+		truth map[TaskID]bool
+	}
+	var total int
+	for _, p := range cfg.Profiles {
+		total += p.Count
+	}
+	outcomes := make([]volOutcome, total)
+	var wg sync.WaitGroup
+	// Mid-flight front-end rebalancing: a monitor goroutine reorders rows
+	// by throughput every RebalanceEvery completions while volunteers are
+	// still running — attribution must survive it (the tests assert zero
+	// attribution errors under this churn).
+	stopRebalance := make(chan struct{})
+	var rebalanceWG sync.WaitGroup
+	if cfg.RebalanceEvery > 0 {
+		rebalanceWG.Add(1)
+		go func() {
+			defer rebalanceWG.Done()
+			last := int64(0)
+			for {
+				select {
+				case <-stopRebalance:
+					return
+				default:
+				}
+				if done := c.Metrics().Completed; done-last >= int64(cfg.RebalanceEvery) {
+					c.Rebalance()
+					last = done
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}()
+	}
+	idx := 0
+	for _, p := range cfg.Profiles {
+		for i := 0; i < p.Count; i++ {
+			p := p
+			slot := idx
+			seed := cfg.Seed + int64(slot)*0x9E3779B9
+			idx++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				truth := make(map[TaskID]bool)
+				_, ids := volunteerRun(c, p, rng, truth)
+				outcomes[slot] = volOutcome{ids: ids, truth: truth}
+			}()
+		}
+	}
+	wg.Wait()
+	close(stopRebalance)
+	rebalanceWG.Wait()
+	if cfg.RebalanceEvery > 0 {
+		c.Rebalance()
+	}
+
+	res := &SimResult{Corrupted: make(map[VolunteerID]map[TaskID]bool)}
+	res.Metrics = c.Metrics()
+	res.BadByVolunteer, err = c.AuditAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	// Assemble ground truth per volunteer identity: a corrupted task
+	// belongs to whichever of the volunteer's identities fetched it; the
+	// coordinator's Attribute answers that, so cross-check against the
+	// identity set instead.
+	for _, o := range outcomes {
+		for _, id := range o.ids {
+			if res.Corrupted[id] == nil {
+				res.Corrupted[id] = make(map[TaskID]bool)
+			}
+		}
+	}
+	charged := make(map[TaskID]VolunteerID)
+	for v, ks := range res.BadByVolunteer {
+		for _, k := range ks {
+			charged[k] = v
+		}
+	}
+	for _, o := range outcomes {
+		idset := make(map[VolunteerID]bool, len(o.ids))
+		for _, id := range o.ids {
+			idset[id] = true
+		}
+		for k := range o.truth {
+			v, ok := charged[k]
+			if !ok || !idset[v] {
+				res.AttributionErrors++
+				continue
+			}
+			res.Corrupted[v][k] = true
+		}
+	}
+	// Any charged task not in some volunteer's truth set is also an
+	// attribution error (a false charge).
+	for k, v := range charged {
+		if !res.Corrupted[v][k] {
+			res.AttributionErrors++
+		}
+	}
+	for id := range res.Corrupted {
+		if c.Banned(id) {
+			res.Banned = append(res.Banned, id)
+		}
+	}
+	sort.Slice(res.Banned, func(i, j int) bool { return res.Banned[i] < res.Banned[j] })
+	return res, c, nil
+}
+
+// FootprintReport runs the same honest population against each APF and
+// reports the resulting task-table footprints — §4's compactness race made
+// measurable: volunteers × tasks map to wildly different table sizes
+// depending on stride growth.
+type FootprintReport struct {
+	Name      string
+	Footprint int64
+	// Utilization = tasks issued / footprint: the fraction of the task
+	// table actually used.
+	Utilization float64
+}
+
+// String renders the report row.
+func (f FootprintReport) String() string {
+	return fmt.Sprintf("%-8s footprint=%12d utilization=%8.6f", f.Name, f.Footprint, f.Utilization)
+}

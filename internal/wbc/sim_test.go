@@ -1,0 +1,200 @@
+package wbc
+
+import (
+	"testing"
+
+	"pairfn/internal/apf"
+)
+
+// TestAccountability is experiment E19: a mixed population (honest,
+// careless, malicious, churning) runs concurrently; the end-of-run full
+// audit must attribute every corrupted result to the volunteer identity
+// that produced it — zero attribution errors.
+func TestAccountability(t *testing.T) {
+	res, c, err := Simulate(SimConfig{
+		Coordinator: Config{
+			APF:         apf.NewTHash(),
+			Workload:    DivisorSum{},
+			AuditRate:   0.25,
+			StrikeLimit: 2,
+			Seed:        99,
+		},
+		Profiles: []Profile{
+			{Name: "honest", Count: 6, ErrorRate: 0, Tasks: 40, Speed: 1},
+			{Name: "careless", Count: 3, ErrorRate: 0.1, Tasks: 40, Speed: 1},
+			{Name: "malicious", Count: 2, ErrorRate: 0.9, Tasks: 40, Speed: 2},
+			{Name: "churner", Count: 2, ErrorRate: 0, Tasks: 30, DepartAfter: 10, Speed: 0.5},
+		},
+		Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AttributionErrors != 0 {
+		t.Fatalf("attribution errors: %d", res.AttributionErrors)
+	}
+	m := res.Metrics
+	if m.Completed == 0 || m.Registered < 13 {
+		t.Fatalf("implausible metrics: %+v", m)
+	}
+	// Malicious volunteers at 90% error with 25% audits and 2 strikes are
+	// overwhelmingly likely to be banned within 40 tasks.
+	if m.Bans == 0 {
+		t.Error("expected at least one ban")
+	}
+	// Every bad result charged must belong to a corrupting profile
+	// (checked via the ground truth maps being populated).
+	total := 0
+	for v, ks := range res.BadByVolunteer {
+		if len(ks) == 0 {
+			continue
+		}
+		if res.Corrupted[v] == nil {
+			t.Errorf("volunteer %d charged but never corrupted", v)
+			continue
+		}
+		total += len(ks)
+	}
+	if total == 0 {
+		t.Error("no bad results recorded — careless/malicious profiles should produce some")
+	}
+	// Footprint must match the ledger.
+	if m.Footprint != int64(c.Ledger().Footprint()) {
+		t.Errorf("metrics footprint %d ≠ ledger %d", m.Footprint, c.Ledger().Footprint())
+	}
+}
+
+// TestSimulateDeterministicGroundTruth re-runs the same seeded simulation
+// and checks aggregate ground truth is reproducible (schedules differ, but
+// per-identity corruption decisions are seeded per slot).
+func TestSimulateDeterministicGroundTruth(t *testing.T) {
+	cfg := SimConfig{
+		Coordinator: Config{
+			APF: apf.NewTStar(), Workload: DivisorSum{}, AuditRate: 0, StrikeLimit: 1, Seed: 3,
+		},
+		Profiles: []Profile{
+			{Name: "careless", Count: 4, ErrorRate: 0.2, Tasks: 25, Speed: 1},
+		},
+		Seed: 11,
+	}
+	r1, _, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(r *SimResult) int {
+		n := 0
+		for _, m := range r.Corrupted {
+			n += len(m)
+		}
+		return n
+	}
+	// With AuditRate 0 nobody is banned, every volunteer completes all 25
+	// tasks, and the per-slot RNG makes corruption counts reproducible.
+	if count(r1) != count(r2) {
+		t.Errorf("ground truth not reproducible: %d vs %d", count(r1), count(r2))
+	}
+	if r1.AttributionErrors != 0 || r2.AttributionErrors != 0 {
+		t.Error("attribution errors in unaudited run")
+	}
+}
+
+// TestFootprintRace runs the same honest population over each APF family
+// and checks the §4 compactness ordering: T<1> ≫ T<3> > T# ≥ T* for 64
+// volunteers × 8 tasks. (T* beats T# only at much larger row counts; here
+// we only require it not be wildly worse.)
+func TestFootprintRace(t *testing.T) {
+	run := func(f apf.APF) int64 {
+		_, c, err := Simulate(SimConfig{
+			Coordinator: Config{APF: f, Workload: Null{}, Seed: 1},
+			Profiles: []Profile{
+				{Name: "honest", Count: 64, ErrorRate: 0, Tasks: 8, Speed: 1},
+			},
+			Seed: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Metrics().Footprint
+	}
+	f1 := run(apf.NewTC(1))
+	f3 := run(apf.NewTC(3))
+	fh := run(apf.NewTHash())
+	fs := run(apf.NewTStar())
+	if !(f1 > 1000*f3) {
+		t.Errorf("T<1> footprint %d should be ≫ T<3>'s %d", f1, f3)
+	}
+	if !(f3 > fh) {
+		t.Errorf("T<3> footprint %d should exceed T#'s %d", f3, fh)
+	}
+	if fs > 4*fh {
+		t.Errorf("T* footprint %d wildly worse than T#'s %d", fs, fh)
+	}
+}
+
+// TestPrimeCountWorkloadEndToEnd runs a small simulation over the real
+// prime-counting workload, with full auditing, to exercise Do-based
+// verification end to end.
+func TestPrimeCountWorkloadEndToEnd(t *testing.T) {
+	res, _, err := Simulate(SimConfig{
+		Coordinator: Config{
+			APF:         apf.NewTHash(),
+			Workload:    PrimeCount{Span: 50},
+			AuditRate:   1.0,
+			StrikeLimit: 1,
+			Seed:        21,
+		},
+		Profiles: []Profile{
+			{Name: "honest", Count: 4, ErrorRate: 0, Tasks: 12, Speed: 1},
+			{Name: "saboteur", Count: 1, ErrorRate: 1.0, Tasks: 12, Speed: 1},
+		},
+		Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Bans != 1 {
+		t.Errorf("saboteur not banned exactly once: %+v", res.Metrics)
+	}
+	if res.AttributionErrors != 0 {
+		t.Errorf("attribution errors: %d", res.AttributionErrors)
+	}
+	if len(res.Banned) != 1 {
+		t.Errorf("banned list: %v", res.Banned)
+	}
+}
+
+// TestAccountabilityUnderRebalance re-runs the mixed population with the
+// front end rebalancing rows mid-flight: attribution must still be exact,
+// because past tasks are covered by seq-range bindings and in-flight tasks
+// by their issue-time binding.
+func TestAccountabilityUnderRebalance(t *testing.T) {
+	res, _, err := Simulate(SimConfig{
+		Coordinator: Config{
+			APF:         apf.NewTHash(),
+			Workload:    DivisorSum{},
+			AuditRate:   0.2,
+			StrikeLimit: 2,
+			Seed:        41,
+		},
+		Profiles: []Profile{
+			{Name: "honest", Count: 5, ErrorRate: 0, Tasks: 30, Speed: 1},
+			{Name: "careless", Count: 3, ErrorRate: 0.15, Tasks: 30, Speed: 2},
+			{Name: "churner", Count: 2, ErrorRate: 0.05, Tasks: 24, DepartAfter: 8, Speed: 0.5},
+		},
+		RebalanceEvery: 10,
+		Seed:           17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AttributionErrors != 0 {
+		t.Fatalf("attribution errors under rebalance: %d", res.AttributionErrors)
+	}
+	if res.Metrics.Completed == 0 {
+		t.Fatal("no work done")
+	}
+}

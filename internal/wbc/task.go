@@ -1,0 +1,79 @@
+// Package wbc implements the Web-Based Computing accountability scheme of
+// §4: volunteers register with a server, repeatedly receive tasks, and
+// return results; an additive pairing function 𝒯 links volunteer v's t-th
+// task to task index 𝒯(v, t), so the server can always answer "who computed
+// task k?" by computing 𝒯⁻¹(k) — a computationally lightweight mechanism
+// for *accountability* (not security): frequently errant volunteers are
+// identified and banned.
+//
+// The package contains the task-allocation coordinator (the APF ledger, the
+// §4 front end that lets volunteers arrive and depart dynamically and keeps
+// faster volunteers on smaller row indices), volunteer behaviour models for
+// simulation (honest, careless, malicious), auditing and banning, and the
+// memory-footprint accounting that motivates compact APFs: with strides
+// S_v, the task table spans max-allocated-index slots, so slowly growing
+// strides keep it small.
+package wbc
+
+import "pairfn/internal/numtheory"
+
+// TaskID is a 1-based index into the task universe — the value of the
+// task-allocation function 𝒯(v, t).
+type TaskID int64
+
+// A Workload defines the semantics of the task universe: what computing
+// task k means and what the correct result is. Results must be
+// deterministic so the server can audit by recomputation.
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Do computes (and returns) the result of task k.
+	Do(k TaskID) int64
+}
+
+// PrimeCount is a verifiable unit of work in the spirit of the
+// distributed-search projects §4 cites (RSA factoring by Web, Intel P2P,
+// FightAIDS@Home): task k counts the primes in the k-th block of Span
+// consecutive integers. Deterministic, embarrassingly parallel, cheap to
+// audit, and impossible to fake without doing the work.
+type PrimeCount struct {
+	// Span is the block width; must be ≥ 1.
+	Span int64
+}
+
+// Name implements Workload.
+func (PrimeCount) Name() string { return "prime-count" }
+
+// Do implements Workload.
+func (w PrimeCount) Do(k TaskID) int64 {
+	span := w.Span
+	if span < 1 {
+		span = 1
+	}
+	lo := (int64(k) - 1) * span
+	return numtheory.CountPrimesSegmented(lo+1, lo+span)
+}
+
+// DivisorSum is an alternative workload: task k returns δ(k), the divisor
+// count. Cheap for moderate indices — but O(√k), so allocation-only
+// experiments over stride-exploding APFs (whose task indices reach 2^60)
+// should use Null instead.
+type DivisorSum struct{}
+
+// Name implements Workload.
+func (DivisorSum) Name() string { return "divisor-sum" }
+
+// Do implements Workload.
+func (DivisorSum) Do(k TaskID) int64 { return numtheory.DivisorCount(int64(k)) }
+
+// Null is the O(1) identity workload: task k's "result" is k. It isolates
+// the allocation/accountability machinery from arithmetic cost — the right
+// choice for footprint races across APF families, where 𝒯^<1> issues task
+// indices near 2^62.
+type Null struct{}
+
+// Name implements Workload.
+func (Null) Name() string { return "null" }
+
+// Do implements Workload.
+func (Null) Do(k TaskID) int64 { return int64(k) }

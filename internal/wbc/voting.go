@@ -1,0 +1,222 @@
+package wbc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// VotingMetrics summarizes a replicated run.
+type VotingMetrics struct {
+	// Decided is the number of logical tasks with an accepted result.
+	Decided int64
+	// AcceptedBad counts decided logical tasks whose accepted result is
+	// wrong — what replication is meant to drive toward zero.
+	AcceptedBad int64
+	// Ties counts logical tasks whose votes had no strict majority; they
+	// are re-replicated.
+	Ties int64
+	// Replicas is the total number of physical tasks issued.
+	Replicas int64
+}
+
+// Voting layers r-way replication with majority voting on top of a
+// Coordinator. The paper's scheme provides *accountability* — after the
+// fact, every bad result names its producer; replication adds *robustness*
+// — bad results are outvoted before acceptance. Each logical task ℓ is
+// computed by r distinct volunteer identities; the physical task indices
+// remain APF-allocated, so attribution of every replica still costs one
+// 𝒯⁻¹. Safe for concurrent use.
+type Voting struct {
+	c     *Coordinator
+	r     int
+	inner Workload // logical-task semantics
+
+	mu sync.Mutex
+	// next is the lowest logical task not yet fully assigned.
+	next int64
+	// logicalOf maps physical (APF-allocated) task index → logical task.
+	logicalOf map[TaskID]int64
+	// assigned[ℓ] = volunteers holding or having computed a replica of ℓ.
+	assigned map[int64]map[VolunteerID]bool
+	// votes[ℓ] = results received so far.
+	votes map[int64][]int64
+	// accepted[ℓ] = majority result, once decided.
+	accepted map[int64]int64
+	// open is the sorted list of logical tasks still needing replicas.
+	open []int64
+	m    VotingMetrics
+}
+
+// NewVoting builds a replicated system from cfg (whose Workload defines
+// *logical* task semantics) and replication factor r ≥ 1. The underlying
+// Coordinator is created internally with a wrapped workload that resolves
+// physical indices to logical tasks, so inline audits recompute the right
+// thing.
+func NewVoting(cfg Config, r int) (*Voting, error) {
+	if r < 1 {
+		return nil, fmt.Errorf("wbc: replication factor %d < 1", r)
+	}
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("wbc: Config.Workload is required")
+	}
+	v := &Voting{
+		r: r, inner: cfg.Workload, next: 1,
+		logicalOf: make(map[TaskID]int64),
+		assigned:  make(map[int64]map[VolunteerID]bool),
+		votes:     make(map[int64][]int64),
+		accepted:  make(map[int64]int64),
+	}
+	cfg.Workload = replicatedWorkload{v: v, inner: cfg.Workload}
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	v.c = c
+	return v, nil
+}
+
+// replicatedWorkload adapts logical-task semantics to the coordinator's
+// physical indices: Do(k) computes the logical task bound to k. Lock
+// order: the coordinator may call Do while holding its own mutex; Do then
+// takes v.mu, and nothing takes the coordinator's mutex while holding
+// v.mu, so the order is acyclic.
+type replicatedWorkload struct {
+	v     *Voting
+	inner Workload
+}
+
+// Name implements Workload.
+func (w replicatedWorkload) Name() string { return w.inner.Name() + "×replicated" }
+
+// Do implements Workload.
+func (w replicatedWorkload) Do(k TaskID) int64 {
+	if l, ok := w.v.Logical(k); ok {
+		return w.inner.Do(TaskID(l))
+	}
+	return w.inner.Do(k)
+}
+
+// Coordinator returns the underlying coordinator (registration, banning
+// and attribution all live there).
+func (v *Voting) Coordinator() *Coordinator { return v.c }
+
+// NextTask issues a physical task to volunteer id and returns both its
+// APF index (the accountability handle) and the logical task to compute.
+// Replicas of one logical task always go to distinct volunteers.
+func (v *Voting) NextTask(id VolunteerID) (TaskID, int64, error) {
+	k, err := v.c.NextTask(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if l, ok := v.logicalOf[k]; ok {
+		// A reissued physical task (churn) keeps its logical binding.
+		return k, l, nil
+	}
+	l, err := v.pickLogicalLocked(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	v.logicalOf[k] = l
+	v.assigned[l][id] = true
+	v.m.Replicas++
+	return k, l, nil
+}
+
+// pickLogicalLocked returns the lowest open logical task not yet touched
+// by id, opening a fresh one if necessary.
+func (v *Voting) pickLogicalLocked(id VolunteerID) (int64, error) {
+	for _, l := range v.open {
+		if !v.assigned[l][id] && len(v.assigned[l]) < v.r {
+			return l, nil
+		}
+	}
+	// Open the next logical task.
+	l := v.next
+	v.next++
+	v.assigned[l] = make(map[VolunteerID]bool, v.r)
+	v.open = append(v.open, l)
+	return l, nil
+}
+
+// Submit records volunteer id's result for physical task k. When the r-th
+// replica of k's logical task arrives, the strict majority result is
+// accepted; a tie re-opens the task for fresh replicas.
+func (v *Voting) Submit(id VolunteerID, k TaskID, result int64) (caught bool, err error) {
+	caught, err = v.c.Submit(id, k, result)
+	if err != nil {
+		return caught, err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	l, ok := v.logicalOf[k]
+	if !ok {
+		return caught, fmt.Errorf("wbc: physical task %d has no logical binding", k)
+	}
+	v.votes[l] = append(v.votes[l], result)
+	if len(v.votes[l]) < v.r {
+		return caught, nil
+	}
+	// Majority vote.
+	counts := make(map[int64]int)
+	for _, r := range v.votes[l] {
+		counts[r]++
+	}
+	best, bestN, tie := int64(0), 0, false
+	for r, n := range counts {
+		switch {
+		case n > bestN:
+			best, bestN, tie = r, n, false
+		case n == bestN:
+			tie = true
+		}
+	}
+	if tie {
+		// Re-open with fresh replicas: clear votes and assignment so new
+		// volunteers re-compute it.
+		v.m.Ties++
+		v.votes[l] = nil
+		v.assigned[l] = make(map[VolunteerID]bool, v.r)
+		return caught, nil
+	}
+	v.accepted[l] = best
+	v.closeLocked(l)
+	v.m.Decided++
+	if v.inner.Do(TaskID(l)) != best {
+		v.m.AcceptedBad++
+	}
+	return caught, nil
+}
+
+// closeLocked removes l from the open list.
+func (v *Voting) closeLocked(l int64) {
+	i := sort.Search(len(v.open), func(i int) bool { return v.open[i] >= l })
+	if i < len(v.open) && v.open[i] == l {
+		v.open = append(v.open[:i], v.open[i+1:]...)
+	}
+}
+
+// Accepted returns the accepted result of logical task l, if decided.
+func (v *Voting) Accepted(l int64) (int64, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	r, ok := v.accepted[l]
+	return r, ok
+}
+
+// Logical returns the logical task bound to physical index k.
+func (v *Voting) Logical(k TaskID) (int64, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	l, ok := v.logicalOf[k]
+	return l, ok
+}
+
+// Metrics returns a snapshot of the voting counters.
+func (v *Voting) Metrics() VotingMetrics {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.m
+}

@@ -1,0 +1,239 @@
+package wbc
+
+import (
+	"math/rand"
+	"testing"
+
+	"pairfn/internal/apf"
+)
+
+// runVoting drives a population of volunteers against a Voting system:
+// each volunteer computes `tasks` replicas, corrupting results at its
+// error rate. Returns the voting metrics.
+func runVoting(t *testing.T, r int, errRates []float64, tasks int, seed int64) VotingMetrics {
+	t.Helper()
+	v, err := NewVoting(Config{
+		APF:      apf.NewTHash(),
+		Workload: DivisorSum{},
+		Seed:     seed,
+	}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := v.Coordinator()
+	type vol struct {
+		id  VolunteerID
+		rng *rand.Rand
+		e   float64
+	}
+	var vols []vol
+	for i, e := range errRates {
+		vols = append(vols, vol{
+			id:  c.Register(1),
+			rng: rand.New(rand.NewSource(seed + int64(i)*7919)),
+			e:   e,
+		})
+	}
+	for step := 0; step < tasks; step++ {
+		for _, w := range vols {
+			k, l, err := v.NextTask(w.id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := DivisorSum{}.Do(TaskID(l))
+			if w.rng.Float64() < w.e {
+				res++
+			}
+			if _, err := v.Submit(w.id, k, res); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return v.Metrics()
+}
+
+// TestVotingReducesAcceptedBad is the replication extension's headline:
+// with a 20%-careless population, accepted-bad results nearly vanish at
+// r = 3 compared to r = 1.
+func TestVotingReducesAcceptedBad(t *testing.T) {
+	rates := []float64{0.1, 0.1, 0.1, 0.1, 0.1, 0.1}
+	m1 := runVoting(t, 1, rates, 90, 11)
+	m3 := runVoting(t, 3, rates, 90, 11)
+	if m1.Decided == 0 || m3.Decided == 0 {
+		t.Fatalf("nothing decided: %+v %+v", m1, m3)
+	}
+	rate1 := float64(m1.AcceptedBad) / float64(m1.Decided)
+	rate3 := float64(m3.AcceptedBad) / float64(m3.Decided)
+	// r = 1 accepts ≈ 10% bad; r = 3 majority needs ≥ 2 of 3 corrupted:
+	// 3·0.01·0.9 + 0.001 ≈ 2.8% — comfortably under half of r = 1's rate.
+	if rate1 < 0.05 {
+		t.Errorf("r=1 accepted-bad rate %v implausibly low", rate1)
+	}
+	if rate3 >= rate1/2 {
+		t.Errorf("r=3 accepted-bad rate %v not ≪ r=1's %v", rate3, rate1)
+	}
+}
+
+// TestVotingAllGoodWithHonestMajority: one saboteur against two honest
+// replicas never corrupts an accepted result.
+func TestVotingAllGoodWithHonestMajority(t *testing.T) {
+	v, err := NewVoting(Config{APF: apf.NewTHash(), Workload: DivisorSum{}, Seed: 5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := v.Coordinator()
+	honest1, honest2 := c.Register(1), c.Register(1)
+	saboteur := c.Register(1)
+	for step := 0; step < 40; step++ {
+		for _, id := range []VolunteerID{honest1, honest2, saboteur} {
+			k, l, err := v.NextTask(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := DivisorSum{}.Do(TaskID(l))
+			if id == saboteur {
+				res = -999
+			}
+			if _, err := v.Submit(id, k, res); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	m := v.Metrics()
+	if m.Decided == 0 {
+		t.Fatal("nothing decided")
+	}
+	if m.AcceptedBad != 0 {
+		t.Errorf("accepted %d bad results despite honest majority", m.AcceptedBad)
+	}
+	if m.Ties != 0 {
+		t.Errorf("unexpected ties: %+v", m)
+	}
+	// Every logical task was decided with the correct value.
+	for l := int64(1); l <= 10; l++ {
+		got, ok := v.Accepted(l)
+		if !ok {
+			t.Fatalf("logical task %d undecided", l)
+		}
+		if want := (DivisorSum{}).Do(TaskID(l)); got != want {
+			t.Errorf("accepted[%d] = %d, want %d", l, got, want)
+		}
+	}
+}
+
+// TestVotingDistinctReplicas: replicas of one logical task go to distinct
+// volunteers.
+func TestVotingDistinctReplicas(t *testing.T) {
+	v, err := NewVoting(Config{APF: apf.NewTHash(), Workload: Null{}, Seed: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := v.Coordinator()
+	a, b := c.Register(1), c.Register(1)
+	seen := map[int64][]VolunteerID{}
+	for step := 0; step < 10; step++ {
+		for _, id := range []VolunteerID{a, b} {
+			k, l, err := v.NextTask(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen[l] = append(seen[l], id)
+			if _, err := v.Submit(id, k, int64(l)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for l, ids := range seen {
+		if len(ids) != 2 || ids[0] == ids[1] {
+			t.Errorf("logical %d replicas: %v", l, ids)
+		}
+	}
+	// Null workload: every decided task is correct.
+	if m := v.Metrics(); m.AcceptedBad != 0 || m.Decided == 0 {
+		t.Errorf("metrics: %+v", m)
+	}
+}
+
+// TestVotingTieReopens: with r = 2 and one always-bad volunteer, every
+// vote ties and tasks are re-replicated (never wrongly decided).
+func TestVotingTieReopens(t *testing.T) {
+	v, err := NewVoting(Config{APF: apf.NewTHash(), Workload: Null{}, Seed: 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := v.Coordinator()
+	good, bad := c.Register(1), c.Register(1)
+	for step := 0; step < 6; step++ {
+		for _, id := range []VolunteerID{good, bad} {
+			k, l, err := v.NextTask(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := int64(l)
+			if id == bad {
+				res = -1
+			}
+			if _, err := v.Submit(id, k, res); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	m := v.Metrics()
+	if m.Ties == 0 {
+		t.Error("expected ties with an always-disagreeing pair")
+	}
+	if m.AcceptedBad != 0 {
+		t.Errorf("ties must not decide badly: %+v", m)
+	}
+}
+
+// TestVotingAuditStillWorks: inline audits on physical tasks recompute the
+// logical value through the wrapped workload, so a saboteur is still
+// banned by the underlying coordinator.
+func TestVotingAuditStillWorks(t *testing.T) {
+	v, err := NewVoting(Config{
+		APF: apf.NewTHash(), Workload: DivisorSum{},
+		AuditRate: 1.0, StrikeLimit: 2, Seed: 9,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := v.Coordinator()
+	good, bad := c.Register(1), c.Register(1)
+	banned := false
+	for step := 0; step < 10 && !banned; step++ {
+		for _, id := range []VolunteerID{good, bad} {
+			k, l, err := v.NextTask(id)
+			if err != nil {
+				if id == bad {
+					banned = true
+					break
+				}
+				t.Fatal(err)
+			}
+			res := DivisorSum{}.Do(TaskID(l))
+			if id == bad {
+				res += 7
+			}
+			if _, err := v.Submit(id, k, res); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !banned && !c.Banned(bad) {
+		t.Error("saboteur not banned despite 100% audits")
+	}
+}
+
+// TestNewVotingValidation covers constructor errors.
+func TestNewVotingValidation(t *testing.T) {
+	if _, err := NewVoting(Config{APF: apf.NewTHash(), Workload: Null{}}, 0); err == nil {
+		t.Error("r = 0 should fail")
+	}
+	if _, err := NewVoting(Config{APF: apf.NewTHash()}, 2); err == nil {
+		t.Error("missing workload should fail")
+	}
+	if _, err := NewVoting(Config{Workload: Null{}}, 2); err == nil {
+		t.Error("missing APF should fail")
+	}
+}

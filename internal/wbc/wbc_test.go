@@ -1,0 +1,377 @@
+package wbc
+
+import (
+	"errors"
+	"testing"
+
+	"pairfn/internal/apf"
+)
+
+func newTestCoordinator(t *testing.T, f apf.APF, auditRate float64, strikes int) *Coordinator {
+	t.Helper()
+	c, err := NewCoordinator(Config{
+		APF:         f,
+		Workload:    DivisorSum{},
+		AuditRate:   auditRate,
+		StrikeLimit: strikes,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestAllocationFollowsAPF checks the core property: volunteer v's t-th
+// task is exactly 𝒯(row(v), t).
+func TestAllocationFollowsAPF(t *testing.T) {
+	f := NewTestAPF()
+	c := newTestCoordinator(t, f, 0, 1)
+	var vols []VolunteerID
+	for i := 0; i < 5; i++ {
+		vols = append(vols, c.Register(1))
+	}
+	for seq := int64(1); seq <= 10; seq++ {
+		for i, v := range vols {
+			k, err := c.NextTask(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			row := int64(i + 1) // registration order gives rows 1..5
+			want, err := f.Encode(row, seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int64(k) != want {
+				t.Fatalf("volunteer %d task %d = %d, want 𝒯(%d, %d) = %d",
+					v, seq, k, row, seq, want)
+			}
+		}
+	}
+}
+
+// NewTestAPF returns 𝒯^# — quadratic strides, good default for tests.
+func NewTestAPF() apf.APF { return apf.NewTHash() }
+
+// TestAttribution checks 𝒯⁻¹-based attribution for every issued task.
+func TestAttribution(t *testing.T) {
+	c := newTestCoordinator(t, NewTestAPF(), 0, 1)
+	v1, v2 := c.Register(1), c.Register(1)
+	owner := make(map[TaskID]VolunteerID)
+	for i := 0; i < 20; i++ {
+		k1, err := c.NextTask(v1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owner[k1] = v1
+		k2, err := c.NextTask(v2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owner[k2] = v2
+	}
+	for k, want := range owner {
+		got, err := c.Attribute(k)
+		if err != nil {
+			t.Fatalf("Attribute(%d): %v", k, err)
+		}
+		if got != want {
+			t.Fatalf("Attribute(%d) = %d, want %d", k, got, want)
+		}
+	}
+	// Never-issued index.
+	if _, err := c.Attribute(TaskID(1 << 40)); !errors.Is(err, ErrUnknownTask) {
+		t.Errorf("Attribute of unissued task: %v", err)
+	}
+}
+
+// TestAuditCatchesAndBans verifies the accountability loop: with 100%
+// auditing, a volunteer submitting bad results is banned at the strike
+// limit and its later operations fail.
+func TestAuditCatchesAndBans(t *testing.T) {
+	c := newTestCoordinator(t, NewTestAPF(), 1.0, 3)
+	v := c.Register(1)
+	strikes := 0
+	for i := 0; i < 10; i++ {
+		k, err := c.NextTask(v)
+		if err != nil {
+			if strikes != 3 {
+				t.Fatalf("cut off after %d strikes, want 3", strikes)
+			}
+			if !errors.Is(err, ErrBanned) {
+				t.Fatalf("expected ErrBanned, got %v", err)
+			}
+			if !c.Banned(v) {
+				t.Error("Banned(v) should be true")
+			}
+			m := c.Metrics()
+			if m.Bans != 1 || m.BadCaught != 3 {
+				t.Errorf("metrics = %+v", m)
+			}
+			return
+		}
+		caught, err := c.Submit(v, k, c.cfg.Workload.Do(k)+1) // always wrong
+		if err != nil {
+			t.Fatal(err)
+		}
+		if caught {
+			strikes++
+		}
+	}
+	t.Fatal("volunteer was never banned")
+}
+
+// TestHonestVolunteerNeverBanned is the complement.
+func TestHonestVolunteerNeverBanned(t *testing.T) {
+	c := newTestCoordinator(t, NewTestAPF(), 1.0, 1)
+	v := c.Register(1)
+	for i := 0; i < 50; i++ {
+		k, err := c.NextTask(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if caught, err := c.Submit(v, k, c.cfg.Workload.Do(k)); err != nil || caught {
+			t.Fatalf("honest submission flagged: %v, %v", caught, err)
+		}
+	}
+	if c.Banned(v) {
+		t.Error("honest volunteer banned")
+	}
+}
+
+// TestDepartureAndRowReuse checks the §4 front end: a departing volunteer's
+// row is inherited by the next arrival, who first receives the departed
+// volunteer's outstanding (fetched, unsubmitted) tasks, with attribution
+// overridden to the new computer.
+func TestDepartureAndRowReuse(t *testing.T) {
+	c := newTestCoordinator(t, NewTestAPF(), 0, 1)
+	v1 := c.Register(1)
+	row1, _ := c.Row(v1)
+	// Fetch two tasks, submit only the first.
+	k1, _ := c.NextTask(v1)
+	k2, _ := c.NextTask(v1)
+	if _, err := c.Submit(v1, k1, c.cfg.Workload.Do(k1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Depart(v1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.NextTask(v1); !errors.Is(err, ErrDeparted) {
+		t.Errorf("departed NextTask: %v", err)
+	}
+	v2 := c.Register(1)
+	row2, _ := c.Row(v2)
+	if row2 != row1 {
+		t.Fatalf("newcomer got row %d, want vacated row %d", row2, row1)
+	}
+	// First task for v2 is the orphaned k2 (a reissue).
+	k, err := c.NextTask(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != k2 {
+		t.Fatalf("reissued task = %d, want %d", k, k2)
+	}
+	if got, _ := c.Attribute(k2); got != v2 {
+		t.Errorf("reissued task attributed to %d, want %d", got, v2)
+	}
+	// k1 remains attributed to the departed v1.
+	if got, _ := c.Attribute(k1); got != v1 {
+		t.Errorf("historical task attributed to %d, want %d", got, v1)
+	}
+	if c.Metrics().Reissues != 1 {
+		t.Errorf("Reissues = %d", c.Metrics().Reissues)
+	}
+}
+
+// TestSubmitValidation rejects submissions for tasks not issued to the
+// submitter.
+func TestSubmitValidation(t *testing.T) {
+	c := newTestCoordinator(t, NewTestAPF(), 0, 1)
+	v1, v2 := c.Register(1), c.Register(1)
+	k, _ := c.NextTask(v1)
+	if _, err := c.Submit(v2, k, 0); !errors.Is(err, ErrNotIssuedToYou) {
+		t.Errorf("cross-submit: %v", err)
+	}
+	if _, err := c.Submit(v1, k+99999, 0); !errors.Is(err, ErrNotIssuedToYou) {
+		t.Errorf("phantom submit: %v", err)
+	}
+	if _, err := c.Submit(VolunteerID(99), k, 0); !errors.Is(err, ErrUnknownVolunteer) {
+		t.Errorf("unknown submit: %v", err)
+	}
+}
+
+// TestRebalanceOrdersBySpeed checks that after Rebalance, completed-task
+// counts are non-increasing in row index, and attribution of past tasks is
+// unchanged.
+func TestRebalanceOrdersBySpeed(t *testing.T) {
+	c := newTestCoordinator(t, NewTestAPF(), 0, 1)
+	slow := c.Register(0.1)
+	fast := c.Register(10)
+	rowSlow0, _ := c.Row(slow)
+	rowFast0, _ := c.Row(fast)
+	if rowSlow0 != 1 || rowFast0 != 2 {
+		t.Fatalf("initial rows: %d, %d", rowSlow0, rowFast0)
+	}
+	// Fast volunteer completes more tasks.
+	pre := make(map[TaskID]VolunteerID)
+	for i := 0; i < 10; i++ {
+		k, _ := c.NextTask(fast)
+		if _, err := c.Submit(fast, k, c.cfg.Workload.Do(k)); err != nil {
+			t.Fatal(err)
+		}
+		pre[k] = fast
+	}
+	k, _ := c.NextTask(slow)
+	if _, err := c.Submit(slow, k, c.cfg.Workload.Do(k)); err != nil {
+		t.Fatal(err)
+	}
+	pre[k] = slow
+	c.Rebalance()
+	rowFast, _ := c.Row(fast)
+	rowSlow, _ := c.Row(slow)
+	if !(rowFast < rowSlow) {
+		t.Errorf("after rebalance: fast row %d, slow row %d", rowFast, rowSlow)
+	}
+	// History intact.
+	for k, want := range pre {
+		if got, err := c.Attribute(k); err != nil || got != want {
+			t.Errorf("post-rebalance Attribute(%d) = %d, %v; want %d", k, got, err, want)
+		}
+	}
+	// New tasks follow the new rows.
+	k2, _ := c.NextTask(fast)
+	row, seq, err := c.Ledger().APF().Decode(int64(k2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row != rowFast {
+		t.Errorf("new task on row %d, want %d (seq %d)", row, rowFast, seq)
+	}
+	if got, _ := c.Attribute(k2); got != fast {
+		t.Errorf("new task attributed to %d", got)
+	}
+}
+
+// TestFootprintMatchesAPFTheory checks the E19 compactness accounting: with
+// V always-on volunteers each doing T tasks, the footprint equals
+// max_v 𝒯(v, T) — so compact APFs yield dramatically smaller task tables.
+func TestFootprintMatchesAPFTheory(t *testing.T) {
+	const V, T = 16, 16
+	families := []apf.APF{apf.NewTC(1), apf.NewTC(3), apf.NewTHash(), apf.NewTStar()}
+	var footprints []int64
+	for _, f := range families {
+		c := newTestCoordinator(t, f, 0, 1)
+		var vols []VolunteerID
+		for i := 0; i < V; i++ {
+			vols = append(vols, c.Register(1))
+		}
+		for seq := 0; seq < T; seq++ {
+			for _, v := range vols {
+				k, err := c.NextTask(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := c.Submit(v, k, c.cfg.Workload.Do(k)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		var want int64
+		for row := int64(1); row <= V; row++ {
+			z, err := f.Encode(row, T)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if z > want {
+				want = z
+			}
+		}
+		got := c.Metrics().Footprint
+		if got != want {
+			t.Errorf("%s: footprint = %d, want max 𝒯(v, %d) = %d", f.Name(), got, T, want)
+		}
+		footprints = append(footprints, got)
+	}
+	// 𝒯^<1> (exponential strides) must be far worse than 𝒯^# and 𝒯^★.
+	if !(footprints[0] > 10*footprints[2]) {
+		t.Errorf("T<1> footprint %d should dwarf T# footprint %d", footprints[0], footprints[2])
+	}
+}
+
+// TestConfigValidation covers constructor errors.
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewCoordinator(Config{Workload: DivisorSum{}}); err == nil {
+		t.Error("missing APF should fail")
+	}
+	if _, err := NewCoordinator(Config{APF: NewTestAPF()}); err == nil {
+		t.Error("missing workload should fail")
+	}
+	if _, err := NewCoordinator(Config{APF: NewTestAPF(), Workload: DivisorSum{}, AuditRate: 1.5}); err == nil {
+		t.Error("bad audit rate should fail")
+	}
+}
+
+// TestWorkloads checks both workloads' determinism and a known value.
+func TestWorkloads(t *testing.T) {
+	pc := PrimeCount{Span: 100}
+	if got := pc.Do(1); got != 25 { // π(100)
+		t.Errorf("PrimeCount block 1 = %d, want 25", got)
+	}
+	if got := pc.Do(2); got != 21 { // primes in (100, 200]
+		t.Errorf("PrimeCount block 2 = %d, want 21", got)
+	}
+	if pc.Do(7) != pc.Do(7) {
+		t.Error("workload must be deterministic")
+	}
+	if (PrimeCount{}).Do(1) != 0 { // span defaults to 1; block 1 is {1}
+		t.Error("degenerate span")
+	}
+	if (DivisorSum{}).Do(12) != 6 {
+		t.Error("δ(12) = 6")
+	}
+}
+
+// TestReport checks the roster view against driven state.
+func TestReport(t *testing.T) {
+	c := newTestCoordinator(t, NewTestAPF(), 1.0, 1)
+	honest := c.Register(1)
+	saboteur := c.Register(1)
+	leaver := c.Register(1)
+	for i := 0; i < 3; i++ {
+		k, err := c.NextTask(honest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Submit(honest, k, c.cfg.Workload.Do(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k, _ := c.NextTask(saboteur)
+	if _, err := c.Submit(saboteur, k, -1); err != nil { // audited at 100%, banned at 1 strike
+		t.Fatal(err)
+	}
+	if _, err := c.NextTask(leaver); err != nil { // leaves one outstanding
+		t.Fatal(err)
+	}
+	if err := c.Depart(leaver); err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Report()
+	if len(rep) != 3 {
+		t.Fatalf("report rows: %d", len(rep))
+	}
+	if r := rep[0]; r.ID != honest || r.Completed != 3 || r.Banned || r.Outstanding != 0 {
+		t.Errorf("honest row: %+v", r)
+	}
+	if r := rep[1]; r.ID != saboteur || !r.Banned || r.Strikes != 1 || r.Row != -1 {
+		t.Errorf("saboteur row: %+v", r)
+	}
+	if r := rep[2]; r.ID != leaver || !r.Departed || r.Row != -1 {
+		t.Errorf("leaver row: %+v", r)
+	}
+	// The leaver's outstanding task became an orphan, not an outstanding.
+	if rep[2].Outstanding != 0 {
+		t.Errorf("departed volunteer keeps outstanding: %+v", rep[2])
+	}
+}
