@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	wbcserver -addr :8080 -apf T# -audit 0.25 -strikes 2 -span 1000
+//	wbcserver -addr :8080 -apf T# -audit 0.25 -strikes 2 -span 1000 \
+//	          -drain 10s [-pprof]
 //
 // Then, from any HTTP client:
 //
@@ -13,29 +14,54 @@
 //	curl -X POST localhost:8080/next     -d '{"volunteer":1}'
 //	curl -X POST localhost:8080/submit   -d '{"volunteer":1,"task":3,"result":168}'
 //	curl 'localhost:8080/attribute?task=3'
-//	curl  localhost:8080/metrics
+//	curl localhost:8080/metrics                                   # Prometheus text
+//	curl -H 'Accept: application/json' localhost:8080/metrics     # legacy JSON
+//	curl localhost:8080/healthz
+//	curl localhost:8080/readyz
+//
+// The server exposes per-endpoint request/latency metrics, coordinator
+// operation counters and APF encode/decode counters on /metrics, liveness
+// on /healthz, and readiness on /readyz. On SIGINT/SIGTERM it flips
+// /readyz to 503, drains in-flight requests for up to -drain, and exits 0
+// on a clean drain (1 if the drain deadline expires with requests still in
+// flight). With -pprof, the net/http/pprof profiling handlers are mounted
+// under /debug/pprof/.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"pairfn/internal/apf"
+	"pairfn/internal/obs"
 	"pairfn/internal/wbc"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	addr := flag.String("addr", ":8080", "listen address")
 	apfName := flag.String("apf", "T#", "task-allocation APF (T<1> T<2> T<3> T# T[2] T*)")
 	audit := flag.Float64("audit", 0.25, "inline audit probability")
 	strikes := flag.Int("strikes", 2, "strikes before ban")
 	span := flag.Int64("span", 1000, "prime-count block width")
 	seed := flag.Int64("seed", time.Now().UnixNano()%1e9, "audit sampling seed")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 	var f apf.APF
 	switch *apfName {
@@ -53,25 +79,79 @@ func main() {
 		f = apf.NewTStar()
 	default:
 		fmt.Fprintf(os.Stderr, "wbcserver: unknown APF %q\n", *apfName)
-		os.Exit(2)
+		return 2
 	}
 
+	reg := obs.NewRegistry()
+	ready := obs.NewFlag(true)
 	c, err := wbc.NewCoordinator(wbc.Config{
 		APF:         f,
 		Workload:    wbc.PrimeCount{Span: *span},
 		AuditRate:   *audit,
 		StrikeLimit: *strikes,
 		Seed:        *seed,
+		Obs:         reg,
 	})
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("coordinator", "err", err)
+		return 1
 	}
-	log.Printf("wbcserver: serving %s tasks via %s on %s (audit %.2f, strikes %d)",
-		"prime-count", f.Name(), *addr, *audit, *strikes)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", wbc.NewObservedHandler(c, wbc.ServerOptions{
+		Registry: reg,
+		Logger:   logger,
+		Ready:    ready,
+	}))
+	if *pprofOn {
+		// Mounted explicitly: importing net/http/pprof only registers on
+		// http.DefaultServeMux, which this server does not use.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           wbc.NewHTTPHandler(c),
+		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Fatal(srv.ListenAndServe())
+
+	logger.Info("serving",
+		"workload", "prime-count", "apf", f.Name(), "addr", *addr,
+		"audit", *audit, "strikes", *strikes, "pprof", *pprofOn)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		// ListenAndServe only returns pre-shutdown on a real failure
+		// (port in use, listener error) — never ErrServerClosed here.
+		logger.Error("listen", "err", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills hard
+
+	// Drain: stop admitting (load balancers see /readyz go 503 first),
+	// then let in-flight requests finish within the deadline.
+	ready.Set(false)
+	logger.Info("shutdown: draining", "timeout", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		logger.Error("shutdown: drain incomplete", "err", err)
+		return 1
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("serve", "err", err)
+		return 1
+	}
+	logger.Info("shutdown: clean")
+	return 0
 }

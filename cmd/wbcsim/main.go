@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"pairfn/internal/apf"
+	"pairfn/internal/obs"
 	"pairfn/internal/wbc"
 )
 
@@ -51,6 +52,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	footprints := flag.Bool("footprints", false, "only run the APF footprint race")
 	replicate := flag.Int("replicate", 0, "run the r-way replication/voting comparison instead")
+	dumpMetrics := flag.Bool("dumpmetrics", false, "print a final Prometheus metrics dump after the simulation")
 	flag.Parse()
 
 	if *footprints {
@@ -64,6 +66,13 @@ func main() {
 
 	f, err := lookupAPF(*apfName)
 	die(err)
+	// With -dumpmetrics the whole run is instrumented — coordinator ops,
+	// latency histograms, APF encode/decode counts — and dumped at the
+	// end in the same exposition format wbcserver scrapes serve.
+	var reg *obs.Registry
+	if *dumpMetrics {
+		reg = obs.NewRegistry()
+	}
 	res, c, err := wbc.Simulate(wbc.SimConfig{
 		Coordinator: wbc.Config{
 			APF:         f,
@@ -71,6 +80,7 @@ func main() {
 			AuditRate:   *audit,
 			StrikeLimit: *strikes,
 			Seed:        *seed,
+			Obs:         reg,
 		},
 		Profiles: []wbc.Profile{
 			{Name: "honest", Count: *honest, ErrorRate: 0, Tasks: *tasks, Speed: 1},
@@ -110,6 +120,11 @@ func main() {
 		}
 		fmt.Printf("    volunteer %3d  row %3d  completed %4d  strikes %d  %s\n",
 			r.ID, r.Row, r.Completed, r.Strikes, status)
+	}
+	if reg != nil {
+		wbc.RegisterCoordinatorMetrics(c, reg)
+		fmt.Println("\n# final metrics (Prometheus text exposition)")
+		die(reg.WritePrometheus(os.Stdout))
 	}
 }
 

@@ -1,27 +1,3 @@
-// Package apf implements the additive pairing functions (APFs) of §4 of
-// Rosenberg's "Efficient Pairing Functions — and Why You Should Care"
-// (IPPS 2002): bijections 𝒯 between N×N and N in which each row x is an
-// arithmetic progression,
-//
-//	𝒯(x, y) = B_x + (y−1)·S_x,
-//
-// with base row-entry B_x and stride S_x. In the paper's Web-computing
-// application, row x is a volunteer, y is the sequence number of a task, and
-// 𝒯(x, y) is the task index — so 𝒯, 𝒯⁻¹ and the strides must all be easy to
-// compute, and slow-growing strides make the task table compact.
-//
-// The package implements Procedure APF-Constructor (built on Lemma 4.1)
-// generically for an arbitrary copy-index function κ(g), plus the paper's
-// explicit families: 𝒯^<c> (equal-size groups, §4.2.1), 𝒯^# (κ(g)=g,
-// §4.2.2), 𝒯^[k] (κ(g)=g^k) and 𝒯^★ (κ(g)=⌈g²/2⌉) (§4.2.3), and the
-// cautionary κ(g)=2^g family whose strides grow superquadratically.
-//
-// Rows, columns and addresses are 1-based; group indices g are 0-based as
-// in the paper. Fast-growing κ put group fronts beyond int64 within a few
-// groups (e.g. group 9 of 𝒯^[2] starts past 2^64), so the group-start table
-// is kept exactly as big.Ints; the int64 Encode/Decode fast paths report
-// ErrOverflow where a value leaves int64 range, and the *Big methods are
-// total (up to a sanity cap on materializing astronomically large strides).
 package apf
 
 import (

@@ -1,0 +1,62 @@
+package apf
+
+import "pairfn/internal/obs"
+
+// Instrumented wraps an APF, counting Encode/Decode calls and errors in an
+// obs registry. The overhead per call is one nil-checked atomic add plus
+// an error branch — a few nanoseconds, small against even the cheapest
+// family's table lookup — so production services (internal/wbc) can leave
+// instrumentation permanently enabled. Base, Stride, Group, Name and the
+// *Big methods pass through uncounted: they are setup/analysis paths, not
+// the per-task hot path §4 cares about.
+type Instrumented struct {
+	APF
+	encodes, decodes, errs *obs.Counter
+}
+
+// Instrument wraps f with call counters registered in r as
+//
+//	apf_encode_total{apf="<name>"}
+//	apf_decode_total{apf="<name>"}
+//	apf_errors_total{apf="<name>"}
+//
+// A nil registry returns f unwrapped, so callers can thread an optional
+// registry without branching.
+func Instrument(f APF, r *obs.Registry) APF {
+	if r == nil {
+		return f
+	}
+	r.Help("apf_encode_total", "APF Encode calls (task-index computations).")
+	r.Help("apf_decode_total", "APF Decode calls (attribution inversions).")
+	r.Help("apf_errors_total", "APF Encode/Decode calls that returned an error.")
+	name := obs.L("apf", f.Name())
+	return &Instrumented{
+		APF:     f,
+		encodes: r.Counter("apf_encode_total", name),
+		decodes: r.Counter("apf_decode_total", name),
+		errs:    r.Counter("apf_errors_total", name),
+	}
+}
+
+// Unwrap returns the underlying APF.
+func (ia *Instrumented) Unwrap() APF { return ia.APF }
+
+// Encode counts the call (and any error) and defers to the wrapped APF.
+func (ia *Instrumented) Encode(x, y int64) (int64, error) {
+	z, err := ia.APF.Encode(x, y)
+	ia.encodes.Inc()
+	if err != nil {
+		ia.errs.Inc()
+	}
+	return z, err
+}
+
+// Decode counts the call (and any error) and defers to the wrapped APF.
+func (ia *Instrumented) Decode(z int64) (x, y int64, err error) {
+	x, y, err = ia.APF.Decode(z)
+	ia.decodes.Inc()
+	if err != nil {
+		ia.errs.Inc()
+	}
+	return x, y, err
+}

@@ -1,0 +1,37 @@
+// Package core implements the pairing functions of Rosenberg's "Efficient
+// Pairing Functions — and Why You Should Care" (IPPS 2002): bijections
+// between N×N and N (N = positive integers) together with the injective
+// storage mappings derived from them.
+//
+// The package provides:
+//
+//   - the Cauchy–Cantor diagonal PF 𝒟 (eq. 2.1) and its twin,
+//   - the square-shell PF 𝒜₁,₁ (eq. 3.3) and its clockwise twin,
+//   - the aspect-ratio PFs 𝒜_{a,b} with perfect compactness (eq. 3.2),
+//   - the dovetail combinator of §3.2.2,
+//   - the hyperbolic PF ℋ with optimal Θ(n log n) spread (eq. 3.4),
+//   - the generic Procedure PF-Constructor of §3.1 (Theorem 3.1),
+//   - row-/column-major baselines for comparison, and
+//   - Morton (Z-order) and Hilbert curves as locality baselines beyond
+//     the paper's text.
+//
+// All coordinates and addresses are 1-based, matching the paper's
+// convention N = {1, 2, 3, …}.
+//
+// # Overflow
+//
+// All arithmetic is exact: Encode returns ErrOverflow rather than a
+// wrapped or saturated value when the address does not fit in int64, and
+// Decode returns ErrDomain for arguments outside N. No floating point
+// participates in any load-bearing computation — a PF is a bijection, and
+// a single rounding error destroys bijectivity. BigPF provides math/big
+// variants where values beyond int64 are needed.
+//
+// # Concurrency
+//
+// Every PF value in this package is stateless (or holds only immutable
+// configuration fixed at construction), so all Encode/Decode/Name calls
+// are safe for concurrent use without synchronization. InstrumentPF wraps
+// a PF with lock-free atomic call counters (internal/obs) and preserves
+// this property.
+package core

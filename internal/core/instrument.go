@@ -1,0 +1,59 @@
+package core
+
+import "pairfn/internal/obs"
+
+// InstrumentedPF wraps a PF, counting Encode/Decode calls and errors in an
+// obs registry — the storage-mapping analogue of apf.Instrument, for
+// services that address extendible arrays (§3) rather than task tables
+// (§4). Overhead is one nil-checked atomic add plus an error branch per
+// call.
+type InstrumentedPF struct {
+	PF
+	encodes, decodes, errs *obs.Counter
+}
+
+// InstrumentPF wraps f with call counters registered in r as
+//
+//	pf_encode_total{pf="<name>"}
+//	pf_decode_total{pf="<name>"}
+//	pf_errors_total{pf="<name>"}
+//
+// A nil registry returns f unwrapped.
+func InstrumentPF(f PF, r *obs.Registry) PF {
+	if r == nil {
+		return f
+	}
+	r.Help("pf_encode_total", "PF Encode calls (address computations).")
+	r.Help("pf_decode_total", "PF Decode calls (address inversions).")
+	r.Help("pf_errors_total", "PF Encode/Decode calls that returned an error.")
+	name := obs.L("pf", f.Name())
+	return &InstrumentedPF{
+		PF:      f,
+		encodes: r.Counter("pf_encode_total", name),
+		decodes: r.Counter("pf_decode_total", name),
+		errs:    r.Counter("pf_errors_total", name),
+	}
+}
+
+// Unwrap returns the underlying PF.
+func (ip *InstrumentedPF) Unwrap() PF { return ip.PF }
+
+// Encode counts the call (and any error) and defers to the wrapped PF.
+func (ip *InstrumentedPF) Encode(x, y int64) (int64, error) {
+	z, err := ip.PF.Encode(x, y)
+	ip.encodes.Inc()
+	if err != nil {
+		ip.errs.Inc()
+	}
+	return z, err
+}
+
+// Decode counts the call (and any error) and defers to the wrapped PF.
+func (ip *InstrumentedPF) Decode(z int64) (x, y int64, err error) {
+	x, y, err = ip.PF.Decode(z)
+	ip.decodes.Inc()
+	if err != nil {
+		ip.errs.Inc()
+	}
+	return x, y, err
+}

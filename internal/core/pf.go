@@ -1,21 +1,3 @@
-// Package core implements the pairing functions of Rosenberg's "Efficient
-// Pairing Functions — and Why You Should Care" (IPPS 2002): bijections
-// between N×N and N (N = positive integers) together with the injective
-// storage mappings derived from them.
-//
-// The package provides:
-//
-//   - the Cauchy–Cantor diagonal PF 𝒟 (eq. 2.1) and its twin,
-//   - the square-shell PF 𝒜₁,₁ (eq. 3.3) and its clockwise twin,
-//   - the aspect-ratio PFs 𝒜_{a,b} with perfect compactness (eq. 3.2),
-//   - the dovetail combinator of §3.2.2,
-//   - the hyperbolic PF ℋ with optimal Θ(n log n) spread (eq. 3.4),
-//   - the generic Procedure PF-Constructor of §3.1 (Theorem 3.1), and
-//   - row-/column-major baselines for comparison.
-//
-// All coordinates and addresses are 1-based, matching the paper's
-// convention N = {1, 2, 3, …}. Encode returns ErrOverflow rather than a
-// wrapped value when the exact address does not fit in int64.
 package core
 
 import (

@@ -1,0 +1,25 @@
+// Package extarray implements dynamically extendible two-dimensional
+// arrays/tables (§3): the programmer may expand and shrink them at run
+// time. When the storage mapping is a pairing function, positions
+// unaffected by a reshaping are never remapped — growing an r×c array by a
+// row or a column moves zero elements — whereas the naive row-major scheme
+// used by the language processors the paper criticizes remaps the whole
+// array, doing Ω(n²) work to accommodate O(n) changes (§3, §1).
+//
+// The package also accounts for the storage cost of PF-based mapping: the
+// footprint (largest address used) is exactly the spread S_A of eq. 3.1
+// applied to the positions actually touched, which is what §3.2's compact
+// PFs minimize. Beyond the flat PF-addressed array it provides dense and
+// hash-table backings, snapshots, row/column views, k-dimensional arrays
+// via iterated pairing (internal/tuple), and the naive remap-on-reshape
+// baseline.
+//
+// # Overflow and concurrency
+//
+// Addresses are computed by the underlying storage mapping and inherit its
+// exact-int64 contract: a reshape or access whose address would overflow
+// int64 surfaces the mapping's ErrOverflow instead of wrapping. Plain
+// Array/Table values are not safe for concurrent mutation; wrap them in
+// Sync (an RWMutex'd Table, with reshapes acting as write barriers) for
+// concurrent workers. Snapshots are immutable once taken.
+package extarray

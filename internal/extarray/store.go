@@ -1,15 +1,3 @@
-// Package extarray implements dynamically extendible two-dimensional
-// arrays/tables (§3): the programmer may expand and shrink them at run
-// time. When the storage mapping is a pairing function, positions
-// unaffected by a reshaping are never remapped — growing an r×c array by a
-// row or a column moves zero elements — whereas the naive row-major scheme
-// used by the language processors the paper criticizes remaps the whole
-// array, doing Ω(n²) work to accommodate O(n) changes (§3, §1).
-//
-// The package also accounts for the storage cost of PF-based mapping: the
-// footprint (largest address used) is exactly the spread S_A of eq. 3.1
-// applied to the positions actually touched, which is what §3.2's compact
-// PFs minimize.
 package extarray
 
 // A Store is an address-indexed backing memory for array elements.

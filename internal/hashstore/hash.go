@@ -1,23 +1,3 @@
-// Package hashstore implements the §3-aside alternative to PF storage
-// mappings: when an extendible array/table is accessed *only by position*,
-// hashing beats any pairing function's spread. The aside cites
-// Rosenberg–Stockmeyer (J. ACM 1977), whose schemes use fewer than 2n
-// memory locations for an n-position table of any aspect ratio, with O(1)
-// expected and O(log log n) worst-case access time.
-//
-// We provide two modern stand-ins that preserve the claims the paper uses
-// the aside for (documented as a substitution in DESIGN.md):
-//
-//   - Open: open-addressing with load factor kept in [1/2, 4/5], hence
-//     fewer than 2n slots and O(1) expected probes;
-//   - TwoLevel: an FKS-style two-level table with collision-free buckets,
-//     hence O(1) worst-case probes per lookup (amortized rebuilds), at
-//     O(n) slots.
-//
-// Both are keyed directly by position ⟨x, y⟩, need no pairing function, and
-// are oblivious to aspect ratio — which is exactly the trade-off the aside
-// describes: compact constant-time access, but no address arithmetic, no
-// row/column locality and no block access.
 package hashstore
 
 // Position is a 1-based array position.

@@ -1,0 +1,24 @@
+// Package numtheory provides the elementary number-theoretic substrate used
+// throughout pairfn: exact integer square roots and logarithms,
+// overflow-checked arithmetic on int64, divisor counting and enumeration,
+// the divisor summatory function computed by the Dirichlet hyperbola method
+// (the D(n) of §3.2.3's spread bound), and prime sieves (simple and
+// segmented) with factorization — the arithmetic behind the hyperbolic PF
+// ℋ (eq. 3.4) and the WBC prime-counting workload (§4).
+//
+// # Overflow
+//
+// Everything operates on exact integers (int64 fast paths, math/big where
+// noted) because pairing functions are bijections: a single off-by-one or a
+// silent overflow destroys bijectivity, so no floating point is used in any
+// load-bearing computation. The checked-arithmetic helpers report overflow
+// explicitly instead of wrapping, and the isqrt/ilog functions are exact
+// for the full int64 range.
+//
+// # Concurrency
+//
+// Every function in the package is pure — no package-level mutable state,
+// no caches — and therefore safe for concurrent use without
+// synchronization. Slices returned by SievePrimes, Factor and the divisor
+// enumerators are fresh allocations owned by the caller.
+package numtheory

@@ -1,13 +1,3 @@
-// Package numtheory provides the elementary number-theoretic substrate used
-// throughout pairfn: exact integer square roots and logarithms,
-// overflow-checked arithmetic on int64, divisor counting and enumeration,
-// the divisor summatory function computed by the Dirichlet hyperbola method,
-// and a small prime sieve with factorization.
-//
-// Everything operates on exact integers (int64 fast paths, math/big where
-// noted) because pairing functions are bijections: a single off-by-one or a
-// silent overflow destroys bijectivity, so no floating point is used in any
-// load-bearing computation.
 package numtheory
 
 import (

@@ -1,0 +1,40 @@
+// Package obs is the dependency-free observability substrate of pairfn: a
+// metrics registry of atomic counters, gauges and fixed-bucket latency
+// histograms, a Prometheus text-format exposition writer, and HTTP server
+// middleware that records per-endpoint request counts, status classes, an
+// in-flight gauge and latency histograms.
+//
+// The package exists for the §4 Web-Based Computing deployment
+// (internal/wbc, cmd/wbcserver): Rosenberg's accountability argument is an
+// auditing/attribution story, and an auditable service must be observable —
+// encode/decode hot paths, task issuance and banning are all instrumented
+// through this registry so that the stride/crossover trade-offs of §4.2
+// remain measurable in production, not only in benchmarks.
+//
+// Design constraints, in order:
+//
+//   - stdlib only — the repo has no external dependencies and this package
+//     keeps it that way (no Prometheus client library; the text exposition
+//     format is implemented directly);
+//   - hot-path cost — recording a counter is one atomic add (a few ns), a
+//     histogram observation is a binary search over ≤ 16 bounds plus two
+//     atomic adds and one CAS loop for the float sum, so instrumentation
+//     can sit on apf.Encode/Decode without distorting what it measures;
+//   - nil safety — every metric method is a no-op on a nil receiver and
+//     every Registry constructor method returns nil from a nil registry, so
+//     instrumented code needs no "is observability on?" branches.
+//
+// Concurrency: all metric mutators (Counter.Inc/Add, Gauge.Set/Add,
+// Histogram.Observe, Flag.Set) are lock-free atomics, safe for concurrent
+// use. Registry lookups (Counter/Gauge/Histogram) take a mutex and are
+// intended to run once at wiring time, with the returned pointers kept;
+// WritePrometheus takes the same mutex and sees a consistent family set but
+// reads live values, so a scrape concurrent with traffic may observe a
+// histogram whose sum is fractionally ahead of its buckets — standard for
+// lock-free instrumentation and harmless to rate() arithmetic.
+//
+// Overflow: counters and gauges are int64; at one increment per nanosecond
+// a counter wraps after ~292 years, which is accepted. Histogram bucket
+// counts are int64 with the same property; the sum is a float64 and loses
+// integer precision beyond 2^53 observations-worth of magnitude.
+package obs

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DefDurationBuckets are the default latency bucket upper bounds, in
+// seconds: 100µs … 5s in a 1-2.5-5 progression. They cover everything from
+// an in-memory coordinator call served from the same host to a slow scrape
+// over a congested link; observations above 5s land in the implicit +Inf
+// bucket.
+var DefDurationBuckets = []float64{
+	0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5,
+}
+
+// A Histogram counts observations into fixed buckets — Prometheus
+// classic-histogram semantics: bucket i holds observations v with
+// v ≤ bounds[i] (cumulated at exposition time), plus a +Inf bucket, a
+// total count and a float64 sum. Observe is lock-free and safe for
+// concurrent use; all methods are no-ops (or zero) on a nil receiver.
+type Histogram struct {
+	bounds  []float64 // strictly increasing upper bounds; +Inf implicit
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Uint64 // float64 bits, updated by CAS
+}
+
+// newHistogram builds a histogram over bounds (copied; must be strictly
+// increasing — enforced by sorting and deduplicating, so a sloppy caller
+// degrades gracefully rather than corrupting exposition).
+func newHistogram(bounds []float64) *Histogram {
+	bs := make([]float64, 0, len(bounds))
+	bs = append(bs, bounds...)
+	sort.Float64s(bs)
+	uniq := bs[:0]
+	for i, b := range bs {
+		if math.IsInf(b, 0) || math.IsNaN(b) {
+			continue
+		}
+		if i > 0 && len(uniq) > 0 && b == uniq[len(uniq)-1] {
+			continue
+		}
+		uniq = append(uniq, b)
+	}
+	return &Histogram{bounds: uniq, buckets: make([]atomic.Int64, len(uniq)+1)}
+}
+
+// Observe records v. NaN observations are dropped.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	// First bound ≥ v is the owning bucket (le is inclusive); values above
+	// every bound land in the trailing +Inf bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Snapshot returns the bucket upper bounds and the cumulative count at or
+// below each bound; the final element of counts is the total (the +Inf
+// bucket). Both slices are fresh copies.
+func (h *Histogram) Snapshot() (bounds []float64, counts []int64) {
+	if h == nil {
+		return nil, nil
+	}
+	bounds = append(bounds, h.bounds...)
+	counts = make([]int64, len(h.buckets))
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		counts[i] = cum
+	}
+	return bounds, counts
+}

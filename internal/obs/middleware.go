@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// MiddlewareConfig parameterizes Middleware.
+type MiddlewareConfig struct {
+	// Registry receives the metrics; nil disables metric recording (the
+	// middleware still logs).
+	Registry *Registry
+	// Logger, when non-nil, emits one structured line per request
+	// (method, path, status, bytes, duration).
+	Logger *slog.Logger
+	// PathLabel maps a request to the value of the path label, bounding
+	// label cardinality (raw URL paths from the open internet would mint
+	// one time series per scanned path). Nil uses r.URL.Path verbatim —
+	// only safe behind a fixed route set.
+	PathLabel func(*http.Request) string
+}
+
+// Middleware wraps next, recording per-request metrics into cfg.Registry:
+//
+//	http_requests_total{path,code}           counter (code is the status
+//	                                         class: "2xx" … "5xx")
+//	http_in_flight_requests                  gauge, +1 for each request
+//	                                         being served right now
+//	http_request_duration_seconds{path}      histogram of wall time
+//	http_response_bytes_total{path}          counter of body bytes written
+//
+// and, when cfg.Logger is set, logging one line per completed request.
+func Middleware(cfg MiddlewareConfig, next http.Handler) http.Handler {
+	reg := cfg.Registry
+	reg.Help("http_requests_total", "HTTP requests served, by path and status class.")
+	reg.Help("http_in_flight_requests", "HTTP requests currently being served.")
+	reg.Help("http_request_duration_seconds", "HTTP request latency, by path.")
+	reg.Help("http_response_bytes_total", "HTTP response body bytes written, by path.")
+	inFlight := reg.Gauge("http_in_flight_requests")
+	pathLabel := cfg.PathLabel
+	if pathLabel == nil {
+		pathLabel = func(r *http.Request) string { return r.URL.Path }
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		inFlight.Inc()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		inFlight.Dec()
+		elapsed := time.Since(start)
+		path := pathLabel(r)
+		status := sw.Status()
+		reg.Counter("http_requests_total", L("path", path), L("code", statusClass(status))).Inc()
+		reg.Counter("http_response_bytes_total", L("path", path)).Add(sw.bytes)
+		reg.Histogram("http_request_duration_seconds", DefDurationBuckets, L("path", path)).Observe(elapsed.Seconds())
+		if cfg.Logger != nil {
+			cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", status),
+				slog.Int64("bytes", sw.bytes),
+				slog.Duration("duration", elapsed),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
+	})
+}
+
+// statusClass maps an HTTP status to its Prometheus-conventional class
+// label.
+func statusClass(status int) string {
+	switch {
+	case status >= 100 && status < 200:
+		return "1xx"
+	case status < 300:
+		return "2xx"
+	case status < 400:
+		return "3xx"
+	case status < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// statusWriter records the status code and body size of a response. It
+// forwards Flush so streaming handlers keep working behind the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+// Status returns the written status, defaulting to 200 when the handler
+// never called WriteHeader (net/http's implicit behaviour).
+func (w *statusWriter) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

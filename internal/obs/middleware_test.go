@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestMiddlewareStatusClasses(t *testing.T) {
+	r := NewRegistry()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("fine"))
+	})
+	mux.HandleFunc("/teapot", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "short and stout", http.StatusTeapot)
+	})
+	mux.HandleFunc("/boom", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	})
+	srv := httptest.NewServer(Middleware(MiddlewareConfig{Registry: r}, mux))
+	defer srv.Close()
+
+	for path, n := range map[string]int{"/ok": 3, "/teapot": 2, "/boom": 1, "/nope": 1} {
+		for i := 0; i < n; i++ {
+			resp, err := http.Get(srv.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+	}
+	checks := map[string]int64{
+		`http_requests_total{code="2xx",path="/ok"}`:     3,
+		`http_requests_total{code="4xx",path="/teapot"}`: 2,
+		`http_requests_total{code="5xx",path="/boom"}`:   1,
+		`http_requests_total{code="4xx",path="/nope"}`:   1, // mux 404
+	}
+	out := expo(t, r)
+	for line, want := range checks {
+		if !strings.Contains(out, line+" "+strconv.FormatInt(want, 10)) {
+			t.Errorf("missing %q = %d in:\n%s", line, want, out)
+		}
+	}
+	if !strings.Contains(out, `http_response_bytes_total{path="/ok"} 12`) { // 3 × "fine"
+		t.Errorf("response bytes not recorded:\n%s", out)
+	}
+}
+
+// TestMiddlewareInFlight: the in-flight gauge must be 1 while a request is
+// being served and return to 0 afterwards.
+func TestMiddlewareInFlight(t *testing.T) {
+	r := NewRegistry()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	h := Middleware(MiddlewareConfig{Registry: r}, http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(entered)
+		<-release
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.Get(srv.URL + "/slow")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+	if got := r.Gauge("http_in_flight_requests").Value(); got != 1 {
+		t.Errorf("in-flight during request = %d, want 1", got)
+	}
+	close(release)
+	<-done
+	if got := r.Gauge("http_in_flight_requests").Value(); got != 0 {
+		t.Errorf("in-flight after request = %d, want 0", got)
+	}
+}
+
+// TestMiddlewareHistogram: every request lands in exactly one histogram
+// bucket and the +Inf bucket equals the request count.
+func TestMiddlewareHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := Middleware(MiddlewareConfig{Registry: r}, http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	const n = 5
+	for i := 0; i < n; i++ {
+		resp, err := http.Get(srv.URL + "/fast")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	hist := r.Histogram("http_request_duration_seconds", DefDurationBuckets, L("path", "/fast"))
+	if hist.Count() != n {
+		t.Fatalf("histogram count = %d, want %d", hist.Count(), n)
+	}
+	_, counts := hist.Snapshot()
+	if got := counts[len(counts)-1]; got != n {
+		t.Errorf("+Inf cumulative bucket = %d, want %d", got, n)
+	}
+	// Cumulative counts must be non-decreasing.
+	for i := 1; i < len(counts); i++ {
+		if counts[i] < counts[i-1] {
+			t.Errorf("cumulative counts decrease: %v", counts)
+			break
+		}
+	}
+	if hist.Sum() <= 0 {
+		t.Errorf("histogram sum = %v, want > 0", hist.Sum())
+	}
+}
+
+func TestMiddlewarePathLabelBoundsCardinality(t *testing.T) {
+	r := NewRegistry()
+	h := Middleware(MiddlewareConfig{
+		Registry:  r,
+		PathLabel: func(*http.Request) string { return "other" },
+	}, http.NotFoundHandler())
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	for _, p := range []string{"/a", "/b", "/c"} {
+		resp, err := http.Get(srv.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	out := expo(t, r)
+	if !strings.Contains(out, `http_requests_total{code="4xx",path="other"} 3`) {
+		t.Errorf("normalized path label missing:\n%s", out)
+	}
+	if strings.Contains(out, `path="/a"`) {
+		t.Errorf("raw path leaked into labels:\n%s", out)
+	}
+}
+
+func TestMiddlewareLogsRequests(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	h := Middleware(MiddlewareConfig{Logger: logger}, http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "nope", http.StatusForbidden)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/submit", nil))
+	line := buf.String()
+	for _, want := range []string{"msg=request", "method=POST", "path=/submit", "status=403"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("log line missing %q: %q", want, line)
+		}
+	}
+}

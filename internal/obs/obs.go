@@ -1,0 +1,312 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// A Label is one key="value" dimension of a metric. Within a family,
+// labels distinguish instances (e.g. http_requests_total{code="2xx"} vs
+// {code="5xx"}).
+type Label struct{ Key, Value string }
+
+// L is shorthand for Label{key, value}.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// A Counter is a monotonically non-decreasing int64 metric. All methods
+// are safe for concurrent use and are no-ops on a nil receiver.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n if n > 0 (counters are monotone; negative deltas are
+// ignored).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// A Gauge is an int64 metric that may go up and down. All methods are safe
+// for concurrent use and are no-ops on a nil receiver.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// A Flag is an atomic boolean, used for readiness ("is this server
+// accepting work?"). A nil Flag reads as true, so handlers that take an
+// optional Flag need no branches.
+type Flag struct{ off atomic.Bool }
+
+// NewFlag returns a Flag initialized to v.
+func NewFlag(v bool) *Flag {
+	f := &Flag{}
+	f.Set(v)
+	return f
+}
+
+// Set stores v.
+func (f *Flag) Set(v bool) {
+	if f != nil {
+		f.off.Store(!v)
+	}
+}
+
+// Get reports the current value; a nil Flag is true.
+func (f *Flag) Get() bool { return f == nil || !f.off.Load() }
+
+// metricKind discriminates exposition families.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// instance is one labeled member of a family; exactly one of c/g/h is set,
+// according to the family kind.
+type instance struct {
+	labels []Label // sorted by key
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family is every instance sharing a metric name, plus its type and HELP.
+type family struct {
+	name string
+	kind metricKind
+	help string
+	inst map[string]*instance // keyed by canonical label rendering
+	keys []string             // sorted for deterministic exposition
+}
+
+// A Registry is a named collection of metric families. The zero value is
+// not usable; call NewRegistry. All methods are safe for concurrent use,
+// and all methods on a nil *Registry return nil metrics (whose methods are
+// no-ops), so instrumentation can be wired unconditionally.
+type Registry struct {
+	mu         sync.Mutex
+	fams       map[string]*family
+	names      []string // sorted family names
+	collectors []func()
+	// pendingHelp holds Help text set before its family exists.
+	pendingHelp map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// Counter returns the counter name{labels}, creating it if absent. It
+// panics if name is already registered with a different type. On a nil
+// registry it returns nil (a valid no-op counter).
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	inst := r.instance(kindCounter, name, labels)
+	return inst.c
+}
+
+// Gauge returns the gauge name{labels}, creating it if absent. It panics
+// if name is already registered with a different type. On a nil registry
+// it returns nil.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	inst := r.instance(kindGauge, name, labels)
+	return inst.g
+}
+
+// Histogram returns the histogram name{labels} with the given bucket
+// upper bounds (strictly increasing; a final +Inf bucket is implicit),
+// creating it if absent. Bounds are fixed at first creation; later calls
+// for the same instance ignore the bounds argument. It panics if name is
+// already registered with a different type. On a nil registry it returns
+// nil.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	inst := r.instanceWith(kindHistogram, name, labels, func() *instance {
+		return &instance{h: newHistogram(bounds)}
+	})
+	return inst.h
+}
+
+// Help sets the # HELP text of family name (shown on exposition). Calling
+// Help before any metric of the family exists is allowed and fixes the
+// family's text once created. No-op on a nil registry.
+func (r *Registry) Help(name, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		f.help = text
+		return
+	}
+	// Remember the text for when the family is created.
+	if r.pendingHelp == nil {
+		r.pendingHelp = make(map[string]string)
+	}
+	r.pendingHelp[name] = text
+}
+
+// OnCollect registers fn to run at the start of every exposition
+// (WritePrometheus). Collectors mirror externally-held state — e.g. a
+// coordinator's snapshot counters — into registry gauges just in time for
+// a scrape. No-op on a nil registry.
+func (r *Registry) OnCollect(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+func (r *Registry) instance(kind metricKind, name string, labels []Label) *instance {
+	return r.instanceWith(kind, name, labels, func() *instance {
+		switch kind {
+		case kindCounter:
+			return &instance{c: &Counter{}}
+		case kindGauge:
+			return &instance{g: &Gauge{}}
+		}
+		panic("obs: unreachable")
+	})
+}
+
+func (r *Registry) instanceWith(kind metricKind, name string, labels []Label, make_ func() *instance) *instance {
+	ls := canonLabels(labels)
+	key := renderLabels(ls, "")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, kind: kind, inst: map[string]*instance{}}
+		if h, ok := r.pendingHelp[name]; ok {
+			f.help = h
+			delete(r.pendingHelp, name)
+		}
+		r.fams[name] = f
+		i := sort.SearchStrings(r.names, name)
+		r.names = append(r.names, "")
+		copy(r.names[i+1:], r.names[i:])
+		r.names[i] = name
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	inst, ok := f.inst[key]
+	if !ok {
+		inst = make_()
+		inst.labels = ls
+		f.inst[key] = inst
+		i := sort.SearchStrings(f.keys, key)
+		f.keys = append(f.keys, "")
+		copy(f.keys[i+1:], f.keys[i:])
+		f.keys[i] = key
+	}
+	return inst
+}
+
+// canonLabels returns a sorted copy of labels (exposition and identity are
+// order-independent).
+func canonLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
+}
+
+// renderLabels renders {k="v",...} with escaped values, merging in extra
+// (a pre-rendered k="v" pair appended last, used for histogram le).
+// Returns "" when there is nothing to render.
+func renderLabels(ls []Label, extra string) string {
+	if len(ls) == 0 && extra == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	if extra != "" {
+		if len(ls) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("jobs_total"); again != c {
+		t.Error("second lookup minted a new counter")
+	}
+	g := r.Gauge("depth")
+	g.Set(10)
+	g.Add(-3)
+	g.Dec()
+	g.Inc()
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge = %d, want 7", got)
+	}
+}
+
+func TestLabeledInstancesAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("reqs", L("path", "/a"))
+	b := r.Counter("reqs", L("path", "/b"))
+	if a == b {
+		t.Fatal("distinct labels share a counter")
+	}
+	a.Inc()
+	if b.Value() != 0 {
+		t.Error("increment leaked across labels")
+	}
+	// Label order must not matter for identity.
+	x := r.Counter("multi", L("a", "1"), L("b", "2"))
+	y := r.Counter("multi", L("b", "2"), L("a", "1"))
+	if x != y {
+		t.Error("label order changed instance identity")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("thing")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("thing")
+}
+
+// TestNilSafety: every metric operation must be a no-op on nil receivers
+// and nil registries, so instrumented code runs unconditionally.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", DefDurationBuckets)
+	var f *Flag
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Inc()
+	g.Dec()
+	h.Observe(0.5)
+	f.Set(false)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil metrics accumulated state")
+	}
+	if !f.Get() {
+		t.Error("nil Flag should read true")
+	}
+	r.Help("x", "text")
+	r.OnCollect(func() {})
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Errorf("nil registry wrote %q, %v", sb.String(), err)
+	}
+}
+
+func TestFlag(t *testing.T) {
+	f := NewFlag(true)
+	if !f.Get() {
+		t.Error("NewFlag(true) reads false")
+	}
+	f.Set(false)
+	if f.Get() {
+		t.Error("Set(false) did not stick")
+	}
+	f.Set(true)
+	if !f.Get() {
+		t.Error("Set(true) did not stick")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 10, math.NaN()} {
+		h.Observe(v)
+	}
+	bounds, counts := h.Snapshot()
+	if want := []float64{1, 2, 5}; len(bounds) != len(want) {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	// le is inclusive: ≤1 → {0.5, 1}; ≤2 adds {1.5, 2}; ≤5 adds {3};
+	// +Inf adds {10}. NaN dropped.
+	want := []int64{2, 4, 5, 6}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("cumulative counts = %v, want %v", counts, want)
+			break
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1+1.5+2+3+10; math.Abs(got-want) > 1e-9 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramSanitizesBounds(t *testing.T) {
+	// Unsorted, duplicated, infinite and NaN bounds must degrade to a
+	// clean strictly-increasing set.
+	h := newHistogram([]float64{5, 1, 1, math.Inf(1), math.NaN(), 2})
+	bounds, _ := h.Snapshot()
+	want := []float64{1, 2, 5}
+	if len(bounds) != len(want) {
+		t.Fatalf("bounds = %v, want %v", bounds, want)
+	}
+	for i := range want {
+		if bounds[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", bounds, want)
+		}
+	}
+}
+
+// TestConcurrentMutation exercises the lock-free paths under the race
+// detector.
+func TestConcurrentMutation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []float64{0.5})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%2) * 0.75) // alternates buckets
+				// Concurrent family creation must also be safe.
+				r.Counter("per_worker", L("w", string(rune('a'+w)))).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Errorf("gauge = %d, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	if got, want := h.Sum(), float64(workers*per/2)*0.75; math.Abs(got-want) > 1e-6 {
+		t.Errorf("histogram sum = %v, want %v", got, want)
+	}
+}

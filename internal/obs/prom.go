@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type of the text exposition format
+// this package writes (version 0.0.4, the format every Prometheus-
+// compatible scraper accepts).
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus writes every family in the registry in Prometheus text
+// exposition format: families in name order, instances in label order,
+// histograms as cumulative _bucket{le=...} series plus _sum and _count.
+// Registered OnCollect callbacks run first, so mirrored gauges are fresh.
+// A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	collectors := append([]func(){}, r.collectors...)
+	r.mu.Unlock()
+	// Collectors run without the registry lock: they typically call
+	// Gauge(...).Set, which needs it.
+	for _, fn := range collectors {
+		fn()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.names {
+		f := r.fams[name]
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.kind); err != nil {
+			return err
+		}
+		for _, key := range f.keys {
+			inst := f.inst[key]
+			if err := writeInstance(w, f, inst); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeInstance(w io.Writer, f *family, inst *instance) error {
+	switch f.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, renderLabels(inst.labels, ""), inst.c.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, renderLabels(inst.labels, ""), inst.g.Value())
+		return err
+	case kindHistogram:
+		bounds, counts := inst.h.Snapshot()
+		for i, b := range bounds {
+			le := `le="` + formatFloat(b) + `"`
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, renderLabels(inst.labels, le), counts[i]); err != nil {
+				return err
+			}
+		}
+		total := int64(0)
+		if len(counts) > 0 {
+			total = counts[len(counts)-1]
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, renderLabels(inst.labels, `le="+Inf"`), total); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, renderLabels(inst.labels, ""), formatFloat(inst.h.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, renderLabels(inst.labels, ""), inst.h.Count())
+		return err
+	}
+	return nil
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// format — a standalone scrape endpoint for servers that do not need
+// content negotiation.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", PrometheusContentType)
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest exact
+// decimal, with infinities spelled +Inf/-Inf.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double-quote and newline.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes HELP text: backslash and newline (quotes are legal
+// there).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}

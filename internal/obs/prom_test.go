@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func expo(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Help("reqs_total", "Requests served.")
+	r.Counter("reqs_total", L("path", "/next")).Add(7)
+	r.Gauge("depth").Set(-2)
+	h := r.Histogram("lat_seconds", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(3)
+
+	out := expo(t, r)
+	for _, want := range []string{
+		"# HELP reqs_total Requests served.\n",
+		"# TYPE reqs_total counter\n",
+		`reqs_total{path="/next"} 7` + "\n",
+		"# TYPE depth gauge\ndepth -2\n",
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{le="0.001"} 2` + "\n",
+		`lat_seconds_bucket{le="0.01"} 3` + "\n",
+		`lat_seconds_bucket{le="+Inf"} 4` + "\n",
+		"lat_seconds_sum 3.006\n",
+		"lat_seconds_count 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q; got:\n%s", want, out)
+		}
+	}
+	// Families must appear in name order: depth < lat_seconds < reqs_total.
+	if !(strings.Index(out, "depth") < strings.Index(out, "lat_seconds") &&
+		strings.Index(out, "lat_seconds") < strings.Index(out, "reqs_total")) {
+		t.Errorf("families out of order:\n%s", out)
+	}
+}
+
+// TestExpositionEscaping: label values containing backslashes, quotes and
+// newlines must be escaped per the text exposition format, and HELP text
+// must escape backslash and newline.
+func TestExpositionEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Help("weird_total", "line one\nline \\two")
+	r.Counter("weird_total", L("path", `C:\tmp\"quoted"`+"\nnext")).Inc()
+	out := expo(t, r)
+	if want := `# HELP weird_total line one\nline \\two` + "\n"; !strings.Contains(out, want) {
+		t.Errorf("HELP not escaped; got:\n%s", out)
+	}
+	if want := `weird_total{path="C:\\tmp\\\"quoted\"\nnext"} 1` + "\n"; !strings.Contains(out, want) {
+		t.Errorf("label value not escaped; got:\n%s", out)
+	}
+	// The escaped output must contain no raw newline inside a label value:
+	// every line must be a comment or name{...} value.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "weird_total{") || !strings.HasSuffix(line, " 1") {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestExpositionHistogramMergesLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat", []float64{1}, L("path", "/x")).Observe(0.5)
+	out := expo(t, r)
+	for _, want := range []string{
+		`lat_bucket{path="/x",le="1"} 1`,
+		`lat_bucket{path="/x",le="+Inf"} 1`,
+		`lat_sum{path="/x"} 0.5`,
+		`lat_count{path="/x"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestOnCollectRunsBeforeExposition(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("mirrored")
+	n := int64(0)
+	r.OnCollect(func() { n += 41; g.Set(n) })
+	if out := expo(t, r); !strings.Contains(out, "mirrored 41") {
+		t.Errorf("collector did not run before first scrape:\n%s", out)
+	}
+	if out := expo(t, r); !strings.Contains(out, "mirrored 82") {
+		t.Errorf("collector did not run before second scrape:\n%s", out)
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ticks_total").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if got := rec.Header().Get("Content-Type"); got != PrometheusContentType {
+		t.Errorf("Content-Type = %q", got)
+	}
+	if !strings.Contains(rec.Body.String(), "ticks_total 1") {
+		t.Errorf("body = %q", rec.Body.String())
+	}
+}

@@ -1,0 +1,24 @@
+// Package polysearch provides machine checks of §2's discussion of
+// polynomial pairing functions: exact bivariate polynomials over ℚ,
+// verification of the PF property on bounded boxes, an exhaustive search
+// over quadratic candidates that empirically reproduces the Fueter–Pólya
+// uniqueness of the Cauchy–Cantor diagonal polynomial 𝒟 (and its twin), and
+// the density/gap argument showing that super-quadratic polynomials with
+// positive coefficients cannot be PFs ("their lead terms grow faster than
+// the quadratic growth of the plane, hence must leave large gaps in their
+// ranges").
+//
+// # Overflow
+//
+// All arithmetic is exact (math/big rationals): a pairing function is a
+// bijection, and rounding would make every verdict worthless. There is no
+// int64 fast path and hence no overflow to report — evaluation cost, not
+// range, bounds the search boxes.
+//
+// # Concurrency
+//
+// Poly values are immutable after construction and safe for concurrent
+// evaluation; the exhaustive searches are single-goroutine (determinism
+// makes their verdicts reproducible) but independent searches may run
+// concurrently — every function is free of shared mutable state.
+package polysearch

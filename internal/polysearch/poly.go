@@ -1,15 +1,3 @@
-// Package polysearch provides machine checks of §2's discussion of
-// polynomial pairing functions: exact bivariate polynomials over ℚ,
-// verification of the PF property on bounded boxes, an exhaustive search
-// over quadratic candidates that empirically reproduces the Fueter–Pólya
-// uniqueness of the Cauchy–Cantor diagonal polynomial 𝒟 (and its twin), and
-// the density/gap argument showing that super-quadratic polynomials with
-// positive coefficients cannot be PFs ("their lead terms grow faster than
-// the quadratic growth of the plane, hence must leave large gaps in their
-// ranges").
-//
-// All arithmetic is exact (math/big): a pairing function is a bijection,
-// and rounding would make every verdict worthless.
 package polysearch
 
 import (

@@ -1,14 +1,3 @@
-// Package spread measures the compactness of storage mappings via the
-// spread function of eq. 3.1:
-//
-//	S_A(n) = max{ A(x, y) : xy ≤ n },
-//
-// the largest address the mapping A assigns to any position of an
-// array/table with n or fewer positions. The domain of the maximum — the
-// integer lattice points under the hyperbola xy = n — is the union of the
-// positions of all arrays with ≤ n positions (Fig. 5) and has cardinality
-// D(n) = Θ(n log n), which is why no PF has worst-case spread below
-// Ω(n log n) and why the hyperbolic PF's S_ℋ(n) = D(n) is optimal (§3.2.3).
 package spread
 
 import (

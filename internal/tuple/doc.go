@@ -1,0 +1,21 @@
+// Package tuple extends pairing functions to arbitrary finite
+// dimensionalities: the paper's observation (§1.1) that PFs let one "slip
+// gracefully … by iteration, among worldviews of arbitrary finite
+// dimensionalities". A k-tuple code is the bijection N^k ↔ N obtained by
+// folding a 2-D pairing function right to left:
+//
+//	code(x₁, …, x_k) = F(x₁, F(x₂, … F(x_{k−1}, x_k)…)).
+//
+// Any core.PF can serve as the underlying F; different PFs trade spread for
+// computation cost exactly as in two dimensions. Mixed allows a different
+// PF at each fold level.
+//
+// # Overflow and concurrency
+//
+// Encode propagates the underlying PF's ErrOverflow from any fold level —
+// iterated pairing reaches int64 limits quickly (diagonal folding of
+// k-tuples grows doubly exponentially in k), and the error tells the
+// caller exactly that, with no wrapped values. Code and Mixed are
+// immutable after construction and safe for concurrent use whenever their
+// underlying PFs are (all core PFs qualify).
+package tuple

@@ -1,13 +1,3 @@
-// Package tuple extends pairing functions to arbitrary finite
-// dimensionalities: the paper's observation (§1.1) that PFs let one "slip
-// gracefully … by iteration, among worldviews of arbitrary finite
-// dimensionalities". A k-tuple code is the bijection N^k ↔ N obtained by
-// folding a 2-D pairing function right to left:
-//
-//	code(x₁, …, x_k) = F(x₁, F(x₂, … F(x_{k−1}, x_k)…)).
-//
-// Any core.PF can serve as the underlying F; different PFs trade spread for
-// computation cost exactly as in two dimensions.
 package tuple
 
 import (

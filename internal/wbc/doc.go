@@ -1,0 +1,37 @@
+// Package wbc implements the Web-Based Computing accountability scheme of
+// §4: volunteers register with a server, repeatedly receive tasks, and
+// return results; an additive pairing function 𝒯 links volunteer v's t-th
+// task to task index 𝒯(v, t), so the server can always answer "who computed
+// task k?" by computing 𝒯⁻¹(k) — a computationally lightweight mechanism
+// for *accountability* (not security): frequently errant volunteers are
+// identified and banned.
+//
+// The package contains the task-allocation coordinator (the APF ledger, the
+// §4 front end that lets volunteers arrive and depart dynamically and keeps
+// faster volunteers on smaller row indices), volunteer behaviour models for
+// simulation (honest, careless, malicious), auditing and banning, the
+// memory-footprint accounting that motivates compact APFs (with strides
+// S_v the task table spans max-allocated-index slots, so slowly growing
+// strides keep it small), and the production HTTP face of the scheme: the
+// JSON/HTTP volunteer protocol (http.go), a typed client, and the
+// observability layer (observe.go) — content-negotiated /metrics
+// (Prometheus text or legacy JSON), /healthz and /readyz probes, request
+// middleware and coordinator/APF instrumentation via internal/obs.
+//
+// # Concurrency
+//
+// Coordinator and Voting are safe for concurrent use by volunteer
+// goroutines (one mutex around all state transitions); the HTTP handlers
+// inherit that safety. Ledger is read-mostly and must not be mutated
+// concurrently with coordinator use — callers other than the coordinator
+// should treat it as read-only. Instrumentation handles are lock-free
+// atomics and add no lock ordering.
+//
+// # Overflow
+//
+// Task indices inherit the APF's exact-int64 contract: when a stride or
+// task index would leave int64 range the ledger surfaces apf.ErrOverflow
+// to the volunteer instead of issuing a wrapped index — an allocation
+// failure, never a silent collision (collisions would destroy the
+// attribution guarantee the scheme exists for).
+package wbc

@@ -23,7 +23,11 @@ import (
 //	POST /submit    {"volunteer": 7, "task": 912,
 //	                 "result": 4}                      → {"caught": false}
 //	GET  /attribute?task=912                           → {"volunteer": 7}
-//	GET  /metrics                                      → Metrics
+//	GET  /metrics                                      → Prometheus text, or
+//	                                                     the JSON Metrics
+//	                                                     snapshot with
+//	                                                     Accept: application/json
+//	GET  /healthz, /readyz                             → probes (observe.go)
 //
 // Coordinator errors map to HTTP statuses: banned/departed → 403, unknown
 // volunteer/task → 404, ownership violations → 409, domain errors → 400.
@@ -64,8 +68,18 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// NewHTTPHandler returns the WBC website serving c.
+// NewHTTPHandler returns the WBC website serving c with default
+// observability: a private metrics registry behind /metrics and no request
+// logging. Production servers use NewObservedHandler to share the
+// registry with the coordinator and control readiness.
 func NewHTTPHandler(c *Coordinator) http.Handler {
+	return NewObservedHandler(c, ServerOptions{})
+}
+
+// apiMux builds the volunteer-protocol endpoints. The observability
+// endpoints (/metrics, /healthz, /readyz) are layered on by
+// NewObservedHandler, which owns the registry they report from.
+func apiMux(c *Coordinator) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /register", func(w http.ResponseWriter, r *http.Request) {
 		var req registerRequest
@@ -121,9 +135,6 @@ func NewHTTPHandler(c *Coordinator) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, attributeResponse{Volunteer: vol, Row: row, Seq: seq})
-	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, c.Metrics())
 	})
 	return mux
 }
@@ -219,6 +230,30 @@ func (cl *Client) Submit(id VolunteerID, k TaskID, result int64) (caught bool, e
 func (cl *Client) Depart(id VolunteerID) error {
 	var resp struct{}
 	return cl.post("/depart", nextRequest{Volunteer: id}, &resp)
+}
+
+// Metrics fetches the coordinator's JSON metrics snapshot (the legacy
+// /metrics representation, selected via Accept: application/json; the
+// default representation is Prometheus text for scrapers).
+func (cl *Client) Metrics() (Metrics, error) {
+	req, err := http.NewRequest(http.MethodGet, cl.BaseURL+"/metrics", nil)
+	if err != nil {
+		return Metrics{}, err
+	}
+	req.Header.Set("Accept", "application/json")
+	r, err := cl.httpc().Do(req)
+	if err != nil {
+		return Metrics{}, err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return Metrics{}, fmt.Errorf("wbc: /metrics: %s", r.Status)
+	}
+	var m Metrics
+	if err := json.NewDecoder(r.Body).Decode(&m); err != nil {
+		return Metrics{}, err
+	}
+	return m, nil
 }
 
 // Attribute asks the server who computed task k.

@@ -183,14 +183,11 @@ func TestHTTPErrorStatuses(t *testing.T) {
 	if got := post("/next", string(body)); got != http.StatusForbidden {
 		t.Errorf("departed volunteer: %d", got)
 	}
-	// Metrics endpoint decodes.
-	resp, err = http.Get(srv.URL + "/metrics")
+	// The legacy JSON metrics snapshot stays available via content
+	// negotiation (the default /metrics representation is Prometheus
+	// text; see observe_test.go).
+	m, err := (&Client{BaseURL: srv.URL}).Metrics()
 	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var m Metrics
-	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
 		t.Fatal(err)
 	}
 	if m.Registered != 2 {

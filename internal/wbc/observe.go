@@ -1,0 +1,137 @@
+package wbc
+
+import (
+	"log/slog"
+	"net/http"
+	"strings"
+
+	"pairfn/internal/obs"
+)
+
+// This file is the observability face of the WBC website: the
+// content-negotiated /metrics endpoint, the /healthz and /readyz probes,
+// and the middleware wiring that gives every endpoint request counts,
+// status classes, an in-flight gauge and latency histograms. The §4
+// accountability scheme is an auditing story; these endpoints are the
+// operational half of that audit — who is asking, how fast are we
+// answering, is the service draining.
+
+// ServerOptions configures NewObservedHandler.
+type ServerOptions struct {
+	// Registry is the metrics registry exposed at /metrics and fed by the
+	// HTTP middleware. Pass the registry already given to the coordinator
+	// (Config.Obs) so HTTP, coordinator and APF metrics share one scrape.
+	// Nil gets a fresh private registry.
+	Registry *obs.Registry
+	// Logger, when non-nil, emits one structured line per request.
+	Logger *slog.Logger
+	// Ready gates /readyz: a false flag answers 503, telling load
+	// balancers to stop routing while in-flight requests drain. Nil means
+	// always ready.
+	Ready *obs.Flag
+}
+
+// NewObservedHandler returns the WBC website for c wrapped in
+// observability: all NewHTTPHandler endpoints plus
+//
+//	GET /metrics   Prometheus text exposition (default) or the legacy
+//	               JSON Metrics snapshot when the request prefers
+//	               application/json
+//	GET /healthz   liveness: always 200 while the process serves
+//	GET /readyz    readiness: 200, or 503 once opt.Ready is false
+//
+// with every request recorded in the registry and optionally logged.
+func NewObservedHandler(c *Coordinator, opt ServerOptions) http.Handler {
+	reg := opt.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	RegisterCoordinatorMetrics(c, reg)
+	mux := apiMux(c)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if acceptsJSON(r) {
+			writeJSON(w, http.StatusOK, c.Metrics())
+			return
+		}
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	ready := opt.Ready
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !ready.Get() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("draining\n"))
+			return
+		}
+		w.Write([]byte("ready\n"))
+	})
+	return obs.Middleware(obs.MiddlewareConfig{
+		Registry:  reg,
+		Logger:    opt.Logger,
+		PathLabel: pathLabel,
+	}, mux)
+}
+
+// RegisterCoordinatorMetrics mirrors c's Metrics snapshot into reg as
+// wbc_* gauges, refreshed at every scrape. NewObservedHandler calls it;
+// headless deployments (cmd/wbcsim's final dump) call it directly.
+func RegisterCoordinatorMetrics(c *Coordinator, reg *obs.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	reg.Help("wbc_volunteers_registered", "Volunteers ever registered.")
+	reg.Help("wbc_volunteers_active", "Currently active volunteers.")
+	reg.Help("wbc_tasks_issued", "Tasks issued, including reissues.")
+	reg.Help("wbc_tasks_completed", "Submissions accepted.")
+	reg.Help("wbc_submissions_audited", "Submissions audited inline.")
+	reg.Help("wbc_bad_results_caught", "Audited submissions found wrong.")
+	reg.Help("wbc_volunteers_banned", "Volunteers banned.")
+	reg.Help("wbc_tasks_reissued", "Abandoned tasks reissued.")
+	reg.Help("wbc_task_table_footprint", "Largest task index issued (table size).")
+	mirror := []struct {
+		g   *obs.Gauge
+		val func(Metrics) int64
+	}{
+		{reg.Gauge("wbc_volunteers_registered"), func(m Metrics) int64 { return m.Registered }},
+		{reg.Gauge("wbc_volunteers_active"), func(m Metrics) int64 { return m.Active }},
+		{reg.Gauge("wbc_tasks_issued"), func(m Metrics) int64 { return m.Issued }},
+		{reg.Gauge("wbc_tasks_completed"), func(m Metrics) int64 { return m.Completed }},
+		{reg.Gauge("wbc_submissions_audited"), func(m Metrics) int64 { return m.Audited }},
+		{reg.Gauge("wbc_bad_results_caught"), func(m Metrics) int64 { return m.BadCaught }},
+		{reg.Gauge("wbc_volunteers_banned"), func(m Metrics) int64 { return m.Bans }},
+		{reg.Gauge("wbc_tasks_reissued"), func(m Metrics) int64 { return m.Reissues }},
+		{reg.Gauge("wbc_task_table_footprint"), func(m Metrics) int64 { return m.Footprint }},
+	}
+	reg.OnCollect(func() {
+		m := c.Metrics()
+		for _, e := range mirror {
+			e.g.Set(e.val(m))
+		}
+	})
+}
+
+// acceptsJSON reports whether the client asked for the legacy JSON
+// snapshot. Only an explicit application/json (or +json suffix) opts in;
+// wildcards and absent Accept headers get Prometheus text, which is what
+// scrapers send.
+func acceptsJSON(r *http.Request) bool {
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "application/json") || strings.Contains(accept, "+json")
+}
+
+// pathLabel bounds metric label cardinality to the fixed endpoint set: an
+// internet-facing server must not mint one time series per scanned URL.
+func pathLabel(r *http.Request) string {
+	switch p := r.URL.Path; p {
+	case "/register", "/next", "/submit", "/depart", "/attribute",
+		"/metrics", "/healthz", "/readyz":
+		return p
+	default:
+		return "other"
+	}
+}

@@ -6,8 +6,10 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"pairfn/internal/apf"
+	"pairfn/internal/obs"
 )
 
 // ErrBanned reports an operation by a banned volunteer.
@@ -37,6 +39,11 @@ type Config struct {
 	StrikeLimit int
 	// Seed drives the audit sampling.
 	Seed int64
+	// Obs, when non-nil, receives live operation counters and latency
+	// histograms from the coordinator hot paths, and APF encode/decode
+	// counters (the task-allocation function is wrapped with
+	// apf.Instrument). Nil disables instrumentation at zero cost.
+	Obs *obs.Registry
 }
 
 // Metrics is a snapshot of coordinator counters.
@@ -88,7 +95,52 @@ type Coordinator struct {
 	rowVol  map[int64]VolunteerID
 	results map[TaskID]int64
 	m       Metrics
+	ops     coordObs
 }
+
+// coordObs holds the coordinator's live instrumentation handles. All
+// fields are nil when Config.Obs is nil; every obs method is a no-op on a
+// nil receiver, so the hot paths record unconditionally.
+type coordObs struct {
+	register, depart, next, submit, auditAll *obs.Counter
+	audited, caught, banned, reissued        *obs.Counter
+	errs                                     *obs.Counter
+	nextLat, submitLat                       *obs.Histogram
+}
+
+// newCoordObs registers the coordinator metric families in r (nil r
+// yields all-nil no-op handles).
+func newCoordObs(r *obs.Registry) coordObs {
+	if r == nil {
+		return coordObs{}
+	}
+	r.Help("wbc_coordinator_ops_total", "Coordinator operations, by op.")
+	r.Help("wbc_coordinator_errors_total", "Coordinator operations that returned an error, by op.")
+	r.Help("wbc_coordinator_op_duration_seconds", "Coordinator operation latency, by op.")
+	op := func(name string) *obs.Counter {
+		return r.Counter("wbc_coordinator_ops_total", obs.L("op", name))
+	}
+	return coordObs{
+		register: op("register"),
+		depart:   op("depart"),
+		next:     op("next"),
+		submit:   op("submit"),
+		auditAll: op("audit_all"),
+		audited:  op("audit"),
+		caught:   op("caught"),
+		banned:   op("ban"),
+		reissued: op("reissue"),
+		errs:     r.Counter("wbc_coordinator_errors_total"),
+		nextLat: r.Histogram("wbc_coordinator_op_duration_seconds",
+			obs.DefDurationBuckets, obs.L("op", "next")),
+		submitLat: r.Histogram("wbc_coordinator_op_duration_seconds",
+			obs.DefDurationBuckets, obs.L("op", "submit")),
+	}
+}
+
+// enabled reports whether instrumentation is live (used to skip
+// time.Now() on the uninstrumented fast path).
+func (o *coordObs) enabled() bool { return o.next != nil }
 
 // NewCoordinator returns a Coordinator for the given configuration.
 func NewCoordinator(cfg Config) (*Coordinator, error) {
@@ -104,10 +156,13 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	if cfg.StrikeLimit < 1 {
 		cfg.StrikeLimit = 1
 	}
+	// With observability on, every 𝒯/𝒯⁻¹ evaluation the ledger performs is
+	// counted; Instrument is the identity when cfg.Obs is nil.
 	return &Coordinator{
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		ledger:  NewLedger(cfg.APF),
+		ledger:  NewLedger(apf.Instrument(cfg.APF, cfg.Obs)),
+		ops:     newCoordObs(cfg.Obs),
 		nextVol: 1,
 		nextRow: 1,
 		orphans: make(map[int64][]TaskID),
@@ -141,6 +196,7 @@ func (c *Coordinator) Register(speed float64) VolunteerID {
 	c.ledger.Bind(row, id)
 	c.m.Registered++
 	c.m.Active++
+	c.ops.register.Inc()
 	return id
 }
 
@@ -151,14 +207,17 @@ func (c *Coordinator) Depart(id VolunteerID) error {
 	defer c.mu.Unlock()
 	v, ok := c.vols[id]
 	if !ok {
+		c.ops.errs.Inc()
 		return fmt.Errorf("%w: %d", ErrUnknownVolunteer, id)
 	}
 	if v.departed {
+		c.ops.errs.Inc()
 		return fmt.Errorf("%w: %d", ErrDeparted, id)
 	}
 	v.departed = true
 	c.m.Active--
 	c.vacateLocked(v)
+	c.ops.depart.Inc()
 	return nil
 }
 
@@ -181,10 +240,15 @@ func (c *Coordinator) vacateLocked(v *volState) {
 // NextTask issues the next task for volunteer id: an orphaned task of its
 // row if one is pending (reissue), else the fresh index 𝒯(row, seq).
 func (c *Coordinator) NextTask(id VolunteerID) (TaskID, error) {
+	var start time.Time
+	if c.ops.enabled() {
+		start = time.Now()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	v, err := c.activeLocked(id)
 	if err != nil {
+		c.ops.errs.Inc()
 		return 0, err
 	}
 	if q := c.orphans[v.row]; len(q) > 0 {
@@ -194,16 +258,26 @@ func (c *Coordinator) NextTask(id VolunteerID) (TaskID, error) {
 		v.out[k] = true
 		c.m.Issued++
 		c.m.Reissues++
+		c.ops.next.Inc()
+		c.ops.reissued.Inc()
+		if c.ops.enabled() {
+			c.ops.nextLat.Observe(time.Since(start).Seconds())
+		}
 		return k, nil
 	}
 	k, err := c.ledger.Issue(v.row)
 	if err != nil {
+		c.ops.errs.Inc()
 		return 0, err
 	}
 	v.out[k] = true
 	c.m.Issued++
 	if int64(c.ledger.Footprint()) > c.m.Footprint {
 		c.m.Footprint = int64(c.ledger.Footprint())
+	}
+	c.ops.next.Inc()
+	if c.ops.enabled() {
+		c.ops.nextLat.Observe(time.Since(start).Seconds())
 	}
 	return k, nil
 }
@@ -227,13 +301,19 @@ func (c *Coordinator) activeLocked(id VolunteerID) (*volState, error) {
 // outstanding tasks are recycled). Submit reports whether the submission
 // was audited and found bad.
 func (c *Coordinator) Submit(id VolunteerID, k TaskID, result int64) (caught bool, err error) {
+	var start time.Time
+	if c.ops.enabled() {
+		start = time.Now()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	v, err := c.activeLocked(id)
 	if err != nil {
+		c.ops.errs.Inc()
 		return false, err
 	}
 	if !v.out[k] {
+		c.ops.errs.Inc()
 		return false, fmt.Errorf("%w: volunteer %d, task %d", ErrNotIssuedToYou, id, k)
 	}
 	delete(v.out, k)
@@ -242,8 +322,10 @@ func (c *Coordinator) Submit(id VolunteerID, k TaskID, result int64) (caught boo
 	c.m.Completed++
 	if c.rng.Float64() < c.cfg.AuditRate {
 		c.m.Audited++
+		c.ops.audited.Inc()
 		if c.cfg.Workload.Do(k) != result {
 			c.m.BadCaught++
+			c.ops.caught.Inc()
 			v.strikes++
 			caught = true
 			if v.strikes >= c.cfg.StrikeLimit {
@@ -251,8 +333,13 @@ func (c *Coordinator) Submit(id VolunteerID, k TaskID, result int64) (caught boo
 				c.m.Bans++
 				c.m.Active--
 				c.vacateLocked(v)
+				c.ops.banned.Inc()
 			}
 		}
+	}
+	c.ops.submit.Inc()
+	if c.ops.enabled() {
+		c.ops.submitLat.Observe(time.Since(start).Seconds())
 	}
 	return caught, nil
 }
@@ -273,6 +360,7 @@ func (c *Coordinator) Attribute(k TaskID) (VolunteerID, error) {
 func (c *Coordinator) AuditAll() (map[VolunteerID][]TaskID, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.ops.auditAll.Inc()
 	bad := make(map[VolunteerID][]TaskID)
 	for k, res := range c.results {
 		if c.cfg.Workload.Do(k) == res {

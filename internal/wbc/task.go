@@ -1,18 +1,3 @@
-// Package wbc implements the Web-Based Computing accountability scheme of
-// §4: volunteers register with a server, repeatedly receive tasks, and
-// return results; an additive pairing function 𝒯 links volunteer v's t-th
-// task to task index 𝒯(v, t), so the server can always answer "who computed
-// task k?" by computing 𝒯⁻¹(k) — a computationally lightweight mechanism
-// for *accountability* (not security): frequently errant volunteers are
-// identified and banned.
-//
-// The package contains the task-allocation coordinator (the APF ledger, the
-// §4 front end that lets volunteers arrive and depart dynamically and keeps
-// faster volunteers on smaller row indices), volunteer behaviour models for
-// simulation (honest, careless, malicious), auditing and banning, and the
-// memory-footprint accounting that motivates compact APFs: with strides
-// S_v, the task table spans max-allocated-index slots, so slowly growing
-// strides keep it small.
 package wbc
 
 import "pairfn/internal/numtheory"
