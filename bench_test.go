@@ -6,6 +6,8 @@
 package pairfn_test
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"pairfn/internal/apf"
@@ -608,5 +610,41 @@ func BenchmarkSpreadParallel(b *testing.B) {
 			b.Fatal(err)
 		}
 		sinkI64 = s
+	}
+}
+
+// BenchmarkSpreadEngineMeasure is the E22 scaling study: Engine.Measure at
+// n = 10⁵ over the §3.2 panel (ℋ cached, 𝒟, 𝒜₁,₁, Hilbert) for 1/2/4
+// workers. On a multi-core host the per-mapping series shows near-linear
+// speedup; on a single-CPU host the series is flat and only the engine's
+// coordination overhead is visible.
+func BenchmarkSpreadEngineMeasure(b *testing.B) {
+	const n = 100_000
+	mappings := []core.StorageMapping{
+		core.NewCachedHyperbolic(n),
+		core.Diagonal{},
+		core.SquareShell{},
+		core.Hilbert{Order: 17}, // 2^17 > n, so the whole region is in range
+	}
+	ctx := context.Background()
+	for _, f := range mappings {
+		if _, err := f.Encode(1, 1); err != nil { // warm lazy tables outside the timer
+			b.Fatal(err)
+		}
+		for _, w := range []int{1, 2, 4} {
+			f, w := f, w
+			b.Run(fmt.Sprintf("%s/workers-%d", f.Name(), w), func(b *testing.B) {
+				eng := &spread.Engine{Workers: w}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s, _, err := eng.Measure(ctx, f, n)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sinkI64 = s
+				}
+			})
+		}
 	}
 }

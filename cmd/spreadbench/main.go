@@ -3,25 +3,56 @@
 // §3.2 compactness comparison: quadratic spreads for 𝒟 and 𝒜₁,₁ versus the
 // optimal Θ(n log n) spread of ℋ.
 //
+// Measurements run through the parallel spread engine (count-balanced
+// x-stripes over a bounded worker pool) unless -serial is given; the CSV
+// gains a wall_ms column and a per-mapping wall-clock summary goes to
+// stderr, so the engine's scaling is visible directly from the tool.
+//
 // Usage:
 //
-//	spreadbench -max 4096 -points 8
+//	spreadbench -max 4096 -points 8 -workers 4 -timeout 30s
+//	spreadbench -max 65536 -min 1024 -serial          # serial baseline
+//	spreadbench -max 4096 -dumpmetrics                # Prometheus dump
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"pairfn/internal/core"
 	"pairfn/internal/numtheory"
+	"pairfn/internal/obs"
 	"pairfn/internal/spread"
 )
 
 func main() {
 	max := flag.Int64("max", 4096, "largest n (array positions)")
+	min := flag.Int64("min", 2, "smallest n to sample (sweep halves from max until below this)")
 	points := flag.Int("points", 8, "number of sample points (doubling from max downward)")
+	workers := flag.Int("workers", 0, "parallel engine worker goroutines (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "abort the whole sweep after this duration (0 = no limit)")
+	serial := flag.Bool("serial", false, "measure with the serial loop instead of the parallel engine")
+	dumpMetrics := flag.Bool("dumpmetrics", false, "print a Prometheus dump of the engine metrics (points scanned, stripe latencies) to stderr after the sweep")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	// The engine is instrumented only when the dump is requested; a nil
+	// registry wires nil (no-op) metrics.
+	var reg *obs.Registry
+	if *dumpMetrics {
+		reg = obs.NewRegistry()
+	}
+	eng := &spread.Engine{Workers: *workers, Metrics: spread.NewEngineMetrics(reg)}
 
 	mappings := []core.StorageMapping{
 		core.Diagonal{},
@@ -32,21 +63,52 @@ func main() {
 		core.NewCachedHyperbolic(*max),
 	}
 	var ns []int64
-	for n, i := *max, 0; n >= 2 && i < *points; n, i = n/2, i+1 {
+	for n, i := *max, 0; n >= *min && n >= 2 && i < *points; n, i = n/2, i+1 {
 		ns = append([]int64{n}, ns...)
 	}
-	fmt.Println("mapping,n,spread,spread_over_n2,spread_over_nlogn,lower_bound_Dn")
+	mode := "parallel"
+	effWorkers := *workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
+	if *serial {
+		mode = "serial"
+		effWorkers = 1
+	}
+	fmt.Println("mapping,n,spread,spread_over_n2,spread_over_nlogn,lower_bound_Dn,wall_ms")
 	for _, f := range mappings {
+		var total time.Duration
 		for _, n := range ns {
-			s, _, err := spread.Measure(f, n)
+			var (
+				s   int64
+				err error
+			)
+			start := time.Now()
+			if *serial {
+				s, _, err = spread.Measure(f, n)
+			} else {
+				s, _, err = eng.Measure(ctx, f, n)
+			}
+			elapsed := time.Since(start)
+			total += elapsed
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "spreadbench:", err)
 				os.Exit(1)
 			}
-			fmt.Printf("%s,%d,%d,%.5f,%.5f,%d\n",
+			fmt.Printf("%s,%d,%d,%.5f,%.5f,%d,%.3f\n",
 				f.Name(), n, s,
 				spread.FitQuadratic(n, s), spread.FitNLogN(n, s),
-				numtheory.DivisorSummatory(n))
+				numtheory.DivisorSummatory(n),
+				float64(elapsed.Microseconds())/1000)
+		}
+		fmt.Fprintf(os.Stderr, "spreadbench: %-20s %10.3f ms total (%s, workers=%d)\n",
+			f.Name(), float64(total.Microseconds())/1000, mode, effWorkers)
+	}
+	if *dumpMetrics {
+		fmt.Fprintln(os.Stderr)
+		if err := reg.WritePrometheus(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "spreadbench: metrics dump:", err)
+			os.Exit(1)
 		}
 	}
 }

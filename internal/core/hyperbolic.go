@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 
 	"pairfn/internal/numtheory"
@@ -44,12 +45,20 @@ func (Hyperbolic) Encode(x, y int64) (int64, error) {
 }
 
 // Decode implements PF: find the shell N = xy containing address z, then
-// take the (z − D(N−1))-th largest divisor of N as x.
+// take the (z − D(N−1))-th largest divisor of N as x. Addresses beyond
+// numtheory.MaxSummatoryValue — the largest shell-prefix value computable
+// exactly in int64 — return ErrOverflow rather than garbage coordinates
+// (before this check the shell search probed wrapped summatory values and
+// decoded out-of-range z to arbitrary positions).
 func (Hyperbolic) Decode(z int64) (int64, int64, error) {
 	if err := checkAddr(z); err != nil {
 		return 0, 0, err
 	}
-	n := numtheory.SummatoryInverse(z)
+	n, err := numtheory.SummatoryInverseCheck(z)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: address %d beyond the largest exactly locatable shell (D(2^57) = %d)",
+			ErrOverflow, z, numtheory.MaxSummatoryValue)
+	}
 	rank := z - numtheory.DivisorSummatory(n-1) // 1 … δ(n)
 	divs := numtheory.Divisors(n)
 	x := divs[int64(len(divs))-rank] // rank-th largest divisor

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"errors"
+	"math"
 	"testing"
+	"time"
 
 	"pairfn/internal/numtheory"
 )
@@ -89,6 +92,36 @@ func TestCachedHyperbolicMatches(t *testing.T) {
 		if ax != bx || ay != by {
 			t.Fatalf("Decode(%d): direct (%d,%d) ≠ cached (%d,%d)", z, ax, ay, bx, by)
 		}
+	}
+}
+
+// TestHyperbolicDecodeOverflow is the edge-of-int64 regression for decode:
+// addresses beyond the largest exactly locatable shell must return
+// ErrOverflow promptly. Before the fix, Decode(MaxInt64) spent minutes
+// probing wrapped summatory values and returned garbage coordinates.
+func TestHyperbolicDecodeOverflow(t *testing.T) {
+	start := time.Now()
+	var h Hyperbolic
+	cached := NewCachedHyperbolic(64) // out-of-table fallback hits the same path
+	for _, z := range []int64{numtheory.MaxSummatoryValue + 1, math.MaxInt64} {
+		if _, _, err := h.Decode(z); !errors.Is(err, ErrOverflow) {
+			t.Errorf("Hyperbolic.Decode(%d) = %v, want ErrOverflow", z, err)
+		}
+		if _, _, err := cached.Decode(z); !errors.Is(err, ErrOverflow) {
+			t.Errorf("CachedHyperbolic.Decode(%d) = %v, want ErrOverflow", z, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("out-of-range decode took %v, want immediate rejection", elapsed)
+	}
+	// Just-in-range addresses still decode to consistent coordinates.
+	z := int64(10_000_019)
+	x, y, err := h.Decode(z)
+	if err != nil {
+		t.Fatalf("Decode(%d): %v", z, err)
+	}
+	if back := MustEncode(h, x, y); back != z {
+		t.Errorf("Decode(%d) = (%d, %d), re-encodes to %d", z, x, y, back)
 	}
 }
 

@@ -65,6 +65,22 @@ func DivisorsAtLeast(n, x int64) int64 {
 	return count
 }
 
+// MaxSummatoryArg is the largest argument for which DivisorSummatory (and
+// PartialHyperbolaSum) is guaranteed exact in int64 arithmetic. At
+// n = 2^57 the Dirichlet identity's intermediate Σ⌊n/i⌋ ≈ 2.93·10^18, its
+// double ≈ 5.86·10^18 and the result D(n) ≈ 5.72·10^18 all sit below
+// 2^63 − 1 ≈ 9.22·10^18 with better than 1.5× margin; at n = 2^58 the
+// doubled sum ≈ 1.19·10^19 already wraps, so 2^57 is the last safe power
+// of two.
+const MaxSummatoryArg = int64(1) << 57
+
+// MaxSummatoryValue is DivisorSummatory(MaxSummatoryArg) — the largest
+// divisor-summatory value (equivalently, the largest hyperbolic-PF address
+// whose shell is locatable) that this package can compute exactly in
+// int64. The value is precomputed because the O(√n) evaluation at 2^57
+// walks ~3.8·10^8 quotients; TestMaxSummatoryValueExact re-derives it.
+const MaxSummatoryValue = int64(5716158968706199114)
+
 // DivisorSummatory returns D(n) = Σ_{k=1..n} δ(k) for n ≥ 0, computed
 // exactly in O(√n) time by the Dirichlet hyperbola identity
 //
@@ -73,6 +89,10 @@ func DivisorsAtLeast(n, x int64) int64 {
 // D(n) is also the number of lattice points (x,y) ∈ N×N with xy ≤ n — the
 // cardinality of the Fig. 5 region — and equals the optimal worst-case
 // spread S_ℋ(n) of the hyperbolic PF.
+//
+// The identity is exact only for n ≤ MaxSummatoryArg; beyond that the
+// intermediate 2·Σ⌊n/i⌋ silently wraps. Callers that cannot bound their
+// input should use DivisorSummatoryCheck.
 func DivisorSummatory(n int64) int64 {
 	if n < 0 {
 		panic("numtheory: DivisorSummatory of negative number")
@@ -86,6 +106,49 @@ func DivisorSummatory(n int64) int64 {
 		sum += n / i
 	}
 	return 2*sum - r*r
+}
+
+// DivisorSummatoryCheck returns D(n) like DivisorSummatory, or ErrOverflow
+// when n > MaxSummatoryArg and the Dirichlet identity's intermediates are
+// no longer guaranteed to fit in int64. It panics if n < 0.
+func DivisorSummatoryCheck(n int64) (int64, error) {
+	if n < 0 {
+		panic("numtheory: DivisorSummatoryCheck of negative number")
+	}
+	if n > MaxSummatoryArg {
+		return 0, ErrOverflow
+	}
+	return DivisorSummatory(n), nil
+}
+
+// PartialHyperbolaSum returns Σ_{i=1..t} ⌊n/i⌋ — the number of lattice
+// points (x, y) ∈ N×N with x ≤ t and xy ≤ n, i.e. the first t rows of the
+// Fig. 5 region — in O(√n) time by iterating over the O(√n) distinct
+// quotient blocks of ⌊n/i⌋. Arguments t > n are clamped to n, so
+// PartialHyperbolaSum(n, n) is the full lattice count Σ_{i≤n} ⌊n/i⌋ =
+// DivisorSummatory(n). Exact for n ≤ MaxSummatoryArg (the partial sums are
+// bounded by D(n)). It panics if n < 0 or t < 0.
+//
+// This is the row-prefix function the parallel spread engine inverts to
+// cut the region into stripes of equal lattice-point count.
+func PartialHyperbolaSum(n, t int64) int64 {
+	if n < 0 || t < 0 {
+		panic("numtheory: PartialHyperbolaSum domain error")
+	}
+	if t > n {
+		t = n
+	}
+	var sum int64
+	for i := int64(1); i <= t; {
+		q := n / i
+		j := n / q // last index sharing the quotient q
+		if j > t {
+			j = t
+		}
+		sum += q * (j - i + 1)
+		i = j + 1
+	}
+	return sum
 }
 
 // DivisorSummatoryNaive returns D(n) by direct summation of δ(k); O(n√n).
@@ -118,25 +181,49 @@ func DivisorTable(n int64) []int64 {
 	return t
 }
 
-// SummatoryInverse returns the smallest N ≥ 1 with DivisorSummatory(N) ≥ z,
-// for z ≥ 1. This locates the hyperbolic shell xy = N containing the
-// address z. It runs in O(√N · log N) time via exponential + binary search.
-func SummatoryInverse(z int64) int64 {
+// SummatoryInverseCheck returns the smallest N ≥ 1 with
+// DivisorSummatory(N) ≥ z, locating the hyperbolic shell xy = N that
+// contains the address z, or ErrOverflow when z > MaxSummatoryValue and no
+// shell is locatable in exact int64 arithmetic. It runs in O(√N · log N)
+// time via exponential + binary search, with every probe ≤ MaxSummatoryArg
+// so no probe ever wraps. It panics if z < 1.
+func SummatoryInverseCheck(z int64) (int64, error) {
 	if z < 1 {
 		panic("numtheory: SummatoryInverse domain error")
 	}
-	// Exponential search for an upper bound.
+	if z > MaxSummatoryValue {
+		// Before this O(1) reject the exponential search probed
+		// DivisorSummatory(1<<62), whose wrapped (negative) values sent the
+		// binary search to a garbage shell — and each probe past 2^58 cost
+		// seconds. Out-of-range addresses must be an error, not wrong
+		// coordinates.
+		return 0, ErrOverflow
+	}
+	// Exponential search for an upper bound, capped at the largest shell
+	// whose summatory value is exactly computable. Termination: z ≤
+	// MaxSummatoryValue = DivisorSummatory(MaxSummatoryArg), so the capped
+	// bound always satisfies the predicate.
 	hi := int64(1)
 	for DivisorSummatory(hi) < z {
-		if hi > (1<<62)/2 {
-			hi = 1 << 62
-			break
-		}
 		hi *= 2
+		if hi > MaxSummatoryArg {
+			hi = MaxSummatoryArg
+		}
 	}
 	lo := int64(1)
 	off := sort.Search(int(hi-lo+1), func(i int) bool {
 		return DivisorSummatory(lo+int64(i)) >= z
 	})
-	return lo + int64(off)
+	return lo + int64(off), nil
+}
+
+// SummatoryInverse is SummatoryInverseCheck for callers that can bound
+// their input: it panics if z < 1 or z > MaxSummatoryValue. Use
+// SummatoryInverseCheck where z is data-driven (e.g. decoding addresses).
+func SummatoryInverse(z int64) int64 {
+	n, err := SummatoryInverseCheck(z)
+	if err != nil {
+		panic("numtheory: SummatoryInverse of address beyond MaxSummatoryValue")
+	}
+	return n
 }

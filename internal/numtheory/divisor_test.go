@@ -1,8 +1,11 @@
 package numtheory
 
 import (
+	"errors"
+	"math"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestDivisorCountSmall(t *testing.T) {
@@ -138,6 +141,94 @@ func TestSummatoryInverse(t *testing.T) {
 			t.Fatalf("SummatoryInverse(%d) = %d not minimal", z, n)
 		}
 	}
+}
+
+// TestDivisorSummatoryCheck: the checked variant agrees below the cap and
+// refuses above it instead of wrapping.
+func TestDivisorSummatoryCheck(t *testing.T) {
+	for _, n := range []int64{0, 1, 10, 1000, 1 << 20} {
+		got, err := DivisorSummatoryCheck(n)
+		if err != nil {
+			t.Fatalf("DivisorSummatoryCheck(%d): %v", n, err)
+		}
+		if want := DivisorSummatory(n); got != want {
+			t.Fatalf("DivisorSummatoryCheck(%d) = %d, want %d", n, got, want)
+		}
+	}
+	for _, n := range []int64{MaxSummatoryArg + 1, 1 << 62, math.MaxInt64} {
+		if _, err := DivisorSummatoryCheck(n); !errors.Is(err, ErrOverflow) {
+			t.Errorf("DivisorSummatoryCheck(%d) = %v, want ErrOverflow", n, err)
+		}
+	}
+}
+
+// TestMaxSummatoryValueExact re-derives the precomputed constant: the
+// O(√(2^57)) evaluation walks ~3.8·10^8 quotients, so it is skipped under
+// -short.
+func TestMaxSummatoryValueExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recomputing D(2^57) takes ~1s")
+	}
+	if got := DivisorSummatory(MaxSummatoryArg); got != MaxSummatoryValue {
+		t.Fatalf("D(MaxSummatoryArg) = %d, constant says %d", got, MaxSummatoryValue)
+	}
+}
+
+// TestPartialHyperbolaSum checks the quotient-block prefix sum against the
+// direct row sum, including the t > n clamp and the full-sum identity
+// P(n, n) = D(n).
+func TestPartialHyperbolaSum(t *testing.T) {
+	for _, n := range []int64{0, 1, 2, 16, 137, 300} {
+		var naive int64
+		for x := int64(1); x <= n; x++ {
+			naive += n / x
+			if got := PartialHyperbolaSum(n, x); got != naive {
+				t.Fatalf("P(%d, %d) = %d, want %d", n, x, got, naive)
+			}
+		}
+		if got := PartialHyperbolaSum(n, n+7); got != naive {
+			t.Fatalf("P(%d, n+7) = %d, want clamp to D(n) = %d", n, got, naive)
+		}
+	}
+	for _, n := range []int64{1, 1000, 1 << 16} {
+		if got, want := PartialHyperbolaSum(n, n), DivisorSummatory(n); got != want {
+			t.Fatalf("P(%d, %d) = %d ≠ D(n) = %d", n, n, got, want)
+		}
+	}
+}
+
+// TestSummatoryInverseCheckOverflow is the edge-of-int64 regression for the
+// exponential-search bug: addresses beyond MaxSummatoryValue must be
+// rejected in O(1). Before the fix, SummatoryInverse(MaxInt64) probed
+// DivisorSummatory at 2^58…2^62 — whose intermediates wrap negative — and
+// returned a garbage shell after minutes of divisions.
+func TestSummatoryInverseCheckOverflow(t *testing.T) {
+	start := time.Now()
+	for _, z := range []int64{MaxSummatoryValue + 1, 6 << 60, math.MaxInt64} {
+		if _, err := SummatoryInverseCheck(z); !errors.Is(err, ErrOverflow) {
+			t.Errorf("SummatoryInverseCheck(%d) = %v, want ErrOverflow", z, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("out-of-range rejection took %v, want O(1)", elapsed)
+	}
+	// In-range addresses still resolve, checked and unchecked alike.
+	for _, z := range []int64{1, 2, 27, 482, 1_000_000} {
+		n, err := SummatoryInverseCheck(z)
+		if err != nil {
+			t.Fatalf("SummatoryInverseCheck(%d): %v", z, err)
+		}
+		if want := SummatoryInverse(z); n != want {
+			t.Fatalf("SummatoryInverseCheck(%d) = %d, SummatoryInverse = %d", z, n, want)
+		}
+	}
+	// The unchecked variant panics instead of returning garbage.
+	defer func() {
+		if recover() == nil {
+			t.Error("SummatoryInverse beyond MaxSummatoryValue should panic")
+		}
+	}()
+	SummatoryInverse(math.MaxInt64)
 }
 
 func TestSummatoryInverseProperty(t *testing.T) {

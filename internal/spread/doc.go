@@ -11,15 +11,35 @@
 // Ω(n log n) and why the hyperbolic PF's S_ℋ(n) = D(n) is optimal (§3.2.3).
 //
 // The package provides the lattice enumeration (HyperbolaPoints,
-// RegionSize), the measurement itself (Measure, MeasureParallel,
-// MeasureConforming, WorstShape, Curve) and asymptotic-fit helpers
-// (FitNLogN, FitQuadratic).
+// RegionSize), the measurement itself (Measure, MeasureConforming,
+// WorstShape, Curve), a parallel measurement engine (Engine, with the
+// context-free conveniences MeasureParallel, CurveParallel,
+// MeasureConformingParallel) and asymptotic-fit helpers (FitNLogN,
+// FitQuadratic, FitGrowth).
+//
+// # The parallel engine
+//
+// Engine partitions the region into contiguous x-stripes of near-equal
+// lattice-point count — stripe boundaries are found by inverting the
+// row-prefix function numtheory.PartialHyperbolaSum, so the heavy small-x
+// rows do not pile onto one worker — and fans the stripes out over a
+// bounded pool (Workers, default GOMAXPROCS) with oversubscription for
+// scheduling slack. Stripe maxima merge in ascending-x order under a
+// strict maximum, making the result (argmax included) bit-identical to
+// the serial Measure. Engine.Measure honors context cancellation and
+// deadlines, propagates the first Encode error, and optionally reports a
+// points-scanned counter and a stripe-latency histogram through
+// internal/obs (EngineMetrics).
 //
 // # Overflow and concurrency
 //
 // All lattice arithmetic is exact int64; Measure propagates the measured
 // mapping's ErrOverflow rather than clamping, so a reported spread is
-// always an exactly attained address. Every function is pure and safe for
-// concurrent use; MeasureParallel additionally shards the lattice across
-// worker goroutines internally and is itself safe to call concurrently.
+// always an exactly attained address, and MeasureConforming computes its
+// loop bound a·b·k² with checked arithmetic, returning
+// numtheory.ErrOverflow instead of silently wrapping. Every function is
+// pure and safe for concurrent use; the Engine additionally shards work
+// across goroutines internally and is itself safe to use concurrently.
+// The measured mapping must therefore be safe for concurrent Encode —
+// every mapping in this repository is.
 package spread

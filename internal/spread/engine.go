@@ -1,0 +1,376 @@
+package spread
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"pairfn/internal/core"
+	"pairfn/internal/numtheory"
+	"pairfn/internal/obs"
+)
+
+// stripesPerWorker oversubscribes the stripe count relative to the worker
+// pool so a worker that drew a cheap stripe (large x, short rows) can steal
+// more work instead of idling behind the worker holding row 1.
+const stripesPerWorker = 4
+
+// ctxPollInterval is how many lattice points a worker scans between
+// context polls — small enough that cancellation/timeout latency is
+// microseconds even for cheap mappings, large enough that ctx.Err()'s
+// mutex never shows up in profiles.
+const ctxPollInterval = 1 << 12
+
+// EngineMetrics is the engine's observability hook, wired from an
+// obs.Registry. Every field is optional: a nil *EngineMetrics or nil
+// fields disable instrumentation with zero overhead beyond a nil check,
+// thanks to obs's nil-receiver no-ops.
+type EngineMetrics struct {
+	// Measurements counts Engine.Measure / MeasureConforming calls
+	// (spread_measurements_total).
+	Measurements *obs.Counter
+	// Points counts lattice points scanned, flushed once per stripe
+	// (spread_points_scanned_total). A complete Measure(n) adds exactly
+	// D(n): the stripes tile the region.
+	Points *obs.Counter
+	// Stripes counts stripes handed to workers (spread_stripes_total).
+	Stripes *obs.Counter
+	// StripeSeconds is the per-stripe wall-clock latency histogram
+	// (spread_stripe_duration_seconds) — the balance check: with
+	// count-balanced stripes the spread of this distribution stays narrow.
+	StripeSeconds *obs.Histogram
+}
+
+// NewEngineMetrics registers the engine's metric families on r and returns
+// the wired set. On a nil registry every metric is nil, i.e. a no-op.
+func NewEngineMetrics(r *obs.Registry) *EngineMetrics {
+	r.Help("spread_measurements_total", "Spread measurements started (Measure and MeasureConforming).")
+	r.Help("spread_points_scanned_total", "Lattice points scanned by spread-measurement workers.")
+	r.Help("spread_stripes_total", "Region stripes dispatched to spread-measurement workers.")
+	r.Help("spread_stripe_duration_seconds", "Wall-clock latency of one region stripe scan.")
+	return &EngineMetrics{
+		Measurements:  r.Counter("spread_measurements_total"),
+		Points:        r.Counter("spread_points_scanned_total"),
+		Stripes:       r.Counter("spread_stripes_total"),
+		StripeSeconds: r.Histogram("spread_stripe_duration_seconds", obs.DefDurationBuckets),
+	}
+}
+
+// Nil-receiver accessors so Engine code can instrument unconditionally.
+func (m *EngineMetrics) measurements() *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.Measurements
+}
+
+func (m *EngineMetrics) points() *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.Points
+}
+
+func (m *EngineMetrics) stripes() *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.Stripes
+}
+
+func (m *EngineMetrics) stripeSeconds() *obs.Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.StripeSeconds
+}
+
+// An Engine measures spread functions in parallel: it partitions the
+// lattice region into contiguous x-stripes balanced by lattice-point count
+// (sized with the divisor summatory function, eq. 3.1's own combinatorics)
+// and fans the stripes out over a bounded worker pool.
+//
+// Results are bit-identical to the serial functions, argmax included:
+// stripes are merged in ascending-x order under a strict maximum, which
+// reproduces Measure's row-major "first position attaining the maximum"
+// tie-breaking exactly. The measured mapping must be safe for concurrent
+// Encode (every mapping in this repository is; CachedHyperbolic
+// synchronizes its table build internally).
+//
+// The zero value is ready to use: GOMAXPROCS workers, no instrumentation.
+// An Engine is immutable after construction and safe for concurrent use.
+type Engine struct {
+	// Workers bounds the worker pool; ≤ 0 selects GOMAXPROCS.
+	Workers int
+	// Metrics, when non-nil, receives points-scanned counts and
+	// stripe-latency observations (see NewEngineMetrics).
+	Metrics *EngineMetrics
+}
+
+// stripe is an inclusive contiguous row range [lo, hi] of the region.
+type stripe struct{ lo, hi int64 }
+
+// partial is one stripe's result: its local maximum and the row-major
+// first position attaining it, or the error that stopped the scan.
+type partial struct {
+	s   int64
+	at  Point
+	err error
+}
+
+// Measure returns S_A(n) and its argmax like Measure, sharded over the
+// worker pool. It honors ctx: cancellation or deadline expiry stops all
+// workers within ctxPollInterval points and returns the context's error.
+// The first Encode error (lowest stripe) cancels the remaining work and is
+// propagated.
+func (e *Engine) Measure(ctx context.Context, f core.StorageMapping, n int64) (int64, Point, error) {
+	if n < 1 {
+		return 0, Point{}, fmt.Errorf("spread: n = %d < 1", n)
+	}
+	e.Metrics.measurements().Inc()
+	workers := e.workerCount(n)
+	stripes := hyperbolaStripes(n, workers*stripesPerWorker)
+	partials := e.scan(ctx, workers, stripes, f, func(x int64) int64 { return n / x })
+	return e.finish(ctx, f, partials)
+}
+
+// Curve returns S_A(n) for each n in ns, each measured in parallel.
+func (e *Engine) Curve(ctx context.Context, f core.StorageMapping, ns []int64) ([]int64, error) {
+	out := make([]int64, len(ns))
+	for i, n := range ns {
+		s, _, err := e.Measure(ctx, f, n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// MeasureConforming returns the eq. 3.2 restricted spread like
+// MeasureConforming, sharded over the worker pool. The conforming
+// rectangles are nested (the ak×bk rectangle contains every smaller one),
+// so scanning the largest — partitioned into row stripes of equal point
+// count — visits every position the serial loop visits at least once and
+// yields the identical maximum.
+func (e *Engine) MeasureConforming(ctx context.Context, f core.StorageMapping, a, b, n int64) (int64, error) {
+	if a < 1 || b < 1 || n < 1 {
+		return 0, fmt.Errorf("spread: MeasureConforming domain error (a=%d b=%d n=%d)", a, b, n)
+	}
+	e.Metrics.measurements().Inc()
+	kmax, err := conformingScale(a, b, n)
+	if err != nil {
+		return 0, err
+	}
+	if kmax == 0 {
+		return 0, nil
+	}
+	rows, cols := a*kmax, b*kmax // ≤ a·b·kmax² ≤ n: no overflow possible
+	workers := e.workerCount(rows)
+	stripes := rectStripes(rows, workers*stripesPerWorker)
+	partials := e.scan(ctx, workers, stripes, f, func(int64) int64 { return cols })
+	s, _, err := e.finish(ctx, f, partials)
+	return s, err
+}
+
+// workerCount resolves the pool size for a region with the given number of
+// rows.
+func (e *Engine) workerCount(rows int64) int {
+	w := e.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if int64(w) > rows {
+		w = int(rows)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// scan fans the stripes out over the pool and returns one partial per
+// stripe, index-aligned. Encode errors cancel the remaining stripes.
+func (e *Engine) scan(ctx context.Context, workers int, stripes []stripe, f core.StorageMapping, width func(int64) int64) []partial {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if workers > len(stripes) {
+		workers = len(stripes)
+	}
+	partials := make([]partial, len(stripes))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				partials[idx] = e.scanStripe(ctx, cancel, stripes[idx], f, width)
+			}
+		}()
+	}
+	for idx := range stripes {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	return partials
+}
+
+// scanStripe scans one stripe row-major, polling ctx every ctxPollInterval
+// points. On an Encode error it cancels the whole scan and records the
+// failing position.
+func (e *Engine) scanStripe(ctx context.Context, cancel context.CancelFunc, st stripe, f core.StorageMapping, width func(int64) int64) (p partial) {
+	start := time.Now()
+	var scanned, sincePoll int64
+	defer func() {
+		e.Metrics.points().Add(scanned)
+		e.Metrics.stripes().Inc()
+		e.Metrics.stripeSeconds().Observe(time.Since(start).Seconds())
+	}()
+	if err := ctx.Err(); err != nil {
+		return partial{err: err}
+	}
+	var best int64
+	var at Point
+	for x := st.lo; x <= st.hi; x++ {
+		w := width(x)
+		for y := int64(1); y <= w; y++ {
+			if sincePoll++; sincePoll >= ctxPollInterval {
+				sincePoll = 0
+				if err := ctx.Err(); err != nil {
+					return partial{err: err}
+				}
+			}
+			z, err := f.Encode(x, y)
+			if err != nil {
+				cancel()
+				return partial{err: fmt.Errorf("spread: %s(%d, %d): %w", f.Name(), x, y, err)}
+			}
+			if z > best {
+				best, at = z, Point{X: x, Y: y}
+			}
+			scanned++
+		}
+	}
+	return partial{s: best, at: at}
+}
+
+// finish merges per-stripe partials deterministically: the first Encode
+// error in ascending stripe order wins; otherwise cancellation surfaces
+// the context error; otherwise maxima merge under strict >, matching the
+// serial row-major argmax bit for bit.
+func (e *Engine) finish(ctx context.Context, f core.StorageMapping, partials []partial) (int64, Point, error) {
+	canceled := false
+	for _, p := range partials {
+		if p.err == nil {
+			continue
+		}
+		if errors.Is(p.err, context.Canceled) || errors.Is(p.err, context.DeadlineExceeded) {
+			canceled = true
+			continue
+		}
+		return 0, Point{}, p.err
+	}
+	if canceled || ctx.Err() != nil {
+		err := ctx.Err()
+		if err == nil {
+			err = context.Canceled
+		}
+		return 0, Point{}, fmt.Errorf("spread: %s: %w", f.Name(), err)
+	}
+	var s int64
+	var at Point
+	for _, p := range partials {
+		if p.s > s {
+			s, at = p.s, p.at
+		}
+	}
+	return s, at, nil
+}
+
+// hyperbolaStripes partitions rows 1..n of the hyperbola region into at
+// most k contiguous stripes of near-equal lattice-point count: stripe s
+// ends at the smallest row t whose row-prefix count PartialHyperbolaSum(n,
+// t) reaches s/k of D(n). Row 1 alone holds n of the D(n) ≈ n ln n points,
+// so the first stripe is inherently heavier once k exceeds ln n — the
+// stripe oversubscription (stripesPerWorker) absorbs that imbalance at the
+// scheduling level.
+//
+// The stripes always tile [1, n] exactly, in ascending order, regardless
+// of how lopsided the counts are.
+func hyperbolaStripes(n int64, k int) []stripe {
+	if k < 1 {
+		k = 1
+	}
+	if int64(k) > n {
+		k = int(n)
+	}
+	total := numtheory.DivisorSummatory(n)
+	out := make([]stripe, 0, k)
+	lo := int64(1)
+	for s := 1; s <= k && lo <= n; s++ {
+		hi := n
+		if s < k {
+			// Cumulative target ⌊total·s/k⌋ without overflowing total·s.
+			kk, ss := int64(k), int64(s)
+			tgt := total/kk*ss + total%kk*ss/kk
+			off := sort.Search(int(n-lo+1), func(i int) bool {
+				return numtheory.PartialHyperbolaSum(n, lo+int64(i)) >= tgt
+			})
+			hi = lo + int64(off)
+			if hi > n {
+				hi = n
+			}
+		}
+		out = append(out, stripe{lo: lo, hi: hi})
+		lo = hi + 1
+	}
+	return out
+}
+
+// rectStripes partitions rows 1..rows of a rectangle (uniform row width)
+// into at most k contiguous stripes of near-equal row count.
+func rectStripes(rows int64, k int) []stripe {
+	if k < 1 {
+		k = 1
+	}
+	if int64(k) > rows {
+		k = int(rows)
+	}
+	out := make([]stripe, 0, k)
+	lo := int64(1)
+	for s := 1; s <= k && lo <= rows; s++ {
+		// ⌊rows·s/k⌋ without overflowing rows·s (rows may be near 2^57).
+		kk, ss := int64(k), int64(s)
+		hi := rows/kk*ss + rows%kk*ss/kk
+		if hi < lo {
+			hi = lo
+		}
+		out = append(out, stripe{lo: lo, hi: hi})
+		lo = hi + 1
+	}
+	return out
+}
+
+// conformingScale returns the largest k ≥ 0 with a·b·k² ≤ n, computing the
+// bound with checked arithmetic: when a·b itself exceeds int64 the bound
+// is not representable and ErrOverflow is returned (before this check the
+// product wrapped negative and the eq. 3.2 loop scanned garbage
+// rectangles). For representable a·b the exact answer is ⌊√⌊n/ab⌋⌋ —
+// ab·k² ≤ ab·⌊n/ab⌋ ≤ n, while (k+1)² > ⌊n/ab⌋ forces ab·(k+1)² > n — so
+// every later multiplication is bounded by n and cannot overflow.
+func conformingScale(a, b, n int64) (int64, error) {
+	ab, err := numtheory.MulCheck(a, b)
+	if err != nil {
+		return 0, fmt.Errorf("spread: conforming bound a·b (a=%d b=%d): %w", a, b, err)
+	}
+	if ab > n {
+		return 0, nil
+	}
+	return numtheory.Isqrt(n / ab), nil
+}

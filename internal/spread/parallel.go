@@ -1,71 +1,34 @@
 package spread
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
+	"context"
 
 	"pairfn/internal/core"
 )
 
-// MeasureParallel computes S_A(n) like Measure, but shards the Θ(n log n)
-// lattice region across a worker pool — the measurement itself is
-// embarrassingly parallel because every position's address is independent.
-// Workers ≤ 0 selects GOMAXPROCS. The mapping must be safe for concurrent
-// Encode (every mapping in this repository is; the cached hyperbolic PF
-// synchronizes its table internally).
+// MeasureParallel computes S_A(n) like Measure, sharded across a worker
+// pool — the measurement is embarrassingly parallel because every
+// position's address is independent. Workers ≤ 0 selects GOMAXPROCS. The
+// mapping must be safe for concurrent Encode (every mapping in this
+// repository is; the cached hyperbolic PF synchronizes its table
+// internally).
 //
-// Rows are handed out in strided batches so the heavy small-x rows (row x
-// has ⌊n/x⌋ positions) spread evenly across workers.
+// This is the context-free convenience form of Engine.Measure; results are
+// bit-identical to the serial Measure, argmax included.
 func MeasureParallel(f core.StorageMapping, n int64, workers int) (int64, Point, error) {
-	if n < 1 {
-		return 0, Point{}, fmt.Errorf("spread: n = %d < 1", n)
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > int(n) {
-		workers = int(n)
-	}
-	type partial struct {
-		s   int64
-		at  Point
-		err error
-	}
-	results := make([]partial, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var best int64
-			var at Point
-			for x := int64(w) + 1; x <= n; x += int64(workers) {
-				for y := int64(1); y <= n/x; y++ {
-					z, err := f.Encode(x, y)
-					if err != nil {
-						results[w] = partial{err: fmt.Errorf("spread: %s(%d, %d): %w",
-							f.Name(), x, y, err)}
-						return
-					}
-					if z > best {
-						best, at = z, Point{X: x, Y: y}
-					}
-				}
-			}
-			results[w] = partial{s: best, at: at}
-		}(w)
-	}
-	wg.Wait()
-	var s int64
-	var at Point
-	for _, p := range results {
-		if p.err != nil {
-			return 0, Point{}, p.err
-		}
-		if p.s > s {
-			s, at = p.s, p.at
-		}
-	}
-	return s, at, nil
+	return (&Engine{Workers: workers}).Measure(context.Background(), f, n)
+}
+
+// CurveParallel returns S_A(n) for each n in ns, each measured through the
+// parallel engine. It is the context-free convenience form of Engine.Curve.
+func CurveParallel(f core.StorageMapping, ns []int64, workers int) ([]int64, error) {
+	return (&Engine{Workers: workers}).Curve(context.Background(), f, ns)
+}
+
+// MeasureConformingParallel computes the eq. 3.2 restricted spread like
+// MeasureConforming, sharded across a worker pool. It is the context-free
+// convenience form of Engine.MeasureConforming and returns the identical
+// value (and the identical ErrOverflow on unrepresentable a·b bounds).
+func MeasureConformingParallel(f core.StorageMapping, a, b, n int64, workers int) (int64, error) {
+	return (&Engine{Workers: workers}).MeasureConforming(context.Background(), f, a, b, n)
 }

@@ -67,13 +67,21 @@ func Measure(f core.StorageMapping, n int64) (s int64, at Point, err error) {
 // i.e. the largest address assigned to any position of a conforming
 // (ak × bk) array with ≤ n positions. For the paper's 𝒜_{a,b} this equals
 // the size abk² of the largest conforming array that fits — perfect storage
-// utilization. Returns 0 if no conforming array has ≤ n positions.
+// utilization. Returns 0 if no conforming array has ≤ n positions, and
+// numtheory.ErrOverflow (wrapped) when the loop bound a·b·k² is not
+// representable in int64 — previously that bound was computed with raw
+// multiplications that silently wrapped negative, so huge aspect ratios
+// sent the loop scanning garbage rectangles instead of failing.
 func MeasureConforming(f core.StorageMapping, a, b, n int64) (int64, error) {
 	if a < 1 || b < 1 || n < 1 {
 		return 0, fmt.Errorf("spread: MeasureConforming domain error (a=%d b=%d n=%d)", a, b, n)
 	}
+	kmax, err := conformingScale(a, b, n)
+	if err != nil {
+		return 0, err
+	}
 	var s int64
-	for k := int64(1); a*b*k*k <= n; k++ {
+	for k := int64(1); k <= kmax; k++ {
 		// Only the new shell relative to k−1 can raise the maximum, but the
 		// full rectangle is scanned to keep this an independent check of
 		// the mapping, not of its shell structure.
@@ -93,11 +101,15 @@ func MeasureConforming(f core.StorageMapping, a, b, n int64) (int64, error) {
 }
 
 // WorstShape returns the dimensions of the ≤ n-position array on which
-// the mapping realizes its spread: the bounding box (at.X × y-extent)
-// containing the argmax position — concretely, the shape a user should
-// avoid giving this mapping. For 𝒟, 𝒜₁,₁ and Morton it is the thin 1×n
-// array; for 𝒜_{a,b} it is the most off-ratio shape; ℋ has no avoidable
-// shape (its max sits on the hyperbola's rim wherever δ peaks).
+// the mapping realizes its spread: rows×cols are the coordinates of the
+// argmax position itself — the smallest array containing it, with
+// rows·cols ≤ n by construction and f(rows, cols) = spread exactly —
+// concretely, the shape a user should avoid giving this mapping. For 𝒟,
+// 𝒜₁,₁ and Morton it is the thin 1×n array; for 𝒜_{a,b} it is the most
+// off-ratio shape. For ℋ the returned shape is also 1×n (the argmax D(n)
+// sits at position (1, n) on the hyperbola's rim), but unlike the
+// quadratic mappings avoiding it buys nothing: every shape on the rim
+// costs Θ(n log n), which is ℋ's optimality, not its weakness.
 func WorstShape(f core.StorageMapping, n int64) (rows, cols, spread int64, err error) {
 	s, at, err := Measure(f, n)
 	if err != nil {

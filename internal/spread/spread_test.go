@@ -1,8 +1,10 @@
 package spread
 
 import (
+	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"pairfn/internal/core"
 	"pairfn/internal/numtheory"
@@ -227,6 +229,48 @@ func TestMeasureErrors(t *testing.T) {
 	}
 }
 
+// TestWorstShapeContract pins the documented return contract after the
+// doc/return mismatch fix: rows×cols are the argmax position's own
+// coordinates (the smallest array containing it), rows·cols ≤ n, and the
+// mapping attains exactly the returned spread there. For ℋ the worst
+// shape is 1×n with spread D(n) — the rim of the hyperbola — which is the
+// optimal Θ(n log n), not an avoidable weakness.
+func TestWorstShapeContract(t *testing.T) {
+	const n = 512
+	mappings := []core.StorageMapping{
+		core.Diagonal{}, core.SquareShell{}, core.MustAspect(2, 1),
+		core.Morton{}, core.NewCachedHyperbolic(n),
+	}
+	for _, f := range mappings {
+		r, c, s, err := WorstShape(f, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, at, err := Measure(f, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r != at.X || c != at.Y {
+			t.Errorf("%s: WorstShape (%d, %d) ≠ Measure argmax %+v", f.Name(), r, c, at)
+		}
+		if r*c > n {
+			t.Errorf("%s: worst shape %d×%d has more than n = %d positions", f.Name(), r, c, n)
+		}
+		if z, err := f.Encode(r, c); err != nil || z != s {
+			t.Errorf("%s: f(%d, %d) = (%d, %v), want the returned spread %d", f.Name(), r, c, z, err, s)
+		}
+	}
+	// The ℋ claim, concretely: worst shape 1×n, spread exactly D(n).
+	r, c, s, err := WorstShape(core.NewCachedHyperbolic(n), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 || c != n || s != numtheory.DivisorSummatory(n) {
+		t.Errorf("ℋ: worst shape %d×%d spread %d, want 1×%d spread D(n) = %d",
+			r, c, s, n, numtheory.DivisorSummatory(n))
+	}
+}
+
 // TestHyperbolaPointsEmpty covers the degenerate inputs.
 func TestHyperbolaPointsEmpty(t *testing.T) {
 	if HyperbolaPoints(0) != nil {
@@ -234,6 +278,57 @@ func TestHyperbolaPointsEmpty(t *testing.T) {
 	}
 	if RegionSize(0) != 0 {
 		t.Error("RegionSize(0) should be 0")
+	}
+}
+
+// TestMeasureConformingOverflow is the edge-of-int64 regression for the
+// eq. 3.2 loop bound: when a·b·k² is not representable, MeasureConforming
+// must return ErrOverflow promptly. Before the fix the raw product a·b·k·k
+// wrapped negative, the bound check passed forever, and the loop started
+// scanning a 3-billion-row "rectangle".
+func TestMeasureConformingOverflow(t *testing.T) {
+	start := time.Now()
+	// 3037000500² ≈ 9.22·10^18 > MaxInt64: a·b overflows at k = 1.
+	const big = int64(3037000500)
+	for name, run := range map[string]func() (int64, error){
+		"serial":   func() (int64, error) { return MeasureConforming(core.Diagonal{}, big, big, 1000) },
+		"parallel": func() (int64, error) { return MeasureConformingParallel(core.Diagonal{}, big, big, 1000, 2) },
+	} {
+		s, err := run()
+		if !errors.Is(err, numtheory.ErrOverflow) {
+			t.Errorf("%s: MeasureConforming(a=b=%d) = (%d, %v), want ErrOverflow", name, big, s, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("overflow rejection took %v, want immediate", elapsed)
+	}
+	// A representable-but-larger-than-n product is a clean zero, not an
+	// error: no conforming array fits.
+	s, err := MeasureConforming(core.Diagonal{}, 1<<31, 1<<30, 1000)
+	if err != nil || s != 0 {
+		t.Errorf("a·b > n: got (%d, %v), want (0, nil)", s, err)
+	}
+}
+
+// TestConformingScale pins the checked bound: largest k with a·b·k² ≤ n.
+func TestConformingScale(t *testing.T) {
+	cases := []struct{ a, b, n, want int64 }{
+		{1, 1, 1, 1}, {1, 1, 3, 1}, {1, 1, 4, 2}, {1, 2, 1000, 22},
+		{3, 2, 6, 1}, {3, 2, 5, 0}, {2, 3, 24, 2}, {1, 1, math.MaxInt64, 3037000499},
+	}
+	for _, c := range cases {
+		got, err := conformingScale(c.a, c.b, c.n)
+		if err != nil {
+			t.Fatalf("conformingScale(%d, %d, %d): %v", c.a, c.b, c.n, err)
+		}
+		if got != c.want {
+			t.Errorf("conformingScale(%d, %d, %d) = %d, want %d", c.a, c.b, c.n, got, c.want)
+		}
+		if got > 0 {
+			if c.a*c.b*got*got > c.n {
+				t.Errorf("conformingScale(%d, %d, %d) = %d: bound exceeds n", c.a, c.b, c.n, got)
+			}
+		}
 	}
 }
 
