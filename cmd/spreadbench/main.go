@@ -8,15 +8,21 @@
 // gains a wall_ms column and a per-mapping wall-clock summary goes to
 // stderr, so the engine's scaling is visible directly from the tool.
 //
+// With -json, each measurement is emitted as one JSON object per line
+// (JSONL) instead of CSV — the machine-readable form CI archives as a
+// benchmark artifact for run-over-run comparison.
+//
 // Usage:
 //
 //	spreadbench -max 4096 -points 8 -workers 4 -timeout 30s
 //	spreadbench -max 65536 -min 1024 -serial          # serial baseline
+//	spreadbench -max 4096 -json > BENCH_spread.json   # JSONL records
 //	spreadbench -max 4096 -dumpmetrics                # Prometheus dump
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +43,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the whole sweep after this duration (0 = no limit)")
 	serial := flag.Bool("serial", false, "measure with the serial loop instead of the parallel engine")
 	dumpMetrics := flag.Bool("dumpmetrics", false, "print a Prometheus dump of the engine metrics (points scanned, stripe latencies) to stderr after the sweep")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per measurement (JSONL) instead of CSV")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -75,7 +82,21 @@ func main() {
 		mode = "serial"
 		effWorkers = 1
 	}
-	fmt.Println("mapping,n,spread,spread_over_n2,spread_over_nlogn,lower_bound_Dn,wall_ms")
+	type record struct {
+		Mapping    string  `json:"mapping"`
+		N          int64   `json:"n"`
+		Spread     int64   `json:"spread"`
+		OverN2     float64 `json:"spread_over_n2"`
+		OverNLogN  float64 `json:"spread_over_nlogn"`
+		LowerBound int64   `json:"lower_bound_Dn"`
+		WallMs     float64 `json:"wall_ms"`
+		Mode       string  `json:"mode"`
+		Workers    int     `json:"workers"`
+	}
+	enc := json.NewEncoder(os.Stdout)
+	if !*jsonOut {
+		fmt.Println("mapping,n,spread,spread_over_n2,spread_over_nlogn,lower_bound_Dn,wall_ms")
+	}
 	for _, f := range mappings {
 		var total time.Duration
 		for _, n := range ns {
@@ -94,6 +115,19 @@ func main() {
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "spreadbench:", err)
 				os.Exit(1)
+			}
+			if *jsonOut {
+				if err := enc.Encode(record{
+					Mapping: f.Name(), N: n, Spread: s,
+					OverN2: spread.FitQuadratic(n, s), OverNLogN: spread.FitNLogN(n, s),
+					LowerBound: numtheory.DivisorSummatory(n),
+					WallMs:     float64(elapsed.Microseconds()) / 1000,
+					Mode:       mode, Workers: effWorkers,
+				}); err != nil {
+					fmt.Fprintln(os.Stderr, "spreadbench:", err)
+					os.Exit(1)
+				}
+				continue
 			}
 			fmt.Printf("%s,%d,%d,%.5f,%.5f,%d,%.3f\n",
 				f.Name(), n, s,

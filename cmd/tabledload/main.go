@@ -1,0 +1,313 @@
+// Command tabledload is the concurrent load generator for the tabled
+// service and the E23 experiment driver: it measures batched set/get
+// throughput and latency against either a running tabledserver (HTTP mode)
+// or an in-process backend (-direct), where the sharded store and the
+// extarray.Sync global-mutex baseline can be compared head to head under
+// client contention.
+//
+// Usage:
+//
+//	tabledload -addr http://localhost:8080 -clients 8 -batch 128 -ops 100000
+//	tabledload -direct -backend sharded -shards 16 -clients 8 -batch 128
+//	tabledload -direct -backend sync    -clients 8 -batch 128   # E23 baseline
+//	tabledload -direct -backend hash    -clients 8 -batch 128   # §3-aside store
+//
+// Each client issues batches of -batch cells at uniformly random positions
+// of the rows×cols table: a set-batch with probability -setfrac, else a
+// get-batch. With -resize-every K, client 0 additionally grows the table by
+// one row every K batches — reshapes under live traffic, the §3 scenario.
+// Per-batch latencies are aggregated into p50/p95/p99; the summary goes to
+// stderr and, with -json, one machine-readable JSON line to stdout.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pairfn/internal/core"
+	"pairfn/internal/extarray"
+	"pairfn/internal/tabled"
+)
+
+// driver abstracts the two modes behind batch calls.
+type driver interface {
+	setBatch(cells []tabled.Cell[string]) error
+	getBatch(keys []tabled.Pos) error
+	resize(rows, cols int64) error
+	describe() tabled.Info
+}
+
+type report struct {
+	Mode     string  `json:"mode"`
+	Backend  string  `json:"backend"`
+	Mapping  string  `json:"mapping,omitempty"`
+	Shards   int     `json:"shards"`
+	Clients  int     `json:"clients"`
+	Batch    int     `json:"batch"`
+	SetFrac  float64 `json:"set_fraction"`
+	Ops      int64   `json:"ops"`
+	Resizes  int64   `json:"resizes"`
+	Errors   int64   `json:"errors"`
+	WallMs   float64 `json:"wall_ms"`
+	OpsPerS  float64 `json:"ops_per_sec"`
+	P50us    float64 `json:"batch_p50_us"`
+	P95us    float64 `json:"batch_p95_us"`
+	P99us    float64 `json:"batch_p99_us"`
+	GoMaxPro int     `json:"gomaxprocs"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "tabledserver base URL (HTTP mode)")
+	direct := flag.Bool("direct", false, "drive an in-process backend instead of a server (E23 mode)")
+	backend := flag.String("backend", "sharded", "in-process backend: sharded | sync | hash (with -direct)")
+	shards := flag.Int("shards", 16, "shard count for -direct -backend sharded")
+	mapping := flag.String("mapping", "square-shell", "storage mapping (any core.ByName form; -direct)")
+	rows := flag.Int64("rows", 1024, "table rows (position space; -direct creates the table, HTTP mode resizes to at least this)")
+	cols := flag.Int64("cols", 1024, "table cols")
+	clients := flag.Int("clients", 8, "concurrent clients")
+	batch := flag.Int("batch", 128, "cells per batch")
+	ops := flag.Int64("ops", 200000, "total cell operations across all clients")
+	setFrac := flag.Float64("setfrac", 0.5, "fraction of batches that are sets")
+	resizeEvery := flag.Int("resize-every", 0, "client 0 grows the table by one row every N of its batches (0 = never)")
+	seed := flag.Int64("seed", 1, "PRNG seed")
+	jsonOut := flag.Bool("json", false, "emit one JSON summary line to stdout")
+	flag.Parse()
+
+	var (
+		d   driver
+		err error
+	)
+	if *direct {
+		d, err = newDirectDriver(*backend, *mapping, *shards, *rows, *cols)
+	} else {
+		d, err = newHTTPDriver(*addr, *rows, *cols)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tabledload:", err)
+		return 1
+	}
+
+	totalBatches := *ops / int64(*batch)
+	if totalBatches < 1 {
+		totalBatches = 1
+	}
+	var (
+		nextBatch atomic.Int64
+		errCount  atomic.Int64
+		resizes   atomic.Int64
+		curRows   atomic.Int64
+	)
+	curRows.Store(*rows)
+	latencies := make([][]float64, *clients)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			cells := make([]tabled.Cell[string], *batch)
+			keys := make([]tabled.Pos, *batch)
+			myBatches := 0
+			for nextBatch.Add(1) <= totalBatches {
+				myBatches++
+				if w == 0 && *resizeEvery > 0 && myBatches%*resizeEvery == 0 {
+					nr := curRows.Add(1)
+					if err := d.resize(nr, *cols); err != nil {
+						errCount.Add(1)
+					} else {
+						resizes.Add(1)
+					}
+				}
+				t0 := time.Now()
+				if rng.Float64() < *setFrac {
+					for i := range cells {
+						cells[i] = tabled.Cell[string]{
+							X: rng.Int63n(*rows) + 1, Y: rng.Int63n(*cols) + 1,
+							V: fmt.Sprintf("w%d-%d", w, i),
+						}
+					}
+					if err := d.setBatch(cells); err != nil {
+						errCount.Add(1)
+					}
+				} else {
+					for i := range keys {
+						keys[i] = tabled.Pos{X: rng.Int63n(*rows) + 1, Y: rng.Int63n(*cols) + 1}
+					}
+					if err := d.getBatch(keys); err != nil {
+						errCount.Add(1)
+					}
+				}
+				latencies[w] = append(latencies[w], float64(time.Since(t0).Microseconds()))
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []float64
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	sort.Float64s(all)
+	info := d.describe()
+	mode := "http"
+	if *direct {
+		mode = "direct"
+	}
+	doneOps := totalBatches * int64(*batch)
+	rep := report{
+		Mode: mode, Backend: info.Backend, Mapping: info.Mapping, Shards: info.Shards,
+		Clients: *clients, Batch: *batch, SetFrac: *setFrac,
+		Ops: doneOps, Resizes: resizes.Load(), Errors: errCount.Load(),
+		WallMs:  float64(wall.Microseconds()) / 1000,
+		OpsPerS: float64(doneOps) / wall.Seconds(),
+		P50us:   percentile(all, 0.50), P95us: percentile(all, 0.95), P99us: percentile(all, 0.99),
+		GoMaxPro: runtime.GOMAXPROCS(0),
+	}
+	fmt.Fprintf(os.Stderr,
+		"tabledload: %s/%s shards=%d clients=%d batch=%d setfrac=%.2f\n"+
+			"tabledload: %d ops in %.1f ms → %.0f ops/s (batch p50 %.0f µs, p95 %.0f µs, p99 %.0f µs; %d resizes, %d errors)\n",
+		rep.Mode, rep.Backend, rep.Shards, rep.Clients, rep.Batch, rep.SetFrac,
+		rep.Ops, rep.WallMs, rep.OpsPerS, rep.P50us, rep.P95us, rep.P99us, rep.Resizes, rep.Errors)
+	if *jsonOut {
+		if err := json.NewEncoder(os.Stdout).Encode(&rep); err != nil {
+			fmt.Fprintln(os.Stderr, "tabledload:", err)
+			return 1
+		}
+	}
+	if rep.Errors > 0 {
+		return 1
+	}
+	return 0
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// directDriver runs batches straight against a Backend.
+type directDriver struct {
+	b tabled.Backend[string]
+}
+
+func newDirectDriver(backend, mapping string, shards int, rows, cols int64) (*directDriver, error) {
+	f, err := core.ByName(mapping)
+	if err != nil {
+		return nil, err
+	}
+	newStore := func() extarray.Store[string] { return extarray.NewPagedStore[string]() }
+	switch backend {
+	case "sharded":
+		s, err := tabled.NewSharded[string](f, shards, newStore, rows, cols, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &directDriver{b: s}, nil
+	case "sync":
+		arr, err := extarray.New[string](f, extarray.NewPagedStore[string](), rows, cols)
+		if err != nil {
+			return nil, err
+		}
+		return &directDriver{b: tabled.WrapTable[string](extarray.NewSync[string](arr),
+			tabled.Info{Backend: "sync", Mapping: f.Name(), Shards: 1})}, nil
+	case "hash":
+		return &directDriver{b: tabled.WrapTable[string](
+			extarray.NewSync[string](extarray.NewHashBacked[string](rows, cols)),
+			tabled.Info{Backend: "hash", Shards: 1})}, nil
+	}
+	return nil, fmt.Errorf("unknown backend %q (sharded | sync | hash)", backend)
+}
+
+func (d *directDriver) setBatch(cells []tabled.Cell[string]) error {
+	for _, err := range d.b.SetBatch(cells) {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *directDriver) getBatch(keys []tabled.Pos) error {
+	for _, r := range d.b.GetBatch(keys) {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}
+
+func (d *directDriver) resize(rows, cols int64) error { return d.b.Resize(rows, cols) }
+func (d *directDriver) describe() tabled.Info         { return d.b.Describe() }
+
+// httpDriver runs batches through the typed client against a live server.
+type httpDriver struct {
+	c    *tabled.Client
+	info tabled.Info
+}
+
+func newHTTPDriver(addr string, rows, cols int64) (*httpDriver, error) {
+	c := &tabled.Client{Base: addr}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	reply, err := c.Stats(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("connecting to %s: %w", addr, err)
+	}
+	// Make sure the position space fits the server's table.
+	if reply.Rows < rows || reply.Cols < cols {
+		nr, nc := max64(reply.Rows, rows), max64(reply.Cols, cols)
+		if err := c.Resize(ctx, nr, nc); err != nil {
+			return nil, err
+		}
+	}
+	return &httpDriver{c: c, info: reply.Info}, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (d *httpDriver) setBatch(cells []tabled.Cell[string]) error {
+	return d.c.Set(context.Background(), cells...)
+}
+
+func (d *httpDriver) getBatch(keys []tabled.Pos) error {
+	res, err := d.c.GetBatch(context.Background(), keys)
+	if err != nil {
+		return err
+	}
+	for _, r := range res {
+		if r.Err != "" {
+			return fmt.Errorf("%w: %s", tabled.ErrRemote, r.Err)
+		}
+	}
+	return nil
+}
+
+func (d *httpDriver) resize(rows, cols int64) error {
+	return d.c.Resize(context.Background(), rows, cols)
+}
+
+func (d *httpDriver) describe() tabled.Info { return d.info }

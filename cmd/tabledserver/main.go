@@ -1,0 +1,245 @@
+// Command tabledserver serves a PF-addressed extendible table over the
+// batched tabled JSON/HTTP API (§3 as a network service): clients get and
+// set cells, and grow or shrink the live table, without the server ever
+// remapping a surviving element — that is the pairing-function guarantee
+// the daemon exists to demonstrate.
+//
+// Usage:
+//
+//	tabledserver -addr :8080 -mapping square-shell -backend sharded \
+//	             -shards 16 -rows 1024 -cols 1024 \
+//	             [-snapshot table.gob [-snapshot-every 30s]] \
+//	             [-drain 10s] [-maxbatch 4096] [-pprof]
+//
+// Then, from any HTTP client (or the typed tabled.Client):
+//
+//	curl -X POST localhost:8080/v1/batch -d '{"ops":[
+//	    {"op":"set","x":1,"y":2,"v":"hello"},
+//	    {"op":"get","x":1,"y":2},
+//	    {"op":"resize","rows":2048,"cols":1024},
+//	    {"op":"dims"},{"op":"stats"}]}'
+//	curl localhost:8080/v1/stats
+//	curl -X POST localhost:8080/v1/snapshot
+//	curl localhost:8080/metrics      # Prometheus text
+//	curl localhost:8080/healthz
+//	curl localhost:8080/readyz
+//
+// Backends: "sharded" (the address-striped store; the default), "sync"
+// (extarray.Sync's single RWMutex around a paged Array — the E23 baseline),
+// and "hash" (position-hashed §3-aside store behind the same mutex; no
+// mapping, no spread). The -mapping flag accepts any core.ByName form
+// (diagonal, square-shell, aspect-AxB, hyperbolic, morton, ...).
+//
+// With -snapshot, the table is loaded from the file on boot when it
+// exists (the mapping name inside the snapshot is checked), persisted
+// every -snapshot-every (0 disables the timer), on POST /v1/snapshot, and
+// once more during shutdown. Writes are atomic (temp file + fsync +
+// rename): a crash mid-write never corrupts the previous snapshot.
+// Snapshots require the sharded backend.
+//
+// On SIGINT/SIGTERM the server flips /readyz to 503, drains in-flight
+// requests for up to -drain, saves a final snapshot, and exits 0 on a
+// clean drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pairfn/internal/core"
+	"pairfn/internal/extarray"
+	"pairfn/internal/obs"
+	"pairfn/internal/tabled"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":8080", "listen address")
+	mapping := flag.String("mapping", "square-shell", "storage mapping (any core.ByName form)")
+	backend := flag.String("backend", "sharded", "table backend: sharded | sync | hash")
+	shards := flag.Int("shards", 16, "shard count for the sharded backend (rounded up to a power of two)")
+	rows := flag.Int64("rows", 1024, "initial rows")
+	cols := flag.Int64("cols", 1024, "initial cols")
+	snapshot := flag.String("snapshot", "", "snapshot file: load on boot, save periodically and on shutdown (sharded backend only)")
+	snapEvery := flag.Duration("snapshot-every", 0, "periodic snapshot interval (0 = only on demand and shutdown)")
+	maxBatch := flag.Int("maxbatch", tabled.DefaultMaxBatch, "max ops per /v1/batch request")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	f, err := core.ByName(*mapping)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tabledserver:", err)
+		return 2
+	}
+
+	reg := obs.NewRegistry()
+	ready := obs.NewFlag(true)
+	m := tabled.NewMetrics(reg, *shards)
+	newStore := func() extarray.Store[string] { return extarray.NewPagedStore[string]() }
+
+	var (
+		table    tabled.Backend[string]
+		saveSnap func() error
+	)
+	switch *backend {
+	case "sharded":
+		var sh *tabled.Sharded[string]
+		if *snapshot != "" {
+			if _, statErr := os.Stat(*snapshot); statErr == nil {
+				sh, err = tabled.LoadShardedFile[string](*snapshot, f, *shards, newStore, m)
+				if err != nil {
+					logger.Error("snapshot load", "path", *snapshot, "err", err)
+					return 1
+				}
+				r, c := sh.Dims()
+				logger.Info("snapshot loaded", "path", *snapshot, "rows", r, "cols", c, "cells", sh.Len())
+			}
+		}
+		if sh == nil {
+			sh, err = tabled.NewSharded[string](f, *shards, newStore, *rows, *cols, m)
+			if err != nil {
+				logger.Error("backend", "err", err)
+				return 1
+			}
+		}
+		if *snapshot != "" {
+			path := *snapshot
+			saveSnap = func() error { return sh.SaveFile(path) }
+		}
+		table = sh
+	case "sync":
+		arr, err := extarray.New[string](f, extarray.NewPagedStore[string](), *rows, *cols)
+		if err != nil {
+			logger.Error("backend", "err", err)
+			return 1
+		}
+		table = tabled.WrapTable[string](extarray.NewSync[string](arr),
+			tabled.Info{Backend: "sync", Mapping: f.Name(), Shards: 1})
+	case "hash":
+		table = tabled.WrapTable[string](extarray.NewSync[string](extarray.NewHashBacked[string](*rows, *cols)),
+			tabled.Info{Backend: "hash", Shards: 1})
+	default:
+		fmt.Fprintf(os.Stderr, "tabledserver: unknown backend %q (sharded | sync | hash)\n", *backend)
+		return 2
+	}
+	if *snapshot != "" && saveSnap == nil {
+		fmt.Fprintln(os.Stderr, "tabledserver: -snapshot requires -backend sharded")
+		return 2
+	}
+
+	handler := tabled.NewHandler(table, tabled.ServerOptions{
+		Registry: reg,
+		Metrics:  m,
+		Logger:   logger,
+		Ready:    ready,
+		MaxBatch: *maxBatch,
+		Snapshot: saveSnap,
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/", handler)
+	if *pprofOn {
+		// Mounted explicitly: importing net/http/pprof only registers on
+		// http.DefaultServeMux, which this server does not use.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	info := table.Describe()
+	logger.Info("serving",
+		"addr", *addr, "backend", info.Backend, "mapping", *mapping,
+		"shards", info.Shards, "rows", *rows, "cols", *cols,
+		"snapshot", *snapshot, "pprof", *pprofOn)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	// Periodic snapshots on their own ticker goroutine, stopped by ctx.
+	snapDone := make(chan struct{})
+	if saveSnap != nil && *snapEvery > 0 {
+		go func() {
+			defer close(snapDone)
+			t := time.NewTicker(*snapEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					start := time.Now()
+					if err := saveSnap(); err != nil {
+						logger.Error("snapshot", "err", err)
+					} else {
+						logger.Info("snapshot saved", "path", *snapshot, "took", time.Since(start))
+					}
+				}
+			}
+		}()
+	} else {
+		close(snapDone)
+	}
+
+	select {
+	case err := <-errc:
+		// ListenAndServe only returns pre-shutdown on a real failure
+		// (port in use, listener error) — never ErrServerClosed here.
+		logger.Error("listen", "err", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills hard
+
+	// Drain: stop admitting (load balancers see /readyz go 503 first),
+	// then let in-flight requests finish within the deadline.
+	ready.Set(false)
+	logger.Info("shutdown: draining", "timeout", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	code := 0
+	if err := srv.Shutdown(sctx); err != nil {
+		logger.Error("shutdown: drain incomplete", "err", err)
+		code = 1
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("serve", "err", err)
+		code = 1
+	}
+	<-snapDone
+	if saveSnap != nil {
+		if err := saveSnap(); err != nil {
+			logger.Error("shutdown: final snapshot", "err", err)
+			code = 1
+		} else {
+			logger.Info("shutdown: final snapshot saved", "path", *snapshot)
+		}
+	}
+	if code == 0 {
+		logger.Info("shutdown: clean")
+	}
+	return code
+}

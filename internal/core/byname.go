@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ByName resolves a storage-mapping name — as printed by Name() — back to
+// the mapping, so servers and tools can select mappings from flags and
+// snapshot headers without a switch per call site. Supported:
+//
+//	diagonal, diagonal-twin          𝒟 and its twin (eq. 2.1)
+//	square-shell, square-shell-cw    𝒜₁,₁ and its clockwise twin (eq. 3.3)
+//	aspect-AxB                       𝒜_{a,b} for any a, b ≥ 1 (§3.2.1)
+//	hyperbolic                       ℋ, the optimal-spread PF (§3.2.2)
+//	morton                           bit-interleaved 𝓜 (locality extension)
+//	hilbert-K                        bounded Hilbert curve of order K
+//
+// Composite names round-trip too: dovetail(f,g,...) for the §3.2.2
+// combinator and transposed(f) for the x↔y exchange. Unknown names return
+// an error listing the supported forms.
+func ByName(name string) (PF, error) {
+	switch name {
+	case "diagonal":
+		return Diagonal{}, nil
+	case "diagonal-twin":
+		return Diagonal{Twin: true}, nil
+	case "square-shell":
+		return SquareShell{}, nil
+	case "square-shell-cw":
+		return SquareShell{Clockwise: true}, nil
+	case "hyperbolic":
+		return Hyperbolic{}, nil
+	case "morton":
+		return Morton{}, nil
+	}
+	if inner, ok := strings.CutPrefix(name, "transposed("); ok && strings.HasSuffix(inner, ")") {
+		f, err := ByName(strings.TrimSuffix(inner, ")"))
+		if err != nil {
+			return nil, err
+		}
+		return Transposed{Inner: f}, nil
+	}
+	if inner, ok := strings.CutPrefix(name, "dovetail("); ok && strings.HasSuffix(inner, ")") {
+		parts := strings.Split(strings.TrimSuffix(inner, ")"), ",")
+		fs := make([]PF, 0, len(parts))
+		for _, p := range parts {
+			f, err := ByName(strings.TrimSpace(p))
+			if err != nil {
+				return nil, err
+			}
+			fs = append(fs, f)
+		}
+		return NewDovetail(fs...)
+	}
+	if rest, ok := strings.CutPrefix(name, "aspect-"); ok {
+		as, bs, found := strings.Cut(rest, "x")
+		a, errA := strconv.ParseInt(as, 10, 64)
+		b, errB := strconv.ParseInt(bs, 10, 64)
+		if found && errA == nil && errB == nil {
+			return NewAspect(a, b)
+		}
+	}
+	if rest, ok := strings.CutPrefix(name, "hilbert-"); ok {
+		if k, err := strconv.ParseUint(rest, 10, 32); err == nil && k >= 1 && k <= 31 {
+			return Hilbert{Order: uint(k)}, nil
+		}
+	}
+	return nil, fmt.Errorf("core: unknown mapping %q (supported: %s)",
+		name, strings.Join(MappingNames(), ", "))
+}
+
+// MustByName is ByName with a panic on error, for tests and tables.
+func MustByName(name string) PF {
+	f, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// MappingNames lists the names (and name forms) ByName accepts, sorted.
+func MappingNames() []string {
+	names := []string{
+		"diagonal", "diagonal-twin",
+		"square-shell", "square-shell-cw",
+		"aspect-<a>x<b>",
+		"hyperbolic",
+		"morton",
+		"hilbert-<k>",
+		"dovetail(<f>,<g>,...)",
+		"transposed(<f>)",
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestByNameRoundTrip verifies that every mapping ByName can produce is
+// found again under its own Name() — the property snapshot loading relies
+// on (addresses are only meaningful under the mapping that wrote them).
+func TestByNameRoundTrip(t *testing.T) {
+	names := []string{
+		"diagonal", "diagonal-twin",
+		"square-shell", "square-shell-cw",
+		"aspect-1x1", "aspect-2x3", "aspect-7x2",
+		"hyperbolic",
+		"morton",
+		"hilbert-8",
+		"transposed(diagonal)",
+		"dovetail(aspect-1x1,aspect-1x2,aspect-2x1)",
+	}
+	for _, name := range names {
+		f, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if f.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, f.Name())
+		}
+		g, err := ByName(f.Name())
+		if err != nil {
+			t.Fatalf("ByName(%q) after round trip: %v", f.Name(), err)
+		}
+		// The two instances must agree pointwise (spot check).
+		for _, p := range [][2]int64{{1, 1}, {3, 7}, {100, 2}} {
+			zf, errf := f.Encode(p[0], p[1])
+			zg, errg := g.Encode(p[0], p[1])
+			if (errf == nil) != (errg == nil) || zf != zg {
+				t.Errorf("%q: Encode(%d,%d) disagrees after round trip: %d/%v vs %d/%v",
+					name, p[0], p[1], zf, errf, zg, errg)
+			}
+		}
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	for _, name := range []string{"", "nope", "aspect-0x3", "aspect-x", "hilbert-0", "hilbert-99", "dovetail(nope)", "transposed(nope)"} {
+		if f, err := ByName(name); err == nil {
+			t.Errorf("ByName(%q) = %v, want error", name, f.Name())
+		}
+	}
+	if _, err := ByName("zorp"); err == nil || !strings.Contains(err.Error(), "supported") {
+		t.Errorf("unknown-name error should list supported forms, got %v", err)
+	}
+}
+
+func TestMustByNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustByName of unknown name did not panic")
+		}
+	}()
+	MustByName("definitely-not-a-mapping")
+}

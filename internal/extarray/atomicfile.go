@@ -1,0 +1,97 @@
+package extarray
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// AtomicWriteFile writes a file via write(w) so that path is either left
+// untouched (on any error, including a partial write or a crash mid-write)
+// or atomically replaced by the complete new contents. The sequence is the
+// classic temp-file + fsync + rename + fsync-dir dance:
+//
+//  1. create an exclusive temp file next to path (same filesystem, so the
+//     rename in step 4 is atomic),
+//  2. stream the contents through write,
+//  3. fsync the temp file — data is durable before it becomes visible,
+//  4. rename over path — readers see either the old or the new snapshot,
+//     never a prefix,
+//  5. fsync the directory so the rename itself survives a crash.
+//
+// On any failure the temp file is removed and the previous contents of
+// path remain intact. This is the only sanctioned way to persist snapshots
+// (see Array.SaveFile and tabled's snapshot loop).
+func AtomicWriteFile(path string, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("extarray: atomic write %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("extarray: atomic write %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("extarray: atomic write %s: sync: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("extarray: atomic write %s: close: %w", path, err)
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("extarray: atomic write %s: rename: %w", path, err)
+	}
+	// Persist the rename. Directory fsync can fail on filesystems that do
+	// not support it (the file data is already synced); surface real errors
+	// but tolerate unsupported operations.
+	if d, derr := os.Open(dir); derr == nil {
+		serr := d.Sync()
+		d.Close()
+		if serr != nil && !os.IsPermission(serr) {
+			// Some filesystems (e.g. certain network mounts) reject
+			// directory fsync with EINVAL; the rename itself succeeded and
+			// the data is synced, so treat that as best-effort.
+			if !isUnsupportedSync(serr) {
+				return fmt.Errorf("extarray: atomic write %s: dir sync: %w", path, serr)
+			}
+		}
+	}
+	return nil
+}
+
+// isUnsupportedSync reports whether err looks like "this filesystem cannot
+// fsync a directory" rather than a real durability failure.
+func isUnsupportedSync(err error) bool {
+	return os.IsNotExist(err) ||
+		pathErrIs(err, "invalid argument") ||
+		pathErrIs(err, "operation not supported")
+}
+
+func pathErrIs(err error, substr string) bool {
+	pe, ok := err.(*os.PathError)
+	return ok && pe.Err != nil && pe.Err.Error() == substr
+}
+
+// SaveFile atomically persists the array to path via Save: the previous
+// snapshot at path is never corrupted, even by a crash mid-write.
+func (a *Array[T]) SaveFile(path string) error {
+	return AtomicWriteFile(path, func(w io.Writer) error { return a.Save(w) })
+}
+
+// LoadFile reconstructs an Array persisted by SaveFile (or any reader-level
+// Save output written to a file).
+func LoadFile[T any](path string, f PFLike, store Store[T]) (*Array[T], error) {
+	r, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return Load[T](r, f, store)
+}

@@ -1,0 +1,113 @@
+package extarray
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pairfn/internal/core"
+)
+
+// TestAtomicWriteFileCrashSafety verifies the crash-safety contract: a
+// write that fails partway (the moral equivalent of a crash mid-write)
+// leaves the previous file contents fully intact, and no temp debris
+// accumulates.
+func TestAtomicWriteFileCrashSafety(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.gob")
+
+	// Install a good snapshot.
+	a := NewMapBacked[int64](core.SquareShell{}, 8, 8)
+	for x := int64(1); x <= 8; x++ {
+		for y := int64(1); y <= 8; y++ {
+			if err := a.Set(x, y, x*100+y); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := a.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A later save dies partway through: some bytes are written, then the
+	// writer fails (torn write). The original file must be untouched.
+	boom := errors.New("simulated crash")
+	err = AtomicWriteFile(path, func(w io.Writer) error {
+		if _, err := w.Write([]byte("partial garbage that must never reach snap.gob")); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("AtomicWriteFile error = %v, want wrapped simulated crash", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(good) {
+		t.Fatal("failed atomic write corrupted the previous snapshot")
+	}
+
+	// No temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp debris left behind: %s", e.Name())
+		}
+	}
+
+	// And the surviving snapshot still loads.
+	b, err := LoadFile[int64](path, core.SquareShell{}, NewMapStore[int64]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := b.Get(5, 7); err != nil || !ok || v != 507 {
+		t.Fatalf("reloaded snapshot Get(5,7) = %d, %v, %v; want 507, true, nil", v, ok, err)
+	}
+}
+
+// TestSaveFileRoundTrip is the happy path: SaveFile then LoadFile
+// reproduces the array, replacing any previous snapshot at the path.
+func TestSaveFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "arr.gob")
+	a := NewMapBacked[string](core.Diagonal{}, 4, 4)
+	if err := a.Set(2, 3, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a second, different snapshot: rename must replace.
+	if err := a.Set(4, 4, "world"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadFile[string](path, core.Diagonal{}, NewMapStore[string]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		x, y int64
+		want string
+	}{{2, 3, "hello"}, {4, 4, "world"}} {
+		if v, ok, err := b.Get(tc.x, tc.y); err != nil || !ok || v != tc.want {
+			t.Fatalf("Get(%d,%d) = %q, %v, %v; want %q", tc.x, tc.y, v, ok, err, tc.want)
+		}
+	}
+	if _, err := LoadFile[string](path, core.SquareShell{}, NewMapStore[string]()); err == nil {
+		t.Fatal("LoadFile under the wrong mapping should fail the name check")
+	}
+}

@@ -6,8 +6,23 @@ import (
 	"io"
 )
 
-// snapshot is the gob wire form of an Array.
-type snapshot[T any] struct {
+// PFLike is the slice of core.StorageMapping that snapshots need: a named,
+// invertible address mapping. (Declared structurally so extarray does not
+// force its callers through core's concrete types.)
+type PFLike interface {
+	Name() string
+	Encode(x, y int64) (int64, error)
+	Decode(z int64) (x, y int64, err error)
+}
+
+// SnapshotData is the gob wire form of a persisted table: the mapping's
+// name, the logical dimensions, the cost counters, and every stored element
+// with its address. It is shared by Array.Save/Load and by the tabled
+// service's sharded snapshots — one format, loadable by either. The storage
+// mapping itself is never serialized (mappings are code); its Name is
+// recorded and checked on load, because addresses are only meaningful under
+// the mapping that produced them.
+type SnapshotData[T any] struct {
 	Mapping string
 	Rows    int64
 	Cols    int64
@@ -16,13 +31,43 @@ type snapshot[T any] struct {
 	Values  []T
 }
 
-// Save serializes the array — dimensions, cost counters and every stored
-// element with its address — with encoding/gob. The storage mapping itself
-// is not serialized (mappings are code); its Name is recorded and checked
-// on Load, because addresses are only meaningful under the mapping that
-// produced them.
+// EncodeSnapshot writes s to w in the snapshot gob format.
+func EncodeSnapshot[T any](w io.Writer, s *SnapshotData[T]) error {
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// DecodeSnapshot reads a snapshot from r, validating its internal
+// consistency (equal address/value counts) but not its mapping — callers
+// check Mapping against the mapping they will decode addresses with.
+func DecodeSnapshot[T any](r io.Reader) (*SnapshotData[T], error) {
+	var snap SnapshotData[T]
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("extarray: decode snapshot: %w", err)
+	}
+	if len(snap.Addrs) != len(snap.Values) {
+		return nil, fmt.Errorf("extarray: corrupt snapshot (%d addrs, %d values)",
+			len(snap.Addrs), len(snap.Values))
+	}
+	return &snap, nil
+}
+
+// CheckSnapshotAddr validates one snapshot address against the mapping and
+// the snapshot's logical box, returning the decoded position.
+func CheckSnapshotAddr[T any](snap *SnapshotData[T], f PFLike, addr int64) (x, y int64, err error) {
+	x, y, err = f.Decode(addr)
+	if err != nil {
+		return 0, 0, fmt.Errorf("extarray: snapshot address %d: %w", addr, err)
+	}
+	if x < 1 || y < 1 || x > snap.Rows || y > snap.Cols {
+		return 0, 0, fmt.Errorf("extarray: snapshot address %d decodes to (%d, %d) outside %d×%d",
+			addr, x, y, snap.Rows, snap.Cols)
+	}
+	return x, y, nil
+}
+
+// Save serializes the array with encoding/gob in the SnapshotData format.
 func (a *Array[T]) Save(w io.Writer) error {
-	snap := snapshot[T]{
+	snap := SnapshotData[T]{
 		Mapping: a.f.Name(),
 		Rows:    a.rows,
 		Cols:    a.cols,
@@ -43,27 +88,19 @@ func (a *Array[T]) Save(w io.Writer) error {
 			}
 		}
 	}
-	return gob.NewEncoder(w).Encode(snap)
+	return EncodeSnapshot(w, &snap)
 }
 
 // Load reconstructs an Array saved by Save. The caller supplies the same
 // storage mapping (checked by name) and a fresh backing store.
-func Load[T any](r io.Reader, f interface {
-	Name() string
-	Encode(x, y int64) (int64, error)
-	Decode(z int64) (x, y int64, err error)
-}, store Store[T]) (*Array[T], error) {
-	var snap snapshot[T]
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+func Load[T any](r io.Reader, f PFLike, store Store[T]) (*Array[T], error) {
+	snap, err := DecodeSnapshot[T](r)
+	if err != nil {
 		return nil, fmt.Errorf("extarray: Load: %w", err)
 	}
 	if snap.Mapping != f.Name() {
 		return nil, fmt.Errorf("extarray: Load: snapshot was laid out by %q, not %q",
 			snap.Mapping, f.Name())
-	}
-	if len(snap.Addrs) != len(snap.Values) {
-		return nil, fmt.Errorf("extarray: Load: corrupt snapshot (%d addrs, %d values)",
-			len(snap.Addrs), len(snap.Values))
 	}
 	a, err := New[T](f, store, snap.Rows, snap.Cols)
 	if err != nil {
@@ -72,13 +109,8 @@ func Load[T any](r io.Reader, f interface {
 	for i, addr := range snap.Addrs {
 		// Validate the address decodes into the logical box before
 		// trusting it.
-		x, y, err := f.Decode(addr)
-		if err != nil {
-			return nil, fmt.Errorf("extarray: Load: address %d: %w", addr, err)
-		}
-		if x < 1 || y < 1 || x > snap.Rows || y > snap.Cols {
-			return nil, fmt.Errorf("extarray: Load: address %d decodes to (%d, %d) outside %d×%d",
-				addr, x, y, snap.Rows, snap.Cols)
+		if _, _, err := CheckSnapshotAddr(snap, f, addr); err != nil {
+			return nil, fmt.Errorf("extarray: Load: %w", err)
 		}
 		store.Set(addr, snap.Values[i])
 	}

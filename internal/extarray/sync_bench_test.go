@@ -1,0 +1,85 @@
+package extarray
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pairfn/internal/core"
+)
+
+// BenchmarkSyncContention pins the cost of the single RWMutex in Sync under
+// concurrent mutation — the baseline the tabled sharded store (E23) is
+// measured against. Sub-benchmarks sweep GOMAXPROCS (via -cpu) × read fraction; each
+// iteration is one Get or Set at a uniformly random in-bounds position of a
+// 256×256 table over 𝒜₁,₁ with a paged backing.
+//
+// Regenerate: go test ./internal/extarray -bench SyncContention -cpu 1,2,4
+func BenchmarkSyncContention(b *testing.B) {
+	const side = 256
+	for _, readPct := range []int{90, 50} {
+		b.Run(fmt.Sprintf("read=%d%%", readPct), func(b *testing.B) {
+			arr, err := New[int64](core.SquareShell{}, NewPagedStore[int64](), side, side)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Pre-fill so Gets hit occupied cells.
+			for x := int64(1); x <= side; x++ {
+				for y := int64(1); y <= side; y++ {
+					if err := arr.Set(x, y, x*side+y); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			s := NewSync[int64](arr)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(rand.Int63()))
+				for pb.Next() {
+					x, y := rng.Int63n(side)+1, rng.Int63n(side)+1
+					if rng.Intn(100) < readPct {
+						if _, _, err := s.Get(x, y); err != nil {
+							b.Fatal(err)
+						}
+					} else if err := s.Set(x, y, x^y); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkSyncResizeBarrier measures the write-barrier cost of reshapes
+// through the global lock: one goroutine grows/shrinks a column while the
+// parallel body reads. This is the operation PF addressing makes O(1) in
+// moves; the mutex makes it a full barrier regardless.
+func BenchmarkSyncResizeBarrier(b *testing.B) {
+	const side = 128
+	arr, err := New[int64](core.SquareShell{}, NewPagedStore[int64](), side, side)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := NewSync[int64](arr)
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(rand.Int63()))
+		i := 0
+		for pb.Next() {
+			i++
+			if i%1024 == 0 {
+				// Grow then shrink one column: zero element moves under a
+				// PF mapping, but every reader stalls on the write lock.
+				if err := s.Resize(side, side+1); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Resize(side, side); err != nil {
+					b.Fatal(err)
+				}
+				continue
+			}
+			if _, _, err := s.Get(rng.Int63n(side)+1, rng.Int63n(side)+1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

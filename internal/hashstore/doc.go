@@ -25,5 +25,8 @@
 // magnitude can overflow — any ⟨x, y⟩ in int64 range is a valid key (this
 // is the aside's point: hashing has no spread). Open and TwoLevel are not
 // safe for concurrent mutation; guard them externally (e.g. with
-// extarray.Sync) when shared across goroutines.
+// extarray.Sync) when shared across goroutines. Under such an RWMutex
+// guard, concurrent read-locked Gets are safe: the read path's only shared
+// mutation is probe accounting, which is atomic (verified by the
+// TestOpenUnderSyncGuard / TestTwoLevelUnderSyncGuard race tests).
 package hashstore

@@ -1,5 +1,7 @@
 package hashstore
 
+import "sync/atomic"
+
 // Position is a 1-based array position.
 type Position struct {
 	X, Y int64
@@ -19,9 +21,9 @@ func hashPos(p Position, seed uint64) uint64 {
 	return splitmix64(h ^ uint64(p.Y)*0xD1B54A32D192ED03)
 }
 
-// ProbeStats accumulates access-cost measurements.
+// ProbeStats is a point-in-time snapshot of access-cost measurements.
 type ProbeStats struct {
-	// Lookups is the number of Get/Set/Delete key searches performed.
+	// Lookups is the number of Get/Take/Set/Delete key searches performed.
 	Lookups int64
 	// Probes is the total number of slot inspections across all searches.
 	Probes int64
@@ -37,10 +39,35 @@ func (s ProbeStats) Mean() float64 {
 	return float64(s.Probes) / float64(s.Lookups)
 }
 
-func (s *ProbeStats) record(probes int64) {
-	s.Lookups++
-	s.Probes += probes
-	if probes > s.MaxProbe {
-		s.MaxProbe = probes
+// probeCounters is the live, concurrently-updated form of ProbeStats.
+// Recording is atomic so that *read* operations — which touch nothing but
+// these counters — stay safe under an RWMutex read lock (the extarray.Sync
+// deployment the package doc promises). Structure mutation is still the
+// caller's lock to take.
+type probeCounters struct {
+	lookups  atomic.Int64
+	probes   atomic.Int64
+	maxProbe atomic.Int64
+}
+
+func (c *probeCounters) record(probes int64) {
+	c.lookups.Add(1)
+	c.probes.Add(probes)
+	for {
+		cur := c.maxProbe.Load()
+		if probes <= cur || c.maxProbe.CompareAndSwap(cur, probes) {
+			return
+		}
+	}
+}
+
+// snapshot returns the counters as a ProbeStats value. Each field is read
+// atomically; the triple is not a single linearization point, which is fine
+// for the monotone accounting these stats exist for.
+func (c *probeCounters) snapshot() ProbeStats {
+	return ProbeStats{
+		Lookups:  c.lookups.Load(),
+		Probes:   c.probes.Load(),
+		MaxProbe: c.maxProbe.Load(),
 	}
 }

@@ -212,13 +212,13 @@ func TestTwoLevelRebuildAccounting(t *testing.T) {
 }
 
 func TestProbeStatsMean(t *testing.T) {
-	var s ProbeStats
-	if s.Mean() != 0 {
+	var c probeCounters
+	if c.snapshot().Mean() != 0 {
 		t.Error("empty Mean should be 0")
 	}
-	s.record(3)
-	s.record(5)
-	if s.Mean() != 4 || s.MaxProbe != 5 || s.Lookups != 2 {
+	c.record(3)
+	c.record(5)
+	if s := c.snapshot(); s.Mean() != 4 || s.MaxProbe != 5 || s.Lookups != 2 {
 		t.Errorf("stats = %+v", s)
 	}
 }

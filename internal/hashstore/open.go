@@ -21,7 +21,7 @@ type Open[T any] struct {
 	n     int // live entries
 	dead  int // tombstones
 	seed  uint64
-	stats ProbeStats
+	stats probeCounters
 }
 
 type openSlot[T any] struct {
@@ -43,7 +43,7 @@ func (h *Open[T]) Len() int { return h.n }
 func (h *Open[T]) Slots() int { return len(h.slots) }
 
 // Stats returns accumulated probe statistics.
-func (h *Open[T]) Stats() ProbeStats { return h.stats }
+func (h *Open[T]) Stats() ProbeStats { return h.stats.snapshot() }
 
 // find locates key, returning (index, found). When not found, index is the
 // first insertable slot (empty or tombstone) on the probe path.

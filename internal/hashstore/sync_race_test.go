@@ -1,0 +1,106 @@
+package hashstore
+
+import (
+	"sync"
+	"testing"
+)
+
+// guarded is the extarray.Sync deployment pattern the package doc
+// prescribes: reads under RLock, mutations under Lock. The stores' only
+// read-path mutation is probe accounting, which must therefore be atomic —
+// this test, run under -race, is what verifies that contract.
+type guarded[T any] struct {
+	mu     sync.RWMutex
+	get    func(Position) (T, bool)
+	set    func(Position, T)
+	delete func(Position)
+	stats  func() ProbeStats
+}
+
+func (g *guarded[T]) Get(p Position) (T, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.get(p)
+}
+
+func (g *guarded[T]) Set(p Position, v T) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.set(p, v)
+}
+
+func (g *guarded[T]) Delete(p Position) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.delete(p)
+}
+
+func (g *guarded[T]) Stats() ProbeStats {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.stats()
+}
+
+// driveGuarded hammers a guarded store with concurrent readers and writers
+// over an overlapping key range. Correctness of values is checked by the
+// single-threaded tests; this test exists for the race detector.
+func driveGuarded(t *testing.T, g *guarded[int64]) {
+	t.Helper()
+	const (
+		workers = 8
+		ops     = 2000
+		keys    = 128
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				p := Position{X: int64(i % keys), Y: int64((i * 7) % keys)}
+				switch {
+				case w%2 == 0: // reader: Gets plus the occasional stats scrape
+					if v, ok := g.Get(p); ok && v < 0 {
+						t.Error("impossible negative value")
+					}
+					if i%64 == 0 {
+						_ = g.Stats().Mean()
+					}
+				case i%16 == 15:
+					g.Delete(p)
+				default:
+					g.Set(p, int64(w*ops+i))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := g.Stats(); s.Lookups == 0 {
+		t.Error("no lookups recorded")
+	}
+}
+
+// TestOpenUnderSyncGuard verifies the doc.go concurrency contract for Open:
+// guarded by an RWMutex in the extarray.Sync style (concurrent read-locked
+// Gets), it must be race-clean. Probe accounting is the hidden shared state
+// on the read path.
+func TestOpenUnderSyncGuard(t *testing.T) {
+	h := NewOpen[int64]()
+	driveGuarded(t, &guarded[int64]{
+		get:    h.Get,
+		set:    h.Set,
+		delete: h.Delete,
+		stats:  h.Stats,
+	})
+}
+
+// TestTwoLevelUnderSyncGuard is the same contract check for TwoLevel.
+func TestTwoLevelUnderSyncGuard(t *testing.T) {
+	s := NewTwoLevel[int64]()
+	driveGuarded(t, &guarded[int64]{
+		get:    s.Get,
+		set:    s.Set,
+		delete: s.Delete,
+		stats:  s.Stats,
+	})
+}

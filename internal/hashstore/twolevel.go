@@ -16,7 +16,7 @@ type TwoLevel[T any] struct {
 	n       int
 	builtAt int // n at the time of the last global rebuild
 	seed    uint64
-	stats   ProbeStats
+	stats   probeCounters
 	// rebuilds counts global rebuilds; bucketRebuilds counts salt retries.
 	rebuilds       int64
 	bucketRebuilds int64
@@ -57,7 +57,7 @@ func (t *TwoLevel[T]) Slots() int {
 
 // Stats returns accumulated probe statistics. Every successful or failed
 // lookup records exactly 2 probes (bucket header + secondary slot).
-func (t *TwoLevel[T]) Stats() ProbeStats { return t.stats }
+func (t *TwoLevel[T]) Stats() ProbeStats { return t.stats.snapshot() }
 
 // Rebuilds returns (global rebuilds, bucket salt retries) — the amortized
 // costs behind the O(1) worst-case lookups.

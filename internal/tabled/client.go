@@ -1,0 +1,155 @@
+package tabled
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client is the typed Go client for a tabled server. The zero HTTP field
+// uses http.DefaultClient; Base is e.g. "http://127.0.0.1:8080".
+type Client struct {
+	Base string
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Batch executes ops in order on the server and returns one result per op.
+// A non-nil error means the request itself failed (transport or non-200);
+// per-op failures are reported in each OpResult.Err.
+func (c *Client) Batch(ctx context.Context, ops []Op) ([]OpResult, error) {
+	body, err := json.Marshal(BatchRequest{Ops: ops})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/batch", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("%w: %s: %s", ErrRemote, resp.Status, bytes.TrimSpace(msg))
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return nil, err
+	}
+	if len(br.Results) != len(ops) {
+		return nil, fmt.Errorf("%w: %d results for %d ops", ErrRemote, len(br.Results), len(ops))
+	}
+	return br.Results, nil
+}
+
+// Set stores every cell, returning the first per-cell failure.
+func (c *Client) Set(ctx context.Context, cells ...Cell[string]) error {
+	ops := make([]Op, len(cells))
+	for i, cell := range cells {
+		ops[i] = Op{Op: "set", X: cell.X, Y: cell.Y, V: cell.V}
+	}
+	res, err := c.Batch(ctx, ops)
+	if err != nil {
+		return err
+	}
+	for i, r := range res {
+		if r.Err != "" {
+			return fmt.Errorf("%w: set (%d, %d): %s", ErrRemote, cells[i].X, cells[i].Y, r.Err)
+		}
+	}
+	return nil
+}
+
+// Get reads one cell.
+func (c *Client) Get(ctx context.Context, x, y int64) (v string, found bool, err error) {
+	res, err := c.Batch(ctx, []Op{{Op: "get", X: x, Y: y}})
+	if err != nil {
+		return "", false, err
+	}
+	if res[0].Err != "" {
+		return "", false, fmt.Errorf("%w: get (%d, %d): %s", ErrRemote, x, y, res[0].Err)
+	}
+	return res[0].V, res[0].Found, nil
+}
+
+// GetBatch reads many cells in one request; results are in key order.
+func (c *Client) GetBatch(ctx context.Context, keys []Pos) ([]OpResult, error) {
+	ops := make([]Op, len(keys))
+	for i, k := range keys {
+		ops[i] = Op{Op: "get", X: k.X, Y: k.Y}
+	}
+	return c.Batch(ctx, ops)
+}
+
+// Resize sets the logical dimensions.
+func (c *Client) Resize(ctx context.Context, rows, cols int64) error {
+	res, err := c.Batch(ctx, []Op{{Op: "resize", Rows: rows, Cols: cols}})
+	if err != nil {
+		return err
+	}
+	if res[0].Err != "" {
+		return fmt.Errorf("%w: resize to %d×%d: %s", ErrRemote, rows, cols, res[0].Err)
+	}
+	return nil
+}
+
+// Dims returns the current logical dimensions.
+func (c *Client) Dims(ctx context.Context) (rows, cols int64, err error) {
+	res, err := c.Batch(ctx, []Op{{Op: "dims"}})
+	if err != nil {
+		return 0, 0, err
+	}
+	return res[0].Rows, res[0].Cols, nil
+}
+
+// Stats fetches GET /v1/stats.
+func (c *Client) Stats(ctx context.Context) (*StatsReply, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%w: %s", ErrRemote, resp.Status)
+	}
+	var reply StatsReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// Snapshot asks the server to persist now (POST /v1/snapshot).
+func (c *Client) Snapshot(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/snapshot", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%w: %s: %s", ErrRemote, resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}

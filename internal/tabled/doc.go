@@ -1,0 +1,52 @@
+// Package tabled turns the extendible-array layer (§3) into a network
+// service: a sharded, PF-addressed table store behind a batched JSON/HTTP
+// API, with snapshot persistence and full observability. It exists to make
+// the paper's §3 claim — that PF storage mappings let *live* tables grow
+// and shrink without remapping — observable in the setting that motivates
+// it: a long-running server mutated by many concurrent clients, where the
+// alternative (extarray.Sync's single RWMutex) serializes every operation.
+//
+// # Sharding and locking model
+//
+// A Sharded table splits the address space of its storage mapping into
+// stripes of 2^10 consecutive addresses (one PagedStore page) and assigns
+// stripe s to shard s mod N, N a power of two. Each shard owns its own
+// lock and its own backing store, so operations on cells whose addresses
+// fall in different stripes proceed in parallel, and a batch touching k
+// shards costs k lock acquisitions no matter how many cells it carries.
+// Because PF addressing is pure arithmetic, the shard of a cell is computed
+// *outside* any lock.
+//
+// The lock hierarchy has one global rule: the logical dimensions (and the
+// reshape counter) are written only while holding ALL shard write locks in
+// index order, and may be read under ANY single shard lock. Point and batch
+// operations therefore see consistent bounds while holding just their own
+// shard's lock; Resize acts as a barrier, exactly the grow-then-fill
+// semantics extarray.Sync provides — but only reshapes pay for it. A shrink
+// deletes discarded cells from the shards that own their addresses; shards
+// owning no discarded address have their stores untouched (their lock is
+// still taken for the dimension write). Growth touches no store at all —
+// that is the paper's point.
+//
+// # Overflow contract
+//
+// Addresses inherit the storage mapping's exact-int64 contract: an access
+// or reshape whose Encode would overflow surfaces core.ErrOverflow (mapped
+// to a per-op error in batches and to an "error" field over HTTP) instead
+// of wrapping. No position that encodes successfully is ever silently
+// misplaced: the shard index is derived from the exact address.
+//
+// # Wire format and persistence
+//
+// Snapshots reuse the extarray gob snapshot format (extarray.SnapshotData)
+// and are written with extarray.AtomicWriteFile, so a crash mid-write never
+// corrupts the previous snapshot and an extarray.Array can load a tabled
+// snapshot (and vice versa) under the same mapping. The HTTP API is a
+// single batched endpoint (POST /v1/batch) carrying get/set/resize/dims/
+// stats ops, plus /v1/stats, /v1/snapshot, and the standard /metrics,
+// /healthz, /readyz from internal/obs.
+//
+// See cmd/tabledserver (the daemon) and cmd/tabledload (the concurrent
+// load generator and E23 experiment driver comparing this store against
+// the Sync-wrapped baseline).
+package tabled

@@ -1,0 +1,103 @@
+package tabled
+
+import (
+	"strconv"
+	"time"
+
+	"pairfn/internal/obs"
+)
+
+// defBatchBuckets bucket batch sizes in powers of four from 1 to 4096.
+var defBatchBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096}
+
+// Metrics is the tabled instrumentation bundle: per-shard op counters plus
+// batch-size and latency histograms, all registered under tabled_*. A nil
+// *Metrics is valid and records nothing, so stores and servers can be wired
+// unconditionally.
+type Metrics struct {
+	shardOpsC []*obs.Counter
+	batchSize *obs.Histogram
+	opsTotal  map[string]*obs.Counter
+	opErrors  map[string]*obs.Counter
+	batchDur  map[string]*obs.Histogram
+	snapOK    *obs.Counter
+	snapErr   *obs.Counter
+	snapDur   *obs.Histogram
+}
+
+// opNames are the batch op kinds instrumented per-op.
+var opNames = []string{"get", "set", "resize", "dims", "stats"}
+
+// NewMetrics registers the tabled metric families on reg (nil reg → nil
+// Metrics) for a table of nshards shards.
+func NewMetrics(reg *obs.Registry, nshards int) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	reg.Help("tabled_shard_ops_total", "Cell operations routed to each shard (by PF address stripe).")
+	reg.Help("tabled_ops_total", "Batch-API operations executed, by op.")
+	reg.Help("tabled_op_errors_total", "Batch-API operations that returned an error, by op.")
+	reg.Help("tabled_batch_cells", "Cells per batched get/set call.")
+	reg.Help("tabled_batch_duration_seconds", "Latency of batch-API op groups, by op.")
+	reg.Help("tabled_snapshots_total", "Snapshot attempts, by result.")
+	reg.Help("tabled_snapshot_duration_seconds", "Snapshot save latency.")
+	m := &Metrics{
+		batchSize: reg.Histogram("tabled_batch_cells", defBatchBuckets),
+		opsTotal:  make(map[string]*obs.Counter, len(opNames)),
+		opErrors:  make(map[string]*obs.Counter, len(opNames)),
+		batchDur:  make(map[string]*obs.Histogram, len(opNames)),
+		snapOK:    reg.Counter("tabled_snapshots_total", obs.L("result", "ok")),
+		snapErr:   reg.Counter("tabled_snapshots_total", obs.L("result", "error")),
+		snapDur:   reg.Histogram("tabled_snapshot_duration_seconds", obs.DefDurationBuckets),
+	}
+	for _, op := range opNames {
+		m.opsTotal[op] = reg.Counter("tabled_ops_total", obs.L("op", op))
+		m.opErrors[op] = reg.Counter("tabled_op_errors_total", obs.L("op", op))
+		m.batchDur[op] = reg.Histogram("tabled_batch_duration_seconds", obs.DefDurationBuckets, obs.L("op", op))
+	}
+	m.shardOpsC = make([]*obs.Counter, nshards)
+	for i := range m.shardOpsC {
+		m.shardOpsC[i] = reg.Counter("tabled_shard_ops_total", obs.L("shard", strconv.Itoa(i)))
+	}
+	return m
+}
+
+// shardOp records one cell op routed to shard i.
+func (m *Metrics) shardOp(i int) { m.shardOps(i, 1) }
+
+// shardOps records n cell ops routed to shard i.
+func (m *Metrics) shardOps(i, n int) {
+	if m == nil || i >= len(m.shardOpsC) {
+		return
+	}
+	m.shardOpsC[i].Add(int64(n))
+}
+
+// op records one executed batch-API op group of the given kind and cell
+// count, with its latency and error outcome.
+func (m *Metrics) op(kind string, cells int, d time.Duration, failed bool) {
+	if m == nil {
+		return
+	}
+	m.opsTotal[kind].Inc()
+	if failed {
+		m.opErrors[kind].Inc()
+	}
+	if kind == "get" || kind == "set" {
+		m.batchSize.Observe(float64(cells))
+	}
+	m.batchDur[kind].Observe(d.Seconds())
+}
+
+// snapshot records a snapshot attempt.
+func (m *Metrics) snapshot(d time.Duration, err error) {
+	if m == nil {
+		return
+	}
+	if err != nil {
+		m.snapErr.Inc()
+	} else {
+		m.snapOK.Inc()
+	}
+	m.snapDur.Observe(d.Seconds())
+}

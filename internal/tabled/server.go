@@ -1,0 +1,249 @@
+package tabled
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"pairfn/internal/extarray"
+	"pairfn/internal/obs"
+)
+
+// DefaultMaxBatch caps the ops accepted in one /v1/batch request.
+const DefaultMaxBatch = 4096
+
+// An Op is one operation in a batch request. Exactly the fields its kind
+// needs are consulted:
+//
+//	{"op":"set", "x":1, "y":2, "v":"payload"}
+//	{"op":"get", "x":1, "y":2}
+//	{"op":"resize", "rows":100, "cols":200}
+//	{"op":"dims"}
+//	{"op":"stats"}
+type Op struct {
+	Op   string `json:"op"`
+	X    int64  `json:"x,omitempty"`
+	Y    int64  `json:"y,omitempty"`
+	V    string `json:"v,omitempty"`
+	Rows int64  `json:"rows,omitempty"`
+	Cols int64  `json:"cols,omitempty"`
+}
+
+// An OpResult is the outcome of one Op, in request order.
+type OpResult struct {
+	OK    bool            `json:"ok"`
+	Found bool            `json:"found,omitempty"`
+	V     string          `json:"v,omitempty"`
+	Rows  int64           `json:"rows,omitempty"`
+	Cols  int64           `json:"cols,omitempty"`
+	Stats *extarray.Stats `json:"stats,omitempty"`
+	Err   string          `json:"error,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Ops []Op `json:"ops"`
+}
+
+// BatchResponse is its reply.
+type BatchResponse struct {
+	Results []OpResult `json:"results"`
+}
+
+// StatsReply is the body of GET /v1/stats.
+type StatsReply struct {
+	Info  Info           `json:"info"`
+	Rows  int64          `json:"rows"`
+	Cols  int64          `json:"cols"`
+	Stats extarray.Stats `json:"stats"`
+}
+
+// ServerOptions configures NewHandler.
+type ServerOptions struct {
+	// Registry receives request and tabled metrics; nil disables both.
+	Registry *obs.Registry
+	// Metrics is the batch/shard instrumentation bundle (may be nil).
+	Metrics *Metrics
+	// Logger, when non-nil, logs one line per request.
+	Logger *slog.Logger
+	// Ready gates /readyz (nil reads as always ready).
+	Ready *obs.Flag
+	// MaxBatch caps ops per request (0 → DefaultMaxBatch).
+	MaxBatch int
+	// Snapshot, when non-nil, is invoked by POST /v1/snapshot. Backends
+	// without snapshot support leave it nil and the endpoint returns 501.
+	Snapshot func() error
+}
+
+// NewHandler mounts the tabled API over b:
+//
+//	POST /v1/batch     batched get/set/resize/dims/stats
+//	GET  /v1/stats     backend description + cost counters
+//	POST /v1/snapshot  persist now (501 unless configured)
+//	GET  /metrics      Prometheus text exposition
+//	GET  /healthz      liveness
+//	GET  /readyz       readiness (503 while draining)
+//
+// all behind the obs request middleware (metrics + logging).
+func NewHandler(b Backend[string], opt ServerOptions) http.Handler {
+	if opt.MaxBatch <= 0 {
+		opt.MaxBatch = DefaultMaxBatch
+	}
+	srv := &server{b: b, opt: opt}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/batch", srv.handleBatch)
+	mux.HandleFunc("GET /v1/stats", srv.handleStats)
+	mux.HandleFunc("POST /v1/snapshot", srv.handleSnapshot)
+	if opt.Registry != nil {
+		mux.Handle("GET /metrics", opt.Registry.Handler())
+	}
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	ready := opt.Ready
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if !ready.Get() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	return obs.Middleware(obs.MiddlewareConfig{
+		Registry: opt.Registry,
+		Logger:   opt.Logger,
+		// Fixed route set: the raw path is safe as a label only because
+		// the mux 404s everything else; collapse unknown paths anyway.
+		PathLabel: func(r *http.Request) string {
+			switch r.URL.Path {
+			case "/v1/batch", "/v1/stats", "/v1/snapshot", "/metrics", "/healthz", "/readyz":
+				return r.URL.Path
+			}
+			return "other"
+		},
+	}, mux)
+}
+
+type server struct {
+	b   Backend[string]
+	opt ServerOptions
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Ops) == 0 {
+		http.Error(w, "bad request: empty batch", http.StatusBadRequest)
+		return
+	}
+	if len(req.Ops) > s.opt.MaxBatch {
+		http.Error(w, fmt.Sprintf("bad request: batch of %d exceeds limit %d",
+			len(req.Ops), s.opt.MaxBatch), http.StatusBadRequest)
+		return
+	}
+	resp := BatchResponse{Results: s.execute(req.Ops)}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(&resp); err != nil && s.opt.Logger != nil {
+		s.opt.Logger.Warn("batch: encode", "err", err)
+	}
+}
+
+// execute runs ops in request order, fusing maximal runs of consecutive
+// gets (resp. sets) into one batched backend call so a homogeneous batch
+// pays one lock acquisition per touched shard, not per cell.
+func (s *server) execute(ops []Op) []OpResult {
+	results := make([]OpResult, len(ops))
+	for i := 0; i < len(ops); {
+		j := i + 1
+		for (ops[i].Op == "get" || ops[i].Op == "set") && j < len(ops) && ops[j].Op == ops[i].Op {
+			j++
+		}
+		start := time.Now()
+		failed := false
+		switch ops[i].Op {
+		case "set":
+			cells := make([]Cell[string], j-i)
+			for k := i; k < j; k++ {
+				cells[k-i] = Cell[string]{X: ops[k].X, Y: ops[k].Y, V: ops[k].V}
+			}
+			for k, err := range s.b.SetBatch(cells) {
+				if err != nil {
+					results[i+k] = OpResult{Err: err.Error()}
+					failed = true
+				} else {
+					results[i+k] = OpResult{OK: true}
+				}
+			}
+		case "get":
+			keys := make([]Pos, j-i)
+			for k := i; k < j; k++ {
+				keys[k-i] = Pos{X: ops[k].X, Y: ops[k].Y}
+			}
+			for k, gr := range s.b.GetBatch(keys) {
+				if gr.Err != nil {
+					results[i+k] = OpResult{Err: gr.Err.Error()}
+					failed = true
+				} else {
+					results[i+k] = OpResult{OK: true, Found: gr.OK, V: gr.V}
+				}
+			}
+		case "resize":
+			if err := s.b.Resize(ops[i].Rows, ops[i].Cols); err != nil {
+				results[i] = OpResult{Err: err.Error()}
+				failed = true
+			} else {
+				results[i] = OpResult{OK: true}
+			}
+		case "dims":
+			rows, cols := s.b.Dims()
+			results[i] = OpResult{OK: true, Rows: rows, Cols: cols}
+		case "stats":
+			st := s.b.Stats()
+			results[i] = OpResult{OK: true, Stats: &st}
+		default:
+			// Unknown kinds still flow through Metrics.op, whose nil-safe
+			// metric lookups make unregistered labels a silent no-op.
+			results[i] = OpResult{Err: fmt.Sprintf("unknown op %q", ops[i].Op)}
+			failed = true
+		}
+		s.opt.Metrics.op(ops[i].Op, j-i, time.Since(start), failed)
+		i = j
+	}
+	return results
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	rows, cols := s.b.Dims()
+	reply := StatsReply{Info: s.b.Describe(), Rows: rows, Cols: cols, Stats: s.b.Stats()}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(&reply); err != nil && s.opt.Logger != nil {
+		s.opt.Logger.Warn("stats: encode", "err", err)
+	}
+}
+
+func (s *server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	if s.opt.Snapshot == nil {
+		http.Error(w, "snapshots not configured", http.StatusNotImplemented)
+		return
+	}
+	start := time.Now()
+	err := s.opt.Snapshot()
+	s.opt.Metrics.snapshot(time.Since(start), err)
+	if err != nil {
+		http.Error(w, "snapshot: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// ErrRemote wraps an error string returned by the server in a batch
+// result, so client callers can distinguish transport failures from per-op
+// failures.
+var ErrRemote = errors.New("tabled: remote error")

@@ -1,0 +1,353 @@
+package tabled
+
+import (
+	"fmt"
+	"sync"
+
+	"pairfn/internal/core"
+	"pairfn/internal/extarray"
+)
+
+// stripeBits sizes address stripes at 2^10 consecutive addresses — one
+// PagedStore page — so a backing page never spans shards and stripe
+// arithmetic is a shift.
+const stripeBits = 10
+
+// MaxShards bounds the shard count (and with it per-shard metric
+// cardinality).
+const MaxShards = 256
+
+// A Cell is one positioned value in a batch.
+type Cell[T any] struct {
+	X, Y int64
+	V    T
+}
+
+// A Pos is one position in a batched get.
+type Pos struct {
+	X, Y int64
+}
+
+// A GetResult is the outcome of one batched get.
+type GetResult[T any] struct {
+	V   T
+	OK  bool
+	Err error
+}
+
+// shard is one lock-striped slice of the address space with its own
+// backing store and cost counters (all guarded by mu).
+type shard[T any] struct {
+	mu        sync.RWMutex
+	store     extarray.Store[T]
+	moves     int64
+	footprint int64
+}
+
+// Sharded is an address-striped, concurrently accessible extendible table:
+// the tabled replacement for extarray.Sync on the hot path. It implements
+// extarray.Table[T] plus batched operations that take each shard's lock
+// once per batch. See the package documentation for the locking model.
+type Sharded[T any] struct {
+	f      core.StorageMapping
+	shards []shard[T]
+	mask   int64
+	m      *Metrics
+
+	// rows, cols and reshapes are written only under ALL shard write locks
+	// (in index order) and read under any single shard lock.
+	rows     int64
+	cols     int64
+	reshapes int64
+}
+
+// NewSharded returns an empty rows×cols sharded table over f. nshards is
+// rounded up to a power of two in [1, MaxShards]; newStore allocates one
+// backing store per shard (e.g. extarray.NewPagedStore). m may be nil.
+func NewSharded[T any](f core.StorageMapping, nshards int, newStore func() extarray.Store[T], rows, cols int64, m *Metrics) (*Sharded[T], error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("tabled: dimensions %d×%d invalid", rows, cols)
+	}
+	n := 1
+	for n < nshards && n < MaxShards {
+		n <<= 1
+	}
+	s := &Sharded[T]{
+		f:      f,
+		shards: make([]shard[T], n),
+		mask:   int64(n - 1),
+		m:      m,
+		rows:   rows,
+		cols:   cols,
+	}
+	for i := range s.shards {
+		s.shards[i].store = newStore()
+	}
+	return s, nil
+}
+
+// Mapping returns the storage mapping laying out this table.
+func (s *Sharded[T]) Mapping() core.StorageMapping { return s.f }
+
+// NumShards returns the shard count.
+func (s *Sharded[T]) NumShards() int { return len(s.shards) }
+
+// shardOf returns the shard owning addr: stripe (addr >> stripeBits),
+// folded over the shards.
+func (s *Sharded[T]) shardOf(addr int64) *shard[T] {
+	return &s.shards[(addr>>stripeBits)&s.mask]
+}
+
+func (s *Sharded[T]) shardIndex(addr int64) int {
+	return int((addr >> stripeBits) & s.mask)
+}
+
+// checkBounds validates (x, y) against dims; the caller must hold at least
+// one shard lock.
+func (s *Sharded[T]) checkBounds(x, y int64) error {
+	if x < 1 || y < 1 || x > s.rows || y > s.cols {
+		return fmt.Errorf("%w: (%d, %d) in %d×%d", extarray.ErrBounds, x, y, s.rows, s.cols)
+	}
+	return nil
+}
+
+// Dims implements extarray.Table.
+func (s *Sharded[T]) Dims() (int64, int64) {
+	sh := &s.shards[0]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return s.rows, s.cols
+}
+
+// Get implements extarray.Table. The address (and with it the shard) is
+// computed before any lock is taken; only the owning shard is locked.
+func (s *Sharded[T]) Get(x, y int64) (T, bool, error) {
+	var zero T
+	if x < 1 || y < 1 {
+		return zero, false, fmt.Errorf("%w: (%d, %d)", extarray.ErrBounds, x, y)
+	}
+	addr, err := s.f.Encode(x, y)
+	if err != nil {
+		return zero, false, err
+	}
+	sh := s.shardOf(addr)
+	s.m.shardOp(s.shardIndex(addr))
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if err := s.checkBounds(x, y); err != nil {
+		return zero, false, err
+	}
+	v, ok := sh.store.Get(addr)
+	return v, ok, nil
+}
+
+// Set implements extarray.Table.
+func (s *Sharded[T]) Set(x, y int64, v T) error {
+	if x < 1 || y < 1 {
+		return fmt.Errorf("%w: (%d, %d)", extarray.ErrBounds, x, y)
+	}
+	addr, err := s.f.Encode(x, y)
+	if err != nil {
+		return err
+	}
+	sh := s.shardOf(addr)
+	s.m.shardOp(s.shardIndex(addr))
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := s.checkBounds(x, y); err != nil {
+		return err
+	}
+	sh.store.Set(addr, v)
+	if addr > sh.footprint {
+		sh.footprint = addr
+	}
+	return nil
+}
+
+// batchRef ties one batch entry to its precomputed address.
+type batchRef struct {
+	idx  int
+	addr int64
+}
+
+// plan lays one batch out in shard order with a stable two-pass counting
+// sort, reporting per-entry Encode/bounds errors through errf. It returns
+// the shard-ordered refs and the per-shard start offsets: shard g's work is
+// refs[starts[g]:starts[g+1]] (starts[len(shards)] == len(refs)). The
+// layout costs three allocations per batch regardless of shard count — no
+// per-shard slice growth on the hot path.
+func (s *Sharded[T]) plan(n int, pos func(int) (x, y int64), errf func(i int, err error)) ([]batchRef, []int32) {
+	tmp := make([]batchRef, 0, n)
+	starts := make([]int32, len(s.shards)+1)
+	for i := 0; i < n; i++ {
+		x, y := pos(i)
+		if x < 1 || y < 1 {
+			errf(i, fmt.Errorf("%w: (%d, %d)", extarray.ErrBounds, x, y))
+			continue
+		}
+		addr, err := s.f.Encode(x, y)
+		if err != nil {
+			errf(i, err)
+			continue
+		}
+		tmp = append(tmp, batchRef{idx: i, addr: addr})
+		starts[s.shardIndex(addr)+1]++
+	}
+	for g := 1; g < len(starts); g++ {
+		starts[g] += starts[g-1]
+	}
+	// Forward scatter against incrementing start cursors: stable, so entries
+	// for the same position keep their input order within a shard.
+	cur := make([]int32, len(s.shards))
+	copy(cur, starts)
+	refs := make([]batchRef, len(tmp))
+	for _, r := range tmp {
+		g := s.shardIndex(r.addr)
+		refs[cur[g]] = r
+		cur[g]++
+	}
+	return refs, starts
+}
+
+// SetBatch stores every cell, taking each touched shard's write lock
+// exactly once. The returned slice has one entry per input cell: nil on
+// success, or the per-cell error (bounds, overflow). Cells in different
+// shards are applied in shard order, not input order; cells at the same
+// position within one batch are applied in input order.
+func (s *Sharded[T]) SetBatch(cells []Cell[T]) []error {
+	errs := make([]error, len(cells))
+	refs, starts := s.plan(len(cells),
+		func(i int) (int64, int64) { return cells[i].X, cells[i].Y },
+		func(i int, err error) { errs[i] = err })
+	for g := range s.shards {
+		span := refs[starts[g]:starts[g+1]]
+		if len(span) == 0 {
+			continue
+		}
+		sh := &s.shards[g]
+		s.m.shardOps(g, len(span))
+		sh.mu.Lock()
+		for _, r := range span {
+			c := &cells[r.idx]
+			if err := s.checkBounds(c.X, c.Y); err != nil {
+				errs[r.idx] = err
+				continue
+			}
+			sh.store.Set(r.addr, c.V)
+			if r.addr > sh.footprint {
+				sh.footprint = r.addr
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return errs
+}
+
+// GetBatch reads every position, taking each touched shard's read lock
+// exactly once. Results are in input order.
+func (s *Sharded[T]) GetBatch(keys []Pos) []GetResult[T] {
+	res := make([]GetResult[T], len(keys))
+	refs, starts := s.plan(len(keys),
+		func(i int) (int64, int64) { return keys[i].X, keys[i].Y },
+		func(i int, err error) { res[i].Err = err })
+	for g := range s.shards {
+		span := refs[starts[g]:starts[g+1]]
+		if len(span) == 0 {
+			continue
+		}
+		sh := &s.shards[g]
+		s.m.shardOps(g, len(span))
+		sh.mu.RLock()
+		for _, r := range span {
+			k := keys[r.idx]
+			if err := s.checkBounds(k.X, k.Y); err != nil {
+				res[r.idx].Err = err
+				continue
+			}
+			res[r.idx].V, res[r.idx].OK = sh.store.Get(r.addr)
+		}
+		sh.mu.RUnlock()
+	}
+	return res
+}
+
+// lockAll takes every shard's write lock in index order (the only legal
+// order — see the package doc).
+func (s *Sharded[T]) lockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+}
+
+func (s *Sharded[T]) unlockAll() {
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].mu.Unlock()
+	}
+}
+
+// Resize implements extarray.Table. It is the one global barrier: all
+// shard locks are held while dimensions change. Growth touches no backing
+// store; a shrink deletes discarded cells from only the shards that own
+// their addresses (counted as moves there, mirroring extarray.Array).
+func (s *Sharded[T]) Resize(rows, cols int64) error {
+	if rows < 0 || cols < 0 {
+		return fmt.Errorf("%w: to %d×%d", extarray.ErrShrink, rows, cols)
+	}
+	s.lockAll()
+	defer s.unlockAll()
+	s.reshapes++
+	if rows < s.rows || cols < s.cols {
+		for x := int64(1); x <= s.rows; x++ {
+			for y := int64(1); y <= s.cols; y++ {
+				if x <= rows && y <= cols {
+					continue
+				}
+				addr, err := s.f.Encode(x, y)
+				if err != nil {
+					return err
+				}
+				sh := s.shardOf(addr)
+				if _, ok := sh.store.Get(addr); ok {
+					sh.store.Delete(addr)
+					sh.moves++
+				}
+			}
+		}
+	}
+	s.rows, s.cols = rows, cols
+	return nil
+}
+
+// Stats implements extarray.Table, aggregating across shards: Moves is the
+// sum, Footprint the max over shard footprints and store MaxAddrs.
+func (s *Sharded[T]) Stats() extarray.Stats {
+	var st extarray.Stats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		st.Moves += sh.moves
+		if sh.footprint > st.Footprint {
+			st.Footprint = sh.footprint
+		}
+		if m := sh.store.MaxAddr(); m > st.Footprint {
+			st.Footprint = m
+		}
+		if i == 0 {
+			st.Reshapes = s.reshapes
+		}
+		sh.mu.RUnlock()
+	}
+	return st
+}
+
+// Len returns the number of stored elements across all shards.
+func (s *Sharded[T]) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += sh.store.Len()
+		sh.mu.RUnlock()
+	}
+	return n
+}

@@ -1,0 +1,113 @@
+package tabled
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"pairfn/internal/core"
+	"pairfn/internal/extarray"
+)
+
+// Save serializes the table in the extarray snapshot format (one wire
+// format for the whole repo: an extarray.Array can load a tabled snapshot
+// under the same mapping). All shard read locks are held for the duration,
+// so the snapshot is a consistent cut; writers queue behind it like behind
+// a reshape.
+func (s *Sharded[T]) Save(w io.Writer) error {
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+	}
+	defer func() {
+		for i := len(s.shards) - 1; i >= 0; i-- {
+			s.shards[i].mu.RUnlock()
+		}
+	}()
+	snap := extarray.SnapshotData[T]{
+		Mapping: s.f.Name(),
+		Rows:    s.rows,
+		Cols:    s.cols,
+		Stats:   s.statsLocked(),
+	}
+	for x := int64(1); x <= s.rows; x++ {
+		for y := int64(1); y <= s.cols; y++ {
+			addr, err := s.f.Encode(x, y)
+			if err != nil {
+				return fmt.Errorf("tabled: Save: %w", err)
+			}
+			if v, ok := s.shardOf(addr).store.Get(addr); ok {
+				snap.Addrs = append(snap.Addrs, addr)
+				snap.Values = append(snap.Values, v)
+			}
+		}
+	}
+	return extarray.EncodeSnapshot(w, &snap)
+}
+
+// statsLocked aggregates stats while the caller holds every shard lock.
+func (s *Sharded[T]) statsLocked() extarray.Stats {
+	st := extarray.Stats{Reshapes: s.reshapes}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		st.Moves += sh.moves
+		if sh.footprint > st.Footprint {
+			st.Footprint = sh.footprint
+		}
+		if m := sh.store.MaxAddr(); m > st.Footprint {
+			st.Footprint = m
+		}
+	}
+	return st
+}
+
+// SaveFile atomically persists the table to path (temp file + fsync +
+// rename via extarray.AtomicWriteFile): the previous snapshot survives any
+// failure or crash mid-write.
+func (s *Sharded[T]) SaveFile(path string) error {
+	return extarray.AtomicWriteFile(path, func(w io.Writer) error { return s.Save(w) })
+}
+
+// LoadSharded reconstructs a Sharded table from a snapshot written by Save
+// (or by extarray's Array.Save). The caller supplies the same storage
+// mapping (checked by name) and the shard geometry; every address is
+// validated to decode into the snapshot's logical box before it is
+// trusted.
+func LoadSharded[T any](r io.Reader, f core.StorageMapping, nshards int, newStore func() extarray.Store[T], m *Metrics) (*Sharded[T], error) {
+	snap, err := extarray.DecodeSnapshot[T](r)
+	if err != nil {
+		return nil, fmt.Errorf("tabled: load: %w", err)
+	}
+	if snap.Mapping != f.Name() {
+		return nil, fmt.Errorf("tabled: load: snapshot was laid out by %q, not %q",
+			snap.Mapping, f.Name())
+	}
+	s, err := NewSharded[T](f, nshards, newStore, snap.Rows, snap.Cols, m)
+	if err != nil {
+		return nil, err
+	}
+	for i, addr := range snap.Addrs {
+		if _, _, err := extarray.CheckSnapshotAddr(snap, f, addr); err != nil {
+			return nil, fmt.Errorf("tabled: load: %w", err)
+		}
+		sh := s.shardOf(addr)
+		sh.store.Set(addr, snap.Values[i])
+		if addr > sh.footprint {
+			sh.footprint = addr
+		}
+	}
+	s.reshapes = snap.Stats.Reshapes
+	// Moves cannot be attributed to shards after the fact; keep the
+	// aggregate by crediting shard 0.
+	s.shards[0].moves = snap.Stats.Moves
+	return s, nil
+}
+
+// LoadShardedFile is LoadSharded over a file written by SaveFile.
+func LoadShardedFile[T any](path string, f core.StorageMapping, nshards int, newStore func() extarray.Store[T], m *Metrics) (*Sharded[T], error) {
+	r, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return LoadSharded[T](r, f, nshards, newStore, m)
+}
