@@ -18,9 +18,25 @@
 // one row every K batches — reshapes under live traffic, the §3 scenario.
 // Per-batch latencies are aggregated into p50/p95/p99; the summary goes to
 // stderr and, with -json, one machine-readable JSON line to stdout.
+//
+// Chaos-verification mode (exercising the tabled WAL):
+//
+//	tabledload -seq -acklog acked.log -retries 5 ...   # unique cells, log acks
+//	<SIGKILL the server mid-run, restart it>
+//	tabledload -check acked.log                        # every ack must read back
+//
+// With -seq every batch writes FRESH cells — positions are assigned from a
+// global counter, values are derived from the position — and each
+// acknowledged batch is appended to -acklog only after the server's 200.
+// -check reads such a log back and verifies every acknowledged cell is
+// present with its exact value: the WAL durability contract, falsified if
+// any line is missing. -retries wraps the client in jittered-backoff
+// retries (with idempotency keys, so a retried batch is never applied
+// twice).
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
@@ -29,12 +45,14 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pairfn/internal/core"
 	"pairfn/internal/extarray"
+	"pairfn/internal/retry"
 	"pairfn/internal/tabled"
 )
 
@@ -84,7 +102,28 @@ func run() int {
 	resizeEvery := flag.Int("resize-every", 0, "client 0 grows the table by one row every N of its batches (0 = never)")
 	seed := flag.Int64("seed", 1, "PRNG seed")
 	jsonOut := flag.Bool("json", false, "emit one JSON summary line to stdout")
+	retries := flag.Int("retries", 0, "attempts per request with jittered backoff (HTTP mode; 0 = no retries)")
+	seq := flag.Bool("seq", false, "sequential mode: every batch writes fresh cells with position-derived values (chaos verification)")
+	ackPath := flag.String("acklog", "", "append each acknowledged cell as 'x y v' to this file (requires -seq)")
+	checkPath := flag.String("check", "", "verify every cell in this ack log reads back with its exact value, then exit")
 	flag.Parse()
+
+	var pol *retry.Policy
+	if *retries > 0 {
+		pol = &retry.Policy{Base: 50 * time.Millisecond, Max: 2 * time.Second, MaxAttempts: *retries}
+	}
+	if *checkPath != "" {
+		return runCheck(*addr, *checkPath, *batch, pol)
+	}
+	if *ackPath != "" && !*seq {
+		fmt.Fprintln(os.Stderr, "tabledload: -acklog requires -seq (random mode overwrites cells)")
+		return 2
+	}
+	if *seq && *ops > *rows**cols {
+		fmt.Fprintf(os.Stderr, "tabledload: -seq needs ops ≤ rows*cols (%d > %d): every cell is written at most once\n",
+			*ops, *rows**cols)
+		return 2
+	}
 
 	var (
 		d   driver
@@ -93,11 +132,21 @@ func run() int {
 	if *direct {
 		d, err = newDirectDriver(*backend, *mapping, *shards, *rows, *cols)
 	} else {
-		d, err = newHTTPDriver(*addr, *rows, *cols)
+		d, err = newHTTPDriver(*addr, *rows, *cols, pol)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tabledload:", err)
 		return 1
+	}
+
+	var acks *ackLogger
+	if *ackPath != "" {
+		acks, err = newAckLogger(*ackPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tabledload:", err)
+			return 1
+		}
+		defer acks.close()
 	}
 
 	totalBatches := *ops / int64(*batch)
@@ -123,7 +172,11 @@ func run() int {
 			cells := make([]tabled.Cell[string], *batch)
 			keys := make([]tabled.Pos, *batch)
 			myBatches := 0
-			for nextBatch.Add(1) <= totalBatches {
+			for {
+				bn := nextBatch.Add(1)
+				if bn > totalBatches {
+					break
+				}
 				myBatches++
 				if w == 0 && *resizeEvery > 0 && myBatches%*resizeEvery == 0 {
 					nr := curRows.Add(1)
@@ -134,7 +187,25 @@ func run() int {
 					}
 				}
 				t0 := time.Now()
-				if rng.Float64() < *setFrac {
+				if *seq {
+					// Fresh cells from the global batch counter: each position
+					// is written exactly once, with a value derived from it,
+					// so an ack log can be verified after a crash.
+					base := (bn - 1) * int64(*batch)
+					for i := range cells {
+						idx := base + int64(i)
+						x, y := idx / *cols + 1, idx%*cols+1
+						cells[i] = tabled.Cell[string]{X: x, Y: y, V: seqValue(x, y)}
+					}
+					if err := d.setBatch(cells); err != nil {
+						errCount.Add(1)
+					} else if acks != nil {
+						if err := acks.log(cells); err != nil {
+							fmt.Fprintln(os.Stderr, "tabledload: acklog:", err)
+							errCount.Add(1)
+						}
+					}
+				} else if rng.Float64() < *setFrac {
 					for i := range cells {
 						cells[i] = tabled.Cell[string]{
 							X: rng.Int63n(*rows) + 1, Y: rng.Int63n(*cols) + 1,
@@ -264,8 +335,8 @@ type httpDriver struct {
 	info tabled.Info
 }
 
-func newHTTPDriver(addr string, rows, cols int64) (*httpDriver, error) {
-	c := &tabled.Client{Base: addr}
+func newHTTPDriver(addr string, rows, cols int64, pol *retry.Policy) (*httpDriver, error) {
+	c := &tabled.Client{Base: addr, Retry: pol}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	reply, err := c.Stats(ctx)
@@ -311,3 +382,125 @@ func (d *httpDriver) resize(rows, cols int64) error {
 }
 
 func (d *httpDriver) describe() tabled.Info { return d.info }
+
+// seqValue is the deterministic value for a -seq cell: derived entirely
+// from the position, so -check needs no state beyond the ack log.
+func seqValue(x, y int64) string { return fmt.Sprintf("s-%d-%d", x, y) }
+
+// ackLogger appends acknowledged cells to a file, one "x y v" line each,
+// flushed per batch — the ground truth the durability check replays.
+type ackLogger struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+func newAckLogger(path string) (*ackLogger, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &ackLogger{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+func (a *ackLogger) log(cells []tabled.Cell[string]) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, c := range cells {
+		if _, err := fmt.Fprintf(a.w, "%d %d %s\n", c.X, c.Y, c.V); err != nil {
+			return err
+		}
+	}
+	return a.w.Flush()
+}
+
+func (a *ackLogger) close() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_ = a.w.Flush()
+	_ = a.f.Close()
+}
+
+// runCheck replays an ack log against the server: every acknowledged cell
+// must read back with its exact value. Any miss is a broken durability
+// contract and a nonzero exit.
+func runCheck(addr, path string, batch int, pol *retry.Policy) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tabledload:", err)
+		return 1
+	}
+	type want struct {
+		pos tabled.Pos
+		v   string
+	}
+	var wants []want
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		if line == "" {
+			continue
+		}
+		var x, y int64
+		var v string
+		if _, err := fmt.Sscanf(line, "%d %d %s", &x, &y, &v); err != nil {
+			// The writer may itself have been killed mid-flush: a torn FINAL
+			// line is an unacknowledged batch, not a lost one. Anything
+			// malformed earlier is a corrupt log and fatal.
+			if ln == len(lines)-1 || (ln == len(lines)-2 && lines[len(lines)-1] == "") {
+				fmt.Fprintf(os.Stderr, "tabledload: ignoring torn final ack line %d\n", ln+1)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "tabledload: %s:%d: %v\n", path, ln+1, err)
+			return 1
+		}
+		wants = append(wants, want{pos: tabled.Pos{X: x, Y: y}, v: v})
+	}
+	// A kill mid-flush can also truncate the final VALUE into something that
+	// still parses ("s-12-3" cut from "s-12-34"). -acklog implies -seq, so
+	// the expected value is derivable: drop a final line that disagrees.
+	if n := len(wants); n > 0 {
+		last := wants[n-1]
+		if last.v != seqValue(last.pos.X, last.pos.Y) {
+			fmt.Fprintf(os.Stderr, "tabledload: ignoring torn final ack line (value %q)\n", last.v)
+			wants = wants[:n-1]
+		}
+	}
+	c := &tabled.Client{Base: addr, Retry: pol}
+	ctx := context.Background()
+	lost := 0
+	for i := 0; i < len(wants); i += batch {
+		j := i + batch
+		if j > len(wants) {
+			j = len(wants)
+		}
+		keys := make([]tabled.Pos, j-i)
+		for k := i; k < j; k++ {
+			keys[k-i] = wants[k].pos
+		}
+		res, err := c.GetBatch(ctx, keys)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tabledload: check:", err)
+			return 1
+		}
+		for k, r := range res {
+			w := wants[i+k]
+			switch {
+			case r.Err != "":
+				fmt.Fprintf(os.Stderr, "tabledload: LOST (%d,%d): %s\n", w.pos.X, w.pos.Y, r.Err)
+				lost++
+			case !r.Found:
+				fmt.Fprintf(os.Stderr, "tabledload: LOST (%d,%d): acked but absent\n", w.pos.X, w.pos.Y)
+				lost++
+			case r.V != w.v:
+				fmt.Fprintf(os.Stderr, "tabledload: CORRUPT (%d,%d): %q, want %q\n", w.pos.X, w.pos.Y, r.V, w.v)
+				lost++
+			}
+		}
+	}
+	if lost > 0 {
+		fmt.Fprintf(os.Stderr, "tabledload: check FAILED: %d of %d acknowledged cells lost or corrupt\n", lost, len(wants))
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "tabledload: check ok: all %d acknowledged cells durable\n", len(wants))
+	return 0
+}

@@ -9,6 +9,7 @@
 //	tabledserver -addr :8080 -mapping square-shell -backend sharded \
 //	             -shards 16 -rows 1024 -cols 1024 \
 //	             [-snapshot table.gob [-snapshot-every 30s]] \
+//	             [-wal table.wal [-wal-sync 2ms]] [-faults SPEC] \
 //	             [-drain 10s] [-maxbatch 4096] [-pprof]
 //
 // Then, from any HTTP client (or the typed tabled.Client):
@@ -36,6 +37,21 @@
 // once more during shutdown. Writes are atomic (temp file + fsync +
 // rename): a crash mid-write never corrupts the previous snapshot.
 // Snapshots require the sharded backend.
+//
+// With -wal, every acknowledged set/resize is appended to a CRC-framed
+// write-ahead log and fsynced before the HTTP response (a 200 means the
+// write survives a crash). -wal-sync sets a group-commit window: appends
+// within one window share a single fsync. On boot the server loads the
+// newest snapshot (if any), then replays the WAL tail on top of it,
+// truncating a torn final record. Snapshots checkpoint the log: the save
+// and the truncation happen under one cut, so recovery is always snapshot
+// + tail. If the WAL volume fails at runtime the server degrades to
+// read-only (writes 503, reads 200, /readyz 503) instead of dying; a
+// restart recovers. WAL requires the sharded backend.
+//
+// -faults enables the deterministic fault injector for chaos testing:
+// "seed=7,errrate=0.05,latency=2ms,tornat=8192,syncerr=0.01" (see
+// tabled.ParseFaults). Off by default and zero-cost when off.
 //
 // On SIGINT/SIGTERM the server flips /readyz to 503, drains in-flight
 // requests for up to -drain, saves a final snapshot, and exits 0 on a
@@ -74,6 +90,9 @@ func run() int {
 	cols := flag.Int64("cols", 1024, "initial cols")
 	snapshot := flag.String("snapshot", "", "snapshot file: load on boot, save periodically and on shutdown (sharded backend only)")
 	snapEvery := flag.Duration("snapshot-every", 0, "periodic snapshot interval (0 = only on demand and shutdown)")
+	walPath := flag.String("wal", "", "write-ahead log file: fsync every acked write, replay on boot (sharded backend only)")
+	walSync := flag.Duration("wal-sync", 0, "WAL group-commit window (0 = fsync every append)")
+	faultSpec := flag.String("faults", "", "fault injection spec, e.g. seed=7,errrate=0.05,latency=2ms,tornat=8192,syncerr=0.01 (chaos testing)")
 	maxBatch := flag.Int("maxbatch", tabled.DefaultMaxBatch, "max ops per /v1/batch request")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -86,6 +105,15 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "tabledserver:", err)
 		return 2
 	}
+	faults, err := tabled.ParseFaults(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tabledserver:", err)
+		return 2
+	}
+	injector := tabled.NewFaultInjector(faults)
+	if faults != nil {
+		logger.Warn("fault injection enabled", "spec", *faultSpec)
+	}
 
 	reg := obs.NewRegistry()
 	ready := obs.NewFlag(true)
@@ -95,12 +123,15 @@ func run() int {
 	var (
 		table    tabled.Backend[string]
 		saveSnap func() error
+		wal      *tabled.WAL
 	)
 	switch *backend {
 	case "sharded":
 		var sh *tabled.Sharded[string]
 		if *snapshot != "" {
 			if _, statErr := os.Stat(*snapshot); statErr == nil {
+				// A truncated or bit-rotted snapshot must be a clean refusal
+				// to boot (operator intervention), never a decode panic.
 				sh, err = tabled.LoadShardedFile[string](*snapshot, f, *shards, newStore, m)
 				if err != nil {
 					logger.Error("snapshot load", "path", *snapshot, "err", err)
@@ -117,9 +148,31 @@ func run() int {
 				return 1
 			}
 		}
+		if *walPath != "" {
+			// Recovery = newest snapshot (loaded above) + WAL tail replayed
+			// on top; a torn final record is truncated, not fatal.
+			var replayed int
+			wal, replayed, err = tabled.OpenWAL(*walPath,
+				func(rec tabled.WALRecord) error { return tabled.ApplyWALRecord(sh, rec) },
+				tabled.WALOptions{SyncWindow: *walSync, Metrics: m, WrapFile: injector.WrapWALFile})
+			if err != nil {
+				logger.Error("wal open", "path", *walPath, "err", err)
+				return 1
+			}
+			logger.Info("wal open", "path", *walPath, "replayed", replayed,
+				"bytes", wal.Size(), "sync_window", *walSync)
+		}
 		if *snapshot != "" {
 			path := *snapshot
 			saveSnap = func() error { return sh.SaveFile(path) }
+			if wal != nil {
+				// Checkpoint: the snapshot save and the log reset share one
+				// cut, so recovery stays snapshot + tail with nothing lost
+				// and nothing applied twice.
+				saveSnap = func() error {
+					return wal.Checkpoint(func() error { return sh.SaveFile(path) })
+				}
+			}
 		}
 		table = sh
 	case "sync":
@@ -141,6 +194,11 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "tabledserver: -snapshot requires -backend sharded")
 		return 2
 	}
+	if *walPath != "" && wal == nil {
+		fmt.Fprintln(os.Stderr, "tabledserver: -wal requires -backend sharded")
+		return 2
+	}
+	table = injector.WrapBackend(table)
 
 	handler := tabled.NewHandler(table, tabled.ServerOptions{
 		Registry: reg,
@@ -149,6 +207,7 @@ func run() int {
 		Ready:    ready,
 		MaxBatch: *maxBatch,
 		Snapshot: saveSnap,
+		WAL:      wal,
 	})
 	mux := http.NewServeMux()
 	mux.Handle("/", handler)
@@ -166,6 +225,12 @@ func run() int {
 		Addr:              *addr,
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
+		// A stalled or malicious client must not pin a connection forever:
+		// bound the whole request read and response write. WriteTimeout
+		// comfortably exceeds the per-batch handler timeout so slow batches
+		// are cut by the 503-producing TimeoutHandler, not a dropped conn.
+		ReadTimeout:  1 * time.Minute,
+		WriteTimeout: 2 * time.Minute,
 	}
 
 	info := table.Describe()
@@ -236,6 +301,12 @@ func run() int {
 			code = 1
 		} else {
 			logger.Info("shutdown: final snapshot saved", "path", *snapshot)
+		}
+	}
+	if wal != nil {
+		if err := wal.Close(); err != nil {
+			logger.Error("shutdown: wal close", "err", err)
+			code = 1
 		}
 	}
 	if code == 0 {

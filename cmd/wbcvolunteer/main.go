@@ -7,9 +7,15 @@
 //	wbcvolunteer -tasks 20                 # honest
 //	wbcvolunteer -tasks 20 -error 0.5      # soon banned; then ask the server:
 //	curl 'localhost:8080/attribute?task=…'
+//
+// Transient failures (connection refused, 5xx) are retried with jittered
+// exponential backoff up to -retries attempts; a 4xx — a ban, an unknown
+// id — is a verdict and fails immediately.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -17,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"pairfn/internal/retry"
 	"pairfn/internal/wbc"
 )
 
@@ -28,20 +35,35 @@ func main() {
 	speed := flag.Float64("speed", 1, "speed hint for the front end")
 	seed := flag.Int64("seed", time.Now().UnixNano(), "corruption RNG seed")
 	depart := flag.Bool("depart", true, "deregister when done")
+	retries := flag.Int("retries", 3, "attempts per request for transient failures (1 = no retries)")
 	flag.Parse()
 
 	cl := &wbc.Client{BaseURL: *url}
 	rng := rand.New(rand.NewSource(*seed))
 	workload := wbc.PrimeCount{Span: *span}
 
-	id, err := cl.Register(*speed)
-	if err != nil {
+	pol := &retry.Policy{Base: 100 * time.Millisecond, Max: 2 * time.Second, MaxAttempts: *retries}
+	// do retries op under the policy. Transport errors and 5xx are
+	// transient; any 4xx from the coordinator is permanent.
+	do := func(op func() error) error {
+		return pol.Do(context.Background(), func(context.Context) error {
+			err := op()
+			var se *wbc.StatusError
+			if errors.As(err, &se) && se.Code < 500 {
+				return retry.Permanent(err)
+			}
+			return err
+		})
+	}
+
+	var id wbc.VolunteerID
+	if err := do(func() (e error) { id, e = cl.Register(*speed); return }); err != nil {
 		log.Fatalf("register: %v", err)
 	}
 	log.Printf("registered as volunteer %d", id)
 	for i := 0; i < *tasks; i++ {
-		k, err := cl.Next(id)
-		if err != nil {
+		var k wbc.TaskID
+		if err := do(func() (e error) { k, e = cl.Next(id); return }); err != nil {
 			log.Printf("next: %v (banned?)", err)
 			os.Exit(1)
 		}
@@ -51,8 +73,8 @@ func main() {
 			result++
 			note = "  (corrupted!)"
 		}
-		caught, err := cl.Submit(id, k, result)
-		if err != nil {
+		var caught bool
+		if err := do(func() (e error) { caught, e = cl.Submit(id, k, result); return }); err != nil {
 			log.Printf("submit: %v", err)
 			os.Exit(1)
 		}
@@ -63,7 +85,7 @@ func main() {
 		fmt.Printf("task %8d → %d%s%s\n", k, result, note, status)
 	}
 	if *depart {
-		if err := cl.Depart(id); err != nil {
+		if err := do(func() error { return cl.Depart(id) }); err != nil {
 			log.Printf("depart: %v", err)
 		} else {
 			log.Printf("departed; row recycled for the next arrival")

@@ -103,12 +103,16 @@ func BenchmarkInstrumentedEncode(b *testing.B) {
 }
 
 // TestInstrumentationOverheadBudget machine-checks the < 20 ns/op budget
-// with testing.Benchmark. Skipped in -short mode: timing assertions on a
-// loaded CI machine are noise-prone, and the benchmark above remains the
-// authoritative measurement.
+// with testing.Benchmark. Skipped in -short mode (timing assertions on a
+// loaded CI machine are noise-prone) and under the race detector (whose
+// instrumentation adds ~100 ns to every atomic op, dwarfing the budget);
+// the benchmark above remains the authoritative measurement.
 func TestInstrumentationOverheadBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing assertion; run without -short")
+	}
+	if raceEnabled {
+		t.Skip("timing assertion; race-detector instrumentation dominates the budget")
 	}
 	raw := NewTHash()
 	wrapped := Instrument(raw, obs.NewRegistry())

@@ -1,0 +1,5 @@
+//go:build !race
+
+package apf
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package apf
+
+// raceEnabled reports that this test binary was built with -race, whose
+// instrumentation adds ~100 ns to every atomic operation and makes timing
+// budgets meaningless. Timing-assertion tests consult it and skip.
+const raceEnabled = true

@@ -7,6 +7,15 @@ import (
 	"path/filepath"
 )
 
+// Failure-injection seams for the durability tests: production code always
+// sees the os implementations; atomicfile_test.go swaps these to prove the
+// cleanup contract (temp file removed, previous snapshot intact) under
+// rename and fsync failure.
+var (
+	osRename = os.Rename
+	syncFile = func(f *os.File) error { return f.Sync() }
+)
+
 // AtomicWriteFile writes a file via write(w) so that path is either left
 // untouched (on any error, including a partial write or a crash mid-write)
 // or atomically replaced by the complete new contents. The sequence is the
@@ -39,29 +48,39 @@ func AtomicWriteFile(path string, write func(w io.Writer) error) (err error) {
 	if err = write(tmp); err != nil {
 		return fmt.Errorf("extarray: atomic write %s: %w", path, err)
 	}
-	if err = tmp.Sync(); err != nil {
+	if err = syncFile(tmp); err != nil {
 		return fmt.Errorf("extarray: atomic write %s: sync: %w", path, err)
 	}
 	if err = tmp.Close(); err != nil {
 		return fmt.Errorf("extarray: atomic write %s: close: %w", path, err)
 	}
-	if err = os.Rename(tmpName, path); err != nil {
+	if err = osRename(tmpName, path); err != nil {
 		return fmt.Errorf("extarray: atomic write %s: rename: %w", path, err)
 	}
-	// Persist the rename. Directory fsync can fail on filesystems that do
-	// not support it (the file data is already synced); surface real errors
-	// but tolerate unsupported operations.
-	if d, derr := os.Open(dir); derr == nil {
-		serr := d.Sync()
-		d.Close()
-		if serr != nil && !os.IsPermission(serr) {
-			// Some filesystems (e.g. certain network mounts) reject
-			// directory fsync with EINVAL; the rename itself succeeded and
-			// the data is synced, so treat that as best-effort.
-			if !isUnsupportedSync(serr) {
-				return fmt.Errorf("extarray: atomic write %s: dir sync: %w", path, serr)
-			}
-		}
+	if err := SyncDir(dir); err != nil {
+		return fmt.Errorf("extarray: atomic write %s: %w", path, err)
+	}
+	return nil
+}
+
+// SyncDir fsyncs a directory so that a just-completed rename or create in
+// it survives a crash. Filesystems that cannot fsync directories (certain
+// network mounts reject it with EINVAL or EPERM; the file data itself is
+// already synced by then) are tolerated as best-effort — only real
+// durability failures are surfaced. Shared by AtomicWriteFile and the
+// tabled write-ahead log, which must persist the creation of a fresh log
+// file before acknowledging the writes it carries.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		// The directory vanished or is unreadable; the caller's file ops
+		// succeeded, so report nothing — there is no handle to sync.
+		return nil
+	}
+	serr := syncFile(d)
+	d.Close()
+	if serr != nil && !os.IsPermission(serr) && !isUnsupportedSync(serr) {
+		return fmt.Errorf("extarray: dir sync %s: %w", dir, serr)
 	}
 	return nil
 }

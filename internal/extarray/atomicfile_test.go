@@ -77,6 +77,74 @@ func TestAtomicWriteFileCrashSafety(t *testing.T) {
 	}
 }
 
+// TestAtomicWriteFileRenameFailure injects a failure into the rename step:
+// the previous snapshot must survive byte-for-byte and the temp file must
+// be cleaned up.
+func TestAtomicWriteFileRenameFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.gob")
+	if err := os.WriteFile(path, []byte("previous contents"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("injected rename failure")
+	osRename = func(_, _ string) error { return boom }
+	defer func() { osRename = os.Rename }()
+	err := AtomicWriteFile(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("new contents"))
+		return err
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("AtomicWriteFile = %v, want injected rename failure", err)
+	}
+	after, rerr := os.ReadFile(path)
+	if rerr != nil || string(after) != "previous contents" {
+		t.Fatalf("previous snapshot damaged: %q, %v", after, rerr)
+	}
+	entries, rerr := os.ReadDir(dir)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp debris left behind: %s", e.Name())
+		}
+	}
+}
+
+// TestAtomicWriteFileFsyncFailure injects a failure into the temp-file
+// fsync: data that cannot be made durable must never become visible at the
+// target path.
+func TestAtomicWriteFileFsyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.gob")
+	if err := os.WriteFile(path, []byte("previous contents"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("injected fsync failure")
+	syncFile = func(*os.File) error { return boom }
+	defer func() { syncFile = func(f *os.File) error { return f.Sync() } }()
+	err := AtomicWriteFile(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("new contents"))
+		return err
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("AtomicWriteFile = %v, want injected fsync failure", err)
+	}
+	after, rerr := os.ReadFile(path)
+	if rerr != nil || string(after) != "previous contents" {
+		t.Fatalf("previous snapshot damaged: %q, %v", after, rerr)
+	}
+	entries, rerr := os.ReadDir(dir)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp debris left behind: %s", e.Name())
+		}
+	}
+}
+
 // TestSaveFileRoundTrip is the happy path: SaveFile then LoadFile
 // reproduces the array, replacing any previous snapshot at the path.
 func TestSaveFileRoundTrip(t *testing.T) {

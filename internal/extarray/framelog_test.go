@@ -1,0 +1,155 @@
+package extarray
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{
+		[]byte("first"),
+		{},
+		[]byte("a longer third record with some structure: 1,2,3"),
+		bytes.Repeat([]byte{0xAB}, 4096),
+	}
+	var wrote int64
+	for _, p := range payloads {
+		n, err := AppendFrame(&buf, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(n) != FrameLen(p) {
+			t.Fatalf("AppendFrame wrote %d bytes, FrameLen says %d", n, FrameLen(p))
+		}
+		wrote += int64(n)
+	}
+	var got [][]byte
+	valid, torn, err := ReadFrames(bytes.NewReader(buf.Bytes()), func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil || torn {
+		t.Fatalf("ReadFrames: valid=%d torn=%v err=%v", valid, torn, err)
+	}
+	if valid != wrote {
+		t.Fatalf("valid offset %d, want %d", valid, wrote)
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("read %d frames, want %d", len(got), len(payloads))
+	}
+	for i := range payloads {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Errorf("frame %d: got %q want %q", i, got[i], payloads[i])
+		}
+	}
+}
+
+// TestFrameTornTail verifies the crash contract: truncating the stream at
+// every possible byte offset inside the final frame yields exactly the
+// preceding intact frames, a torn flag, and the right truncation offset —
+// never an error, never a garbage frame.
+func TestFrameTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := AppendFrame(&buf, []byte("keep me")); err != nil {
+		t.Fatal(err)
+	}
+	goodLen := int64(buf.Len())
+	if _, err := AppendFrame(&buf, []byte("the torn one")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// cut == goodLen is a clean EOF (the append never reached the disk at
+	// all), so the torn range starts one byte in.
+	for cut := goodLen + 1; cut < int64(len(full)); cut++ {
+		var got []string
+		valid, torn, err := ReadFrames(bytes.NewReader(full[:cut]), func(p []byte) error {
+			got = append(got, string(p))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("cut %d: err %v", cut, err)
+		}
+		if !torn {
+			t.Fatalf("cut %d: torn tail not flagged", cut)
+		}
+		if valid != goodLen {
+			t.Fatalf("cut %d: valid=%d, want %d", cut, valid, goodLen)
+		}
+		if len(got) != 1 || got[0] != "keep me" {
+			t.Fatalf("cut %d: frames %q", cut, got)
+		}
+	}
+}
+
+// TestFrameCorruptMiddle verifies that a flipped bit anywhere stops replay
+// at the last frame whose checksum still holds.
+func TestFrameCorruptMiddle(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 3; i++ {
+		if _, err := AppendFrame(&buf, []byte(fmt.Sprintf("record-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	one := FrameLen([]byte("record-0"))
+	data := append([]byte(nil), buf.Bytes()...)
+	data[one+frameHeaderSize] ^= 0x01 // flip a payload bit in record 1
+	var got []string
+	valid, torn, err := ReadFrames(bytes.NewReader(data), func(p []byte) error {
+		got = append(got, string(p))
+		return nil
+	})
+	if err != nil || !torn {
+		t.Fatalf("torn=%v err=%v", torn, err)
+	}
+	if valid != one || len(got) != 1 || got[0] != "record-0" {
+		t.Fatalf("valid=%d frames=%q", valid, got)
+	}
+}
+
+// TestFrameCorruptLength verifies a damaged length prefix cannot force a
+// huge allocation: it reads as a torn tail.
+func TestFrameCorruptLength(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := AppendFrame(&buf, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	off := int64(buf.Len())
+	if _, err := AppendFrame(&buf, []byte("victim")); err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), buf.Bytes()...)
+	binary.LittleEndian.PutUint32(data[off:], uint32(MaxFramePayload)+1)
+	valid, torn, err := ReadFrames(bytes.NewReader(data), func([]byte) error { return nil })
+	if err != nil || !torn || valid != off {
+		t.Fatalf("valid=%d torn=%v err=%v, want %d true nil", valid, torn, err, off)
+	}
+}
+
+func TestAppendFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	_, err := AppendFrame(&buf, make([]byte, MaxFramePayload+1))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("oversize append wrote bytes")
+	}
+}
+
+func TestReadFramesCallbackError(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 2; i++ {
+		if _, err := AppendFrame(&buf, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	boom := errors.New("stop")
+	_, _, err := ReadFrames(bytes.NewReader(buf.Bytes()), func([]byte) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want callback error", err)
+	}
+}

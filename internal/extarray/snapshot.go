@@ -39,16 +39,28 @@ func EncodeSnapshot[T any](w io.Writer, s *SnapshotData[T]) error {
 // DecodeSnapshot reads a snapshot from r, validating its internal
 // consistency (equal address/value counts) but not its mapping — callers
 // check Mapping against the mapping they will decode addresses with.
-func DecodeSnapshot[T any](r io.Reader) (*SnapshotData[T], error) {
-	var snap SnapshotData[T]
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+//
+// Corrupt input — a truncated file, a flipped bit — must surface as an
+// error, never a crash: encoding/gob documents that it is not hardened
+// against adversarial data and can panic on malformed streams, and a
+// server booting from a damaged snapshot needs a clean logged error and a
+// nonzero exit, not a panic trace. The decode therefore runs under a
+// recover that converts any gob panic into a decode error.
+func DecodeSnapshot[T any](r io.Reader) (snap *SnapshotData[T], err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			snap, err = nil, fmt.Errorf("extarray: decode snapshot: corrupt stream: %v", p)
+		}
+	}()
+	var s SnapshotData[T]
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
 		return nil, fmt.Errorf("extarray: decode snapshot: %w", err)
 	}
-	if len(snap.Addrs) != len(snap.Values) {
+	if len(s.Addrs) != len(s.Values) {
 		return nil, fmt.Errorf("extarray: corrupt snapshot (%d addrs, %d values)",
-			len(snap.Addrs), len(snap.Values))
+			len(s.Addrs), len(s.Values))
 	}
-	return &snap, nil
+	return &s, nil
 }
 
 // CheckSnapshotAddr validates one snapshot address against the mapping and

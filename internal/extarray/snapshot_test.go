@@ -70,6 +70,66 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestLoadCorruptSnapshot is the boot-safety regression: a bit-flipped or
+// truncated snapshot must yield a clean error from every decode entry
+// point — encoding/gob can panic on malformed streams, and a panic at boot
+// is an unclean crash where a logged error and nonzero exit is required.
+func TestLoadCorruptSnapshot(t *testing.T) {
+	a := NewMapBacked[string](core.SquareShell{}, 16, 16)
+	for x := int64(1); x <= 16; x++ {
+		for y := int64(1); y <= 16; y++ {
+			if err := a.Set(x, y, strings.Repeat("v", int(x+y))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Every single-bit flip and every truncation point must decode to an
+	// error, never a panic. (Exhaustive over a small snapshot: a few KB.)
+	for i := range good {
+		for bit := 0; bit < 8; bit++ {
+			flipped := append([]byte(nil), good...)
+			flipped[i] ^= 1 << bit
+			if bytes.Equal(flipped, good) {
+				continue
+			}
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						t.Fatalf("flip byte %d bit %d: decode panicked: %v", i, bit, p)
+					}
+				}()
+				snap, err := DecodeSnapshot[string](bytes.NewReader(flipped))
+				if err != nil {
+					return // clean rejection
+				}
+				// Flips that survive decoding (e.g. inside a value string)
+				// must still be structurally consistent.
+				if len(snap.Addrs) != len(snap.Values) {
+					t.Fatalf("flip byte %d bit %d: inconsistent snapshot accepted", i, bit)
+				}
+			}()
+		}
+	}
+	for cut := 0; cut < len(good); cut += 7 {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("truncate at %d: decode panicked: %v", cut, p)
+				}
+			}()
+			if _, err := DecodeSnapshot[string](bytes.NewReader(good[:cut])); err == nil {
+				t.Fatalf("truncate at %d: decode accepted a partial snapshot", cut)
+			}
+		}()
+	}
+}
+
 func TestRange(t *testing.T) {
 	a := NewMapBacked[int64](core.SquareShell{}, 4, 4)
 	want := map[[2]int64]int64{}

@@ -1,0 +1,184 @@
+// Package retry implements jittered exponential backoff for the repo's
+// HTTP clients (tabled.Client, the wbcvolunteer loop). It exists because a
+// fault-tolerant server is only half of an available system: the paper's
+// extendible tables promise that growth never invalidates a client's view,
+// so a transient transport error or a 503 from a draining/degraded server
+// should be retried, not surfaced — while real rejections (4xx, bans) must
+// fail immediately.
+//
+// The policy is full jitter over a doubling cap, the scheme that avoids
+// retry synchronization between clients recovering from the same outage:
+// attempt k sleeps Uniform[0, min(Base·2^k, Max)]. Every wait honors the
+// context, and two independent caps bound the total effort: MaxAttempts
+// and MaxElapsed.
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Policy configures Do. The zero value of any field selects its default;
+// Policy{} is a usable conservative policy.
+type Policy struct {
+	// Base is the backoff scale: attempt k (0-based) may wait up to
+	// Base·2^k. Default 50ms.
+	Base time.Duration
+	// Max caps a single wait. Default 2s.
+	Max time.Duration
+	// MaxAttempts caps how many times fn runs. Default 5; negative means
+	// unlimited (bounded by MaxElapsed or the context).
+	MaxAttempts int
+	// MaxElapsed, when positive, stops retrying once the total time since
+	// Do began exceeds it. The in-flight attempt is not interrupted (use
+	// the context for that).
+	MaxElapsed time.Duration
+	// Rand supplies jitter; nil uses a private, locked global source.
+	// Tests inject a seeded source for determinism.
+	Rand *rand.Rand
+	// Sleep replaces the actual waiting (tests measure instead of sleep).
+	// Nil uses a context-aware timer sleep.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Permanent wraps err to tell Do that retrying cannot help (a 4xx, a ban,
+// a validation failure). Do returns the unwrapped error immediately.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err}
+}
+
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// IsPermanent reports whether err (or anything it wraps) was marked with
+// Permanent.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// globalRand is the default jitter source, locked because Policy values
+// are shared across client goroutines.
+var globalRand = struct {
+	sync.Mutex
+	r *rand.Rand
+}{r: rand.New(rand.NewSource(time.Now().UnixNano()))}
+
+func (p Policy) jitter(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if p.Rand != nil {
+		return p.Rand.Int63n(n)
+	}
+	globalRand.Lock()
+	defer globalRand.Unlock()
+	return globalRand.r.Int63n(n)
+}
+
+func (p Policy) base() time.Duration {
+	if p.Base > 0 {
+		return p.Base
+	}
+	return 50 * time.Millisecond
+}
+
+func (p Policy) max() time.Duration {
+	if p.Max > 0 {
+		return p.Max
+	}
+	return 2 * time.Second
+}
+
+func (p Policy) attempts() int {
+	switch {
+	case p.MaxAttempts > 0:
+		return p.MaxAttempts
+	case p.MaxAttempts < 0:
+		return int(^uint(0) >> 1) // effectively unlimited
+	}
+	return 5
+}
+
+// Wait returns the jittered backoff before retry number attempt (0-based):
+// Uniform[0, min(Base·2^attempt, Max)]. Exposed so callers that own their
+// loop (e.g. a poller) can reuse the schedule.
+func (p Policy) Wait(attempt int) time.Duration {
+	d := p.base()
+	max := p.max()
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return time.Duration(p.jitter(int64(d)))
+}
+
+func (p Policy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	if d <= 0 {
+		// Still yield to cancellation between attempts.
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+			return nil
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Do runs fn until it returns nil, a Permanent error, the context ends, or
+// a cap (MaxAttempts, MaxElapsed) is exhausted. The returned error is the
+// last attempt's error, unwrapped from any Permanent marker; a context end
+// during backoff returns the context error wrapped around the last
+// attempt's error so callers see both.
+func (p Policy) Do(ctx context.Context, fn func(ctx context.Context) error) error {
+	start := time.Now()
+	var last error
+	for attempt := 0; attempt < p.attempts(); attempt++ {
+		if err := ctx.Err(); err != nil {
+			if last != nil {
+				return errors.Join(err, last)
+			}
+			return err
+		}
+		err := fn(ctx)
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		last = err
+		if attempt+1 >= p.attempts() {
+			break
+		}
+		if p.MaxElapsed > 0 && time.Since(start) >= p.MaxElapsed {
+			break
+		}
+		if serr := p.sleep(ctx, p.Wait(attempt)); serr != nil {
+			return errors.Join(serr, last)
+		}
+	}
+	return last
+}

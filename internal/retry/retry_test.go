@@ -1,0 +1,190 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// fakeSleep records requested waits without sleeping.
+type fakeSleep struct{ waits []time.Duration }
+
+func (f *fakeSleep) sleep(ctx context.Context, d time.Duration) error {
+	f.waits = append(f.waits, d)
+	return ctx.Err()
+}
+
+func TestDoSucceedsAfterTransientErrors(t *testing.T) {
+	fs := &fakeSleep{}
+	p := Policy{MaxAttempts: 5, Sleep: fs.sleep, Rand: rand.New(rand.NewSource(1))}
+	calls := 0
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("fn ran %d times, want 3", calls)
+	}
+	if len(fs.waits) != 2 {
+		t.Fatalf("slept %d times, want 2", len(fs.waits))
+	}
+}
+
+func TestDoMaxAttempts(t *testing.T) {
+	fs := &fakeSleep{}
+	p := Policy{MaxAttempts: 4, Sleep: fs.sleep, Rand: rand.New(rand.NewSource(1))}
+	boom := errors.New("always fails")
+	calls := 0
+	err := p.Do(context.Background(), func(context.Context) error { calls++; return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("Do = %v, want last error", err)
+	}
+	if calls != 4 {
+		t.Fatalf("fn ran %d times, want 4", calls)
+	}
+	if len(fs.waits) != 3 {
+		t.Fatalf("slept %d times, want 3 (no sleep after the final attempt)", len(fs.waits))
+	}
+}
+
+func TestDoPermanentStopsImmediately(t *testing.T) {
+	fs := &fakeSleep{}
+	p := Policy{MaxAttempts: 5, Sleep: fs.sleep}
+	boom := errors.New("bad request")
+	calls := 0
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return Permanent(fmt.Errorf("wrapping: %w", boom))
+	})
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("Do = %v, want unwrapped permanent cause", err)
+	}
+	if IsPermanent(err) {
+		t.Fatal("returned error should be unwrapped from the Permanent marker")
+	}
+	if len(fs.waits) != 0 {
+		t.Fatal("slept after a permanent error")
+	}
+}
+
+// TestJitterBounds verifies the full-jitter contract: every wait for
+// attempt k lies in [0, min(Base·2^k, Max)), over many seeds.
+func TestJitterBounds(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond,
+		Rand: rand.New(rand.NewSource(42))}
+	for attempt := 0; attempt < 8; attempt++ {
+		cap := 10 * time.Millisecond << attempt
+		if cap > 80*time.Millisecond {
+			cap = 80 * time.Millisecond
+		}
+		for i := 0; i < 1000; i++ {
+			w := p.Wait(attempt)
+			if w < 0 || w >= cap {
+				t.Fatalf("attempt %d: wait %v outside [0, %v)", attempt, w, cap)
+			}
+		}
+	}
+}
+
+// TestJitterSpread guards against a degenerate jitter source: waits for
+// one attempt must not all collapse to a single value.
+func TestJitterSpread(t *testing.T) {
+	p := Policy{Base: time.Second, Rand: rand.New(rand.NewSource(7))}
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 100; i++ {
+		seen[p.Wait(0)] = true
+	}
+	if len(seen) < 50 {
+		t.Fatalf("only %d distinct waits in 100 draws", len(seen))
+	}
+}
+
+func TestDoContextCancelDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("transient")
+	p := Policy{
+		MaxAttempts: 10,
+		Sleep: func(ctx context.Context, _ time.Duration) error {
+			cancel() // the deadline fires while we are backing off
+			return ctx.Err()
+		},
+	}
+	err := p.Do(ctx, func(context.Context) error { return boom })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled in the chain", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("Do = %v, want the last attempt error in the chain", err)
+	}
+}
+
+func TestDoContextAlreadyDone(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	p := Policy{Sleep: (&fakeSleep{}).sleep}
+	err := p.Do(ctx, func(context.Context) error { calls++; return nil })
+	if calls != 0 {
+		t.Fatalf("fn ran %d times on a dead context", calls)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+}
+
+// TestDoDeadline verifies the wall-clock path end to end: with a real
+// context deadline shorter than the retry schedule, Do returns promptly
+// with DeadlineExceeded rather than exhausting attempts.
+func TestDoDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	boom := errors.New("transient")
+	p := Policy{Base: 20 * time.Millisecond, Max: 20 * time.Millisecond, MaxAttempts: -1}
+	start := time.Now()
+	err := p.Do(ctx, func(context.Context) error { return boom })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Do = %v, want DeadlineExceeded in the chain", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Do took %v after a 30ms deadline", elapsed)
+	}
+}
+
+func TestDoMaxElapsed(t *testing.T) {
+	fs := &fakeSleep{}
+	p := Policy{MaxAttempts: -1, MaxElapsed: time.Nanosecond, Sleep: fs.sleep}
+	boom := errors.New("transient")
+	calls := 0
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		time.Sleep(time.Millisecond) // push past MaxElapsed
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Do = %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1 (MaxElapsed exhausted)", calls)
+	}
+}
+
+func TestPermanentNil(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) should be nil")
+	}
+	if IsPermanent(nil) {
+		t.Fatal("IsPermanent(nil) should be false")
+	}
+}

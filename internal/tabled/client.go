@@ -3,17 +3,30 @@ package tabled
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+
+	"pairfn/internal/retry"
 )
 
 // Client is the typed Go client for a tabled server. The zero HTTP field
 // uses http.DefaultClient; Base is e.g. "http://127.0.0.1:8080".
+//
+// With Retry set, Batch (and everything built on it) retries transport
+// failures and retryable statuses (5xx, 408, 429) under jittered
+// exponential backoff. Every Batch carries a fresh Idempotency-Key that is
+// REUSED across its retries, so a replayed batch whose original ack was
+// lost is answered from the server's idempotency cache instead of being
+// applied (and WAL-logged) a second time. 4xx responses are permanent and
+// fail immediately.
 type Client struct {
-	Base string
-	HTTP *http.Client
+	Base  string
+	HTTP  *http.Client
+	Retry *retry.Policy
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -23,34 +36,80 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+// newIdemKey returns a fresh 128-bit idempotency key.
+func newIdemKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; keys only need
+		// uniqueness, so fail open with an empty key (no replay cache).
+		return ""
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// retryableStatus reports whether an HTTP status is worth retrying: server
+// errors and explicit backpressure, but never client errors.
+func retryableStatus(code int) bool {
+	return code >= 500 || code == http.StatusRequestTimeout || code == http.StatusTooManyRequests
+}
+
 // Batch executes ops in order on the server and returns one result per op.
-// A non-nil error means the request itself failed (transport or non-200);
-// per-op failures are reported in each OpResult.Err.
+// A non-nil error means the request itself failed (transport or non-200,
+// after any configured retries); per-op failures are reported in each
+// OpResult.Err.
 func (c *Client) Batch(ctx context.Context, ops []Op) ([]OpResult, error) {
 	body, err := json.Marshal(BatchRequest{Ops: ops})
 	if err != nil {
 		return nil, err
 	}
+	key := newIdemKey()
+	if c.Retry == nil {
+		return c.batchOnce(ctx, body, key, len(ops))
+	}
+	var res []OpResult
+	err = c.Retry.Do(ctx, func(ctx context.Context) error {
+		r, err := c.batchOnce(ctx, body, key, len(ops))
+		if err != nil {
+			return err
+		}
+		res = r
+		return nil
+	})
+	return res, err
+}
+
+// batchOnce performs one POST /v1/batch attempt. Non-retryable statuses
+// come back marked retry.Permanent.
+func (c *Client) batchOnce(ctx context.Context, body []byte, key string, nops int) ([]OpResult, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/batch", bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, retry.Permanent(err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set(IdempotencyKeyHeader, key)
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return nil, err
+		return nil, err // transport: retryable
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, fmt.Errorf("%w: %s: %s", ErrRemote, resp.Status, bytes.TrimSpace(msg))
+		err := fmt.Errorf("%w: %s: %s", ErrRemote, resp.Status, bytes.TrimSpace(msg))
+		if !retryableStatus(resp.StatusCode) {
+			return nil, retry.Permanent(err)
+		}
+		return nil, err
 	}
 	var br BatchResponse
 	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
-		return nil, err
+		// A truncated or garbled response body: retrying is safe because
+		// the idempotency key replays the recorded response.
+		return nil, fmt.Errorf("%w: decoding response: %v", ErrRemote, err)
 	}
-	if len(br.Results) != len(ops) {
-		return nil, fmt.Errorf("%w: %d results for %d ops", ErrRemote, len(br.Results), len(ops))
+	if len(br.Results) != nops {
+		return nil, fmt.Errorf("%w: %d results for %d ops", ErrRemote, len(br.Results), nops)
 	}
 	return br.Results, nil
 }

@@ -46,7 +46,36 @@
 // stats ops, plus /v1/stats, /v1/snapshot, and the standard /metrics,
 // /healthz, /readyz from internal/obs.
 //
-// See cmd/tabledserver (the daemon) and cmd/tabledload (the concurrent
-// load generator and E23 experiment driver comparing this store against
-// the Sync-wrapped baseline).
+// # Durability model
+//
+// With a WAL configured (wal.go), the contract strengthens from "the last
+// snapshot survives" to "every acknowledged write survives": each set
+// batch and resize is applied in memory, appended to a CRC32-framed
+// write-ahead log, and fsynced (directly, or as part of a group-commit
+// window) before the HTTP 200 is written. Recovery is newest snapshot +
+// WAL tail, replayed idempotently in log order; a torn final record — the
+// signature of a crash mid-append — is truncated, losing only writes that
+// were never acknowledged. Snapshots checkpoint the log: WAL.Checkpoint
+// holds the append lock across the snapshot save and then truncates, so
+// the snapshot cut and the log reset are one atomic event and nothing is
+// ever replayed against a snapshot that already contains it.
+//
+// If the log volume fails at runtime the WAL turns sticky-failed and the
+// server degrades to read-only instead of dying: writes get 503, reads
+// keep serving from memory, /readyz reports degraded for load balancers,
+// and tabled_degraded flips to 1. Only a restart — which replays and
+// reopens the log — recovers writability.
+//
+// The client side completes the story: tabled.Client retries transport
+// failures and 5xx under jittered exponential backoff (internal/retry),
+// reusing one Idempotency-Key per logical batch, and the server replays
+// recorded responses for keys it has already answered — so a retried
+// batch whose original ack was lost is never applied (or logged) twice.
+// Fault injection for all of these paths lives in faultwrap.go, behind
+// tabledserver's -faults flag, and is zero-cost when disabled.
+//
+// See cmd/tabledserver (the daemon), cmd/tabledload (the concurrent load
+// generator, E23 experiment driver, and chaos-verification harness; see
+// scripts/chaos_smoke.sh), and EXPERIMENTS.md E24 for the measured cost
+// of the fsync-per-ack contract.
 package tabled

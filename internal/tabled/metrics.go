@@ -23,6 +23,18 @@ type Metrics struct {
 	snapOK    *obs.Counter
 	snapErr   *obs.Counter
 	snapDur   *obs.Histogram
+
+	walAppends     *obs.Counter
+	walBytes       *obs.Counter
+	walSyncOK      *obs.Counter
+	walSyncErr     *obs.Counter
+	walSyncDurH    *obs.Histogram
+	walSizeG       *obs.Gauge
+	walReplayed    *obs.Counter
+	walTornTails   *obs.Counter
+	walCheckpoints *obs.Counter
+	degradedG      *obs.Gauge
+	idemHits       *obs.Counter
 }
 
 // opNames are the batch op kinds instrumented per-op.
@@ -41,6 +53,16 @@ func NewMetrics(reg *obs.Registry, nshards int) *Metrics {
 	reg.Help("tabled_batch_duration_seconds", "Latency of batch-API op groups, by op.")
 	reg.Help("tabled_snapshots_total", "Snapshot attempts, by result.")
 	reg.Help("tabled_snapshot_duration_seconds", "Snapshot save latency.")
+	reg.Help("tabled_wal_appends_total", "WAL records appended (one set batch or resize each).")
+	reg.Help("tabled_wal_appended_bytes_total", "Bytes appended to the WAL, framing included.")
+	reg.Help("tabled_wal_syncs_total", "WAL fsyncs, by result (group commit shares one sync across a window).")
+	reg.Help("tabled_wal_sync_duration_seconds", "WAL fsync latency.")
+	reg.Help("tabled_wal_size_bytes", "Current WAL length; drops to zero at each checkpoint.")
+	reg.Help("tabled_wal_replayed_records_total", "Records replayed from the WAL at boot.")
+	reg.Help("tabled_wal_torn_tails_total", "Torn or corrupt WAL tails truncated at boot.")
+	reg.Help("tabled_wal_checkpoints_total", "Snapshot checkpoints that reset the WAL.")
+	reg.Help("tabled_degraded", "1 while the server is in read-only degraded mode (WAL volume failed).")
+	reg.Help("tabled_idempotent_replays_total", "Batch requests answered from the idempotency cache without re-executing.")
 	m := &Metrics{
 		batchSize: reg.Histogram("tabled_batch_cells", defBatchBuckets),
 		opsTotal:  make(map[string]*obs.Counter, len(opNames)),
@@ -49,6 +71,18 @@ func NewMetrics(reg *obs.Registry, nshards int) *Metrics {
 		snapOK:    reg.Counter("tabled_snapshots_total", obs.L("result", "ok")),
 		snapErr:   reg.Counter("tabled_snapshots_total", obs.L("result", "error")),
 		snapDur:   reg.Histogram("tabled_snapshot_duration_seconds", obs.DefDurationBuckets),
+
+		walAppends:     reg.Counter("tabled_wal_appends_total"),
+		walBytes:       reg.Counter("tabled_wal_appended_bytes_total"),
+		walSyncOK:      reg.Counter("tabled_wal_syncs_total", obs.L("result", "ok")),
+		walSyncErr:     reg.Counter("tabled_wal_syncs_total", obs.L("result", "error")),
+		walSyncDurH:    reg.Histogram("tabled_wal_sync_duration_seconds", obs.DefDurationBuckets),
+		walSizeG:       reg.Gauge("tabled_wal_size_bytes"),
+		walReplayed:    reg.Counter("tabled_wal_replayed_records_total"),
+		walTornTails:   reg.Counter("tabled_wal_torn_tails_total"),
+		walCheckpoints: reg.Counter("tabled_wal_checkpoints_total"),
+		degradedG:      reg.Gauge("tabled_degraded"),
+		idemHits:       reg.Counter("tabled_idempotent_replays_total"),
 	}
 	for _, op := range opNames {
 		m.opsTotal[op] = reg.Counter("tabled_ops_total", obs.L("op", op))
@@ -87,6 +121,75 @@ func (m *Metrics) op(kind string, cells int, d time.Duration, failed bool) {
 		m.batchSize.Observe(float64(cells))
 	}
 	m.batchDur[kind].Observe(d.Seconds())
+}
+
+// walAppend records one appended record of n framed bytes.
+func (m *Metrics) walAppend(n int64) {
+	if m == nil {
+		return
+	}
+	m.walAppends.Inc()
+	m.walBytes.Add(n)
+}
+
+// walSync records one fsync attempt.
+func (m *Metrics) walSync(d time.Duration, err error) {
+	if m == nil {
+		return
+	}
+	if err != nil {
+		m.walSyncErr.Inc()
+	} else {
+		m.walSyncOK.Inc()
+	}
+	m.walSyncDurH.Observe(d.Seconds())
+}
+
+// walSize mirrors the current log length.
+func (m *Metrics) walSize(n int64) {
+	if m == nil {
+		return
+	}
+	m.walSizeG.Set(n)
+}
+
+// walReplay records a boot-time replay outcome.
+func (m *Metrics) walReplay(records int, torn bool) {
+	if m == nil {
+		return
+	}
+	m.walReplayed.Add(int64(records))
+	if torn {
+		m.walTornTails.Inc()
+	}
+}
+
+// walCheckpoint records one log reset.
+func (m *Metrics) walCheckpoint() {
+	if m == nil {
+		return
+	}
+	m.walCheckpoints.Inc()
+}
+
+// setDegraded mirrors the read-only flag into the exposition.
+func (m *Metrics) setDegraded(on bool) {
+	if m == nil {
+		return
+	}
+	if on {
+		m.degradedG.Set(1)
+	} else {
+		m.degradedG.Set(0)
+	}
+}
+
+// idempotentReplay records one batch served from the idempotency cache.
+func (m *Metrics) idempotentReplay() {
+	if m == nil {
+		return
+	}
+	m.idemHits.Inc()
 }
 
 // snapshot records a snapshot attempt.

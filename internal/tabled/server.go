@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"sync"
 	"time"
 
 	"pairfn/internal/extarray"
@@ -14,6 +15,17 @@ import (
 
 // DefaultMaxBatch caps the ops accepted in one /v1/batch request.
 const DefaultMaxBatch = 4096
+
+// DefaultMaxBodyBytes caps the /v1/batch request body (http.MaxBytesReader).
+const DefaultMaxBodyBytes = 4 << 20
+
+// DefaultBatchTimeout bounds one /v1/batch request end to end; a handler
+// that overruns it is abandoned and the client sees a 503.
+const DefaultBatchTimeout = 30 * time.Second
+
+// DefaultIdempotencyCache is how many recent Idempotency-Key responses the
+// server retains for replay.
+const DefaultIdempotencyCache = 4096
 
 // An Op is one operation in a batch request. Exactly the fields its kind
 // needs are consulted:
@@ -73,9 +85,30 @@ type ServerOptions struct {
 	Ready *obs.Flag
 	// MaxBatch caps ops per request (0 → DefaultMaxBatch).
 	MaxBatch int
+	// MaxBodyBytes caps the /v1/batch request body; oversized requests get
+	// a 413 (0 → DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// BatchTimeout bounds one /v1/batch request; overruns get a 503
+	// (0 → DefaultBatchTimeout, negative → no timeout).
+	BatchTimeout time.Duration
 	// Snapshot, when non-nil, is invoked by POST /v1/snapshot. Backends
 	// without snapshot support leave it nil and the endpoint returns 501.
+	// With a WAL configured, this should checkpoint through WAL.Checkpoint
+	// so the log is reset under the same cut as the snapshot.
 	Snapshot func() error
+	// WAL, when non-nil, receives every acknowledged set/resize before the
+	// HTTP response is written: the durability contract is "200 implies
+	// fsynced". A WAL failure flips the server into read-only degraded
+	// mode (Writable goes false) instead of killing it.
+	WAL *WAL
+	// Writable gates write ops (set/resize): while false they get a 503
+	// and /readyz reports degraded; reads keep working. Nil reads as
+	// always-writable unless a WAL is configured, in which case NewHandler
+	// installs a flag so it can degrade.
+	Writable *obs.Flag
+	// IdempotencyCache is how many recent Idempotency-Key responses are
+	// kept for replay (0 → DefaultIdempotencyCache, negative → disabled).
+	IdempotencyCache int
 }
 
 // NewHandler mounts the tabled API over b:
@@ -92,9 +125,30 @@ func NewHandler(b Backend[string], opt ServerOptions) http.Handler {
 	if opt.MaxBatch <= 0 {
 		opt.MaxBatch = DefaultMaxBatch
 	}
+	if opt.MaxBodyBytes == 0 {
+		opt.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if opt.BatchTimeout == 0 {
+		opt.BatchTimeout = DefaultBatchTimeout
+	}
+	if opt.WAL != nil && opt.Writable == nil {
+		// The server must be able to flip itself read-only on WAL failure.
+		opt.Writable = obs.NewFlag(true)
+	}
 	srv := &server{b: b, opt: opt}
+	if opt.IdempotencyCache >= 0 {
+		n := opt.IdempotencyCache
+		if n == 0 {
+			n = DefaultIdempotencyCache
+		}
+		srv.idem = newIdemCache(n)
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/batch", srv.handleBatch)
+	var batch http.Handler = http.HandlerFunc(srv.handleBatch)
+	if opt.BatchTimeout > 0 {
+		batch = http.TimeoutHandler(batch, opt.BatchTimeout, "batch timed out")
+	}
+	mux.Handle("POST /v1/batch", batch)
 	mux.HandleFunc("GET /v1/stats", srv.handleStats)
 	mux.HandleFunc("POST /v1/snapshot", srv.handleSnapshot)
 	if opt.Registry != nil {
@@ -103,10 +157,14 @@ func NewHandler(b Backend[string], opt ServerOptions) http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	ready := opt.Ready
+	ready, writable := opt.Ready, opt.Writable
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
 		if !ready.Get() {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		if !writable.Get() {
+			http.Error(w, "degraded: read-only (WAL volume failed)", http.StatusServiceUnavailable)
 			return
 		}
 		fmt.Fprintln(w, "ready")
@@ -127,15 +185,51 @@ func NewHandler(b Backend[string], opt ServerOptions) http.Handler {
 }
 
 type server struct {
-	b   Backend[string]
-	opt ServerOptions
+	b    Backend[string]
+	opt  ServerOptions
+	idem *idemCache // nil when disabled
+}
+
+// IdempotencyKeyHeader carries the client's per-request replay key: a
+// server that already answered this key returns the recorded response
+// without re-executing (so a retried batch is never applied — or WAL-logged
+// — twice).
+const IdempotencyKeyHeader = "Idempotency-Key"
+
+// hasWrites reports whether any op mutates the table.
+func hasWrites(ops []Op) bool {
+	for i := range ops {
+		if ops[i].Op == "set" || ops[i].Op == "resize" {
+			return true
+		}
+	}
+	return false
+}
+
+// degrade flips the server into read-only mode after a WAL failure: writes
+// 503, reads still served, /readyz reporting degraded. It never recovers
+// in-process — the WAL cannot attest durability anymore, so only a restart
+// (which replays and re-opens the log) clears it.
+func (s *server) degrade(err error) {
+	s.opt.Writable.Set(false)
+	s.opt.Metrics.setDegraded(true)
+	if s.opt.Logger != nil {
+		s.opt.Logger.Error("wal failure: entering read-only degraded mode", "err", err)
+	}
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes)
 	var req BatchRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", mbe.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -148,18 +242,54 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			len(req.Ops), s.opt.MaxBatch), http.StatusBadRequest)
 		return
 	}
-	resp := BatchResponse{Results: s.execute(req.Ops)}
+	if !s.opt.Writable.Get() && hasWrites(req.Ops) {
+		http.Error(w, "read-only: WAL volume failed, writes are disabled", http.StatusServiceUnavailable)
+		return
+	}
+	key := r.Header.Get(IdempotencyKeyHeader)
+	if s.idem != nil && key != "" {
+		if body, ok := s.idem.get(key); ok {
+			// A retransmit of a batch we already executed and acknowledged
+			// (the ack was lost in flight): replay the recorded response.
+			s.opt.Metrics.idempotentReplay()
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Idempotent-Replay", "true")
+			_, _ = w.Write(body)
+			return
+		}
+	}
+	results, walErr := s.execute(req.Ops)
+	if walErr != nil {
+		// The batch was applied in memory but could not be made durable:
+		// refuse the ack. The client retries and lands on the read-only
+		// gate above.
+		http.Error(w, "write-ahead log failed, server is now read-only: "+walErr.Error(),
+			http.StatusServiceUnavailable)
+		return
+	}
+	resp := BatchResponse{Results: results}
+	body, err := json.Marshal(&resp)
+	if err != nil {
+		http.Error(w, "encoding response: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if s.idem != nil && key != "" {
+		s.idem.put(key, body)
+	}
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(&resp); err != nil && s.opt.Logger != nil {
-		s.opt.Logger.Warn("batch: encode", "err", err)
+	if _, err := w.Write(body); err != nil && s.opt.Logger != nil {
+		s.opt.Logger.Warn("batch: write", "err", err)
 	}
 }
 
 // execute runs ops in request order, fusing maximal runs of consecutive
 // gets (resp. sets) into one batched backend call so a homogeneous batch
-// pays one lock acquisition per touched shard, not per cell.
-func (s *server) execute(ops []Op) []OpResult {
-	results := make([]OpResult, len(ops))
+// pays one lock acquisition per touched shard, not per cell. When a WAL is
+// configured, each applied set run (its successful cells) and each applied
+// resize is logged and fsynced before execute returns; a non-nil walErr
+// means durability was lost mid-batch and the caller must not acknowledge.
+func (s *server) execute(ops []Op) (results []OpResult, walErr error) {
+	results = make([]OpResult, len(ops))
 	for i := 0; i < len(ops); {
 		j := i + 1
 		for (ops[i].Op == "get" || ops[i].Op == "set") && j < len(ops) && ops[j].Op == ops[i].Op {
@@ -173,12 +303,21 @@ func (s *server) execute(ops []Op) []OpResult {
 			for k := i; k < j; k++ {
 				cells[k-i] = Cell[string]{X: ops[k].X, Y: ops[k].Y, V: ops[k].V}
 			}
+			acked := cells[:0]
 			for k, err := range s.b.SetBatch(cells) {
 				if err != nil {
 					results[i+k] = OpResult{Err: err.Error()}
 					failed = true
 				} else {
 					results[i+k] = OpResult{OK: true}
+					acked = append(acked, cells[k])
+				}
+			}
+			if s.opt.WAL != nil && len(acked) > 0 {
+				if err := s.opt.WAL.AppendSet(acked); err != nil {
+					s.degrade(err)
+					s.opt.Metrics.op(ops[i].Op, j-i, time.Since(start), true)
+					return results, err
 				}
 			}
 		case "get":
@@ -200,6 +339,13 @@ func (s *server) execute(ops []Op) []OpResult {
 				failed = true
 			} else {
 				results[i] = OpResult{OK: true}
+				if s.opt.WAL != nil {
+					if err := s.opt.WAL.AppendResize(ops[i].Rows, ops[i].Cols); err != nil {
+						s.degrade(err)
+						s.opt.Metrics.op(ops[i].Op, 1, time.Since(start), true)
+						return results, err
+					}
+				}
 			}
 		case "dims":
 			rows, cols := s.b.Dims()
@@ -216,7 +362,44 @@ func (s *server) execute(ops []Op) []OpResult {
 		s.opt.Metrics.op(ops[i].Op, j-i, time.Since(start), failed)
 		i = j
 	}
-	return results
+	return results, nil
+}
+
+// idemCache is a bounded FIFO map of Idempotency-Key → recorded response
+// body. Lookup-then-execute is not atomic, so two concurrent requests with
+// the same key can both execute — acceptable, because batch ops are
+// value-idempotent; the cache exists to keep *sequential* retries (the
+// common lost-ack case) from re-executing and double-logging.
+type idemCache struct {
+	mu    sync.Mutex
+	max   int
+	m     map[string][]byte
+	order []string
+}
+
+func newIdemCache(max int) *idemCache {
+	return &idemCache{max: max, m: make(map[string][]byte, max)}
+}
+
+func (c *idemCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.m[key]
+	return b, ok
+}
+
+func (c *idemCache) put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[key]; ok {
+		return
+	}
+	for len(c.m) >= c.max && len(c.order) > 0 {
+		delete(c.m, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.m[key] = body
+	c.order = append(c.order, key)
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,465 @@
+package tabled
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"pairfn/internal/extarray"
+)
+
+// This file is the durability layer promised by §3's growth guarantee: a
+// table that never remaps surviving elements is only trustworthy if the
+// elements themselves survive a crash. The write-ahead log records every
+// acknowledged set and resize as a CRC32-framed record (extarray's frame
+// format) and fsyncs — directly or through a group-commit window — before
+// the HTTP response leaves the server.
+//
+// Ordering contract: mutations are applied to the in-memory table FIRST,
+// then logged, then acknowledged. Both steps happen before the ack, so an
+// acknowledged write is always in memory AND durable; a crash between
+// apply and log loses only writes that were never acknowledged, which is
+// the contract clients get. Checkpoint holds the WAL lock across the
+// snapshot save, so no acknowledged write can land between the snapshot's
+// consistent cut and the log truncation — anything in memory at the cut is
+// in the snapshot, and anything logged after the cut replays idempotently
+// on top of it. (Two *concurrent* requests racing on the same cell may be
+// logged in either order, matching their undefined apply order; requests
+// from one client are naturally serialized by request/response.)
+
+// WAL record kinds.
+const (
+	walKindSet    = byte(1) // a batch of cell writes
+	walKindResize = byte(2) // a dimension change
+)
+
+// maxWALChunkCells bounds one set record so a single frame stays far below
+// extarray.MaxFramePayload even with large values; bigger batches are
+// split across consecutive frames (the split is invisible to replay).
+const maxWALChunkCells = 4096
+
+// ErrWALClosed is returned by appends after Close.
+var ErrWALClosed = errors.New("tabled: wal closed")
+
+// A WALRecord is one replayed log entry, handed to the apply callback of
+// OpenWAL in log order.
+type WALRecord struct {
+	Kind  byte
+	Cells []Cell[string] // walKindSet
+	Rows  int64          // walKindResize
+	Cols  int64
+}
+
+// WALFile is the handle the WAL appends through. *os.File satisfies it;
+// the fault-injection layer (FaultFile) wraps it to exercise torn writes
+// and sync failures.
+type WALFile interface {
+	io.Writer
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+	Close() error
+}
+
+// WALOptions configures OpenWAL.
+type WALOptions struct {
+	// SyncWindow is the group-commit window: appends within one window
+	// share a single fsync, trading up to SyncWindow of added ack latency
+	// for an order-of-magnitude fewer syncs under load. 0 fsyncs every
+	// append (strictest, slowest).
+	SyncWindow time.Duration
+	// Metrics receives wal_* instrumentation (nil records nothing).
+	Metrics *Metrics
+	// WrapFile, when non-nil, wraps the append-side file handle — the
+	// fault-injection seam. Replay always reads the raw file.
+	WrapFile func(WALFile) WALFile
+}
+
+// A WAL is an append-only, CRC-framed, fsync-before-ack log of table
+// mutations. All methods are safe for concurrent use. A WAL that hits an
+// append or sync failure becomes sticky-failed: every later append returns
+// the original error, and the server is expected to degrade to read-only
+// (the already-applied but unacknowledged suffix is truncated as a torn
+// tail on the next boot).
+type WAL struct {
+	path   string
+	window time.Duration
+	m      *Metrics
+
+	mu      sync.Mutex
+	f       WALFile
+	size    int64
+	failed  error
+	closed  bool
+	waiters []chan error
+
+	kick chan struct{}
+	done chan struct{}
+}
+
+// OpenWAL opens (creating if absent) the log at path, replays every intact
+// record through apply in log order, truncates any torn or corrupt tail,
+// and returns the WAL positioned for appends. Replayed records are exactly
+// the acknowledged mutations since the snapshot the caller just loaded;
+// applying them is idempotent, so replaying a tail twice (e.g. after a
+// crash during a previous recovery) converges to the same state.
+func OpenWAL(path string, apply func(WALRecord) error, opt WALOptions) (*WAL, int, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, 0, fmt.Errorf("tabled: wal open: %w", err)
+	}
+	replayed := 0
+	valid, torn, err := extarray.ReadFrames(f, func(payload []byte) error {
+		rec, err := decodeWALRecord(payload)
+		if err != nil {
+			return err
+		}
+		if err := apply(rec); err != nil {
+			return err
+		}
+		replayed++
+		return nil
+	})
+	if err != nil {
+		f.Close()
+		return nil, replayed, fmt.Errorf("tabled: wal replay %s: %w", path, err)
+	}
+	if torn {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, replayed, fmt.Errorf("tabled: wal truncate torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, replayed, fmt.Errorf("tabled: wal seek: %w", err)
+	}
+	if torn {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, replayed, fmt.Errorf("tabled: wal sync after truncate: %w", err)
+		}
+	}
+	// Make the log file's existence itself durable (first boot creates it).
+	if err := extarray.SyncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, replayed, err
+	}
+	var wf WALFile = f
+	if opt.WrapFile != nil {
+		wf = opt.WrapFile(wf)
+	}
+	w := &WAL{
+		path:   path,
+		window: opt.SyncWindow,
+		m:      opt.Metrics,
+		f:      wf,
+		size:   valid,
+		kick:   make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	w.m.walReplay(replayed, torn)
+	w.m.walSize(w.size)
+	if w.window > 0 {
+		go w.syncer()
+	} else {
+		close(w.done)
+	}
+	return w, replayed, nil
+}
+
+// Size returns the current log length in bytes.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Err returns the sticky failure, if any.
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.failed
+}
+
+// AppendSet logs a batch of acknowledged cell writes. It returns only
+// after the record is durable (fsynced, possibly as part of a group
+// commit). Large batches are split across frames.
+func (w *WAL) AppendSet(cells []Cell[string]) error {
+	for len(cells) > 0 {
+		n := len(cells)
+		if n > maxWALChunkCells {
+			n = maxWALChunkCells
+		}
+		if err := w.append(encodeSetRecord(cells[:n])); err != nil {
+			return err
+		}
+		cells = cells[n:]
+	}
+	return nil
+}
+
+// AppendResize logs an acknowledged dimension change.
+func (w *WAL) AppendResize(rows, cols int64) error {
+	return w.append(encodeResizeRecord(rows, cols))
+}
+
+// append frames payload into the log and waits for durability.
+func (w *WAL) append(payload []byte) error {
+	w.mu.Lock()
+	if w.failed != nil {
+		err := w.failed
+		w.mu.Unlock()
+		return err
+	}
+	if w.closed {
+		w.mu.Unlock()
+		return ErrWALClosed
+	}
+	n, err := extarray.AppendFrame(w.f, payload)
+	if err != nil {
+		// Bytes may be on disk (a torn frame); the next boot truncates it.
+		// Any write failure is sticky: the log can no longer attest
+		// durability, so the server must stop acknowledging writes.
+		w.failed = fmt.Errorf("tabled: wal append: %w", err)
+		w.size += int64(n)
+		err := w.failed
+		w.mu.Unlock()
+		return err
+	}
+	w.size += int64(n)
+	w.m.walAppend(int64(n))
+	w.m.walSize(w.size)
+	if w.window <= 0 {
+		err := w.syncLocked()
+		w.mu.Unlock()
+		return err
+	}
+	ch := make(chan error, 1)
+	w.waiters = append(w.waiters, ch)
+	select {
+	case w.kick <- struct{}{}:
+	default: // a sync is already scheduled; it will cover this record
+	}
+	w.mu.Unlock()
+	return <-ch
+}
+
+// syncLocked fsyncs under w.mu and records the outcome. A failure is
+// sticky.
+func (w *WAL) syncLocked() error {
+	start := time.Now()
+	err := w.f.Sync()
+	w.m.walSync(time.Since(start), err)
+	if err != nil {
+		w.failed = fmt.Errorf("tabled: wal sync: %w", err)
+		return w.failed
+	}
+	return nil
+}
+
+// syncer is the group-commit loop: each kick waits out the window so
+// concurrent appends pile onto one fsync, then syncs and releases every
+// waiter with the shared result.
+func (w *WAL) syncer() {
+	defer close(w.done)
+	for range w.kick {
+		time.Sleep(w.window)
+		w.mu.Lock()
+		err := w.syncLocked()
+		ws := w.waiters
+		w.waiters = nil
+		w.mu.Unlock()
+		for _, ch := range ws {
+			ch <- err
+		}
+	}
+	// Close drained the kick channel; release any stragglers after one
+	// final sync so no acknowledged-pending writer is left hanging.
+	w.mu.Lock()
+	var err error
+	if len(w.waiters) > 0 {
+		err = w.syncLocked()
+	}
+	ws := w.waiters
+	w.waiters = nil
+	w.mu.Unlock()
+	for _, ch := range ws {
+		ch <- err
+	}
+}
+
+// Checkpoint runs save (which must persist a consistent snapshot of the
+// table, e.g. Sharded.SaveFile via AtomicWriteFile) and then resets the
+// log to empty: the snapshot now carries everything the log carried.
+// Appends are blocked for the duration, which is what makes the cut
+// airtight — see the ordering contract at the top of this file. On a
+// sticky-failed WAL the snapshot is still taken (it may be the last good
+// persistence this process manages) but the log is left alone and the
+// failure is returned.
+func (w *WAL) Checkpoint(save func() error) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := save(); err != nil {
+		return err
+	}
+	if w.failed != nil {
+		return w.failed
+	}
+	if w.closed {
+		return ErrWALClosed
+	}
+	if err := w.f.Truncate(0); err != nil {
+		w.failed = fmt.Errorf("tabled: wal checkpoint truncate: %w", err)
+		return w.failed
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		w.failed = fmt.Errorf("tabled: wal checkpoint seek: %w", err)
+		return w.failed
+	}
+	w.size = 0
+	w.m.walSize(0)
+	w.m.walCheckpoint()
+	return w.syncLocked()
+}
+
+// Close syncs outstanding records and closes the file. Appends after
+// Close return ErrWALClosed.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	if w.window > 0 {
+		close(w.kick) // safe: appends check closed under mu before kicking
+	}
+	w.mu.Unlock()
+	<-w.done
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var err error
+	if w.failed == nil {
+		err = w.syncLocked()
+	}
+	if cerr := w.f.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("tabled: wal close: %w", cerr)
+	}
+	return err
+}
+
+// encodeSetRecord serializes a set batch:
+//
+//	kind=1, uvarint count, then per cell: varint x, varint y,
+//	uvarint len(v), v bytes
+func encodeSetRecord(cells []Cell[string]) []byte {
+	size := 1 + binary.MaxVarintLen64
+	for _, c := range cells {
+		size += 2*binary.MaxVarintLen64 + binary.MaxVarintLen64 + len(c.V)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, walKindSet)
+	buf = binary.AppendUvarint(buf, uint64(len(cells)))
+	for _, c := range cells {
+		buf = binary.AppendVarint(buf, c.X)
+		buf = binary.AppendVarint(buf, c.Y)
+		buf = binary.AppendUvarint(buf, uint64(len(c.V)))
+		buf = append(buf, c.V...)
+	}
+	return buf
+}
+
+// encodeResizeRecord serializes a resize: kind=2, varint rows, varint cols.
+func encodeResizeRecord(rows, cols int64) []byte {
+	buf := make([]byte, 0, 1+2*binary.MaxVarintLen64)
+	buf = append(buf, walKindResize)
+	buf = binary.AppendVarint(buf, rows)
+	buf = binary.AppendVarint(buf, cols)
+	return buf
+}
+
+// decodeWALRecord parses one frame payload. Frames are CRC-protected, so a
+// decode failure here means a version mismatch or an encoder bug, not bit
+// rot — it aborts replay rather than being skipped.
+func decodeWALRecord(payload []byte) (WALRecord, error) {
+	if len(payload) == 0 {
+		return WALRecord{}, errors.New("empty wal record")
+	}
+	kind, rest := payload[0], payload[1:]
+	switch kind {
+	case walKindSet:
+		count, n := binary.Uvarint(rest)
+		if n <= 0 || count > maxWALChunkCells {
+			return WALRecord{}, fmt.Errorf("wal set record: bad count")
+		}
+		rest = rest[n:]
+		cells := make([]Cell[string], 0, count)
+		for i := uint64(0); i < count; i++ {
+			x, n := binary.Varint(rest)
+			if n <= 0 {
+				return WALRecord{}, fmt.Errorf("wal set record: bad x at cell %d", i)
+			}
+			rest = rest[n:]
+			y, n := binary.Varint(rest)
+			if n <= 0 {
+				return WALRecord{}, fmt.Errorf("wal set record: bad y at cell %d", i)
+			}
+			rest = rest[n:]
+			vlen, n := binary.Uvarint(rest)
+			if n <= 0 || uint64(len(rest[n:])) < vlen {
+				return WALRecord{}, fmt.Errorf("wal set record: bad value at cell %d", i)
+			}
+			rest = rest[n:]
+			cells = append(cells, Cell[string]{X: x, Y: y, V: string(rest[:vlen])})
+			rest = rest[vlen:]
+		}
+		if len(rest) != 0 {
+			return WALRecord{}, errors.New("wal set record: trailing bytes")
+		}
+		return WALRecord{Kind: walKindSet, Cells: cells}, nil
+	case walKindResize:
+		rows, n := binary.Varint(rest)
+		if n <= 0 {
+			return WALRecord{}, errors.New("wal resize record: bad rows")
+		}
+		rest = rest[n:]
+		cols, n := binary.Varint(rest)
+		if n <= 0 {
+			return WALRecord{}, errors.New("wal resize record: bad cols")
+		}
+		if len(rest[n:]) != 0 {
+			return WALRecord{}, errors.New("wal resize record: trailing bytes")
+		}
+		return WALRecord{Kind: walKindResize, Rows: rows, Cols: cols}, nil
+	}
+	return WALRecord{}, fmt.Errorf("unknown wal record kind %d", kind)
+}
+
+// ApplyWALRecord applies one replayed record to a backend — the shared
+// replay step used by the server at boot and by recovery tests. Per-cell
+// bounds errors are impossible for records that were acknowledged against
+// the same state evolution (resizes replay in order too), so any error is
+// surfaced.
+func ApplyWALRecord(b Backend[string], rec WALRecord) error {
+	switch rec.Kind {
+	case walKindSet:
+		for _, err := range b.SetBatch(rec.Cells) {
+			if err != nil {
+				return fmt.Errorf("tabled: wal replay set: %w", err)
+			}
+		}
+		return nil
+	case walKindResize:
+		if err := b.Resize(rec.Rows, rec.Cols); err != nil {
+			return fmt.Errorf("tabled: wal replay resize: %w", err)
+		}
+		return nil
+	}
+	return fmt.Errorf("tabled: wal replay: unknown kind %d", rec.Kind)
+}

@@ -166,6 +166,20 @@ func writeErr(w http.ResponseWriter, err error) {
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
+// A StatusError is a non-200 reply from the WBC website. It carries the
+// HTTP status code so callers can classify failures: 5xx is the server
+// struggling (worth retrying), 4xx is a verdict — a ban, an unknown id, an
+// ownership conflict — that no retry will change.
+type StatusError struct {
+	Code int    // HTTP status code
+	Path string // endpoint, e.g. "/next"
+	Msg  string // server-provided error message, if any
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("wbc: %s: %s (status %d)", e.Path, e.Msg, e.Code)
+}
+
 // Client is a typed volunteer-side client for the WBC website.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://host:8080".
@@ -194,7 +208,7 @@ func (cl *Client) post(path string, req, resp any) error {
 	if r.StatusCode != http.StatusOK {
 		var e errorResponse
 		_ = json.NewDecoder(r.Body).Decode(&e)
-		return fmt.Errorf("wbc: %s: %s (%s)", path, e.Error, r.Status)
+		return &StatusError{Code: r.StatusCode, Path: path, Msg: e.Error}
 	}
 	return json.NewDecoder(r.Body).Decode(resp)
 }
@@ -247,7 +261,7 @@ func (cl *Client) Metrics() (Metrics, error) {
 	}
 	defer r.Body.Close()
 	if r.StatusCode != http.StatusOK {
-		return Metrics{}, fmt.Errorf("wbc: /metrics: %s", r.Status)
+		return Metrics{}, &StatusError{Code: r.StatusCode, Path: "/metrics"}
 	}
 	var m Metrics
 	if err := json.NewDecoder(r.Body).Decode(&m); err != nil {
@@ -266,7 +280,7 @@ func (cl *Client) Attribute(k TaskID) (VolunteerID, error) {
 	if r.StatusCode != http.StatusOK {
 		var e errorResponse
 		_ = json.NewDecoder(r.Body).Decode(&e)
-		return 0, fmt.Errorf("wbc: /attribute: %s (%s)", e.Error, r.Status)
+		return 0, &StatusError{Code: r.StatusCode, Path: "/attribute", Msg: e.Error}
 	}
 	var resp attributeResponse
 	if err := json.NewDecoder(r.Body).Decode(&resp); err != nil {
