@@ -279,7 +279,7 @@ func BenchmarkWBCAllocate(b *testing.B) {
 		}
 		var vols []wbc.VolunteerID
 		for v := 0; v < 16; v++ {
-			vols = append(vols, c.Register(1))
+			vols = append(vols, c.MustRegister(1))
 		}
 		for t := 0; t < 32; t++ {
 			for _, v := range vols {

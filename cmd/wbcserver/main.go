@@ -6,26 +6,40 @@
 // Usage:
 //
 //	wbcserver -addr :8080 -apf T# -audit 0.25 -strikes 2 -span 1000 \
-//	          -drain 10s [-pprof]
+//	          -wal wbc.wal -wal-sync 2ms -checkpoint wbc.ckpt \
+//	          -checkpoint-every 1m -lease 30s -drain 10s [-pprof]
 //
 // Then, from any HTTP client:
 //
 //	curl -X POST localhost:8080/register -d '{"speed":1}'
 //	curl -X POST localhost:8080/next     -d '{"volunteer":1}'
 //	curl -X POST localhost:8080/submit   -d '{"volunteer":1,"task":3,"result":168}'
+//	curl -X POST localhost:8080/heartbeat -d '{"volunteer":1}'
 //	curl 'localhost:8080/attribute?task=3'
 //	curl localhost:8080/metrics                                   # Prometheus text
 //	curl -H 'Accept: application/json' localhost:8080/metrics     # legacy JSON
 //	curl localhost:8080/healthz
 //	curl localhost:8080/readyz
 //
-// The server exposes per-endpoint request/latency metrics, coordinator
-// operation counters and APF encode/decode counters on /metrics, liveness
-// on /healthz, and readiness on /readyz. On SIGINT/SIGTERM it flips
-// /readyz to 503, drains in-flight requests for up to -drain, and exits 0
-// on a clean drain (1 if the drain deadline expires with requests still in
-// flight). With -pprof, the net/http/pprof profiling handlers are mounted
-// under /debug/pprof/.
+// Durability: with -wal, every acknowledged mutation is journaled and
+// fsynced (group-committed within -wal-sync) before the HTTP response, so
+// registration, issuance, and attribution survive kill -9. Boot recovery
+// loads the newest -checkpoint (if present) and replays the journal tail;
+// a corrupt checkpoint or journal is a clean nonzero exit, a torn final
+// journal record is truncated. -checkpoint-every snapshots periodically
+// and truncates the journal under the append lock. A journal write
+// failure degrades the server to read-only (mutations 503, attribution
+// and metrics 200, /readyz 503 "degraded") instead of killing it.
+//
+// Self-healing: with -lease, a volunteer that stays silent past the TTL
+// (no next/submit/heartbeat) is implicitly departed by the lease sweeper;
+// its outstanding tasks are reissued to surviving volunteers with exact
+// attribution overrides.
+//
+// On SIGINT/SIGTERM the server flips /readyz to 503, drains in-flight
+// requests for up to -drain, takes a final checkpoint, and exits 0 on a
+// clean drain. With -pprof, the net/http/pprof profiling handlers are
+// mounted under /debug/pprof/.
 package main
 
 import (
@@ -57,6 +71,12 @@ func run() int {
 	strikes := flag.Int("strikes", 2, "strikes before ban")
 	span := flag.Int64("span", 1000, "prime-count block width")
 	seed := flag.Int64("seed", time.Now().UnixNano()%1e9, "audit sampling seed")
+	wal := flag.String("wal", "", "journal file for crash-safe mutations (empty = in-memory only)")
+	walSync := flag.Duration("wal-sync", 0, "group-commit fsync window (0 = fsync every mutation)")
+	ckpt := flag.String("checkpoint", "", "checkpoint file (loaded at boot if present; written at shutdown)")
+	ckptEvery := flag.Duration("checkpoint-every", 0, "periodic checkpoint interval (0 = shutdown only)")
+	lease := flag.Duration("lease", 0, "volunteer lease TTL; silent volunteers are expired and their tasks reclaimed (0 = off)")
+	reqTimeout := flag.Duration("timeout", 10*time.Second, "per-request handler timeout for the volunteer protocol")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
@@ -84,24 +104,91 @@ func run() int {
 
 	reg := obs.NewRegistry()
 	ready := obs.NewFlag(true)
-	c, err := wbc.NewCoordinator(wbc.Config{
+	cfg := wbc.Config{
 		APF:         f,
 		Workload:    wbc.PrimeCount{Span: *span},
 		AuditRate:   *audit,
 		StrikeLimit: *strikes,
 		Seed:        *seed,
+		LeaseTTL:    *lease,
 		Obs:         reg,
-	})
-	if err != nil {
-		logger.Error("coordinator", "err", err)
-		return 1
+	}
+
+	// Boot recovery: newest checkpoint (when one exists), then the
+	// journal tail. Either being unreadable is a clean failed boot — an
+	// accountability service must not start from silently corrupt state.
+	var c *wbc.Coordinator
+	var err error
+	if *ckpt != "" {
+		if _, statErr := os.Stat(*ckpt); statErr == nil {
+			c, err = wbc.RestoreFile(*ckpt, cfg)
+			if err != nil {
+				logger.Error("checkpoint restore failed", "path", *ckpt, "err", err)
+				return 1
+			}
+			logger.Info("checkpoint restored", "path", *ckpt)
+		}
+	}
+	if c == nil {
+		c, err = wbc.NewCoordinator(cfg)
+		if err != nil {
+			logger.Error("coordinator", "err", err)
+			return 1
+		}
+	}
+
+	var journal *wbc.Journal
+	if *wal != "" {
+		j, replayed, jerr := wbc.OpenJournal(*wal, c, wbc.JournalOptions{
+			SyncWindow: *walSync,
+			Obs:        reg,
+			OnDegrade: func(err error) {
+				logger.Error("journal failure: entering read-only degraded mode", "err", err)
+			},
+		})
+		if jerr != nil {
+			logger.Error("journal recovery failed", "path", *wal, "err", jerr)
+			return 1
+		}
+		journal = j
+		logger.Info("journal open", "path", *wal, "replayed", replayed, "sync_window", *walSync)
+	}
+
+	bg, bgStop := context.WithCancel(context.Background())
+	defer bgStop()
+	if *lease > 0 {
+		sweep := *lease / 4
+		if sweep < 10*time.Millisecond {
+			sweep = 10 * time.Millisecond
+		}
+		go c.RunLeaseSweeper(bg, sweep)
+		logger.Info("lease sweeper running", "ttl", *lease, "sweep", sweep)
+	}
+	if *ckpt != "" && *ckptEvery > 0 {
+		go func() {
+			t := time.NewTicker(*ckptEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-bg.Done():
+					return
+				case <-t.C:
+					if err := c.SaveCheckpoint(*ckpt); err != nil {
+						logger.Error("periodic checkpoint", "err", err)
+					} else {
+						logger.Info("checkpoint saved", "path", *ckpt)
+					}
+				}
+			}
+		}()
 	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", wbc.NewObservedHandler(c, wbc.ServerOptions{
-		Registry: reg,
-		Logger:   logger,
-		Ready:    ready,
+		Registry:       reg,
+		Logger:         logger,
+		Ready:          ready,
+		RequestTimeout: *reqTimeout,
 	}))
 	if *pprofOn {
 		// Mounted explicitly: importing net/http/pprof only registers on
@@ -117,11 +204,17 @@ func run() int {
 		Addr:              *addr,
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		// Must exceed -timeout so TimeoutHandler, not the connection
+		// deadline, is what cuts off a slow handler (clients then see a
+		// clean 503 instead of a reset).
+		WriteTimeout: *reqTimeout + 20*time.Second,
 	}
 
 	logger.Info("serving",
 		"workload", "prime-count", "apf", f.Name(), "addr", *addr,
-		"audit", *audit, "strikes", *strikes, "pprof", *pprofOn)
+		"audit", *audit, "strikes", *strikes,
+		"wal", *wal, "checkpoint", *ckpt, "lease", *lease, "pprof", *pprofOn)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -144,14 +237,33 @@ func run() int {
 	logger.Info("shutdown: draining", "timeout", *drain)
 	sctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	code := 0
 	if err := srv.Shutdown(sctx); err != nil {
 		logger.Error("shutdown: drain incomplete", "err", err)
-		return 1
+		code = 1
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Error("serve", "err", err)
-		return 1
+		code = 1
 	}
-	logger.Info("shutdown: clean")
-	return 0
+	bgStop() // stop sweeper and checkpoint ticker before the final cut
+
+	if *ckpt != "" {
+		if err := c.SaveCheckpoint(*ckpt); err != nil {
+			logger.Error("final checkpoint", "err", err)
+			code = 1
+		} else {
+			logger.Info("final checkpoint saved", "path", *ckpt)
+		}
+	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			logger.Error("journal close", "err", err)
+			code = 1
+		}
+	}
+	if code == 0 {
+		logger.Info("shutdown: clean")
+	}
+	return code
 }

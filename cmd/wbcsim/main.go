@@ -163,7 +163,7 @@ func runReplicated(r, tasks int, seed int64) {
 		}
 		var vols []vol
 		for i := 0; i < 6; i++ {
-			vols = append(vols, vol{c.Register(1), rand.New(rand.NewSource(seed + int64(i)))})
+			vols = append(vols, vol{c.MustRegister(1), rand.New(rand.NewSource(seed + int64(i)))})
 		}
 		for step := 0; step < tasks; step++ {
 			for _, w := range vols {

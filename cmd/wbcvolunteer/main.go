@@ -8,12 +8,22 @@
 //	wbcvolunteer -tasks 20 -error 0.5      # soon banned; then ask the server:
 //	curl 'localhost:8080/attribute?task=…'
 //
-// Transient failures (connection refused, 5xx) are retried with jittered
-// exponential backoff up to -retries attempts; a 4xx — a ban, an unknown
-// id — is a verdict and fails immediately.
+// Against a leased server (wbcserver -lease), -heartbeat keeps the lease
+// alive between tasks. With -acklog every acknowledged submission is
+// appended as a "task volunteer result" line — the client-side truth the
+// chaos harness uses; -check replays such a log against /attribute and
+// fails if any acknowledged task is no longer attributed to the volunteer
+// that computed it.
+//
+// Transient failures (connection refused, 5xx — including a degraded
+// read-only server) are retried with jittered exponential backoff up to
+// -retries attempts; a 4xx — a ban, an unknown id — is a verdict and fails
+// immediately. A 409 on submit means the task was reclaimed (our lease
+// expired mid-computation) and is skipped, not fatal.
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -36,12 +46,13 @@ func main() {
 	seed := flag.Int64("seed", time.Now().UnixNano(), "corruption RNG seed")
 	depart := flag.Bool("depart", true, "deregister when done")
 	retries := flag.Int("retries", 3, "attempts per request for transient failures (1 = no retries)")
+	heartbeat := flag.Duration("heartbeat", 0, "lease heartbeat interval (0 = off)")
+	acklog := flag.String("acklog", "", "append one 'task volunteer result' line per acknowledged submit")
+	check := flag.String("check", "", "verify an acklog against /attribute instead of computing")
+	sleep := flag.Duration("sleep", 0, "pause between tasks (lets leases/chaos play out)")
 	flag.Parse()
 
 	cl := &wbc.Client{BaseURL: *url}
-	rng := rand.New(rand.NewSource(*seed))
-	workload := wbc.PrimeCount{Span: *span}
-
 	pol := &retry.Policy{Base: 100 * time.Millisecond, Max: 2 * time.Second, MaxAttempts: *retries}
 	// do retries op under the policy. Transport errors and 5xx are
 	// transient; any 4xx from the coordinator is permanent.
@@ -56,11 +67,48 @@ func main() {
 		})
 	}
 
+	if *check != "" {
+		os.Exit(runCheck(cl, do, *check))
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	workload := wbc.PrimeCount{Span: *span}
+
+	var ack *os.File
+	if *acklog != "" {
+		f, err := os.OpenFile(*acklog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("acklog: %v", err)
+		}
+		defer f.Close()
+		ack = f
+	}
+
 	var id wbc.VolunteerID
 	if err := do(func() (e error) { id, e = cl.Register(*speed); return }); err != nil {
 		log.Fatalf("register: %v", err)
 	}
 	log.Printf("registered as volunteer %d", id)
+
+	if *heartbeat > 0 {
+		stopBeat := make(chan struct{})
+		defer close(stopBeat)
+		go func() {
+			t := time.NewTicker(*heartbeat)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopBeat:
+					return
+				case <-t.C:
+					if err := do(func() error { return cl.Heartbeat(id) }); err != nil {
+						log.Printf("heartbeat: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
 	for i := 0; i < *tasks; i++ {
 		var k wbc.TaskID
 		if err := do(func() (e error) { k, e = cl.Next(id); return }); err != nil {
@@ -75,14 +123,31 @@ func main() {
 		}
 		var caught bool
 		if err := do(func() (e error) { caught, e = cl.Submit(id, k, result); return }); err != nil {
+			var se *wbc.StatusError
+			if errors.As(err, &se) && se.Code == 409 {
+				// The lease sweeper reclaimed this task before our submit
+				// landed; someone else owns it now. Not our ack to log.
+				log.Printf("submit: task %d reclaimed, skipping: %v", k, err)
+				continue
+			}
 			log.Printf("submit: %v", err)
 			os.Exit(1)
+		}
+		if ack != nil {
+			// One unbuffered line per ack: what the server has
+			// acknowledged as durable, written before the next fetch.
+			if _, err := fmt.Fprintf(ack, "%d %d %d\n", k, id, result); err != nil {
+				log.Fatalf("acklog write: %v", err)
+			}
 		}
 		status := ""
 		if caught {
 			status = "  ← audit caught this one"
 		}
 		fmt.Printf("task %8d → %d%s%s\n", k, result, note, status)
+		if *sleep > 0 {
+			time.Sleep(*sleep)
+		}
 	}
 	if *depart {
 		if err := do(func() error { return cl.Depart(id) }); err != nil {
@@ -91,4 +156,49 @@ func main() {
 			log.Printf("departed; row recycled for the next arrival")
 		}
 	}
+}
+
+// runCheck replays an acklog against /attribute: every acknowledged
+// submission must still be attributed to the volunteer that computed it —
+// the crash-recovery and reclamation-attribution invariant.
+func runCheck(cl *wbc.Client, do func(func() error) error, path string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Printf("check: %v", err)
+		return 1
+	}
+	defer f.Close()
+	checked, bad := 0, 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var k wbc.TaskID
+		var id wbc.VolunteerID
+		var result int64
+		if _, err := fmt.Sscanf(sc.Text(), "%d %d %d", &k, &id, &result); err != nil {
+			log.Printf("check: bad acklog line %q: %v", sc.Text(), err)
+			return 1
+		}
+		var got wbc.VolunteerID
+		if err := do(func() (e error) { got, e = cl.Attribute(k); return }); err != nil {
+			log.Printf("check: attribute(%d): %v", k, err)
+			bad++
+			checked++
+			continue
+		}
+		if got != id {
+			log.Printf("check: task %d attributed to %d, acknowledged to %d", k, got, id)
+			bad++
+		}
+		checked++
+	}
+	if err := sc.Err(); err != nil {
+		log.Printf("check: %v", err)
+		return 1
+	}
+	if bad > 0 {
+		log.Printf("check: FAIL — %d/%d acknowledged submissions lost or mis-attributed", bad, checked)
+		return 1
+	}
+	log.Printf("check: OK — %d acknowledged submissions all attributed correctly", checked)
+	return 0
 }

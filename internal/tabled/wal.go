@@ -4,21 +4,20 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
-	"os"
-	"path/filepath"
-	"sync"
 	"time"
 
-	"pairfn/internal/extarray"
+	"pairfn/internal/walog"
 )
 
 // This file is the durability layer promised by §3's growth guarantee: a
 // table that never remaps surviving elements is only trustworthy if the
 // elements themselves survive a crash. The write-ahead log records every
-// acknowledged set and resize as a CRC32-framed record (extarray's frame
-// format) and fsyncs — directly or through a group-commit window — before
-// the HTTP response leaves the server.
+// acknowledged set and resize as a CRC32-framed record and fsyncs —
+// directly or through a group-commit window — before the HTTP response
+// leaves the server. The append/fsync/replay/checkpoint mechanics live in
+// the shared internal/walog core (lifted out of this file so the WBC
+// coordinator journal runs the same loop); what remains here is the tabled
+// record codec and the typed wrapper.
 //
 // Ordering contract: mutations are applied to the in-memory table FIRST,
 // then logged, then acknowledged. Both steps happen before the ack, so an
@@ -44,7 +43,7 @@ const (
 const maxWALChunkCells = 4096
 
 // ErrWALClosed is returned by appends after Close.
-var ErrWALClosed = errors.New("tabled: wal closed")
+var ErrWALClosed = walog.ErrClosed
 
 // A WALRecord is one replayed log entry, handed to the apply callback of
 // OpenWAL in log order.
@@ -58,13 +57,7 @@ type WALRecord struct {
 // WALFile is the handle the WAL appends through. *os.File satisfies it;
 // the fault-injection layer (FaultFile) wraps it to exercise torn writes
 // and sync failures.
-type WALFile interface {
-	io.Writer
-	Sync() error
-	Truncate(size int64) error
-	Seek(offset int64, whence int) (int64, error)
-	Close() error
-}
+type WALFile = walog.File
 
 // WALOptions configures OpenWAL.
 type WALOptions struct {
@@ -87,20 +80,18 @@ type WALOptions struct {
 // (the already-applied but unacknowledged suffix is truncated as a torn
 // tail on the next boot).
 type WAL struct {
-	path   string
-	window time.Duration
-	m      *Metrics
-
-	mu      sync.Mutex
-	f       WALFile
-	size    int64
-	failed  error
-	closed  bool
-	waiters []chan error
-
-	kick chan struct{}
-	done chan struct{}
+	log *walog.Log
 }
+
+// walObserver adapts the shared log's instrumentation hook to the tabled
+// Metrics bundle (whose methods are nil-receiver-safe).
+type walObserver struct{ m *Metrics }
+
+func (o walObserver) LogAppend(n int64)                  { o.m.walAppend(n) }
+func (o walObserver) LogSync(d time.Duration, err error) { o.m.walSync(d, err) }
+func (o walObserver) LogSize(n int64)                    { o.m.walSize(n) }
+func (o walObserver) LogReplay(records int, torn bool)   { o.m.walReplay(records, torn) }
+func (o walObserver) LogCheckpoint()                     { o.m.walCheckpoint() }
 
 // OpenWAL opens (creating if absent) the log at path, replays every intact
 // record through apply in log order, truncates any torn or corrupt tail,
@@ -109,83 +100,29 @@ type WAL struct {
 // applying them is idempotent, so replaying a tail twice (e.g. after a
 // crash during a previous recovery) converges to the same state.
 func OpenWAL(path string, apply func(WALRecord) error, opt WALOptions) (*WAL, int, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, 0, fmt.Errorf("tabled: wal open: %w", err)
-	}
-	replayed := 0
-	valid, torn, err := extarray.ReadFrames(f, func(payload []byte) error {
+	l, replayed, err := walog.Open(path, func(payload []byte) error {
 		rec, err := decodeWALRecord(payload)
 		if err != nil {
 			return err
 		}
-		if err := apply(rec); err != nil {
-			return err
-		}
-		replayed++
-		return nil
+		return apply(rec)
+	}, walog.Options{
+		SyncWindow: opt.SyncWindow,
+		Observer:   walObserver{opt.Metrics},
+		WrapFile:   opt.WrapFile,
+		Name:       "tabled: wal",
 	})
 	if err != nil {
-		f.Close()
-		return nil, replayed, fmt.Errorf("tabled: wal replay %s: %w", path, err)
-	}
-	if torn {
-		if err := f.Truncate(valid); err != nil {
-			f.Close()
-			return nil, replayed, fmt.Errorf("tabled: wal truncate torn tail: %w", err)
-		}
-	}
-	if _, err := f.Seek(valid, io.SeekStart); err != nil {
-		f.Close()
-		return nil, replayed, fmt.Errorf("tabled: wal seek: %w", err)
-	}
-	if torn {
-		if err := f.Sync(); err != nil {
-			f.Close()
-			return nil, replayed, fmt.Errorf("tabled: wal sync after truncate: %w", err)
-		}
-	}
-	// Make the log file's existence itself durable (first boot creates it).
-	if err := extarray.SyncDir(filepath.Dir(path)); err != nil {
-		f.Close()
 		return nil, replayed, err
 	}
-	var wf WALFile = f
-	if opt.WrapFile != nil {
-		wf = opt.WrapFile(wf)
-	}
-	w := &WAL{
-		path:   path,
-		window: opt.SyncWindow,
-		m:      opt.Metrics,
-		f:      wf,
-		size:   valid,
-		kick:   make(chan struct{}, 1),
-		done:   make(chan struct{}),
-	}
-	w.m.walReplay(replayed, torn)
-	w.m.walSize(w.size)
-	if w.window > 0 {
-		go w.syncer()
-	} else {
-		close(w.done)
-	}
-	return w, replayed, nil
+	return &WAL{log: l}, replayed, nil
 }
 
 // Size returns the current log length in bytes.
-func (w *WAL) Size() int64 {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.size
-}
+func (w *WAL) Size() int64 { return w.log.Size() }
 
 // Err returns the sticky failure, if any.
-func (w *WAL) Err() error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.failed
-}
+func (w *WAL) Err() error { return w.log.Err() }
 
 // AppendSet logs a batch of acknowledged cell writes. It returns only
 // after the record is durable (fsynced, possibly as part of a group
@@ -196,7 +133,7 @@ func (w *WAL) AppendSet(cells []Cell[string]) error {
 		if n > maxWALChunkCells {
 			n = maxWALChunkCells
 		}
-		if err := w.append(encodeSetRecord(cells[:n])); err != nil {
+		if err := w.log.Append(encodeSetRecord(cells[:n])); err != nil {
 			return err
 		}
 		cells = cells[n:]
@@ -206,92 +143,7 @@ func (w *WAL) AppendSet(cells []Cell[string]) error {
 
 // AppendResize logs an acknowledged dimension change.
 func (w *WAL) AppendResize(rows, cols int64) error {
-	return w.append(encodeResizeRecord(rows, cols))
-}
-
-// append frames payload into the log and waits for durability.
-func (w *WAL) append(payload []byte) error {
-	w.mu.Lock()
-	if w.failed != nil {
-		err := w.failed
-		w.mu.Unlock()
-		return err
-	}
-	if w.closed {
-		w.mu.Unlock()
-		return ErrWALClosed
-	}
-	n, err := extarray.AppendFrame(w.f, payload)
-	if err != nil {
-		// Bytes may be on disk (a torn frame); the next boot truncates it.
-		// Any write failure is sticky: the log can no longer attest
-		// durability, so the server must stop acknowledging writes.
-		w.failed = fmt.Errorf("tabled: wal append: %w", err)
-		w.size += int64(n)
-		err := w.failed
-		w.mu.Unlock()
-		return err
-	}
-	w.size += int64(n)
-	w.m.walAppend(int64(n))
-	w.m.walSize(w.size)
-	if w.window <= 0 {
-		err := w.syncLocked()
-		w.mu.Unlock()
-		return err
-	}
-	ch := make(chan error, 1)
-	w.waiters = append(w.waiters, ch)
-	select {
-	case w.kick <- struct{}{}:
-	default: // a sync is already scheduled; it will cover this record
-	}
-	w.mu.Unlock()
-	return <-ch
-}
-
-// syncLocked fsyncs under w.mu and records the outcome. A failure is
-// sticky.
-func (w *WAL) syncLocked() error {
-	start := time.Now()
-	err := w.f.Sync()
-	w.m.walSync(time.Since(start), err)
-	if err != nil {
-		w.failed = fmt.Errorf("tabled: wal sync: %w", err)
-		return w.failed
-	}
-	return nil
-}
-
-// syncer is the group-commit loop: each kick waits out the window so
-// concurrent appends pile onto one fsync, then syncs and releases every
-// waiter with the shared result.
-func (w *WAL) syncer() {
-	defer close(w.done)
-	for range w.kick {
-		time.Sleep(w.window)
-		w.mu.Lock()
-		err := w.syncLocked()
-		ws := w.waiters
-		w.waiters = nil
-		w.mu.Unlock()
-		for _, ch := range ws {
-			ch <- err
-		}
-	}
-	// Close drained the kick channel; release any stragglers after one
-	// final sync so no acknowledged-pending writer is left hanging.
-	w.mu.Lock()
-	var err error
-	if len(w.waiters) > 0 {
-		err = w.syncLocked()
-	}
-	ws := w.waiters
-	w.waiters = nil
-	w.mu.Unlock()
-	for _, ch := range ws {
-		ch <- err
-	}
+	return w.log.Append(encodeResizeRecord(rows, cols))
 }
 
 // Checkpoint runs save (which must persist a consistent snapshot of the
@@ -303,56 +155,12 @@ func (w *WAL) syncer() {
 // persistence this process manages) but the log is left alone and the
 // failure is returned.
 func (w *WAL) Checkpoint(save func() error) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if err := save(); err != nil {
-		return err
-	}
-	if w.failed != nil {
-		return w.failed
-	}
-	if w.closed {
-		return ErrWALClosed
-	}
-	if err := w.f.Truncate(0); err != nil {
-		w.failed = fmt.Errorf("tabled: wal checkpoint truncate: %w", err)
-		return w.failed
-	}
-	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
-		w.failed = fmt.Errorf("tabled: wal checkpoint seek: %w", err)
-		return w.failed
-	}
-	w.size = 0
-	w.m.walSize(0)
-	w.m.walCheckpoint()
-	return w.syncLocked()
+	return w.log.Checkpoint(save)
 }
 
 // Close syncs outstanding records and closes the file. Appends after
 // Close return ErrWALClosed.
-func (w *WAL) Close() error {
-	w.mu.Lock()
-	if w.closed {
-		w.mu.Unlock()
-		return nil
-	}
-	w.closed = true
-	if w.window > 0 {
-		close(w.kick) // safe: appends check closed under mu before kicking
-	}
-	w.mu.Unlock()
-	<-w.done
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	var err error
-	if w.failed == nil {
-		err = w.syncLocked()
-	}
-	if cerr := w.f.Close(); cerr != nil && err == nil {
-		err = fmt.Errorf("tabled: wal close: %w", cerr)
-	}
-	return err
-}
+func (w *WAL) Close() error { return w.log.Close() }
 
 // encodeSetRecord serializes a set batch:
 //

@@ -1,0 +1,361 @@
+package walog
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"pairfn/internal/extarray"
+)
+
+// ErrClosed is returned by appends after Close.
+var ErrClosed = errors.New("walog: log closed")
+
+// File is the handle the log appends through. *os.File satisfies it; fault
+// injectors (e.g. tabled.FaultInjector) wrap it to exercise torn writes
+// and sync failures. Replay always reads the raw file.
+type File interface {
+	io.Writer
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+	Close() error
+}
+
+// An Observer receives log instrumentation. All methods are called outside
+// the caller's state locks but may be called under the log's own mutex, so
+// implementations must be cheap and non-blocking (counter increments).
+type Observer interface {
+	// LogAppend reports one appended record of n framed bytes.
+	LogAppend(n int64)
+	// LogSync reports one fsync attempt and its latency.
+	LogSync(d time.Duration, err error)
+	// LogSize reports the current log length.
+	LogSize(n int64)
+	// LogReplay reports the boot-time replay outcome.
+	LogReplay(records int, torn bool)
+	// LogCheckpoint reports one checkpoint (log reset).
+	LogCheckpoint()
+}
+
+// Options configures Open.
+type Options struct {
+	// SyncWindow is the group-commit window: appends within one window
+	// share a single fsync, trading up to SyncWindow of added ack latency
+	// for an order-of-magnitude fewer syncs under load. 0 fsyncs per
+	// Wait (strictest; concurrent Waits still share syncs, because one
+	// fsync covers every frame enqueued before it).
+	SyncWindow time.Duration
+	// Observer receives instrumentation (nil records nothing).
+	Observer Observer
+	// WrapFile, when non-nil, wraps the append-side file handle — the
+	// fault-injection seam. Replay always reads the raw file.
+	WrapFile func(File) File
+	// Name prefixes error messages, e.g. "tabled: wal". Empty uses "walog".
+	Name string
+}
+
+// A Log is an append-only, CRC-framed, fsync-before-ack record log. All
+// methods are safe for concurrent use. A Log that hits an append or sync
+// failure becomes sticky-failed: every later append returns the original
+// error (see the package comment for the degraded-mode contract).
+type Log struct {
+	path   string
+	name   string
+	window time.Duration
+	obs    Observer
+
+	mu      sync.Mutex
+	f       File
+	size    int64
+	synced  int64 // bytes known durable (direct-sync mode)
+	failed  error
+	closed  bool
+	waiters []chan error
+
+	kick chan struct{}
+	done chan struct{}
+}
+
+// Open opens (creating if absent) the log at path, replays every intact
+// record's payload through apply in log order, truncates any torn or
+// corrupt tail, and returns the Log positioned for appends. Replayed
+// records are exactly the durable records since the checkpoint the caller
+// just loaded; a non-nil error from apply aborts the open.
+func Open(path string, apply func(payload []byte) error, opt Options) (*Log, int, error) {
+	name := opt.Name
+	if name == "" {
+		name = "walog"
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%s: open: %w", name, err)
+	}
+	replayed := 0
+	valid, torn, err := extarray.ReadFrames(f, func(payload []byte) error {
+		if err := apply(payload); err != nil {
+			return err
+		}
+		replayed++
+		return nil
+	})
+	if err != nil {
+		f.Close()
+		return nil, replayed, fmt.Errorf("%s: replay %s: %w", name, path, err)
+	}
+	if torn {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, replayed, fmt.Errorf("%s: truncate torn tail: %w", name, err)
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, replayed, fmt.Errorf("%s: seek: %w", name, err)
+	}
+	if torn {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, replayed, fmt.Errorf("%s: sync after truncate: %w", name, err)
+		}
+	}
+	// Make the log file's existence itself durable (first boot creates it).
+	if err := extarray.SyncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, replayed, err
+	}
+	var wf File = f
+	if opt.WrapFile != nil {
+		wf = opt.WrapFile(wf)
+	}
+	l := &Log{
+		path:   path,
+		name:   name,
+		window: opt.SyncWindow,
+		obs:    opt.Observer,
+		f:      wf,
+		size:   valid,
+		synced: valid,
+		kick:   make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	if l.obs != nil {
+		l.obs.LogReplay(replayed, torn)
+		l.obs.LogSize(l.size)
+	}
+	if l.window > 0 {
+		go l.syncer()
+	} else {
+		close(l.done)
+	}
+	return l, replayed, nil
+}
+
+// Size returns the current log length in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Err returns the sticky failure, if any.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
+}
+
+// A Ticket is one enqueued record's durability handle. The zero Ticket
+// reports durable immediately — callers running without a log pass it
+// through unconditionally.
+type Ticket struct {
+	l   *Log
+	off int64      // log size just past this record
+	ch  chan error // group-commit completion, when SyncWindow > 0
+	err error      // enqueue-time failure (sticky error, closed log)
+}
+
+// Append frames payload into the log and waits for durability — Enqueue
+// followed by Wait, for callers with no ordering constraint of their own.
+func (l *Log) Append(payload []byte) error {
+	return l.Enqueue(payload).Wait()
+}
+
+// Enqueue frames payload into the log, fixing its position in the record
+// order, and returns a Ticket whose Wait blocks until the record is
+// durable. Callers whose record order must match their state-mutation
+// order call Enqueue while still holding their state lock (Enqueue never
+// syncs, so it costs one buffered write) and Wait after releasing it.
+func (l *Log) Enqueue(payload []byte) Ticket {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return Ticket{err: l.failed}
+	}
+	if l.closed {
+		return Ticket{err: ErrClosed}
+	}
+	n, err := extarray.AppendFrame(l.f, payload)
+	l.size += int64(n)
+	if err != nil {
+		// Bytes may be on disk (a torn frame); the next boot truncates it.
+		// Any write failure is sticky: the log can no longer attest
+		// durability, so the owner must stop acknowledging writes.
+		l.failed = fmt.Errorf("%s: append: %w", l.name, err)
+		return Ticket{err: l.failed}
+	}
+	if l.obs != nil {
+		l.obs.LogAppend(int64(n))
+		l.obs.LogSize(l.size)
+	}
+	if l.window <= 0 {
+		return Ticket{l: l, off: l.size}
+	}
+	ch := make(chan error, 1)
+	l.waiters = append(l.waiters, ch)
+	select {
+	case l.kick <- struct{}{}:
+	default: // a sync is already scheduled; it will cover this record
+	}
+	return Ticket{l: l, ch: ch}
+}
+
+// Wait blocks until the enqueued record is durable (or the log has
+// failed). Because one fsync covers the whole file prefix, a Wait that
+// finds a later sync already happened returns immediately.
+func (t Ticket) Wait() error {
+	if t.err != nil {
+		return t.err
+	}
+	if t.ch != nil {
+		return <-t.ch
+	}
+	if t.l == nil {
+		return nil // zero Ticket: no log configured
+	}
+	l := t.l
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return l.failed
+	}
+	if t.off <= l.synced {
+		return nil // a concurrent Wait's sync already covered this record
+	}
+	return l.syncLocked()
+}
+
+// syncLocked fsyncs under l.mu and records the outcome. A failure is
+// sticky; success marks everything written so far durable.
+func (l *Log) syncLocked() error {
+	start := time.Now()
+	err := l.f.Sync()
+	if l.obs != nil {
+		l.obs.LogSync(time.Since(start), err)
+	}
+	if err != nil {
+		l.failed = fmt.Errorf("%s: sync: %w", l.name, err)
+		return l.failed
+	}
+	l.synced = l.size
+	return nil
+}
+
+// syncer is the group-commit loop: each kick waits out the window so
+// concurrent appends pile onto one fsync, then syncs and releases every
+// waiter with the shared result.
+func (l *Log) syncer() {
+	defer close(l.done)
+	for range l.kick {
+		time.Sleep(l.window)
+		l.mu.Lock()
+		err := l.syncLocked()
+		ws := l.waiters
+		l.waiters = nil
+		l.mu.Unlock()
+		for _, ch := range ws {
+			ch <- err
+		}
+	}
+	// Close drained the kick channel; release any stragglers after one
+	// final sync so no acknowledged-pending writer is left hanging.
+	l.mu.Lock()
+	var err error
+	if len(l.waiters) > 0 {
+		err = l.syncLocked()
+	}
+	ws := l.waiters
+	l.waiters = nil
+	l.mu.Unlock()
+	for _, ch := range ws {
+		ch <- err
+	}
+}
+
+// Checkpoint runs save (which must persist a consistent snapshot of the
+// state the log protects, e.g. via extarray.AtomicWriteFile) and then
+// resets the log to empty: the snapshot now carries everything the log
+// carried. Appends are blocked for the duration, which is what makes the
+// cut airtight — a caller that also holds its own state lock across
+// Checkpoint gets a snapshot no record can slip past. On a sticky-failed
+// log the snapshot is still taken (it may be the last good persistence
+// this process manages) but the log is left alone and the failure is
+// returned.
+func (l *Log) Checkpoint(save func() error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := save(); err != nil {
+		return err
+	}
+	if l.failed != nil {
+		return l.failed
+	}
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.f.Truncate(0); err != nil {
+		l.failed = fmt.Errorf("%s: checkpoint truncate: %w", l.name, err)
+		return l.failed
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		l.failed = fmt.Errorf("%s: checkpoint seek: %w", l.name, err)
+		return l.failed
+	}
+	l.size = 0
+	l.synced = 0
+	if l.obs != nil {
+		l.obs.LogSize(0)
+		l.obs.LogCheckpoint()
+	}
+	return l.syncLocked()
+}
+
+// Close syncs outstanding records and closes the file. Appends after
+// Close return ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	if l.window > 0 {
+		close(l.kick) // safe: appends check closed under mu before kicking
+	}
+	l.mu.Unlock()
+	<-l.done
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var err error
+	if l.failed == nil {
+		err = l.syncLocked()
+	}
+	if cerr := l.f.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("%s: close: %w", l.name, cerr)
+	}
+	return err
+}

@@ -17,7 +17,7 @@ func TestHistoryReconstruction(t *testing.T) {
 		vol  VolunteerID
 	}
 	var issued []issue
-	v1, v2 := c.Register(1), c.Register(2)
+	v1, v2 := c.MustRegister(1), c.MustRegister(2)
 	for i := 0; i < 7; i++ {
 		k, err := c.NextTask(v1)
 		if err != nil {
@@ -44,7 +44,7 @@ func TestHistoryReconstruction(t *testing.T) {
 	if err := c.Depart(v1); err != nil {
 		t.Fatal(err)
 	}
-	v3 := c.Register(1)
+	v3 := c.MustRegister(1)
 	rk, err := c.NextTask(v3)
 	if err != nil {
 		t.Fatal(err)
@@ -144,7 +144,7 @@ func TestBanLatencyMatchesTheory(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		v := c.Register(1)
+		v := c.MustRegister(1)
 		for {
 			k, err := c.NextTask(v)
 			if err != nil {

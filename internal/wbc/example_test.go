@@ -12,7 +12,7 @@ func ExampleCoordinator() {
 		APF:      apf.NewTHash(),
 		Workload: wbc.DivisorSum{},
 	})
-	v := c.Register(1)
+	v := c.MustRegister(1)
 	k, _ := c.NextTask(v)
 	_, _ = c.Submit(v, k, wbc.DivisorSum{}.Do(k))
 	who, _ := c.Attribute(k)
@@ -25,7 +25,7 @@ func ExampleLedger_Attribute() {
 		APF:      apf.NewTHash(),
 		Workload: wbc.DivisorSum{},
 	})
-	v := c.Register(1)
+	v := c.MustRegister(1)
 	for i := 0; i < 3; i++ {
 		k, _ := c.NextTask(v)
 		_, _ = c.Submit(v, k, 0)

@@ -22,6 +22,7 @@ import (
 //	POST /next      {"volunteer": 7}                   → {"task": 912}
 //	POST /submit    {"volunteer": 7, "task": 912,
 //	                 "result": 4}                      → {"caught": false}
+//	POST /heartbeat {"volunteer": 7}                   → {"ok": true}
 //	GET  /attribute?task=912                           → {"volunteer": 7}
 //	GET  /metrics                                      → Prometheus text, or
 //	                                                     the JSON Metrics
@@ -58,6 +59,14 @@ type submitResponse struct {
 	Caught bool `json:"caught"`
 }
 
+type heartbeatRequest struct {
+	Volunteer VolunteerID `json:"volunteer"`
+}
+
+type heartbeatResponse struct {
+	OK bool `json:"ok"`
+}
+
 type attributeResponse struct {
 	Volunteer VolunteerID `json:"volunteer"`
 	Row       int64       `json:"row"`
@@ -86,7 +95,23 @@ func apiMux(c *Coordinator) *http.ServeMux {
 		if !decode(w, r, &req) {
 			return
 		}
-		writeJSON(w, http.StatusOK, registerResponse{Volunteer: c.Register(req.Speed)})
+		id, err := c.Register(req.Speed)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, registerResponse{Volunteer: id})
+	})
+	mux.HandleFunc("POST /heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req heartbeatRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		if err := c.Heartbeat(req.Volunteer); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, heartbeatResponse{OK: true})
 	})
 	mux.HandleFunc("POST /next", func(w http.ResponseWriter, r *http.Request) {
 		var req nextRequest
@@ -141,6 +166,14 @@ func apiMux(c *Coordinator) *http.ServeMux {
 
 func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		// The protocol carries a handful of integers; a body hitting the
+		// MaxBytesReader cap (observe.go) is abuse, not a volunteer.
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return false
+		}
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
 		return false
 	}
@@ -162,6 +195,8 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, ErrNotIssuedToYou):
 		status = http.StatusConflict
+	case errors.Is(err, ErrDegraded):
+		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
@@ -244,6 +279,12 @@ func (cl *Client) Submit(id VolunteerID, k TaskID, result int64) (caught bool, e
 func (cl *Client) Depart(id VolunteerID) error {
 	var resp struct{}
 	return cl.post("/depart", nextRequest{Volunteer: id}, &resp)
+}
+
+// Heartbeat renews volunteer id's lease.
+func (cl *Client) Heartbeat(id VolunteerID) error {
+	var resp heartbeatResponse
+	return cl.post("/heartbeat", heartbeatRequest{Volunteer: id}, &resp)
 }
 
 // Metrics fetches the coordinator's JSON metrics snapshot (the legacy

@@ -148,12 +148,12 @@ func TestHTTPErrorStatuses(t *testing.T) {
 	if got := post("/register", `{bad json`); got != http.StatusBadRequest {
 		t.Errorf("bad json: %d", got)
 	}
-	v := c.Register(1)
+	v := c.MustRegister(1)
 	k, err := c.NextTask(v)
 	if err != nil {
 		t.Fatal(err)
 	}
-	other := c.Register(1)
+	other := c.MustRegister(1)
 	body, _ := json.Marshal(submitRequest{Volunteer: other, Task: k, Result: 0})
 	if got := post("/submit", string(body)); got != http.StatusConflict {
 		t.Errorf("cross submit: %d", got)

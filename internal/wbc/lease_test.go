@@ -1,0 +1,246 @@
+package wbc
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pairfn/internal/apf"
+)
+
+// fakeClock is a settable lease clock safe for concurrent use (the
+// sweeper and race tests read it from other goroutines).
+type fakeClock struct{ nanos atomic.Int64 }
+
+func (f *fakeClock) Now() time.Time          { return time.Unix(0, f.nanos.Load()) }
+func (f *fakeClock) Advance(d time.Duration) { f.nanos.Add(int64(d)) }
+
+func leasedCoordinator(t *testing.T, ttl time.Duration, clk *fakeClock) *Coordinator {
+	t.Helper()
+	c, err := NewCoordinator(Config{
+		APF: apf.NewTHash(), Workload: DivisorSum{}, Seed: 3,
+		LeaseTTL: ttl, Now: clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestLeaseExpiryReclaims is the self-healing contract: a volunteer that
+// goes silent past the TTL is implicitly departed, its outstanding tasks
+// are reissued to a survivor, and attribution follows the reissue exactly.
+func TestLeaseExpiryReclaims(t *testing.T) {
+	clk := &fakeClock{}
+	ttl := time.Second
+	c := leasedCoordinator(t, ttl, clk)
+	dead := c.MustRegister(1)
+	alive := c.MustRegister(1)
+	k, err := c.NextTask(dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.Attribute(k); got != dead {
+		t.Fatalf("Attribute(%d) = %d before expiry, want %d", k, got, dead)
+	}
+
+	// The survivor stays in touch; the other volunteer vanishes.
+	clk.Advance(ttl / 2)
+	if err := c.Heartbeat(alive); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(ttl/2 + time.Millisecond)
+	n, err := c.ExpireLeases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("ExpireLeases = %d, want 1 (only the silent volunteer)", n)
+	}
+	if _, err := c.NextTask(dead); err == nil {
+		t.Fatal("expired volunteer can still fetch tasks")
+	}
+	m := c.Metrics()
+	if m.LeaseExpirations != 1 || m.TasksReclaimed != 1 {
+		t.Fatalf("metrics = %+v, want 1 expiration and 1 reclaimed task", m)
+	}
+
+	// The survivor's next fetch is the reclaimed task, reattributed to it.
+	k2, err := c.NextTask(alive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2 != k {
+		t.Fatalf("survivor fetched %d, want reclaimed %d", k2, k)
+	}
+	if got, _ := c.Attribute(k); got != alive {
+		t.Fatalf("Attribute(%d) = %d after reissue, want %d", k, got, alive)
+	}
+	// The dead volunteer's late submission bounces: the task is no longer
+	// its to answer for.
+	if _, err := c.Submit(dead, k, 0); err == nil {
+		t.Fatal("expired volunteer's late submit accepted")
+	}
+	if _, err := c.Submit(alive, k, (DivisorSum{}).Do(k)); err != nil {
+		t.Fatalf("reissued task submit: %v", err)
+	}
+}
+
+// TestLeaseRenewalOnActivity: each protocol op pushes the deadline out, so
+// an active volunteer never expires regardless of run length.
+func TestLeaseRenewalOnActivity(t *testing.T) {
+	clk := &fakeClock{}
+	ttl := time.Second
+	c := leasedCoordinator(t, ttl, clk)
+	id := c.MustRegister(1)
+	for i := 0; i < 10; i++ {
+		clk.Advance(ttl * 3 / 4)
+		var err error
+		switch i % 3 {
+		case 0:
+			err = c.Heartbeat(id)
+		case 1:
+			_, err = c.NextTask(id)
+		default:
+			err = c.Heartbeat(id)
+		}
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if n, err := c.ExpireLeases(); err != nil || n != 0 {
+			t.Fatalf("op %d: ExpireLeases = %d, %v; want 0", i, n, err)
+		}
+	}
+	if c.ActiveLeases() != 1 {
+		t.Fatalf("ActiveLeases = %d, want 1", c.ActiveLeases())
+	}
+}
+
+// TestLeaseDisabled: LeaseTTL 0 means volunteers live until Depart.
+func TestLeaseDisabled(t *testing.T) {
+	c, err := NewCoordinator(Config{APF: apf.NewTHash(), Workload: DivisorSum{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := c.MustRegister(1)
+	if n, err := c.ExpireLeases(); err != nil || n != 0 {
+		t.Fatalf("ExpireLeases with leasing off = %d, %v", n, err)
+	}
+	if err := c.Heartbeat(id); err != nil {
+		t.Fatalf("Heartbeat with leasing off: %v", err)
+	}
+	if c.ActiveLeases() != 0 {
+		t.Fatalf("ActiveLeases = %d with leasing off, want 0", c.ActiveLeases())
+	}
+}
+
+// TestLeaseSweeper runs the real background sweeper against a real clock:
+// a volunteer that stops heartbeating is expired within a couple of lease
+// periods (the ISSUE acceptance bound), without test hooks.
+func TestLeaseSweeper(t *testing.T) {
+	const ttl = 100 * time.Millisecond
+	c, err := NewCoordinator(Config{
+		APF: apf.NewTHash(), Workload: DivisorSum{}, LeaseTTL: ttl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := c.MustRegister(1)
+	if _, err := c.NextTask(id); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go c.RunLeaseSweeper(ctx, ttl/4)
+
+	deadline := time.Now().Add(2 * ttl)
+	for time.Now().Before(deadline) {
+		if c.Metrics().LeaseExpirations == 1 {
+			break
+		}
+		time.Sleep(ttl / 10)
+	}
+	m := c.Metrics()
+	if m.LeaseExpirations != 1 || m.TasksReclaimed != 1 {
+		t.Fatalf("after 2 lease periods: metrics = %+v, want the silent volunteer expired with its task reclaimed", m)
+	}
+}
+
+// TestVotingSubmitVsLeaseExpiryRace hammers Voting with concurrent honest
+// workers while a churn goroutine registers doomed volunteers, advances
+// the lease clock, and expires them — reclaimed replicas flow to
+// survivors mid-vote. Run under -race. The invariants: no logical task
+// ever accumulates more than r votes per round (a reclaimed replica is
+// handed over, never double-counted), and no accepted result is wrong.
+func TestVotingSubmitVsLeaseExpiryRace(t *testing.T) {
+	clk := &fakeClock{}
+	const ttl = time.Second
+	const r = 3
+	v, err := NewVoting(Config{
+		APF: apf.NewTHash(), Workload: DivisorSum{}, Seed: 11,
+		AuditRate: 0, LeaseTTL: ttl, Now: clk.Now,
+	}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := v.Coordinator()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := c.MustRegister(1)
+			for i := 0; i < 150; i++ {
+				k, l, err := v.NextTask(id)
+				if err != nil {
+					// Expired by a clock jump; rejoin and keep computing.
+					id = c.MustRegister(1)
+					continue
+				}
+				if _, err := v.Submit(id, k, (DivisorSum{}).Do(TaskID(l))); err != nil {
+					id = c.MustRegister(1)
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 25; i++ {
+			doomed := c.MustRegister(1)
+			if _, _, err := v.NextTask(doomed); err != nil {
+				continue
+			}
+			// The doomed volunteer abandons its replica; everyone who has
+			// not renewed after the jump expires with it.
+			clk.Advance(2 * ttl)
+			if _, err := c.ExpireLeases(); err != nil {
+				t.Errorf("ExpireLeases: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	m := v.Metrics()
+	if m.AcceptedBad != 0 {
+		t.Fatalf("AcceptedBad = %d with all-honest workers, want 0", m.AcceptedBad)
+	}
+	if m.Decided == 0 {
+		t.Fatal("no logical tasks decided; the race test exercised nothing")
+	}
+	cm := c.Metrics()
+	if cm.LeaseExpirations == 0 || cm.TasksReclaimed == 0 {
+		t.Fatalf("coordinator metrics = %+v: churn goroutine never caused reclamation", cm)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for l, votes := range v.votes {
+		if len(votes) > r {
+			t.Fatalf("logical task %d holds %d votes, more than r=%d: a reclaimed replica double-counted", l, len(votes), r)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strings"
+	"time"
 
 	"pairfn/internal/obs"
 )
@@ -14,7 +15,11 @@ import (
 // status classes, an in-flight gauge and latency histograms. The §4
 // accountability scheme is an auditing story; these endpoints are the
 // operational half of that audit — who is asking, how fast are we
-// answering, is the service draining.
+// answering, is the service draining or degraded.
+
+// DefaultMaxBodyBytes caps volunteer-protocol request bodies. The
+// protocol carries a handful of integers; a kilobyte is generous.
+const DefaultMaxBodyBytes = 1 << 12
 
 // ServerOptions configures NewObservedHandler.
 type ServerOptions struct {
@@ -29,16 +34,25 @@ type ServerOptions struct {
 	// balancers to stop routing while in-flight requests drain. Nil means
 	// always ready.
 	Ready *obs.Flag
+	// MaxBodyBytes caps volunteer-protocol request bodies (413 beyond
+	// it). 0 uses DefaultMaxBodyBytes; negative disables the cap.
+	MaxBodyBytes int64
+	// RequestTimeout, when positive, wraps the volunteer-protocol
+	// endpoints in http.TimeoutHandler: a handler outliving it answers
+	// 503 and the connection is freed. Probes and /metrics are exempt —
+	// an operator must be able to scrape a struggling server.
+	RequestTimeout time.Duration
 }
 
 // NewObservedHandler returns the WBC website for c wrapped in
-// observability: all NewHTTPHandler endpoints plus
+// observability and abuse hardening: all NewHTTPHandler endpoints plus
 //
 //	GET /metrics   Prometheus text exposition (default) or the legacy
 //	               JSON Metrics snapshot when the request prefers
 //	               application/json
 //	GET /healthz   liveness: always 200 while the process serves
-//	GET /readyz    readiness: 200, or 503 once opt.Ready is false
+//	GET /readyz    readiness: 200; 503 once opt.Ready is false (drain)
+//	               or the coordinator is degraded to read-only
 //
 // with every request recorded in the registry and optionally logged.
 func NewObservedHandler(c *Coordinator, opt ServerOptions) http.Handler {
@@ -47,7 +61,25 @@ func NewObservedHandler(c *Coordinator, opt ServerOptions) http.Handler {
 		reg = obs.NewRegistry()
 	}
 	RegisterCoordinatorMetrics(c, reg)
-	mux := apiMux(c)
+
+	var api http.Handler = apiMux(c)
+	maxBody := opt.MaxBodyBytes
+	if maxBody == 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	if maxBody > 0 {
+		inner := api
+		api = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+			inner.ServeHTTP(w, r)
+		})
+	}
+	if opt.RequestTimeout > 0 {
+		api = http.TimeoutHandler(api, opt.RequestTimeout, `{"error":"request timed out"}`)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", api)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		if acceptsJSON(r) {
 			writeJSON(w, http.StatusOK, c.Metrics())
@@ -63,12 +95,16 @@ func NewObservedHandler(c *Coordinator, opt ServerOptions) http.Handler {
 	ready := opt.Ready
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if !ready.Get() {
+		switch {
+		case !ready.Get():
 			w.WriteHeader(http.StatusServiceUnavailable)
 			w.Write([]byte("draining\n"))
-			return
+		case c != nil && c.Degraded():
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("degraded: read-only (journal failure)\n"))
+		default:
+			w.Write([]byte("ready\n"))
 		}
-		w.Write([]byte("ready\n"))
 	})
 	return obs.Middleware(obs.MiddlewareConfig{
 		Registry:  reg,
@@ -93,6 +129,10 @@ func RegisterCoordinatorMetrics(c *Coordinator, reg *obs.Registry) {
 	reg.Help("wbc_volunteers_banned", "Volunteers banned.")
 	reg.Help("wbc_tasks_reissued", "Abandoned tasks reissued.")
 	reg.Help("wbc_task_table_footprint", "Largest task index issued (table size).")
+	reg.Help("wbc_active_leases", "Volunteers holding a live lease.")
+	reg.Help("wbc_lease_expirations_total", "Volunteers expired for not heartbeating.")
+	reg.Help("wbc_tasks_reclaimed_total", "Outstanding tasks orphaned by lease expiry.")
+	reg.Help("wbc_degraded", "1 when a journal failure has made the coordinator read-only.")
 	mirror := []struct {
 		g   *obs.Gauge
 		val func(Metrics) int64
@@ -106,11 +146,21 @@ func RegisterCoordinatorMetrics(c *Coordinator, reg *obs.Registry) {
 		{reg.Gauge("wbc_volunteers_banned"), func(m Metrics) int64 { return m.Bans }},
 		{reg.Gauge("wbc_tasks_reissued"), func(m Metrics) int64 { return m.Reissues }},
 		{reg.Gauge("wbc_task_table_footprint"), func(m Metrics) int64 { return m.Footprint }},
+		{reg.Gauge("wbc_lease_expirations_total"), func(m Metrics) int64 { return m.LeaseExpirations }},
+		{reg.Gauge("wbc_tasks_reclaimed_total"), func(m Metrics) int64 { return m.TasksReclaimed }},
 	}
+	leases := reg.Gauge("wbc_active_leases")
+	degraded := reg.Gauge("wbc_degraded")
 	reg.OnCollect(func() {
 		m := c.Metrics()
 		for _, e := range mirror {
 			e.g.Set(e.val(m))
+		}
+		leases.Set(int64(c.ActiveLeases()))
+		if c.Degraded() {
+			degraded.Set(1)
+		} else {
+			degraded.Set(0)
 		}
 	})
 }
@@ -128,8 +178,8 @@ func acceptsJSON(r *http.Request) bool {
 // internet-facing server must not mint one time series per scanned URL.
 func pathLabel(r *http.Request) string {
 	switch p := r.URL.Path; p {
-	case "/register", "/next", "/submit", "/depart", "/attribute",
-		"/metrics", "/healthz", "/readyz":
+	case "/register", "/next", "/submit", "/depart", "/heartbeat",
+		"/attribute", "/metrics", "/healthz", "/readyz":
 		return p
 	default:
 		return "other"

@@ -211,7 +211,7 @@ func TestUninstrumentedCoordinatorUnchanged(t *testing.T) {
 	if _, ok := c.Ledger().APF().(*apf.Instrumented); ok {
 		t.Error("APF wrapped despite nil registry")
 	}
-	v := c.Register(1)
+	v := c.MustRegister(1)
 	if _, err := c.NextTask(v); err != nil {
 		t.Fatal(err)
 	}

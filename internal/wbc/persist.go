@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"sort"
+
+	"pairfn/internal/extarray"
 )
 
 // Wire forms for gob. Only state is serialized: the APF and Workload are
@@ -40,6 +43,7 @@ type coordSnap struct {
 	Vols      []volSnap
 	Results   map[TaskID]int64
 	Metrics   Metrics
+	Applied   uint64 // journal sequence gate (see applyJournalRecord)
 	AuditRate float64
 	Strikes   int
 	Seed      int64
@@ -53,6 +57,10 @@ type coordSnap struct {
 func (c *Coordinator) Checkpoint(w io.Writer) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.checkpointLocked(w)
+}
+
+func (c *Coordinator) checkpointLocked(w io.Writer) error {
 	snap := coordSnap{
 		APFName:   c.cfg.APF.Name(),
 		NextVol:   c.nextVol,
@@ -61,6 +69,7 @@ func (c *Coordinator) Checkpoint(w io.Writer) error {
 		Orphans:   c.orphans,
 		Results:   c.results,
 		Metrics:   c.m,
+		Applied:   c.applied,
 		AuditRate: c.cfg.AuditRate,
 		Strikes:   c.cfg.StrikeLimit,
 		Seed:      c.cfg.Seed,
@@ -86,12 +95,48 @@ func (c *Coordinator) Checkpoint(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(snap)
 }
 
+// SaveCheckpoint atomically writes the coordinator's state to path
+// (temp + fsync + rename, via extarray.AtomicWriteFile) and, when a
+// journal is attached, truncates the journal under the append lock — the
+// tabled checkpoint recipe: anything in the snapshot's consistent cut is
+// durable before the log that carried it is cut, and a crash between the
+// two is healed by sequence-gated replay.
+func (c *Coordinator) SaveCheckpoint(path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	save := func() error {
+		return extarray.AtomicWriteFile(path, func(w io.Writer) error {
+			return c.checkpointLocked(w)
+		})
+	}
+	if c.journal != nil {
+		return c.journal.log.Checkpoint(save)
+	}
+	return save()
+}
+
+// decodeCoordSnap decodes a checkpoint stream, converting gob panics on
+// adversarially corrupt input into errors (mirroring
+// extarray.DecodeSnapshot) so a damaged checkpoint is a clean boot
+// failure, not a crash loop.
+func decodeCoordSnap(r io.Reader) (snap coordSnap, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("corrupt checkpoint stream: %v", p)
+		}
+	}()
+	err = gob.NewDecoder(r).Decode(&snap)
+	return snap, err
+}
+
 // Restore reconstructs a checkpointed coordinator. cfg must carry the same
 // APF (checked by name) and Workload; AuditRate/StrikeLimit/Seed from the
-// snapshot take precedence over cfg's.
+// snapshot take precedence over cfg's. Active volunteers are granted a
+// fresh lease (when cfg.LeaseTTL > 0): survivors of the crash get a full
+// TTL to reconnect before their tasks are reclaimed.
 func Restore(r io.Reader, cfg Config) (*Coordinator, error) {
-	var snap coordSnap
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+	snap, err := decodeCoordSnap(r)
+	if err != nil {
 		return nil, fmt.Errorf("wbc: Restore: %w", err)
 	}
 	if cfg.APF == nil || cfg.Workload == nil {
@@ -118,6 +163,7 @@ func Restore(r io.Reader, cfg Config) (*Coordinator, error) {
 		c.results = snap.Results
 	}
 	c.m = snap.Metrics
+	c.applied = snap.Applied
 	c.ledger.maxIssued = snap.Ledger.MaxIssued
 	if snap.Ledger.Rows != nil {
 		c.ledger.rows = snap.Ledger.Rows
@@ -140,9 +186,24 @@ func Restore(r io.Reader, cfg Config) (*Coordinator, error) {
 		c.vols[vs.ID] = v
 		if v.row >= 0 && !v.banned && !v.departed {
 			c.rowVol[v.row] = v.id
+			c.renewLeaseLocked(v.id)
 		}
 	}
 	// Restart the audit RNG deterministically from the configured seed.
 	c.rng = rand.New(rand.NewSource(cfg.Seed))
+	return c, nil
+}
+
+// RestoreFile is Restore from a checkpoint file on disk.
+func RestoreFile(path string, cfg Config) (*Coordinator, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("wbc: restore %s: %w", path, err)
+	}
+	defer f.Close()
+	c, err := Restore(f, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("wbc: restore %s: %w", path, err)
+	}
 	return c, nil
 }

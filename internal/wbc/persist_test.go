@@ -2,6 +2,8 @@ package wbc
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -21,8 +23,8 @@ func TestCheckpointRestore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v1 := c1.Register(1)
-	v2 := c1.Register(2)
+	v1 := c1.MustRegister(1)
+	v2 := c1.MustRegister(2)
 	owner := map[TaskID]VolunteerID{}
 	for i := 0; i < 10; i++ {
 		for _, v := range []VolunteerID{v1, v2} {
@@ -73,7 +75,7 @@ func TestCheckpointRestore(t *testing.T) {
 	if _, err := c2.NextTask(v2); err == nil {
 		t.Fatal("departed volunteer active after restore")
 	}
-	v3 := c2.Register(1)
+	v3 := c2.MustRegister(1)
 	row3, _ := c2.Row(v3)
 	row2, _ := c1.Row(v2)
 	_ = row2 // v2's row is −1 after departure; v3 must take the vacated row 2
@@ -119,5 +121,107 @@ func TestRestoreValidation(t *testing.T) {
 	}
 	if _, err := Restore(strings.NewReader("garbage"), Config{APF: apf.NewTHash(), Workload: Null{}}); err == nil {
 		t.Error("garbage should fail")
+	}
+}
+
+// checkpointBytes builds a realistic checkpoint stream: volunteers,
+// completed work, an outstanding task, a depart — enough structure that
+// corruption lands in interesting gob territory.
+func checkpointBytes(t *testing.T) []byte {
+	t.Helper()
+	c, err := NewCoordinator(Config{APF: apf.NewTHash(), Workload: DivisorSum{}, AuditRate: 0.5, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := c.MustRegister(1)
+	v2 := c.MustRegister(2)
+	for i := 0; i < 5; i++ {
+		k, _ := c.NextTask(v1)
+		if _, err := c.Submit(v1, k, (DivisorSum{}).Do(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.NextTask(v2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Depart(v2); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRestoreCorruptCheckpoint bit-flips every region of a checkpoint and
+// truncates it at every length: Restore must never panic — adversarially
+// corrupt gob is converted to a clean error (or, for flips that happen to
+// decode, a usable coordinator). A damaged checkpoint is a failed boot,
+// not a crash loop.
+func TestRestoreCorruptCheckpoint(t *testing.T) {
+	snapshot := checkpointBytes(t)
+	cfg := Config{APF: apf.NewTHash(), Workload: DivisorSum{}}
+
+	step := len(snapshot)/64 + 1
+	for off := 0; off < len(snapshot); off += step {
+		for _, bit := range []byte{0x01, 0x80} {
+			corrupt := append([]byte(nil), snapshot...)
+			corrupt[off] ^= bit
+			// Must not panic; an error (the common case) must carry the
+			// restore context rather than a raw gob panic message.
+			c, err := Restore(bytes.NewReader(corrupt), cfg)
+			if err == nil && c == nil {
+				t.Fatalf("offset %d bit %#x: nil coordinator without error", off, bit)
+			}
+			if err != nil && !strings.Contains(err.Error(), "Restore") {
+				t.Fatalf("offset %d bit %#x: error %q lacks restore context", off, bit, err)
+			}
+		}
+	}
+}
+
+// TestRestoreTruncatedCheckpoint: every proper prefix of a checkpoint is a
+// clean error, never a panic — the torn-write case for the checkpoint
+// file itself (AtomicWriteFile makes this near-impossible in production,
+// but boot must tolerate a hand-copied or half-synced file).
+func TestRestoreTruncatedCheckpoint(t *testing.T) {
+	snapshot := checkpointBytes(t)
+	cfg := Config{APF: apf.NewTHash(), Workload: DivisorSum{}}
+	step := len(snapshot)/32 + 1
+	for n := 0; n < len(snapshot); n += step {
+		if _, err := Restore(bytes.NewReader(snapshot[:n]), cfg); err == nil {
+			t.Fatalf("prefix of %d/%d bytes restored without error", n, len(snapshot))
+		}
+	}
+}
+
+// TestRestoreFileErrors: the file-level wrapper names the path in every
+// failure mode — missing, truncated, corrupt — so a failed boot log line
+// tells the operator which artifact to inspect.
+func TestRestoreFileErrors(t *testing.T) {
+	cfg := Config{APF: apf.NewTHash(), Workload: DivisorSum{}}
+	dir := t.TempDir()
+
+	missing := filepath.Join(dir, "absent.ckpt")
+	if _, err := RestoreFile(missing, cfg); err == nil || !strings.Contains(err.Error(), missing) {
+		t.Fatalf("missing file error %v does not name the path", err)
+	}
+
+	snapshot := checkpointBytes(t)
+	truncated := filepath.Join(dir, "truncated.ckpt")
+	if err := os.WriteFile(truncated, snapshot[:len(snapshot)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreFile(truncated, cfg); err == nil || !strings.Contains(err.Error(), truncated) {
+		t.Fatalf("truncated file error %v does not name the path", err)
+	}
+
+	good := filepath.Join(dir, "good.ckpt")
+	if err := os.WriteFile(good, snapshot, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreFile(good, cfg); err != nil {
+		t.Fatalf("intact checkpoint failed to restore: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package wbc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -10,6 +11,7 @@ import (
 
 	"pairfn/internal/apf"
 	"pairfn/internal/obs"
+	"pairfn/internal/walog"
 )
 
 // ErrBanned reports an operation by a banned volunteer.
@@ -25,6 +27,12 @@ var ErrUnknownVolunteer = errors.New("wbc: unknown volunteer")
 // own.
 var ErrNotIssuedToYou = errors.New("wbc: task not issued to this volunteer")
 
+// ErrDegraded reports a mutation rejected because the journal can no
+// longer attest durability: the coordinator is read-only. Attribution and
+// metrics keep answering; mutations get this (HTTP 503) until an operator
+// replaces the journal volume and restarts.
+var ErrDegraded = errors.New("wbc: coordinator degraded to read-only (journal failure)")
+
 // Config parameterizes a Coordinator.
 type Config struct {
 	// APF is the task-allocation function 𝒯.
@@ -39,6 +47,14 @@ type Config struct {
 	StrikeLimit int
 	// Seed drives the audit sampling.
 	Seed int64
+	// LeaseTTL, when positive, is how long a volunteer may stay silent
+	// before ExpireLeases treats it as implicitly departed and its
+	// outstanding tasks are reclaimed for reissue. Any authenticated
+	// activity — Register, NextTask, Submit, Heartbeat — renews the
+	// lease. Zero disables leasing (volunteers live until Depart).
+	LeaseTTL time.Duration
+	// Now overrides the lease clock; nil uses time.Now. Test seam.
+	Now func() time.Time
 	// Obs, when non-nil, receives live operation counters and latency
 	// histograms from the coordinator hot paths, and APF encode/decode
 	// counters (the task-allocation function is wrapped with
@@ -48,15 +64,17 @@ type Config struct {
 
 // Metrics is a snapshot of coordinator counters.
 type Metrics struct {
-	Registered int64 // volunteers ever registered
-	Active     int64 // currently active volunteers
-	Issued     int64 // tasks issued (including reissues)
-	Completed  int64 // submissions accepted
-	Audited    int64 // submissions audited inline
-	BadCaught  int64 // audited submissions found wrong
-	Bans       int64 // volunteers banned
-	Reissues   int64 // abandoned tasks reissued
-	Footprint  int64 // largest task index issued (table size)
+	Registered       int64 // volunteers ever registered
+	Active           int64 // currently active volunteers
+	Issued           int64 // tasks issued (including reissues)
+	Completed        int64 // submissions accepted
+	Audited          int64 // submissions audited inline
+	BadCaught        int64 // audited submissions found wrong
+	Bans             int64 // volunteers banned
+	Reissues         int64 // abandoned tasks reissued
+	Footprint        int64 // largest task index issued (table size)
+	LeaseExpirations int64 // volunteers expired for not heartbeating
+	TasksReclaimed   int64 // outstanding tasks orphaned by lease expiry
 }
 
 type volState struct {
@@ -74,9 +92,18 @@ type volState struct {
 
 // Coordinator is the WBC server: it registers volunteers, allocates tasks
 // through the ledger's APF, collects results, audits a sample, bans errant
-// volunteers, and reassigns the rows (and abandoned tasks) of departed or
-// banned volunteers to newcomers — the §4 "front end". Safe for concurrent
-// use by volunteer goroutines.
+// volunteers, and reassigns the rows (and abandoned tasks) of departed,
+// banned, or lease-expired volunteers — the §4 "front end". Safe for
+// concurrent use by volunteer goroutines.
+//
+// Durability: with a Journal attached (OpenJournal), every mutation is
+// applied in memory, framed into the journal under the same critical
+// section (so journal order equals apply order — coordinator ops do not
+// commute), and acknowledged only after the record is fsynced. The
+// mutators are therefore split into applyXxxLocked cores, deterministic
+// functions of coordinator state plus the record, shared verbatim by the
+// live path and boot-time replay. A journal write failure degrades the
+// coordinator to read-only (ErrDegraded) instead of crashing it.
 type Coordinator struct {
 	mu  sync.Mutex
 	cfg Config
@@ -89,13 +116,28 @@ type Coordinator struct {
 	// for rebinding (smallest first, so newcomers inherit compact rows).
 	freeRows []int64
 	// orphans are tasks issued to a row's previous owner and never
-	// submitted; the row's next owner receives them first.
+	// submitted; the row's next owner receives them first, and active
+	// volunteers steal from ownerless rows so reclaimed work never
+	// starves waiting for a newcomer.
 	orphans map[int64][]TaskID
 	vols    map[VolunteerID]*volState
 	rowVol  map[int64]VolunteerID
 	results map[TaskID]int64
-	m       Metrics
-	ops     coordObs
+	// leases[id] is the deadline by which volunteer id must show
+	// activity; only populated when cfg.LeaseTTL > 0.
+	leases map[VolunteerID]time.Time
+	// applied counts journaled mutations; checkpointed, so replay can
+	// skip records the checkpoint already contains (ops are not
+	// idempotent — sequence gating is what makes replay-after-a-crash-
+	// during-checkpoint safe).
+	applied uint64
+
+	journal   *Journal
+	onDegrade func(error)
+	degraded  bool
+
+	m   Metrics
+	ops coordObs
 }
 
 // coordObs holds the coordinator's live instrumentation handles. All
@@ -104,6 +146,7 @@ type Coordinator struct {
 type coordObs struct {
 	register, depart, next, submit, auditAll *obs.Counter
 	audited, caught, banned, reissued        *obs.Counter
+	heartbeat, expired, reclaimed            *obs.Counter
 	errs                                     *obs.Counter
 	nextLat, submitLat                       *obs.Histogram
 }
@@ -121,16 +164,19 @@ func newCoordObs(r *obs.Registry) coordObs {
 		return r.Counter("wbc_coordinator_ops_total", obs.L("op", name))
 	}
 	return coordObs{
-		register: op("register"),
-		depart:   op("depart"),
-		next:     op("next"),
-		submit:   op("submit"),
-		auditAll: op("audit_all"),
-		audited:  op("audit"),
-		caught:   op("caught"),
-		banned:   op("ban"),
-		reissued: op("reissue"),
-		errs:     r.Counter("wbc_coordinator_errors_total"),
+		register:  op("register"),
+		depart:    op("depart"),
+		next:      op("next"),
+		submit:    op("submit"),
+		auditAll:  op("audit_all"),
+		audited:   op("audit"),
+		caught:    op("caught"),
+		banned:    op("ban"),
+		reissued:  op("reissue"),
+		heartbeat: op("heartbeat"),
+		expired:   op("lease_expire"),
+		reclaimed: op("reclaim"),
+		errs:      r.Counter("wbc_coordinator_errors_total"),
 		nextLat: r.Histogram("wbc_coordinator_op_duration_seconds",
 			obs.DefDurationBuckets, obs.L("op", "next")),
 		submitLat: r.Histogram("wbc_coordinator_op_duration_seconds",
@@ -169,16 +215,130 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		vols:    make(map[VolunteerID]*volState),
 		rowVol:  make(map[int64]VolunteerID),
 		results: make(map[TaskID]int64),
+		leases:  make(map[VolunteerID]time.Time),
 	}, nil
+}
+
+// now is the lease clock.
+func (c *Coordinator) now() time.Time {
+	if c.cfg.Now != nil {
+		return c.cfg.Now()
+	}
+	return time.Now()
+}
+
+// renewLeaseLocked pushes id's activity deadline out by LeaseTTL.
+func (c *Coordinator) renewLeaseLocked(id VolunteerID) {
+	if c.cfg.LeaseTTL > 0 {
+		c.leases[id] = c.now().Add(c.cfg.LeaseTTL)
+	}
+}
+
+// checkWritableLocked gates every mutation on the durability state.
+func (c *Coordinator) checkWritableLocked() error {
+	if c.degraded {
+		return ErrDegraded
+	}
+	return nil
+}
+
+// logLocked assigns the mutation its sequence number and, when a journal
+// is attached, frames the record into it — under c.mu, so the journal's
+// record order is exactly the apply order. Durability is awaited after
+// c.mu is released (waitDurable); Enqueue itself never syncs, so holding
+// the lock across it costs one buffered write.
+func (c *Coordinator) logLocked(rec journalRec) walog.Ticket {
+	c.applied++
+	if c.journal == nil {
+		return walog.Ticket{}
+	}
+	rec.Seq = c.applied
+	return c.journal.log.Enqueue(encodeJournalRec(rec))
+}
+
+// waitDurable blocks until the mutation's journal record is fsynced. A
+// journal failure flips the coordinator into read-only degraded mode
+// (once), fires the AttachJournal callback, and surfaces ErrDegraded: the
+// mutation is applied in memory but was never acknowledged, matching the
+// crash contract (an unacknowledged write may be lost on restart).
+func (c *Coordinator) waitDurable(t walog.Ticket) error {
+	err := t.Wait()
+	if err == nil {
+		return nil
+	}
+	c.mu.Lock()
+	var cb func(error)
+	if !c.degraded {
+		c.degraded = true
+		cb = c.onDegrade
+	}
+	c.mu.Unlock()
+	if cb != nil {
+		cb(err)
+	}
+	return fmt.Errorf("%w: %v", ErrDegraded, err)
+}
+
+// AttachJournal wires a journal (normally done by OpenJournal) and the
+// callback fired exactly once if the journal fails. The callback runs
+// outside the coordinator lock.
+func (c *Coordinator) AttachJournal(j *Journal, onDegrade func(error)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.journal = j
+	c.onDegrade = onDegrade
+}
+
+// Degraded reports whether a journal failure has made the coordinator
+// read-only.
+func (c *Coordinator) Degraded() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degraded
+}
+
+// ActiveLeases returns the number of volunteers holding a live lease.
+func (c *Coordinator) ActiveLeases() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.leases)
 }
 
 // Register adds a volunteer and binds it to a row: the smallest vacated row
 // if any (inheriting its orphaned tasks), else the next fresh row. The
 // speed hint participates in Rebalance's faster-volunteers-get-smaller-rows
-// ordering.
-func (c *Coordinator) Register(speed float64) VolunteerID {
+// ordering. The error is non-nil only on a degraded (read-only)
+// coordinator.
+func (c *Coordinator) Register(speed float64) (VolunteerID, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if err := c.checkWritableLocked(); err != nil {
+		c.mu.Unlock()
+		c.ops.errs.Inc()
+		return 0, err
+	}
+	id, row := c.applyRegisterLocked(speed)
+	t := c.logLocked(journalRec{Kind: jRegister, ID: id, Speed: speed, Row: row})
+	c.ops.register.Inc()
+	c.mu.Unlock()
+	if err := c.waitDurable(t); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// MustRegister is Register for journal-less coordinators (simulations,
+// tests), where registration cannot fail.
+func (c *Coordinator) MustRegister(speed float64) VolunteerID {
+	id, err := c.Register(speed)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// applyRegisterLocked is the deterministic core of Register, shared by
+// the live path and journal replay.
+func (c *Coordinator) applyRegisterLocked(speed float64) (VolunteerID, int64) {
 	id := c.nextVol
 	c.nextVol++
 	var row int64
@@ -196,34 +356,49 @@ func (c *Coordinator) Register(speed float64) VolunteerID {
 	c.ledger.Bind(row, id)
 	c.m.Registered++
 	c.m.Active++
-	c.ops.register.Inc()
-	return id
+	c.renewLeaseLocked(id)
+	return id, row
 }
 
 // Depart removes a volunteer; its row and outstanding tasks become
 // available to the next arrival.
 func (c *Coordinator) Depart(id VolunteerID) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if err := c.checkWritableLocked(); err != nil {
+		c.mu.Unlock()
+		c.ops.errs.Inc()
+		return err
+	}
 	v, ok := c.vols[id]
 	if !ok {
+		c.mu.Unlock()
 		c.ops.errs.Inc()
 		return fmt.Errorf("%w: %d", ErrUnknownVolunteer, id)
 	}
 	if v.departed {
+		c.mu.Unlock()
 		c.ops.errs.Inc()
 		return fmt.Errorf("%w: %d", ErrDeparted, id)
 	}
+	c.applyDepartLocked(v)
+	t := c.logLocked(journalRec{Kind: jDepart, ID: id})
+	c.ops.depart.Inc()
+	c.mu.Unlock()
+	return c.waitDurable(t)
+}
+
+// applyDepartLocked is the deterministic core of Depart.
+func (c *Coordinator) applyDepartLocked(v *volState) {
 	v.departed = true
 	c.m.Active--
 	c.vacateLocked(v)
-	c.ops.depart.Inc()
-	return nil
 }
 
 // vacateLocked unbinds v from its row, parking outstanding tasks as
-// orphans.
+// orphans (in ascending task order, so replay parks them identically) and
+// dropping its lease.
 func (c *Coordinator) vacateLocked(v *volState) {
+	delete(c.leases, v.id)
 	if v.row < 0 {
 		return
 	}
@@ -231,55 +406,127 @@ func (c *Coordinator) vacateLocked(v *volState) {
 	v.row = -1
 	delete(c.rowVol, row)
 	c.freeRows = append(c.freeRows, row)
-	for k := range v.out {
-		c.orphans[row] = append(c.orphans[row], k)
+	if len(v.out) > 0 {
+		ks := make([]TaskID, 0, len(v.out))
+		for k := range v.out {
+			ks = append(ks, k)
+		}
+		sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+		c.orphans[row] = append(c.orphans[row], ks...)
 	}
 	v.out = make(map[TaskID]bool)
 }
 
 // NextTask issues the next task for volunteer id: an orphaned task of its
-// row if one is pending (reissue), else the fresh index 𝒯(row, seq).
+// row if one is pending, else an orphan stolen from the smallest ownerless
+// row (reclaimed work from expired volunteers must not starve waiting for
+// a newcomer to inherit the row), else the fresh index 𝒯(row, seq).
 func (c *Coordinator) NextTask(id VolunteerID) (TaskID, error) {
 	var start time.Time
 	if c.ops.enabled() {
 		start = time.Now()
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	v, err := c.activeLocked(id)
-	if err != nil {
+	if err := c.checkWritableLocked(); err != nil {
+		c.mu.Unlock()
 		c.ops.errs.Inc()
 		return 0, err
 	}
-	if q := c.orphans[v.row]; len(q) > 0 {
-		k := q[0]
-		c.orphans[v.row] = q[1:]
-		c.ledger.Override(k, id)
-		v.out[k] = true
-		c.m.Issued++
-		c.m.Reissues++
-		c.ops.next.Inc()
+	v, err := c.activeLocked(id)
+	if err != nil {
+		c.mu.Unlock()
+		c.ops.errs.Inc()
+		return 0, err
+	}
+	k, reissued, err := c.applyNextLocked(v)
+	if err != nil {
+		c.mu.Unlock()
+		c.ops.errs.Inc()
+		return 0, err
+	}
+	t := c.logLocked(journalRec{Kind: jNext, ID: id, Task: k})
+	c.ops.next.Inc()
+	if reissued {
 		c.ops.reissued.Inc()
-		if c.ops.enabled() {
-			c.ops.nextLat.Observe(time.Since(start).Seconds())
-		}
-		return k, nil
+	}
+	if c.ops.enabled() {
+		c.ops.nextLat.Observe(time.Since(start).Seconds())
+	}
+	c.mu.Unlock()
+	if err := c.waitDurable(t); err != nil {
+		return 0, err
+	}
+	return k, nil
+}
+
+// applyNextLocked is the deterministic core of NextTask. An error means
+// no state was mutated (Ledger.Issue mutates only on success).
+func (c *Coordinator) applyNextLocked(v *volState) (TaskID, bool, error) {
+	if k, ok := c.takeOrphanLocked(v.row); ok {
+		c.issueReissueLocked(v, k)
+		return k, true, nil
+	}
+	if row, ok := c.unownedOrphanRowLocked(); ok {
+		k, _ := c.takeOrphanLocked(row)
+		c.issueReissueLocked(v, k)
+		return k, true, nil
 	}
 	k, err := c.ledger.Issue(v.row)
 	if err != nil {
-		c.ops.errs.Inc()
-		return 0, err
+		return 0, false, err
 	}
 	v.out[k] = true
 	c.m.Issued++
 	if int64(c.ledger.Footprint()) > c.m.Footprint {
 		c.m.Footprint = int64(c.ledger.Footprint())
 	}
-	c.ops.next.Inc()
-	if c.ops.enabled() {
-		c.ops.nextLat.Observe(time.Since(start).Seconds())
+	c.renewLeaseLocked(v.id)
+	return k, false, nil
+}
+
+// takeOrphanLocked pops the head of row's orphan queue, deleting the
+// queue when it empties (so ownerless-row scans and state snapshots never
+// see ghost entries).
+func (c *Coordinator) takeOrphanLocked(row int64) (TaskID, bool) {
+	q := c.orphans[row]
+	if len(q) == 0 {
+		return 0, false
 	}
-	return k, nil
+	k := q[0]
+	if len(q) == 1 {
+		delete(c.orphans, row)
+	} else {
+		c.orphans[row] = q[1:]
+	}
+	return k, true
+}
+
+// unownedOrphanRowLocked returns the smallest row holding orphans but no
+// current owner — the deterministic steal order.
+func (c *Coordinator) unownedOrphanRowLocked() (int64, bool) {
+	var best int64
+	found := false
+	for row, q := range c.orphans {
+		if len(q) == 0 {
+			continue
+		}
+		if _, owned := c.rowVol[row]; owned {
+			continue
+		}
+		if !found || row < best {
+			best, found = row, true
+		}
+	}
+	return best, found
+}
+
+// issueReissueLocked hands orphan k to v with an attribution override.
+func (c *Coordinator) issueReissueLocked(v *volState, k TaskID) {
+	c.ledger.Override(k, v.id)
+	v.out[k] = true
+	c.m.Issued++
+	c.m.Reissues++
+	c.renewLeaseLocked(v.id)
 }
 
 func (c *Coordinator) activeLocked(id VolunteerID) (*volState, error) {
@@ -295,6 +542,16 @@ func (c *Coordinator) activeLocked(id VolunteerID) (*volState, error) {
 	return v, nil
 }
 
+// auditDecision carries Submit's audit sampling outcome. On the live path
+// the RNG is drawn and the fields are filled in for journaling; on replay
+// the recorded fields are used verbatim, so recovery never redraws the
+// RNG or recomputes the workload and converges to the exact live state.
+type auditDecision struct {
+	replay  bool
+	audited bool
+	caught  bool
+}
+
 // Submit records volunteer id's result for task k. With probability
 // AuditRate the result is audited by recomputation; a confirmed bad result
 // is a strike, and StrikeLimit strikes ban the volunteer (its row and
@@ -306,26 +563,69 @@ func (c *Coordinator) Submit(id VolunteerID, k TaskID, result int64) (caught boo
 		start = time.Now()
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if err := c.checkWritableLocked(); err != nil {
+		c.mu.Unlock()
+		c.ops.errs.Inc()
+		return false, err
+	}
 	v, err := c.activeLocked(id)
 	if err != nil {
+		c.mu.Unlock()
 		c.ops.errs.Inc()
 		return false, err
 	}
 	if !v.out[k] {
+		c.mu.Unlock()
 		c.ops.errs.Inc()
 		return false, fmt.Errorf("%w: volunteer %d, task %d", ErrNotIssuedToYou, id, k)
 	}
+	var d auditDecision
+	caught = c.applySubmitLocked(v, k, result, &d)
+	t := c.logLocked(journalRec{
+		Kind: jSubmit, ID: id, Task: k, Result: result,
+		Audited: d.audited, Caught: d.caught,
+	})
+	c.ops.submit.Inc()
+	if d.audited {
+		c.ops.audited.Inc()
+	}
+	if d.caught {
+		c.ops.caught.Inc()
+	}
+	if v.banned {
+		c.ops.banned.Inc()
+	}
+	if c.ops.enabled() {
+		c.ops.submitLat.Observe(time.Since(start).Seconds())
+	}
+	c.mu.Unlock()
+	if werr := c.waitDurable(t); werr != nil {
+		return caught, werr
+	}
+	return caught, nil
+}
+
+// applySubmitLocked is the deterministic core of Submit: given the audit
+// decision (drawn live, recorded on replay) the strike/ban consequences
+// are a pure function of coordinator state.
+func (c *Coordinator) applySubmitLocked(v *volState, k TaskID, result int64, d *auditDecision) (caught bool) {
 	delete(v.out, k)
 	c.results[k] = result
 	v.completed++
 	c.m.Completed++
-	if c.rng.Float64() < c.cfg.AuditRate {
+	c.renewLeaseLocked(v.id)
+	if !d.replay {
+		// The draw happens exactly here so journal-less coordinators keep
+		// the historical RNG stream (seeded sims and tests pin it).
+		d.audited = c.rng.Float64() < c.cfg.AuditRate
+		if d.audited {
+			d.caught = c.cfg.Workload.Do(k) != result
+		}
+	}
+	if d.audited {
 		c.m.Audited++
-		c.ops.audited.Inc()
-		if c.cfg.Workload.Do(k) != result {
+		if d.caught {
 			c.m.BadCaught++
-			c.ops.caught.Inc()
 			v.strikes++
 			caught = true
 			if v.strikes >= c.cfg.StrikeLimit {
@@ -333,15 +633,98 @@ func (c *Coordinator) Submit(id VolunteerID, k TaskID, result int64) (caught boo
 				c.m.Bans++
 				c.m.Active--
 				c.vacateLocked(v)
-				c.ops.banned.Inc()
 			}
 		}
 	}
-	c.ops.submit.Inc()
-	if c.ops.enabled() {
-		c.ops.submitLat.Observe(time.Since(start).Seconds())
+	return caught
+}
+
+// Heartbeat renews volunteer id's lease without any other effect. It is
+// not journaled (lease deadlines are soft state, re-granted on restore)
+// and is allowed on a degraded coordinator, so volunteers survive a
+// read-only window without being expired.
+func (c *Coordinator) Heartbeat(id VolunteerID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.activeLocked(id); err != nil {
+		c.ops.errs.Inc()
+		return err
 	}
-	return caught, nil
+	c.renewLeaseLocked(id)
+	c.ops.heartbeat.Inc()
+	return nil
+}
+
+// ExpireLeases scans for volunteers whose lease deadline has passed and
+// applies an implicit, journaled Depart to each: the row is vacated, its
+// outstanding tasks orphaned for reissue, and attribution history kept
+// intact. Returns the number of volunteers expired. A no-op when leasing
+// is disabled.
+func (c *Coordinator) ExpireLeases() (int, error) {
+	c.mu.Lock()
+	if c.cfg.LeaseTTL <= 0 {
+		c.mu.Unlock()
+		return 0, nil
+	}
+	if err := c.checkWritableLocked(); err != nil {
+		c.mu.Unlock()
+		return 0, err
+	}
+	now := c.now()
+	var expired []VolunteerID
+	for id, deadline := range c.leases {
+		if !now.Before(deadline) {
+			expired = append(expired, id)
+		}
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+	var tickets []walog.Ticket
+	for _, id := range expired {
+		v, ok := c.vols[id]
+		if !ok || v.departed || v.banned {
+			delete(c.leases, id) // stale entry; vacate already dropped state
+			continue
+		}
+		reclaimed := len(v.out)
+		c.applyExpireLocked(v)
+		tickets = append(tickets, c.logLocked(journalRec{Kind: jExpire, ID: id}))
+		c.ops.expired.Inc()
+		c.ops.reclaimed.Add(int64(reclaimed))
+	}
+	c.mu.Unlock()
+	for _, t := range tickets {
+		if err := c.waitDurable(t); err != nil {
+			return len(tickets), err
+		}
+	}
+	return len(tickets), nil
+}
+
+// applyExpireLocked is the deterministic core of a lease expiry: an
+// implicit Depart plus reclamation accounting.
+func (c *Coordinator) applyExpireLocked(v *volState) {
+	v.departed = true
+	c.m.Active--
+	c.m.LeaseExpirations++
+	c.m.TasksReclaimed += int64(len(v.out))
+	c.vacateLocked(v)
+}
+
+// RunLeaseSweeper expires overdue leases every interval until ctx is
+// done. Run it in its own goroutine; a degraded coordinator makes the
+// sweep a no-op (expiry is a journaled mutation) without stopping the
+// loop, so recovery semantics stay uniform.
+func (c *Coordinator) RunLeaseSweeper(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			_, _ = c.ExpireLeases()
+		}
+	}
 }
 
 // Attribute returns the volunteer accountable for task k — the scheme's
@@ -383,10 +766,28 @@ func (c *Coordinator) AuditAll() (map[VolunteerID][]TaskID, error) {
 // row indices — the ordering §4's front end maintains, which keeps the
 // heaviest progressions on the smallest strides. Outstanding tasks follow
 // their owners via attribution overrides; past tasks keep their historical
-// attribution through the binding records.
-func (c *Coordinator) Rebalance() {
+// attribution through the binding records. The error is non-nil only on a
+// degraded coordinator.
+func (c *Coordinator) Rebalance() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if err := c.checkWritableLocked(); err != nil {
+		c.mu.Unlock()
+		c.ops.errs.Inc()
+		return err
+	}
+	var t walog.Ticket
+	if c.applyRebalanceLocked() {
+		t = c.logLocked(journalRec{Kind: jRebalance})
+	}
+	c.mu.Unlock()
+	return c.waitDurable(t)
+}
+
+// applyRebalanceLocked is the deterministic core of Rebalance (map
+// iteration feeds a total-order sort, so the outcome is a pure function
+// of state). It reports whether any row assignment changed — a no-op
+// rebalance is not journaled.
+func (c *Coordinator) applyRebalanceLocked() bool {
 	type slot struct {
 		v   *volState
 		row int64
@@ -398,7 +799,7 @@ func (c *Coordinator) Rebalance() {
 		}
 	}
 	if len(active) < 2 {
-		return
+		return false
 	}
 	rows := make([]int64, len(active))
 	for i, s := range active {
@@ -415,12 +816,17 @@ func (c *Coordinator) Rebalance() {
 		}
 		return a.id < b.id
 	})
+	changed := false
 	for i, s := range active {
 		row := rows[i]
 		if s.v.row == row {
 			continue
 		}
 		s.v.row = row
+		changed = true
+	}
+	if !changed {
+		return false
 	}
 	// Rewrite bindings and ownership after all moves are decided.
 	for i, s := range active {
@@ -433,6 +839,7 @@ func (c *Coordinator) Rebalance() {
 		// bindings; nothing to move. Orphans of the row now belong to its
 		// new owner by construction.
 	}
+	return true
 }
 
 // Row returns the current row of volunteer id (−1 if unbound).

@@ -57,7 +57,7 @@ type SimResult struct {
 // volunteerRun drives one volunteer through its task loop. It is executed
 // on its own goroutine; all coordination happens inside the Coordinator.
 func volunteerRun(c *Coordinator, p Profile, rng *rand.Rand, truth map[TaskID]bool) (VolunteerID, []VolunteerID) {
-	id := c.Register(p.Speed)
+	id := c.MustRegister(p.Speed)
 	ids := []VolunteerID{id}
 	done := 0
 	sinceArrival := 0
@@ -83,7 +83,7 @@ func volunteerRun(c *Coordinator, p Profile, rng *rand.Rand, truth map[TaskID]bo
 			if err := c.Depart(id); err != nil {
 				break
 			}
-			id = c.Register(p.Speed)
+			id = c.MustRegister(p.Speed)
 			ids = append(ids, id)
 			sinceArrival = 0
 		}

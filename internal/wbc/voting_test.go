@@ -29,7 +29,7 @@ func runVoting(t *testing.T, r int, errRates []float64, tasks int, seed int64) V
 	var vols []vol
 	for i, e := range errRates {
 		vols = append(vols, vol{
-			id:  c.Register(1),
+			id:  c.MustRegister(1),
 			rng: rand.New(rand.NewSource(seed + int64(i)*7919)),
 			e:   e,
 		})
@@ -82,8 +82,8 @@ func TestVotingAllGoodWithHonestMajority(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := v.Coordinator()
-	honest1, honest2 := c.Register(1), c.Register(1)
-	saboteur := c.Register(1)
+	honest1, honest2 := c.MustRegister(1), c.MustRegister(1)
+	saboteur := c.MustRegister(1)
 	for step := 0; step < 40; step++ {
 		for _, id := range []VolunteerID{honest1, honest2, saboteur} {
 			k, l, err := v.NextTask(id)
@@ -129,7 +129,7 @@ func TestVotingDistinctReplicas(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := v.Coordinator()
-	a, b := c.Register(1), c.Register(1)
+	a, b := c.MustRegister(1), c.MustRegister(1)
 	seen := map[int64][]VolunteerID{}
 	for step := 0; step < 10; step++ {
 		for _, id := range []VolunteerID{a, b} {
@@ -162,7 +162,7 @@ func TestVotingTieReopens(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := v.Coordinator()
-	good, bad := c.Register(1), c.Register(1)
+	good, bad := c.MustRegister(1), c.MustRegister(1)
 	for step := 0; step < 6; step++ {
 		for _, id := range []VolunteerID{good, bad} {
 			k, l, err := v.NextTask(id)
@@ -199,7 +199,7 @@ func TestVotingAuditStillWorks(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := v.Coordinator()
-	good, bad := c.Register(1), c.Register(1)
+	good, bad := c.MustRegister(1), c.MustRegister(1)
 	banned := false
 	for step := 0; step < 10 && !banned; step++ {
 		for _, id := range []VolunteerID{good, bad} {

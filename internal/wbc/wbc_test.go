@@ -29,7 +29,7 @@ func TestAllocationFollowsAPF(t *testing.T) {
 	c := newTestCoordinator(t, f, 0, 1)
 	var vols []VolunteerID
 	for i := 0; i < 5; i++ {
-		vols = append(vols, c.Register(1))
+		vols = append(vols, c.MustRegister(1))
 	}
 	for seq := int64(1); seq <= 10; seq++ {
 		for i, v := range vols {
@@ -56,7 +56,7 @@ func NewTestAPF() apf.APF { return apf.NewTHash() }
 // TestAttribution checks 𝒯⁻¹-based attribution for every issued task.
 func TestAttribution(t *testing.T) {
 	c := newTestCoordinator(t, NewTestAPF(), 0, 1)
-	v1, v2 := c.Register(1), c.Register(1)
+	v1, v2 := c.MustRegister(1), c.MustRegister(1)
 	owner := make(map[TaskID]VolunteerID)
 	for i := 0; i < 20; i++ {
 		k1, err := c.NextTask(v1)
@@ -90,7 +90,7 @@ func TestAttribution(t *testing.T) {
 // limit and its later operations fail.
 func TestAuditCatchesAndBans(t *testing.T) {
 	c := newTestCoordinator(t, NewTestAPF(), 1.0, 3)
-	v := c.Register(1)
+	v := c.MustRegister(1)
 	strikes := 0
 	for i := 0; i < 10; i++ {
 		k, err := c.NextTask(v)
@@ -124,7 +124,7 @@ func TestAuditCatchesAndBans(t *testing.T) {
 // TestHonestVolunteerNeverBanned is the complement.
 func TestHonestVolunteerNeverBanned(t *testing.T) {
 	c := newTestCoordinator(t, NewTestAPF(), 1.0, 1)
-	v := c.Register(1)
+	v := c.MustRegister(1)
 	for i := 0; i < 50; i++ {
 		k, err := c.NextTask(v)
 		if err != nil {
@@ -145,7 +145,7 @@ func TestHonestVolunteerNeverBanned(t *testing.T) {
 // overridden to the new computer.
 func TestDepartureAndRowReuse(t *testing.T) {
 	c := newTestCoordinator(t, NewTestAPF(), 0, 1)
-	v1 := c.Register(1)
+	v1 := c.MustRegister(1)
 	row1, _ := c.Row(v1)
 	// Fetch two tasks, submit only the first.
 	k1, _ := c.NextTask(v1)
@@ -159,7 +159,7 @@ func TestDepartureAndRowReuse(t *testing.T) {
 	if _, err := c.NextTask(v1); !errors.Is(err, ErrDeparted) {
 		t.Errorf("departed NextTask: %v", err)
 	}
-	v2 := c.Register(1)
+	v2 := c.MustRegister(1)
 	row2, _ := c.Row(v2)
 	if row2 != row1 {
 		t.Fatalf("newcomer got row %d, want vacated row %d", row2, row1)
@@ -188,7 +188,7 @@ func TestDepartureAndRowReuse(t *testing.T) {
 // submitter.
 func TestSubmitValidation(t *testing.T) {
 	c := newTestCoordinator(t, NewTestAPF(), 0, 1)
-	v1, v2 := c.Register(1), c.Register(1)
+	v1, v2 := c.MustRegister(1), c.MustRegister(1)
 	k, _ := c.NextTask(v1)
 	if _, err := c.Submit(v2, k, 0); !errors.Is(err, ErrNotIssuedToYou) {
 		t.Errorf("cross-submit: %v", err)
@@ -206,8 +206,8 @@ func TestSubmitValidation(t *testing.T) {
 // unchanged.
 func TestRebalanceOrdersBySpeed(t *testing.T) {
 	c := newTestCoordinator(t, NewTestAPF(), 0, 1)
-	slow := c.Register(0.1)
-	fast := c.Register(10)
+	slow := c.MustRegister(0.1)
+	fast := c.MustRegister(10)
 	rowSlow0, _ := c.Row(slow)
 	rowFast0, _ := c.Row(fast)
 	if rowSlow0 != 1 || rowFast0 != 2 {
@@ -264,7 +264,7 @@ func TestFootprintMatchesAPFTheory(t *testing.T) {
 		c := newTestCoordinator(t, f, 0, 1)
 		var vols []VolunteerID
 		for i := 0; i < V; i++ {
-			vols = append(vols, c.Register(1))
+			vols = append(vols, c.MustRegister(1))
 		}
 		for seq := 0; seq < T; seq++ {
 			for _, v := range vols {
@@ -335,9 +335,9 @@ func TestWorkloads(t *testing.T) {
 // TestReport checks the roster view against driven state.
 func TestReport(t *testing.T) {
 	c := newTestCoordinator(t, NewTestAPF(), 1.0, 1)
-	honest := c.Register(1)
-	saboteur := c.Register(1)
-	leaver := c.Register(1)
+	honest := c.MustRegister(1)
+	saboteur := c.MustRegister(1)
+	leaver := c.MustRegister(1)
 	for i := 0; i < 3; i++ {
 		k, err := c.NextTask(honest)
 		if err != nil {
