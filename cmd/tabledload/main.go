@@ -8,9 +8,15 @@
 // Usage:
 //
 //	tabledload -addr http://localhost:8080 -clients 8 -batch 128 -ops 100000
+//	tabledload -addr http://localhost:8080 -wire binary ...     # E26: binary codec
 //	tabledload -direct -backend sharded -shards 16 -clients 8 -batch 128
 //	tabledload -direct -backend sync    -clients 8 -batch 128   # E23 baseline
 //	tabledload -direct -backend hash    -clients 8 -batch 128   # §3-aside store
+//
+// In HTTP mode, -wire selects the /v1/batch encoding: "json" (the default)
+// or "binary", the length-prefixed codec specified in docs/WIRE.md. The
+// server accepts both on the same endpoint via content negotiation, so the
+// two wires can be compared against one running server (experiment E26).
 //
 // Each client issues batches of -batch cells at uniformly random positions
 // of the rows×cols table: a set-batch with probability -setfrac, else a
@@ -66,6 +72,7 @@ type driver interface {
 
 type report struct {
 	Mode     string  `json:"mode"`
+	Wire     string  `json:"wire,omitempty"`
 	Backend  string  `json:"backend"`
 	Mapping  string  `json:"mapping,omitempty"`
 	Shards   int     `json:"shards"`
@@ -103,6 +110,7 @@ func run() int {
 	seed := flag.Int64("seed", 1, "PRNG seed")
 	jsonOut := flag.Bool("json", false, "emit one JSON summary line to stdout")
 	retries := flag.Int("retries", 0, "attempts per request with jittered backoff (HTTP mode; 0 = no retries)")
+	wire := flag.String("wire", tabled.WireJSON, "batch encoding in HTTP mode: json | binary (docs/WIRE.md)")
 	seq := flag.Bool("seq", false, "sequential mode: every batch writes fresh cells with position-derived values (chaos verification)")
 	ackPath := flag.String("acklog", "", "append each acknowledged cell as 'x y v' to this file (requires -seq)")
 	checkPath := flag.String("check", "", "verify every cell in this ack log reads back with its exact value, then exit")
@@ -112,8 +120,12 @@ func run() int {
 	if *retries > 0 {
 		pol = &retry.Policy{Base: 50 * time.Millisecond, Max: 2 * time.Second, MaxAttempts: *retries}
 	}
+	if *wire != tabled.WireJSON && *wire != tabled.WireBinary {
+		fmt.Fprintf(os.Stderr, "tabledload: -wire %q: must be %q or %q\n", *wire, tabled.WireJSON, tabled.WireBinary)
+		return 2
+	}
 	if *checkPath != "" {
-		return runCheck(*addr, *checkPath, *batch, pol)
+		return runCheck(*addr, *checkPath, *batch, pol, *wire)
 	}
 	if *ackPath != "" && !*seq {
 		fmt.Fprintln(os.Stderr, "tabledload: -acklog requires -seq (random mode overwrites cells)")
@@ -132,7 +144,7 @@ func run() int {
 	if *direct {
 		d, err = newDirectDriver(*backend, *mapping, *shards, *rows, *cols)
 	} else {
-		d, err = newHTTPDriver(*addr, *rows, *cols, pol)
+		d, err = newHTTPDriver(*addr, *rows, *cols, pol, *wire)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tabledload:", err)
@@ -241,8 +253,12 @@ func run() int {
 		mode = "direct"
 	}
 	doneOps := totalBatches * int64(*batch)
+	repWire := ""
+	if !*direct {
+		repWire = *wire
+	}
 	rep := report{
-		Mode: mode, Backend: info.Backend, Mapping: info.Mapping, Shards: info.Shards,
+		Mode: mode, Wire: repWire, Backend: info.Backend, Mapping: info.Mapping, Shards: info.Shards,
 		Clients: *clients, Batch: *batch, SetFrac: *setFrac,
 		Ops: doneOps, Resizes: resizes.Load(), Errors: errCount.Load(),
 		WallMs:  float64(wall.Microseconds()) / 1000,
@@ -335,8 +351,8 @@ type httpDriver struct {
 	info tabled.Info
 }
 
-func newHTTPDriver(addr string, rows, cols int64, pol *retry.Policy) (*httpDriver, error) {
-	c := &tabled.Client{Base: addr, Retry: pol}
+func newHTTPDriver(addr string, rows, cols int64, pol *retry.Policy, wire string) (*httpDriver, error) {
+	c := &tabled.Client{Base: addr, Retry: pol, Wire: wire}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	reply, err := c.Stats(ctx)
@@ -424,7 +440,7 @@ func (a *ackLogger) close() {
 // runCheck replays an ack log against the server: every acknowledged cell
 // must read back with its exact value. Any miss is a broken durability
 // contract and a nonzero exit.
-func runCheck(addr, path string, batch int, pol *retry.Policy) int {
+func runCheck(addr, path string, batch int, pol *retry.Policy, wire string) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tabledload:", err)
@@ -465,7 +481,7 @@ func runCheck(addr, path string, batch int, pol *retry.Policy) int {
 			wants = wants[:n-1]
 		}
 	}
-	c := &tabled.Client{Base: addr, Retry: pol}
+	c := &tabled.Client{Base: addr, Retry: pol, Wire: wire}
 	ctx := context.Background()
 	lost := 0
 	for i := 0; i < len(wants); i += batch {

@@ -25,6 +25,14 @@
 //	curl localhost:8080/healthz
 //	curl localhost:8080/readyz
 //
+// /v1/batch also speaks the compact binary wire format (docs/WIRE.md):
+// POST the length-prefixed frame with Content-Type
+// application/x-tabled-batch and the response comes back in the same
+// encoding. Negotiation is per-request — JSON and binary clients share one
+// endpoint, so a fleet can migrate (or roll back) client by client with no
+// server flag. The binary path is the zero-allocation one; use it for bulk
+// loads (tabledload -wire binary).
+//
 // Backends: "sharded" (the address-striped store; the default), "sync"
 // (extarray.Sync's single RWMutex around a paged Array — the E23 baseline),
 // and "hash" (position-hashed §3-aside store behind the same mutex; no
@@ -237,7 +245,8 @@ func run() int {
 	logger.Info("serving",
 		"addr", *addr, "backend", info.Backend, "mapping", *mapping,
 		"shards", info.Shards, "rows", *rows, "cols", *cols,
-		"snapshot", *snapshot, "pprof", *pprofOn)
+		"snapshot", *snapshot, "pprof", *pprofOn,
+		"wire", "json+binary ("+tabled.ContentTypeBinary+")")
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

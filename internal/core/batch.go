@@ -1,0 +1,261 @@
+package core
+
+import "pairfn/internal/numtheory"
+
+// This file is the batch surface of the PF layer: encode or decode a whole
+// coordinate slice in one call, amortizing per-call state — prefix-cache
+// locks, shell lookups, Isqrt results — across consecutive elements. It is
+// an extension beyond the paper's text motivated by the batched table
+// service (internal/tabled), whose planner addresses every cell of a batch
+// before taking any lock: with the batch surface the addressing pass costs
+// one dynamic dispatch per batch instead of one per cell, and mappings with
+// internal state (Enumerated's shell-prefix cache) pay their mutex once.
+//
+// The contract mirrors the scalar one element-wise. On failure of element
+// i the destination is set to 0 — never a valid address or coordinate,
+// both are ≥ 1 — and errf (when non-nil) receives the element's error, so
+// callers can consume results without a parallel success mask.
+
+// A BatchEncoder is a PF that can encode a whole coordinate slice in one
+// call. Implementations must agree element-wise with Encode.
+type BatchEncoder interface {
+	PF
+	// EncodeBatch sets dst[i] to the address of ⟨xs[i], ys[i]⟩ for each i,
+	// or to 0 with errf(i, err) when that element fails. The three slices
+	// must have equal length; errf may be nil.
+	EncodeBatch(xs, ys, dst []int64, errf func(i int, err error))
+}
+
+// A BatchDecoder is a PF that can decode a whole address slice in one
+// call. Implementations must agree element-wise with Decode.
+type BatchDecoder interface {
+	PF
+	// DecodeBatch sets xs[i], ys[i] to the position stored at zs[i] for
+	// each i, or to 0, 0 with errf(i, err) when that element fails. The
+	// three slices must have equal length; errf may be nil.
+	DecodeBatch(zs, xs, ys []int64, errf func(i int, err error))
+}
+
+// EncodeBatch encodes every position through f, delegating to the
+// mapping's own EncodeBatch when implemented and falling back to a scalar
+// loop otherwise. Semantics are those of BatchEncoder.EncodeBatch.
+func EncodeBatch(f PF, xs, ys, dst []int64, errf func(i int, err error)) {
+	if be, ok := f.(BatchEncoder); ok {
+		be.EncodeBatch(xs, ys, dst, errf)
+		return
+	}
+	for i := range xs {
+		z, err := f.Encode(xs[i], ys[i])
+		if err != nil {
+			dst[i] = 0
+			if errf != nil {
+				errf(i, err)
+			}
+			continue
+		}
+		dst[i] = z
+	}
+}
+
+// DecodeBatch decodes every address through f, delegating to the mapping's
+// own DecodeBatch when implemented and falling back to a scalar loop
+// otherwise. Semantics are those of BatchDecoder.DecodeBatch.
+func DecodeBatch(f PF, zs, xs, ys []int64, errf func(i int, err error)) {
+	if bd, ok := f.(BatchDecoder); ok {
+		bd.DecodeBatch(zs, xs, ys, errf)
+		return
+	}
+	for i := range zs {
+		x, y, err := f.Decode(zs[i])
+		if err != nil {
+			xs[i], ys[i] = 0, 0
+			if errf != nil {
+				errf(i, err)
+			}
+			continue
+		}
+		xs[i], ys[i] = x, y
+	}
+}
+
+// EncodeBatch implements BatchEncoder. The scalar Encode is already pure
+// arithmetic; the batch form removes the per-element interface dispatch
+// the generic loop pays, which is what the tabled planner measures.
+func (s SquareShell) EncodeBatch(xs, ys, dst []int64, errf func(i int, err error)) {
+	for i := range xs {
+		z, err := s.Encode(xs[i], ys[i])
+		if err != nil {
+			dst[i] = 0
+			if errf != nil {
+				errf(i, err)
+			}
+			continue
+		}
+		dst[i] = z
+	}
+}
+
+// squareShellCacheMax bounds the shell index for which the cached-shell
+// fast path may compute (m+2)² and friends without overflow checks;
+// addresses in larger shells (beyond ~4.6·10¹⁸) take the scalar path.
+const squareShellCacheMax = 1 << 31
+
+// DecodeBatch implements BatchDecoder, amortizing the integer square root
+// across elements: runs of addresses that stay within one square shell —
+// or step into the next — reuse the previous shell index instead of
+// re-deriving it, so decoding a sorted address slice walks the shells.
+func (s SquareShell) DecodeBatch(zs, xs, ys []int64, errf func(i int, err error)) {
+	m := int64(-1) // current shell index; valid when ≥ 0 (addresses m²+1 … (m+1)²)
+	var lo, hi int64
+	for i, z := range zs {
+		if z < 1 {
+			xs[i], ys[i] = 0, 0
+			if errf != nil {
+				errf(i, checkAddr(z))
+			}
+			continue
+		}
+		switch {
+		case m >= 0 && z > lo && z <= hi:
+			// Same shell as the previous address.
+		case m >= 0 && m < squareShellCacheMax && z > hi && z <= hi+2*(m+1)+1:
+			// The next shell: (m+1)²+1 … (m+2)².
+			m++
+			lo, hi = m*m, (m+1)*(m+1)
+		default:
+			m = numtheory.Isqrt(z - 1)
+			if m < squareShellCacheMax {
+				lo, hi = m*m, (m+1)*(m+1)
+			} else {
+				// Too close to the int64 edge for the window arithmetic:
+				// decode this element standalone and invalidate the cache.
+				x, y, err := s.Decode(z)
+				if err != nil {
+					xs[i], ys[i] = 0, 0
+					if errf != nil {
+						errf(i, err)
+					}
+				} else {
+					xs[i], ys[i] = x, y
+				}
+				m = -1
+				continue
+			}
+		}
+		r := z - lo // 1 … 2m+1
+		var x, y int64
+		if r <= m+1 {
+			x, y = m+1, r
+		} else {
+			x, y = 2*m+2-r, m+1
+		}
+		if s.Clockwise {
+			x, y = y, x
+		}
+		xs[i], ys[i] = x, y
+	}
+}
+
+// EncodeBatch implements BatchEncoder (scalar Encode is pure arithmetic;
+// see SquareShell.EncodeBatch for why the batch form still pays).
+func (d Diagonal) EncodeBatch(xs, ys, dst []int64, errf func(i int, err error)) {
+	for i := range xs {
+		z, err := d.Encode(xs[i], ys[i])
+		if err != nil {
+			dst[i] = 0
+			if errf != nil {
+				errf(i, err)
+			}
+			continue
+		}
+		dst[i] = z
+	}
+}
+
+// DecodeBatch implements BatchDecoder, reusing the diagonal-shell index
+// across elements the same way SquareShell.DecodeBatch reuses the square
+// shell: addresses within (or adjacent to) the previous shell skip the
+// triangular-root derivation.
+func (d Diagonal) DecodeBatch(zs, xs, ys []int64, errf func(i int, err error)) {
+	k := int64(-1) // current triangular index; shell holds tri(k)+1 … tri(k+1)
+	var lo, hi int64
+	for i, z := range zs {
+		if z < 1 {
+			xs[i], ys[i] = 0, 0
+			if errf != nil {
+				errf(i, checkAddr(z))
+			}
+			continue
+		}
+		switch {
+		case k >= 0 && z > lo && z <= hi:
+			// Same diagonal as the previous address.
+		case k >= 0 && k < squareShellCacheMax && z > hi && z <= hi+k+2:
+			// The next diagonal: tri(k+1)+1 … tri(k+2).
+			k++
+			lo, hi = lo+k, hi+k+1
+		default:
+			k = numtheory.TriangularRoot(z - 1)
+			if k < squareShellCacheMax {
+				lo = k * (k + 1) / 2 // tri(k)
+				hi = lo + k + 1      // tri(k+1)
+			} else {
+				x, y, err := d.Decode(z)
+				if err != nil {
+					xs[i], ys[i] = 0, 0
+					if errf != nil {
+						errf(i, err)
+					}
+				} else {
+					xs[i], ys[i] = x, y
+				}
+				k = -1
+				continue
+			}
+		}
+		y := z - lo
+		x := k + 2 - y
+		if d.Twin {
+			x, y = y, x
+		}
+		xs[i], ys[i] = x, y
+	}
+}
+
+// EncodeBatch implements BatchEncoder: the whole batch shares one
+// acquisition of the shell-prefix cache lock, where scalar Encode pays the
+// mutex per call — the dominant cost for enumerated mappings under the
+// tabled planner.
+func (e *Enumerated) EncodeBatch(xs, ys, dst []int64, errf func(i int, err error)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := range xs {
+		z, err := e.encodeLocked(xs[i], ys[i])
+		if err != nil {
+			dst[i] = 0
+			if errf != nil {
+				errf(i, err)
+			}
+			continue
+		}
+		dst[i] = z
+	}
+}
+
+// DecodeBatch implements BatchDecoder under a single cache-lock
+// acquisition (Unrank is pure, so holding the lock across it is safe).
+func (e *Enumerated) DecodeBatch(zs, xs, ys []int64, errf func(i int, err error)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, z := range zs {
+		x, y, err := e.decodeLocked(z)
+		if err != nil {
+			xs[i], ys[i] = 0, 0
+			if errf != nil {
+				errf(i, err)
+			}
+			continue
+		}
+		xs[i], ys[i] = x, y
+	}
+}

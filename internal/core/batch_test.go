@@ -1,0 +1,232 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// batchPFs are the mappings exercised element-wise against their scalar
+// forms: the native BatchEncoder/BatchDecoder implementations plus one
+// mapping (morton) that takes the generic fallback loop.
+func batchPFs() []PF {
+	return []PF{
+		SquareShell{},
+		SquareShell{Clockwise: true},
+		Diagonal{},
+		Diagonal{Twin: true},
+		NewEnumerated(HyperbolicShells{}),
+		Morton{}, // no batch methods: covers the fallback path
+	}
+}
+
+// TestBatchMatchesScalar checks EncodeBatch/DecodeBatch agree with
+// Encode/Decode element-wise on random, sorted, and shell-walking inputs.
+func TestBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, f := range batchPFs() {
+		const n = 4096
+		xs := make([]int64, n)
+		ys := make([]int64, n)
+		zs := make([]int64, n)
+		for i := range xs {
+			xs[i] = rng.Int63n(2000) + 1
+			ys[i] = rng.Int63n(2000) + 1
+		}
+		EncodeBatch(f, xs, ys, zs, func(i int, err error) {
+			t.Fatalf("%s: EncodeBatch element %d (%d, %d): %v", f.Name(), i, xs[i], ys[i], err)
+		})
+		for i := range xs {
+			want, err := f.Encode(xs[i], ys[i])
+			if err != nil {
+				t.Fatalf("%s: Encode(%d, %d): %v", f.Name(), xs[i], ys[i], err)
+			}
+			if zs[i] != want {
+				t.Fatalf("%s: EncodeBatch(%d, %d) = %d, want %d", f.Name(), xs[i], ys[i], zs[i], want)
+			}
+		}
+		// Decode the addresses back — first in encode order (random), then
+		// sorted ascending 1..n (the shell-walking fast path), then a few
+		// runs that deliberately straddle shell boundaries.
+		gx := make([]int64, n)
+		gy := make([]int64, n)
+		checkDecode := func(zs []int64) {
+			t.Helper()
+			DecodeBatch(f, zs, gx[:len(zs)], gy[:len(zs)], func(i int, err error) {
+				t.Fatalf("%s: DecodeBatch element %d (z=%d): %v", f.Name(), i, zs[i], err)
+			})
+			for i, z := range zs {
+				wx, wy, err := f.Decode(z)
+				if err != nil {
+					t.Fatalf("%s: Decode(%d): %v", f.Name(), z, err)
+				}
+				if gx[i] != wx || gy[i] != wy {
+					t.Fatalf("%s: DecodeBatch(%d) = (%d, %d), want (%d, %d)",
+						f.Name(), z, gx[i], gy[i], wx, wy)
+				}
+			}
+		}
+		checkDecode(zs)
+		seq := make([]int64, n)
+		for i := range seq {
+			seq[i] = int64(i + 1)
+		}
+		checkDecode(seq)
+		// Shell-boundary straddles: m²-1, m², m²+1 for several m.
+		var edges []int64
+		for _, m := range []int64{2, 3, 10, 100, 1000} {
+			edges = append(edges, m*m-1, m*m, m*m+1)
+		}
+		checkDecode(edges)
+	}
+}
+
+// TestBatchNearInt64Edge pins the cached-shell fast paths near the int64
+// boundary, where the window arithmetic must defer to the scalar decode
+// instead of overflowing.
+func TestBatchNearInt64Edge(t *testing.T) {
+	const maxI64 = int64(^uint64(0) >> 1)
+	zs := []int64{maxI64, maxI64 - 1, 1, maxI64 - 2, 2, maxI64}
+	for _, f := range []PF{SquareShell{}, Diagonal{}} {
+		xs := make([]int64, len(zs))
+		ys := make([]int64, len(zs))
+		DecodeBatch(f, zs, xs, ys, func(i int, err error) {
+			t.Fatalf("%s: DecodeBatch element %d (z=%d): %v", f.Name(), i, zs[i], err)
+		})
+		for i, z := range zs {
+			wx, wy, err := f.Decode(z)
+			if err != nil {
+				t.Fatalf("%s: Decode(%d): %v", f.Name(), z, err)
+			}
+			if xs[i] != wx || ys[i] != wy {
+				t.Fatalf("%s: DecodeBatch(%d) = (%d, %d), want (%d, %d)",
+					f.Name(), z, xs[i], ys[i], wx, wy)
+			}
+		}
+	}
+}
+
+// TestBatchErrorElements checks failed elements surface through errf with
+// a zeroed destination while surrounding elements still succeed.
+func TestBatchErrorElements(t *testing.T) {
+	for _, f := range batchPFs() {
+		xs := []int64{1, 0, 2, -5, 3}
+		ys := []int64{1, 1, 2, 1, 3}
+		zs := make([]int64, len(xs))
+		var encErrs []int
+		EncodeBatch(f, xs, ys, zs, func(i int, err error) {
+			if !errors.Is(err, ErrDomain) {
+				t.Fatalf("%s: element %d: got %v, want ErrDomain", f.Name(), i, err)
+			}
+			encErrs = append(encErrs, i)
+		})
+		if len(encErrs) != 2 || encErrs[0] != 1 || encErrs[1] != 3 {
+			t.Fatalf("%s: EncodeBatch error indices = %v, want [1 3]", f.Name(), encErrs)
+		}
+		for _, i := range encErrs {
+			if zs[i] != 0 {
+				t.Fatalf("%s: failed element %d has dst %d, want 0", f.Name(), i, zs[i])
+			}
+		}
+		for _, i := range []int{0, 2, 4} {
+			want, _ := f.Encode(xs[i], ys[i])
+			if zs[i] != want {
+				t.Fatalf("%s: element %d = %d, want %d", f.Name(), i, zs[i], want)
+			}
+		}
+
+		dzs := []int64{5, 0, 7, -1, 9}
+		gx := make([]int64, len(dzs))
+		gy := make([]int64, len(dzs))
+		var decErrs []int
+		DecodeBatch(f, dzs, gx, gy, func(i int, err error) {
+			if !errors.Is(err, ErrDomain) {
+				t.Fatalf("%s: decode element %d: got %v, want ErrDomain", f.Name(), i, err)
+			}
+			decErrs = append(decErrs, i)
+		})
+		if len(decErrs) != 2 || decErrs[0] != 1 || decErrs[1] != 3 {
+			t.Fatalf("%s: DecodeBatch error indices = %v, want [1 3]", f.Name(), decErrs)
+		}
+		for _, i := range decErrs {
+			if gx[i] != 0 || gy[i] != 0 {
+				t.Fatalf("%s: failed element %d = (%d, %d), want (0, 0)", f.Name(), i, gx[i], gy[i])
+			}
+		}
+	}
+}
+
+// TestBatchNilErrf checks a nil errf is legal: failures zero the
+// destination silently.
+func TestBatchNilErrf(t *testing.T) {
+	f := SquareShell{}
+	zs := make([]int64, 2)
+	EncodeBatch(f, []int64{0, 3}, []int64{1, 4}, zs, nil)
+	if zs[0] != 0 {
+		t.Fatalf("failed element dst = %d, want 0", zs[0])
+	}
+	if want := MustEncode(f, 3, 4); zs[1] != want {
+		t.Fatalf("element 1 = %d, want %d", zs[1], want)
+	}
+	xs, ys := make([]int64, 2), make([]int64, 2)
+	DecodeBatch(f, []int64{-3, 17}, xs, ys, nil)
+	if xs[0] != 0 || ys[0] != 0 {
+		t.Fatalf("failed element = (%d, %d), want (0, 0)", xs[0], ys[0])
+	}
+}
+
+// TestBatchAllocFree pins the batch fast paths at zero allocations per
+// call on the happy path — the property the tabled zero-allocation batch
+// pipeline builds on.
+func TestBatchAllocFree(t *testing.T) {
+	const n = 256
+	xs := make([]int64, n)
+	ys := make([]int64, n)
+	zs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(i%37 + 1)
+		ys[i] = int64(i%53 + 1)
+	}
+	for _, f := range []PF{SquareShell{}, Diagonal{}} {
+		if a := testing.AllocsPerRun(100, func() {
+			EncodeBatch(f, xs, ys, zs, nil)
+		}); a != 0 {
+			t.Errorf("%s: EncodeBatch allocates %.1f per call, want 0", f.Name(), a)
+		}
+		if a := testing.AllocsPerRun(100, func() {
+			DecodeBatch(f, zs, xs, ys, nil)
+		}); a != 0 {
+			t.Errorf("%s: DecodeBatch allocates %.1f per call, want 0", f.Name(), a)
+		}
+	}
+}
+
+// BenchmarkEncodeBatch contrasts the batch surface with the scalar loop it
+// replaces (per-element interface dispatch).
+func BenchmarkEncodeBatch(b *testing.B) {
+	const n = 128
+	xs := make([]int64, n)
+	ys := make([]int64, n)
+	zs := make([]int64, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range xs {
+		xs[i] = rng.Int63n(1024) + 1
+		ys[i] = rng.Int63n(1024) + 1
+	}
+	for _, f := range []PF{SquareShell{}, Diagonal{}, NewEnumerated(HyperbolicShells{})} {
+		b.Run(f.Name()+"/batch", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				EncodeBatch(f, xs, ys, zs, nil)
+			}
+		})
+		b.Run(f.Name()+"/scalar", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for j := range xs {
+					zs[j], _ = f.Encode(xs[j], ys[j])
+				}
+			}
+		})
+	}
+}

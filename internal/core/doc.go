@@ -33,5 +33,19 @@
 // configuration fixed at construction), so all Encode/Decode/Name calls
 // are safe for concurrent use without synchronization. InstrumentPF wraps
 // a PF with lock-free atomic call counters (internal/obs) and preserves
-// this property.
+// this property. (Enumerated, which memoizes shell prefixes, guards its
+// table with a mutex and stays safe under the same contract.)
+//
+// # Batch surface
+//
+// EncodeBatch and DecodeBatch (batch.go) map whole slices through a PF in
+// one call, writing into caller-owned destination slices with zero
+// allocations. PFs implementing BatchEncoder/BatchDecoder amortize
+// per-call state across the slice — the shell walkers reuse the previous
+// element's shell when consecutive addresses land nearby, skipping the
+// Isqrt that dominates scalar Decode — and every other PF gets a correct
+// scalar-loop fallback. Failed elements are written as 0 (never a valid
+// address or coordinate, since everything is 1-based) and reported through
+// an optional callback, so error handling stays off the hot path. This is
+// the surface the tabled batch planner drives (internal/tabled).
 package core

@@ -54,10 +54,9 @@ func (e *Enumerated) Name() string { return "enumerated(" + e.part.Name() + ")" 
 // Partition returns the underlying shell partition.
 func (e *Enumerated) Partition() ShellPartition { return e.part }
 
-// prefixOf returns Σ_{j ≤ c} Size(j), extending the cache as needed.
-func (e *Enumerated) prefixOf(c int64) (int64, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+// prefixOfLocked returns Σ_{j ≤ c} Size(j), extending the cache as needed.
+// The caller must hold e.mu.
+func (e *Enumerated) prefixOfLocked(c int64) (int64, error) {
 	for int64(len(e.prefix)) <= c {
 		j := int64(len(e.prefix))
 		s, err := numtheory.AddCheck(e.prefix[j-1], e.part.Size(j))
@@ -69,8 +68,9 @@ func (e *Enumerated) prefixOf(c int64) (int64, error) {
 	return e.prefix[c], nil
 }
 
-// Encode implements PF.
-func (e *Enumerated) Encode(x, y int64) (int64, error) {
+// encodeLocked is Encode with e.mu already held (the batch path holds it
+// across a whole slice).
+func (e *Enumerated) encodeLocked(x, y int64) (int64, error) {
 	if err := checkPos(x, y); err != nil {
 		return 0, err
 	}
@@ -79,26 +79,32 @@ func (e *Enumerated) Encode(x, y int64) (int64, error) {
 		return 0, fmt.Errorf("core: partition %s returned shell %d for (%d, %d)",
 			e.part.Name(), c, x, y)
 	}
-	p, err := e.prefixOf(c - 1)
+	p, err := e.prefixOfLocked(c - 1)
 	if err != nil {
 		return 0, err
 	}
 	return numtheory.AddCheck(p, e.part.Rank(x, y))
 }
 
-// Decode implements PF: find the shell whose prefix range contains z, then
-// unrank.
-func (e *Enumerated) Decode(z int64) (int64, int64, error) {
+// Encode implements PF.
+func (e *Enumerated) Encode(x, y int64) (int64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.encodeLocked(x, y)
+}
+
+// decodeLocked is Decode with e.mu already held: find the shell whose
+// prefix range contains z, then unrank (Unrank is pure, so calling it
+// under the lock is safe).
+func (e *Enumerated) decodeLocked(z int64) (int64, int64, error) {
 	if err := checkAddr(z); err != nil {
 		return 0, 0, err
 	}
-	e.mu.Lock()
 	// Extend the cache until it covers z.
 	for e.prefix[len(e.prefix)-1] < z {
 		j := int64(len(e.prefix))
 		s, err := numtheory.AddCheck(e.prefix[j-1], e.part.Size(j))
 		if err != nil {
-			e.mu.Unlock()
 			return 0, 0, err
 		}
 		e.prefix = append(e.prefix, s)
@@ -114,9 +120,15 @@ func (e *Enumerated) Decode(z int64) (int64, int64, error) {
 		}
 	}
 	r := z - e.prefix[lo-1]
-	e.mu.Unlock()
 	x, y := e.part.Unrank(int64(lo), r)
 	return x, y, nil
+}
+
+// Decode implements PF.
+func (e *Enumerated) Decode(z int64) (int64, int64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.decodeLocked(z)
 }
 
 // DiagonalShells is the partition x + y = c+1 (shell c = diagonal x+y−1 = c,

@@ -1,0 +1,24 @@
+// Package retry implements jittered exponential backoff for the repo's
+// HTTP clients (tabled.Client, the wbcvolunteer loop). It exists because a
+// fault-tolerant server is only half of an available system: the paper's
+// extendible tables promise that growth never invalidates a client's view,
+// so a transient transport error or a 503 from a draining/degraded server
+// should be retried, not surfaced — while real rejections (4xx, bans) must
+// fail immediately.
+//
+// The policy is full jitter over a doubling cap, the scheme that avoids
+// retry synchronization between clients recovering from the same outage:
+// attempt k sleeps Uniform[0, min(Base·2^k, Max)]. Every wait honors the
+// context, and two independent caps bound the total effort: MaxAttempts
+// and MaxElapsed.
+//
+// # Classifying failures
+//
+// Do retries every error except one wrapped by Permanent, which callers
+// use to mark rejections that retrying cannot fix — 4xx statuses, frame
+// encoding errors, bans. The callers pair retries with request-level
+// idempotency (tabled's Idempotency-Key header), so a retried request
+// whose original acknowledgment was lost is answered from the server's
+// replay cache rather than applied twice; retrying is safe on both the
+// JSON and binary /v1/batch wires (docs/WIRE.md) for exactly that reason.
+package retry

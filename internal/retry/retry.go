@@ -1,16 +1,3 @@
-// Package retry implements jittered exponential backoff for the repo's
-// HTTP clients (tabled.Client, the wbcvolunteer loop). It exists because a
-// fault-tolerant server is only half of an available system: the paper's
-// extendible tables promise that growth never invalidates a client's view,
-// so a transient transport error or a 503 from a draining/degraded server
-// should be retried, not surfaced — while real rejections (4xx, bans) must
-// fail immediately.
-//
-// The policy is full jitter over a doubling cap, the scheme that avoids
-// retry synchronization between clients recovering from the same outage:
-// attempt k sleeps Uniform[0, min(Base·2^k, Max)]. Every wait honors the
-// context, and two independent caps bound the total effort: MaxAttempts
-// and MaxElapsed.
 package retry
 
 import (

@@ -23,6 +23,16 @@ type Backend[T any] interface {
 	Describe() Info
 }
 
+// BatchInto is the allocation-free face of a Backend: batch operations
+// that write outcomes into caller-owned slices (whose lengths must equal
+// the input's) instead of allocating result slices. The binary wire path
+// asserts for it and reuses pooled buffers across requests; backends
+// without it fall back to the allocating Backend methods.
+type BatchInto[T any] interface {
+	SetBatchInto(cells []Cell[T], errs []error)
+	GetBatchInto(keys []Pos, res []GetResult[T])
+}
+
 // Describe implements Backend.
 func (s *Sharded[T]) Describe() Info {
 	return Info{Backend: "sharded", Mapping: s.f.Name(), Shards: len(s.shards)}
@@ -48,16 +58,27 @@ func (b *tableBackend[T]) Describe() Info { return b.info }
 
 func (b *tableBackend[T]) SetBatch(cells []Cell[T]) []error {
 	errs := make([]error, len(cells))
-	for i, c := range cells {
-		errs[i] = b.Set(c.X, c.Y, c.V)
-	}
+	b.SetBatchInto(cells, errs)
 	return errs
 }
 
 func (b *tableBackend[T]) GetBatch(keys []Pos) []GetResult[T] {
 	res := make([]GetResult[T], len(keys))
+	b.GetBatchInto(keys, res)
+	return res
+}
+
+// SetBatchInto implements BatchInto (still one locked call per cell — the
+// contrast under test; only the result slice is caller-owned).
+func (b *tableBackend[T]) SetBatchInto(cells []Cell[T], errs []error) {
+	for i, c := range cells {
+		errs[i] = b.Set(c.X, c.Y, c.V)
+	}
+}
+
+// GetBatchInto implements BatchInto.
+func (b *tableBackend[T]) GetBatchInto(keys []Pos, res []GetResult[T]) {
 	for i, k := range keys {
 		res[i].V, res[i].OK, res[i].Err = b.Get(k.X, k.Y)
 	}
-	return res
 }

@@ -9,12 +9,25 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
+	"time"
 
 	"pairfn/internal/retry"
 )
 
+// WireBinary selects the length-prefixed binary batch codec (docs/WIRE.md)
+// on a Client; WireJSON (or empty) selects JSON. Binary batches are
+// encoded into pooled buffers and pipelined over the same persistent
+// connections — the transport-side half of the zero-allocation batch path.
+const (
+	WireJSON   = "json"
+	WireBinary = "binary"
+)
+
 // Client is the typed Go client for a tabled server. The zero HTTP field
-// uses http.DefaultClient; Base is e.g. "http://127.0.0.1:8080".
+// uses a shared pooled transport (see DefaultTransport); Base is e.g.
+// "http://127.0.0.1:8080". Wire selects the /v1/batch encoding: WireJSON
+// (the default) or WireBinary.
 //
 // With Retry set, Batch (and everything built on it) retries transport
 // failures and retryable statuses (5xx, 408, 429) under jittered
@@ -27,14 +40,46 @@ type Client struct {
 	Base  string
 	HTTP  *http.Client
 	Retry *retry.Policy
+	Wire  string // WireJSON ("" = JSON) or WireBinary
 }
+
+// DefaultTransport is the pooled transport zero-HTTP Clients share.
+// http.DefaultTransport keeps only 2 idle connections per host
+// (DefaultMaxIdleConnsPerHost), so a loadgen driving N ≫ 2 concurrent
+// batches at one server closes and re-dials N−2 connections per round —
+// measurable dial/TLS churn on exactly the hot path the binary codec
+// speeds up. Pinning MaxIdleConnsPerHost at MaxConcurrentBatchConns keeps
+// every worker's connection alive between batches (the regression test
+// counts dials).
+var DefaultTransport = newPooledTransport()
+
+// MaxConcurrentBatchConns is the per-host idle-connection pool size of
+// DefaultTransport: the number of concurrent Batch streams one process can
+// sustain without re-dialing between batches.
+const MaxConcurrentBatchConns = 256
+
+func newPooledTransport() *http.Transport {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConnsPerHost = MaxConcurrentBatchConns
+	t.MaxIdleConns = MaxConcurrentBatchConns
+	t.IdleConnTimeout = 90 * time.Second
+	return t
+}
+
+// defaultHTTPClient wraps DefaultTransport for zero-HTTP Clients.
+var defaultHTTPClient = &http.Client{Transport: DefaultTransport}
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
 }
+
+// frameBufPool recycles binary request frames across Batch calls: encoding
+// reuses the pooled capacity, so a steady-state binary Batch allocates
+// nothing for its request body.
+var frameBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // newIdemKey returns a fresh 128-bit idempotency key.
 func newIdemKey() string {
@@ -58,17 +103,33 @@ func retryableStatus(code int) bool {
 // after any configured retries); per-op failures are reported in each
 // OpResult.Err.
 func (c *Client) Batch(ctx context.Context, ops []Op) ([]OpResult, error) {
-	body, err := json.Marshal(BatchRequest{Ops: ops})
-	if err != nil {
-		return nil, err
+	var (
+		body        []byte
+		contentType string
+		err         error
+	)
+	if c.Wire == WireBinary {
+		buf := frameBufPool.Get().(*[]byte)
+		defer frameBufPool.Put(buf)
+		*buf, err = AppendBatchRequest((*buf)[:0], ops)
+		if err != nil {
+			return nil, err
+		}
+		body, contentType = *buf, ContentTypeBinary
+	} else {
+		body, err = json.Marshal(BatchRequest{Ops: ops})
+		if err != nil {
+			return nil, err
+		}
+		contentType = "application/json"
 	}
 	key := newIdemKey()
 	if c.Retry == nil {
-		return c.batchOnce(ctx, body, key, len(ops))
+		return c.batchOnce(ctx, body, contentType, key, len(ops))
 	}
 	var res []OpResult
 	err = c.Retry.Do(ctx, func(ctx context.Context) error {
-		r, err := c.batchOnce(ctx, body, key, len(ops))
+		r, err := c.batchOnce(ctx, body, contentType, key, len(ops))
 		if err != nil {
 			return err
 		}
@@ -80,12 +141,12 @@ func (c *Client) Batch(ctx context.Context, ops []Op) ([]OpResult, error) {
 
 // batchOnce performs one POST /v1/batch attempt. Non-retryable statuses
 // come back marked retry.Permanent.
-func (c *Client) batchOnce(ctx context.Context, body []byte, key string, nops int) ([]OpResult, error) {
+func (c *Client) batchOnce(ctx context.Context, body []byte, contentType, key string, nops int) ([]OpResult, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/batch", bytes.NewReader(body))
 	if err != nil {
 		return nil, retry.Permanent(err)
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
 	if key != "" {
 		req.Header.Set(IdempotencyKeyHeader, key)
 	}
@@ -101,6 +162,25 @@ func (c *Client) batchOnce(ctx context.Context, body []byte, key string, nops in
 			return nil, retry.Permanent(err)
 		}
 		return nil, err
+	}
+	if contentType == ContentTypeBinary {
+		// Read the whole frame, then decode aliasing it: the buffer is
+		// freshly owned by this response, so the results stay valid for as
+		// long as the caller keeps them — no pooling on the decode side.
+		frame, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, fmt.Errorf("%w: reading response: %v", ErrRemote, err)
+		}
+		results, err := DecodeBatchResponse(frame, nil, 0)
+		if err != nil {
+			// A truncated or garbled frame fails the CRC; retrying is safe
+			// because the idempotency key replays the recorded response.
+			return nil, fmt.Errorf("%w: decoding response: %v", ErrRemote, err)
+		}
+		if len(results) != nops {
+			return nil, fmt.Errorf("%w: %d results for %d ops", ErrRemote, len(results), nops)
+		}
+		return results, nil
 	}
 	var br BatchResponse
 	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {

@@ -1,0 +1,403 @@
+package tabled
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"unsafe"
+
+	"pairfn/internal/extarray"
+)
+
+// This file is the binary wire codec for /v1/batch — the transport-side
+// answer to the paper's thesis that cheap encode/decode belongs on the hot
+// path. E23/E24 showed tabled throughput is JSON+HTTP bound, not store
+// bound, so the batch body gets the same output-size discipline the PFs
+// themselves have: a length-prefixed, CRC32C-guarded frame (the
+// extarray/framelog idiom) carrying varint-packed ops, encoded and decoded
+// with zero allocations in steady state. docs/WIRE.md is the normative
+// spec; TestWireSpecExamples pins the byte-level examples there to this
+// implementation.
+//
+// Aliasing contract: decoded strings (Op.V, OpResult.V, OpResult.Err)
+// alias the frame buffer — that is what makes decode allocation-free. They
+// are valid only until the caller reuses the buffer; anything retained
+// beyond that (e.g. a value stored into the table) must be cloned first.
+
+// ContentTypeBinary is the media type that selects the binary batch codec
+// on /v1/batch; requests carrying it get a binary response with the same
+// Content-Type. Anything else is treated as JSON.
+const ContentTypeBinary = "application/x-tabled-batch"
+
+// WireVersion is the frame payload version byte. Decoders reject other
+// versions; see docs/WIRE.md for the compatibility rules.
+const WireVersion = 1
+
+// MaxWirePayload caps one batch frame payload, mirroring
+// extarray.MaxFramePayload so a corrupt length prefix can never make a
+// reader allocate unbounded memory.
+const MaxWirePayload = extarray.MaxFramePayload
+
+// wireHeaderSize is the fixed frame overhead: 4-byte little-endian payload
+// length + 4-byte CRC32-Castagnoli of the payload.
+const wireHeaderSize = 8
+
+// wireCastagnoli is the CRC32C table for batch frames (the polynomial with
+// hardware support on amd64/arm64, as in extarray/framelog).
+var wireCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrBadFrame reports a binary batch frame that failed validation:
+// truncation, a CRC mismatch, an unknown version, kind, or flag bit, or a
+// field that runs past the payload. Decoders fail closed — no partially
+// decoded batch is ever returned alongside a nil error.
+var ErrBadFrame = errors.New("tabled: bad binary batch frame")
+
+// Binary op kinds (docs/WIRE.md §3).
+const (
+	wireOpSet    = byte(1)
+	wireOpGet    = byte(2)
+	wireOpResize = byte(3)
+	wireOpDims   = byte(4)
+	wireOpStats  = byte(5)
+)
+
+// Binary result flag bits (docs/WIRE.md §4). Bits 6–7 are reserved and
+// must be zero.
+const (
+	wireResOK       = byte(1 << 0)
+	wireResFound    = byte(1 << 1)
+	wireResHasValue = byte(1 << 2)
+	wireResHasDims  = byte(1 << 3)
+	wireResHasStats = byte(1 << 4)
+	wireResHasErr   = byte(1 << 5)
+	wireResKnown    = wireResOK | wireResFound | wireResHasValue | wireResHasDims | wireResHasStats | wireResHasErr
+)
+
+// aliasString returns a string sharing b's bytes without copying — the
+// decode-side zero-allocation primitive. The result is only as immutable
+// as the caller's discipline over b (see the aliasing contract above).
+func aliasString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// beginFrame reserves the 8-byte header in dst and returns the buffer with
+// the payload start recorded by the caller as len(dst).
+func beginFrame(dst []byte) []byte {
+	return append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+}
+
+// finishFrame back-fills the header for the payload dst[start:] and
+// returns the completed frame.
+func finishFrame(dst []byte, start int) ([]byte, error) {
+	payload := dst[start:]
+	if len(payload) > MaxWirePayload {
+		return nil, fmt.Errorf("%w: payload of %d bytes exceeds %d", ErrBadFrame, len(payload), int64(MaxWirePayload))
+	}
+	hdr := dst[start-wireHeaderSize : start]
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, wireCastagnoli))
+	return dst, nil
+}
+
+// checkFrame validates the header of a complete frame and returns its
+// payload (aliasing frame).
+func checkFrame(frame []byte) ([]byte, error) {
+	if len(frame) < wireHeaderSize {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the frame header", ErrBadFrame, len(frame))
+	}
+	n := binary.LittleEndian.Uint32(frame[0:4])
+	if n > MaxWirePayload {
+		return nil, fmt.Errorf("%w: length prefix %d exceeds %d", ErrBadFrame, n, int64(MaxWirePayload))
+	}
+	payload := frame[wireHeaderSize:]
+	if uint32(len(payload)) != n {
+		return nil, fmt.Errorf("%w: %d payload bytes, length prefix says %d", ErrBadFrame, len(payload), n)
+	}
+	if got, want := crc32.Checksum(payload, wireCastagnoli), binary.LittleEndian.Uint32(frame[4:8]); got != want {
+		return nil, fmt.Errorf("%w: CRC mismatch (computed %08x, frame says %08x)", ErrBadFrame, got, want)
+	}
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("%w: empty payload", ErrBadFrame)
+	}
+	if payload[0] != WireVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d (this codec speaks %d)", ErrBadFrame, payload[0], WireVersion)
+	}
+	return payload[1:], nil
+}
+
+// AppendBatchRequest appends the complete binary frame for ops to dst and
+// returns the extended buffer. Encoding allocates only when dst lacks
+// capacity, so a pooled buffer reaches zero allocations in steady state.
+// Unknown op kinds are an error (the server-side JSON path reports them
+// per-op instead; the binary encoder refuses to put them on the wire).
+func AppendBatchRequest(dst []byte, ops []Op) ([]byte, error) {
+	dst = beginFrame(dst)
+	start := len(dst)
+	dst = append(dst, WireVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(ops)))
+	for i := range ops {
+		op := &ops[i]
+		switch op.Op {
+		case "set":
+			dst = append(dst, wireOpSet)
+			dst = binary.AppendVarint(dst, op.X)
+			dst = binary.AppendVarint(dst, op.Y)
+			dst = binary.AppendUvarint(dst, uint64(len(op.V)))
+			dst = append(dst, op.V...)
+		case "get":
+			dst = append(dst, wireOpGet)
+			dst = binary.AppendVarint(dst, op.X)
+			dst = binary.AppendVarint(dst, op.Y)
+		case "resize":
+			dst = append(dst, wireOpResize)
+			dst = binary.AppendVarint(dst, op.Rows)
+			dst = binary.AppendVarint(dst, op.Cols)
+		case "dims":
+			dst = append(dst, wireOpDims)
+		case "stats":
+			dst = append(dst, wireOpStats)
+		default:
+			return nil, fmt.Errorf("%w: op %d has unknown kind %q", ErrBadFrame, i, op.Op)
+		}
+	}
+	return finishFrame(dst, start)
+}
+
+// wireVarint reads one signed varint, failing closed.
+func wireVarint(rest []byte, what string) (int64, []byte, error) {
+	v, n := binary.Varint(rest)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad %s varint", ErrBadFrame, what)
+	}
+	return v, rest[n:], nil
+}
+
+// wireUvarint reads one unsigned varint, failing closed.
+func wireUvarint(rest []byte, what string) (uint64, []byte, error) {
+	v, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad %s uvarint", ErrBadFrame, what)
+	}
+	return v, rest[n:], nil
+}
+
+// wireBytes reads a uvarint-prefixed byte string, aliasing rest. (The
+// length-prefix error message is built inline rather than via wireUvarint
+// so the happy path performs no string concatenation.)
+func wireBytes(rest []byte, what string) ([]byte, []byte, error) {
+	n, k := binary.Uvarint(rest)
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("%w: bad %s length uvarint", ErrBadFrame, what)
+	}
+	rest = rest[k:]
+	if n > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("%w: %s of %d bytes overruns the payload", ErrBadFrame, what, n)
+	}
+	return rest[:n], rest[n:], nil
+}
+
+// DecodeBatchRequest decodes a complete binary request frame, appending
+// the ops to ops[:0] (pass nil to allocate; pass a scratch slice to reuse
+// its capacity and decode allocation-free). Decoded values alias frame —
+// see the aliasing contract. maxOps bounds the declared op count before
+// any slice growth, so a hostile count cannot force an allocation spike.
+func DecodeBatchRequest(frame []byte, ops []Op, maxOps int) ([]Op, error) {
+	rest, err := checkFrame(frame)
+	if err != nil {
+		return nil, err
+	}
+	count, rest, err := wireUvarint(rest, "op count")
+	if err != nil {
+		return nil, err
+	}
+	// Every op is at least one byte, so a count beyond the remaining bytes
+	// is corrupt regardless of maxOps.
+	if count > uint64(len(rest)) {
+		return nil, fmt.Errorf("%w: op count %d exceeds payload", ErrBadFrame, count)
+	}
+	if maxOps > 0 && count > uint64(maxOps) {
+		return nil, fmt.Errorf("%w: op count %d exceeds limit %d", ErrBadFrame, count, maxOps)
+	}
+	ops = ops[:0]
+	for i := uint64(0); i < count; i++ {
+		if len(rest) == 0 {
+			return nil, fmt.Errorf("%w: payload ends at op %d of %d", ErrBadFrame, i, count)
+		}
+		kind := rest[0]
+		rest = rest[1:]
+		var op Op
+		switch kind {
+		case wireOpSet:
+			op.Op = "set"
+			if op.X, rest, err = wireVarint(rest, "set x"); err != nil {
+				return nil, err
+			}
+			if op.Y, rest, err = wireVarint(rest, "set y"); err != nil {
+				return nil, err
+			}
+			var v []byte
+			if v, rest, err = wireBytes(rest, "set value"); err != nil {
+				return nil, err
+			}
+			op.V = aliasString(v)
+		case wireOpGet:
+			op.Op = "get"
+			if op.X, rest, err = wireVarint(rest, "get x"); err != nil {
+				return nil, err
+			}
+			if op.Y, rest, err = wireVarint(rest, "get y"); err != nil {
+				return nil, err
+			}
+		case wireOpResize:
+			op.Op = "resize"
+			if op.Rows, rest, err = wireVarint(rest, "resize rows"); err != nil {
+				return nil, err
+			}
+			if op.Cols, rest, err = wireVarint(rest, "resize cols"); err != nil {
+				return nil, err
+			}
+		case wireOpDims:
+			op.Op = "dims"
+		case wireOpStats:
+			op.Op = "stats"
+		default:
+			return nil, fmt.Errorf("%w: unknown op kind %d at op %d", ErrBadFrame, kind, i)
+		}
+		ops = append(ops, op)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after %d ops", ErrBadFrame, len(rest), count)
+	}
+	return ops, nil
+}
+
+// AppendBatchResponse appends the complete binary frame for results to dst
+// and returns the extended buffer; allocation behavior matches
+// AppendBatchRequest.
+func AppendBatchResponse(dst []byte, results []OpResult) ([]byte, error) {
+	dst = beginFrame(dst)
+	start := len(dst)
+	dst = append(dst, WireVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(results)))
+	for i := range results {
+		r := &results[i]
+		flags := byte(0)
+		if r.OK {
+			flags |= wireResOK
+		}
+		if r.Found {
+			flags |= wireResFound
+		}
+		if r.V != "" || r.Found {
+			flags |= wireResHasValue
+		}
+		if r.Rows != 0 || r.Cols != 0 {
+			flags |= wireResHasDims
+		}
+		if r.Stats != nil {
+			flags |= wireResHasStats
+		}
+		if r.Err != "" {
+			flags |= wireResHasErr
+		}
+		dst = append(dst, flags)
+		if flags&wireResHasValue != 0 {
+			dst = binary.AppendUvarint(dst, uint64(len(r.V)))
+			dst = append(dst, r.V...)
+		}
+		if flags&wireResHasDims != 0 {
+			dst = binary.AppendVarint(dst, r.Rows)
+			dst = binary.AppendVarint(dst, r.Cols)
+		}
+		if flags&wireResHasStats != 0 {
+			dst = binary.AppendVarint(dst, r.Stats.Moves)
+			dst = binary.AppendVarint(dst, r.Stats.Reshapes)
+			dst = binary.AppendVarint(dst, r.Stats.Footprint)
+		}
+		if flags&wireResHasErr != 0 {
+			dst = binary.AppendUvarint(dst, uint64(len(r.Err)))
+			dst = append(dst, r.Err...)
+		}
+	}
+	return finishFrame(dst, start)
+}
+
+// DecodeBatchResponse decodes a complete binary response frame, appending
+// the results to results[:0] (same reuse and aliasing semantics as
+// DecodeBatchRequest). Stats results allocate their *extarray.Stats — the
+// one pointer the JSON response shape carries; batches on the hot path do
+// not include stats ops.
+func DecodeBatchResponse(frame []byte, results []OpResult, maxResults int) ([]OpResult, error) {
+	rest, err := checkFrame(frame)
+	if err != nil {
+		return nil, err
+	}
+	count, rest, err := wireUvarint(rest, "result count")
+	if err != nil {
+		return nil, err
+	}
+	if count > uint64(len(rest)) {
+		return nil, fmt.Errorf("%w: result count %d exceeds payload", ErrBadFrame, count)
+	}
+	if maxResults > 0 && count > uint64(maxResults) {
+		return nil, fmt.Errorf("%w: result count %d exceeds limit %d", ErrBadFrame, count, maxResults)
+	}
+	results = results[:0]
+	for i := uint64(0); i < count; i++ {
+		if len(rest) == 0 {
+			return nil, fmt.Errorf("%w: payload ends at result %d of %d", ErrBadFrame, i, count)
+		}
+		flags := rest[0]
+		rest = rest[1:]
+		if flags&^wireResKnown != 0 {
+			return nil, fmt.Errorf("%w: unknown flag bits %02x at result %d", ErrBadFrame, flags&^wireResKnown, i)
+		}
+		var r OpResult
+		r.OK = flags&wireResOK != 0
+		r.Found = flags&wireResFound != 0
+		if flags&wireResHasValue != 0 {
+			var v []byte
+			if v, rest, err = wireBytes(rest, "result value"); err != nil {
+				return nil, err
+			}
+			r.V = aliasString(v)
+		}
+		if flags&wireResHasDims != 0 {
+			if r.Rows, rest, err = wireVarint(rest, "result rows"); err != nil {
+				return nil, err
+			}
+			if r.Cols, rest, err = wireVarint(rest, "result cols"); err != nil {
+				return nil, err
+			}
+		}
+		if flags&wireResHasStats != 0 {
+			st := new(extarray.Stats)
+			if st.Moves, rest, err = wireVarint(rest, "stats moves"); err != nil {
+				return nil, err
+			}
+			if st.Reshapes, rest, err = wireVarint(rest, "stats reshapes"); err != nil {
+				return nil, err
+			}
+			if st.Footprint, rest, err = wireVarint(rest, "stats footprint"); err != nil {
+				return nil, err
+			}
+			r.Stats = st
+		}
+		if flags&wireResHasErr != 0 {
+			var e []byte
+			if e, rest, err = wireBytes(rest, "result error"); err != nil {
+				return nil, err
+			}
+			r.Err = aliasString(e)
+		}
+		results = append(results, r)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after %d results", ErrBadFrame, len(rest), count)
+	}
+	return results, nil
+}

@@ -1,0 +1,319 @@
+package tabled
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pairfn/internal/extarray"
+)
+
+// codecOps is a batch exercising every op kind and the field edge cases
+// (empty value, negative coordinates, zero dims).
+func codecOps() []Op {
+	return []Op{
+		{Op: "set", X: 1, Y: 2, V: "hello"},
+		{Op: "set", X: 1 << 40, Y: 3, V: ""},
+		{Op: "set", X: -7, Y: -1, V: "negative positions still travel"},
+		{Op: "get", X: 1, Y: 2},
+		{Op: "get", X: 1 << 62, Y: 1},
+		{Op: "resize", Rows: 4096, Cols: 512},
+		{Op: "resize", Rows: 0, Cols: 0},
+		{Op: "dims"},
+		{Op: "stats"},
+	}
+}
+
+func codecResults() []OpResult {
+	return []OpResult{
+		{OK: true},
+		{OK: true, Found: true, V: "payload"},
+		{OK: true, Found: true, V: ""},
+		{OK: true, Found: false},
+		{OK: true, Rows: 2048, Cols: 1024},
+		{OK: true, Stats: &extarray.Stats{Moves: 3, Reshapes: 7, Footprint: 1 << 50}},
+		{Err: "core: int64 overflow"},
+		{OK: false, Err: strings.Repeat("e", 300)},
+	}
+}
+
+func TestBatchCodecRoundTrip(t *testing.T) {
+	ops := codecOps()
+	frame, err := AppendBatchRequest(nil, ops)
+	if err != nil {
+		t.Fatalf("AppendBatchRequest: %v", err)
+	}
+	got, err := DecodeBatchRequest(frame, nil, 0)
+	if err != nil {
+		t.Fatalf("DecodeBatchRequest: %v", err)
+	}
+	if !reflect.DeepEqual(got, ops) {
+		t.Fatalf("request round trip:\n got %+v\nwant %+v", got, ops)
+	}
+
+	results := codecResults()
+	rframe, err := AppendBatchResponse(nil, results)
+	if err != nil {
+		t.Fatalf("AppendBatchResponse: %v", err)
+	}
+	rgot, err := DecodeBatchResponse(rframe, nil, 0)
+	if err != nil {
+		t.Fatalf("DecodeBatchResponse: %v", err)
+	}
+	if !reflect.DeepEqual(rgot, results) {
+		t.Fatalf("response round trip:\n got %+v\nwant %+v", rgot, results)
+	}
+}
+
+// TestBatchCodecFailsClosed flips every byte of a valid frame and cuts it
+// at every length: each mutation must yield ErrBadFrame, never a silently
+// wrong batch — the CRC plus the exact length prefix leave no blind spot.
+func TestBatchCodecFailsClosed(t *testing.T) {
+	frame, err := AppendBatchRequest(nil, codecOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range frame {
+		for _, bit := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), frame...)
+			mut[i] ^= bit
+			if _, err := DecodeBatchRequest(mut, nil, 0); !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("flip byte %d bit %02x: err = %v, want ErrBadFrame", i, bit, err)
+			}
+		}
+	}
+	for k := 0; k < len(frame); k++ {
+		if _, err := DecodeBatchRequest(frame[:k], nil, 0); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("truncate to %d bytes: err = %v, want ErrBadFrame", k, err)
+		}
+	}
+	rframe, err := AppendBatchResponse(nil, codecResults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rframe {
+		mut := append([]byte(nil), rframe...)
+		mut[i] ^= 0x01
+		if _, err := DecodeBatchResponse(mut, nil, 0); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("response flip byte %d: err = %v, want ErrBadFrame", i, err)
+		}
+	}
+	for k := 0; k < len(rframe); k++ {
+		if _, err := DecodeBatchResponse(rframe[:k], nil, 0); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("response truncate to %d: err = %v, want ErrBadFrame", k, err)
+		}
+	}
+}
+
+func TestBatchCodecLimits(t *testing.T) {
+	ops := make([]Op, 10)
+	for i := range ops {
+		ops[i] = Op{Op: "get", X: int64(i + 1), Y: 1}
+	}
+	frame, err := AppendBatchRequest(nil, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeBatchRequest(frame, nil, 9); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("op count over maxOps: err = %v, want ErrBadFrame", err)
+	}
+	if _, err := DecodeBatchRequest(frame, nil, 10); err != nil {
+		t.Fatalf("op count at maxOps: %v", err)
+	}
+	if _, err := AppendBatchRequest(nil, []Op{{Op: "sett", X: 1, Y: 1}}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("unknown kind encode: err = %v, want ErrBadFrame", err)
+	}
+}
+
+// TestBatchCodecAllocFree pins the steady-state encode and decode paths at
+// zero allocations per frame — the guardrail the binary hot path depends
+// on. (Stats results are excluded: their *extarray.Stats is the one
+// documented allocation, and stats ops are not hot-path traffic.)
+func TestBatchCodecAllocFree(t *testing.T) {
+	ops := codecOps()
+	results := codecResults()[:5] // no stats result
+	frame, err := AppendBatchRequest(nil, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rframe, err := AppendBatchResponse(nil, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encBuf := make([]byte, 0, len(frame)+64)
+	if a := testing.AllocsPerRun(200, func() {
+		if _, err := AppendBatchRequest(encBuf[:0], ops); err != nil {
+			t.Fatal(err)
+		}
+	}); a != 0 {
+		t.Errorf("AppendBatchRequest allocates %.1f per frame, want 0", a)
+	}
+	rencBuf := make([]byte, 0, len(rframe)+64)
+	if a := testing.AllocsPerRun(200, func() {
+		if _, err := AppendBatchResponse(rencBuf[:0], results); err != nil {
+			t.Fatal(err)
+		}
+	}); a != 0 {
+		t.Errorf("AppendBatchResponse allocates %.1f per frame, want 0", a)
+	}
+	opScratch := make([]Op, 0, len(ops))
+	if a := testing.AllocsPerRun(200, func() {
+		var err error
+		opScratch, err = DecodeBatchRequest(frame, opScratch, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); a != 0 {
+		t.Errorf("DecodeBatchRequest allocates %.1f per frame, want 0", a)
+	}
+	resScratch := make([]OpResult, 0, len(results))
+	if a := testing.AllocsPerRun(200, func() {
+		var err error
+		resScratch, err = DecodeBatchResponse(rframe, resScratch, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); a != 0 {
+		t.Errorf("DecodeBatchResponse allocates %.1f per frame, want 0", a)
+	}
+}
+
+// fuzzOps derives a deterministic op batch from fuzz input bytes.
+func fuzzOps(data []byte) []Op {
+	rng := rand.New(rand.NewSource(int64(len(data))))
+	var ops []Op
+	for _, b := range data {
+		var op Op
+		switch b % 5 {
+		case 0:
+			n := int(b) % (len(data) + 1)
+			op = Op{Op: "set", X: rng.Int63() - rng.Int63(), Y: rng.Int63(), V: string(data[:n])}
+		case 1:
+			op = Op{Op: "get", X: rng.Int63() - rng.Int63(), Y: rng.Int63() - rng.Int63()}
+		case 2:
+			op = Op{Op: "resize", Rows: rng.Int63(), Cols: rng.Int63()}
+		case 3:
+			op = Op{Op: "dims"}
+		case 4:
+			op = Op{Op: "stats"}
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// FuzzBatchCodec checks two properties on arbitrary input: (1) any byte
+// string fed to the decoders either round-trips or fails closed with
+// ErrBadFrame — no panics, no partially decoded batches; (2) batches
+// derived from the input always satisfy decode(encode(x)) == x.
+func FuzzBatchCodec(f *testing.F) {
+	seed, _ := AppendBatchRequest(nil, codecOps())
+	f.Add(seed)
+	rseed, _ := AppendBatchResponse(nil, codecResults())
+	f.Add(rseed)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if ops, err := DecodeBatchRequest(data, nil, 0); err == nil {
+			re, err := AppendBatchRequest(nil, ops)
+			if err != nil {
+				t.Fatalf("re-encode of decoded ops failed: %v", err)
+			}
+			ops2, err := DecodeBatchRequest(re, nil, 0)
+			if err != nil || !reflect.DeepEqual(ops, ops2) {
+				t.Fatalf("request not canonical under re-encode: %v", err)
+			}
+		} else if !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("request decode error %v is not ErrBadFrame", err)
+		}
+		if results, err := DecodeBatchResponse(data, nil, 0); err == nil {
+			re, err := AppendBatchResponse(nil, results)
+			if err != nil {
+				t.Fatalf("re-encode of decoded results failed: %v", err)
+			}
+			res2, err := DecodeBatchResponse(re, nil, 0)
+			if err != nil || !reflect.DeepEqual(results, res2) {
+				t.Fatalf("response not canonical under re-encode: %v", err)
+			}
+		} else if !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("response decode error %v is not ErrBadFrame", err)
+		}
+
+		ops := fuzzOps(data)
+		frame, err := AppendBatchRequest(nil, ops)
+		if err != nil {
+			t.Fatalf("encode of generated ops: %v", err)
+		}
+		got, err := DecodeBatchRequest(frame, nil, 0)
+		if err != nil {
+			t.Fatalf("decode of generated ops: %v", err)
+		}
+		if len(got) != len(ops) || (len(ops) > 0 && !reflect.DeepEqual(got, ops)) {
+			t.Fatalf("decode(encode(x)) != x:\n got %+v\nwant %+v", got, ops)
+		}
+	})
+}
+
+// TestBatchCodecAliasing documents the aliasing contract: decoded strings
+// share the frame's bytes, so mutating the frame mutates them.
+func TestBatchCodecAliasing(t *testing.T) {
+	frame, err := AppendBatchRequest(nil, []Op{{Op: "set", X: 1, Y: 1, V: "aaaa"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := DecodeBatchRequest(frame, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := bytes.Index(frame, []byte("aaaa"))
+	if idx < 0 {
+		t.Fatal("value bytes not found in frame")
+	}
+	frame[idx] = 'b'
+	if ops[0].V != "baaa" {
+		t.Fatalf("decoded value %q does not alias the frame", ops[0].V)
+	}
+	// strings.Clone is the documented escape hatch for retained values.
+	if c := strings.Clone(ops[0].V); c != "baaa" {
+		t.Fatalf("clone = %q", c)
+	}
+}
+
+func BenchmarkBatchCodec(b *testing.B) {
+	ops := make([]Op, 128)
+	for i := range ops {
+		if i%2 == 0 {
+			ops[i] = Op{Op: "set", X: int64(i + 1), Y: int64(2*i + 1), V: fmt.Sprintf("value-%d", i)}
+		} else {
+			ops[i] = Op{Op: "get", X: int64(i + 1), Y: int64(i + 2)}
+		}
+	}
+	frame, err := AppendBatchRequest(nil, ops)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("encode", func(b *testing.B) {
+		b.ReportAllocs()
+		buf := make([]byte, 0, len(frame))
+		for i := 0; i < b.N; i++ {
+			if _, err := AppendBatchRequest(buf[:0], ops); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.ReportAllocs()
+		scratch := make([]Op, 0, len(ops))
+		for i := 0; i < b.N; i++ {
+			var err error
+			scratch, err = DecodeBatchRequest(frame, scratch, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -46,6 +46,22 @@
 // stats ops, plus /v1/stats, /v1/snapshot, and the standard /metrics,
 // /healthz, /readyz from internal/obs.
 //
+// /v1/batch speaks two wires, selected per request by Content-Type: JSON
+// (the default) and the compact binary frame format specified normatively
+// in docs/WIRE.md (codec.go; Content-Type application/x-tabled-batch). The
+// binary path is the zero-allocation one: the server decodes ops and
+// encodes results in pooled scratch (server.go), plans shard routing with
+// the batched core.EncodeBatch surface (sharded.go), and executes through
+// the BatchInto interfaces into caller-owned slices — in steady state a
+// get batch is served end to end with zero heap allocations, and a set
+// batch with exactly one per op (the clone of the stored value out of the
+// pooled request buffer). tabled.Client selects the wire with its Wire
+// field and reuses pooled request frames over a pooled transport
+// (DefaultTransport pins per-host idle connections at
+// MaxConcurrentBatchConns, where net/http's default of 2 would re-dial
+// under concurrent load). EXPERIMENTS.md E26 measures the two wires
+// head to head.
+//
 // # Durability model
 //
 // With a WAL configured (wal.go), the contract strengthens from "the last
@@ -75,7 +91,7 @@
 // tabledserver's -faults flag, and is zero-cost when disabled.
 //
 // See cmd/tabledserver (the daemon), cmd/tabledload (the concurrent load
-// generator, E23 experiment driver, and chaos-verification harness; see
-// scripts/chaos_smoke.sh), and EXPERIMENTS.md E24 for the measured cost
-// of the fsync-per-ack contract.
+// generator, E23/E26 experiment driver, and chaos-verification harness;
+// see scripts/chaos_smoke.sh and scripts/wire_smoke.sh), and
+// EXPERIMENTS.md E24 for the measured cost of the fsync-per-ack contract.
 package tabled

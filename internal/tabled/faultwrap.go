@@ -234,6 +234,38 @@ func (f *faultBackend) GetBatch(keys []Pos) []GetResult[string] {
 	return f.b.GetBatch(keys)
 }
 
+// SetBatchInto implements BatchInto so a fault-wrapped backend keeps the
+// zero-allocation server path (modulo the injected fault roll).
+func (f *faultBackend) SetBatchInto(cells []Cell[string], errs []error) {
+	if err := f.roll(); err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return
+	}
+	if bi, ok := f.b.(BatchInto[string]); ok {
+		bi.SetBatchInto(cells, errs)
+		return
+	}
+	copy(errs, f.b.SetBatch(cells))
+}
+
+// GetBatchInto implements BatchInto.
+func (f *faultBackend) GetBatchInto(keys []Pos, res []GetResult[string]) {
+	if err := f.roll(); err != nil {
+		clear(res)
+		for i := range res {
+			res[i].Err = err
+		}
+		return
+	}
+	if bi, ok := f.b.(BatchInto[string]); ok {
+		bi.GetBatchInto(keys, res)
+		return
+	}
+	copy(res, f.b.GetBatch(keys))
+}
+
 // faultFile injects torn writes and sync failures in front of a WALFile.
 type faultFile struct {
 	f  WALFile

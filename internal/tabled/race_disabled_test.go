@@ -1,0 +1,5 @@
+//go:build !race
+
+package tabled
+
+const raceEnabled = false

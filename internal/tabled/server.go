@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -218,8 +220,78 @@ func (s *server) degrade(err error) {
 	}
 }
 
+// wireScratch is the per-request buffer bundle the batch path reuses
+// through wirePool: the raw body, decoded ops, execution results, backend
+// call buffers, and the outgoing frame. One request borrows exactly one
+// scratch, so steady-state binary batches allocate nothing beyond the
+// values they store.
+type wireScratch struct {
+	body    []byte
+	ops     []Op
+	results []OpResult
+	cells   []Cell[string]
+	keys    []Pos
+	errs    []error
+	gets    []GetResult[string]
+	out     []byte
+}
+
+var wirePool = sync.Pool{New: func() any { return new(wireScratch) }}
+
+// growResults sizes scr.results for n ops, reusing capacity.
+func (scr *wireScratch) growResults(n int) []OpResult {
+	if cap(scr.results) < n {
+		scr.results = make([]OpResult, n)
+	}
+	scr.results = scr.results[:n]
+	clear(scr.results)
+	return scr.results
+}
+
+// growRun sizes the backend-call buffers for an n-cell run.
+func (scr *wireScratch) growRun(n int) {
+	if cap(scr.cells) < n {
+		scr.cells = make([]Cell[string], n)
+		scr.keys = make([]Pos, n)
+		scr.errs = make([]error, n)
+		scr.gets = make([]GetResult[string], n)
+	}
+}
+
+// isBinaryContentType reports whether ct selects the binary batch codec
+// (parameters after ';' are ignored).
+func isBinaryContentType(ct string) bool {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(ct) == ContentTypeBinary
+}
+
+// readBody reads r into buf[:0] (growing as needed) up to the byte cap
+// already imposed by the MaxBytesReader wrapping r.
+func readBody(buf []byte, r io.Reader) ([]byte, error) {
+	buf = buf[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes)
+	if isBinaryContentType(r.Header.Get("Content-Type")) {
+		s.handleBatchBinary(w, r)
+		return
+	}
 	var req BatchRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -247,18 +319,12 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := r.Header.Get(IdempotencyKeyHeader)
-	if s.idem != nil && key != "" {
-		if body, ok := s.idem.get(key); ok {
-			// A retransmit of a batch we already executed and acknowledged
-			// (the ack was lost in flight): replay the recorded response.
-			s.opt.Metrics.idempotentReplay()
-			w.Header().Set("Content-Type", "application/json")
-			w.Header().Set("Idempotent-Replay", "true")
-			_, _ = w.Write(body)
-			return
-		}
+	if s.replayIdempotent(w, key) {
+		return
 	}
-	results, walErr := s.execute(req.Ops)
+	scr := wirePool.Get().(*wireScratch)
+	defer wirePool.Put(scr)
+	results, walErr := s.executeInto(req.Ops, scr)
 	if walErr != nil {
 		// The batch was applied in memory but could not be made durable:
 		// refuse the ack. The client retries and lands on the read-only
@@ -274,7 +340,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.idem != nil && key != "" {
-		s.idem.put(key, body)
+		s.idem.put(key, "application/json", body)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if _, err := w.Write(body); err != nil && s.opt.Logger != nil {
@@ -282,14 +348,116 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// execute runs ops in request order, fusing maximal runs of consecutive
-// gets (resp. sets) into one batched backend call so a homogeneous batch
-// pays one lock acquisition per touched shard, not per cell. When a WAL is
-// configured, each applied set run (its successful cells) and each applied
-// resize is logged and fsynced before execute returns; a non-nil walErr
-// means durability was lost mid-batch and the caller must not acknowledge.
-func (s *server) execute(ops []Op) (results []OpResult, walErr error) {
-	results = make([]OpResult, len(ops))
+// replayIdempotent answers a retransmitted batch from the idempotency
+// cache, reporting whether it did. The recorded response is replayed with
+// the content type it was first produced under — a client that retries a
+// batch keeps its wire format across retries.
+func (s *server) replayIdempotent(w http.ResponseWriter, key string) bool {
+	if s.idem == nil || key == "" {
+		return false
+	}
+	ct, body, ok := s.idem.get(key)
+	if !ok {
+		return false
+	}
+	// A retransmit of a batch we already executed and acknowledged
+	// (the ack was lost in flight): replay the recorded response.
+	s.opt.Metrics.idempotentReplay()
+	w.Header().Set("Content-Type", ct)
+	w.Header().Set("Idempotent-Replay", "true")
+	_, _ = w.Write(body)
+	return true
+}
+
+// handleBatchBinary is the application/x-tabled-batch arm of /v1/batch:
+// one pooled scratch carries the request body, decoded ops, execution
+// buffers and the response frame end to end, so a steady-state batch
+// allocates only the values it stores (set values are cloned out of the
+// pooled body — everything else aliases or reuses scratch).
+func (s *server) handleBatchBinary(w http.ResponseWriter, r *http.Request) {
+	scr := wirePool.Get().(*wireScratch)
+	defer wirePool.Put(scr)
+	body, err := readBody(scr.body, r.Body)
+	scr.body = body
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", mbe.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "reading request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	key := r.Header.Get(IdempotencyKeyHeader)
+	if s.replayIdempotent(w, key) {
+		return
+	}
+	out, status, msg := s.batchBinary(body, scr)
+	if status != http.StatusOK {
+		http.Error(w, msg, status)
+		return
+	}
+	if s.idem != nil && key != "" {
+		// The frame lives in pooled scratch; the cache needs its own copy.
+		s.idem.put(key, ContentTypeBinary, append([]byte(nil), out...))
+	}
+	w.Header().Set("Content-Type", ContentTypeBinary)
+	if _, err := w.Write(out); err != nil && s.opt.Logger != nil {
+		s.opt.Logger.Warn("batch: write", "err", err)
+	}
+}
+
+// batchBinary decodes, validates, executes and re-encodes one binary batch
+// body using scr throughout. On success it returns the response frame
+// (aliasing scr.out) and 200; otherwise the status and message for
+// http.Error. Factored off the HTTP handler so the allocation guardrail
+// test can pin the whole server-side batch path without the net/http
+// layer's own bookkeeping.
+func (s *server) batchBinary(body []byte, scr *wireScratch) (out []byte, status int, msg string) {
+	ops, err := DecodeBatchRequest(body, scr.ops, s.opt.MaxBatch)
+	if err != nil {
+		return nil, http.StatusBadRequest, "bad request: " + err.Error()
+	}
+	scr.ops = ops
+	if len(ops) == 0 {
+		return nil, http.StatusBadRequest, "bad request: empty batch"
+	}
+	if !s.opt.Writable.Get() && hasWrites(ops) {
+		return nil, http.StatusServiceUnavailable, "read-only: WAL volume failed, writes are disabled"
+	}
+	// Decoded set values alias the pooled request body, which the next
+	// request will overwrite; anything the table retains must own its
+	// bytes. This clone is the binary set path's one allocation per op.
+	for i := range ops {
+		if ops[i].Op == "set" {
+			ops[i].V = strings.Clone(ops[i].V)
+		}
+	}
+	results, walErr := s.executeInto(ops, scr)
+	if walErr != nil {
+		return nil, http.StatusServiceUnavailable,
+			"write-ahead log failed, server is now read-only: " + walErr.Error()
+	}
+	out, err = AppendBatchResponse(scr.out[:0], results)
+	if err != nil {
+		return nil, http.StatusInternalServerError, "encoding response: " + err.Error()
+	}
+	scr.out = out
+	return out, http.StatusOK, ""
+}
+
+// executeInto runs ops in request order, fusing maximal runs of
+// consecutive gets (resp. sets) into one batched backend call so a
+// homogeneous batch pays one lock acquisition per touched shard, not per
+// cell. All working storage comes from scr; the returned results alias
+// scr.results and are valid until scr is reused. When a WAL is configured,
+// each applied set run (its successful cells) and each applied resize is
+// logged and fsynced before executeInto returns; a non-nil walErr means
+// durability was lost mid-batch and the caller must not acknowledge.
+func (s *server) executeInto(ops []Op, scr *wireScratch) (results []OpResult, walErr error) {
+	results = scr.growResults(len(ops))
+	bi, batchInto := s.b.(BatchInto[string])
 	for i := 0; i < len(ops); {
 		j := i + 1
 		for (ops[i].Op == "get" || ops[i].Op == "set") && j < len(ops) && ops[j].Op == ops[i].Op {
@@ -299,12 +467,20 @@ func (s *server) execute(ops []Op) (results []OpResult, walErr error) {
 		failed := false
 		switch ops[i].Op {
 		case "set":
-			cells := make([]Cell[string], j-i)
+			scr.growRun(j - i)
+			cells := scr.cells[:j-i]
 			for k := i; k < j; k++ {
 				cells[k-i] = Cell[string]{X: ops[k].X, Y: ops[k].Y, V: ops[k].V}
 			}
+			var errs []error
+			if batchInto {
+				errs = scr.errs[:j-i]
+				bi.SetBatchInto(cells, errs)
+			} else {
+				errs = s.b.SetBatch(cells)
+			}
 			acked := cells[:0]
-			for k, err := range s.b.SetBatch(cells) {
+			for k, err := range errs {
 				if err != nil {
 					results[i+k] = OpResult{Err: err.Error()}
 					failed = true
@@ -321,11 +497,19 @@ func (s *server) execute(ops []Op) (results []OpResult, walErr error) {
 				}
 			}
 		case "get":
-			keys := make([]Pos, j-i)
+			scr.growRun(j - i)
+			keys := scr.keys[:j-i]
 			for k := i; k < j; k++ {
 				keys[k-i] = Pos{X: ops[k].X, Y: ops[k].Y}
 			}
-			for k, gr := range s.b.GetBatch(keys) {
+			var gets []GetResult[string]
+			if batchInto {
+				gets = scr.gets[:j-i]
+				bi.GetBatchInto(keys, gets)
+			} else {
+				gets = s.b.GetBatch(keys)
+			}
+			for k, gr := range gets {
 				if gr.Err != nil {
 					results[i+k] = OpResult{Err: gr.Err.Error()}
 					failed = true
@@ -365,30 +549,38 @@ func (s *server) execute(ops []Op) (results []OpResult, walErr error) {
 	return results, nil
 }
 
-// idemCache is a bounded FIFO map of Idempotency-Key → recorded response
-// body. Lookup-then-execute is not atomic, so two concurrent requests with
+// idemEntry is one recorded response: its body plus the content type it
+// was produced under, so a binary batch replays as binary and a JSON one
+// as JSON.
+type idemEntry struct {
+	ct   string
+	body []byte
+}
+
+// idemCache is a bounded FIFO map of Idempotency-Key → recorded response.
+// Lookup-then-execute is not atomic, so two concurrent requests with
 // the same key can both execute — acceptable, because batch ops are
 // value-idempotent; the cache exists to keep *sequential* retries (the
 // common lost-ack case) from re-executing and double-logging.
 type idemCache struct {
 	mu    sync.Mutex
 	max   int
-	m     map[string][]byte
+	m     map[string]idemEntry
 	order []string
 }
 
 func newIdemCache(max int) *idemCache {
-	return &idemCache{max: max, m: make(map[string][]byte, max)}
+	return &idemCache{max: max, m: make(map[string]idemEntry, max)}
 }
 
-func (c *idemCache) get(key string) ([]byte, bool) {
+func (c *idemCache) get(key string) (ct string, body []byte, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	b, ok := c.m[key]
-	return b, ok
+	e, ok := c.m[key]
+	return e.ct, e.body, ok
 }
 
-func (c *idemCache) put(key string, body []byte) {
+func (c *idemCache) put(key, ct string, body []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.m[key]; ok {
@@ -398,7 +590,7 @@ func (c *idemCache) put(key string, body []byte) {
 		delete(c.m, c.order[0])
 		c.order = c.order[1:]
 	}
-	c.m[key] = body
+	c.m[key] = idemEntry{ct: ct, body: body}
 	c.order = append(c.order, key)
 }
 

@@ -148,18 +148,18 @@ func TestServerIdempotentReplay(t *testing.T) {
 
 func TestIdemCacheBounded(t *testing.T) {
 	c := newIdemCache(2)
-	c.put("a", []byte("1"))
-	c.put("b", []byte("2"))
-	c.put("a", []byte("ignored-dup")) // dedup, no double entry
-	c.put("c", []byte("3"))           // evicts a
-	if _, ok := c.get("a"); ok {
+	c.put("a", "application/json", []byte("1"))
+	c.put("b", "application/json", []byte("2"))
+	c.put("a", ContentTypeBinary, []byte("ignored-dup")) // dedup, no double entry
+	c.put("c", ContentTypeBinary, []byte("3"))           // evicts a
+	if _, _, ok := c.get("a"); ok {
 		t.Fatal("oldest key not evicted")
 	}
-	if v, ok := c.get("b"); !ok || string(v) != "2" {
-		t.Fatalf("b: %q %v", v, ok)
+	if ct, v, ok := c.get("b"); !ok || string(v) != "2" || ct != "application/json" {
+		t.Fatalf("b: %q %q %v", ct, v, ok)
 	}
-	if v, ok := c.get("c"); !ok || string(v) != "3" {
-		t.Fatalf("c: %q %v", v, ok)
+	if ct, v, ok := c.get("c"); !ok || string(v) != "3" || ct != ContentTypeBinary {
+		t.Fatalf("c: %q %q %v", ct, v, ok)
 	}
 }
 

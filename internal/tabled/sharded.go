@@ -170,24 +170,57 @@ type batchRef struct {
 	addr int64
 }
 
+// planScratch holds every buffer one batch layout needs, pooled so the
+// steady-state plan performs no allocations: the batched address pass
+// (core.EncodeBatch) reads xs/ys and writes addrs, the counting sort fills
+// tmp/starts/cur, and the scatter fills refs.
+type planScratch struct {
+	xs, ys, addrs []int64
+	tmp, refs     []batchRef
+	starts, cur   []int32
+}
+
+// planPool recycles plan scratch across batches (and across Sharded
+// instances: the buffers carry no type parameter and grow to the largest
+// batch/shard-count seen).
+var planPool = sync.Pool{New: func() any { return new(planScratch) }}
+
+// grow sizes the scratch for an n-entry batch over nshards shards,
+// reusing capacity wherever it suffices.
+func (p *planScratch) grow(n, nshards int) {
+	if cap(p.xs) < n {
+		p.xs = make([]int64, n)
+		p.ys = make([]int64, n)
+		p.addrs = make([]int64, n)
+		p.tmp = make([]batchRef, n)
+		p.refs = make([]batchRef, n)
+	}
+	if cap(p.starts) < nshards+1 {
+		p.starts = make([]int32, nshards+1)
+		p.cur = make([]int32, nshards)
+	}
+}
+
 // plan lays one batch out in shard order with a stable two-pass counting
-// sort, reporting per-entry Encode/bounds errors through errf. It returns
-// the shard-ordered refs and the per-shard start offsets: shard g's work is
-// refs[starts[g]:starts[g+1]] (starts[len(shards)] == len(refs)). The
-// layout costs three allocations per batch regardless of shard count — no
-// per-shard slice growth on the hot path.
-func (s *Sharded[T]) plan(n int, pos func(int) (x, y int64), errf func(i int, err error)) ([]batchRef, []int32) {
-	tmp := make([]batchRef, 0, n)
-	starts := make([]int32, len(s.shards)+1)
+// sort over scr.xs/ys[:n] (which the caller has filled). Addresses are
+// computed for the whole batch in one core.EncodeBatch call — mappings
+// with a native batch implementation amortize shell-walk state and pay
+// interface dispatch once per batch, not once per cell. It returns the
+// shard-ordered refs and per-shard start offsets: shard g's work is
+// refs[starts[g]:starts[g+1]]. Entries whose encode failed are omitted
+// from refs and left with scr.addrs[i] == 0 (never a valid address);
+// failed reports whether any exist, and the caller recovers their errors
+// via encodeErr — keeping the happy path free of error-reporting closures
+// and of allocations.
+func (s *Sharded[T]) plan(scr *planScratch, n int) (refs []batchRef, starts []int32, failed bool) {
+	core.EncodeBatch(s.f, scr.xs[:n], scr.ys[:n], scr.addrs[:n], nil)
+	tmp := scr.tmp[:0]
+	starts = scr.starts[:len(s.shards)+1]
+	clear(starts)
 	for i := 0; i < n; i++ {
-		x, y := pos(i)
-		if x < 1 || y < 1 {
-			errf(i, fmt.Errorf("%w: (%d, %d)", extarray.ErrBounds, x, y))
-			continue
-		}
-		addr, err := s.f.Encode(x, y)
-		if err != nil {
-			errf(i, err)
+		addr := scr.addrs[i]
+		if addr == 0 {
+			failed = true
 			continue
 		}
 		tmp = append(tmp, batchRef{idx: i, addr: addr})
@@ -198,15 +231,31 @@ func (s *Sharded[T]) plan(n int, pos func(int) (x, y int64), errf func(i int, er
 	}
 	// Forward scatter against incrementing start cursors: stable, so entries
 	// for the same position keep their input order within a shard.
-	cur := make([]int32, len(s.shards))
+	cur := scr.cur[:len(s.shards)]
 	copy(cur, starts)
-	refs := make([]batchRef, len(tmp))
+	refs = scr.refs[:len(tmp)]
 	for _, r := range tmp {
 		g := s.shardIndex(r.addr)
 		refs[cur[g]] = r
 		cur[g]++
 	}
-	return refs, starts
+	return refs, starts, failed
+}
+
+// encodeErr re-derives the per-entry error for an element the batched
+// address pass rejected (cold path: it runs only for entries that already
+// failed once). Out-of-domain positions are reported as ErrBounds to match
+// the scalar Get/Set surface.
+func (s *Sharded[T]) encodeErr(x, y int64) error {
+	if x < 1 || y < 1 {
+		return fmt.Errorf("%w: (%d, %d)", extarray.ErrBounds, x, y)
+	}
+	if _, err := s.f.Encode(x, y); err != nil {
+		return err
+	}
+	// Unreachable if the mapping honors the BatchEncoder contract
+	// (dst == 0 only on failure); fail loudly rather than silently drop.
+	return fmt.Errorf("tabled: mapping %s batch-rejected (%d, %d) without an error", s.f.Name(), x, y)
 }
 
 // SetBatch stores every cell, taking each touched shard's write lock
@@ -216,9 +265,30 @@ func (s *Sharded[T]) plan(n int, pos func(int) (x, y int64), errf func(i int, er
 // position within one batch are applied in input order.
 func (s *Sharded[T]) SetBatch(cells []Cell[T]) []error {
 	errs := make([]error, len(cells))
-	refs, starts := s.plan(len(cells),
-		func(i int) (int64, int64) { return cells[i].X, cells[i].Y },
-		func(i int, err error) { errs[i] = err })
+	s.SetBatchInto(cells, errs)
+	return errs
+}
+
+// SetBatchInto is SetBatch writing its per-cell outcomes into errs (whose
+// length must equal len(cells)): the allocation-free form the binary wire
+// path uses with pooled result buffers. Entries are overwritten — nil on
+// success, the per-cell error otherwise.
+func (s *Sharded[T]) SetBatchInto(cells []Cell[T], errs []error) {
+	clear(errs)
+	scr := planPool.Get().(*planScratch)
+	defer planPool.Put(scr)
+	scr.grow(len(cells), len(s.shards))
+	for i := range cells {
+		scr.xs[i], scr.ys[i] = cells[i].X, cells[i].Y
+	}
+	refs, starts, anyFailed := s.plan(scr, len(cells))
+	if anyFailed {
+		for i := range cells {
+			if scr.addrs[i] == 0 {
+				errs[i] = s.encodeErr(cells[i].X, cells[i].Y)
+			}
+		}
+	}
 	for g := range s.shards {
 		span := refs[starts[g]:starts[g+1]]
 		if len(span) == 0 {
@@ -240,16 +310,34 @@ func (s *Sharded[T]) SetBatch(cells []Cell[T]) []error {
 		}
 		sh.mu.Unlock()
 	}
-	return errs
 }
 
 // GetBatch reads every position, taking each touched shard's read lock
 // exactly once. Results are in input order.
 func (s *Sharded[T]) GetBatch(keys []Pos) []GetResult[T] {
 	res := make([]GetResult[T], len(keys))
-	refs, starts := s.plan(len(keys),
-		func(i int) (int64, int64) { return keys[i].X, keys[i].Y },
-		func(i int, err error) { res[i].Err = err })
+	s.GetBatchInto(keys, res)
+	return res
+}
+
+// GetBatchInto is GetBatch writing its results into res (whose length must
+// equal len(keys)): the allocation-free form. Entries are overwritten.
+func (s *Sharded[T]) GetBatchInto(keys []Pos, res []GetResult[T]) {
+	clear(res)
+	scr := planPool.Get().(*planScratch)
+	defer planPool.Put(scr)
+	scr.grow(len(keys), len(s.shards))
+	for i := range keys {
+		scr.xs[i], scr.ys[i] = keys[i].X, keys[i].Y
+	}
+	refs, starts, anyFailed := s.plan(scr, len(keys))
+	if anyFailed {
+		for i := range keys {
+			if scr.addrs[i] == 0 {
+				res[i].Err = s.encodeErr(keys[i].X, keys[i].Y)
+			}
+		}
+	}
 	for g := range s.shards {
 		span := refs[starts[g]:starts[g+1]]
 		if len(span) == 0 {
@@ -268,7 +356,6 @@ func (s *Sharded[T]) GetBatch(keys []Pos) []GetResult[T] {
 		}
 		sh.mu.RUnlock()
 	}
-	return res
 }
 
 // lockAll takes every shard's write lock in index order (the only legal

@@ -1,0 +1,165 @@
+package tabled
+
+import (
+	"bytes"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWireSpecExamples pins docs/WIRE.md to the codec: every
+// ```wire-example``` block in the spec names a canonical batch, and the
+// hex bytes printed there must be EXACTLY what the encoder produces (and
+// must decode back). If the codec changes framing, this fails until the
+// spec's examples are regenerated — the spec cannot drift silently.
+func TestWireSpecExamples(t *testing.T) {
+	// The canonical example batches, one per named block in the spec.
+	requests := map[string][]Op{
+		"request-set-get": {
+			{Op: "set", X: 2, Y: 3, V: "hi"},
+			{Op: "get", X: 2, Y: 3},
+		},
+		"request-resize-dims": {
+			{Op: "resize", Rows: 200, Cols: 100},
+			{Op: "dims"},
+		},
+	}
+	responses := map[string][]OpResult{
+		"response-set-get": {
+			{OK: true},
+			{OK: true, Found: true, V: "hi"},
+		},
+		"response-resize-dims": {
+			{OK: true},
+			{OK: true, Rows: 200, Cols: 100},
+		},
+		"response-error": {
+			{Err: "out of bounds"},
+		},
+	}
+
+	examples := parseWireExamples(t, filepath.Join("..", "..", "docs", "WIRE.md"))
+	if len(examples) != len(requests)+len(responses) {
+		t.Errorf("spec has %d wire-example blocks, test knows %d — add the new example here",
+			len(examples), len(requests)+len(responses))
+	}
+
+	for name, specBytes := range examples {
+		name, specBytes := name, specBytes
+		t.Run(name, func(t *testing.T) {
+			var got []byte
+			var err error
+			switch {
+			case requests[name] != nil:
+				got, err = AppendBatchRequest(nil, requests[name])
+			case responses[name] != nil:
+				got, err = AppendBatchResponse(nil, responses[name])
+			default:
+				t.Fatalf("spec block %q has no canonical batch in this test", name)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, specBytes) {
+				t.Fatalf("spec bytes diverge from encoder:\n spec:    % x\n encoder: % x", specBytes, got)
+			}
+			// And the spec bytes decode back to the canonical batch.
+			if ops := requests[name]; ops != nil {
+				dec, err := DecodeBatchRequest(specBytes, nil, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(dec) != len(ops) {
+					t.Fatalf("decoded %d ops, want %d", len(dec), len(ops))
+				}
+				for i := range dec {
+					if dec[i] != ops[i] {
+						t.Errorf("op %d: %+v, want %+v", i, dec[i], ops[i])
+					}
+				}
+			} else {
+				res := responses[name]
+				dec, err := DecodeBatchResponse(specBytes, nil, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(dec) != len(res) {
+					t.Fatalf("decoded %d results, want %d", len(dec), len(res))
+				}
+				for i := range dec {
+					if dec[i].OK != res[i].OK || dec[i].Found != res[i].Found ||
+						dec[i].V != res[i].V || dec[i].Rows != res[i].Rows ||
+						dec[i].Cols != res[i].Cols || dec[i].Err != res[i].Err {
+						t.Errorf("result %d: %+v, want %+v", i, dec[i], res[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// parseWireExamples extracts the named hex frames from the spec's
+// ```wire-example``` fenced blocks. Block grammar: a "name: <slug>" line,
+// a "hex:" line, then hex byte lines until the closing fence; "#" starts
+// a comment, whitespace is insignificant.
+func parseWireExamples(t *testing.T, path string) map[string][]byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading the wire spec: %v", err)
+	}
+	examples := make(map[string][]byte)
+	var name string
+	var hexBuf strings.Builder
+	inBlock, inHex := false, false
+	flush := func(line int) {
+		if name == "" {
+			t.Fatalf("%s: wire-example block ending at line %d has no name:", path, line)
+		}
+		clean := strings.Join(strings.Fields(hexBuf.String()), "")
+		frame, err := hex.DecodeString(clean)
+		if err != nil {
+			t.Fatalf("%s: block %q: bad hex: %v", path, name, err)
+		}
+		if len(frame) == 0 {
+			t.Fatalf("%s: block %q: empty hex", path, name)
+		}
+		if _, dup := examples[name]; dup {
+			t.Fatalf("%s: duplicate wire-example name %q", path, name)
+		}
+		examples[name] = frame
+		name, inBlock, inHex = "", false, false
+		hexBuf.Reset()
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case !inBlock && trimmed == "```wire-example":
+			inBlock = true
+		case inBlock && trimmed == "```":
+			flush(i + 1)
+		case inBlock:
+			if c := strings.Index(trimmed, "#"); c >= 0 {
+				trimmed = strings.TrimSpace(trimmed[:c])
+			}
+			switch {
+			case strings.HasPrefix(trimmed, "name:"):
+				name = strings.TrimSpace(strings.TrimPrefix(trimmed, "name:"))
+			case trimmed == "hex:":
+				inHex = true
+			case inHex && trimmed != "":
+				hexBuf.WriteString(trimmed)
+				hexBuf.WriteByte(' ')
+			}
+		}
+	}
+	if inBlock {
+		t.Fatalf("%s: unterminated wire-example block", path)
+	}
+	if len(examples) == 0 {
+		t.Fatalf("%s: no wire-example blocks found", path)
+	}
+	return examples
+}
