@@ -10,7 +10,7 @@
 //	             -shards 16 -rows 1024 -cols 1024 \
 //	             [-snapshot table.gob [-snapshot-every 30s]] \
 //	             [-wal table.wal [-wal-sync 2ms]] [-faults SPEC] \
-//	             [-drain 10s] [-maxbatch 4096] [-pprof]
+//	             [-timeout 30s] [-drain 10s] [-maxbatch 4096] [-pprof]
 //
 // Then, from any HTTP client (or the typed tabled.Client):
 //
@@ -44,7 +44,10 @@
 // every -snapshot-every (0 disables the timer), on POST /v1/snapshot, and
 // once more during shutdown. Writes are atomic (temp file + fsync +
 // rename): a crash mid-write never corrupts the previous snapshot.
-// Snapshots require the sharded backend.
+// Snapshots require the sharded backend. Every save attempt is accounted
+// under srvkit_persist_*{name="snapshot"}; after three consecutive
+// failures /readyz stays 200 but its body flips to
+// "ready (snapshot failing: N consecutive failures)".
 //
 // With -wal, every acknowledged set/resize is appended to a CRC-framed
 // write-ahead log and fsynced before the HTTP response (a 200 means the
@@ -57,31 +60,35 @@
 // read-only (writes 503, reads 200, /readyz 503) instead of dying; a
 // restart recovers. WAL requires the sharded backend.
 //
+// -timeout bounds one /v1/batch request end to end; an overrun answers a
+// clean 503 ("batch timed out"). The connection read/write deadlines are
+// derived from it by srvkit.NewHTTPServer — the write deadline always
+// exceeds the handler timeout, so a slow batch is cut by the
+// 503-producing TimeoutHandler, never by a dropped connection.
+//
 // -faults enables the deterministic fault injector for chaos testing:
 // "seed=7,errrate=0.05,latency=2ms,tornat=8192,syncerr=0.01" (see
 // tabled.ParseFaults). Off by default and zero-cost when off.
 //
 // On SIGINT/SIGTERM the server flips /readyz to 503, drains in-flight
 // requests for up to -drain, saves a final snapshot, and exits 0 on a
-// clean drain.
+// clean drain. The final snapshot and WAL close run even when the drain
+// deadline is missed — a slow drain costs the exit code, never the data.
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
-	"net/http/pprof"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"pairfn/internal/core"
 	"pairfn/internal/extarray"
 	"pairfn/internal/obs"
+	"pairfn/internal/srvkit"
 	"pairfn/internal/tabled"
 )
 
@@ -102,6 +109,7 @@ func run() int {
 	walSync := flag.Duration("wal-sync", 0, "WAL group-commit window (0 = fsync every append)")
 	faultSpec := flag.String("faults", "", "fault injection spec, e.g. seed=7,errrate=0.05,latency=2ms,tornat=8192,syncerr=0.01 (chaos testing)")
 	maxBatch := flag.Int("maxbatch", tabled.DefaultMaxBatch, "max ops per /v1/batch request")
+	reqTimeout := flag.Duration("timeout", tabled.DefaultBatchTimeout, "per-request handler timeout for /v1/batch (503 on overrun; negative = none)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
@@ -208,118 +216,58 @@ func run() int {
 	}
 	table = injector.WrapBackend(table)
 
-	handler := tabled.NewHandler(table, tabled.ServerOptions{
-		Registry: reg,
-		Metrics:  m,
-		Logger:   logger,
-		Ready:    ready,
-		MaxBatch: *maxBatch,
-		Snapshot: saveSnap,
-		WAL:      wal,
-	})
-	mux := http.NewServeMux()
-	mux.Handle("/", handler)
-	if *pprofOn {
-		// Mounted explicitly: importing net/http/pprof only registers on
-		// http.DefaultServeMux, which this server does not use.
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	// Every snapshot save — periodic, on-demand (/v1/snapshot), and the
+	// shutdown one — goes through the persist scheduler, so failures are
+	// counted, exported, and surfaced in the /readyz detail text.
+	var persist *srvkit.Persist
+	if saveSnap != nil {
+		persist = srvkit.NewPersist(srvkit.PersistConfig{
+			Name:     "snapshot",
+			Save:     saveSnap,
+			Every:    *snapEvery,
+			Registry: reg,
+			Logger:   logger,
+		})
 	}
 
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           mux,
-		ReadHeaderTimeout: 5 * time.Second,
-		// A stalled or malicious client must not pin a connection forever:
-		// bound the whole request read and response write. WriteTimeout
-		// comfortably exceeds the per-batch handler timeout so slow batches
-		// are cut by the 503-producing TimeoutHandler, not a dropped conn.
-		ReadTimeout:  1 * time.Minute,
-		WriteTimeout: 2 * time.Minute,
+	opt := tabled.ServerOptions{
+		Registry:     reg,
+		Metrics:      m,
+		Logger:       logger,
+		Ready:        ready,
+		MaxBatch:     *maxBatch,
+		BatchTimeout: *reqTimeout,
+		WAL:          wal,
+		ReadyDetail:  persist.Detail,
+	}
+	if persist != nil {
+		opt.Snapshot = persist.SaveNow
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", tabled.NewHandler(table, opt))
+	if *pprofOn {
+		srvkit.MountPprof(mux)
 	}
 
 	info := table.Describe()
 	logger.Info("serving",
 		"addr", *addr, "backend", info.Backend, "mapping", *mapping,
 		"shards", info.Shards, "rows", *rows, "cols", *cols,
-		"snapshot", *snapshot, "pprof", *pprofOn,
+		"snapshot", *snapshot, "timeout", *reqTimeout, "pprof", *pprofOn,
 		"wire", "json+binary ("+tabled.ContentTypeBinary+")")
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-
-	// Periodic snapshots on their own ticker goroutine, stopped by ctx.
-	snapDone := make(chan struct{})
-	if saveSnap != nil && *snapEvery > 0 {
-		go func() {
-			defer close(snapDone)
-			t := time.NewTicker(*snapEvery)
-			defer t.Stop()
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case <-t.C:
-					start := time.Now()
-					if err := saveSnap(); err != nil {
-						logger.Error("snapshot", "err", err)
-					} else {
-						logger.Info("snapshot saved", "path", *snapshot, "took", time.Since(start))
-					}
-				}
-			}
-		}()
-	} else {
-		close(snapDone)
+	lc := srvkit.Lifecycle{
+		Server:       srvkit.NewHTTPServer(*addr, mux, *reqTimeout),
+		Ready:        ready,
+		Logger:       logger,
+		DrainTimeout: *drain,
+		Background:   []func(context.Context){persist.Run},
 	}
-
-	select {
-	case err := <-errc:
-		// ListenAndServe only returns pre-shutdown on a real failure
-		// (port in use, listener error) — never ErrServerClosed here.
-		logger.Error("listen", "err", err)
-		return 1
-	case <-ctx.Done():
-	}
-	stop() // restore default signal handling: a second ^C kills hard
-
-	// Drain: stop admitting (load balancers see /readyz go 503 first),
-	// then let in-flight requests finish within the deadline.
-	ready.Set(false)
-	logger.Info("shutdown: draining", "timeout", *drain)
-	sctx, cancel := context.WithTimeout(context.Background(), *drain)
-	defer cancel()
-	code := 0
-	if err := srv.Shutdown(sctx); err != nil {
-		logger.Error("shutdown: drain incomplete", "err", err)
-		code = 1
-	}
-	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		logger.Error("serve", "err", err)
-		code = 1
-	}
-	<-snapDone
-	if saveSnap != nil {
-		if err := saveSnap(); err != nil {
-			logger.Error("shutdown: final snapshot", "err", err)
-			code = 1
-		} else {
-			logger.Info("shutdown: final snapshot saved", "path", *snapshot)
-		}
+	if persist != nil {
+		lc.Final = append(lc.Final, srvkit.Step{Name: "final snapshot", Run: persist.SaveNow})
 	}
 	if wal != nil {
-		if err := wal.Close(); err != nil {
-			logger.Error("shutdown: wal close", "err", err)
-			code = 1
-		}
+		lc.Final = append(lc.Final, srvkit.Step{Name: "wal close", Run: wal.Close})
 	}
-	if code == 0 {
-		logger.Info("shutdown: clean")
-	}
-	return code
+	return lc.Run(context.Background())
 }

@@ -27,36 +27,44 @@
 // loads the newest -checkpoint (if present) and replays the journal tail;
 // a corrupt checkpoint or journal is a clean nonzero exit, a torn final
 // journal record is truncated. -checkpoint-every snapshots periodically
-// and truncates the journal under the append lock. A journal write
-// failure degrades the server to read-only (mutations 503, attribution
-// and metrics 200, /readyz 503 "degraded") instead of killing it.
+// and truncates the journal under the append lock; every checkpoint
+// attempt is accounted under srvkit_persist_*{name="checkpoint"}, and
+// after three consecutive failures /readyz stays 200 but its body flips
+// to "ready (checkpoint failing: N consecutive failures)". A journal
+// write failure degrades the server to read-only (mutations 503,
+// attribution and metrics 200, /readyz 503 "degraded") instead of
+// killing it.
 //
 // Self-healing: with -lease, a volunteer that stays silent past the TTL
 // (no next/submit/heartbeat) is implicitly departed by the lease sweeper;
 // its outstanding tasks are reissued to surviving volunteers with exact
 // attribution overrides.
 //
+// -timeout bounds one volunteer-protocol request; an overrun answers a
+// clean 503. The connection read/write deadlines are derived from it by
+// srvkit.NewHTTPServer, so the write deadline always exceeds the handler
+// timeout and slow handlers are cut by the TimeoutHandler, never by a
+// dropped connection.
+//
 // On SIGINT/SIGTERM the server flips /readyz to 503, drains in-flight
 // requests for up to -drain, takes a final checkpoint, and exits 0 on a
-// clean drain. With -pprof, the net/http/pprof profiling handlers are
-// mounted under /debug/pprof/.
+// clean drain. The final checkpoint and journal close run even when the
+// drain deadline is missed. With -pprof, the net/http/pprof profiling
+// handlers are mounted under /debug/pprof/.
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
-	"net/http/pprof"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"pairfn/internal/apf"
 	"pairfn/internal/obs"
+	"pairfn/internal/srvkit"
 	"pairfn/internal/wbc"
 )
 
@@ -154,34 +162,33 @@ func run() int {
 		logger.Info("journal open", "path", *wal, "replayed", replayed, "sync_window", *walSync)
 	}
 
-	bg, bgStop := context.WithCancel(context.Background())
-	defer bgStop()
+	// Every checkpoint — periodic and the shutdown one — goes through the
+	// persist scheduler, so failures are counted, exported, and surfaced
+	// in the /readyz detail text.
+	var persist *srvkit.Persist
+	if *ckpt != "" {
+		path := *ckpt
+		persist = srvkit.NewPersist(srvkit.PersistConfig{
+			Name:     "checkpoint",
+			Save:     func() error { return c.SaveCheckpoint(path) },
+			Every:    *ckptEvery,
+			Registry: reg,
+			Logger:   logger,
+		})
+	}
+
+	var background []func(context.Context)
 	if *lease > 0 {
 		sweep := *lease / 4
 		if sweep < 10*time.Millisecond {
 			sweep = 10 * time.Millisecond
 		}
-		go c.RunLeaseSweeper(bg, sweep)
+		background = append(background, func(ctx context.Context) {
+			c.RunLeaseSweeper(ctx, sweep)
+		})
 		logger.Info("lease sweeper running", "ttl", *lease, "sweep", sweep)
 	}
-	if *ckpt != "" && *ckptEvery > 0 {
-		go func() {
-			t := time.NewTicker(*ckptEvery)
-			defer t.Stop()
-			for {
-				select {
-				case <-bg.Done():
-					return
-				case <-t.C:
-					if err := c.SaveCheckpoint(*ckpt); err != nil {
-						logger.Error("periodic checkpoint", "err", err)
-					} else {
-						logger.Info("checkpoint saved", "path", *ckpt)
-					}
-				}
-			}
-		}()
-	}
+	background = append(background, persist.Run)
 
 	mux := http.NewServeMux()
 	mux.Handle("/", wbc.NewObservedHandler(c, wbc.ServerOptions{
@@ -189,81 +196,29 @@ func run() int {
 		Logger:         logger,
 		Ready:          ready,
 		RequestTimeout: *reqTimeout,
+		ReadyDetail:    persist.Detail,
 	}))
 	if *pprofOn {
-		// Mounted explicitly: importing net/http/pprof only registers on
-		// http.DefaultServeMux, which this server does not use.
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	}
-
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           mux,
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		// Must exceed -timeout so TimeoutHandler, not the connection
-		// deadline, is what cuts off a slow handler (clients then see a
-		// clean 503 instead of a reset).
-		WriteTimeout: *reqTimeout + 20*time.Second,
+		srvkit.MountPprof(mux)
 	}
 
 	logger.Info("serving",
 		"workload", "prime-count", "apf", f.Name(), "addr", *addr,
-		"audit", *audit, "strikes", *strikes,
+		"audit", *audit, "strikes", *strikes, "timeout", *reqTimeout,
 		"wal", *wal, "checkpoint", *ckpt, "lease", *lease, "pprof", *pprofOn)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-
-	select {
-	case err := <-errc:
-		// ListenAndServe only returns pre-shutdown on a real failure
-		// (port in use, listener error) — never ErrServerClosed here.
-		logger.Error("listen", "err", err)
-		return 1
-	case <-ctx.Done():
+	lc := srvkit.Lifecycle{
+		Server:       srvkit.NewHTTPServer(*addr, mux, *reqTimeout),
+		Ready:        ready,
+		Logger:       logger,
+		DrainTimeout: *drain,
+		Background:   background,
 	}
-	stop() // restore default signal handling: a second ^C kills hard
-
-	// Drain: stop admitting (load balancers see /readyz go 503 first),
-	// then let in-flight requests finish within the deadline.
-	ready.Set(false)
-	logger.Info("shutdown: draining", "timeout", *drain)
-	sctx, cancel := context.WithTimeout(context.Background(), *drain)
-	defer cancel()
-	code := 0
-	if err := srv.Shutdown(sctx); err != nil {
-		logger.Error("shutdown: drain incomplete", "err", err)
-		code = 1
-	}
-	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		logger.Error("serve", "err", err)
-		code = 1
-	}
-	bgStop() // stop sweeper and checkpoint ticker before the final cut
-
-	if *ckpt != "" {
-		if err := c.SaveCheckpoint(*ckpt); err != nil {
-			logger.Error("final checkpoint", "err", err)
-			code = 1
-		} else {
-			logger.Info("final checkpoint saved", "path", *ckpt)
-		}
+	if persist != nil {
+		lc.Final = append(lc.Final, srvkit.Step{Name: "final checkpoint", Run: persist.SaveNow})
 	}
 	if journal != nil {
-		if err := journal.Close(); err != nil {
-			logger.Error("journal close", "err", err)
-			code = 1
-		}
+		lc.Final = append(lc.Final, srvkit.Step{Name: "journal close", Run: journal.Close})
 	}
-	if code == 0 {
-		logger.Info("shutdown: clean")
-	}
-	return code
+	return lc.Run(context.Background())
 }

@@ -1,0 +1,141 @@
+package srvkit
+
+import (
+	"log/slog"
+	"sync"
+
+	"pairfn/internal/obs"
+)
+
+// DegradedConfig parameterizes NewDegraded.
+type DegradedConfig struct {
+	// Detail is the /readyz explanation shown after "degraded: ", e.g.
+	// "read-only (WAL volume failed)".
+	Detail string
+	// LogMessage, when non-empty and Logger is set, is logged at Error
+	// level exactly once, on the flip.
+	LogMessage string
+	// Writable, when non-nil, is set false on the flip — the flag write
+	// paths consult before mutating.
+	Writable *obs.Flag
+	// Gauge, when non-nil, is set to 1 on the flip (e.g. tabled_degraded).
+	Gauge *obs.Gauge
+	// Logger receives LogMessage.
+	Logger *slog.Logger
+	// OnDegrade, when non-nil, fires exactly once with the tripping
+	// error, outside any lock.
+	OnDegrade func(error)
+}
+
+// Degraded is the sticky read-only state machine shared by the WAL- and
+// journal-failure paths: the first Degrade call flips the writable flag,
+// sets the gauge, logs, and fires the hooks; every later call is a
+// no-op. It never un-trips in-process — once the log cannot attest
+// durability, only a restart (which replays and re-opens it) may clear
+// the state. All methods are safe for concurrent use and no-ops on a
+// nil receiver (a nil machine is simply never degraded).
+type Degraded struct {
+	detail   string
+	logMsg   string
+	writable *obs.Flag
+	gauge    *obs.Gauge
+	logger   *slog.Logger
+
+	mu      sync.Mutex
+	tripped bool
+	reason  error
+	hooks   []func(error)
+}
+
+// NewDegraded builds the state machine in the healthy (writable) state.
+func NewDegraded(cfg DegradedConfig) *Degraded {
+	d := &Degraded{
+		detail:   cfg.Detail,
+		logMsg:   cfg.LogMessage,
+		writable: cfg.Writable,
+		gauge:    cfg.Gauge,
+		logger:   cfg.Logger,
+	}
+	if d.detail == "" {
+		d.detail = "read-only"
+	}
+	if cfg.OnDegrade != nil {
+		d.hooks = append(d.hooks, cfg.OnDegrade)
+	}
+	return d
+}
+
+// Degrade trips the machine. The first call wins: it records err, flips
+// the writable flag, sets the gauge, logs once, and fires the hooks
+// (outside the lock). Subsequent calls return immediately.
+func (d *Degraded) Degrade(err error) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	if d.tripped {
+		d.mu.Unlock()
+		return
+	}
+	d.tripped = true
+	d.reason = err
+	hooks := d.hooks
+	d.hooks = nil
+	d.mu.Unlock()
+
+	d.writable.Set(false)
+	d.gauge.Set(1)
+	if d.logger != nil && d.logMsg != "" {
+		d.logger.Error(d.logMsg, "err", err)
+	}
+	for _, h := range hooks {
+		h(err)
+	}
+}
+
+// Is reports whether the machine has tripped.
+func (d *Degraded) Is() bool {
+	if d == nil {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.tripped
+}
+
+// Reason returns the error that tripped the machine (nil while healthy).
+func (d *Degraded) Reason() error {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reason
+}
+
+// Probe adapts the machine to Probes.Degraded.
+func (d *Degraded) Probe() (bool, string) {
+	if d == nil {
+		return false, ""
+	}
+	return d.Is(), d.detail
+}
+
+// OnDegrade registers an additional hook. If the machine already
+// tripped, fn fires immediately (with the recorded reason) so late
+// registration cannot lose the notification; otherwise it fires exactly
+// once on the flip.
+func (d *Degraded) OnDegrade(fn func(error)) {
+	if d == nil || fn == nil {
+		return
+	}
+	d.mu.Lock()
+	if d.tripped {
+		reason := d.reason
+		d.mu.Unlock()
+		fn(reason)
+		return
+	}
+	d.hooks = append(d.hooks, fn)
+	d.mu.Unlock()
+}

@@ -1,0 +1,97 @@
+package srvkit
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"pairfn/internal/obs"
+)
+
+// TestDegradedSticky is the state-machine contract: the first Degrade
+// wins (flag, gauge, hook, reason), later calls are no-ops, and the
+// machine never un-trips.
+func TestDegradedSticky(t *testing.T) {
+	reg := obs.NewRegistry()
+	writable := obs.NewFlag(true)
+	gauge := reg.Gauge("test_degraded")
+	var fired []error
+	d := NewDegraded(DegradedConfig{
+		Detail:    "read-only (test)",
+		Writable:  writable,
+		Gauge:     gauge,
+		OnDegrade: func(err error) { fired = append(fired, err) },
+	})
+
+	if d.Is() || !writable.Get() || d.Reason() != nil {
+		t.Fatal("fresh machine is not healthy")
+	}
+	if bad, _ := d.Probe(); bad {
+		t.Fatal("fresh machine probes degraded")
+	}
+
+	first := errors.New("sync failed")
+	d.Degrade(first)
+	d.Degrade(errors.New("second failure, ignored"))
+
+	if !d.Is() || writable.Get() {
+		t.Fatal("machine did not trip")
+	}
+	if gauge.Value() != 1 {
+		t.Fatalf("gauge = %d, want 1", gauge.Value())
+	}
+	if !errors.Is(d.Reason(), first) {
+		t.Fatalf("Reason() = %v, want the first error", d.Reason())
+	}
+	if len(fired) != 1 || !errors.Is(fired[0], first) {
+		t.Fatalf("hook fired %d times with %v, want once with the first error", len(fired), fired)
+	}
+	if bad, detail := d.Probe(); !bad || detail != "read-only (test)" {
+		t.Fatalf("Probe() = %v %q", bad, detail)
+	}
+
+	// A hook registered after the trip fires immediately with the
+	// recorded reason — late registration cannot lose the notification.
+	var late error
+	d.OnDegrade(func(err error) { late = err })
+	if !errors.Is(late, first) {
+		t.Fatalf("late hook got %v, want the first error", late)
+	}
+}
+
+// TestDegradedConcurrent: racing Degrade calls trip exactly once.
+func TestDegradedConcurrent(t *testing.T) {
+	var mu sync.Mutex
+	count := 0
+	d := NewDegraded(DegradedConfig{OnDegrade: func(error) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	}})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.Degrade(errors.New("boom"))
+		}()
+	}
+	wg.Wait()
+	if count != 1 {
+		t.Fatalf("hook fired %d times, want 1", count)
+	}
+}
+
+// TestDegradedNil: a nil machine is never degraded and every method is a
+// safe no-op, so optional wiring needs no branches.
+func TestDegradedNil(t *testing.T) {
+	var d *Degraded
+	d.Degrade(errors.New("ignored"))
+	if d.Is() || d.Reason() != nil {
+		t.Fatal("nil machine reports degraded")
+	}
+	if bad, _ := d.Probe(); bad {
+		t.Fatal("nil machine probes degraded")
+	}
+	d.OnDegrade(func(error) { t.Fatal("hook on nil machine fired") })
+}

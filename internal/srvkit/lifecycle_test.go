@@ -1,0 +1,183 @@
+package srvkit
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"pairfn/internal/obs"
+)
+
+// lcHarness builds a lifecycle on a live loopback listener and runs it,
+// returning the base URL, the cancel func standing in for SIGTERM, and
+// the exit-code channel.
+func lcHarness(t *testing.T, h http.Handler, mutate func(*Lifecycle)) (base string, cancel context.CancelFunc, codec chan int) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := Lifecycle{
+		Server:       NewHTTPServer("", h, time.Second),
+		Listener:     ln,
+		Ready:        obs.NewFlag(true),
+		DrainTimeout: 5 * time.Second,
+	}
+	if mutate != nil {
+		mutate(&lc)
+	}
+	ctx, cancelFn := context.WithCancel(context.Background())
+	codec = make(chan int, 1)
+	go func() { codec <- lc.Run(ctx) }()
+	return "http://" + ln.Addr().String(), cancelFn, codec
+}
+
+func waitExit(t *testing.T, codec chan int) int {
+	t.Helper()
+	select {
+	case code := <-codec:
+		return code
+	case <-time.After(10 * time.Second):
+		t.Fatal("lifecycle did not exit")
+		return -1
+	}
+}
+
+// TestLifecycleCleanShutdown: cancel (the signal seam) → readiness down
+// → drain → background canceled → final steps in order → exit 0.
+func TestLifecycleCleanShutdown(t *testing.T) {
+	ready := obs.NewFlag(true)
+	bgStopped := make(chan struct{})
+	var mu sync.Mutex
+	var steps []string
+	base, cancel, codec := lcHarness(t, http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "hi")
+	}), func(lc *Lifecycle) {
+		lc.Ready = ready
+		lc.Background = append(lc.Background, func(ctx context.Context) {
+			<-ctx.Done()
+			close(bgStopped)
+		})
+		step := func(name string) Step {
+			return Step{Name: name, Run: func() error {
+				mu.Lock()
+				defer mu.Unlock()
+				// The background loop must already be stopped when the
+				// final cut runs, so a periodic save can't race it.
+				select {
+				case <-bgStopped:
+				default:
+					t.Error("final step ran before background tasks stopped")
+				}
+				steps = append(steps, name)
+				return nil
+			}}
+		}
+		lc.Final = []Step{step("final snapshot"), step("wal close")}
+	})
+
+	resp, err := http.Get(base + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	cancel()
+	if code := waitExit(t, codec); code != 0 {
+		t.Fatalf("clean shutdown exit code = %d", code)
+	}
+	if ready.Get() {
+		t.Fatal("readiness still up after shutdown")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(steps) != 2 || steps[0] != "final snapshot" || steps[1] != "wal close" {
+		t.Fatalf("final steps = %v", steps)
+	}
+}
+
+// TestLifecycleDrainDeadlineStillPersists is the shutdown-ordering
+// regression test: a request stalled past the drain deadline makes the
+// exit code 1, but the final persist steps run anyway — a slow drain
+// costs the exit code, never the data.
+func TestLifecycleDrainDeadlineStillPersists(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	persisted := make(chan struct{})
+	base, cancel, codec := lcHarness(t, http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(entered)
+		<-release // stalls far beyond the drain deadline
+	}), func(lc *Lifecycle) {
+		lc.DrainTimeout = 50 * time.Millisecond
+		lc.Final = []Step{{Name: "final snapshot", Run: func() error {
+			close(persisted)
+			return nil
+		}}}
+	})
+
+	// One in-flight request that will never finish draining.
+	go func() {
+		resp, err := http.Get(base + "/")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+
+	cancel()
+	if code := waitExit(t, codec); code != 1 {
+		t.Fatalf("missed drain deadline exit code = %d, want 1", code)
+	}
+	select {
+	case <-persisted:
+	default:
+		t.Fatal("final persist skipped after a missed drain deadline")
+	}
+}
+
+// TestLifecycleFinalStepFailure: every final step is attempted even when
+// an earlier one fails, and any failure makes the exit code 1.
+func TestLifecycleFinalStepFailure(t *testing.T) {
+	second := false
+	_, cancel, codec := lcHarness(t, http.NotFoundHandler(), func(lc *Lifecycle) {
+		lc.Final = []Step{
+			{Name: "final snapshot", Run: func() error { return errors.New("disk full") }},
+			{Name: "wal close", Run: func() error { second = true; return nil }},
+		}
+	})
+	cancel()
+	if code := waitExit(t, codec); code != 1 {
+		t.Fatalf("failing final step exit code = %d, want 1", code)
+	}
+	if !second {
+		t.Fatal("later final step skipped after an earlier failure")
+	}
+}
+
+// TestLifecycleListenFailure: a dead listener exits 1 — and the final
+// steps still run, so an already-opened WAL closes cleanly.
+func TestLifecycleListenFailure(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.Close() // Serve on a closed listener fails immediately
+	closed := false
+	lc := Lifecycle{
+		Server:   NewHTTPServer("", http.NotFoundHandler(), time.Second),
+		Listener: ln,
+		Final:    []Step{{Name: "wal close", Run: func() error { closed = true; return nil }}},
+	}
+	if code := lc.Run(context.Background()); code != 1 {
+		t.Fatalf("listen failure exit code = %d, want 1", code)
+	}
+	if !closed {
+		t.Fatal("final step skipped on listen failure")
+	}
+}

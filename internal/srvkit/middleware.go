@@ -1,0 +1,46 @@
+package srvkit
+
+import (
+	"net/http"
+	"time"
+)
+
+// APIStack is the hardening stack for API routes: body cap and handler
+// timeout, composed in the one correct order. Wrap is applied per route
+// (or per sub-mux), and the probe/metrics endpoints are mounted beside
+// it, so a stalled API handler can exhaust its timeout without ever
+// delaying /healthz, /readyz, /metrics, or pprof.
+type APIStack struct {
+	// MaxBodyBytes caps each request body via http.MaxBytesReader;
+	// handlers see *http.MaxBytesError past it. ≤ 0 disables the cap.
+	MaxBodyBytes int64
+	// RequestTimeout bounds the whole request (body read included) via
+	// http.TimeoutHandler; overruns answer 503 with TimeoutBody. ≤ 0
+	// disables the timeout.
+	RequestTimeout time.Duration
+	// TimeoutBody is the 503 body written on overrun (plain text or
+	// pre-encoded JSON, matching what the route's clients parse).
+	TimeoutBody string
+}
+
+// Wrap layers the stack around api. Request flow is
+//
+//	TimeoutHandler → MaxBytesReader → api
+//
+// so the timeout clock covers reading the (capped) body too — a client
+// trickling a large body cannot hold a handler goroutine past the
+// deadline.
+func (s APIStack) Wrap(api http.Handler) http.Handler {
+	h := api
+	if s.MaxBodyBytes > 0 {
+		inner, limit := h, s.MaxBodyBytes
+		h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			r.Body = http.MaxBytesReader(w, r.Body, limit)
+			inner.ServeHTTP(w, r)
+		})
+	}
+	if s.RequestTimeout > 0 {
+		h = http.TimeoutHandler(h, s.RequestTimeout, s.TimeoutBody)
+	}
+	return h
+}

@@ -1,0 +1,183 @@
+package srvkit
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pairfn/internal/obs"
+)
+
+// echoHandler reads the whole body and reports a MaxBytesReader overrun
+// as 413, the way the real API handlers do.
+var echoHandler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	b, err := io.ReadAll(r.Body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, "too big", http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Write(b)
+})
+
+// TestAPIStackOrder is the middleware-order contract: the body cap fires
+// inside the timeout (oversized body → 413), the timeout cuts a slow
+// handler with the configured 503 body, and a small fast request passes
+// through untouched.
+func TestAPIStackOrder(t *testing.T) {
+	stack := APIStack{MaxBodyBytes: 16, RequestTimeout: 50 * time.Millisecond, TimeoutBody: "cut off"}
+
+	ts := httptest.NewServer(stack.Wrap(echoHandler))
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL, "text/plain", strings.NewReader(strings.Repeat("x", 64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: %d, want 413", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL, "text/plain", strings.NewReader("ok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(b) != "ok" {
+		t.Fatalf("small body: %d %q", resp.StatusCode, b)
+	}
+
+	slow := stack.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(500 * time.Millisecond)
+	}))
+	ts2 := httptest.NewServer(slow)
+	defer ts2.Close()
+	resp, err = http.Get(ts2.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || string(b) != "cut off" {
+		t.Fatalf("slow handler: %d %q, want 503 %q", resp.StatusCode, b, "cut off")
+	}
+}
+
+// TestAPIStackDisabled: zero values wrap nothing.
+func TestAPIStackDisabled(t *testing.T) {
+	h := APIStack{}.Wrap(echoHandler)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	big := strings.Repeat("y", 1<<16)
+	resp, err := http.Post(ts.URL, "text/plain", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(b) != len(big) {
+		t.Fatalf("uncapped echo: %d, %d bytes", resp.StatusCode, len(b))
+	}
+}
+
+// TestProbesExemptFromAPIStack: while API handlers are stalled well past
+// their timeout and bodies are capped at a few bytes, the probes (and
+// anything else mounted beside the stack) still answer instantly and
+// uncapped — the starvation contract.
+func TestProbesExemptFromAPIStack(t *testing.T) {
+	apiEntered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	api := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		once.Do(func() { close(apiEntered) })
+		<-release // stalls far beyond RequestTimeout
+	})
+	defer close(release)
+
+	mux := http.NewServeMux()
+	mux.Handle("/api", APIStack{MaxBodyBytes: 4, RequestTimeout: 30 * time.Millisecond, TimeoutBody: "cut"}.Wrap(api))
+	Probes{Ready: obs.NewFlag(true)}.Register(mux)
+
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	// Stall an API request; it must come back as the TimeoutHandler's
+	// 503 even though the handler goroutine is still blocked.
+	apiDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/api")
+		if err != nil {
+			apiDone <- -1
+			return
+		}
+		resp.Body.Close()
+		apiDone <- resp.StatusCode
+	}()
+	<-apiEntered
+
+	// Probes respond while the API handler is wedged, and a probe body
+	// larger than the API cap is irrelevant to them.
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("%s while API stalled: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s while API stalled: %d", path, resp.StatusCode)
+		}
+	}
+	if code := <-apiDone; code != http.StatusServiceUnavailable {
+		t.Fatalf("stalled API request: %d, want 503", code)
+	}
+}
+
+// TestProbeBodies pins the probe protocol: draining beats degraded,
+// degraded carries its detail, and the ready detail text surfaces
+// warnings without flipping the status code.
+func TestProbeBodies(t *testing.T) {
+	ready := obs.NewFlag(true)
+	deg := NewDegraded(DegradedConfig{Detail: "read-only (WAL volume failed)"})
+	detail := ""
+	p := Probes{Ready: ready, Degraded: deg.Probe, Detail: func() string { return detail }}
+
+	get := func() (int, string) {
+		rec := httptest.NewRecorder()
+		p.Readyz().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+		return rec.Code, rec.Body.String()
+	}
+
+	if code, body := get(); code != http.StatusOK || body != "ready\n" {
+		t.Fatalf("healthy: %d %q", code, body)
+	}
+	detail = "snapshot failing: 3 consecutive failures"
+	if code, body := get(); code != http.StatusOK || body != "ready (snapshot failing: 3 consecutive failures)\n" {
+		t.Fatalf("warning detail: %d %q", code, body)
+	}
+	detail = ""
+	deg.Degrade(errors.New("disk gone"))
+	if code, body := get(); code != http.StatusServiceUnavailable || body != "degraded: read-only (WAL volume failed)\n" {
+		t.Fatalf("degraded: %d %q", code, body)
+	}
+	ready.Set(false)
+	if code, body := get(); code != http.StatusServiceUnavailable || body != "draining\n" {
+		t.Fatalf("draining takes precedence: %d %q", code, body)
+	}
+
+	rec := httptest.NewRecorder()
+	p.Healthz().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK || rec.Body.String() != "ok\n" {
+		t.Fatalf("healthz: %d %q", rec.Code, rec.Body.String())
+	}
+}

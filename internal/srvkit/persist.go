@@ -1,0 +1,186 @@
+package srvkit
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"pairfn/internal/obs"
+)
+
+// DefaultPersistFailThreshold is how many consecutive failures it takes
+// before the scheduler reports Failing (and /readyz detail flips).
+const DefaultPersistFailThreshold = 3
+
+// PersistConfig parameterizes NewPersist.
+type PersistConfig struct {
+	// Name tags the loop in logs and as the metric label: "snapshot"
+	// for tabledserver, "checkpoint" for wbcserver.
+	Name string
+	// Save persists the state once. Required.
+	Save func() error
+	// Every is the periodic interval for Run; ≤ 0 means Run is a no-op
+	// and only explicit SaveNow calls happen (on-demand + shutdown).
+	Every time.Duration
+	// FailThreshold is the consecutive-failure count at which Failing()
+	// flips (0 → DefaultPersistFailThreshold).
+	FailThreshold int
+	// Registry receives the srvkit_persist_* series; nil disables them.
+	Registry *obs.Registry
+	// Logger, when non-nil, logs each save (Info on success, Error on
+	// failure with the running consecutive count).
+	Logger *slog.Logger
+}
+
+// Persist runs a state-saving function periodically with failure
+// accounting. The old mains' snapshot/checkpoint tickers logged an error
+// and moved on — a persist loop could fail for hours with nothing a
+// monitor could see. Persist exports, per loop name:
+//
+//	srvkit_persist_runs_total{name,result="ok"|"error"}      counter
+//	srvkit_persist_consecutive_failures{name}                gauge
+//	srvkit_persist_last_success_timestamp_seconds{name}      gauge
+//
+// and reports Failing once FailThreshold consecutive saves have failed,
+// which Probes surfaces in the /readyz detail text. A success resets the
+// streak. All methods are nil-receiver safe.
+type Persist struct {
+	name      string
+	save      func() error
+	every     time.Duration
+	threshold int
+	logger    *slog.Logger
+
+	okC     *obs.Counter
+	errC    *obs.Counter
+	consecG *obs.Gauge
+	lastOkG *obs.Gauge
+
+	now func() time.Time // test seam
+
+	mu      sync.Mutex
+	consec  int
+	lastErr error
+}
+
+// NewPersist builds the scheduler (healthy, nothing saved yet).
+func NewPersist(cfg PersistConfig) *Persist {
+	p := &Persist{
+		name:      cfg.Name,
+		save:      cfg.Save,
+		every:     cfg.Every,
+		threshold: cfg.FailThreshold,
+		logger:    cfg.Logger,
+		now:       time.Now,
+	}
+	if p.name == "" {
+		p.name = "persist"
+	}
+	if p.threshold <= 0 {
+		p.threshold = DefaultPersistFailThreshold
+	}
+	if reg := cfg.Registry; reg != nil {
+		reg.Help("srvkit_persist_runs_total", "Periodic persist (snapshot/checkpoint) attempts, by loop and result.")
+		reg.Help("srvkit_persist_consecutive_failures", "Consecutive persist failures; resets to 0 on success.")
+		reg.Help("srvkit_persist_last_success_timestamp_seconds", "Unix time of the last successful persist (0 = never).")
+		p.okC = reg.Counter("srvkit_persist_runs_total", obs.L("name", p.name), obs.L("result", "ok"))
+		p.errC = reg.Counter("srvkit_persist_runs_total", obs.L("name", p.name), obs.L("result", "error"))
+		p.consecG = reg.Gauge("srvkit_persist_consecutive_failures", obs.L("name", p.name))
+		p.lastOkG = reg.Gauge("srvkit_persist_last_success_timestamp_seconds", obs.L("name", p.name))
+	}
+	return p
+}
+
+// SaveNow persists once, with accounting: counters, the consecutive-
+// failure gauge, the last-success timestamp, and one log line. It is the
+// function to wire everywhere a save happens — the periodic loop, the
+// on-demand endpoint, and the shutdown path — so every save attempt is
+// visible to monitoring the same way.
+func (p *Persist) SaveNow() error {
+	if p == nil {
+		return nil
+	}
+	start := p.now()
+	err := p.save()
+	p.mu.Lock()
+	if err != nil {
+		p.consec++
+		p.lastErr = err
+	} else {
+		p.consec = 0
+		p.lastErr = nil
+	}
+	consec := p.consec
+	p.mu.Unlock()
+
+	p.consecG.Set(int64(consec))
+	if err != nil {
+		p.errC.Inc()
+		if p.logger != nil {
+			p.logger.Error(p.name+" failed", "err", err, "consecutive_failures", consec)
+		}
+		return err
+	}
+	p.okC.Inc()
+	p.lastOkG.Set(p.now().Unix())
+	if p.logger != nil {
+		p.logger.Info(p.name+" saved", "took", p.now().Sub(start))
+	}
+	return nil
+}
+
+// Run is the periodic loop: one SaveNow per tick until ctx is canceled.
+// It returns promptly on cancellation and is a no-op when Every ≤ 0,
+// so it can be handed to Lifecycle.Background unconditionally.
+func (p *Persist) Run(ctx context.Context) {
+	if p == nil || p.every <= 0 {
+		return
+	}
+	t := time.NewTicker(p.every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			_ = p.SaveNow() // accounted and logged inside
+		}
+	}
+}
+
+// ConsecutiveFailures returns the current failure streak.
+func (p *Persist) ConsecutiveFailures() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.consec
+}
+
+// Failing reports whether the streak has reached the threshold.
+func (p *Persist) Failing() bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.consec >= p.threshold
+}
+
+// Detail returns the /readyz warning text while Failing, e.g.
+// "snapshot failing: 3 consecutive failures", and "" otherwise. Wire it
+// to Probes.Detail.
+func (p *Persist) Detail() string {
+	if p == nil {
+		return ""
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.consec < p.threshold {
+		return ""
+	}
+	return fmt.Sprintf("%s failing: %d consecutive failures", p.name, p.consec)
+}

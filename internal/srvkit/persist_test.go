@@ -1,0 +1,150 @@
+package srvkit
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"pairfn/internal/obs"
+)
+
+// TestPersistFailureAccounting walks the scheduler through fail → fail →
+// fail → recover and checks every observable at each step: the streak,
+// the Failing/Detail flip at the threshold, the counters, and the
+// last-success timestamp.
+func TestPersistFailureAccounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	fail := errors.New("disk full")
+	var saveErr error
+	p := NewPersist(PersistConfig{
+		Name:     "snapshot",
+		Save:     func() error { return saveErr },
+		Registry: reg,
+	})
+	// Deterministic clock.
+	clock := time.Unix(1_000_000, 0)
+	p.now = func() time.Time { return clock }
+
+	if p.Failing() || p.Detail() != "" || p.ConsecutiveFailures() != 0 {
+		t.Fatal("fresh scheduler not healthy")
+	}
+
+	saveErr = fail
+	for i := 1; i <= 3; i++ {
+		if err := p.SaveNow(); !errors.Is(err, fail) {
+			t.Fatalf("SaveNow #%d = %v", i, err)
+		}
+		if got := p.ConsecutiveFailures(); got != i {
+			t.Fatalf("after %d failures: streak %d", i, got)
+		}
+		// Below the default threshold of 3, monitoring sees the gauge
+		// but /readyz stays quiet.
+		if wantFailing := i >= DefaultPersistFailThreshold; p.Failing() != wantFailing {
+			t.Fatalf("after %d failures: Failing() = %v", i, p.Failing())
+		}
+	}
+	if got := p.Detail(); got != "snapshot failing: 3 consecutive failures" {
+		t.Fatalf("Detail() = %q", got)
+	}
+
+	prom := promText(t, reg)
+	for _, want := range []string{
+		`srvkit_persist_runs_total{name="snapshot",result="error"} 3`,
+		`srvkit_persist_consecutive_failures{name="snapshot"} 3`,
+		`srvkit_persist_last_success_timestamp_seconds{name="snapshot"} 0`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("exposition missing %q:\n%s", want, prom)
+		}
+	}
+
+	// Recovery resets the streak and stamps the success time.
+	saveErr = nil
+	if err := p.SaveNow(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Failing() || p.Detail() != "" || p.ConsecutiveFailures() != 0 {
+		t.Fatal("success did not reset the streak")
+	}
+	prom = promText(t, reg)
+	for _, want := range []string{
+		`srvkit_persist_runs_total{name="snapshot",result="ok"} 1`,
+		`srvkit_persist_consecutive_failures{name="snapshot"} 0`,
+		`srvkit_persist_last_success_timestamp_seconds{name="snapshot"} 1000000`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("exposition missing %q:\n%s", want, prom)
+		}
+	}
+}
+
+// TestPersistThreshold: a custom threshold moves the Detail flip.
+func TestPersistThreshold(t *testing.T) {
+	p := NewPersist(PersistConfig{
+		Name:          "checkpoint",
+		Save:          func() error { return errors.New("nope") },
+		FailThreshold: 2,
+	})
+	p.SaveNow()
+	if p.Failing() {
+		t.Fatal("failing after one failure with threshold 2")
+	}
+	p.SaveNow()
+	if !p.Failing() || !strings.Contains(p.Detail(), "checkpoint failing: 2") {
+		t.Fatalf("threshold 2 not honored: %q", p.Detail())
+	}
+}
+
+// TestPersistRun: the loop ticks until canceled, then stops promptly.
+func TestPersistRun(t *testing.T) {
+	saves := make(chan struct{}, 64)
+	p := NewPersist(PersistConfig{
+		Name:  "tick",
+		Save:  func() error { saves <- struct{}{}; return nil },
+		Every: 2 * time.Millisecond,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { p.Run(ctx); close(done) }()
+	for i := 0; i < 3; i++ {
+		select {
+		case <-saves:
+		case <-time.After(2 * time.Second):
+			t.Fatal("periodic save never fired")
+		}
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not stop on cancel")
+	}
+}
+
+// TestPersistNilAndDisabled: a nil scheduler and a zero interval are
+// both inert, so mains can wire them unconditionally.
+func TestPersistNilAndDisabled(t *testing.T) {
+	var p *Persist
+	if err := p.SaveNow(); err != nil || p.Failing() || p.Detail() != "" {
+		t.Fatal("nil scheduler not inert")
+	}
+	p.Run(context.Background()) // returns immediately
+
+	ran := false
+	q := NewPersist(PersistConfig{Save: func() error { ran = true; return nil }})
+	q.Run(context.Background()) // Every ≤ 0: no loop
+	if ran {
+		t.Fatal("Run with Every=0 invoked Save")
+	}
+}
+
+func promText(t *testing.T, reg *obs.Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}

@@ -172,16 +172,13 @@ func (m *Metrics) walCheckpoint() {
 	m.walCheckpoints.Inc()
 }
 
-// setDegraded mirrors the read-only flag into the exposition.
-func (m *Metrics) setDegraded(on bool) {
+// degradedGauge exposes the tabled_degraded gauge for the srvkit trip
+// machine to flip (nil on a nil bundle — obs gauges are nil-safe).
+func (m *Metrics) degradedGauge() *obs.Gauge {
 	if m == nil {
-		return
+		return nil
 	}
-	if on {
-		m.degradedG.Set(1)
-	} else {
-		m.degradedG.Set(0)
-	}
+	return m.degradedG
 }
 
 // idempotentReplay records one batch served from the idempotency cache.

@@ -13,6 +13,7 @@ import (
 
 	"pairfn/internal/extarray"
 	"pairfn/internal/obs"
+	"pairfn/internal/srvkit"
 )
 
 // DefaultMaxBatch caps the ops accepted in one /v1/batch request.
@@ -111,6 +112,11 @@ type ServerOptions struct {
 	// IdempotencyCache is how many recent Idempotency-Key responses are
 	// kept for replay (0 → DefaultIdempotencyCache, negative → disabled).
 	IdempotencyCache int
+	// ReadyDetail, when non-nil and returning non-empty, is appended to
+	// the /readyz ready body as "ready (<detail>)" — the daemons wire the
+	// persist scheduler's failure text here so a snapshot loop going bad
+	// is visible on the probe without flipping readiness.
+	ReadyDetail func() string
 }
 
 // NewHandler mounts the tabled API over b:
@@ -138,6 +144,13 @@ func NewHandler(b Backend[string], opt ServerOptions) http.Handler {
 		opt.Writable = obs.NewFlag(true)
 	}
 	srv := &server{b: b, opt: opt}
+	srv.deg = srvkit.NewDegraded(srvkit.DegradedConfig{
+		Detail:     "read-only (WAL volume failed)",
+		LogMessage: "wal failure: entering read-only degraded mode",
+		Writable:   opt.Writable,
+		Gauge:      opt.Metrics.degradedGauge(),
+		Logger:     opt.Logger,
+	})
 	if opt.IdempotencyCache >= 0 {
 		n := opt.IdempotencyCache
 		if n == 0 {
@@ -146,31 +159,30 @@ func NewHandler(b Backend[string], opt ServerOptions) http.Handler {
 		srv.idem = newIdemCache(n)
 	}
 	mux := http.NewServeMux()
-	var batch http.Handler = http.HandlerFunc(srv.handleBatch)
-	if opt.BatchTimeout > 0 {
-		batch = http.TimeoutHandler(batch, opt.BatchTimeout, "batch timed out")
-	}
-	mux.Handle("POST /v1/batch", batch)
+	// Only /v1/batch sits behind the hardening stack: stats is cheap, and
+	// an on-demand snapshot save may legitimately outlast the batch
+	// timeout. Probes and metrics are mounted beside the stack so a
+	// stalled batch can never starve them.
+	mux.Handle("POST /v1/batch", srvkit.APIStack{
+		MaxBodyBytes:   opt.MaxBodyBytes,
+		RequestTimeout: opt.BatchTimeout,
+		TimeoutBody:    "batch timed out",
+	}.Wrap(http.HandlerFunc(srv.handleBatch)))
 	mux.HandleFunc("GET /v1/stats", srv.handleStats)
 	mux.HandleFunc("POST /v1/snapshot", srv.handleSnapshot)
 	if opt.Registry != nil {
 		mux.Handle("GET /metrics", opt.Registry.Handler())
 	}
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	ready, writable := opt.Ready, opt.Writable
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
-		if !ready.Get() {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
-			return
-		}
-		if !writable.Get() {
-			http.Error(w, "degraded: read-only (WAL volume failed)", http.StatusServiceUnavailable)
-			return
-		}
-		fmt.Fprintln(w, "ready")
-	})
+	// Readiness keys off the Writable flag rather than the trip machine so
+	// an externally-flipped flag reads as degraded too.
+	writable := opt.Writable
+	srvkit.Probes{
+		Ready: opt.Ready,
+		Degraded: func() (bool, string) {
+			return !writable.Get(), "read-only (WAL volume failed)"
+		},
+		Detail: opt.ReadyDetail,
+	}.Register(mux)
 	return obs.Middleware(obs.MiddlewareConfig{
 		Registry: opt.Registry,
 		Logger:   opt.Logger,
@@ -189,6 +201,7 @@ func NewHandler(b Backend[string], opt ServerOptions) http.Handler {
 type server struct {
 	b    Backend[string]
 	opt  ServerOptions
+	deg  *srvkit.Degraded
 	idem *idemCache // nil when disabled
 }
 
@@ -209,16 +222,11 @@ func hasWrites(ops []Op) bool {
 }
 
 // degrade flips the server into read-only mode after a WAL failure: writes
-// 503, reads still served, /readyz reporting degraded. It never recovers
-// in-process — the WAL cannot attest durability anymore, so only a restart
-// (which replays and re-opens the log) clears it.
-func (s *server) degrade(err error) {
-	s.opt.Writable.Set(false)
-	s.opt.Metrics.setDegraded(true)
-	if s.opt.Logger != nil {
-		s.opt.Logger.Error("wal failure: entering read-only degraded mode", "err", err)
-	}
-}
+// 503, reads still served, /readyz reporting degraded. The sticky trip
+// machine (srvkit.Degraded) never recovers in-process — the WAL cannot
+// attest durability anymore, so only a restart (which replays and
+// re-opens the log) clears it.
+func (s *server) degrade(err error) { s.deg.Degrade(err) }
 
 // wireScratch is the per-request buffer bundle the batch path reuses
 // through wirePool: the raw body, decoded ops, execution results, backend
@@ -286,8 +294,10 @@ func readBody(buf []byte, r io.Reader) ([]byte, error) {
 	}
 }
 
+// handleBatch serves one /v1/batch request. The body cap and request
+// timeout are already in place — srvkit.APIStack wraps this handler — so
+// r.Body is a MaxBytesReader and overruns surface as *http.MaxBytesError.
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes)
 	if isBinaryContentType(r.Header.Get("Content-Type")) {
 		s.handleBatchBinary(w, r)
 		return

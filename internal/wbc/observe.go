@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"pairfn/internal/obs"
+	"pairfn/internal/srvkit"
 )
 
 // This file is the observability face of the WBC website: the
@@ -42,6 +43,10 @@ type ServerOptions struct {
 	// 503 and the connection is freed. Probes and /metrics are exempt —
 	// an operator must be able to scrape a struggling server.
 	RequestTimeout time.Duration
+	// ReadyDetail, when non-nil and returning non-empty, is appended to
+	// the /readyz ready body as "ready (<detail>)" — wbcserver wires the
+	// checkpoint scheduler's failure text here.
+	ReadyDetail func() string
 }
 
 // NewObservedHandler returns the WBC website for c wrapped in
@@ -62,21 +67,15 @@ func NewObservedHandler(c *Coordinator, opt ServerOptions) http.Handler {
 	}
 	RegisterCoordinatorMetrics(c, reg)
 
-	var api http.Handler = apiMux(c)
 	maxBody := opt.MaxBodyBytes
 	if maxBody == 0 {
 		maxBody = DefaultMaxBodyBytes
 	}
-	if maxBody > 0 {
-		inner := api
-		api = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			r.Body = http.MaxBytesReader(w, r.Body, maxBody)
-			inner.ServeHTTP(w, r)
-		})
-	}
-	if opt.RequestTimeout > 0 {
-		api = http.TimeoutHandler(api, opt.RequestTimeout, `{"error":"request timed out"}`)
-	}
+	api := srvkit.APIStack{
+		MaxBodyBytes:   maxBody, // negative → cap disabled
+		RequestTimeout: opt.RequestTimeout,
+		TimeoutBody:    `{"error":"request timed out"}`,
+	}.Wrap(apiMux(c))
 
 	mux := http.NewServeMux()
 	mux.Handle("/", api)
@@ -88,24 +87,13 @@ func NewObservedHandler(c *Coordinator, opt ServerOptions) http.Handler {
 		w.Header().Set("Content-Type", obs.PrometheusContentType)
 		_ = reg.WritePrometheus(w)
 	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("ok\n"))
-	})
-	ready := opt.Ready
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		switch {
-		case !ready.Get():
-			w.WriteHeader(http.StatusServiceUnavailable)
-			w.Write([]byte("draining\n"))
-		case c != nil && c.Degraded():
-			w.WriteHeader(http.StatusServiceUnavailable)
-			w.Write([]byte("degraded: read-only (journal failure)\n"))
-		default:
-			w.Write([]byte("ready\n"))
-		}
-	})
+	srvkit.Probes{
+		Ready: opt.Ready,
+		Degraded: func() (bool, string) {
+			return c != nil && c.Degraded(), "read-only (journal failure)"
+		},
+		Detail: opt.ReadyDetail,
+	}.Register(mux)
 	return obs.Middleware(obs.MiddlewareConfig{
 		Registry:  reg,
 		Logger:    opt.Logger,

@@ -11,6 +11,7 @@ import (
 
 	"pairfn/internal/apf"
 	"pairfn/internal/obs"
+	"pairfn/internal/srvkit"
 	"pairfn/internal/walog"
 )
 
@@ -132,9 +133,11 @@ type Coordinator struct {
 	// during-checkpoint safe).
 	applied uint64
 
-	journal   *Journal
-	onDegrade func(error)
-	degraded  bool
+	journal *Journal
+	// deg is the sticky read-only trip machine (shared with tabled via
+	// srvkit): a journal failure flips it once and it never un-trips
+	// in-process.
+	deg *srvkit.Degraded
 
 	m   Metrics
 	ops coordObs
@@ -207,6 +210,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	return &Coordinator{
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		deg:     srvkit.NewDegraded(srvkit.DegradedConfig{Detail: "read-only (journal failure)"}),
 		ledger:  NewLedger(apf.Instrument(cfg.APF, cfg.Obs)),
 		ops:     newCoordObs(cfg.Obs),
 		nextVol: 1,
@@ -236,7 +240,7 @@ func (c *Coordinator) renewLeaseLocked(id VolunteerID) {
 
 // checkWritableLocked gates every mutation on the durability state.
 func (c *Coordinator) checkWritableLocked() error {
-	if c.degraded {
+	if c.deg.Is() {
 		return ErrDegraded
 	}
 	return nil
@@ -266,16 +270,7 @@ func (c *Coordinator) waitDurable(t walog.Ticket) error {
 	if err == nil {
 		return nil
 	}
-	c.mu.Lock()
-	var cb func(error)
-	if !c.degraded {
-		c.degraded = true
-		cb = c.onDegrade
-	}
-	c.mu.Unlock()
-	if cb != nil {
-		cb(err)
-	}
+	c.deg.Degrade(err)
 	return fmt.Errorf("%w: %v", ErrDegraded, err)
 }
 
@@ -284,18 +279,14 @@ func (c *Coordinator) waitDurable(t walog.Ticket) error {
 // outside the coordinator lock.
 func (c *Coordinator) AttachJournal(j *Journal, onDegrade func(error)) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.journal = j
-	c.onDegrade = onDegrade
+	c.mu.Unlock()
+	c.deg.OnDegrade(onDegrade)
 }
 
 // Degraded reports whether a journal failure has made the coordinator
 // read-only.
-func (c *Coordinator) Degraded() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.degraded
-}
+func (c *Coordinator) Degraded() bool { return c.deg.Is() }
 
 // ActiveLeases returns the number of volunteers holding a live lease.
 func (c *Coordinator) ActiveLeases() int {
