@@ -25,6 +25,12 @@
 // Per-batch latencies are aggregated into p50/p95/p99; the summary goes to
 // stderr and, with -json, one machine-readable JSON line to stdout.
 //
+// Pointed at a tabledrouter (the cluster front door is wire-compatible),
+// -nodes adds a per-member summary: the router's /v1/cluster counters are
+// snapshotted before and after the run, and the deltas — ops routed,
+// sub-batch errors, sub-batch latency percentiles per member — cover
+// exactly this run. With -json they ride along as the "nodes" field.
+//
 // Chaos-verification mode (exercising the tabled WAL):
 //
 //	tabledload -seq -acklog acked.log -retries 5 ...   # unique cells, log acks
@@ -48,6 +54,7 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
@@ -56,6 +63,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pairfn/internal/cluster"
 	"pairfn/internal/core"
 	"pairfn/internal/extarray"
 	"pairfn/internal/retry"
@@ -71,23 +79,40 @@ type driver interface {
 }
 
 type report struct {
-	Mode     string  `json:"mode"`
-	Wire     string  `json:"wire,omitempty"`
-	Backend  string  `json:"backend"`
-	Mapping  string  `json:"mapping,omitempty"`
-	Shards   int     `json:"shards"`
-	Clients  int     `json:"clients"`
-	Batch    int     `json:"batch"`
-	SetFrac  float64 `json:"set_fraction"`
-	Ops      int64   `json:"ops"`
-	Resizes  int64   `json:"resizes"`
-	Errors   int64   `json:"errors"`
-	WallMs   float64 `json:"wall_ms"`
-	OpsPerS  float64 `json:"ops_per_sec"`
-	P50us    float64 `json:"batch_p50_us"`
-	P95us    float64 `json:"batch_p95_us"`
-	P99us    float64 `json:"batch_p99_us"`
-	GoMaxPro int     `json:"gomaxprocs"`
+	Mode string `json:"mode"`
+	// Wire has no omitempty: a -json consumer diffing E26 runs needs the
+	// field present even when it is JSON-mode's default.
+	Wire     string        `json:"wire"`
+	Backend  string        `json:"backend"`
+	Mapping  string        `json:"mapping,omitempty"`
+	Shards   int           `json:"shards"`
+	Clients  int           `json:"clients"`
+	Batch    int           `json:"batch"`
+	SetFrac  float64       `json:"set_fraction"`
+	Ops      int64         `json:"ops"`
+	Resizes  int64         `json:"resizes"`
+	Errors   int64         `json:"errors"`
+	WallMs   float64       `json:"wall_ms"`
+	OpsPerS  float64       `json:"ops_per_sec"`
+	P50us    float64       `json:"batch_p50_us"`
+	P95us    float64       `json:"batch_p95_us"`
+	P99us    float64       `json:"batch_p99_us"`
+	GoMaxPro int           `json:"gomaxprocs"`
+	Nodes    []nodeSummary `json:"nodes,omitempty"`
+}
+
+// nodeSummary is one cluster member's share of a -nodes run: deltas of the
+// router's /v1/cluster counters between the pre- and post-run snapshots,
+// so the numbers cover exactly this load run no matter what else hit the
+// router before it.
+type nodeSummary struct {
+	Name   string  `json:"name"`
+	State  string  `json:"state"`
+	Ops    int64   `json:"ops"`
+	Errors int64   `json:"errors"`
+	P50us  float64 `json:"sub_batch_p50_us"`
+	P95us  float64 `json:"sub_batch_p95_us"`
+	P99us  float64 `json:"sub_batch_p99_us"`
 }
 
 func main() {
@@ -111,6 +136,7 @@ func run() int {
 	jsonOut := flag.Bool("json", false, "emit one JSON summary line to stdout")
 	retries := flag.Int("retries", 0, "attempts per request with jittered backoff (HTTP mode; 0 = no retries)")
 	wire := flag.String("wire", tabled.WireJSON, "batch encoding in HTTP mode: json | binary (docs/WIRE.md)")
+	nodesOut := flag.Bool("nodes", false, "per-node summary from the router's /v1/cluster, delta over this run (HTTP mode against tabledrouter)")
 	seq := flag.Bool("seq", false, "sequential mode: every batch writes fresh cells with position-derived values (chaos verification)")
 	ackPath := flag.String("acklog", "", "append each acknowledged cell as 'x y v' to this file (requires -seq)")
 	checkPath := flag.String("check", "", "verify every cell in this ack log reads back with its exact value, then exit")
@@ -149,6 +175,19 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tabledload:", err)
 		return 1
+	}
+
+	var before *cluster.StatusReply
+	if *nodesOut {
+		if *direct {
+			fmt.Fprintln(os.Stderr, "tabledload: -nodes needs HTTP mode against a tabledrouter")
+			return 2
+		}
+		before, err = fetchCluster(*addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tabledload: -nodes: %v (is %s a tabledrouter?)\n", err, *addr)
+			return 1
+		}
 	}
 
 	var acks *ackLogger
@@ -266,11 +305,24 @@ func run() int {
 		P50us:   percentile(all, 0.50), P95us: percentile(all, 0.95), P99us: percentile(all, 0.99),
 		GoMaxPro: runtime.GOMAXPROCS(0),
 	}
+	if before != nil {
+		after, err := fetchCluster(*addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tabledload: -nodes:", err)
+			return 1
+		}
+		rep.Nodes = nodeDeltas(before, after)
+	}
 	fmt.Fprintf(os.Stderr,
 		"tabledload: %s/%s shards=%d clients=%d batch=%d setfrac=%.2f\n"+
 			"tabledload: %d ops in %.1f ms → %.0f ops/s (batch p50 %.0f µs, p95 %.0f µs, p99 %.0f µs; %d resizes, %d errors)\n",
 		rep.Mode, rep.Backend, rep.Shards, rep.Clients, rep.Batch, rep.SetFrac,
 		rep.Ops, rep.WallMs, rep.OpsPerS, rep.P50us, rep.P95us, rep.P99us, rep.Resizes, rep.Errors)
+	for _, n := range rep.Nodes {
+		fmt.Fprintf(os.Stderr,
+			"tabledload: node %s %s: %d ops, %d errors (sub-batch p50 %.0f µs, p95 %.0f µs, p99 %.0f µs)\n",
+			n.Name, n.State, n.Ops, n.Errors, n.P50us, n.P95us, n.P99us)
+	}
 	if *jsonOut {
 		if err := json.NewEncoder(os.Stdout).Encode(&rep); err != nil {
 			fmt.Fprintln(os.Stderr, "tabledload:", err)
@@ -281,6 +333,59 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// fetchCluster snapshots a tabledrouter's /v1/cluster.
+func fetchCluster(addr string) (*cluster.StatusReply, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/v1/cluster", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/cluster: %s", resp.Status)
+	}
+	var reply cluster.StatusReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// nodeDeltas diffs two /v1/cluster snapshots into per-node run summaries.
+// Counters are cumulative, so the difference isolates this run; the
+// latency percentiles come from the delta of the cumulative histogram
+// counts (cluster.HistogramPercentile's shape), converted to µs.
+func nodeDeltas(before, after *cluster.StatusReply) []nodeSummary {
+	prev := make(map[string]cluster.NodeStatus, len(before.Nodes))
+	for _, n := range before.Nodes {
+		prev[n.Name] = n
+	}
+	out := make([]nodeSummary, 0, len(after.Nodes))
+	for _, n := range after.Nodes {
+		s := nodeSummary{Name: n.Name, State: n.State, Ops: n.Ops, Errors: n.Errors}
+		counts := append([]int64(nil), n.LatencyCounts...)
+		if p, ok := prev[n.Name]; ok {
+			s.Ops -= p.Ops
+			s.Errors -= p.Errors
+			if len(p.LatencyCounts) == len(counts) {
+				for i := range counts {
+					counts[i] -= p.LatencyCounts[i]
+				}
+			}
+		}
+		s.P50us = cluster.HistogramPercentile(n.LatencyBounds, counts, 0.50) * 1e6
+		s.P95us = cluster.HistogramPercentile(n.LatencyBounds, counts, 0.95) * 1e6
+		s.P99us = cluster.HistogramPercentile(n.LatencyBounds, counts, 0.99) * 1e6
+		out = append(out, s)
+	}
+	return out
 }
 
 func percentile(sorted []float64, p float64) float64 {

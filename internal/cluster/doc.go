@@ -1,0 +1,33 @@
+// Package cluster is the range-sharded multi-node layer of tabled: a
+// stateless routing front door (cmd/tabledrouter) over N independent
+// tabledserver members, each owning one contiguous slice of the pairing
+// function's address space.
+//
+// The pairing function is what makes the sharding this simple. Every
+// member runs the same mapping; a cell's PF address is a pure function of
+// its (x, y), so the router computes owners locally — one batched
+// core.EncodeBatch call per request, no metadata service, no lookups —
+// and a contiguous address range is a contiguous region of the mapping's
+// layout (a row-block under diagonal, a block-grid tile under block2d...),
+// so range ownership inherits whatever locality the mapping was chosen
+// for. The spec (Spec, rangemap.go) is a static contiguous tiling
+// [1, max) of the address space, validated at startup.
+//
+// Request flow: the front door (handler.go) decodes /v1/batch in either
+// wire format, the Partitioner (partition.go) lays the ops out per owner
+// with the same counting-sort plan the in-process Sharded backend uses,
+// the Router (fanout.go) calls the owners concurrently through pooled
+// tabled.Clients, and the plan merges the replies back into request
+// order — bit-identical to single-node execution (broadcast ops combine
+// under exact rules; rejected positions are forwarded so even error
+// strings match; the equivalence test quick-checks this).
+//
+// The router holds no durable state. Idempotency lives on the members:
+// each sub-batch carries a key derived from the client's Idempotency-Key,
+// so retries — the client's or the router's — replay from the members'
+// caches instead of double-applying. An active health checker (health.go)
+// routes around trouble: degraded (read-only) members keep serving reads
+// while their writes fail fast with a typed error, down members fail fast
+// entirely. A sliding-window per-client Limiter (limiter.go) guards the
+// front door.
+package cluster

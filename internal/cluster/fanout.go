@@ -1,0 +1,383 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"pairfn/internal/core"
+	"pairfn/internal/obs"
+	"pairfn/internal/retry"
+	"pairfn/internal/tabled"
+)
+
+// nodeUnavailablePrefix marks per-op errors caused by a member being
+// unreachable or refusing the sub-batch — the transient class a client
+// should retry, as opposed to ErrOutOfRange (a spec problem) or the
+// member's own per-op errors (bounds, overflow), which retrying cannot
+// fix. IsUnavailable keys off it.
+const nodeUnavailablePrefix = "cluster: node "
+
+// IsUnavailable reports whether a per-op error string is the router's
+// node-unavailability class.
+func IsUnavailable(errstr string) bool {
+	return strings.HasPrefix(errstr, nodeUnavailablePrefix)
+}
+
+// AllUnavailable reports whether every op failed and at least one failure
+// is node unavailability — the condition under which the front door
+// answers a typed 503 instead of 200-with-errors, so retrying clients
+// treat the whole batch as retryable.
+func AllUnavailable(results []tabled.OpResult) bool {
+	if len(results) == 0 {
+		return false
+	}
+	any := false
+	for i := range results {
+		if results[i].Err == "" {
+			return false
+		}
+		if IsUnavailable(results[i].Err) {
+			any = true
+		}
+	}
+	return any
+}
+
+func nodeDownErr(name string, cause error) string {
+	return fmt.Sprintf("%sunavailable: %s: %v", nodeUnavailablePrefix, name, cause)
+}
+
+func nodeReadOnlyErr(name string) string {
+	return fmt.Sprintf("%sread-only: %s: writes are disabled while the member is degraded", nodeUnavailablePrefix, name)
+}
+
+// errDown is the fail-fast cause recorded when the health checker already
+// marked the member down and the router never attempted the call.
+var errDown = errors.New("marked down by health check")
+
+// errUnrouted is the defensive fill for ops no merge reached; it cannot
+// occur while every sub-batch (including failed ones) merges a result.
+var errUnrouted = errors.New("cluster: internal: op was not routed")
+
+// Options configures New.
+type Options struct {
+	// Wire selects the /v1/batch encoding for node fan-out:
+	// tabled.WireBinary (the default — the zero-allocation codec) or
+	// tabled.WireJSON.
+	Wire string
+	// Retry, when non-nil, retries failed sub-batches with jittered
+	// backoff. Safe because every sub-batch carries a per-node
+	// Idempotency-Key derived from the client's: a node that already
+	// executed a lost-ack sub-batch replays its recorded response.
+	Retry *retry.Policy
+	// NodeTimeout bounds each sub-batch attempt (tabled.Client.Timeout);
+	// 0 leaves attempts bounded only by the request context.
+	NodeTimeout time.Duration
+	// HTTPClient overrides the pooled default for node traffic and
+	// health probes (tests inject httptest clients).
+	HTTPClient *http.Client
+	// Registry receives cluster_* metrics; nil disables them.
+	Registry *obs.Registry
+	// Logger receives router log lines (may be nil).
+	Logger *slog.Logger
+	// Health configures the active checker (Metrics/HTTPClient/Logger
+	// fields are filled from the options above when zero).
+	Health CheckerOptions
+}
+
+// A Router is the stateless routing core of tabledcluster: it splits the
+// PF address space across the spec's members, fans every batch out to the
+// owning nodes concurrently, and merges the replies back into request
+// order. All cluster state it keeps is soft (health observations,
+// metrics); idempotency and durability live on the members, reached by
+// propagating the client's Idempotency-Key per node — so routers can be
+// replicated and restarted freely.
+type Router struct {
+	spec    *Spec
+	pf      core.PF
+	rm      *RangeMap
+	part    *Partitioner
+	clients []*tabled.Client
+	health  *Checker
+	m       *Metrics
+	logger  *slog.Logger
+}
+
+// New builds a router over a validated spec. The spec's mapping name is
+// resolved through core.ByName; every member must be serving the same
+// mapping or routed reads will miss (the smoke test's /v1/stats handshake
+// catches the misconfiguration).
+func New(spec *Spec, opt Options) (*Router, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	f, err := core.ByName(spec.Mapping)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: spec mapping: %w", err)
+	}
+	rm, err := NewRangeMap(spec)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Wire == "" {
+		opt.Wire = tabled.WireBinary
+	}
+	m := NewMetrics(opt.Registry, spec)
+	hopt := opt.Health
+	if hopt.HTTPClient == nil {
+		hopt.HTTPClient = opt.HTTPClient
+	}
+	if hopt.Logger == nil {
+		hopt.Logger = opt.Logger
+	}
+	if hopt.Metrics == nil {
+		hopt.Metrics = m
+	}
+	r := &Router{
+		spec:   spec,
+		pf:     f,
+		rm:     rm,
+		part:   NewPartitioner(f, rm),
+		health: NewChecker(spec, hopt),
+		m:      m,
+		logger: opt.Logger,
+	}
+	for i := range spec.Nodes {
+		r.clients = append(r.clients, &tabled.Client{
+			Base:    spec.Nodes[i].Base,
+			HTTP:    opt.HTTPClient,
+			Retry:   opt.Retry,
+			Wire:    opt.Wire,
+			Timeout: opt.NodeTimeout,
+		})
+	}
+	return r, nil
+}
+
+// Health returns the router's active checker (run it as a lifecycle
+// background task).
+func (r *Router) Health() *Checker { return r.health }
+
+// Spec returns the cluster spec the router serves.
+func (r *Router) Spec() *Spec { return r.spec }
+
+// nodeKey derives the per-node idempotency key from the client's: stable
+// across both the client's retries of the whole batch and the router's
+// retries of the sub-batch, so a node never applies a replayed sub-batch
+// twice. The op count is folded in so a degraded-member read-only filter
+// (which shrinks the sub-batch) never replays a response recorded for a
+// different op set.
+func nodeKey(key, node string, nops int) string {
+	return fmt.Sprintf("%s/%s/%d", key, node, nops)
+}
+
+// Execute runs one batch through the cluster: partition by owning node,
+// fan out concurrently, merge in request order. Per-op errors — the
+// members' own and the router's (range misses, unavailable members) —
+// come back inline, exactly like a single tabledserver's /v1/batch.
+//
+// key is the client's Idempotency-Key ("" generates one), propagated to
+// every sub-batch via nodeKey so end-to-end retries stay idempotent
+// without any router-side replay cache.
+func (r *Router) Execute(ctx context.Context, ops []tabled.Op, key string) []tabled.OpResult {
+	if key == "" {
+		key = tabled.NewIdemKey()
+	}
+	plan := r.part.Partition(ops, r.health.FirstHealthy())
+	defer plan.Release()
+	out := make([]tabled.OpResult, len(ops))
+	if n := plan.MergeLocal(out); n > 0 {
+		r.m.unroutableOps(n)
+	}
+	replies := make([][]tabled.OpResult, len(r.clients))
+	var wg sync.WaitGroup
+	for n := range r.clients {
+		sub, _ := plan.Sub(n)
+		if len(sub) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(n int, sub []tabled.Op) {
+			defer wg.Done()
+			replies[n] = r.callNode(ctx, n, sub, key)
+		}(n, sub)
+	}
+	wg.Wait()
+	// Merge in ascending node order — the broadcast combine rules in
+	// MergeInto depend on it for determinism.
+	for n := range replies {
+		if replies[n] != nil {
+			plan.MergeInto(out, n, replies[n])
+		}
+	}
+	plan.FillUnmerged(out, errUnrouted)
+	return out
+}
+
+// callNode executes one node's sub-batch, honoring the member's observed
+// health: down members fail fast (no call), degraded members receive only
+// the read half of their sub-batch while the writes fail fast with the
+// typed read-only error. The returned slice always has one result per
+// sub-batch op.
+func (r *Router) callNode(ctx context.Context, n int, sub []tabled.Op, key string) []tabled.OpResult {
+	name := r.spec.Nodes[n].Name
+	res := make([]tabled.OpResult, len(sub))
+	send := sub
+	var sendPos []int // res position of each sent op when filtering
+	switch r.health.State(n) {
+	case StateDown:
+		for i := range res {
+			res[i] = tabled.OpResult{Err: nodeDownErr(name, errDown)}
+		}
+		return res
+	case StateDegraded:
+		if tabled.HasWrites(sub) {
+			send = make([]tabled.Op, 0, len(sub))
+			sendPos = make([]int, 0, len(sub))
+			for i := range sub {
+				if sub[i].Op == "set" || sub[i].Op == "resize" {
+					res[i] = tabled.OpResult{Err: nodeReadOnlyErr(name)}
+				} else {
+					send = append(send, sub[i])
+					sendPos = append(sendPos, i)
+				}
+			}
+			if len(send) == 0 {
+				return res
+			}
+		}
+	}
+	t0 := time.Now()
+	got, err := r.clients[n].BatchWithKey(ctx, send, nodeKey(key, name, len(send)))
+	r.m.nodeBatch(n, len(send), time.Since(t0), err != nil)
+	if err != nil {
+		if r.logger != nil {
+			r.logger.Warn("cluster: sub-batch failed", "node", name, "ops", len(send), "err", err)
+		}
+		for _, i := range sendIndices(sendPos, len(send)) {
+			res[i] = tabled.OpResult{Err: nodeDownErr(name, err)}
+		}
+		return res
+	}
+	if sendPos == nil {
+		copy(res, got)
+	} else {
+		for k, i := range sendPos {
+			res[i] = got[k]
+		}
+	}
+	return res
+}
+
+// sendIndices yields the res positions of the sent ops: identity when no
+// filter was applied.
+func sendIndices(sendPos []int, n int) []int {
+	if sendPos != nil {
+		return sendPos
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// ClusterStats aggregates the members' /v1/stats into one StatsReply for
+// the router's own /v1/stats endpoint: Backend "cluster", the spec's
+// mapping, Shards summed over reachable members, dimensions from the
+// first reachable one, and Stats combined under the broadcast rules
+// (Moves sum, Footprint/Reshapes max). Members marked down are skipped;
+// with nothing reachable an error is returned.
+func (r *Router) ClusterStats(ctx context.Context) (*tabled.StatsReply, error) {
+	type nodeStats struct {
+		reply *tabled.StatsReply
+		err   error
+	}
+	replies := make([]nodeStats, len(r.clients))
+	var wg sync.WaitGroup
+	for n := range r.clients {
+		if r.health.State(n) == StateDown {
+			replies[n].err = errDown
+			continue
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			replies[n].reply, replies[n].err = r.clients[n].Stats(ctx)
+		}(n)
+	}
+	wg.Wait()
+	agg := &tabled.StatsReply{Info: tabled.Info{Backend: "cluster", Mapping: r.spec.Mapping}}
+	got := 0
+	for n := range replies {
+		if replies[n].err != nil {
+			continue
+		}
+		rep := replies[n].reply
+		if got == 0 {
+			agg.Rows, agg.Cols = rep.Rows, rep.Cols
+		}
+		agg.Info.Shards += rep.Info.Shards
+		AggregateStats(&agg.Stats, rep.Stats)
+		got++
+	}
+	if got == 0 {
+		return nil, fmt.Errorf("%sunavailable: no member reachable for stats", nodeUnavailablePrefix)
+	}
+	return agg, nil
+}
+
+// NodeStatus is one member's row in the /v1/cluster reply.
+type NodeStatus struct {
+	Name   string `json:"name"`
+	Base   string `json:"base"`
+	Lo     int64  `json:"lo"`
+	Hi     int64  `json:"hi"`
+	State  string `json:"state"`
+	Ops    int64  `json:"ops_total"`
+	Errors int64  `json:"errors_total"`
+	P50us  float64 `json:"p50_us"`
+	P95us  float64 `json:"p95_us"`
+	P99us  float64 `json:"p99_us"`
+	// Raw latency histogram (upper bounds in seconds; cumulative counts,
+	// final entry = total) so clients — tabledload -nodes — can diff two
+	// snapshots and compute percentiles for just their own run.
+	LatencyBounds []float64 `json:"latency_bounds,omitempty"`
+	LatencyCounts []int64   `json:"latency_counts,omitempty"`
+}
+
+// StatusReply is the body of GET /v1/cluster.
+type StatusReply struct {
+	Mapping string       `json:"mapping"`
+	Nodes   []NodeStatus `json:"nodes"`
+}
+
+// Status reports the live cluster view: the range map, each member's
+// observed health, and its cumulative routing counters.
+func (r *Router) Status() StatusReply {
+	reply := StatusReply{Mapping: r.spec.Mapping, Nodes: make([]NodeStatus, len(r.spec.Nodes))}
+	for n := range r.spec.Nodes {
+		ops, errs, bounds, counts := r.m.nodeSnapshot(n)
+		reply.Nodes[n] = NodeStatus{
+			Name:          r.spec.Nodes[n].Name,
+			Base:          r.spec.Nodes[n].Base,
+			Lo:            r.spec.Nodes[n].Lo,
+			Hi:            r.spec.Nodes[n].Hi,
+			State:         r.health.State(n).String(),
+			Ops:           ops,
+			Errors:        errs,
+			P50us:         HistogramPercentile(bounds, counts, 0.50) * 1e6,
+			P95us:         HistogramPercentile(bounds, counts, 0.95) * 1e6,
+			P99us:         HistogramPercentile(bounds, counts, 0.99) * 1e6,
+			LatencyBounds: bounds,
+			LatencyCounts: counts,
+		}
+	}
+	return reply
+}

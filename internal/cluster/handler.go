@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"pairfn/internal/obs"
+	"pairfn/internal/srvkit"
+	"pairfn/internal/tabled"
+)
+
+// HandlerOptions configures NewHandler. Zero limits inherit the tabled
+// server defaults so a batch the router accepts is one every member will
+// accept too.
+type HandlerOptions struct {
+	// MaxBatch caps ops per request (0 → tabled.DefaultMaxBatch).
+	MaxBatch int
+	// MaxBodyBytes caps the /v1/batch body (0 → tabled.DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// BatchTimeout bounds one routed batch end to end, fan-out included
+	// (0 → tabled.DefaultBatchTimeout).
+	BatchTimeout time.Duration
+	// Limiter is the per-client admission control on /v1/batch (nil or
+	// zero-Limit admits everything).
+	Limiter *Limiter
+	// Registry receives request metrics and serves /metrics (may be nil;
+	// pass the same registry given to New so cluster_* metrics co-publish).
+	Registry *obs.Registry
+	// Logger receives one line per request (may be nil).
+	Logger *slog.Logger
+	// Ready gates /readyz for drains (nil reads as always ready).
+	Ready *obs.Flag
+}
+
+// NewHandler mounts the router's front door — wire-compatible with a
+// single tabledserver, so tabled.Client and tabledload point at a cluster
+// unchanged:
+//
+//	POST /v1/batch    batched ops, JSON or binary wire, routed by range
+//	GET  /v1/stats    aggregated member stats (Backend "cluster")
+//	GET  /v1/cluster  range map + member health + routing counters
+//	GET  /metrics     Prometheus text exposition
+//	GET  /healthz     liveness
+//	GET  /readyz      readiness; member trouble shows as ready detail
+//
+// /readyz stays 200 while members are down: a router that went unready
+// whenever one range was unavailable would let a load balancer blackhole
+// the healthy ranges too. Unhealthy members surface in the ready body —
+// "ready (1/3 nodes unhealthy: node-2 down)" — and on /v1/cluster.
+func NewHandler(rt *Router, opt HandlerOptions) http.Handler {
+	if opt.MaxBatch <= 0 {
+		opt.MaxBatch = tabled.DefaultMaxBatch
+	}
+	if opt.MaxBodyBytes == 0 {
+		opt.MaxBodyBytes = tabled.DefaultMaxBodyBytes
+	}
+	if opt.BatchTimeout == 0 {
+		opt.BatchTimeout = tabled.DefaultBatchTimeout
+	}
+	h := &frontDoor{rt: rt, opt: opt}
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/batch", opt.Limiter.Middleware(nil, rt.m, srvkit.APIStack{
+		MaxBodyBytes:   opt.MaxBodyBytes,
+		RequestTimeout: opt.BatchTimeout,
+		TimeoutBody:    "batch timed out",
+	}.Wrap(http.HandlerFunc(h.handleBatch))))
+	mux.HandleFunc("GET /v1/stats", h.handleStats)
+	mux.HandleFunc("GET /v1/cluster", h.handleCluster)
+	if opt.Registry != nil {
+		mux.Handle("GET /metrics", opt.Registry.Handler())
+	}
+	srvkit.Probes{
+		Ready: opt.Ready,
+		Detail: func() string {
+			_, detail := rt.health.Summary()
+			return detail
+		},
+	}.Register(mux)
+	return obs.Middleware(obs.MiddlewareConfig{
+		Registry: opt.Registry,
+		Logger:   opt.Logger,
+		PathLabel: func(r *http.Request) string {
+			switch r.URL.Path {
+			case "/v1/batch", "/v1/stats", "/v1/cluster", "/metrics", "/healthz", "/readyz":
+				return r.URL.Path
+			}
+			return "other"
+		},
+	}, mux)
+}
+
+type frontDoor struct {
+	rt  *Router
+	opt HandlerOptions
+}
+
+// routerScratch recycles the per-request body and frame buffers — the
+// router re-encodes sub-batches through the tabled client's own pools, so
+// this only covers the front-door decode/encode.
+type routerScratch struct {
+	body []byte
+	ops  []tabled.Op
+	out  []byte
+}
+
+var routerScratchPool = sync.Pool{New: func() any { return new(routerScratch) }}
+
+func isBinaryContentType(ct string) bool {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(ct) == tabled.ContentTypeBinary
+}
+
+// handleBatch decodes one batch (JSON or binary, mirroring tabledserver's
+// negotiation), routes it through the cluster, and answers in the same
+// encoding. Per-op failures come back inline under a 200; only a batch in
+// which EVERY op failed and at least one failure was member unavailability
+// collapses to a typed 503, so a blanket outage looks like one retryable
+// error instead of a success full of failures.
+func (h *frontDoor) handleBatch(w http.ResponseWriter, r *http.Request) {
+	scr := routerScratchPool.Get().(*routerScratch)
+	defer routerScratchPool.Put(scr)
+	binary := isBinaryContentType(r.Header.Get("Content-Type"))
+	var err error
+	scr.body, err = readAll(scr.body[:0], r.Body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", mbe.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "reading request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var ops []tabled.Op
+	if binary {
+		ops, err = tabled.DecodeBatchRequest(scr.body, scr.ops, h.opt.MaxBatch)
+		if err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		scr.ops = ops
+	} else {
+		var req tabled.BatchRequest
+		dec := json.NewDecoder(bytes.NewReader(scr.body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		ops = req.Ops
+	}
+	if len(ops) == 0 {
+		http.Error(w, "bad request: empty batch", http.StatusBadRequest)
+		return
+	}
+	if len(ops) > h.opt.MaxBatch {
+		http.Error(w, fmt.Sprintf("bad request: batch of %d exceeds limit %d",
+			len(ops), h.opt.MaxBatch), http.StatusBadRequest)
+		return
+	}
+	results := h.rt.Execute(r.Context(), ops, r.Header.Get(tabled.IdempotencyKeyHeader))
+	if AllUnavailable(results) {
+		// The whole batch failed on unavailable members (e.g. a write to a
+		// degraded range, or every owner down): a typed, retryable refusal.
+		http.Error(w, firstError(results), http.StatusServiceUnavailable)
+		return
+	}
+	if binary {
+		scr.out, err = tabled.AppendBatchResponse(scr.out[:0], results)
+		if err != nil {
+			http.Error(w, "encoding response: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", tabled.ContentTypeBinary)
+		_, _ = w.Write(scr.out)
+		return
+	}
+	body, err := json.Marshal(&tabled.BatchResponse{Results: results})
+	if err != nil {
+		http.Error(w, "encoding response: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+}
+
+// readAll reads r into buf (reusing its capacity); the byte cap is already
+// imposed by the MaxBytesReader that APIStack wrapped around r.
+func readAll(buf []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
+func firstError(results []tabled.OpResult) string {
+	for i := range results {
+		if IsUnavailable(results[i].Err) {
+			return results[i].Err
+		}
+	}
+	return results[0].Err
+}
+
+func (h *frontDoor) handleStats(w http.ResponseWriter, r *http.Request) {
+	reply, err := h.rt.ClusterStats(r.Context())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(reply)
+}
+
+func (h *frontDoor) handleCluster(w http.ResponseWriter, r *http.Request) {
+	reply := h.rt.Status()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(reply)
+}

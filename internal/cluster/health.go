@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// A State is a cluster member's last observed health.
+type State int32
+
+const (
+	// StateHealthy: /readyz answered 200 — reads and writes route there.
+	StateHealthy State = iota
+	// StateDegraded: /readyz answered "degraded: …" (the member's WAL
+	// failed and it is read-only) — reads still route there, writes for
+	// its range fail fast at the router.
+	StateDegraded
+	// StateDown: /readyz unreachable, draining, or otherwise not serving —
+	// nothing routes there; its range is unavailable.
+	StateDown
+)
+
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateDegraded:
+		return "degraded"
+	default:
+		return "down"
+	}
+}
+
+// DefaultHealthInterval is how often the checker sweeps the members.
+const DefaultHealthInterval = 500 * time.Millisecond
+
+// DefaultHealthTimeout bounds one probe request.
+const DefaultHealthTimeout = 2 * time.Second
+
+// A Checker actively polls every member's /readyz and publishes a State
+// per node for the router's routing decisions. States start Healthy
+// (optimistic, so a router booted before its checker's first sweep does
+// not refuse traffic); call CheckNow once at boot for an immediate
+// baseline.
+type Checker struct {
+	spec     *Spec
+	interval time.Duration
+	timeout  time.Duration
+	httpc    *http.Client
+	logger   *slog.Logger
+	m        *Metrics
+	states   []atomic.Int32
+}
+
+// CheckerOptions configures NewChecker; zero values select defaults.
+type CheckerOptions struct {
+	// Interval between sweeps (0 → DefaultHealthInterval).
+	Interval time.Duration
+	// Timeout per probe request (0 → DefaultHealthTimeout).
+	Timeout time.Duration
+	// HTTPClient issues the probes (nil → http.DefaultClient).
+	HTTPClient *http.Client
+	// Logger receives one line per state transition (may be nil).
+	Logger *slog.Logger
+	// Metrics receives per-node up/degraded gauges (may be nil).
+	Metrics *Metrics
+}
+
+// NewChecker builds a checker over the spec's members.
+func NewChecker(spec *Spec, opt CheckerOptions) *Checker {
+	if opt.Interval <= 0 {
+		opt.Interval = DefaultHealthInterval
+	}
+	if opt.Timeout <= 0 {
+		opt.Timeout = DefaultHealthTimeout
+	}
+	if opt.HTTPClient == nil {
+		opt.HTTPClient = http.DefaultClient
+	}
+	return &Checker{
+		spec:     spec,
+		interval: opt.Interval,
+		timeout:  opt.Timeout,
+		httpc:    opt.HTTPClient,
+		logger:   opt.Logger,
+		m:        opt.Metrics,
+		states:   make([]atomic.Int32, len(spec.Nodes)),
+	}
+}
+
+// State returns node n's last observed state.
+func (c *Checker) State(n int) State { return State(c.states[n].Load()) }
+
+// FirstHealthy returns the lowest-index healthy node, falling back to the
+// lowest degraded one (it can still answer reads/dims), then to 0 — the
+// anycast target must always exist even when everything is down.
+func (c *Checker) FirstHealthy() int {
+	deg := -1
+	for i := range c.states {
+		switch c.State(i) {
+		case StateHealthy:
+			return i
+		case StateDegraded:
+			if deg < 0 {
+				deg = i
+			}
+		}
+	}
+	if deg >= 0 {
+		return deg
+	}
+	return 0
+}
+
+// Summary reports whether every member is healthy and, when not, a short
+// detail naming the unhealthy ones, e.g. "1/3 nodes unhealthy: node-1 down".
+func (c *Checker) Summary() (allHealthy bool, detail string) {
+	var bad []string
+	for i := range c.states {
+		if st := c.State(i); st != StateHealthy {
+			bad = append(bad, c.spec.Nodes[i].Name+" "+st.String())
+		}
+	}
+	if len(bad) == 0 {
+		return true, ""
+	}
+	return false, fmt.Sprintf("%d/%d nodes unhealthy: %s", len(bad), len(c.spec.Nodes), strings.Join(bad, ", "))
+}
+
+// CheckNow probes every member once, concurrently, and publishes the
+// observed states before returning.
+func (c *Checker) CheckNow(ctx context.Context) {
+	var wg sync.WaitGroup
+	for i := range c.spec.Nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st := c.probe(ctx, i)
+			old := State(c.states[i].Swap(int32(st)))
+			if old != st {
+				if c.logger != nil {
+					c.logger.Info("cluster: node state change",
+						"node", c.spec.Nodes[i].Name, "from", old.String(), "to", st.String())
+				}
+			}
+			c.m.nodeState(i, st)
+		}(i)
+	}
+	wg.Wait()
+	c.m.healthSweep()
+}
+
+// probe classifies one member from its /readyz:
+//
+//	200                         → healthy
+//	503 with a "degraded:" body → degraded (read-only member)
+//	anything else               → down (unreachable, draining, …)
+func (c *Checker) probe(ctx context.Context, i int) State {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.spec.Nodes[i].Base+"/readyz", nil)
+	if err != nil {
+		return StateDown
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return StateDown
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return StateHealthy
+	case resp.StatusCode == http.StatusServiceUnavailable &&
+		strings.HasPrefix(strings.TrimSpace(string(body)), "degraded"):
+		return StateDegraded
+	default:
+		return StateDown
+	}
+}
+
+// Run sweeps the members every interval until ctx ends — wire it as a
+// srvkit.Lifecycle background task.
+func (c *Checker) Run(ctx context.Context) {
+	t := time.NewTicker(c.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.CheckNow(ctx)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeMember is an httptest server whose /readyz answer is switchable.
+type fakeMember struct {
+	srv  *httptest.Server
+	mode atomic.Value // "healthy" | "degraded" | "down"
+}
+
+func newFakeMember(t *testing.T) *fakeMember {
+	t.Helper()
+	m := &fakeMember{}
+	m.mode.Store("healthy")
+	m.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" {
+			http.NotFound(w, r)
+			return
+		}
+		switch m.mode.Load().(string) {
+		case "healthy":
+			w.Write([]byte("ready\n"))
+		case "degraded":
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("degraded: read-only (WAL volume failed)\n"))
+		default:
+			w.WriteHeader(http.StatusInternalServerError)
+		}
+	}))
+	t.Cleanup(m.srv.Close)
+	return m
+}
+
+func memberSpec(members ...*fakeMember) *Spec {
+	s := &Spec{Mapping: "diagonal"}
+	lo := int64(1)
+	for i, m := range members {
+		s.Nodes = append(s.Nodes, NodeSpec{
+			Name: "node-" + string(rune('0'+i)), Base: m.srv.URL, Lo: lo, Hi: lo + 100,
+		})
+		lo += 100
+	}
+	return s
+}
+
+func TestCheckerStates(t *testing.T) {
+	a, b, c := newFakeMember(t), newFakeMember(t), newFakeMember(t)
+	spec := memberSpec(a, b, c)
+	ck := NewChecker(spec, CheckerOptions{})
+
+	// Optimistic start: everything reads healthy before the first sweep.
+	for i := 0; i < 3; i++ {
+		if st := ck.State(i); st != StateHealthy {
+			t.Fatalf("initial State(%d) = %v", i, st)
+		}
+	}
+
+	b.mode.Store("degraded")
+	c.mode.Store("down")
+	ck.CheckNow(context.Background())
+	if ck.State(0) != StateHealthy || ck.State(1) != StateDegraded || ck.State(2) != StateDown {
+		t.Fatalf("states = %v %v %v", ck.State(0), ck.State(1), ck.State(2))
+	}
+	ok, detail := ck.Summary()
+	if ok || detail != "2/3 nodes unhealthy: node-1 degraded, node-2 down" {
+		t.Fatalf("Summary = %v %q", ok, detail)
+	}
+	if got := ck.FirstHealthy(); got != 0 {
+		t.Fatalf("FirstHealthy = %d", got)
+	}
+
+	// An unreachable server (connection refused) is down too.
+	a.srv.Close()
+	ck.CheckNow(context.Background())
+	if ck.State(0) != StateDown {
+		t.Fatalf("closed member State = %v, want down", ck.State(0))
+	}
+	// With no healthy member left the degraded one still anycasts reads.
+	if got := ck.FirstHealthy(); got != 1 {
+		t.Fatalf("FirstHealthy = %d, want the degraded member", got)
+	}
+
+	// Recovery flips back.
+	b.mode.Store("healthy")
+	c.mode.Store("healthy")
+	ck.CheckNow(context.Background())
+	if ck.State(1) != StateHealthy || ck.State(2) != StateHealthy {
+		t.Fatalf("recovered states = %v %v", ck.State(1), ck.State(2))
+	}
+	if ok, _ := ck.Summary(); ok {
+		t.Fatal("Summary healthy while node-0 is down")
+	}
+}
+
+func TestCheckerAllDownFirstHealthyIsZero(t *testing.T) {
+	a := newFakeMember(t)
+	spec := memberSpec(a)
+	ck := NewChecker(spec, CheckerOptions{})
+	a.srv.Close()
+	ck.CheckNow(context.Background())
+	if got := ck.FirstHealthy(); got != 0 {
+		t.Fatalf("FirstHealthy with everything down = %d, want 0", got)
+	}
+	ok, detail := ck.Summary()
+	if ok || detail == "" {
+		t.Fatalf("Summary = %v %q", ok, detail)
+	}
+}

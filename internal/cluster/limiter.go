@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// limiterMaxClients bounds the per-client bookkeeping map; past it, Allow
+// sweeps entries idle for two windows before admitting new clients. A
+// router fronting millions of users sees far fewer distinct client IPs per
+// window than this at any sane limit.
+const limiterMaxClients = 65536
+
+// A Limiter is the router front door's per-client admission control: a
+// sliding-window counter in the two-bucket approximation (current window
+// count plus the previous window's, weighted by overlap — the classic
+// trade of one timestamped deque per client for two integers). A client
+// is admitted while its estimated rate over the trailing window stays
+// below Limit.
+//
+// The zero Limiter admits everything (Limit 0 disables).
+type Limiter struct {
+	// Limit is the admitted requests per Window per client (≤ 0 = off).
+	Limit int
+	// Window is the sliding window length (0 → 1s).
+	Window time.Duration
+	// Now is the clock seam for tests (nil → time.Now).
+	Now func() time.Time
+
+	mu sync.Mutex
+	m  map[string]*window
+}
+
+type window struct {
+	start     time.Time // start of the current bucket
+	cur, prev int
+}
+
+func (l *Limiter) window() time.Duration {
+	if l.Window > 0 {
+		return l.Window
+	}
+	return time.Second
+}
+
+func (l *Limiter) now() time.Time {
+	if l.Now != nil {
+		return l.Now()
+	}
+	return time.Now()
+}
+
+// Allow records one request for key and reports whether it is admitted.
+func (l *Limiter) Allow(key string) bool {
+	if l.Limit <= 0 {
+		return true
+	}
+	w := l.window()
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.m == nil {
+		l.m = make(map[string]*window)
+	}
+	e := l.m[key]
+	if e == nil {
+		if len(l.m) >= limiterMaxClients {
+			l.sweepLocked(now, w)
+		}
+		e = &window{start: now}
+		l.m[key] = e
+	}
+	// Rotate buckets forward to the window containing now.
+	switch elapsed := now.Sub(e.start); {
+	case elapsed >= 2*w:
+		e.start, e.cur, e.prev = now, 0, 0
+	case elapsed >= w:
+		e.start, e.prev, e.cur = e.start.Add(w), e.cur, 0
+	}
+	// Weighted estimate over the trailing window: the previous bucket
+	// counts by how much of it the window still covers.
+	frac := 1 - float64(now.Sub(e.start))/float64(w)
+	if frac < 0 {
+		frac = 0
+	}
+	est := float64(e.cur) + frac*float64(e.prev)
+	if est >= float64(l.Limit) {
+		return false
+	}
+	e.cur++
+	return true
+}
+
+// sweepLocked drops clients idle for at least two windows.
+func (l *Limiter) sweepLocked(now time.Time, w time.Duration) {
+	for k, e := range l.m {
+		if now.Sub(e.start) >= 2*w {
+			delete(l.m, k)
+		}
+	}
+}
+
+// ClientKey is the default admission key: the client IP (RemoteAddr
+// without the port). Deployments behind a trusted proxy would swap in a
+// keyFn reading the forwarded address instead.
+func ClientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// Middleware wraps next with admission control: a request over the limit
+// answers 429 with a Retry-After hint and never reaches next. keyFn nil
+// uses ClientKey; a nil or disabled limiter passes everything through.
+func (l *Limiter) Middleware(keyFn func(*http.Request) string, m *Metrics, next http.Handler) http.Handler {
+	if l == nil || l.Limit <= 0 {
+		return next
+	}
+	if keyFn == nil {
+		keyFn = ClientKey
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !l.Allow(keyFn(r)) {
+			m.rateLimited()
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "cluster: rate limit exceeded", http.StatusTooManyRequests)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestLimiterWindowMath(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := &Limiter{Limit: 10, Window: time.Second, Now: func() time.Time { return now }}
+
+	for i := 0; i < 10; i++ {
+		if !l.Allow("c") {
+			t.Fatalf("request %d refused under the limit", i)
+		}
+	}
+	if l.Allow("c") {
+		t.Fatal("11th request in one window admitted")
+	}
+	// Other clients are independent.
+	if !l.Allow("other") {
+		t.Fatal("separate client refused")
+	}
+
+	// Half a window later the previous bucket still weighs in at ~50%:
+	// estimate = 0 + 0.5·10 = 5, so 5 more requests fit.
+	now = now.Add(1500 * time.Millisecond)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if l.Allow("c") {
+			admitted++
+		}
+	}
+	if admitted != 5 {
+		t.Fatalf("admitted %d half a window later, want 5", admitted)
+	}
+
+	// Two idle windows reset the client completely.
+	now = now.Add(2 * time.Second)
+	for i := 0; i < 10; i++ {
+		if !l.Allow("c") {
+			t.Fatalf("request %d refused after full reset", i)
+		}
+	}
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	var l Limiter // zero Limit = off
+	for i := 0; i < 10000; i++ {
+		if !l.Allow("c") {
+			t.Fatal("disabled limiter refused a request")
+		}
+	}
+}
+
+func TestLimiterSweep(t *testing.T) {
+	now := time.Unix(0, 0)
+	l := &Limiter{Limit: 1, Window: time.Second, Now: func() time.Time { return now }}
+	l.Allow("old")
+	now = now.Add(3 * time.Second)
+	l.sweepLocked(now, time.Second) // mu not needed: single goroutine
+	if len(l.m) != 0 {
+		t.Fatalf("idle client survived the sweep: %v", l.m)
+	}
+}
+
+func TestLimiterMiddleware(t *testing.T) {
+	now := time.Unix(0, 0)
+	l := &Limiter{Limit: 2, Window: time.Second, Now: func() time.Time { return now }}
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })
+	h := l.Middleware(nil, nil, next)
+
+	status := func(remote string) int {
+		req := httptest.NewRequest(http.MethodPost, "/v1/batch", nil)
+		req.RemoteAddr = remote
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	if status("10.0.0.1:111") != http.StatusOK || status("10.0.0.1:222") != http.StatusOK {
+		t.Fatal("requests under the limit refused")
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/batch", nil)
+	req.RemoteAddr = "10.0.0.1:333" // same IP, different port: same client
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-limit status = %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if status("10.0.0.2:111") != http.StatusOK {
+		t.Fatal("unrelated client caught by another client's limit")
+	}
+}
+
+func TestLimiterMiddlewareDisabledPassthrough(t *testing.T) {
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusTeapot) })
+	for _, l := range []*Limiter{nil, {Limit: 0}} {
+		h := l.Middleware(nil, nil, next)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/", nil))
+		if rec.Code != http.StatusTeapot {
+			t.Fatalf("disabled limiter intercepted: %d", rec.Code)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"time"
+
+	"pairfn/internal/obs"
+)
+
+// Metrics is the router instrumentation bundle, registered under
+// cluster_*. A nil *Metrics records nothing, so every component takes one
+// unconditionally.
+type Metrics struct {
+	nodeOps    []*obs.Counter
+	nodeErrs   []*obs.Counter
+	nodeDur    []*obs.Histogram
+	nodeUpG    []*obs.Gauge
+	nodeDegG   []*obs.Gauge
+	sweeps     *obs.Counter
+	limited    *obs.Counter
+	unroutable *obs.Counter
+}
+
+// NewMetrics registers the cluster metric families on reg (nil reg → nil
+// Metrics) for the spec's members.
+func NewMetrics(reg *obs.Registry, spec *Spec) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	reg.Help("cluster_node_ops_total", "Batch ops routed to each member node.")
+	reg.Help("cluster_node_errors_total", "Sub-batch requests to each member that failed (transport or non-200, after retries).")
+	reg.Help("cluster_node_batch_duration_seconds", "Sub-batch round-trip latency, by member.")
+	reg.Help("cluster_node_up", "1 while the member's last health probe was 200-ready.")
+	reg.Help("cluster_node_degraded", "1 while the member's last health probe reported read-only degradation.")
+	reg.Help("cluster_health_sweeps_total", "Completed health sweeps over all members.")
+	reg.Help("cluster_rate_limited_total", "Requests refused by the per-client admission limiter.")
+	reg.Help("cluster_unroutable_ops_total", "Ops answered locally by the router (address outside every configured range, or unknown op kind).")
+	m := &Metrics{
+		sweeps:     reg.Counter("cluster_health_sweeps_total"),
+		limited:    reg.Counter("cluster_rate_limited_total"),
+		unroutable: reg.Counter("cluster_unroutable_ops_total"),
+	}
+	for _, n := range spec.Nodes {
+		l := obs.L("node", n.Name)
+		m.nodeOps = append(m.nodeOps, reg.Counter("cluster_node_ops_total", l))
+		m.nodeErrs = append(m.nodeErrs, reg.Counter("cluster_node_errors_total", l))
+		m.nodeDur = append(m.nodeDur, reg.Histogram("cluster_node_batch_duration_seconds", obs.DefDurationBuckets, l))
+		up := reg.Gauge("cluster_node_up", l)
+		up.Set(1) // states start optimistic-healthy
+		m.nodeUpG = append(m.nodeUpG, up)
+		m.nodeDegG = append(m.nodeDegG, reg.Gauge("cluster_node_degraded", l))
+	}
+	return m
+}
+
+// nodeBatch records one sub-batch round trip to node n.
+func (m *Metrics) nodeBatch(n, ops int, d time.Duration, failed bool) {
+	if m == nil {
+		return
+	}
+	m.nodeOps[n].Add(int64(ops))
+	if failed {
+		m.nodeErrs[n].Inc()
+	}
+	m.nodeDur[n].Observe(d.Seconds())
+}
+
+// nodeState publishes node n's probed state.
+func (m *Metrics) nodeState(n int, st State) {
+	if m == nil {
+		return
+	}
+	up, deg := int64(0), int64(0)
+	switch st {
+	case StateHealthy:
+		up = 1
+	case StateDegraded:
+		deg = 1
+	}
+	m.nodeUpG[n].Set(up)
+	m.nodeDegG[n].Set(deg)
+}
+
+func (m *Metrics) healthSweep() {
+	if m != nil {
+		m.sweeps.Inc()
+	}
+}
+
+func (m *Metrics) rateLimited() {
+	if m != nil {
+		m.limited.Inc()
+	}
+}
+
+func (m *Metrics) unroutableOps(n int) {
+	if m != nil {
+		m.unroutable.Add(int64(n))
+	}
+}
+
+// nodeSnapshot returns node n's cumulative op/error counts and latency
+// histogram for /v1/cluster.
+func (m *Metrics) nodeSnapshot(n int) (ops, errs int64, bounds []float64, counts []int64) {
+	if m == nil {
+		return 0, 0, nil, nil
+	}
+	bounds, counts = m.nodeDur[n].Snapshot()
+	return m.nodeOps[n].Value(), m.nodeErrs[n].Value(), bounds, counts
+}
+
+// HistogramPercentile estimates the p-quantile (0 < p ≤ 1) of an
+// obs.Histogram snapshot: bounds are bucket upper limits, counts the
+// CUMULATIVE count at or below each bound with one trailing +Inf entry
+// (exactly obs.Histogram.Snapshot's shape). Linear interpolation inside
+// the selected bucket; observations in the +Inf bucket report the last
+// finite bound (an underestimate, flagged by the caller if it matters).
+// tabledload's -nodes summary runs this over snapshot DELTAS to report
+// one load run's per-node percentiles.
+func HistogramPercentile(bounds []float64, counts []int64, p float64) float64 {
+	if len(counts) == 0 || len(bounds) != len(counts)-1 {
+		return 0
+	}
+	total := counts[len(counts)-1]
+	if total <= 0 {
+		return 0
+	}
+	rank := p * float64(total)
+	lo := 0.0
+	for i, b := range bounds {
+		c := float64(counts[i])
+		if c >= rank {
+			prev := 0.0
+			if i > 0 {
+				prev = float64(counts[i-1])
+			}
+			if c == prev {
+				return b
+			}
+			return lo + (b-lo)*(rank-prev)/(c-prev)
+		}
+		lo = b
+	}
+	return bounds[len(bounds)-1]
+}

@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pairfn/internal/core"
+	"pairfn/internal/extarray"
+	"pairfn/internal/tabled"
+)
+
+// diag is the diagonal mapping: addr(x,y) = (x+y−1)(x+y−2)/2 + y, handy in
+// tests because owners are computable by hand.
+func diag(t *testing.T) core.PF {
+	t.Helper()
+	f, err := core.ByName("diagonal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func diagAddr(x, y int64) int64 { return (x+y-1)*(x+y-2)/2 + y }
+
+func newTestPartitioner(t *testing.T, s *Spec) *Partitioner {
+	t.Helper()
+	rm, err := NewRangeMap(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewPartitioner(diag(t), rm)
+}
+
+func TestPartitionClassification(t *testing.T) {
+	pt := newTestPartitioner(t, spec3()) // a:[1,100) b:[100,250) c:[250,1000)
+	ops := []tabled.Op{
+		{Op: "set", X: 1, Y: 1, V: "v"},   // addr 1 → node 0
+		{Op: "get", X: 1, Y: 1},           // addr 1 → node 0
+		{Op: "resize", Rows: 9, Cols: 9},  // broadcast
+		{Op: "set", X: 13, Y: 1, V: "b"},  // addr diagAddr(13,1)=79 → node 0
+		{Op: "get", X: 10, Y: 5},          // addr diagAddr(10,5)=96 → node 0
+		{Op: "set", X: 10, Y: 9, V: "m"},  // addr 162 → node 1
+		{Op: "dims"},                      // anycast
+		{Op: "set", X: 0, Y: 1, V: "bad"}, // encode fails → anycast (forwarded for the error)
+		{Op: "get", X: 25, Y: 25},         // addr 1201 → outside every range → local
+		{Op: "frobnicate"},                // unknown kind → answered locally
+		{Op: "stats"},                     // broadcast
+		{Op: "set", X: 2, Y: 22, V: "c"},  // addr 275 → node 2
+	}
+	if diagAddr(13, 1) != 79 || diagAddr(10, 5) != 96 || diagAddr(10, 9) != 162 ||
+		diagAddr(25, 25) != 1201 || diagAddr(2, 22) != 275 {
+		t.Fatal("hand-computed addresses drifted")
+	}
+	p := pt.Partition(ops, 1) // anycast target: node 1
+	defer p.Release()
+
+	// Broadcasts appear once per node, everything else exactly once.
+	// 12 ops − 2 local − 2 broadcast = 8 singles, plus 2 broadcasts × 3 nodes.
+	if got, want := p.NumAssignments(), 8+2*3; got != want {
+		t.Fatalf("NumAssignments = %d, want %d", got, want)
+	}
+	wantSubs := [][]string{
+		0: {"set", "get", "resize", "set", "get", "stats"},
+		1: {"resize", "set", "dims", "set", "stats"},
+		2: {"resize", "stats", "set"},
+	}
+	for n, want := range wantSubs {
+		sub, idx := p.Sub(n)
+		if len(sub) != len(want) {
+			t.Fatalf("node %d sub = %d ops, want %d (%v)", n, len(sub), len(want), sub)
+		}
+		for k := range sub {
+			if sub[k].Op != want[k] {
+				t.Errorf("node %d op %d = %q, want %q", n, k, sub[k].Op, want[k])
+			}
+		}
+		// Sub-batches preserve request order: idx strictly increasing.
+		for k := 1; k < len(idx); k++ {
+			if idx[k] <= idx[k-1] {
+				t.Errorf("node %d indices not increasing: %v", n, idx)
+			}
+		}
+	}
+
+	// The out-of-range op and the unknown kind are answered locally — the
+	// former with the typed error, the latter with the server's own text.
+	out := make([]tabled.OpResult, len(ops))
+	if n := p.MergeLocal(out); n != 2 {
+		t.Fatalf("MergeLocal = %d, want 2", n)
+	}
+	if !strings.Contains(out[8].Err, ErrOutOfRange.Error()) {
+		t.Fatalf("out-of-range result = %+v", out[8])
+	}
+	if out[9].Err != `unknown op "frobnicate"` {
+		t.Fatalf("unknown-kind result = %+v", out[9])
+	}
+}
+
+func TestPartitionSingleNodeIsIdentity(t *testing.T) {
+	s := &Spec{Mapping: "diagonal", Nodes: []NodeSpec{{Name: "solo", Base: "http://s", Lo: 1, Hi: 1 << 40}}}
+	pt := newTestPartitioner(t, s)
+	ops := []tabled.Op{
+		{Op: "set", X: 3, Y: 4, V: "v"},
+		{Op: "resize", Rows: 10, Cols: 10},
+		{Op: "get", X: 3, Y: 4},
+		{Op: "dims"},
+		{Op: "stats"},
+		{Op: "set", X: -1, Y: 2, V: "bad"},
+	}
+	p := pt.Partition(ops, 0)
+	defer p.Release()
+	sub, idx := p.Sub(0)
+	if len(sub) != len(ops) {
+		t.Fatalf("single node sub = %d ops, want all %d", len(sub), len(ops))
+	}
+	for k := range sub {
+		if int(idx[k]) != k || sub[k].Op != ops[k].Op {
+			t.Fatalf("single-node sub is not the identity at %d: %v", k, sub[k])
+		}
+	}
+}
+
+func TestMergeBroadcastRules(t *testing.T) {
+	pt := newTestPartitioner(t, spec3())
+	ops := []tabled.Op{
+		{Op: "stats"},
+		{Op: "resize", Rows: 5, Cols: 5},
+	}
+	p := pt.Partition(ops, 0)
+	defer p.Release()
+	out := make([]tabled.OpResult, len(ops))
+	p.MergeLocal(out)
+
+	st := func(moves, foot, reshapes int64) *extarray.Stats {
+		return &extarray.Stats{Moves: moves, Footprint: foot, Reshapes: reshapes}
+	}
+	// Node 0: ok stats, ok resize. Node 1: resize failed. Node 2: ok.
+	p.MergeInto(out, 0, []tabled.OpResult{{OK: true, Stats: st(2, 90, 3)}, {OK: true, Rows: 5, Cols: 5}})
+	p.MergeInto(out, 1, []tabled.OpResult{{OK: true, Stats: st(5, 240, 3)}, {Err: "resize exploded"}})
+	p.MergeInto(out, 2, []tabled.OpResult{{OK: true, Stats: st(1, 700, 3)}, {OK: true, Rows: 5, Cols: 5}})
+	p.FillUnmerged(out, errUnrouted)
+
+	got := out[0].Stats
+	if got == nil || got.Moves != 8 || got.Footprint != 700 || got.Reshapes != 3 {
+		t.Fatalf("aggregated stats = %+v, want Moves 8, Footprint 700, Reshapes 3", got)
+	}
+	if out[1].Err != "resize exploded" || out[1].OK {
+		t.Fatalf("broadcast resize error lost: %+v", out[1])
+	}
+}
+
+func TestMergeFirstErrorWinsInNodeOrder(t *testing.T) {
+	pt := newTestPartitioner(t, spec3())
+	ops := []tabled.Op{{Op: "resize", Rows: 4, Cols: 4}}
+	p := pt.Partition(ops, 0)
+	defer p.Release()
+	out := make([]tabled.OpResult, 1)
+	p.MergeInto(out, 0, []tabled.OpResult{{Err: "first"}})
+	p.MergeInto(out, 1, []tabled.OpResult{{Err: "second"}})
+	p.MergeInto(out, 2, []tabled.OpResult{{OK: true}})
+	if out[0].Err != "first" {
+		t.Fatalf("Err = %q, want the lowest node's", out[0].Err)
+	}
+}
+
+func TestFillUnmerged(t *testing.T) {
+	pt := newTestPartitioner(t, spec3())
+	ops := []tabled.Op{{Op: "get", X: 1, Y: 1}, {Op: "get", X: 10, Y: 9}}
+	p := pt.Partition(ops, 0)
+	defer p.Release()
+	out := make([]tabled.OpResult, 2)
+	p.MergeInto(out, 0, []tabled.OpResult{{OK: true, Found: true, V: "x"}})
+	// Node 1's reply never arrives.
+	sentinel := errors.New("cluster: dropped")
+	p.FillUnmerged(out, sentinel)
+	if out[0].V != "x" || out[1].Err != sentinel.Error() {
+		t.Fatalf("fill = %+v", out)
+	}
+}
+
+func TestAggregateStats(t *testing.T) {
+	var agg extarray.Stats
+	AggregateStats(&agg, extarray.Stats{Moves: 3, Footprint: 10, Reshapes: 2})
+	AggregateStats(&agg, extarray.Stats{Moves: 4, Footprint: 7, Reshapes: 5})
+	if agg.Moves != 7 || agg.Footprint != 10 || agg.Reshapes != 5 {
+		t.Fatalf("agg = %+v", agg)
+	}
+}
+
+// TestPlanReuse exercises the pool across differently-shaped batches: a
+// stale plan must never leak assignments or local errors into a later one.
+func TestPlanReuse(t *testing.T) {
+	pt := newTestPartitioner(t, spec3())
+	big := make([]tabled.Op, 64)
+	for i := range big {
+		big[i] = tabled.Op{Op: "stats"}
+	}
+	p := pt.Partition(big, 0)
+	p.Release()
+	small := []tabled.Op{{Op: "get", X: 1, Y: 1}}
+	p = pt.Partition(small, 0)
+	defer p.Release()
+	if p.NumAssignments() != 1 {
+		t.Fatalf("NumAssignments = %d after pool reuse, want 1", p.NumAssignments())
+	}
+	out := make([]tabled.OpResult, 1)
+	if n := p.MergeLocal(out); n != 0 {
+		t.Fatalf("MergeLocal leaked %d stale local errors", n)
+	}
+}

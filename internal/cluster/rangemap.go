@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// A NodeSpec is one cluster member: a tabledserver owning the contiguous
+// PF-address range [Lo, Hi).
+type NodeSpec struct {
+	// Name identifies the node in metrics, logs, and /v1/cluster.
+	Name string `json:"name"`
+	// Base is the node's URL, e.g. "http://10.0.0.7:8080".
+	Base string `json:"base"`
+	// Lo is the first address the node owns (inclusive, ≥ 1).
+	Lo int64 `json:"lo"`
+	// Hi is the end of the node's range (exclusive; Hi > Lo).
+	Hi int64 `json:"hi"`
+}
+
+// A Spec is the static cluster map the router serves from: the storage
+// mapping every member must be running, plus the members in ascending
+// range order. Ranges must tile [Nodes[0].Lo, Nodes[last].Hi) exactly —
+// contiguous, non-empty, non-overlapping — and start at address 1, the
+// smallest address any PF produces. Addresses at or past the last range's
+// Hi are a routing error (ErrOutOfRange), so the final range should carry
+// whatever growth headroom the workload needs.
+type Spec struct {
+	Mapping string     `json:"mapping"`
+	Nodes   []NodeSpec `json:"nodes"`
+}
+
+// ErrOutOfRange reports a PF address no configured range owns. It is a
+// cluster-configuration error (the spec does not cover the address space
+// the workload reaches), answered per-op — never a panic.
+var ErrOutOfRange = errors.New("cluster: address outside every configured range")
+
+// ErrSpec reports an invalid cluster spec.
+var ErrSpec = errors.New("cluster: invalid spec")
+
+// Validate checks the spec invariants: a known mapping name is NOT
+// required here (the caller resolves it via core.ByName), but the range
+// tiling is.
+func (s *Spec) Validate() error {
+	if len(s.Nodes) == 0 {
+		return fmt.Errorf("%w: no nodes", ErrSpec)
+	}
+	if s.Mapping == "" {
+		return fmt.Errorf("%w: missing mapping name", ErrSpec)
+	}
+	seen := make(map[string]bool, len(s.Nodes))
+	for i, n := range s.Nodes {
+		if n.Name == "" {
+			return fmt.Errorf("%w: node %d has no name", ErrSpec, i)
+		}
+		if seen[n.Name] {
+			return fmt.Errorf("%w: duplicate node name %q", ErrSpec, n.Name)
+		}
+		seen[n.Name] = true
+		if n.Base == "" {
+			return fmt.Errorf("%w: node %q has no base URL", ErrSpec, n.Name)
+		}
+		if n.Hi <= n.Lo {
+			return fmt.Errorf("%w: node %q owns empty range [%d, %d)", ErrSpec, n.Name, n.Lo, n.Hi)
+		}
+	}
+	if s.Nodes[0].Lo != 1 {
+		return fmt.Errorf("%w: first range starts at %d, want 1 (PF addresses are 1-based)",
+			ErrSpec, s.Nodes[0].Lo)
+	}
+	for i := 1; i < len(s.Nodes); i++ {
+		prev, cur := s.Nodes[i-1], s.Nodes[i]
+		if cur.Lo != prev.Hi {
+			return fmt.Errorf("%w: gap or overlap between %q [%d, %d) and %q [%d, %d)",
+				ErrSpec, prev.Name, prev.Lo, prev.Hi, cur.Name, cur.Lo, cur.Hi)
+		}
+	}
+	return nil
+}
+
+// ParseSpec decodes and validates a JSON cluster spec:
+//
+//	{"mapping": "square-shell",
+//	 "nodes": [
+//	   {"name": "n0", "base": "http://127.0.0.1:8081", "lo": 1,     "hi": 30000},
+//	   {"name": "n1", "base": "http://127.0.0.1:8082", "lo": 30000, "hi": 60000},
+//	   {"name": "n2", "base": "http://127.0.0.1:8083", "lo": 60000, "hi": 1099511627776}]}
+func ParseSpec(data []byte) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSpec, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadSpec reads and parses a cluster spec file.
+func LoadSpec(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseSpec(data)
+}
+
+// EvenSpec builds a spec splitting [1, maxAddr+headroom) evenly across
+// bases — the quick-start form behind tabledrouter's -nodes flag, for
+// when writing a JSON file is overkill. The final node absorbs the
+// remainder plus all growth headroom up to hi.
+func EvenSpec(mapping string, bases []string, maxAddr, hi int64) (*Spec, error) {
+	if len(bases) == 0 {
+		return nil, fmt.Errorf("%w: no nodes", ErrSpec)
+	}
+	if maxAddr < int64(len(bases)) {
+		return nil, fmt.Errorf("%w: max address %d below node count %d", ErrSpec, maxAddr, len(bases))
+	}
+	if hi <= maxAddr {
+		hi = maxAddr + 1
+	}
+	span := maxAddr / int64(len(bases))
+	s := &Spec{Mapping: mapping, Nodes: make([]NodeSpec, len(bases))}
+	lo := int64(1)
+	for i, base := range bases {
+		end := lo + span
+		if i == len(bases)-1 {
+			end = hi
+		}
+		s.Nodes[i] = NodeSpec{Name: fmt.Sprintf("node-%d", i), Base: base, Lo: lo, Hi: end}
+		lo = end
+	}
+	return s, s.Validate()
+}
+
+// A RangeMap answers "which node owns this address" by binary search over
+// the spec's range boundaries. It is immutable after construction and
+// safe for concurrent use.
+type RangeMap struct {
+	lows []int64 // lows[i] = Nodes[i].Lo; ascending
+	max  int64   // Nodes[last].Hi (exclusive)
+}
+
+// NewRangeMap indexes a validated spec.
+func NewRangeMap(s *Spec) (*RangeMap, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	m := &RangeMap{lows: make([]int64, len(s.Nodes)), max: s.Nodes[len(s.Nodes)-1].Hi}
+	for i, n := range s.Nodes {
+		m.lows[i] = n.Lo
+	}
+	return m, nil
+}
+
+// NumNodes returns the member count.
+func (m *RangeMap) NumNodes() int { return len(m.lows) }
+
+// NodeFor returns the index of the node owning addr, or ErrOutOfRange
+// (wrapped with the address) when no range covers it. Boundary semantics:
+// addr == Lo belongs to the node, addr == Hi to the next one.
+func (m *RangeMap) NodeFor(addr int64) (int, error) {
+	if addr < m.lows[0] || addr >= m.max {
+		return 0, fmt.Errorf("%w: %d not in [%d, %d)", ErrOutOfRange, addr, m.lows[0], m.max)
+	}
+	// First i with lows[i] > addr; the owner is i-1.
+	i := sort.Search(len(m.lows), func(i int) bool { return m.lows[i] > addr })
+	return i - 1, nil
+}

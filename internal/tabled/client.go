@@ -41,6 +41,12 @@ type Client struct {
 	HTTP  *http.Client
 	Retry *retry.Policy
 	Wire  string // WireJSON ("" = JSON) or WireBinary
+	// Timeout, when positive, bounds each individual batch attempt with its
+	// own deadline (derived from the call's context). Retries get a fresh
+	// deadline per attempt, so one slow attempt doesn't consume the whole
+	// retry budget — the per-call deadline hook the cluster router uses to
+	// keep a stuck member from stalling a fan-out.
+	Timeout time.Duration
 }
 
 // DefaultTransport is the pooled transport zero-HTTP Clients share.
@@ -81,6 +87,12 @@ func (c *Client) httpClient() *http.Client {
 // nothing for its request body.
 var frameBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
+// NewIdemKey returns a fresh 128-bit idempotency key, for callers that
+// coordinate replay protection across several servers — the cluster router
+// derives per-node keys from one of these when the client didn't send its
+// own.
+func NewIdemKey() string { return newIdemKey() }
+
 // newIdemKey returns a fresh 128-bit idempotency key.
 func newIdemKey() string {
 	var b [16]byte
@@ -103,6 +115,15 @@ func retryableStatus(code int) bool {
 // after any configured retries); per-op failures are reported in each
 // OpResult.Err.
 func (c *Client) Batch(ctx context.Context, ops []Op) ([]OpResult, error) {
+	return c.BatchWithKey(ctx, ops, newIdemKey())
+}
+
+// BatchWithKey is Batch with a caller-supplied Idempotency-Key: the key is
+// sent on every attempt, so the server's replay cache absorbs retries from
+// any layer that knows the key — a proxy re-fanning a client's retried
+// batch reuses the client's key and the member replays instead of
+// re-applying. An empty key sends no header (retries then unprotected).
+func (c *Client) BatchWithKey(ctx context.Context, ops []Op, key string) ([]OpResult, error) {
 	var (
 		body        []byte
 		contentType string
@@ -123,7 +144,6 @@ func (c *Client) Batch(ctx context.Context, ops []Op) ([]OpResult, error) {
 		}
 		contentType = "application/json"
 	}
-	key := newIdemKey()
 	if c.Retry == nil {
 		return c.batchOnce(ctx, body, contentType, key, len(ops))
 	}
@@ -142,6 +162,11 @@ func (c *Client) Batch(ctx context.Context, ops []Op) ([]OpResult, error) {
 // batchOnce performs one POST /v1/batch attempt. Non-retryable statuses
 // come back marked retry.Permanent.
 func (c *Client) batchOnce(ctx context.Context, body []byte, contentType, key string, nops int) ([]OpResult, error) {
+	if c.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+		defer cancel()
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/batch", bytes.NewReader(body))
 	if err != nil {
 		return nil, retry.Permanent(err)

@@ -211,8 +211,10 @@ type server struct {
 // — twice).
 const IdempotencyKeyHeader = "Idempotency-Key"
 
-// hasWrites reports whether any op mutates the table.
-func hasWrites(ops []Op) bool {
+// HasWrites reports whether any op mutates the table (set or resize) —
+// the same classification the server's read-only gate applies, exported so
+// routing layers can keep their write-filtering decisions in lockstep.
+func HasWrites(ops []Op) bool {
 	for i := range ops {
 		if ops[i].Op == "set" || ops[i].Op == "resize" {
 			return true
@@ -324,7 +326,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			len(req.Ops), s.opt.MaxBatch), http.StatusBadRequest)
 		return
 	}
-	if !s.opt.Writable.Get() && hasWrites(req.Ops) {
+	if !s.opt.Writable.Get() && HasWrites(req.Ops) {
 		http.Error(w, "read-only: WAL volume failed, writes are disabled", http.StatusServiceUnavailable)
 		return
 	}
@@ -433,7 +435,7 @@ func (s *server) batchBinary(body []byte, scr *wireScratch) (out []byte, status 
 	if len(ops) == 0 {
 		return nil, http.StatusBadRequest, "bad request: empty batch"
 	}
-	if !s.opt.Writable.Get() && hasWrites(ops) {
+	if !s.opt.Writable.Get() && HasWrites(ops) {
 		return nil, http.StatusServiceUnavailable, "read-only: WAL volume failed, writes are disabled"
 	}
 	// Decoded set values alias the pooled request body, which the next
