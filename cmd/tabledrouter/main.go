@@ -19,9 +19,22 @@
 //
 //	{"mapping": "square-shell",
 //	 "nodes": [
-//	   {"name": "n0", "base": "http://127.0.0.1:8081", "lo": 1,     "hi": 30000},
+//	   {"name": "n0", "base": "http://127.0.0.1:8081", "lo": 1,     "hi": 30000,
+//	    "replica": "http://127.0.0.1:9081"},
 //	   {"name": "n1", "base": "http://127.0.0.1:8082", "lo": 30000, "hi": 60000},
 //	   {"name": "n2", "base": "http://127.0.0.1:8083", "lo": 60000, "hi": 1099511627776}]}
+//
+// A node's optional replica is a tabledserver started with
+// -replicate-from pointing at its base. While the primary is degraded or
+// down the router serves that range's reads from the replica; once the
+// replica is promoted (POST /v1/promote) the health checker observes the
+// role change and writes fail over too — no router restart.
+//
+// In -spec mode the file is live: the router re-reads it on SIGHUP and on
+// an mtime change (every -spec-poll), builds a fresh routing table, and
+// swaps it in between requests. An invalid edit is rejected and logged
+// while the old spec keeps serving. -replicas pairs with -nodes the same
+// way (positional, empty entries skip).
 //
 // Ranges must tile the address space from 1 contiguously; the last range's
 // hi is the cluster's growth headroom (addresses past it answer a per-op
@@ -84,6 +97,8 @@ func run() int {
 	retries := flag.Int("retries", 3, "attempts per member sub-batch (1 = no retry)")
 	healthEvery := flag.Duration("health-every", cluster.DefaultHealthInterval, "interval between member /readyz sweeps")
 	healthTimeout := flag.Duration("health-timeout", cluster.DefaultHealthTimeout, "per-probe timeout")
+	replicas := flag.String("replicas", "", "comma-separated replica URLs matched positionally to -nodes (empty entries skip a node; with -spec, put replicas in the file)")
+	specPoll := flag.Duration("spec-poll", srvkit.DefaultReloadPoll, "with -spec: poll interval for live spec reloads (SIGHUP also reloads; negative disables polling)")
 	rate := flag.Int("rate", 0, "per-client-IP /v1/batch requests per -rate-window (0 = unlimited)")
 	rateWindow := flag.Duration("rate-window", time.Second, "sliding admission window")
 	maxBatch := flag.Int("maxbatch", tabled.DefaultMaxBatch, "max ops per /v1/batch request")
@@ -94,36 +109,13 @@ func run() int {
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
-	var (
-		spec *cluster.Spec
-		err  error
-	)
-	switch {
-	case *specPath != "" && *nodes != "":
-		fmt.Fprintln(os.Stderr, "tabledrouter: -spec and -nodes are mutually exclusive")
-		return 2
-	case *specPath != "":
-		spec, err = cluster.LoadSpec(*specPath)
-	case *nodes != "":
-		// The last node's range is open-ended so the cluster keeps routing
-		// as the table grows past -max-addr, as the flag promises.
-		spec, err = cluster.EvenSpec(*mapping, strings.Split(*nodes, ","), *maxAddr, math.MaxInt64)
-	default:
-		fmt.Fprintln(os.Stderr, "tabledrouter: one of -spec or -nodes is required")
-		return 2
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tabledrouter:", err)
-		return 2
-	}
-
 	reg := obs.NewRegistry()
 	ready := obs.NewFlag(true)
 	var pol *retry.Policy
 	if *retries > 1 {
 		pol = &retry.Policy{Base: 50 * time.Millisecond, Max: time.Second, MaxAttempts: *retries}
 	}
-	rt, err := cluster.New(spec, cluster.Options{
+	copt := cluster.Options{
 		Wire:        *nodeWire,
 		Retry:       pol,
 		NodeTimeout: *nodeTimeout,
@@ -133,17 +125,66 @@ func run() int {
 			Interval: *healthEvery,
 			Timeout:  *healthTimeout,
 		},
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tabledrouter:", err)
+	}
+
+	var (
+		src cluster.RouterSource
+		bg  []func(context.Context)
+	)
+	switch {
+	case *specPath != "" && *nodes != "":
+		fmt.Fprintln(os.Stderr, "tabledrouter: -spec and -nodes are mutually exclusive")
+		return 2
+	case *specPath != "":
+		if *replicas != "" {
+			fmt.Fprintln(os.Stderr, "tabledrouter: -replicas goes with -nodes; with -spec, set each node's replica field in the file")
+			return 2
+		}
+		// Spec-file mode reconfigures live: edit the file (promote a
+		// replica, move a boundary) and SIGHUP the router — or just wait
+		// for the poll. The running router serves until the new one is
+		// built and baselined; a botched edit is rejected and logged.
+		rl, err := cluster.NewReloader(*specPath, copt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tabledrouter:", err)
+			return 2
+		}
+		src = rl
+		bg = append(bg, rl.Run, srvkit.ConfigWatcher{
+			Path:   *specPath,
+			Poll:   *specPoll,
+			Reload: rl.Reload,
+			Logger: logger,
+		}.Run)
+	case *nodes != "":
+		// The last node's range is open-ended so the cluster keeps routing
+		// as the table grows past -max-addr, as the flag promises.
+		spec, err := cluster.EvenSpec(*mapping, strings.Split(*nodes, ","), *maxAddr, math.MaxInt64)
+		if err == nil && *replicas != "" {
+			err = spec.WithReplicas(strings.Split(*replicas, ","))
+		}
+		var rt *cluster.Router
+		if err == nil {
+			rt, err = cluster.New(spec, copt)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tabledrouter:", err)
+			return 2
+		}
+		src = rt
+		bg = append(bg, rt.Health().Run)
+	default:
+		fmt.Fprintln(os.Stderr, "tabledrouter: one of -spec or -nodes is required")
 		return 2
 	}
+	rt := src.Router()
+	spec := rt.Spec()
 	// Baseline the member states before accepting traffic so a member that
 	// is already down fails fast from the first request.
 	rt.Health().CheckNow(context.Background())
 
 	mux := http.NewServeMux()
-	mux.Handle("/", cluster.NewHandler(rt, cluster.HandlerOptions{
+	mux.Handle("/", cluster.NewHandler(src, cluster.HandlerOptions{
 		MaxBatch:     *maxBatch,
 		BatchTimeout: *reqTimeout,
 		Limiter:      &cluster.Limiter{Limit: *rate, Window: *rateWindow},
@@ -156,7 +197,8 @@ func run() int {
 	}
 
 	for _, n := range spec.Nodes {
-		logger.Info("member", "node", n.Name, "base", n.Base, "lo", n.Lo, "hi", n.Hi,
+		logger.Info("member", "node", n.Name, "base", n.Base, "replica", n.Replica,
+			"lo", n.Lo, "hi", n.Hi,
 			"state", rt.Health().State(indexOf(spec, n.Name)).String())
 	}
 	logger.Info("routing", "addr", *addr, "mapping", spec.Mapping, "nodes", len(spec.Nodes),
@@ -168,7 +210,7 @@ func run() int {
 		Ready:        ready,
 		Logger:       logger,
 		DrainTimeout: *drain,
-		Background:   []func(context.Context){rt.Health().Run},
+		Background:   bg,
 	}
 	return lc.Run(context.Background())
 }

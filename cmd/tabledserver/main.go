@@ -10,6 +10,7 @@
 //	             -shards 16 -rows 1024 -cols 1024 \
 //	             [-snapshot table.gob [-snapshot-every 30s]] \
 //	             [-wal table.wal [-wal-sync 2ms]] [-faults SPEC] \
+//	             [-replicate-from http://primary:8081] [-repl-ack 2s] \
 //	             [-timeout 30s] [-drain 10s] [-maxbatch 4096] [-pprof]
 //
 // Then, from any HTTP client (or the typed tabled.Client):
@@ -60,6 +61,23 @@
 // read-only (writes 503, reads 200, /readyz 503) instead of dying; a
 // restart recovers. WAL requires the sharded backend.
 //
+// With -replicate-from, the server runs as a read-only FOLLOWER of the
+// named primary (which must itself run with -wal): it tails the primary's
+// /v1/repl/frames, applies every record locally, and re-appends it to its
+// own WAL — a byte-identical prefix of the primary's — fsynced before
+// advancing. Requires -wal; forbids -snapshot (a follower never
+// checkpoints, so its log stays aligned with the primary's). POST
+// /v1/promote flips it into a primary: the pull loop stops, writes open
+// up, and the router fails the range over (see DESIGN §5d). A follower's
+// /readyz reports "degraded: follower ..." — routable for reads.
+//
+// With -repl-ack on a primary, replication turns semi-synchronous: each
+// write's HTTP response is withheld until the follower's pulls confirm it
+// durable, or the wait expires and the ack is refused with a 503 (the
+// write stays durable locally; the client retries). This is the CP
+// choice — a dead follower stalls writes rather than widening the window
+// of writes only the primary holds.
+//
 // -timeout bounds one /v1/batch request end to end; an overrun answers a
 // clean 503 ("batch timed out"). The connection read/write deadlines are
 // derived from it by srvkit.NewHTTPServer — the write deadline always
@@ -107,6 +125,8 @@ func run() int {
 	snapEvery := flag.Duration("snapshot-every", 0, "periodic snapshot interval (0 = only on demand and shutdown)")
 	walPath := flag.String("wal", "", "write-ahead log file: fsync every acked write, replay on boot (sharded backend only)")
 	walSync := flag.Duration("wal-sync", 0, "WAL group-commit window (0 = fsync every append)")
+	replFrom := flag.String("replicate-from", "", "primary base URL: run as a read-only follower replicating its WAL (requires -wal; forbids -snapshot)")
+	replAck := flag.Duration("repl-ack", 0, "withhold write acks until a follower durably replicated them, 503 after this wait (0 = async replication; requires -wal)")
 	faultSpec := flag.String("faults", "", "fault injection spec, e.g. seed=7,errrate=0.05,latency=2ms,tornat=8192,syncerr=0.01 (chaos testing)")
 	maxBatch := flag.Int("maxbatch", tabled.DefaultMaxBatch, "max ops per /v1/batch request")
 	reqTimeout := flag.Duration("timeout", tabled.DefaultBatchTimeout, "per-request handler timeout for /v1/batch (503 on overrun; negative = none)")
@@ -115,6 +135,21 @@ func run() int {
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	if *replFrom != "" {
+		if *walPath == "" || *backend != "sharded" {
+			fmt.Fprintln(os.Stderr, "tabledserver: -replicate-from requires -wal and -backend sharded")
+			return 2
+		}
+		if *snapshot != "" {
+			fmt.Fprintln(os.Stderr, "tabledserver: -replicate-from forbids -snapshot (a follower never checkpoints; its WAL must stay a prefix of the primary's)")
+			return 2
+		}
+	}
+	if *replAck > 0 && *walPath == "" {
+		fmt.Fprintln(os.Stderr, "tabledserver: -repl-ack requires -wal")
+		return 2
+	}
 
 	f, err := core.ByName(*mapping)
 	if err != nil {
@@ -140,6 +175,8 @@ func run() int {
 		table    tabled.Backend[string]
 		saveSnap func() error
 		wal      *tabled.WAL
+		follower *tabled.Follower
+		writable *obs.Flag
 	)
 	switch *backend {
 	case "sharded":
@@ -177,6 +214,20 @@ func run() int {
 			}
 			logger.Info("wal open", "path", *walPath, "replayed", replayed,
 				"bytes", wal.Size(), "sync_window", *walSync)
+		}
+		if *replFrom != "" {
+			// The boot replay count IS the replication position: the local
+			// WAL is a byte-identical prefix of the primary's, so the next
+			// record to pull is simply the next local sequence.
+			writable = obs.NewFlag(false)
+			_, next := wal.SeqState()
+			follower = tabled.NewFollower(sh, wal, next, tabled.FollowerOptions{
+				Source:   *replFrom,
+				Writable: writable,
+				Metrics:  m,
+				Logger:   logger,
+			})
+			logger.Info("follower mode", "source", *replFrom, "position", next)
 		}
 		if *snapshot != "" {
 			path := *snapshot
@@ -230,6 +281,18 @@ func run() int {
 		})
 	}
 
+	// Any server with a WAL serves the replication surface: a primary so a
+	// follower can chain from it, a follower so a promoted one already has
+	// its own /v1/repl/frames for the next follower.
+	var repl *tabled.Repl
+	if wal != nil {
+		repl = &tabled.Repl{WAL: wal, Follower: follower, Metrics: m, Logger: logger}
+		if *replAck > 0 {
+			repl.Gate = &tabled.ReplGate{Timeout: *replAck}
+			logger.Info("semi-synchronous replication", "ack_timeout", *replAck)
+		}
+	}
+
 	opt := tabled.ServerOptions{
 		Registry:     reg,
 		Metrics:      m,
@@ -238,10 +301,17 @@ func run() int {
 		MaxBatch:     *maxBatch,
 		BatchTimeout: *reqTimeout,
 		WAL:          wal,
+		Writable:     writable,
+		Repl:         repl,
 		ReadyDetail:  persist.Detail,
 	}
 	if persist != nil {
 		opt.Snapshot = persist.SaveNow
+	}
+	if follower != nil {
+		opt.ReadOnlyDetail = func() string {
+			return fmt.Sprintf("follower replicating from %s, lag %d", *replFrom, follower.Lag())
+		}
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/", tabled.NewHandler(table, opt))
@@ -262,6 +332,12 @@ func run() int {
 		Logger:       logger,
 		DrainTimeout: *drain,
 		Background:   []func(context.Context){persist.Run},
+	}
+	if follower != nil {
+		// The pull loop is a background task: canceled after the drain and
+		// waited for before the Final wal close, so no frame is mid-append
+		// when the log shuts.
+		lc.Background = append(lc.Background, follower.Run)
 	}
 	if persist != nil {
 		lc.Final = append(lc.Final, srvkit.Step{Name: "final snapshot", Run: persist.SaveNow})

@@ -57,6 +57,10 @@ func nodeReadOnlyErr(name string) string {
 	return fmt.Sprintf("%sread-only: %s: writes are disabled while the member is degraded", nodeUnavailablePrefix, name)
 }
 
+func nodeAwaitingPromotionErr(name string) string {
+	return fmt.Sprintf("%sread-only: %s: primary unavailable and replica not promoted, writes are disabled", nodeUnavailablePrefix, name)
+}
+
 // errDown is the fail-fast cause recorded when the health checker already
 // marked the member down and the router never attempted the call.
 var errDown = errors.New("marked down by health check")
@@ -104,9 +108,13 @@ type Router struct {
 	rm      *RangeMap
 	part    *Partitioner
 	clients []*tabled.Client
-	health  *Checker
-	m       *Metrics
-	logger  *slog.Logger
+	// rclients[i] reaches Nodes[i].Replica (nil without one): the read
+	// fallback while the primary is degraded or down, and the write
+	// target once the checker observes the replica promoted.
+	rclients []*tabled.Client
+	health   *Checker
+	m        *Metrics
+	logger   *slog.Logger
 }
 
 // New builds a router over a validated spec. The spec's mapping name is
@@ -156,9 +164,25 @@ func New(spec *Spec, opt Options) (*Router, error) {
 			Wire:    opt.Wire,
 			Timeout: opt.NodeTimeout,
 		})
+		var rc *tabled.Client
+		if spec.Nodes[i].Replica != "" {
+			rc = &tabled.Client{
+				Base:    spec.Nodes[i].Replica,
+				HTTP:    opt.HTTPClient,
+				Retry:   opt.Retry,
+				Wire:    opt.Wire,
+				Timeout: opt.NodeTimeout,
+			}
+		}
+		r.rclients = append(r.rclients, rc)
 	}
 	return r, nil
 }
+
+// Router returns the router itself — the degenerate RouterSource, so a
+// fixed-spec composition hands a *Router straight to NewHandler while a
+// live-reload one hands a *Reloader.
+func (r *Router) Router() *Router { return r }
 
 // Health returns the router's active checker (run it as a lifecycle
 // background task).
@@ -221,40 +245,74 @@ func (r *Router) Execute(ctx context.Context, ops []tabled.Op, key string) []tab
 }
 
 // callNode executes one node's sub-batch, honoring the member's observed
-// health: down members fail fast (no call), degraded members receive only
-// the read half of their sub-batch while the writes fail fast with the
-// typed read-only error. The returned slice always has one result per
-// sub-batch op.
+// health and failing over to its replica when the primary cannot serve.
+// The decision table (DESIGN §5d):
+//
+//	primary healthy                      → primary, all ops
+//	primary degraded/down, replica
+//	  promoted and healthy               → replica, all ops (failover)
+//	primary degraded/down, replica up
+//	  but not promoted (or read-only)    → replica, reads only
+//	primary degraded, no usable replica  → primary, reads only (as before)
+//	primary down, no usable replica      → everything fails fast
+//
+// An observed-healthy primary always wins, even when the checker also
+// sees a promoted replica: the spec names the authority, and the window
+// where both answer healthy (operator promoted but hasn't amended the
+// spec) must have one deterministic owner. The returned slice always has
+// one result per sub-batch op.
 func (r *Router) callNode(ctx context.Context, n int, sub []tabled.Op, key string) []tabled.OpResult {
 	name := r.spec.Nodes[n].Name
 	res := make([]tabled.OpResult, len(sub))
+	client := r.clients[n]
+	readsOnly, readOnlyErr := false, ""
+	if st := r.health.State(n); st != StateHealthy {
+		repl := r.rclients[n]
+		repSt := StateDown
+		if repl != nil {
+			repSt = r.health.ReplicaState(n)
+		}
+		switch {
+		case repSt == StateHealthy && r.health.ReplicaPromoted(n):
+			// The follower was explicitly promoted and answers writable:
+			// the whole range fails over.
+			client = repl
+			r.m.failover()
+		case repSt != StateDown:
+			// A live but unpromoted (or read-only) replica serves the
+			// reads; writes wait for an operator promotion.
+			client = repl
+			readsOnly, readOnlyErr = true, nodeAwaitingPromotionErr(name)
+			r.m.failover()
+		case st == StateDegraded:
+			// No usable replica: the degraded primary still owns reads.
+			readsOnly, readOnlyErr = true, nodeReadOnlyErr(name)
+		default:
+			for i := range res {
+				res[i] = tabled.OpResult{Err: nodeDownErr(name, errDown)}
+			}
+			return res
+		}
+	}
 	send := sub
 	var sendPos []int // res position of each sent op when filtering
-	switch r.health.State(n) {
-	case StateDown:
-		for i := range res {
-			res[i] = tabled.OpResult{Err: nodeDownErr(name, errDown)}
+	if readsOnly && tabled.HasWrites(sub) {
+		send = make([]tabled.Op, 0, len(sub))
+		sendPos = make([]int, 0, len(sub))
+		for i := range sub {
+			if sub[i].Op == "set" || sub[i].Op == "resize" {
+				res[i] = tabled.OpResult{Err: readOnlyErr}
+			} else {
+				send = append(send, sub[i])
+				sendPos = append(sendPos, i)
+			}
 		}
-		return res
-	case StateDegraded:
-		if tabled.HasWrites(sub) {
-			send = make([]tabled.Op, 0, len(sub))
-			sendPos = make([]int, 0, len(sub))
-			for i := range sub {
-				if sub[i].Op == "set" || sub[i].Op == "resize" {
-					res[i] = tabled.OpResult{Err: nodeReadOnlyErr(name)}
-				} else {
-					send = append(send, sub[i])
-					sendPos = append(sendPos, i)
-				}
-			}
-			if len(send) == 0 {
-				return res
-			}
+		if len(send) == 0 {
+			return res
 		}
 	}
 	t0 := time.Now()
-	got, err := r.clients[n].BatchWithKey(ctx, send, nodeKey(key, name, len(send)))
+	got, err := client.BatchWithKey(ctx, send, nodeKey(key, name, len(send)))
 	r.m.nodeBatch(n, len(send), time.Since(t0), err != nil)
 	if err != nil {
 		if r.logger != nil {
@@ -335,16 +393,21 @@ func (r *Router) ClusterStats(ctx context.Context) (*tabled.StatsReply, error) {
 
 // NodeStatus is one member's row in the /v1/cluster reply.
 type NodeStatus struct {
-	Name   string `json:"name"`
-	Base   string `json:"base"`
-	Lo     int64  `json:"lo"`
-	Hi     int64  `json:"hi"`
-	State  string `json:"state"`
-	Ops    int64  `json:"ops_total"`
-	Errors int64  `json:"errors_total"`
-	P50us  float64 `json:"p50_us"`
-	P95us  float64 `json:"p95_us"`
-	P99us  float64 `json:"p99_us"`
+	Name  string `json:"name"`
+	Base  string `json:"base"`
+	Lo    int64  `json:"lo"`
+	Hi    int64  `json:"hi"`
+	State string `json:"state"`
+	// Replica fields mirror the spec and the checker's replica
+	// observations; omitted when the node has no replica.
+	Replica         string  `json:"replica,omitempty"`
+	ReplicaState    string  `json:"replica_state,omitempty"`
+	ReplicaPromoted bool    `json:"replica_promoted,omitempty"`
+	Ops             int64   `json:"ops_total"`
+	Errors          int64   `json:"errors_total"`
+	P50us           float64 `json:"p50_us"`
+	P95us           float64 `json:"p95_us"`
+	P99us           float64 `json:"p99_us"`
 	// Raw latency histogram (upper bounds in seconds; cumulative counts,
 	// final entry = total) so clients — tabledload -nodes — can diff two
 	// snapshots and compute percentiles for just their own run.
@@ -370,6 +433,7 @@ func (r *Router) Status() StatusReply {
 			Lo:            r.spec.Nodes[n].Lo,
 			Hi:            r.spec.Nodes[n].Hi,
 			State:         r.health.State(n).String(),
+			Replica:       r.spec.Nodes[n].Replica,
 			Ops:           ops,
 			Errors:        errs,
 			P50us:         HistogramPercentile(bounds, counts, 0.50) * 1e6,
@@ -377,6 +441,10 @@ func (r *Router) Status() StatusReply {
 			P99us:         HistogramPercentile(bounds, counts, 0.99) * 1e6,
 			LatencyBounds: bounds,
 			LatencyCounts: counts,
+		}
+		if r.spec.Nodes[n].Replica != "" {
+			reply.Nodes[n].ReplicaState = r.health.ReplicaState(n).String()
+			reply.Nodes[n].ReplicaPromoted = r.health.ReplicaPromoted(n)
 		}
 	}
 	return reply

@@ -40,6 +40,14 @@ type HandlerOptions struct {
 	Ready *obs.Flag
 }
 
+// A RouterSource yields the router the front door should serve a request
+// with. A *Router is its own (fixed) source; a *Reloader swaps routers
+// live on spec reloads. The handler resolves the source per request, so a
+// reload needs no handler or listener restart.
+type RouterSource interface {
+	Router() *Router
+}
+
 // NewHandler mounts the router's front door — wire-compatible with a
 // single tabledserver, so tabled.Client and tabledload point at a cluster
 // unchanged:
@@ -55,7 +63,7 @@ type HandlerOptions struct {
 // whenever one range was unavailable would let a load balancer blackhole
 // the healthy ranges too. Unhealthy members surface in the ready body —
 // "ready (1/3 nodes unhealthy: node-2 down)" — and on /v1/cluster.
-func NewHandler(rt *Router, opt HandlerOptions) http.Handler {
+func NewHandler(src RouterSource, opt HandlerOptions) http.Handler {
 	if opt.MaxBatch <= 0 {
 		opt.MaxBatch = tabled.DefaultMaxBatch
 	}
@@ -65,9 +73,13 @@ func NewHandler(rt *Router, opt HandlerOptions) http.Handler {
 	if opt.BatchTimeout == 0 {
 		opt.BatchTimeout = tabled.DefaultBatchTimeout
 	}
-	h := &frontDoor{rt: rt, opt: opt}
+	h := &frontDoor{src: src, opt: opt}
 	mux := http.NewServeMux()
-	mux.Handle("POST /v1/batch", opt.Limiter.Middleware(nil, rt.m, srvkit.APIStack{
+	// Pinning the current router's metrics here is safe across reloads:
+	// the rate-limited counter carries no per-node labels, so every
+	// reloaded router's Metrics (same registry, get-or-create) holds the
+	// identical counter object.
+	mux.Handle("POST /v1/batch", opt.Limiter.Middleware(nil, src.Router().m, srvkit.APIStack{
 		MaxBodyBytes:   opt.MaxBodyBytes,
 		RequestTimeout: opt.BatchTimeout,
 		TimeoutBody:    "batch timed out",
@@ -80,7 +92,7 @@ func NewHandler(rt *Router, opt HandlerOptions) http.Handler {
 	srvkit.Probes{
 		Ready: opt.Ready,
 		Detail: func() string {
-			_, detail := rt.health.Summary()
+			_, detail := src.Router().health.Summary()
 			return detail
 		},
 	}.Register(mux)
@@ -98,7 +110,7 @@ func NewHandler(rt *Router, opt HandlerOptions) http.Handler {
 }
 
 type frontDoor struct {
-	rt  *Router
+	src RouterSource
 	opt HandlerOptions
 }
 
@@ -169,7 +181,7 @@ func (h *frontDoor) handleBatch(w http.ResponseWriter, r *http.Request) {
 			len(ops), h.opt.MaxBatch), http.StatusBadRequest)
 		return
 	}
-	results := h.rt.Execute(r.Context(), ops, r.Header.Get(tabled.IdempotencyKeyHeader))
+	results := h.src.Router().Execute(r.Context(), ops, r.Header.Get(tabled.IdempotencyKeyHeader))
 	if AllUnavailable(results) {
 		// The whole batch failed on unavailable members (e.g. a write to a
 		// degraded range, or every owner down): a typed, retryable refusal.
@@ -223,7 +235,7 @@ func firstError(results []tabled.OpResult) string {
 }
 
 func (h *frontDoor) handleStats(w http.ResponseWriter, r *http.Request) {
-	reply, err := h.rt.ClusterStats(r.Context())
+	reply, err := h.src.Router().ClusterStats(r.Context())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
@@ -233,7 +245,7 @@ func (h *frontDoor) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *frontDoor) handleCluster(w http.ResponseWriter, r *http.Request) {
-	reply := h.rt.Status()
+	reply := h.src.Router().Status()
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(reply)
 }

@@ -2,9 +2,11 @@ package cluster
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand"
 	"net/http"
 	"strings"
 	"sync"
@@ -49,6 +51,13 @@ const DefaultHealthTimeout = 2 * time.Second
 // (optimistic, so a router booted before its checker's first sweep does
 // not refuse traffic); call CheckNow once at boot for an immediate
 // baseline.
+//
+// Nodes with a replica get two extra probes per sweep: the replica's
+// /readyz (a live follower is read-only, so it normally reads degraded)
+// and its /v1/repl/status, whose role field is the promotion signal — a
+// follower that answered role "primary" takes writes. Replica states
+// start Down, not Healthy: a replica is a fallback, and falling back to
+// an unverified one is worse than failing fast.
 type Checker struct {
 	spec     *Spec
 	interval time.Duration
@@ -57,6 +66,10 @@ type Checker struct {
 	logger   *slog.Logger
 	m        *Metrics
 	states   []atomic.Int32
+	// Replica observations, indexed like states; unused (Down/false)
+	// where the node has no replica.
+	repStates   []atomic.Int32
+	repPromoted []atomic.Bool
 }
 
 // CheckerOptions configures NewChecker; zero values select defaults.
@@ -84,19 +97,34 @@ func NewChecker(spec *Spec, opt CheckerOptions) *Checker {
 	if opt.HTTPClient == nil {
 		opt.HTTPClient = http.DefaultClient
 	}
-	return &Checker{
-		spec:     spec,
-		interval: opt.Interval,
-		timeout:  opt.Timeout,
-		httpc:    opt.HTTPClient,
-		logger:   opt.Logger,
-		m:        opt.Metrics,
-		states:   make([]atomic.Int32, len(spec.Nodes)),
+	c := &Checker{
+		spec:        spec,
+		interval:    opt.Interval,
+		timeout:     opt.Timeout,
+		httpc:       opt.HTTPClient,
+		logger:      opt.Logger,
+		m:           opt.Metrics,
+		states:      make([]atomic.Int32, len(spec.Nodes)),
+		repStates:   make([]atomic.Int32, len(spec.Nodes)),
+		repPromoted: make([]atomic.Bool, len(spec.Nodes)),
 	}
+	for i := range c.repStates {
+		c.repStates[i].Store(int32(StateDown))
+	}
+	return c
 }
 
 // State returns node n's last observed state.
 func (c *Checker) State(n int) State { return State(c.states[n].Load()) }
+
+// ReplicaState returns node n's replica's last observed state (Down when
+// the node has no replica).
+func (c *Checker) ReplicaState(n int) State { return State(c.repStates[n].Load()) }
+
+// ReplicaPromoted reports whether node n's replica last identified itself
+// as a primary on /v1/repl/status — the signal that writes may fail over
+// to it.
+func (c *Checker) ReplicaPromoted(n int) bool { return c.repPromoted[n].Load() }
 
 // FirstHealthy returns the lowest-index healthy node, falling back to the
 // lowest degraded one (it can still answer reads/dims), then to 0 — the
@@ -120,13 +148,28 @@ func (c *Checker) FirstHealthy() int {
 }
 
 // Summary reports whether every member is healthy and, when not, a short
-// detail naming the unhealthy ones, e.g. "1/3 nodes unhealthy: node-1 down".
+// detail naming the unhealthy ones, e.g. "1/3 nodes unhealthy: node-1
+// down". A member whose replica covers for it says so — "node-1 down
+// (replica promoted)" reads very differently from a dead range.
 func (c *Checker) Summary() (allHealthy bool, detail string) {
 	var bad []string
 	for i := range c.states {
-		if st := c.State(i); st != StateHealthy {
-			bad = append(bad, c.spec.Nodes[i].Name+" "+st.String())
+		st := c.State(i)
+		if st == StateHealthy {
+			continue
 		}
+		entry := c.spec.Nodes[i].Name + " " + st.String()
+		if c.spec.Nodes[i].Replica != "" {
+			switch rst := c.ReplicaState(i); {
+			case c.ReplicaPromoted(i) && rst != StateDown:
+				entry += " (replica promoted)"
+			case rst != StateDown:
+				entry += " (replica serving reads)"
+			default:
+				entry += " (replica down)"
+			}
+		}
+		bad = append(bad, entry)
 	}
 	if len(bad) == 0 {
 		return true, ""
@@ -134,38 +177,58 @@ func (c *Checker) Summary() (allHealthy bool, detail string) {
 	return false, fmt.Sprintf("%d/%d nodes unhealthy: %s", len(bad), len(c.spec.Nodes), strings.Join(bad, ", "))
 }
 
-// CheckNow probes every member once, concurrently, and publishes the
-// observed states before returning.
+// CheckNow probes every member (and every configured replica) once,
+// concurrently, and publishes the observed states before returning.
 func (c *Checker) CheckNow(ctx context.Context) {
 	var wg sync.WaitGroup
 	for i := range c.spec.Nodes {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			st := c.probe(ctx, i)
+			st := c.probe(ctx, c.spec.Nodes[i].Base)
 			old := State(c.states[i].Swap(int32(st)))
-			if old != st {
-				if c.logger != nil {
-					c.logger.Info("cluster: node state change",
-						"node", c.spec.Nodes[i].Name, "from", old.String(), "to", st.String())
-				}
+			if old != st && c.logger != nil {
+				c.logger.Info("cluster: node state change",
+					"node", c.spec.Nodes[i].Name, "from", old.String(), "to", st.String())
 			}
 			c.m.nodeState(i, st)
+		}(i)
+		if c.spec.Nodes[i].Replica == "" {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep := c.spec.Nodes[i].Replica
+			st := c.probe(ctx, rep)
+			promoted := false
+			if st != StateDown {
+				promoted = c.probeRole(ctx, rep) == "primary"
+			}
+			old := State(c.repStates[i].Swap(int32(st)))
+			oldProm := c.repPromoted[i].Swap(promoted)
+			if (old != st || oldProm != promoted) && c.logger != nil {
+				c.logger.Info("cluster: replica state change",
+					"node", c.spec.Nodes[i].Name, "from", old.String(), "to", st.String(),
+					"promoted", promoted)
+			}
+			c.m.replicaState(i, st, promoted)
 		}(i)
 	}
 	wg.Wait()
 	c.m.healthSweep()
 }
 
-// probe classifies one member from its /readyz:
+// probe classifies one server from its /readyz:
 //
 //	200                         → healthy
-//	503 with a "degraded:" body → degraded (read-only member)
+//	503 with a "degraded:" body → degraded (read-only: a tripped WAL
+//	                              volume, or a live follower)
 //	anything else               → down (unreachable, draining, …)
-func (c *Checker) probe(ctx context.Context, i int) State {
+func (c *Checker) probe(ctx context.Context, base string) State {
 	ctx, cancel := context.WithTimeout(ctx, c.timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.spec.Nodes[i].Base+"/readyz", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/readyz", nil)
 	if err != nil {
 		return StateDown
 	}
@@ -186,10 +249,41 @@ func (c *Checker) probe(ctx context.Context, i int) State {
 	}
 }
 
-// Run sweeps the members every interval until ctx ends — wire it as a
-// srvkit.Lifecycle background task.
+// probeRole reads a replica's /v1/repl/status role field ("" on any
+// failure — never guess a promotion).
+func (c *Checker) probeRole(ctx context.Context, base string) string {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/repl/status", nil)
+	if err != nil {
+		return ""
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ""
+	}
+	var st struct {
+		Role string `json:"role"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&st); err != nil {
+		return ""
+	}
+	return st.Role
+}
+
+// Run sweeps the members until ctx ends — wire it as a srvkit.Lifecycle
+// background task. Each gap is jittered over [interval/2, 3·interval/2):
+// N routers probing the same members would otherwise lock step (they all
+// start on deploy, and a slow member stretches every router's sweep by
+// the same timeout), hammering each /readyz in synchronized bursts.
+// Jitter desynchronizes them within a few sweeps; the expected gap stays
+// one interval.
 func (c *Checker) Run(ctx context.Context) {
-	t := time.NewTicker(c.interval)
+	t := time.NewTimer(c.jitteredInterval())
 	defer t.Stop()
 	for {
 		select {
@@ -197,6 +291,13 @@ func (c *Checker) Run(ctx context.Context) {
 			return
 		case <-t.C:
 			c.CheckNow(ctx)
+			t.Reset(c.jitteredInterval())
 		}
 	}
+}
+
+// jitteredInterval draws one sweep gap: interval/2 plus up to one
+// interval, uniformly.
+func (c *Checker) jitteredInterval() time.Duration {
+	return c.interval/2 + time.Duration(rand.Int63n(int64(c.interval)))
 }

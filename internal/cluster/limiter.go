@@ -3,6 +3,7 @@ package cluster
 import (
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -54,8 +55,20 @@ func (l *Limiter) now() time.Time {
 
 // Allow records one request for key and reports whether it is admitted.
 func (l *Limiter) Allow(key string) bool {
+	ok, _ := l.AllowHint(key)
+	return ok
+}
+
+// AllowHint is Allow plus, on refusal, the earliest wait after which a
+// retry can plausibly be admitted — the Retry-After value the middleware
+// sends, computed from the same two-bucket state that refused: the
+// estimate decays as the previous bucket slides out of the window, so the
+// hint is when it first dips below the limit (never less than a
+// millisecond, and at most a full window, after which the current bucket
+// itself has rotated out).
+func (l *Limiter) AllowHint(key string) (ok bool, after time.Duration) {
 	if l.Limit <= 0 {
-		return true
+		return true, 0
 	}
 	w := l.window()
 	now := l.now()
@@ -87,10 +100,38 @@ func (l *Limiter) Allow(key string) bool {
 	}
 	est := float64(e.cur) + frac*float64(e.prev)
 	if est >= float64(l.Limit) {
-		return false
+		return false, l.hintLocked(e, now, w)
 	}
 	e.cur++
-	return true
+	return true, 0
+}
+
+// hintLocked computes when the sliding estimate first admits this client
+// again. With cur already at or past the limit, only the window rotation
+// helps — wait until the current bucket ends. Otherwise the surplus is
+// prev's weighted contribution, which decays linearly: it drops below the
+// headroom (Limit − cur) once the window has slid far enough, solvable in
+// closed form.
+func (l *Limiter) hintLocked(e *window, now time.Time, w time.Duration) time.Duration {
+	windowEnd := e.start.Add(w).Sub(now)
+	if windowEnd < time.Millisecond {
+		windowEnd = time.Millisecond
+	}
+	headroom := float64(l.Limit - e.cur)
+	if headroom <= 0 || e.prev <= 0 {
+		return windowEnd
+	}
+	// Need frac·prev < headroom, frac = 1 − (now+after − start)/w:
+	// after > w·(1 − headroom/prev) − (now − start).
+	after := time.Duration((1 - headroom/float64(e.prev)) * float64(w))
+	after -= now.Sub(e.start)
+	if after < time.Millisecond {
+		after = time.Millisecond
+	}
+	if after > windowEnd {
+		after = windowEnd
+	}
+	return after
 }
 
 // sweepLocked drops clients idle for at least two windows.
@@ -124,9 +165,15 @@ func (l *Limiter) Middleware(keyFn func(*http.Request) string, m *Metrics, next 
 		keyFn = ClientKey
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if !l.Allow(keyFn(r)) {
+		if ok, after := l.AllowHint(keyFn(r)); !ok {
 			m.rateLimited()
-			w.Header().Set("Retry-After", "1")
+			// Retry-After is whole seconds on the wire; round up so the
+			// hinted retry lands after admission reopens, not just before.
+			secs := int64((after + time.Second - 1) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 			http.Error(w, "cluster: rate limit exceeded", http.StatusTooManyRequests)
 			return
 		}

@@ -46,6 +46,49 @@ func TestLimiterWindowMath(t *testing.T) {
 	}
 }
 
+// TestLimiterHint pins the closed-form Retry-After math: the hint is the
+// smallest wait after which the sliding estimate dips below the limit.
+func TestLimiterHint(t *testing.T) {
+	now := time.Unix(2000, 0)
+	l := &Limiter{Limit: 5, Window: time.Second, Now: func() time.Time { return now }}
+	for i := 0; i < 5; i++ {
+		if ok, _ := l.AllowHint("c"); !ok {
+			t.Fatalf("fill request %d refused", i)
+		}
+	}
+	// Current bucket saturated: only the rotation helps, hint = window end.
+	ok, after := l.AllowHint("c")
+	if ok || after != time.Second {
+		t.Fatalf("saturated hint = %v, %v; want refused with the full window", ok, after)
+	}
+	// Waiting less than the hint must not reopen admission.
+	now = now.Add(500 * time.Millisecond)
+	if ok, _ := l.AllowHint("c"); ok {
+		t.Fatal("admitted before the hinted wait elapsed")
+	}
+
+	// Decay case: 100ms into the next window the previous bucket weighs
+	// 0.9·5 = 4.5; one admit brings cur to 1, the next needs frac·5 < 4,
+	// i.e. ~100ms more of decay. The hint must land there, not at the
+	// window end and not at the 1ms floor.
+	now = time.Unix(2000, 0).Add(1100 * time.Millisecond)
+	if ok, _ := l.AllowHint("c"); !ok {
+		t.Fatal("decayed estimate 4.5 refused under limit 5")
+	}
+	ok, after = l.AllowHint("c")
+	if ok || after < 95*time.Millisecond || after > 100*time.Millisecond {
+		t.Fatalf("decay hint = %v, %v; want refused with ~100ms", ok, after)
+	}
+	now = now.Add(after - time.Millisecond)
+	if ok, _ := l.AllowHint("c"); ok {
+		t.Fatal("admitted 1ms before the decay hint")
+	}
+	now = now.Add(2 * time.Millisecond)
+	if ok, _ := l.AllowHint("c"); !ok {
+		t.Fatal("hinted wait did not reopen admission")
+	}
+}
+
 func TestLimiterDisabled(t *testing.T) {
 	var l Limiter // zero Limit = off
 	for i := 0; i < 10000; i++ {

@@ -15,6 +15,9 @@ type Metrics struct {
 	nodeDur    []*obs.Histogram
 	nodeUpG    []*obs.Gauge
 	nodeDegG   []*obs.Gauge
+	repUpG     []*obs.Gauge
+	repPromG   []*obs.Gauge
+	failovers  *obs.Counter
 	sweeps     *obs.Counter
 	limited    *obs.Counter
 	unroutable *obs.Counter
@@ -31,10 +34,14 @@ func NewMetrics(reg *obs.Registry, spec *Spec) *Metrics {
 	reg.Help("cluster_node_batch_duration_seconds", "Sub-batch round-trip latency, by member.")
 	reg.Help("cluster_node_up", "1 while the member's last health probe was 200-ready.")
 	reg.Help("cluster_node_degraded", "1 while the member's last health probe reported read-only degradation.")
+	reg.Help("cluster_replica_up", "1 while the member's replica answers probes (ready or read-only degraded).")
+	reg.Help("cluster_replica_promoted", "1 while the member's replica reports role primary on /v1/repl/status.")
+	reg.Help("cluster_failover_batches_total", "Sub-batches routed to a member's replica because the primary was degraded or down.")
 	reg.Help("cluster_health_sweeps_total", "Completed health sweeps over all members.")
 	reg.Help("cluster_rate_limited_total", "Requests refused by the per-client admission limiter.")
 	reg.Help("cluster_unroutable_ops_total", "Ops answered locally by the router (address outside every configured range, or unknown op kind).")
 	m := &Metrics{
+		failovers:  reg.Counter("cluster_failover_batches_total"),
 		sweeps:     reg.Counter("cluster_health_sweeps_total"),
 		limited:    reg.Counter("cluster_rate_limited_total"),
 		unroutable: reg.Counter("cluster_unroutable_ops_total"),
@@ -48,6 +55,8 @@ func NewMetrics(reg *obs.Registry, spec *Spec) *Metrics {
 		up.Set(1) // states start optimistic-healthy
 		m.nodeUpG = append(m.nodeUpG, up)
 		m.nodeDegG = append(m.nodeDegG, reg.Gauge("cluster_node_degraded", l))
+		m.repUpG = append(m.repUpG, reg.Gauge("cluster_replica_up", l))
+		m.repPromG = append(m.repPromG, reg.Gauge("cluster_replica_promoted", l))
 	}
 	return m
 }
@@ -78,6 +87,30 @@ func (m *Metrics) nodeState(n int, st State) {
 	}
 	m.nodeUpG[n].Set(up)
 	m.nodeDegG[n].Set(deg)
+}
+
+// replicaState publishes node n's replica's probed state.
+func (m *Metrics) replicaState(n int, st State, promoted bool) {
+	if m == nil {
+		return
+	}
+	up := int64(0)
+	if st != StateDown {
+		up = 1
+	}
+	m.repUpG[n].Set(up)
+	prom := int64(0)
+	if promoted {
+		prom = 1
+	}
+	m.repPromG[n].Set(prom)
+}
+
+// failover records one sub-batch routed to a replica.
+func (m *Metrics) failover() {
+	if m != nil {
+		m.failovers.Inc()
+	}
 }
 
 func (m *Metrics) healthSweep() {

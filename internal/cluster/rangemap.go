@@ -9,12 +9,17 @@ import (
 )
 
 // A NodeSpec is one cluster member: a tabledserver owning the contiguous
-// PF-address range [Lo, Hi).
+// PF-address range [Lo, Hi), optionally shadowed by a replica.
 type NodeSpec struct {
 	// Name identifies the node in metrics, logs, and /v1/cluster.
 	Name string `json:"name"`
 	// Base is the node's URL, e.g. "http://10.0.0.7:8080".
 	Base string `json:"base"`
+	// Replica, when non-empty, is the URL of the range's follower — a
+	// tabledserver started with -replicate-from pointing at Base. The
+	// router reads from it while the primary is degraded or down, and
+	// writes to it once it has been promoted (see DESIGN §5d).
+	Replica string `json:"replica,omitempty"`
 	// Lo is the first address the node owns (inclusive, ≥ 1).
 	Lo int64 `json:"lo"`
 	// Hi is the end of the node's range (exclusive; Hi > Lo).
@@ -62,6 +67,9 @@ func (s *Spec) Validate() error {
 		seen[n.Name] = true
 		if n.Base == "" {
 			return fmt.Errorf("%w: node %q has no base URL", ErrSpec, n.Name)
+		}
+		if n.Replica == n.Base && n.Replica != "" {
+			return fmt.Errorf("%w: node %q replica URL equals its base", ErrSpec, n.Name)
 		}
 		if n.Hi <= n.Lo {
 			return fmt.Errorf("%w: node %q owns empty range [%d, %d)", ErrSpec, n.Name, n.Lo, n.Hi)
@@ -134,6 +142,19 @@ func EvenSpec(mapping string, bases []string, maxAddr, hi int64) (*Spec, error) 
 		lo = end
 	}
 	return s, s.Validate()
+}
+
+// WithReplicas assigns replica URLs to the spec's nodes positionally —
+// the -replicas quick-start companion to EvenSpec. Empty entries leave
+// the node without a replica; extra entries are an error.
+func (s *Spec) WithReplicas(replicas []string) error {
+	if len(replicas) > len(s.Nodes) {
+		return fmt.Errorf("%w: %d replicas for %d nodes", ErrSpec, len(replicas), len(s.Nodes))
+	}
+	for i, rep := range replicas {
+		s.Nodes[i].Replica = rep
+	}
+	return s.Validate()
 }
 
 // A RangeMap answers "which node owns this address" by binary search over

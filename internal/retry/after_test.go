@@ -1,0 +1,74 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAfterHint(t *testing.T) {
+	base := errors.New("throttled")
+	if _, ok := AfterHint(base); ok {
+		t.Fatal("plain error carried a hint")
+	}
+	err := After(base, 3*time.Second)
+	if d, ok := AfterHint(err); !ok || d != 3*time.Second {
+		t.Fatalf("hint = %v, %v", d, ok)
+	}
+	if !errors.Is(err, base) {
+		t.Fatal("After broke the error chain")
+	}
+	if err.Error() != base.Error() {
+		t.Fatalf("After changed the message: %q", err.Error())
+	}
+	// The hint survives further wrapping.
+	if d, ok := AfterHint(Permanent(err)); !ok || d != 3*time.Second {
+		t.Fatalf("wrapped hint = %v, %v", d, ok)
+	}
+	if d, _ := AfterHint(After(base, time.Hour)); d != MaxAfterHint {
+		t.Fatalf("uncapped hint = %v", d)
+	}
+	if d, _ := AfterHint(After(base, -time.Second)); d != 0 {
+		t.Fatalf("negative hint = %v", d)
+	}
+	if After(nil, time.Second) != nil {
+		t.Fatal("After(nil) != nil")
+	}
+}
+
+// TestDoHonorsAfterHint: when an attempt's error carries a hint, the next
+// sleep is exactly the hint; attempts without one fall back to the
+// jittered schedule.
+func TestDoHonorsAfterHint(t *testing.T) {
+	var waits []time.Duration
+	p := Policy{
+		Base:        time.Millisecond,
+		MaxAttempts: 4,
+		Sleep: func(_ context.Context, d time.Duration) error {
+			waits = append(waits, d)
+			return nil
+		},
+	}
+	attempt := 0
+	err := p.Do(context.Background(), func(context.Context) error {
+		attempt++
+		switch attempt {
+		case 1:
+			return After(errors.New("429"), 5*time.Second)
+		case 2:
+			return errors.New("transient") // no hint: jittered wait
+		default:
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(waits) != 2 || waits[0] != 5*time.Second {
+		t.Fatalf("waits = %v, want [5s, <=2ms]", waits)
+	}
+	if waits[1] > 2*time.Millisecond {
+		t.Fatalf("hintless wait %v escaped the jittered schedule", waits[1])
+	}
+}

@@ -31,6 +31,47 @@ type Policy struct {
 	Sleep func(ctx context.Context, d time.Duration) error
 }
 
+// MaxAfterHint caps how long a server-supplied After hint can park the
+// retry loop: a buggy or hostile Retry-After of an hour must not turn a
+// bounded client call into one.
+const MaxAfterHint = 30 * time.Second
+
+// After wraps err with a server-supplied backoff hint — typically a 429's
+// Retry-After header. Do's next wait uses the hint (capped at MaxAfterHint)
+// instead of the jittered exponential schedule: the server just told the
+// client exactly when retrying can succeed, so guessing earlier only burns
+// an attempt and guessing later wastes latency. The error remains
+// retryable; combine with Permanent only if retrying is also pointless.
+func After(err error, d time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	if d < 0 {
+		d = 0
+	}
+	if d > MaxAfterHint {
+		d = MaxAfterHint
+	}
+	return &afterError{err: err, d: d}
+}
+
+type afterError struct {
+	err error
+	d   time.Duration
+}
+
+func (a *afterError) Error() string { return a.err.Error() }
+func (a *afterError) Unwrap() error { return a.err }
+
+// AfterHint extracts the wait hint attached by After, if any.
+func AfterHint(err error) (time.Duration, bool) {
+	var a *afterError
+	if errors.As(err, &a) {
+		return a.d, true
+	}
+	return 0, false
+}
+
 // Permanent wraps err to tell Do that retrying cannot help (a 4xx, a ban,
 // a validation failure). Do returns the unwrapped error immediately.
 func Permanent(err error) error {
@@ -163,7 +204,13 @@ func (p Policy) Do(ctx context.Context, fn func(ctx context.Context) error) erro
 		if p.MaxElapsed > 0 && time.Since(start) >= p.MaxElapsed {
 			break
 		}
-		if serr := p.sleep(ctx, p.Wait(attempt)); serr != nil {
+		wait := p.Wait(attempt)
+		if hint, ok := AfterHint(err); ok {
+			// The server named its own earliest-useful retry time; honor it
+			// verbatim (After already capped it), jitter and all.
+			wait = hint
+		}
+		if serr := p.sleep(ctx, wait); serr != nil {
 			return errors.Join(serr, last)
 		}
 	}

@@ -1,0 +1,95 @@
+package srvkit
+
+import (
+	"context"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// DefaultReloadPoll is how often a ConfigWatcher stats its file.
+const DefaultReloadPoll = 2 * time.Second
+
+// A ConfigWatcher triggers a Reload hook when a config file changes —
+// the live-reconfiguration seam for daemons that read a file at boot.
+// Two triggers, both standard operator moves: SIGHUP (explicit "reload
+// now", classic daemon convention) and an mtime/size poll (catches
+// config-management pushes nobody signals about). Wire Run as a
+// srvkit.Lifecycle background task.
+//
+// Reload errors are logged and otherwise ignored: the daemon keeps
+// serving its last good config, and the next trigger retries. The
+// watcher itself never crashes the process.
+type ConfigWatcher struct {
+	// Path is the watched file.
+	Path string
+	// Poll is the stat interval (0 → DefaultReloadPoll; < 0 disables
+	// polling, leaving SIGHUP the only trigger).
+	Poll time.Duration
+	// Reload applies the new config; called from the watcher goroutine,
+	// never concurrently with itself.
+	Reload func(ctx context.Context) error
+	// Logger receives one line per trigger (may be nil).
+	Logger *slog.Logger
+}
+
+// Run watches until ctx ends.
+func (cw ConfigWatcher) Run(ctx context.Context) {
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+
+	poll := cw.Poll
+	if poll == 0 {
+		poll = DefaultReloadPoll
+	}
+	var tick <-chan time.Time
+	if poll > 0 {
+		t := time.NewTicker(poll)
+		defer t.Stop()
+		tick = t.C
+	}
+
+	lastMod, lastSize := cw.stat()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-hup:
+			cw.fire(ctx, "SIGHUP")
+			lastMod, lastSize = cw.stat()
+		case <-tick:
+			mod, size := cw.stat()
+			if mod.Equal(lastMod) && size == lastSize {
+				continue
+			}
+			lastMod, lastSize = mod, size
+			cw.fire(ctx, "file changed")
+		}
+	}
+}
+
+// stat reads the file's change signature; a missing file reads as the
+// zero signature, so the first write after creation still triggers.
+func (cw ConfigWatcher) stat() (time.Time, int64) {
+	fi, err := os.Stat(cw.Path)
+	if err != nil {
+		return time.Time{}, -1
+	}
+	return fi.ModTime(), fi.Size()
+}
+
+func (cw ConfigWatcher) fire(ctx context.Context, why string) {
+	err := cw.Reload(ctx)
+	if cw.Logger == nil {
+		return
+	}
+	if err != nil {
+		cw.Logger.Error("config reload failed; keeping previous config",
+			"path", cw.Path, "trigger", why, "err", err)
+		return
+	}
+	cw.Logger.Info("config reloaded", "path", cw.Path, "trigger", why)
+}

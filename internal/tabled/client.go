@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -110,6 +111,29 @@ func retryableStatus(code int) bool {
 	return code >= 500 || code == http.StatusRequestTimeout || code == http.StatusTooManyRequests
 }
 
+// retryAfter parses a Retry-After header value in either RFC 9110 form —
+// delta-seconds ("2") or HTTP-date — into a wait duration. now is a seam
+// for tests.
+func retryAfter(v string, now func() time.Time) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := t.Sub(now())
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
+
 // Batch executes ops in order on the server and returns one result per op.
 // A non-nil error means the request itself failed (transport or non-200,
 // after any configured retries); per-op failures are reported in each
@@ -185,6 +209,12 @@ func (c *Client) batchOnce(ctx context.Context, body []byte, contentType, key st
 		err := fmt.Errorf("%w: %s: %s", ErrRemote, resp.Status, bytes.TrimSpace(msg))
 		if !retryableStatus(resp.StatusCode) {
 			return nil, retry.Permanent(err)
+		}
+		if d, ok := retryAfter(resp.Header.Get("Retry-After"), time.Now); ok {
+			// The server named when retrying can succeed (a 429's admission
+			// window, a 503's drain estimate); backing off blind earlier
+			// just burns attempts against a closed door.
+			return nil, retry.After(err, d)
 		}
 		return nil, err
 	}

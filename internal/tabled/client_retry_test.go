@@ -1,0 +1,93 @@
+package tabled
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pairfn/internal/retry"
+)
+
+func TestRetryAfterParsing(t *testing.T) {
+	now := func() time.Time { return time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC) }
+	cases := []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"", 0, false},
+		{"3", 3 * time.Second, true},
+		{"0", 0, true},
+		{"-5", 0, false}, // negative delta is malformed, not "now"
+		{"garbage", 0, false},
+		{"3.5", 0, false}, // RFC 9110 delta-seconds is an integer
+		{"Thu, 07 Aug 2026 12:00:10 GMT", 10 * time.Second, true},
+		{"Thu, 07 Aug 2026 11:00:00 GMT", 0, true}, // past date → retry now
+	}
+	for _, c := range cases {
+		got, ok := retryAfter(c.in, now)
+		if got != c.want || ok != c.ok {
+			t.Errorf("retryAfter(%q) = %v, %v; want %v, %v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// TestClientHonorsRetryAfter: a 429 carrying Retry-After must schedule the
+// client's next attempt at the server's hint, not the jittered default —
+// the limiter computed exactly when admission reopens.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "7")
+			http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"results":[{"ok":true}]}`))
+	}))
+	defer srv.Close()
+
+	var waits []time.Duration
+	c := &Client{Base: srv.URL, Retry: &retry.Policy{
+		Base:        time.Millisecond,
+		MaxAttempts: 3,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			waits = append(waits, d)
+			return nil
+		},
+	}}
+	if _, err := c.Batch(context.Background(), []Op{{Op: "dims"}}); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2", calls.Load())
+	}
+	if len(waits) != 1 || waits[0] != 7*time.Second {
+		t.Fatalf("waits = %v, want exactly [7s]", waits)
+	}
+
+	// Without the header the jittered schedule rules: the wait must stay
+	// within the policy's own bounds, never a stale hint.
+	calls.Store(0)
+	waits = nil
+	srv2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"results":[{"ok":true}]}`))
+	}))
+	defer srv2.Close()
+	c.Base = srv2.URL
+	if _, err := c.Batch(context.Background(), []Op{{Op: "dims"}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(waits) != 1 || waits[0] > time.Millisecond {
+		t.Fatalf("hintless waits = %v, want one wait within Base", waits)
+	}
+}

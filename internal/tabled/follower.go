@@ -1,0 +1,252 @@
+package tabled
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pairfn/internal/extarray"
+	"pairfn/internal/obs"
+	"pairfn/internal/retry"
+	"pairfn/internal/walog"
+)
+
+// A Follower is the pull side of per-range replication: it tails the
+// primary's /v1/repl/frames, and for every record (in primary log order)
+// applies it to the local backend and re-appends the identical payload to
+// the local WAL, fsynced, before advancing its position. The position is
+// therefore never ahead of what a crash would recover — boot replay of
+// the follower's own WAL is the position — and the `from` it presents on
+// the next pull is an honest durability acknowledgement, which is what
+// the primary's ReplGate builds semi-synchronous acks out of.
+//
+// A follower never snapshots or checkpoints: its WAL must remain a
+// byte-identical prefix of the primary's so record counts stay aligned.
+// (Follower log compaction is a known follow-on; see DESIGN §5d.)
+//
+// Divergence — the primary answering 410 (our records were checkpointed
+// away before we pulled them) or 409 (we hold records the primary never
+// wrote) — is a sticky failure: the loop stops, Err reports it, and
+// /v1/repl/status carries it. Rebuilding the follower is an operator
+// action; guessing is how split brains happen.
+
+// FollowerOptions configures NewFollower.
+type FollowerOptions struct {
+	// Source is the primary's base URL, e.g. "http://10.0.0.7:8081".
+	Source string
+	// HTTPClient issues the pulls (nil → the shared pooled default).
+	HTTPClient *http.Client
+	// PollWait is the server-side long-poll window requested per pull
+	// (0 → DefaultReplWait).
+	PollWait time.Duration
+	// MaxBytes caps one pull's frame payload (0 → DefaultReplMaxBytes).
+	MaxBytes int
+	// Retry paces re-pulls after transient failures (nil → a default
+	// unbounded-attempt policy; divergence is permanent regardless).
+	Retry *retry.Policy
+	// Writable is flipped true by Promote (may be nil).
+	Writable *obs.Flag
+	// Metrics receives repl_* instrumentation (may be nil).
+	Metrics *Metrics
+	// Logger receives pull-loop log lines (may be nil).
+	Logger *slog.Logger
+}
+
+// NewFollower builds a follower resuming from applied — the record count
+// the local WAL replayed at boot.
+func NewFollower(b Backend[string], wal *WAL, applied uint64, opt FollowerOptions) *Follower {
+	if opt.HTTPClient == nil {
+		opt.HTTPClient = defaultHTTPClient
+	}
+	if opt.PollWait <= 0 {
+		opt.PollWait = DefaultReplWait
+	}
+	if opt.MaxBytes <= 0 {
+		opt.MaxBytes = DefaultReplMaxBytes
+	}
+	if opt.Retry == nil {
+		opt.Retry = &retry.Policy{Base: 100 * time.Millisecond, Max: 2 * time.Second, MaxAttempts: -1}
+	}
+	f := &Follower{b: b, wal: wal, opt: opt, stopped: make(chan struct{})}
+	f.applied.Store(applied)
+	return f
+}
+
+// A Follower replicates one primary's WAL into a local backend + WAL.
+// Safe for concurrent use; Run is the pull loop, everything else observes
+// or stops it.
+type Follower struct {
+	b   Backend[string]
+	wal *WAL
+	opt FollowerOptions
+
+	applied  atomic.Uint64 // records durably applied locally
+	primNext atomic.Uint64 // primary's committed horizon at last pull
+	promoted atomic.Bool
+
+	mu      sync.Mutex
+	err     error              // sticky divergence/apply failure
+	cancel  context.CancelFunc // cancels the running pull loop
+	stopped chan struct{}      // closed when the pull loop exits
+}
+
+// Source returns the primary's base URL.
+func (f *Follower) Source() string { return f.opt.Source }
+
+// Applied returns the follower's durable replication position.
+func (f *Follower) Applied() uint64 { return f.applied.Load() }
+
+// Lag returns the record lag behind the primary's committed horizon as
+// of the last successful pull (0 while caught up or never connected).
+func (f *Follower) Lag() uint64 {
+	if n, a := f.primNext.Load(), f.applied.Load(); n > a {
+		return n - a
+	}
+	return 0
+}
+
+// Promoted reports whether Promote has run.
+func (f *Follower) Promoted() bool { return f.promoted.Load() }
+
+// Err returns the sticky replication failure, if any.
+func (f *Follower) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// fail records the sticky failure and stops the loop.
+func (f *Follower) fail(err error) {
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+	if f.opt.Logger != nil {
+		f.opt.Logger.Error("repl: follower stopped", "source", f.opt.Source, "err", err)
+	}
+}
+
+// Run pulls until ctx ends, Promote is called, or a permanent failure
+// (divergence, local apply/append failure) sticks. Wire it as a
+// srvkit.Lifecycle background task.
+func (f *Follower) Run(ctx context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	f.mu.Lock()
+	if f.promoted.Load() {
+		f.mu.Unlock()
+		cancel()
+		return
+	}
+	f.cancel = cancel
+	f.mu.Unlock()
+	defer close(f.stopped)
+	defer cancel()
+	err := f.opt.Retry.Do(ctx, func(ctx context.Context) error {
+		for {
+			if err := f.pullOnce(ctx); err != nil {
+				return err // transient → backoff + retry; permanent → stop
+			}
+			// A successful pull resets the backoff by returning into a
+			// fresh Do call — cheaper to just loop here and let only
+			// errors escape to the retry schedule.
+		}
+	})
+	if err != nil && ctx.Err() == nil {
+		f.fail(err)
+	}
+}
+
+// pullOnce performs one frames request and applies whatever it returns.
+// A nil error means progress (possibly zero new records after a quiet
+// long-poll); transient transport trouble comes back plain (retryable);
+// divergence and local failures come back retry.Permanent.
+func (f *Follower) pullOnce(ctx context.Context) error {
+	from := f.applied.Load()
+	url := fmt.Sprintf("%s%s?from=%d&wait_ms=%d&max=%d", f.opt.Source, ReplFramesPath,
+		from, f.opt.PollWait/time.Millisecond, f.opt.MaxBytes)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return retry.Permanent(err)
+	}
+	resp, err := f.opt.HTTPClient.Do(req)
+	if err != nil {
+		return err // transport: primary restarting/unreachable — retry
+	}
+	defer resp.Body.Close()
+	f.opt.Metrics.replPull(resp.StatusCode)
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone, http.StatusConflict:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return retry.Permanent(fmt.Errorf("tabled: follower diverged from %s (%s): %s",
+			f.opt.Source, resp.Status, msg))
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("tabled: repl pull: %s: %s", resp.Status, msg)
+	}
+	if committed, err := strconv.ParseUint(resp.Header.Get(ReplCommittedHeader), 10, 64); err == nil {
+		f.primNext.Store(committed)
+	}
+	// Bound the read: the primary caps bodies at MaxBytes except when a
+	// single record is larger, so allow one max-size frame of slack.
+	body, err := io.ReadAll(io.LimitReader(resp.Body, int64(f.opt.MaxBytes)+extarray.MaxFramePayload+16))
+	if err != nil {
+		return fmt.Errorf("tabled: repl pull: reading body: %w", err)
+	}
+	n, err := walog.ReadStream(body, func(payload []byte) error {
+		rec, err := DecodeRecord(payload)
+		if err != nil {
+			return retry.Permanent(fmt.Errorf("tabled: repl apply: %w", err))
+		}
+		// Primary order: apply to memory, then make durable. A crash
+		// between the two replays this record from the next pull (the
+		// position only advances with the local append), and re-applying
+		// is idempotent.
+		if err := ApplyWALRecord(f.b, rec); err != nil {
+			return retry.Permanent(err)
+		}
+		if err := f.wal.AppendRaw(payload); err != nil {
+			return retry.Permanent(fmt.Errorf("tabled: repl append: %w", err))
+		}
+		f.applied.Add(1)
+		return nil
+	})
+	f.opt.Metrics.replApplied(n, f.Lag())
+	if err != nil {
+		// A truncated stream (ReadStream error without Permanent) is a
+		// torn HTTP body: records before the tear are applied and
+		// position-advanced, so a plain retry resumes exactly after them.
+		return err
+	}
+	return nil
+}
+
+// Promote executes the follower → primary transition: stop the pull
+// loop, wait for it to exit (no frame is mid-apply past this point),
+// flip the writable flag, and return the final applied position. After
+// Promote the node serves writes and its own /v1/repl/frames — a new
+// follower can chain from it. Idempotent.
+func (f *Follower) Promote() (applied uint64) {
+	f.mu.Lock()
+	already := f.promoted.Swap(true)
+	cancel := f.cancel
+	f.mu.Unlock()
+	if already {
+		return f.applied.Load()
+	}
+	if cancel != nil {
+		cancel()
+		<-f.stopped
+	}
+	if f.opt.Writable != nil {
+		f.opt.Writable.Set(true)
+	}
+	return f.applied.Load()
+}

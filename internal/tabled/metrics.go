@@ -35,6 +35,16 @@ type Metrics struct {
 	walCheckpoints *obs.Counter
 	degradedG      *obs.Gauge
 	idemHits       *obs.Counter
+
+	replServedRecs  *obs.Counter
+	replServedBytes *obs.Counter
+	replPulls       map[string]*obs.Counter
+	replAppliedRecs *obs.Counter
+	replLagG        *obs.Gauge
+	replPromotions  *obs.Counter
+	replPromoteDur  *obs.Histogram
+	replAckWaits    *obs.Counter
+	replAckTimeouts *obs.Counter
 }
 
 // opNames are the batch op kinds instrumented per-op.
@@ -63,6 +73,15 @@ func NewMetrics(reg *obs.Registry, nshards int) *Metrics {
 	reg.Help("tabled_wal_checkpoints_total", "Snapshot checkpoints that reset the WAL.")
 	reg.Help("tabled_degraded", "1 while the server is in read-only degraded mode (WAL volume failed).")
 	reg.Help("tabled_idempotent_replays_total", "Batch requests answered from the idempotency cache without re-executing.")
+	reg.Help("tabled_repl_served_records_total", "WAL records served to followers over /v1/repl/frames.")
+	reg.Help("tabled_repl_served_bytes_total", "Framed bytes served to followers.")
+	reg.Help("tabled_repl_pulls_total", "Follower pull requests issued, by result class.")
+	reg.Help("tabled_repl_applied_records_total", "Primary WAL records applied by this follower.")
+	reg.Help("tabled_repl_lag_records", "Follower record lag behind the primary's committed horizon at the last pull.")
+	reg.Help("tabled_repl_promotions_total", "Follower-to-primary promotions performed.")
+	reg.Help("tabled_repl_promote_duration_seconds", "Latency of the promote transition (pull-loop stop through writable flip).")
+	reg.Help("tabled_repl_ack_waits_total", "Write batches that waited on the replication ack gate.")
+	reg.Help("tabled_repl_ack_timeouts_total", "Write batches whose ack was refused because the follower did not confirm in time.")
 	m := &Metrics{
 		batchSize: reg.Histogram("tabled_batch_cells", defBatchBuckets),
 		opsTotal:  make(map[string]*obs.Counter, len(opNames)),
@@ -83,6 +102,19 @@ func NewMetrics(reg *obs.Registry, nshards int) *Metrics {
 		walCheckpoints: reg.Counter("tabled_wal_checkpoints_total"),
 		degradedG:      reg.Gauge("tabled_degraded"),
 		idemHits:       reg.Counter("tabled_idempotent_replays_total"),
+
+		replServedRecs:  reg.Counter("tabled_repl_served_records_total"),
+		replServedBytes: reg.Counter("tabled_repl_served_bytes_total"),
+		replPulls:       make(map[string]*obs.Counter, 3),
+		replAppliedRecs: reg.Counter("tabled_repl_applied_records_total"),
+		replLagG:        reg.Gauge("tabled_repl_lag_records"),
+		replPromotions:  reg.Counter("tabled_repl_promotions_total"),
+		replPromoteDur:  reg.Histogram("tabled_repl_promote_duration_seconds", obs.DefDurationBuckets),
+		replAckWaits:    reg.Counter("tabled_repl_ack_waits_total"),
+		replAckTimeouts: reg.Counter("tabled_repl_ack_timeouts_total"),
+	}
+	for _, result := range []string{"ok", "diverged", "error"} {
+		m.replPulls[result] = reg.Counter("tabled_repl_pulls_total", obs.L("result", result))
 	}
 	for _, op := range opNames {
 		m.opsTotal[op] = reg.Counter("tabled_ops_total", obs.L("op", op))
@@ -187,6 +219,59 @@ func (m *Metrics) idempotentReplay() {
 		return
 	}
 	m.idemHits.Inc()
+}
+
+// replServe records one frames response sent to a follower.
+func (m *Metrics) replServe(bytes, records int) {
+	if m == nil {
+		return
+	}
+	m.replServedBytes.Add(int64(bytes))
+	m.replServedRecs.Add(int64(records))
+}
+
+// replPull records one pull attempt's outcome by HTTP status class.
+func (m *Metrics) replPull(status int) {
+	if m == nil {
+		return
+	}
+	switch {
+	case status == 200:
+		m.replPulls["ok"].Inc()
+	case status == 409 || status == 410:
+		m.replPulls["diverged"].Inc()
+	default:
+		m.replPulls["error"].Inc()
+	}
+}
+
+// replApplied records n newly applied records and the current lag.
+func (m *Metrics) replApplied(n int, lag uint64) {
+	if m == nil {
+		return
+	}
+	m.replAppliedRecs.Add(int64(n))
+	m.replLagG.Set(int64(lag))
+}
+
+// replPromotion records one follower→primary transition.
+func (m *Metrics) replPromotion(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.replPromotions.Inc()
+	m.replPromoteDur.Observe(d.Seconds())
+}
+
+// replAckWait records one gated write batch and whether its ack timed out.
+func (m *Metrics) replAckWait(timedOut bool) {
+	if m == nil {
+		return
+	}
+	m.replAckWaits.Inc()
+	if timedOut {
+		m.replAckTimeouts.Inc()
+	}
 }
 
 // snapshot records a snapshot attempt.

@@ -1,0 +1,299 @@
+package tabled
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"pairfn/internal/walog"
+)
+
+// This file is the server half of per-range WAL replication (DESIGN §5d):
+// a primary serves its committed log suffix over HTTP as raw CRC-framed
+// bytes, a follower (follower.go) pulls and re-applies them, and an
+// explicit promotion flips the follower writable when the primary dies.
+//
+// The pull's `from` parameter does double duty: it names the next record
+// the follower wants AND acknowledges that records [0, from) are durable
+// on the follower (it only advances `from` after its own fsync). That one
+// number is what makes semi-synchronous acks possible with a pull
+// protocol: the primary's ReplGate watches the acknowledged horizon and
+// holds each write's HTTP response until the horizon covers it.
+
+// Replication endpoints, mounted by NewHandler when ServerOptions.Repl is
+// set:
+//
+//	GET  /v1/repl/frames?from=N[&wait_ms=M][&max=B]  committed frames from seq N
+//	GET  /v1/repl/status                             role / sequence line / lag (JSON)
+//	POST /v1/promote                                 follower → primary transition
+
+// ReplFramesPath is the frame-streaming endpoint.
+const ReplFramesPath = "/v1/repl/frames"
+
+// ReplStatusPath is the replication status endpoint.
+const ReplStatusPath = "/v1/repl/status"
+
+// PromotePath is the follower-promotion endpoint.
+const PromotePath = "/v1/promote"
+
+// Frame-stream response headers: the next sequence to request, and the
+// primary's committed horizon at serve time (the follower's lag is
+// committed − applied).
+const (
+	ReplNextHeader      = "X-Tabled-Repl-Next"
+	ReplCommittedHeader = "X-Tabled-Repl-Committed"
+)
+
+// DefaultReplWait is the server-side long-poll window on /v1/repl/frames
+// when the request doesn't name one.
+const DefaultReplWait = 2 * time.Second
+
+// maxReplWait caps the client-requested long-poll window so a follower
+// cannot pin a handler goroutine indefinitely.
+const maxReplWait = 30 * time.Second
+
+// DefaultReplMaxBytes caps one frames response body.
+const DefaultReplMaxBytes = 1 << 20
+
+// ErrReplAckTimeout is the gate's refusal: the write is durable locally
+// but the follower did not confirm it in time, so the ack is withheld
+// (503) rather than risk acknowledging a write only the primary holds.
+var ErrReplAckTimeout = errors.New("tabled: replication ack timeout")
+
+// ReplStatus is the /v1/repl/status reply.
+type ReplStatus struct {
+	// Role is "primary" or "follower". A promoted follower reports
+	// "primary".
+	Role string `json:"role"`
+	// Base and Next delimit the durable records still in the log:
+	// [Base, Next). Records below Base were checkpointed into a snapshot.
+	Base uint64 `json:"base"`
+	Next uint64 `json:"next"`
+	// Source is the primary this node replicates from (followers only).
+	Source string `json:"source,omitempty"`
+	// Applied is the follower's replication position (followers only).
+	Applied uint64 `json:"applied,omitempty"`
+	// Lag is the follower's record lag behind the primary's committed
+	// horizon as of the last pull (followers only).
+	Lag uint64 `json:"lag"`
+	// Err is the follower's sticky replication failure, if any (e.g.
+	// detected divergence).
+	Err string `json:"error,omitempty"`
+}
+
+// Repl is the replication face of one tabled server, carried into
+// NewHandler via ServerOptions.Repl. WAL is required; Follower is set in
+// follower mode; Gate is set on primaries that withhold write acks until
+// the follower confirms (semi-synchronous replication).
+type Repl struct {
+	WAL      *WAL
+	Follower *Follower
+	Gate     *ReplGate
+	Metrics  *Metrics
+	Logger   *slog.Logger
+}
+
+// Role reports the node's current replication role.
+func (rp *Repl) Role() string {
+	if rp.Follower != nil && !rp.Follower.Promoted() {
+		return "follower"
+	}
+	return "primary"
+}
+
+// register mounts the replication endpoints on mux.
+func (rp *Repl) register(mux *http.ServeMux) {
+	mux.HandleFunc("GET "+ReplFramesPath, rp.handleFrames)
+	mux.HandleFunc("GET "+ReplStatusPath, rp.handleStatus)
+	mux.HandleFunc("POST "+PromotePath, rp.handlePromote)
+}
+
+// handleFrames serves committed WAL frames from the requested sequence,
+// long-polling briefly when the follower is caught up. The from parameter
+// is also the follower's durability acknowledgement — it feeds the gate
+// before anything else, so acks release even on requests that then just
+// long-poll.
+func (rp *Repl) handleFrames(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad request: from must be a sequence number", http.StatusBadRequest)
+		return
+	}
+	rp.Gate.Advance(from)
+	wait := DefaultReplWait
+	if ms := q.Get("wait_ms"); ms != "" {
+		n, err := strconv.Atoi(ms)
+		if err != nil || n < 0 {
+			http.Error(w, "bad request: wait_ms must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		wait = time.Duration(n) * time.Millisecond
+		if wait > maxReplWait {
+			wait = maxReplWait
+		}
+	}
+	maxBytes := DefaultReplMaxBytes
+	if mb := q.Get("max"); mb != "" {
+		n, err := strconv.Atoi(mb)
+		if err != nil || n <= 0 {
+			http.Error(w, "bad request: max must be a positive byte count", http.StatusBadRequest)
+			return
+		}
+		maxBytes = n
+	}
+	// Long-poll until something past `from` is committed; "nothing new
+	// before the window closed" is a success with an empty body.
+	if wait > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), wait)
+		err := rp.WAL.WaitCommitted(ctx, from+1)
+		cancel()
+		if err != nil && r.Context().Err() != nil {
+			return // client went away
+		}
+	}
+	frames, next, err := rp.WAL.Tail(from, maxBytes)
+	switch {
+	case errors.Is(err, walog.ErrSeqGap):
+		// The records were checkpointed away; the follower must resync.
+		http.Error(w, err.Error(), http.StatusGone)
+		return
+	case errors.Is(err, walog.ErrSeqAhead):
+		// The follower knows records this log never wrote: divergence.
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	_, committed := rp.WAL.SeqState()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(ReplNextHeader, strconv.FormatUint(next, 10))
+	w.Header().Set(ReplCommittedHeader, strconv.FormatUint(committed, 10))
+	rp.Metrics.replServe(len(frames), int(next-from))
+	if _, err := w.Write(frames); err != nil && rp.Logger != nil {
+		rp.Logger.Warn("repl: frames write", "err", err)
+	}
+}
+
+// handleStatus reports the node's replication view — the checker reads it
+// to distinguish a promoted follower from a plain read-only member.
+func (rp *Repl) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	st := ReplStatus{Role: rp.Role()}
+	st.Base, st.Next = rp.WAL.SeqState()
+	if f := rp.Follower; f != nil {
+		st.Source = f.Source()
+		st.Applied = f.Applied()
+		st.Lag = f.Lag()
+		if err := f.Err(); err != nil {
+			st.Err = err.Error()
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(&st)
+}
+
+// handlePromote performs the explicit follower → primary transition: stop
+// pulling, flip writable, start owning the range. Idempotent — promoting
+// a primary (or an already-promoted follower) answers 200 with role
+// "primary" and does nothing.
+func (rp *Repl) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if rp.Follower == nil || rp.Follower.Promoted() {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"role":"primary","promoted":false}`)
+		return
+	}
+	start := time.Now()
+	applied := rp.Follower.Promote()
+	d := time.Since(start)
+	rp.Metrics.replPromotion(d)
+	if rp.Logger != nil {
+		rp.Logger.Info("repl: promoted to primary", "applied", applied, "took", d)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"role":"primary","promoted":true,"applied":%d,"promote_ms":%.3f}`+"\n",
+		applied, float64(d)/float64(time.Millisecond))
+}
+
+// A ReplGate makes replication semi-synchronous: executeInto's caller
+// parks each write batch here until the follower's acknowledged horizon
+// (the `from` of its pulls) covers the batch's records, or the timeout
+// passes and the ack is refused with a 503. The write stays durable
+// locally either way — the gate narrows the failure window "acked on
+// primary only" to requests that already got a 503, which clients treat
+// as retryable. This is the CP choice: a dead follower stalls writes
+// (bounded by Timeout) instead of silently widening the loss window.
+type ReplGate struct {
+	// Timeout bounds one ack wait (0 → DefaultReplAckTimeout).
+	Timeout time.Duration
+
+	mu    sync.Mutex
+	acked uint64
+	gen   chan struct{}
+}
+
+// DefaultReplAckTimeout bounds how long a write waits for follower
+// confirmation before the ack is refused.
+const DefaultReplAckTimeout = 2 * time.Second
+
+// Advance records that the follower has durably applied records
+// [0, seq), waking writes parked at or below that horizon. Regressions
+// are ignored (a retried pull may re-present an older from).
+func (g *ReplGate) Advance(seq uint64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	if seq > g.acked {
+		g.acked = seq
+		if g.gen != nil {
+			close(g.gen)
+			g.gen = nil
+		}
+	}
+	g.mu.Unlock()
+}
+
+// Acked returns the follower's confirmed horizon.
+func (g *ReplGate) Acked() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.acked
+}
+
+// Wait blocks until the follower confirms records [0, seq), the gate
+// timeout passes (ErrReplAckTimeout), or ctx ends.
+func (g *ReplGate) Wait(ctx context.Context, seq uint64) error {
+	timeout := g.Timeout
+	if timeout <= 0 {
+		timeout = DefaultReplAckTimeout
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		g.mu.Lock()
+		if g.acked >= seq {
+			g.mu.Unlock()
+			return nil
+		}
+		if g.gen == nil {
+			g.gen = make(chan struct{})
+		}
+		gen := g.gen
+		g.mu.Unlock()
+		select {
+		case <-gen:
+		case <-deadline.C:
+			return fmt.Errorf("%w: follower at %d, need %d after %v",
+				ErrReplAckTimeout, g.Acked(), seq, timeout)
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

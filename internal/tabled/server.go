@@ -1,6 +1,7 @@
 package tabled
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -117,6 +118,15 @@ type ServerOptions struct {
 	// persist scheduler's failure text here so a snapshot loop going bad
 	// is visible on the probe without flipping readiness.
 	ReadyDetail func() string
+	// Repl, when non-nil, mounts the replication surface (/v1/repl/frames,
+	// /v1/repl/status, /v1/promote — see repl.go) and, when Repl.Gate is
+	// set, withholds write acks until the follower confirms durability.
+	Repl *Repl
+	// ReadOnlyDetail, when non-nil, explains WHY writes are refused while
+	// Writable is false — it feeds both the write-gate 503 body and the
+	// /readyz degraded detail. Nil keeps the WAL-failure wording; a
+	// follower daemon wires its role (and live lag) here instead.
+	ReadOnlyDetail func() string
 }
 
 // NewHandler mounts the tabled API over b:
@@ -142,6 +152,9 @@ func NewHandler(b Backend[string], opt ServerOptions) http.Handler {
 	if opt.WAL != nil && opt.Writable == nil {
 		// The server must be able to flip itself read-only on WAL failure.
 		opt.Writable = obs.NewFlag(true)
+	}
+	if opt.ReadOnlyDetail == nil {
+		opt.ReadOnlyDetail = func() string { return "read-only (WAL volume failed)" }
 	}
 	srv := &server{b: b, opt: opt}
 	srv.deg = srvkit.NewDegraded(srvkit.DegradedConfig{
@@ -170,16 +183,21 @@ func NewHandler(b Backend[string], opt ServerOptions) http.Handler {
 	}.Wrap(http.HandlerFunc(srv.handleBatch)))
 	mux.HandleFunc("GET /v1/stats", srv.handleStats)
 	mux.HandleFunc("POST /v1/snapshot", srv.handleSnapshot)
+	if opt.Repl != nil {
+		opt.Repl.register(mux)
+	}
 	if opt.Registry != nil {
 		mux.Handle("GET /metrics", opt.Registry.Handler())
 	}
 	// Readiness keys off the Writable flag rather than the trip machine so
-	// an externally-flipped flag reads as degraded too.
+	// an externally-flipped flag reads as degraded too — which is also how
+	// a follower (writable=false by construction) advertises itself: the
+	// checker reads "degraded: <detail>" as routable-for-reads.
 	writable := opt.Writable
 	srvkit.Probes{
 		Ready: opt.Ready,
 		Degraded: func() (bool, string) {
-			return !writable.Get(), "read-only (WAL volume failed)"
+			return !writable.Get(), opt.ReadOnlyDetail()
 		},
 		Detail: opt.ReadyDetail,
 	}.Register(mux)
@@ -190,7 +208,8 @@ func NewHandler(b Backend[string], opt ServerOptions) http.Handler {
 		// the mux 404s everything else; collapse unknown paths anyway.
 		PathLabel: func(r *http.Request) string {
 			switch r.URL.Path {
-			case "/v1/batch", "/v1/stats", "/v1/snapshot", "/metrics", "/healthz", "/readyz":
+			case "/v1/batch", "/v1/stats", "/v1/snapshot", "/metrics", "/healthz", "/readyz",
+				ReplFramesPath, ReplStatusPath, PromotePath:
 				return r.URL.Path
 			}
 			return "other"
@@ -221,6 +240,39 @@ func HasWrites(ops []Op) bool {
 		}
 	}
 	return false
+}
+
+// readOnlyMsg is the write-gate refusal body, carrying the configured
+// reason (WAL failure by default; follower role on replicas).
+func (s *server) readOnlyMsg() string {
+	return "read-only: writes are disabled: " + s.opt.ReadOnlyDetail()
+}
+
+// replAck is the semi-synchronous replication gate: a write batch that
+// executed and logged locally parks here until the follower's pull
+// horizon confirms it is durable remotely too, or the gate times out and
+// the ack is refused (503, retryable). No-op without a configured gate or
+// for read-only batches — the common path costs one nil check.
+func (s *server) replAck(ctx context.Context, ops []Op) error {
+	if s.opt.Repl == nil || s.opt.Repl.Gate == nil || s.opt.WAL == nil || !HasWrites(ops) {
+		return nil
+	}
+	// Every record of this batch is ≤ the committed horizon now (Append
+	// fsyncs before returning), so waiting for the follower to reach the
+	// horizon covers the batch. Concurrent writers can push the horizon a
+	// little past it — over-waiting by a few records, never under.
+	_, next := s.opt.WAL.SeqState()
+	err := s.opt.Repl.Gate.Wait(ctx, next)
+	s.opt.Metrics.replAckWait(err != nil)
+	return err
+}
+
+// refusalMsg phrases a durability refusal for the 503 body.
+func refusalMsg(err error) string {
+	if errors.Is(err, ErrReplAckTimeout) {
+		return "replication unconfirmed, write not acknowledged (durable locally; retry): " + err.Error()
+	}
+	return "write-ahead log failed, server is now read-only: " + err.Error()
 }
 
 // degrade flips the server into read-only mode after a WAL failure: writes
@@ -327,7 +379,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.opt.Writable.Get() && HasWrites(req.Ops) {
-		http.Error(w, "read-only: WAL volume failed, writes are disabled", http.StatusServiceUnavailable)
+		http.Error(w, s.readOnlyMsg(), http.StatusServiceUnavailable)
 		return
 	}
 	key := r.Header.Get(IdempotencyKeyHeader)
@@ -337,12 +389,15 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	scr := wirePool.Get().(*wireScratch)
 	defer wirePool.Put(scr)
 	results, walErr := s.executeInto(req.Ops, scr)
+	if walErr == nil {
+		walErr = s.replAck(r.Context(), req.Ops)
+	}
 	if walErr != nil {
-		// The batch was applied in memory but could not be made durable:
-		// refuse the ack. The client retries and lands on the read-only
-		// gate above.
-		http.Error(w, "write-ahead log failed, server is now read-only: "+walErr.Error(),
-			http.StatusServiceUnavailable)
+		// The batch was applied in memory but could not be made durable
+		// (or durably replicated): refuse the ack. The client retries and
+		// either lands on the read-only gate above or re-executes
+		// idempotently once replication catches up.
+		http.Error(w, refusalMsg(walErr), http.StatusServiceUnavailable)
 		return
 	}
 	resp := BatchResponse{Results: results}
@@ -406,6 +461,11 @@ func (s *server) handleBatchBinary(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out, status, msg := s.batchBinary(body, scr)
+	if status == http.StatusOK {
+		if err := s.replAck(r.Context(), scr.ops); err != nil {
+			status, msg = http.StatusServiceUnavailable, refusalMsg(err)
+		}
+	}
 	if status != http.StatusOK {
 		http.Error(w, msg, status)
 		return
@@ -436,7 +496,7 @@ func (s *server) batchBinary(body []byte, scr *wireScratch) (out []byte, status 
 		return nil, http.StatusBadRequest, "bad request: empty batch"
 	}
 	if !s.opt.Writable.Get() && HasWrites(ops) {
-		return nil, http.StatusServiceUnavailable, "read-only: WAL volume failed, writes are disabled"
+		return nil, http.StatusServiceUnavailable, s.readOnlyMsg()
 	}
 	// Decoded set values alias the pooled request body, which the next
 	// request will overwrite; anything the table retains must own its
@@ -448,8 +508,7 @@ func (s *server) batchBinary(body []byte, scr *wireScratch) (out []byte, status 
 	}
 	results, walErr := s.executeInto(ops, scr)
 	if walErr != nil {
-		return nil, http.StatusServiceUnavailable,
-			"write-ahead log failed, server is now read-only: " + walErr.Error()
+		return nil, http.StatusServiceUnavailable, refusalMsg(walErr)
 	}
 	out, err = AppendBatchResponse(scr.out[:0], results)
 	if err != nil {

@@ -1,6 +1,7 @@
 package tabled
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -161,6 +162,38 @@ func (w *WAL) Checkpoint(save func() error) error {
 // Close syncs outstanding records and closes the file. Appends after
 // Close return ErrWALClosed.
 func (w *WAL) Close() error { return w.log.Close() }
+
+// SeqState reports the log's sequence line: records [base, next) are
+// durable, with [0, base) already folded into a snapshot by checkpoints.
+// Record sequence numbers are stable across checkpoints — the replication
+// protocol's coordinate system.
+func (w *WAL) SeqState() (base, next uint64) { return w.log.SeqState() }
+
+// WaitCommitted blocks until at least seq records are durable (the
+// /v1/repl/frames long-poll primitive). See walog.Log.WaitCommitted.
+func (w *WAL) WaitCommitted(ctx context.Context, seq uint64) error {
+	return w.log.WaitCommitted(ctx, seq)
+}
+
+// Tail serves committed records [from, next) as raw CRC-framed bytes for
+// replication. See walog.Log.Tail for chunking and the divergence errors
+// (walog.ErrSeqGap, walog.ErrSeqAhead).
+func (w *WAL) Tail(from uint64, maxBytes int) (frames []byte, next uint64, err error) {
+	return w.log.Tail(from, maxBytes)
+}
+
+// AppendRaw appends one already-encoded record payload, fsynced before
+// return — the follower ingestion path. The follower re-appends exactly
+// the payload bytes the primary framed, so its log is a byte-identical
+// prefix of the primary's and its record count IS its replication
+// position: boot replay of its own log recovers the applied sequence with
+// no separate counter to persist.
+func (w *WAL) AppendRaw(payload []byte) error { return w.log.Append(payload) }
+
+// DecodeRecord parses one frame payload into a typed record — exposed for
+// the follower, which receives primary payloads over the wire and must
+// both apply and re-log them.
+func DecodeRecord(payload []byte) (WALRecord, error) { return decodeWALRecord(payload) }
 
 // encodeSetRecord serializes a set batch:
 //

@@ -69,6 +69,12 @@ type Log struct {
 	window time.Duration
 	obs    Observer
 
+	// readMu serializes Tail's file reads against Checkpoint's truncation:
+	// Tail reads a committed byte region outside mu (so appends keep
+	// flowing during the disk read), which is only safe while no
+	// checkpoint can cut the file under it. Lock order: readMu before mu.
+	readMu sync.RWMutex
+
 	mu      sync.Mutex
 	f       File
 	size    int64
@@ -76,6 +82,17 @@ type Log struct {
 	failed  error
 	closed  bool
 	waiters []chan error
+
+	// Streaming state (see stream.go). base is the sequence number of the
+	// first record in the file (records checkpointed away keep their
+	// numbers); offs[k] is the byte offset of record base+k; committed is
+	// the sequence just past the last durable record — the replication
+	// horizon. commitGen is closed and replaced whenever committed
+	// advances, waking WaitCommitted long-polls.
+	base      uint64
+	offs      []int64
+	committed uint64
+	commitGen chan struct{}
 
 	kick chan struct{}
 	done chan struct{}
@@ -96,10 +113,16 @@ func Open(path string, apply func(payload []byte) error, opt Options) (*Log, int
 		return nil, 0, fmt.Errorf("%s: open: %w", name, err)
 	}
 	replayed := 0
+	var (
+		offs    []int64
+		nextOff int64
+	)
 	valid, torn, err := extarray.ReadFrames(f, func(payload []byte) error {
 		if err := apply(payload); err != nil {
 			return err
 		}
+		offs = append(offs, nextOff)
+		nextOff += extarray.FrameLen(payload)
 		replayed++
 		return nil
 	})
@@ -133,15 +156,18 @@ func Open(path string, apply func(payload []byte) error, opt Options) (*Log, int
 		wf = opt.WrapFile(wf)
 	}
 	l := &Log{
-		path:   path,
-		name:   name,
-		window: opt.SyncWindow,
-		obs:    opt.Observer,
-		f:      wf,
-		size:   valid,
-		synced: valid,
-		kick:   make(chan struct{}, 1),
-		done:   make(chan struct{}),
+		path:      path,
+		name:      name,
+		window:    opt.SyncWindow,
+		obs:       opt.Observer,
+		f:         wf,
+		size:      valid,
+		synced:    valid,
+		offs:      offs,
+		committed: uint64(len(offs)),
+		commitGen: make(chan struct{}),
+		kick:      make(chan struct{}, 1),
+		done:      make(chan struct{}),
 	}
 	if l.obs != nil {
 		l.obs.LogReplay(replayed, torn)
@@ -199,6 +225,7 @@ func (l *Log) Enqueue(payload []byte) Ticket {
 	if l.closed {
 		return Ticket{err: ErrClosed}
 	}
+	off := l.size
 	n, err := extarray.AppendFrame(l.f, payload)
 	l.size += int64(n)
 	if err != nil {
@@ -206,8 +233,10 @@ func (l *Log) Enqueue(payload []byte) Ticket {
 		// Any write failure is sticky: the log can no longer attest
 		// durability, so the owner must stop acknowledging writes.
 		l.failed = fmt.Errorf("%s: append: %w", l.name, err)
+		l.wakeCommittedLocked()
 		return Ticket{err: l.failed}
 	}
+	l.offs = append(l.offs, off)
 	if l.obs != nil {
 		l.obs.LogAppend(int64(n))
 		l.obs.LogSize(l.size)
@@ -259,10 +288,26 @@ func (l *Log) syncLocked() error {
 	}
 	if err != nil {
 		l.failed = fmt.Errorf("%s: sync: %w", l.name, err)
+		l.wakeCommittedLocked()
 		return l.failed
 	}
 	l.synced = l.size
+	// Every record in the file is now durable: advance the replication
+	// horizon and wake any Tail long-polls waiting for fresh frames.
+	if next := l.base + uint64(len(l.offs)); next != l.committed {
+		l.committed = next
+		l.wakeCommittedLocked()
+	}
 	return nil
+}
+
+// wakeCommittedLocked rotates commitGen so every WaitCommitted loop
+// re-checks the log state. Called when the committed horizon advances —
+// and on failure or close, so long-polls observe the terminal state
+// instead of sleeping until their context expires.
+func (l *Log) wakeCommittedLocked() {
+	close(l.commitGen)
+	l.commitGen = make(chan struct{})
 }
 
 // syncer is the group-commit loop: each kick waits out the window so
@@ -306,6 +351,10 @@ func (l *Log) syncer() {
 // this process manages) but the log is left alone and the failure is
 // returned.
 func (l *Log) Checkpoint(save func() error) error {
+	// Exclude Tail's out-of-lock file reads for the truncation (lock
+	// order: readMu before mu, matching Tail).
+	l.readMu.Lock()
+	defer l.readMu.Unlock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err := save(); err != nil {
@@ -319,14 +368,26 @@ func (l *Log) Checkpoint(save func() error) error {
 	}
 	if err := l.f.Truncate(0); err != nil {
 		l.failed = fmt.Errorf("%s: checkpoint truncate: %w", l.name, err)
+		l.wakeCommittedLocked()
 		return l.failed
 	}
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
 		l.failed = fmt.Errorf("%s: checkpoint seek: %w", l.name, err)
+		l.wakeCommittedLocked()
 		return l.failed
 	}
 	l.size = 0
 	l.synced = 0
+	// Checkpointed records keep their sequence numbers: the snapshot now
+	// carries them, so the log's first record (if any ever lands) is the
+	// next sequence. A follower tailing below the new base must resync
+	// from a snapshot — Tail reports the gap instead of serving frames.
+	l.base += uint64(len(l.offs))
+	l.offs = l.offs[:0]
+	if l.committed != l.base {
+		l.committed = l.base
+		l.wakeCommittedLocked()
+	}
 	if l.obs != nil {
 		l.obs.LogSize(0)
 		l.obs.LogCheckpoint()
@@ -343,6 +404,7 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
+	l.wakeCommittedLocked() // long-polls must observe the close, not time out
 	if l.window > 0 {
 		close(l.kick) // safe: appends check closed under mu before kicking
 	}
