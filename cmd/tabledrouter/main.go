@@ -105,6 +105,8 @@ func run() int {
 	reqTimeout := flag.Duration("timeout", tabled.DefaultBatchTimeout, "per-request handler timeout for /v1/batch (503 on overrun; negative = none)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	replicaReads := flag.Bool("replica-reads", false, "offload all-read sub-batches to healthy nodes' live replicas")
+	replicaReadLag := flag.Uint64("replica-read-lag", cluster.DefaultReplicaReadMaxLag, "with -replica-reads: max replica record lag before reads stay on the primary")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -116,11 +118,13 @@ func run() int {
 		pol = &retry.Policy{Base: 50 * time.Millisecond, Max: time.Second, MaxAttempts: *retries}
 	}
 	copt := cluster.Options{
-		Wire:        *nodeWire,
-		Retry:       pol,
-		NodeTimeout: *nodeTimeout,
-		Registry:    reg,
-		Logger:      logger,
+		Wire:              *nodeWire,
+		Retry:             pol,
+		NodeTimeout:       *nodeTimeout,
+		Registry:          reg,
+		Logger:            logger,
+		ReplicaReads:      *replicaReads,
+		ReplicaReadMaxLag: *replicaReadLag,
 		Health: cluster.CheckerOptions{
 			Interval: *healthEvery,
 			Timeout:  *healthTimeout,

@@ -64,12 +64,26 @@
 // With -replicate-from, the server runs as a read-only FOLLOWER of the
 // named primary (which must itself run with -wal): it tails the primary's
 // /v1/repl/frames, applies every record locally, and re-appends it to its
-// own WAL — a byte-identical prefix of the primary's — fsynced before
-// advancing. Requires -wal; forbids -snapshot (a follower never
-// checkpoints, so its log stays aligned with the primary's). POST
-// /v1/promote flips it into a primary: the pull loop stops, writes open
-// up, and the router fails the range over (see DESIGN §5d). A follower's
-// /readyz reports "degraded: follower ..." — routable for reads.
+// own WAL — a byte-identical suffix of the primary's record stream —
+// fsynced before advancing. Requires -wal. A follower MAY also run with
+// -snapshot: record numbering is durable (the WAL keeps a small .state
+// sidecar carrying its base sequence and epoch history), so the follower
+// checkpoints its own log like a primary does, and a checkpointed
+// follower resumes tailing from its absolute position after a restart.
+// POST /v1/promote flips it into a primary: the epoch is bumped durably
+// FIRST (the fencing token — see DESIGN §5e), then the pull loop stops,
+// writes open up, and the router fails the range over (see DESIGN §5d). A
+// follower's /readyz reports "degraded: follower ..." — routable for
+// reads.
+//
+// A follower running with -snapshot can also RESEED itself: when the
+// primary answers 410 (it checkpointed past the follower's position) or
+// 409 under a newer epoch (the follower's log is a stale fork — the
+// ex-primary rejoin case), the follower downloads the primary's snapshot
+// over /v1/repl/snapshot (CRC-framed, resumable, verified fail-closed),
+// installs it atomically, and resumes tailing from the snapshot's cut.
+// Without -snapshot those conditions remain sticky failures requiring an
+// operator rebuild, as before.
 //
 // With -repl-ack on a primary, replication turns semi-synchronous: each
 // write's HTTP response is withheld until the follower's pulls confirm it
@@ -98,9 +112,11 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"os"
+	"path/filepath"
 	"time"
 
 	"pairfn/internal/core"
@@ -141,10 +157,6 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "tabledserver: -replicate-from requires -wal and -backend sharded")
 			return 2
 		}
-		if *snapshot != "" {
-			fmt.Fprintln(os.Stderr, "tabledserver: -replicate-from forbids -snapshot (a follower never checkpoints; its WAL must stay a prefix of the primary's)")
-			return 2
-		}
 	}
 	if *replAck > 0 && *walPath == "" {
 		fmt.Fprintln(os.Stderr, "tabledserver: -repl-ack requires -wal")
@@ -172,26 +184,29 @@ func run() int {
 	newStore := func() extarray.Store[string] { return extarray.NewPagedStore[string]() }
 
 	var (
-		table    tabled.Backend[string]
-		saveSnap func() error
-		wal      *tabled.WAL
-		follower *tabled.Follower
-		writable *obs.Flag
+		table      tabled.Backend[string]
+		saveSnap   func() error
+		wal        *tabled.WAL
+		follower   *tabled.Follower
+		writable   *obs.Flag
+		snapSaveAt func(w io.Writer, cut, epoch uint64) error
 	)
 	switch *backend {
 	case "sharded":
 		var sh *tabled.Sharded[string]
+		var snapSeq, snapEpoch uint64
 		if *snapshot != "" {
 			if _, statErr := os.Stat(*snapshot); statErr == nil {
 				// A truncated or bit-rotted snapshot must be a clean refusal
 				// to boot (operator intervention), never a decode panic.
-				sh, err = tabled.LoadShardedFile[string](*snapshot, f, *shards, newStore, m)
+				sh, snapSeq, snapEpoch, err = tabled.LoadShardedFileMeta[string](*snapshot, f, *shards, newStore, m)
 				if err != nil {
 					logger.Error("snapshot load", "path", *snapshot, "err", err)
 					return 1
 				}
 				r, c := sh.Dims()
-				logger.Info("snapshot loaded", "path", *snapshot, "rows", r, "cols", c, "cells", sh.Len())
+				logger.Info("snapshot loaded", "path", *snapshot, "rows", r, "cols", c,
+					"cells", sh.Len(), "repl_seq", snapSeq, "repl_epoch", snapEpoch)
 			}
 		}
 		if sh == nil {
@@ -203,31 +218,53 @@ func run() int {
 		}
 		if *walPath != "" {
 			// Recovery = newest snapshot (loaded above) + WAL tail replayed
-			// on top; a torn final record is truncated, not fatal.
+			// on top; a torn final record is truncated, not fatal. The
+			// .state sidecar keeps the log's base sequence and epoch marks
+			// durable, and the snapshot's embedded cut resolves any crash
+			// window between a snapshot write and the log reset.
 			var replayed int
 			wal, replayed, err = tabled.OpenWAL(*walPath,
 				func(rec tabled.WALRecord) error { return tabled.ApplyWALRecord(sh, rec) },
-				tabled.WALOptions{SyncWindow: *walSync, Metrics: m, WrapFile: injector.WrapWALFile})
+				tabled.WALOptions{
+					SyncWindow:    *walSync,
+					Metrics:       m,
+					WrapFile:      injector.WrapWALFile,
+					StatePath:     *walPath + ".state",
+					SnapshotSeq:   snapSeq,
+					SnapshotEpoch: snapEpoch,
+				})
 			if err != nil {
 				logger.Error("wal open", "path", *walPath, "err", err)
 				return 1
 			}
+			base, next := wal.SeqState()
 			logger.Info("wal open", "path", *walPath, "replayed", replayed,
-				"bytes", wal.Size(), "sync_window", *walSync)
+				"bytes", wal.Size(), "seq", fmt.Sprintf("[%d,%d)", base, next),
+				"epoch", wal.Epoch(), "sync_window", *walSync)
+			snapSaveAt = sh.SaveAt
 		}
 		if *replFrom != "" {
-			// The boot replay count IS the replication position: the local
-			// WAL is a byte-identical prefix of the primary's, so the next
-			// record to pull is simply the next local sequence.
+			// The boot position is absolute: the sidecar base plus the
+			// replayed records — checkpointed records keep their numbers,
+			// so a checkpointing follower still presents the right `from`.
 			writable = obs.NewFlag(false)
 			_, next := wal.SeqState()
-			follower = tabled.NewFollower(sh, wal, next, tabled.FollowerOptions{
+			fopt := tabled.FollowerOptions{
 				Source:   *replFrom,
 				Writable: writable,
 				Metrics:  m,
 				Logger:   logger,
-			})
-			logger.Info("follower mode", "source", *replFrom, "position", next)
+			}
+			if *snapshot != "" {
+				// Reseed capability: stranded (410) or forked-under-a-newer-
+				// epoch (409) followers rebuild from the primary's snapshot
+				// instead of sticking.
+				fopt.SnapshotPath = *snapshot
+				fopt.Restore = sh.RestoreSnapshot
+			}
+			follower = tabled.NewFollower(sh, wal, next, fopt)
+			logger.Info("follower mode", "source", *replFrom, "position", next,
+				"reseed", *snapshot != "")
 		}
 		if *snapshot != "" {
 			path := *snapshot
@@ -235,10 +272,19 @@ func run() int {
 			if wal != nil {
 				// Checkpoint: the snapshot save and the log reset share one
 				// cut, so recovery stays snapshot + tail with nothing lost
-				// and nothing applied twice.
+				// and nothing applied twice. The cut sequence and epoch are
+				// stamped into the snapshot for the boot rule above.
+				w := wal
 				saveSnap = func() error {
-					return wal.Checkpoint(func() error { return sh.SaveFile(path) })
+					e := w.Epoch()
+					return w.CheckpointAt(func(cut uint64) error { return sh.SaveFileAt(path, cut, e) })
 				}
+			}
+			if follower != nil {
+				// A reseed install must never interleave with a checkpoint:
+				// both rewrite the snapshot/WAL pair.
+				inner := saveSnap
+				saveSnap = func() error { return follower.GuardInstall(inner) }
 			}
 		}
 		table = sh
@@ -290,6 +336,18 @@ func run() int {
 		if *replAck > 0 {
 			repl.Gate = &tabled.ReplGate{Timeout: *replAck}
 			logger.Info("semi-synchronous replication", "ack_timeout", *replAck)
+		}
+		if snapSaveAt != nil {
+			// Snapshot transfer for stranded followers: /v1/repl/snapshot
+			// streams a cut-consistent snapshot spooled next to the WAL.
+			repl.Snap = &tabled.ReplSnapshots{
+				WAL:      wal,
+				Save:     snapSaveAt,
+				Dir:      filepath.Dir(*walPath),
+				Injector: injector,
+				Metrics:  m,
+				Logger:   logger,
+			}
 		}
 	}
 

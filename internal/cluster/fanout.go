@@ -61,6 +61,36 @@ func nodeAwaitingPromotionErr(name string) string {
 	return fmt.Sprintf("%sread-only: %s: primary unavailable and replica not promoted, writes are disabled", nodeUnavailablePrefix, name)
 }
 
+// nodeFencedMark prefixes per-op errors caused by the owning primary
+// being fenced: a promotion happened that it predates, so routing writes
+// to it would fork history. A sub-class of IsUnavailable (the marker
+// extends nodeUnavailablePrefix), additionally detected by IsFenced so
+// the front door can answer 409 instead of 503 — "retry later" is the
+// wrong hint when the range needs an operator (or the stale node's
+// auto-reseed) to converge.
+const nodeFencedMark = nodeUnavailablePrefix + "fenced: "
+
+// IsFenced reports whether a per-op error string is the router's
+// fenced-primary class.
+func IsFenced(errstr string) bool {
+	return strings.HasPrefix(errstr, nodeFencedMark)
+}
+
+// AnyFenced reports whether any per-op error is the fenced-primary class.
+func AnyFenced(results []tabled.OpResult) bool {
+	for i := range results {
+		if IsFenced(results[i].Err) {
+			return true
+		}
+	}
+	return false
+}
+
+func nodeFencedErr(name string, epoch, maxEpoch uint64) string {
+	return fmt.Sprintf("%s%s: primary epoch %d is behind observed epoch %d; refusing to route to a stale primary",
+		nodeFencedMark, name, epoch, maxEpoch)
+}
+
 // errDown is the fail-fast cause recorded when the health checker already
 // marked the member down and the router never attempted the call.
 var errDown = errors.New("marked down by health check")
@@ -68,6 +98,12 @@ var errDown = errors.New("marked down by health check")
 // errUnrouted is the defensive fill for ops no merge reached; it cannot
 // occur while every sub-batch (including failed ones) merges a result.
 var errUnrouted = errors.New("cluster: internal: op was not routed")
+
+// DefaultReplicaReadMaxLag is the replica read-offload lag ceiling used
+// when the operator enables -replica-reads without tuning the threshold:
+// generous enough that a replica applying a steady stream stays eligible,
+// small enough that a stalled one is quickly bypassed.
+const DefaultReplicaReadMaxLag = 1024
 
 // Options configures New.
 type Options struct {
@@ -93,6 +129,15 @@ type Options struct {
 	// Health configures the active checker (Metrics/HTTPClient/Logger
 	// fields are filled from the options above when zero).
 	Health CheckerOptions
+	// ReplicaReads offloads read-only sub-batches to a node's live,
+	// unpromoted replica even while the primary is healthy — read scaling
+	// for replicated ranges. Writes always go to the primary.
+	ReplicaReads bool
+	// ReplicaReadMaxLag caps the replica record lag (last observed by the
+	// checker) at which reads are still offloaded; above it the primary
+	// serves them. Only meaningful with ReplicaReads; 0 means only a
+	// fully-caught-up replica takes reads.
+	ReplicaReadMaxLag uint64
 }
 
 // A Router is the stateless routing core of tabledcluster: it splits the
@@ -115,6 +160,9 @@ type Router struct {
 	health   *Checker
 	m        *Metrics
 	logger   *slog.Logger
+
+	replicaReads      bool
+	replicaReadMaxLag uint64
 }
 
 // New builds a router over a validated spec. The spec's mapping name is
@@ -148,13 +196,15 @@ func New(spec *Spec, opt Options) (*Router, error) {
 		hopt.Metrics = m
 	}
 	r := &Router{
-		spec:   spec,
-		pf:     f,
-		rm:     rm,
-		part:   NewPartitioner(f, rm),
-		health: NewChecker(spec, hopt),
-		m:      m,
-		logger: opt.Logger,
+		spec:              spec,
+		pf:                f,
+		rm:                rm,
+		part:              NewPartitioner(f, rm),
+		health:            NewChecker(spec, hopt),
+		m:                 m,
+		logger:            opt.Logger,
+		replicaReads:      opt.ReplicaReads,
+		replicaReadMaxLag: opt.ReplicaReadMaxLag,
 	}
 	for i := range spec.Nodes {
 		r.clients = append(r.clients, &tabled.Client{
@@ -245,10 +295,18 @@ func (r *Router) Execute(ctx context.Context, ops []tabled.Op, key string) []tab
 }
 
 // callNode executes one node's sub-batch, honoring the member's observed
-// health and failing over to its replica when the primary cannot serve.
-// The decision table (DESIGN §5d):
+// health, its fencing status, and failing over to its replica when the
+// primary cannot serve. The decision table (DESIGN §5d/§5e):
 //
-//	primary healthy                      → primary, all ops
+//	primary healthy, not fenced          → primary, all ops (reads may
+//	                                       offload to the replica under
+//	                                       Options.ReplicaReads)
+//	primary fenced (any live state),
+//	  replica promoted and healthy       → replica, all ops (failover)
+//	primary fenced, replica up
+//	  but not promoted                   → replica reads; writes fenced
+//	primary fenced, no usable replica    → everything fails fenced (its
+//	                                       data may predate the fork)
 //	primary degraded/down, replica
 //	  promoted and healthy               → replica, all ops (failover)
 //	primary degraded/down, replica up
@@ -256,17 +314,53 @@ func (r *Router) Execute(ctx context.Context, ops []tabled.Op, key string) []tab
 //	primary degraded, no usable replica  → primary, reads only (as before)
 //	primary down, no usable replica      → everything fails fast
 //
-// An observed-healthy primary always wins, even when the checker also
-// sees a promoted replica: the spec names the authority, and the window
-// where both answer healthy (operator promoted but hasn't amended the
-// spec) must have one deterministic owner. The returned slice always has
-// one result per sub-batch op.
+// An observed-healthy primary always wins over a promoted replica —
+// UNLESS it is fenced: fencing exists precisely for the stale restarted
+// primary whose /readyz looks healthy but whose epoch predates a
+// promotion the checker has witnessed. The epoch latch is monotonic, so
+// the stale node stays fenced until the spec is amended or it reseeds
+// under the new primary (and then reports the new epoch itself). The
+// returned slice always has one result per sub-batch op.
 func (r *Router) callNode(ctx context.Context, n int, sub []tabled.Op, key string) []tabled.OpResult {
 	name := r.spec.Nodes[n].Name
 	res := make([]tabled.OpResult, len(sub))
 	client := r.clients[n]
 	readsOnly, readOnlyErr := false, ""
-	if st := r.health.State(n); st != StateHealthy {
+	st := r.health.State(n)
+	replicaRead := false
+	if fenced := r.health.PrimaryFenced(n); fenced && st != StateDown {
+		priEpoch, _ := r.health.Epoch(n)
+		fencedErr := nodeFencedErr(name, priEpoch, r.health.MaxEpoch(n))
+		repl := r.rclients[n]
+		repSt := StateDown
+		if repl != nil {
+			repSt = r.health.ReplicaState(n)
+		}
+		switch {
+		case repSt == StateHealthy && r.health.ReplicaPromoted(n):
+			// The promoted replica owns the range now; the stale primary
+			// gets nothing.
+			client = repl
+			r.m.failover()
+		case repSt != StateDown:
+			// Replica alive but not (yet) promoted: it still has the
+			// pre-fork reads; writes are refused rather than routed to
+			// either a stale primary or an unpromoted follower.
+			client = repl
+			readsOnly, readOnlyErr = true, fencedErr
+			r.m.fencedBatch()
+			r.m.failover()
+		default:
+			// Fenced with no usable replica: even reads are refused — the
+			// stale node's data may predate writes the promoted (now
+			// unreachable) primary acknowledged.
+			r.m.fencedBatch()
+			for i := range res {
+				res[i] = tabled.OpResult{Err: fencedErr}
+			}
+			return res
+		}
+	} else if st != StateHealthy {
 		repl := r.rclients[n]
 		repSt := StateDown
 		if repl != nil {
@@ -293,6 +387,19 @@ func (r *Router) callNode(ctx context.Context, n int, sub []tabled.Op, key strin
 			}
 			return res
 		}
+	} else if r.replicaReads {
+		// Healthy, unfenced primary with read offload enabled: an all-get
+		// sub-batch can go to the replica when it is live, unpromoted
+		// (a promoted one is a primary in its own right, handled above),
+		// and within the configured lag. Writes, and batches mixing in
+		// writes, always take the primary — one node answers, so a batch
+		// reads its own writes.
+		if repl := r.rclients[n]; repl != nil && allGets(sub) &&
+			r.health.ReplicaState(n) != StateDown && !r.health.ReplicaPromoted(n) &&
+			r.health.ReplicaLag(n) <= r.replicaReadMaxLag {
+			client = repl
+			replicaRead = true
+		}
 	}
 	send := sub
 	var sendPos []int // res position of each sent op when filtering
@@ -310,6 +417,23 @@ func (r *Router) callNode(ctx context.Context, n int, sub []tabled.Op, key strin
 		if len(send) == 0 {
 			return res
 		}
+	}
+	if replicaRead {
+		// Offloaded reads fall back to the primary on any replica error:
+		// offload is an optimization, never a new failure mode.
+		t0 := time.Now()
+		got, err := client.BatchWithKey(ctx, send, nodeKey(key, name+"/replica", len(send)))
+		if err == nil {
+			r.m.nodeBatch(n, len(send), time.Since(t0), false)
+			r.m.replicaRead(len(send))
+			copy(res, got)
+			return res
+		}
+		if r.logger != nil {
+			r.logger.Warn("cluster: replica read failed, falling back to primary",
+				"node", name, "ops", len(send), "err", err)
+		}
+		client = r.clients[n]
 	}
 	t0 := time.Now()
 	got, err := client.BatchWithKey(ctx, send, nodeKey(key, name, len(send)))
@@ -331,6 +455,17 @@ func (r *Router) callNode(ctx context.Context, n int, sub []tabled.Op, key strin
 		}
 	}
 	return res
+}
+
+// allGets reports whether every op is a plain read — the only batches
+// eligible for replica-read offload.
+func allGets(ops []tabled.Op) bool {
+	for i := range ops {
+		if ops[i].Op != "get" {
+			return false
+		}
+	}
+	return len(ops) > 0
 }
 
 // sendIndices yields the res positions of the sent ops: identity when no
@@ -400,10 +535,18 @@ type NodeStatus struct {
 	State string `json:"state"`
 	// Replica fields mirror the spec and the checker's replica
 	// observations; omitted when the node has no replica.
-	Replica         string  `json:"replica,omitempty"`
-	ReplicaState    string  `json:"replica_state,omitempty"`
-	ReplicaPromoted bool    `json:"replica_promoted,omitempty"`
-	Ops             int64   `json:"ops_total"`
+	Replica         string `json:"replica,omitempty"`
+	ReplicaState    string `json:"replica_state,omitempty"`
+	ReplicaPromoted bool   `json:"replica_promoted,omitempty"`
+	// Epoch observations (replicated nodes only): the primary's last
+	// reported epoch, the pair's latched maximum, whether the primary is
+	// fenced by it, and the replica's epoch/lag.
+	Epoch        uint64  `json:"epoch,omitempty"`
+	MaxEpoch     uint64  `json:"max_epoch,omitempty"`
+	Fenced       bool    `json:"fenced,omitempty"`
+	ReplicaEpoch uint64  `json:"replica_epoch,omitempty"`
+	ReplicaLag   uint64  `json:"replica_lag,omitempty"`
+	Ops          int64   `json:"ops_total"`
 	Errors          int64   `json:"errors_total"`
 	P50us           float64 `json:"p50_us"`
 	P95us           float64 `json:"p95_us"`
@@ -445,6 +588,15 @@ func (r *Router) Status() StatusReply {
 		if r.spec.Nodes[n].Replica != "" {
 			reply.Nodes[n].ReplicaState = r.health.ReplicaState(n).String()
 			reply.Nodes[n].ReplicaPromoted = r.health.ReplicaPromoted(n)
+			if e, ok := r.health.Epoch(n); ok {
+				reply.Nodes[n].Epoch = e
+			}
+			if e, ok := r.health.ReplicaEpoch(n); ok {
+				reply.Nodes[n].ReplicaEpoch = e
+			}
+			reply.Nodes[n].MaxEpoch = r.health.MaxEpoch(n)
+			reply.Nodes[n].Fenced = r.health.PrimaryFenced(n)
+			reply.Nodes[n].ReplicaLag = r.health.ReplicaLag(n)
 		}
 	}
 	return reply

@@ -185,7 +185,14 @@ func (h *frontDoor) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if AllUnavailable(results) {
 		// The whole batch failed on unavailable members (e.g. a write to a
 		// degraded range, or every owner down): a typed, retryable refusal.
-		http.Error(w, firstError(results), http.StatusServiceUnavailable)
+		// A fenced owner answers 409, not 503 — retrying won't help until
+		// the stale primary is reseeded or the spec amended, and the
+		// distinct status keeps clients from hammering a conflict.
+		status := http.StatusServiceUnavailable
+		if AnyFenced(results) {
+			status = http.StatusConflict
+		}
+		http.Error(w, firstError(results), status)
 		return
 	}
 	if binary {

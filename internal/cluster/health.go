@@ -70,6 +70,17 @@ type Checker struct {
 	// where the node has no replica.
 	repStates   []atomic.Int32
 	repPromoted []atomic.Bool
+	// Epoch observations (replicated nodes only). priEpochs/repEpochs
+	// store epoch+1 so zero means "never observed"; maxEpochs latches the
+	// highest raw epoch ever seen from EITHER member of the pair and never
+	// decreases — that monotonicity is the fencing invariant: once a
+	// promotion at epoch E is observed, a member reporting < E is a stale
+	// restarted primary and PrimaryFenced keeps writes away from it even
+	// though its /readyz answers healthy.
+	priEpochs []atomic.Uint64
+	repEpochs []atomic.Uint64
+	maxEpochs []atomic.Uint64
+	repLags   []atomic.Uint64
 }
 
 // CheckerOptions configures NewChecker; zero values select defaults.
@@ -107,6 +118,10 @@ func NewChecker(spec *Spec, opt CheckerOptions) *Checker {
 		states:      make([]atomic.Int32, len(spec.Nodes)),
 		repStates:   make([]atomic.Int32, len(spec.Nodes)),
 		repPromoted: make([]atomic.Bool, len(spec.Nodes)),
+		priEpochs:   make([]atomic.Uint64, len(spec.Nodes)),
+		repEpochs:   make([]atomic.Uint64, len(spec.Nodes)),
+		maxEpochs:   make([]atomic.Uint64, len(spec.Nodes)),
+		repLags:     make([]atomic.Uint64, len(spec.Nodes)),
 	}
 	for i := range c.repStates {
 		c.repStates[i].Store(int32(StateDown))
@@ -125,6 +140,48 @@ func (c *Checker) ReplicaState(n int) State { return State(c.repStates[n].Load()
 // as a primary on /v1/repl/status — the signal that writes may fail over
 // to it.
 func (c *Checker) ReplicaPromoted(n int) bool { return c.repPromoted[n].Load() }
+
+// Epoch returns node n's primary's last observed replication epoch (ok
+// false when its /v1/repl/status has never answered).
+func (c *Checker) Epoch(n int) (epoch uint64, ok bool) {
+	e := c.priEpochs[n].Load()
+	return e - 1, e > 0
+}
+
+// ReplicaEpoch returns node n's replica's last observed epoch (ok false
+// when never observed).
+func (c *Checker) ReplicaEpoch(n int) (epoch uint64, ok bool) {
+	e := c.repEpochs[n].Load()
+	return e - 1, e > 0
+}
+
+// MaxEpoch returns the highest epoch ever observed from node n's pair.
+func (c *Checker) MaxEpoch(n int) uint64 { return c.maxEpochs[n].Load() }
+
+// ReplicaLag returns node n's replica's last reported record lag behind
+// its source's committed horizon.
+func (c *Checker) ReplicaLag(n int) uint64 { return c.repLags[n].Load() }
+
+// PrimaryFenced reports whether node n's primary is fenced: its epoch has
+// been observed, and a higher epoch exists somewhere in the pair — i.e. a
+// promotion happened that this primary predates. A fenced primary never
+// receives writes from the router, however healthy its /readyz looks; the
+// promoted replica owns the range until the spec (or the stale node) is
+// fixed.
+func (c *Checker) PrimaryFenced(n int) bool {
+	e := c.priEpochs[n].Load()
+	return e > 0 && e-1 < c.maxEpochs[n].Load()
+}
+
+// latchMax raises a to at least v, monotonically.
+func latchMax(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
 
 // FirstHealthy returns the lowest-index healthy node, falling back to the
 // lowest degraded one (it can still answer reads/dims), then to 0 — the
@@ -156,6 +213,12 @@ func (c *Checker) Summary() (allHealthy bool, detail string) {
 	for i := range c.states {
 		st := c.State(i)
 		if st == StateHealthy {
+			if c.PrimaryFenced(i) {
+				// Healthy by probe, but a newer epoch exists: the node is
+				// a stale ex-primary the router refuses writes to.
+				bad = append(bad, fmt.Sprintf("%s fenced (epoch %d < %d)",
+					c.spec.Nodes[i].Name, c.priEpochs[i].Load()-1, c.MaxEpoch(i)))
+			}
 			continue
 		}
 		entry := c.spec.Nodes[i].Name + " " + st.String()
@@ -192,6 +255,23 @@ func (c *Checker) CheckNow(ctx context.Context) {
 					"node", c.spec.Nodes[i].Name, "from", old.String(), "to", st.String())
 			}
 			c.m.nodeState(i, st)
+			// Epoch observation (replicated ranges only): the primary's
+			// epoch vs. the pair's latched maximum is the fencing input.
+			if c.spec.Nodes[i].Replica == "" || st == StateDown {
+				return
+			}
+			if rs, ok := c.probeStatus(ctx, c.spec.Nodes[i].Base); ok {
+				wasFenced := c.PrimaryFenced(i)
+				c.priEpochs[i].Store(rs.Epoch + 1)
+				latchMax(&c.maxEpochs[i], rs.Epoch)
+				fenced := c.PrimaryFenced(i)
+				if fenced != wasFenced && c.logger != nil {
+					c.logger.Warn("cluster: primary fencing change",
+						"node", c.spec.Nodes[i].Name, "fenced", fenced,
+						"epoch", rs.Epoch, "max_epoch", c.MaxEpoch(i))
+				}
+				c.m.nodeEpoch(i, rs.Epoch, fenced)
+			}
 		}(i)
 		if c.spec.Nodes[i].Replica == "" {
 			continue
@@ -203,7 +283,13 @@ func (c *Checker) CheckNow(ctx context.Context) {
 			st := c.probe(ctx, rep)
 			promoted := false
 			if st != StateDown {
-				promoted = c.probeRole(ctx, rep) == "primary"
+				if rs, ok := c.probeStatus(ctx, rep); ok {
+					promoted = rs.Role == "primary"
+					c.repEpochs[i].Store(rs.Epoch + 1)
+					c.repLags[i].Store(rs.Lag)
+					latchMax(&c.maxEpochs[i], rs.Epoch)
+					c.m.replicaEpoch(i, rs.Epoch, rs.Lag)
+				}
 			}
 			old := State(c.repStates[i].Swap(int32(st)))
 			oldProm := c.repPromoted[i].Swap(promoted)
@@ -249,30 +335,35 @@ func (c *Checker) probe(ctx context.Context, base string) State {
 	}
 }
 
-// probeRole reads a replica's /v1/repl/status role field ("" on any
-// failure — never guess a promotion).
-func (c *Checker) probeRole(ctx context.Context, base string) string {
+// replProbe is the slice of /v1/repl/status the checker consumes.
+type replProbe struct {
+	Role  string `json:"role"`
+	Epoch uint64 `json:"epoch"`
+	Lag   uint64 `json:"lag"`
+}
+
+// probeStatus reads a member's /v1/repl/status (ok false on any failure —
+// never guess a promotion or an epoch).
+func (c *Checker) probeStatus(ctx context.Context, base string) (replProbe, bool) {
 	ctx, cancel := context.WithTimeout(ctx, c.timeout)
 	defer cancel()
+	var st replProbe
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/repl/status", nil)
 	if err != nil {
-		return ""
+		return st, false
 	}
 	resp, err := c.httpc.Do(req)
 	if err != nil {
-		return ""
+		return st, false
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return ""
-	}
-	var st struct {
-		Role string `json:"role"`
+		return st, false
 	}
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&st); err != nil {
-		return ""
+		return st, false
 	}
-	return st.Role
+	return st, true
 }
 
 // Run sweeps the members until ctx ends — wire it as a srvkit.Lifecycle

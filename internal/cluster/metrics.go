@@ -17,7 +17,13 @@ type Metrics struct {
 	nodeDegG   []*obs.Gauge
 	repUpG     []*obs.Gauge
 	repPromG   []*obs.Gauge
+	nodeEpochG []*obs.Gauge
+	nodeFenceG []*obs.Gauge
+	repEpochG  []*obs.Gauge
+	repLagG    []*obs.Gauge
 	failovers  *obs.Counter
+	fenced     *obs.Counter
+	repReads   *obs.Counter
 	sweeps     *obs.Counter
 	limited    *obs.Counter
 	unroutable *obs.Counter
@@ -37,11 +43,19 @@ func NewMetrics(reg *obs.Registry, spec *Spec) *Metrics {
 	reg.Help("cluster_replica_up", "1 while the member's replica answers probes (ready or read-only degraded).")
 	reg.Help("cluster_replica_promoted", "1 while the member's replica reports role primary on /v1/repl/status.")
 	reg.Help("cluster_failover_batches_total", "Sub-batches routed to a member's replica because the primary was degraded or down.")
+	reg.Help("cluster_node_epoch", "The member primary's last observed replication epoch (replicated nodes only).")
+	reg.Help("cluster_node_fenced", "1 while the member primary is fenced: a newer epoch was observed in its pair, so the router refuses it writes.")
+	reg.Help("cluster_replica_epoch", "The member replica's last observed replication epoch.")
+	reg.Help("cluster_replica_lag_records", "The member replica's last reported record lag behind its source.")
+	reg.Help("cluster_fenced_batches_total", "Sub-batches (or write portions) refused because the owning primary is fenced.")
+	reg.Help("cluster_replica_read_ops_total", "Read ops offloaded to a healthy member's replica (-replica-reads).")
 	reg.Help("cluster_health_sweeps_total", "Completed health sweeps over all members.")
 	reg.Help("cluster_rate_limited_total", "Requests refused by the per-client admission limiter.")
 	reg.Help("cluster_unroutable_ops_total", "Ops answered locally by the router (address outside every configured range, or unknown op kind).")
 	m := &Metrics{
 		failovers:  reg.Counter("cluster_failover_batches_total"),
+		fenced:     reg.Counter("cluster_fenced_batches_total"),
+		repReads:   reg.Counter("cluster_replica_read_ops_total"),
 		sweeps:     reg.Counter("cluster_health_sweeps_total"),
 		limited:    reg.Counter("cluster_rate_limited_total"),
 		unroutable: reg.Counter("cluster_unroutable_ops_total"),
@@ -57,6 +71,10 @@ func NewMetrics(reg *obs.Registry, spec *Spec) *Metrics {
 		m.nodeDegG = append(m.nodeDegG, reg.Gauge("cluster_node_degraded", l))
 		m.repUpG = append(m.repUpG, reg.Gauge("cluster_replica_up", l))
 		m.repPromG = append(m.repPromG, reg.Gauge("cluster_replica_promoted", l))
+		m.nodeEpochG = append(m.nodeEpochG, reg.Gauge("cluster_node_epoch", l))
+		m.nodeFenceG = append(m.nodeFenceG, reg.Gauge("cluster_node_fenced", l))
+		m.repEpochG = append(m.repEpochG, reg.Gauge("cluster_replica_epoch", l))
+		m.repLagG = append(m.repLagG, reg.Gauge("cluster_replica_lag_records", l))
 	}
 	return m
 }
@@ -106,10 +124,47 @@ func (m *Metrics) replicaState(n int, st State, promoted bool) {
 	m.repPromG[n].Set(prom)
 }
 
+// nodeEpoch publishes node n's primary's observed epoch and fencing.
+func (m *Metrics) nodeEpoch(n int, epoch uint64, fenced bool) {
+	if m == nil {
+		return
+	}
+	m.nodeEpochG[n].Set(int64(epoch))
+	f := int64(0)
+	if fenced {
+		f = 1
+	}
+	m.nodeFenceG[n].Set(f)
+}
+
+// replicaEpoch publishes node n's replica's observed epoch and lag.
+func (m *Metrics) replicaEpoch(n int, epoch, lag uint64) {
+	if m == nil {
+		return
+	}
+	m.repEpochG[n].Set(int64(epoch))
+	m.repLagG[n].Set(int64(lag))
+}
+
 // failover records one sub-batch routed to a replica.
 func (m *Metrics) failover() {
 	if m != nil {
 		m.failovers.Inc()
+	}
+}
+
+// fencedBatch records one sub-batch (or its write portion) refused
+// because the owning primary is fenced.
+func (m *Metrics) fencedBatch() {
+	if m != nil {
+		m.fenced.Inc()
+	}
+}
+
+// replicaRead records n read ops offloaded to a healthy node's replica.
+func (m *Metrics) replicaRead(n int) {
+	if m != nil {
+		m.repReads.Add(int64(n))
 	}
 }
 

@@ -29,6 +29,13 @@ type SnapshotData[T any] struct {
 	Stats   Stats
 	Addrs   []int64
 	Values  []T
+	// ReplSeq and ReplEpoch tie the snapshot to the replication stream it
+	// was cut from: the snapshot is exactly the effect of WAL records
+	// [0, ReplSeq), taken under primary epoch ReplEpoch. Zero for
+	// snapshots of unreplicated tables; gob leaves absent fields zero, so
+	// old snapshots load unchanged.
+	ReplSeq   uint64
+	ReplEpoch uint64
 }
 
 // EncodeSnapshot writes s to w in the snapshot gob format.

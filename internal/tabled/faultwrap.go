@@ -44,6 +44,10 @@ type Faults struct {
 	// SyncErrRate is the probability each WAL fsync fails with ErrInjected
 	// (the degraded-mode trigger).
 	SyncErrRate float64
+	// SnapCorruptRate is the probability one /v1/repl/snapshot response
+	// stream has a byte flipped mid-flight (transfer corruption; the
+	// reseeding follower must fail closed on the CRC frames and retry).
+	SnapCorruptRate float64
 }
 
 // ParseFaults parses the -faults flag syntax: comma-separated key=value
@@ -71,8 +75,10 @@ func ParseFaults(spec string) (*Faults, error) {
 			fc.TornWriteAt, err = strconv.ParseInt(v, 10, 64)
 		case "syncerr":
 			fc.SyncErrRate, err = strconv.ParseFloat(v, 64)
+		case "snapcorrupt":
+			fc.SnapCorruptRate, err = strconv.ParseFloat(v, 64)
 		default:
-			return nil, fmt.Errorf("tabled: faults: unknown key %q (seed|errrate|latency|tornat|syncerr)", k)
+			return nil, fmt.Errorf("tabled: faults: unknown key %q (seed|errrate|latency|tornat|syncerr|snapcorrupt)", k)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("tabled: faults: %s: %w", k, err)
@@ -111,6 +117,18 @@ func (in *injector) syncFault() bool {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	return in.fc.SyncErrRate > 0 && in.rng.Float64() < in.fc.SyncErrRate
+}
+
+// snapCorruptAt rolls one snapshot-stream corruption: (offset, true) to
+// flip the byte at offset of a size-byte response, (0, false) to serve it
+// intact.
+func (in *injector) snapCorruptAt(size int64) (int64, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.fc.SnapCorruptRate <= 0 || size <= 0 || in.rng.Float64() >= in.fc.SnapCorruptRate {
+		return 0, false
+	}
+	return in.rng.Int63n(size), true
 }
 
 // tornWrite accounts n incoming bytes and reports how many to actually
@@ -156,6 +174,16 @@ func (fi *FaultInjector) WrapBackend(b Backend[string]) Backend[string] {
 		return b
 	}
 	return &faultBackend{b: b, in: fi.in}
+}
+
+// SnapshotCorruptAt rolls one /v1/repl/snapshot stream fault: (offset,
+// true) tells the serving side to flip the byte at offset of a size-byte
+// response. Nil-safe; (0, false) means serve intact.
+func (fi *FaultInjector) SnapshotCorruptAt(size int64) (int64, bool) {
+	if fi == nil {
+		return 0, false
+	}
+	return fi.in.snapCorruptAt(size)
 }
 
 // WrapWALFile decorates the WAL's file handle with torn writes and sync

@@ -2,6 +2,7 @@ package tabled
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -26,15 +27,24 @@ import (
 // the next pull is an honest durability acknowledgement, which is what
 // the primary's ReplGate builds semi-synchronous acks out of.
 //
-// A follower never snapshots or checkpoints: its WAL must remain a
-// byte-identical prefix of the primary's so record counts stay aligned.
-// (Follower log compaction is a known follow-on; see DESIGN §5d.)
+// A follower MAY checkpoint its own WAL: record numbering is absolute
+// (the log's durable .state sidecar keeps the base sequence across
+// truncations), so compaction never changes the position the follower
+// presents. What it must never do is write records of its own — its log
+// stays a byte-identical SUFFIX of the primary's stream.
 //
-// Divergence — the primary answering 410 (our records were checkpointed
-// away before we pulled them) or 409 (we hold records the primary never
-// wrote) — is a sticky failure: the loop stops, Err reports it, and
-// /v1/repl/status carries it. Rebuilding the follower is an operator
-// action; guessing is how split brains happen.
+// Divergence comes in two flavors. With no reseed capability (zero
+// SnapshotPath/Restore), a primary answering 410 (our records were
+// checkpointed away before we pulled them) or 409 (we hold records the
+// primary never wrote) is a sticky failure: the loop stops, Err reports
+// it, and /v1/repl/status carries it. With reseed configured, a 410 — or
+// a 409 from a primary at a HIGHER epoch (our history forked at a
+// failover we lost) — triggers an automatic rebuild from the primary's
+// /v1/repl/snapshot (see reseed.go and DESIGN §5e). A 409 from a primary
+// at our own epoch still sticks: same-epoch divergence means corruption
+// or misconfiguration, and guessing is how split brains happen. An epoch
+// REGRESSION (the source is behind us) always sticks — that source is a
+// stale primary and must never be re-followed.
 
 // FollowerOptions configures NewFollower.
 type FollowerOptions struct {
@@ -56,6 +66,15 @@ type FollowerOptions struct {
 	Metrics *Metrics
 	// Logger receives pull-loop log lines (may be nil).
 	Logger *slog.Logger
+	// SnapshotPath and Restore together enable snapshot-transfer reseed
+	// (reseed.go): when the source answers 410 (our next record was
+	// checkpointed away) or 409 under a newer epoch (our log forked), the
+	// follower fetches the source's snapshot, installs it at SnapshotPath,
+	// resets its WAL to the snapshot's cut, and calls Restore to swap the
+	// in-memory table. With either unset, those conditions stay sticky
+	// failures, as before.
+	SnapshotPath string
+	Restore      func(*extarray.SnapshotData[string]) error
 }
 
 // NewFollower builds a follower resuming from applied — the record count
@@ -90,6 +109,15 @@ type Follower struct {
 	primNext atomic.Uint64 // primary's committed horizon at last pull
 	promoted atomic.Bool
 
+	reseeds    atomic.Uint64 // completed snapshot-transfer reseeds
+	lastReseed atomic.Int64  // UnixNano of the latest reseed (0 = never)
+
+	// installMu serializes a reseed install against any local persistence
+	// the embedder runs (the follower's periodic checkpoint): a checkpoint
+	// taken between ResetTo and Restore would snapshot a table that does
+	// not match the WAL cut. Exposed via GuardInstall.
+	installMu sync.Mutex
+
 	mu      sync.Mutex
 	err     error              // sticky divergence/apply failure
 	cancel  context.CancelFunc // cancels the running pull loop
@@ -113,6 +141,32 @@ func (f *Follower) Lag() uint64 {
 
 // Promoted reports whether Promote has run.
 func (f *Follower) Promoted() bool { return f.promoted.Load() }
+
+// Reseeds returns how many snapshot-transfer reseeds have completed.
+func (f *Follower) Reseeds() uint64 { return f.reseeds.Load() }
+
+// LastReseed returns when the latest reseed completed (zero if never).
+func (f *Follower) LastReseed() time.Time {
+	ns := f.lastReseed.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// GuardInstall runs fn while holding the reseed install lock, so local
+// persistence (the follower's periodic checkpoint) never interleaves with
+// a snapshot install's WAL-reset/restore window.
+func (f *Follower) GuardInstall(fn func() error) error {
+	f.installMu.Lock()
+	defer f.installMu.Unlock()
+	return fn()
+}
+
+// reseedCapable reports whether the options allow snapshot reseed.
+func (f *Follower) reseedCapable() bool {
+	return f.opt.SnapshotPath != "" && f.opt.Restore != nil
+}
 
 // Err returns the sticky replication failure, if any.
 func (f *Follower) Err() error {
@@ -151,6 +205,16 @@ func (f *Follower) Run(ctx context.Context) {
 	err := f.opt.Retry.Do(ctx, func(ctx context.Context) error {
 		for {
 			if err := f.pullOnce(ctx); err != nil {
+				var rn *reseedNeeded
+				if errors.As(err, &rn) {
+					// The source told us tailing cannot resume from our
+					// position (checkpointed past or epoch fork). Rebuild
+					// from its snapshot instead of sticking.
+					if rerr := f.reseed(ctx, rn); rerr != nil {
+						return rerr
+					}
+					continue
+				}
 				return err // transient → backoff + retry; permanent → stop
 			}
 			// A successful pull resets the backoff by returning into a
@@ -169,8 +233,9 @@ func (f *Follower) Run(ctx context.Context) {
 // divergence and local failures come back retry.Permanent.
 func (f *Follower) pullOnce(ctx context.Context) error {
 	from := f.applied.Load()
-	url := fmt.Sprintf("%s%s?from=%d&wait_ms=%d&max=%d", f.opt.Source, ReplFramesPath,
-		from, f.opt.PollWait/time.Millisecond, f.opt.MaxBytes)
+	localEpoch := f.wal.Epoch()
+	url := fmt.Sprintf("%s%s?from=%d&epoch=%d&wait_ms=%d&max=%d", f.opt.Source, ReplFramesPath,
+		from, localEpoch, f.opt.PollWait/time.Millisecond, f.opt.MaxBytes)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return retry.Permanent(err)
@@ -181,10 +246,48 @@ func (f *Follower) pullOnce(ctx context.Context) error {
 	}
 	defer resp.Body.Close()
 	f.opt.Metrics.replPull(resp.StatusCode)
+	srcEpoch, hasSrcEpoch := uint64(0), false
+	if es := resp.Header.Get(ReplEpochHeader); es != "" {
+		if srcEpoch, err = strconv.ParseUint(es, 10, 64); err == nil {
+			hasSrcEpoch = true
+		}
+	}
+	// An epoch behind ours means the source was never promoted past our
+	// history — we are talking to a stale ex-primary (or a misrouted
+	// node). Applying its frames would adopt a fenced fork; fail closed.
+	// (On a 200 the header carries the served chunk's epoch, but a chunk
+	// at our position can never be older than our own epoch's start.)
+	if hasSrcEpoch && srcEpoch < localEpoch {
+		return retry.Permanent(fmt.Errorf(
+			"tabled: epoch regression: source %s at epoch %d is behind local epoch %d",
+			f.opt.Source, srcEpoch, localEpoch))
+	}
 	switch resp.StatusCode {
 	case http.StatusOK:
-	case http.StatusGone, http.StatusConflict:
+	case http.StatusGone:
+		// Our next record was checkpointed away on the source. The log
+		// suffix is gone, but a snapshot reseed rebuilds us from the
+		// source's checkpoint — same bytes, new base.
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		if f.reseedCapable() {
+			return &reseedNeeded{reason: fmt.Sprintf("source checkpointed past %d (%s): %s",
+				from, resp.Status, msg)}
+		}
+		return retry.Permanent(fmt.Errorf("tabled: follower diverged from %s (%s): %s",
+			f.opt.Source, resp.Status, msg))
+	case http.StatusConflict:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		if hasSrcEpoch && srcEpoch > localEpoch && f.reseedCapable() {
+			// The source is on a newer epoch and our log forked from its
+			// history (the classic ex-primary rejoin). The source is
+			// authoritative; our unshared suffix was never ack'd under the
+			// new epoch, so discarding it via reseed is the correct move.
+			return &reseedNeeded{reason: fmt.Sprintf("history forked at epoch %d (%s): %s",
+				srcEpoch, resp.Status, msg)}
+		}
+		// Same-epoch conflict: we hold records the source never wrote,
+		// with no promotion to explain it. That is true divergence —
+		// reseeding would silently discard locally-durable records.
 		return retry.Permanent(fmt.Errorf("tabled: follower diverged from %s (%s): %s",
 			f.opt.Source, resp.Status, msg))
 	default:
@@ -193,6 +296,15 @@ func (f *Follower) pullOnce(ctx context.Context) error {
 	}
 	if committed, err := strconv.ParseUint(resp.Header.Get(ReplCommittedHeader), 10, 64); err == nil {
 		f.primNext.Store(committed)
+	}
+	if hasSrcEpoch && srcEpoch > localEpoch {
+		// The chunk we are about to apply was written under a newer
+		// primary epoch; record the transition durably before applying so
+		// a restart presents the right epoch on its first pull.
+		if err := f.wal.ObserveEpoch(srcEpoch, from); err != nil {
+			return retry.Permanent(fmt.Errorf("tabled: repl epoch adopt: %w", err))
+		}
+		f.opt.Metrics.replEpoch(srcEpoch)
 	}
 	// Bound the read: the primary caps bodies at MaxBytes except when a
 	// single record is larger, so allow one max-size frame of slack.

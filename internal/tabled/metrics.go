@@ -45,6 +45,17 @@ type Metrics struct {
 	replPromoteDur  *obs.Histogram
 	replAckWaits    *obs.Counter
 	replAckTimeouts *obs.Counter
+
+	replEpochG        *obs.Gauge
+	replFencedG       *obs.Gauge
+	replReseedsOK     *obs.Counter
+	replReseedsErr    *obs.Counter
+	replReseedBytes   *obs.Counter
+	replReseedDur     *obs.Histogram
+	replLastReseedG   *obs.Gauge
+	replSnapServes    *obs.Counter
+	replSnapServeErrs *obs.Counter
+	replSnapBytes     *obs.Counter
 }
 
 // opNames are the batch op kinds instrumented per-op.
@@ -82,6 +93,14 @@ func NewMetrics(reg *obs.Registry, nshards int) *Metrics {
 	reg.Help("tabled_repl_promote_duration_seconds", "Latency of the promote transition (pull-loop stop through writable flip).")
 	reg.Help("tabled_repl_ack_waits_total", "Write batches that waited on the replication ack gate.")
 	reg.Help("tabled_repl_ack_timeouts_total", "Write batches whose ack was refused because the follower did not confirm in time.")
+	reg.Help("tabled_repl_epoch", "This node's current primary epoch (bumped durably at every promotion).")
+	reg.Help("tabled_repl_fenced", "1 once this node has observed a newer primary epoch than its own and fenced itself read-only.")
+	reg.Help("tabled_repl_reseeds_total", "Snapshot-transfer reseeds, by result (an 'error' attempt is retried).")
+	reg.Help("tabled_repl_reseed_bytes_total", "Snapshot bytes fetched by reseeds, failed attempts included.")
+	reg.Help("tabled_repl_reseed_duration_seconds", "Latency of one successful reseed, fetch through install.")
+	reg.Help("tabled_repl_last_reseed_timestamp_seconds", "Unix time of the last successful reseed (0 = never).")
+	reg.Help("tabled_repl_snapshot_serves_total", "/v1/repl/snapshot responses streamed, by result.")
+	reg.Help("tabled_repl_snapshot_served_bytes_total", "Snapshot bytes streamed to reseeding followers.")
 	m := &Metrics{
 		batchSize: reg.Histogram("tabled_batch_cells", defBatchBuckets),
 		opsTotal:  make(map[string]*obs.Counter, len(opNames)),
@@ -112,6 +131,17 @@ func NewMetrics(reg *obs.Registry, nshards int) *Metrics {
 		replPromoteDur:  reg.Histogram("tabled_repl_promote_duration_seconds", obs.DefDurationBuckets),
 		replAckWaits:    reg.Counter("tabled_repl_ack_waits_total"),
 		replAckTimeouts: reg.Counter("tabled_repl_ack_timeouts_total"),
+
+		replEpochG:        reg.Gauge("tabled_repl_epoch"),
+		replFencedG:       reg.Gauge("tabled_repl_fenced"),
+		replReseedsOK:     reg.Counter("tabled_repl_reseeds_total", obs.L("result", "ok")),
+		replReseedsErr:    reg.Counter("tabled_repl_reseeds_total", obs.L("result", "error")),
+		replReseedBytes:   reg.Counter("tabled_repl_reseed_bytes_total"),
+		replReseedDur:     reg.Histogram("tabled_repl_reseed_duration_seconds", obs.DefDurationBuckets),
+		replLastReseedG:   reg.Gauge("tabled_repl_last_reseed_timestamp_seconds"),
+		replSnapServes:    reg.Counter("tabled_repl_snapshot_serves_total", obs.L("result", "ok")),
+		replSnapServeErrs: reg.Counter("tabled_repl_snapshot_serves_total", obs.L("result", "error")),
+		replSnapBytes:     reg.Counter("tabled_repl_snapshot_served_bytes_total"),
 	}
 	for _, result := range []string{"ok", "diverged", "error"} {
 		m.replPulls[result] = reg.Counter("tabled_repl_pulls_total", obs.L("result", result))
@@ -272,6 +302,56 @@ func (m *Metrics) replAckWait(timedOut bool) {
 	if timedOut {
 		m.replAckTimeouts.Inc()
 	}
+}
+
+// replEpoch mirrors the node's current primary epoch.
+func (m *Metrics) replEpoch(e uint64) {
+	if m == nil {
+		return
+	}
+	m.replEpochG.Set(int64(e))
+}
+
+// replFenced flips the fenced gauge once a newer epoch is observed.
+func (m *Metrics) replFenced() {
+	if m == nil {
+		return
+	}
+	m.replFencedG.Set(1)
+}
+
+// replReseed records one successful snapshot-transfer reseed.
+func (m *Metrics) replReseed(bytes int64, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.replReseedsOK.Inc()
+	m.replReseedBytes.Add(bytes)
+	m.replReseedDur.Observe(d.Seconds())
+	m.replLastReseedG.Set(time.Now().Unix())
+}
+
+// replReseedFailure records one failed (and to-be-retried) reseed attempt
+// along with any bytes it fetched before failing.
+func (m *Metrics) replReseedFailure(bytes int64) {
+	if m == nil {
+		return
+	}
+	m.replReseedsErr.Inc()
+	m.replReseedBytes.Add(bytes)
+}
+
+// replSnapServe records one snapshot stream sent to a reseeding follower.
+func (m *Metrics) replSnapServe(bytes int64, err error) {
+	if m == nil {
+		return
+	}
+	if err != nil {
+		m.replSnapServeErrs.Inc()
+	} else {
+		m.replSnapServes.Inc()
+	}
+	m.replSnapBytes.Add(bytes)
 }
 
 // snapshot records a snapshot attempt.

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pairfn/internal/walog"
@@ -42,12 +43,15 @@ const ReplStatusPath = "/v1/repl/status"
 // PromotePath is the follower-promotion endpoint.
 const PromotePath = "/v1/promote"
 
-// Frame-stream response headers: the next sequence to request, and the
+// Frame-stream response headers: the next sequence to request, the
 // primary's committed horizon at serve time (the follower's lag is
-// committed − applied).
+// committed − applied), and the epoch of the records in the response (on
+// errors, the server's current epoch — what a follower needs to decide
+// between reseeding and failing closed).
 const (
 	ReplNextHeader      = "X-Tabled-Repl-Next"
 	ReplCommittedHeader = "X-Tabled-Repl-Committed"
+	ReplEpochHeader     = "X-Tabled-Repl-Epoch"
 )
 
 // DefaultReplWait is the server-side long-poll window on /v1/repl/frames
@@ -85,6 +89,21 @@ type ReplStatus struct {
 	// Err is the follower's sticky replication failure, if any (e.g.
 	// detected divergence).
 	Err string `json:"error,omitempty"`
+	// Epoch is the node's current primary epoch: 0 before any promotion,
+	// bumped durably at each one. The router's checker compares epochs
+	// across a range's members to fence a stale restarted primary.
+	Epoch uint64 `json:"epoch"`
+	// Fenced is true once this node has observed (from a requester) that
+	// a newer primary epoch exists; FencedBy is that epoch. A fenced node
+	// refuses writes until it is reseeded under the new primary.
+	Fenced   bool   `json:"fenced,omitempty"`
+	FencedBy uint64 `json:"fenced_by,omitempty"`
+	// Reseeds counts completed snapshot-transfer reseeds;
+	// LastReseedUnix is the Unix time of the latest one (absent if
+	// never). Together with Lag they let an operator tell "lagging" from
+	// "stranded" from "freshly reseeded" without reading logs.
+	Reseeds        uint64  `json:"reseeds,omitempty"`
+	LastReseedUnix float64 `json:"last_reseed_unix,omitempty"`
 }
 
 // Repl is the replication face of one tabled server, carried into
@@ -97,6 +116,48 @@ type Repl struct {
 	Gate     *ReplGate
 	Metrics  *Metrics
 	Logger   *slog.Logger
+	// Snap, when set, serves /v1/repl/snapshot — the reseed source for
+	// followers stranded below the log base (see replsnap.go).
+	Snap *ReplSnapshots
+	// Fence, when set, is invoked (possibly more than once) when a
+	// requester proves a newer primary epoch exists than this node's: the
+	// server wires it to its degraded-mode trip so a stale restarted
+	// primary stops acknowledging writes on its own, not just at the
+	// router.
+	Fence func(err error)
+
+	fencedBy  atomic.Uint64
+	promoteMu sync.Mutex
+}
+
+// selfFence records that a requester at epoch remote has proven a newer
+// primary exists, tripping Fence on the first (or a higher) observation.
+func (rp *Repl) selfFence(remote uint64) {
+	for {
+		cur := rp.fencedBy.Load()
+		if remote <= cur {
+			return
+		}
+		if rp.fencedBy.CompareAndSwap(cur, remote) {
+			break
+		}
+	}
+	err := fmt.Errorf("tabled: fenced: a primary at epoch %d exists beyond this node's epoch %d; reseed required",
+		remote, rp.WAL.Epoch())
+	rp.Metrics.replFenced()
+	if rp.Logger != nil {
+		rp.Logger.Error("repl: fenced by newer epoch", "remote_epoch", remote, "local_epoch", rp.WAL.Epoch())
+	}
+	if rp.Fence != nil {
+		rp.Fence(err)
+	}
+}
+
+// FencedBy reports the newest foreign epoch this node has been fenced by
+// (ok false when never fenced).
+func (rp *Repl) FencedBy() (epoch uint64, ok bool) {
+	e := rp.fencedBy.Load()
+	return e, e > 0
 }
 
 // Role reports the node's current replication role.
@@ -112,6 +173,12 @@ func (rp *Repl) register(mux *http.ServeMux) {
 	mux.HandleFunc("GET "+ReplFramesPath, rp.handleFrames)
 	mux.HandleFunc("GET "+ReplStatusPath, rp.handleStatus)
 	mux.HandleFunc("POST "+PromotePath, rp.handlePromote)
+	if rp.Snap != nil {
+		mux.HandleFunc("GET "+ReplSnapshotPath, rp.Snap.handle)
+	}
+	// Baseline the epoch gauge at mount so a node that never promotes
+	// still exports its (recovered) epoch.
+	rp.Metrics.replEpoch(rp.WAL.Epoch())
 }
 
 // handleFrames serves committed WAL frames from the requested sequence,
@@ -126,7 +193,44 @@ func (rp *Repl) handleFrames(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request: from must be a sequence number", http.StatusBadRequest)
 		return
 	}
-	rp.Gate.Advance(from)
+	// Every response carries the server's current epoch so the requester
+	// can tell a reseedable condition (source ahead) from a fatal one
+	// (source behind); successful frame responses overwrite it below with
+	// the epoch of the records actually served.
+	srcEpoch := rp.WAL.Epoch()
+	w.Header().Set(ReplEpochHeader, strconv.FormatUint(srcEpoch, 10))
+	reqEpoch, hasReqEpoch := uint64(0), false
+	if es := q.Get("epoch"); es != "" {
+		if reqEpoch, err = strconv.ParseUint(es, 10, 64); err != nil {
+			http.Error(w, "bad request: epoch must be an integer", http.StatusBadRequest)
+			return
+		}
+		hasReqEpoch = true
+	}
+	switch {
+	case hasReqEpoch && reqEpoch > srcEpoch:
+		// The requester has seen a primary newer than us: WE are the
+		// stale node. Fence ourselves (stop acking writes) and refuse —
+		// serving frames from a fenced fork would propagate it.
+		rp.selfFence(reqEpoch)
+		http.Error(w, fmt.Sprintf("tabled: source epoch %d behind requester epoch %d (fenced)",
+			srcEpoch, reqEpoch), http.StatusConflict)
+		return
+	case hasReqEpoch && reqEpoch < srcEpoch:
+		// An old-epoch requester may still read shared history — records
+		// up to where the first newer epoch began. Past that barrier its
+		// log is a fork of ours and only a reseed reconciles it.
+		if barrier, ok := rp.WAL.EpochBarrier(reqEpoch); ok && from > barrier {
+			http.Error(w, fmt.Sprintf("tabled: epoch %d history forked at %d, asked %d (reseed required)",
+				reqEpoch, barrier, from), http.StatusConflict)
+			return
+		}
+	}
+	if !hasReqEpoch || reqEpoch == srcEpoch {
+		// Only a same-epoch follower's position is a semi-sync ack; an
+		// old-epoch straggler catching up must not release write acks.
+		rp.Gate.Advance(from)
+	}
 	wait := DefaultReplWait
 	if ms := q.Get("wait_ms"); ms != "" {
 		n, err := strconv.Atoi(ms)
@@ -176,6 +280,9 @@ func (rp *Repl) handleFrames(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set(ReplNextHeader, strconv.FormatUint(next, 10))
 	w.Header().Set(ReplCommittedHeader, strconv.FormatUint(committed, 10))
+	// Tail never crosses an epoch mark, so one epoch describes the whole
+	// chunk (for an empty chunk, the epoch the next record will carry).
+	w.Header().Set(ReplEpochHeader, strconv.FormatUint(rp.WAL.EpochAt(from), 10))
 	rp.Metrics.replServe(len(frames), int(next-from))
 	if _, err := w.Write(frames); err != nil && rp.Logger != nil {
 		rp.Logger.Warn("repl: frames write", "err", err)
@@ -185,14 +292,21 @@ func (rp *Repl) handleFrames(w http.ResponseWriter, r *http.Request) {
 // handleStatus reports the node's replication view — the checker reads it
 // to distinguish a promoted follower from a plain read-only member.
 func (rp *Repl) handleStatus(w http.ResponseWriter, _ *http.Request) {
-	st := ReplStatus{Role: rp.Role()}
+	st := ReplStatus{Role: rp.Role(), Epoch: rp.WAL.Epoch()}
 	st.Base, st.Next = rp.WAL.SeqState()
+	if e, ok := rp.FencedBy(); ok {
+		st.Fenced, st.FencedBy = true, e
+	}
 	if f := rp.Follower; f != nil {
 		st.Source = f.Source()
 		st.Applied = f.Applied()
 		st.Lag = f.Lag()
 		if err := f.Err(); err != nil {
 			st.Err = err.Error()
+		}
+		st.Reseeds = f.Reseeds()
+		if ts := f.LastReseed(); !ts.IsZero() {
+			st.LastReseedUnix = float64(ts.UnixNano()) / 1e9
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -204,21 +318,34 @@ func (rp *Repl) handleStatus(w http.ResponseWriter, _ *http.Request) {
 // a primary (or an already-promoted follower) answers 200 with role
 // "primary" and does nothing.
 func (rp *Repl) handlePromote(w http.ResponseWriter, r *http.Request) {
+	rp.promoteMu.Lock()
+	defer rp.promoteMu.Unlock()
 	if rp.Follower == nil || rp.Follower.Promoted() {
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintln(w, `{"role":"primary","promoted":false}`)
+		fmt.Fprintf(w, `{"role":"primary","promoted":false,"epoch":%d}`+"\n", rp.WAL.Epoch())
+		return
+	}
+	// Bump the epoch durably BEFORE flipping writable: the fencing
+	// guarantee is that any write this node ever acknowledges as primary
+	// is stamped with an epoch the old primary has never held. A failed
+	// bump aborts the promotion — better an operator retry than an
+	// unfenced primary.
+	newEpoch := rp.WAL.Epoch() + 1
+	if err := rp.WAL.SetEpoch(newEpoch); err != nil {
+		http.Error(w, fmt.Sprintf("tabled: promote: epoch bump: %v", err), http.StatusInternalServerError)
 		return
 	}
 	start := time.Now()
 	applied := rp.Follower.Promote()
 	d := time.Since(start)
 	rp.Metrics.replPromotion(d)
+	rp.Metrics.replEpoch(newEpoch)
 	if rp.Logger != nil {
-		rp.Logger.Info("repl: promoted to primary", "applied", applied, "took", d)
+		rp.Logger.Info("repl: promoted to primary", "applied", applied, "epoch", newEpoch, "took", d)
 	}
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, `{"role":"primary","promoted":true,"applied":%d,"promote_ms":%.3f}`+"\n",
-		applied, float64(d)/float64(time.Millisecond))
+	fmt.Fprintf(w, `{"role":"primary","promoted":true,"applied":%d,"epoch":%d,"promote_ms":%.3f}`+"\n",
+		applied, newEpoch, float64(d)/float64(time.Millisecond))
 }
 
 // A ReplGate makes replication semi-synchronous: executeInto's caller

@@ -219,10 +219,18 @@ func TestFollowerPromote(t *testing.T) {
 		t.Fatalf("post-promote role = %q", st.Role)
 	}
 	// The new primary's own frames endpoint serves the full history — a
-	// fresh follower can chain from it.
+	// fresh follower can chain from it. The promotion's epoch bump caps
+	// the first chunk at the boundary; the next pull serves the rest.
 	frames, next, err := follower.wal.Tail(0, 1<<20)
-	if err != nil || next < 2 || len(frames) == 0 {
+	if err != nil || next != 1 || len(frames) == 0 {
 		t.Fatalf("promoted Tail = %d bytes, next %d, %v", len(frames), next, err)
+	}
+	frames, next, err = follower.wal.Tail(next, 1<<20)
+	if err != nil || next < 2 || len(frames) == 0 {
+		t.Fatalf("promoted Tail(1) = %d bytes, next %d, %v", len(frames), next, err)
+	}
+	if e := follower.wal.Epoch(); e != 1 {
+		t.Fatalf("post-promote epoch = %d, want 1", e)
 	}
 }
 

@@ -156,6 +156,17 @@ func NewHandler(b Backend[string], opt ServerOptions) http.Handler {
 	if opt.ReadOnlyDetail == nil {
 		opt.ReadOnlyDetail = func() string { return "read-only (WAL volume failed)" }
 	}
+	if opt.Repl != nil {
+		// A fenced node's refusals should say so — "fenced by epoch N" is
+		// actionable (reseed or retire the node); "WAL failed" is not.
+		rp, base := opt.Repl, opt.ReadOnlyDetail
+		opt.ReadOnlyDetail = func() string {
+			if e, ok := rp.FencedBy(); ok {
+				return fmt.Sprintf("fenced: a primary at epoch %d exists; reseed required", e)
+			}
+			return base()
+		}
+	}
 	srv := &server{b: b, opt: opt}
 	srv.deg = srvkit.NewDegraded(srvkit.DegradedConfig{
 		Detail:     "read-only (WAL volume failed)",
@@ -164,6 +175,12 @@ func NewHandler(b Backend[string], opt ServerOptions) http.Handler {
 		Gauge:      opt.Metrics.degradedGauge(),
 		Logger:     opt.Logger,
 	})
+	if opt.Repl != nil && opt.Repl.Fence == nil {
+		// Self-fencing rides the degraded-mode trip: once a requester
+		// proves a newer primary epoch exists, this node stops
+		// acknowledging writes even if a client bypasses the router.
+		opt.Repl.Fence = srv.degrade
+	}
 	if opt.IdempotencyCache >= 0 {
 		n := opt.IdempotencyCache
 		if n == 0 {
@@ -209,7 +226,7 @@ func NewHandler(b Backend[string], opt ServerOptions) http.Handler {
 		PathLabel: func(r *http.Request) string {
 			switch r.URL.Path {
 			case "/v1/batch", "/v1/stats", "/v1/snapshot", "/metrics", "/healthz", "/readyz",
-				ReplFramesPath, ReplStatusPath, PromotePath:
+				ReplFramesPath, ReplStatusPath, ReplSnapshotPath, PromotePath:
 				return r.URL.Path
 			}
 			return "other"

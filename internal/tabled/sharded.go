@@ -53,6 +53,9 @@ type Sharded[T any] struct {
 	shards []shard[T]
 	mask   int64
 	m      *Metrics
+	// newStore allocates a fresh backing store — retained so
+	// RestoreSnapshot can swap every shard's contents wholesale.
+	newStore func() extarray.Store[T]
 
 	// rows, cols and reshapes are written only under ALL shard write locks
 	// (in index order) and read under any single shard lock.
@@ -73,12 +76,13 @@ func NewSharded[T any](f core.StorageMapping, nshards int, newStore func() extar
 		n <<= 1
 	}
 	s := &Sharded[T]{
-		f:      f,
-		shards: make([]shard[T], n),
-		mask:   int64(n - 1),
-		m:      m,
-		rows:   rows,
-		cols:   cols,
+		f:        f,
+		shards:   make([]shard[T], n),
+		mask:     int64(n - 1),
+		m:        m,
+		newStore: newStore,
+		rows:     rows,
+		cols:     cols,
 	}
 	for i := range s.shards {
 		s.shards[i].store = newStore()

@@ -15,6 +15,15 @@ import (
 // so the snapshot is a consistent cut; writers queue behind it like behind
 // a reshape.
 func (s *Sharded[T]) Save(w io.Writer) error {
+	return s.SaveAt(w, 0, 0)
+}
+
+// SaveAt is Save with the replication cut stamped into the snapshot: the
+// table state being written is exactly the effect of WAL records [0, seq)
+// under primary epoch. The caller (typically inside walog.CheckpointSeq or
+// walog.Cut, which block appends) is responsible for seq actually being
+// the cut of the state snapshotted here.
+func (s *Sharded[T]) SaveAt(w io.Writer, seq, epoch uint64) error {
 	for i := range s.shards {
 		s.shards[i].mu.RLock()
 	}
@@ -24,10 +33,12 @@ func (s *Sharded[T]) Save(w io.Writer) error {
 		}
 	}()
 	snap := extarray.SnapshotData[T]{
-		Mapping: s.f.Name(),
-		Rows:    s.rows,
-		Cols:    s.cols,
-		Stats:   s.statsLocked(),
+		Mapping:   s.f.Name(),
+		Rows:      s.rows,
+		Cols:      s.cols,
+		Stats:     s.statsLocked(),
+		ReplSeq:   seq,
+		ReplEpoch: epoch,
 	}
 	for x := int64(1); x <= s.rows; x++ {
 		for y := int64(1); y <= s.cols; y++ {
@@ -64,7 +75,12 @@ func (s *Sharded[T]) statsLocked() extarray.Stats {
 // rename via extarray.AtomicWriteFile): the previous snapshot survives any
 // failure or crash mid-write.
 func (s *Sharded[T]) SaveFile(path string) error {
-	return extarray.AtomicWriteFile(path, func(w io.Writer) error { return s.Save(w) })
+	return s.SaveFileAt(path, 0, 0)
+}
+
+// SaveFileAt is SaveFile with the replication cut stamped in (see SaveAt).
+func (s *Sharded[T]) SaveFileAt(path string, seq, epoch uint64) error {
+	return extarray.AtomicWriteFile(path, func(w io.Writer) error { return s.SaveAt(w, seq, epoch) })
 }
 
 // LoadSharded reconstructs a Sharded table from a snapshot written by Save
@@ -73,21 +89,31 @@ func (s *Sharded[T]) SaveFile(path string) error {
 // validated to decode into the snapshot's logical box before it is
 // trusted.
 func LoadSharded[T any](r io.Reader, f core.StorageMapping, nshards int, newStore func() extarray.Store[T], m *Metrics) (*Sharded[T], error) {
+	s, _, _, err := LoadShardedMeta[T](r, f, nshards, newStore, m)
+	return s, err
+}
+
+// LoadShardedMeta is LoadSharded returning the replication cut stamped
+// into the snapshot as well: the table is the effect of WAL records
+// [0, seq) under primary epoch — the numbers the caller hands to
+// walog.Open (SnapshotSeq/SnapshotEpoch) so the boot rule can resolve
+// checkpoint and reseed crash windows.
+func LoadShardedMeta[T any](r io.Reader, f core.StorageMapping, nshards int, newStore func() extarray.Store[T], m *Metrics) (_ *Sharded[T], seq, epoch uint64, _ error) {
 	snap, err := extarray.DecodeSnapshot[T](r)
 	if err != nil {
-		return nil, fmt.Errorf("tabled: load: %w", err)
+		return nil, 0, 0, fmt.Errorf("tabled: load: %w", err)
 	}
 	if snap.Mapping != f.Name() {
-		return nil, fmt.Errorf("tabled: load: snapshot was laid out by %q, not %q",
+		return nil, 0, 0, fmt.Errorf("tabled: load: snapshot was laid out by %q, not %q",
 			snap.Mapping, f.Name())
 	}
 	s, err := NewSharded[T](f, nshards, newStore, snap.Rows, snap.Cols, m)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	for i, addr := range snap.Addrs {
 		if _, _, err := extarray.CheckSnapshotAddr(snap, f, addr); err != nil {
-			return nil, fmt.Errorf("tabled: load: %w", err)
+			return nil, 0, 0, fmt.Errorf("tabled: load: %w", err)
 		}
 		sh := s.shardOf(addr)
 		sh.store.Set(addr, snap.Values[i])
@@ -99,15 +125,57 @@ func LoadSharded[T any](r io.Reader, f core.StorageMapping, nshards int, newStor
 	// Moves cannot be attributed to shards after the fact; keep the
 	// aggregate by crediting shard 0.
 	s.shards[0].moves = snap.Stats.Moves
-	return s, nil
+	return s, snap.ReplSeq, snap.ReplEpoch, nil
 }
 
 // LoadShardedFile is LoadSharded over a file written by SaveFile.
 func LoadShardedFile[T any](path string, f core.StorageMapping, nshards int, newStore func() extarray.Store[T], m *Metrics) (*Sharded[T], error) {
+	s, _, _, err := LoadShardedFileMeta[T](path, f, nshards, newStore, m)
+	return s, err
+}
+
+// LoadShardedFileMeta is LoadShardedMeta over a file written by SaveFile.
+func LoadShardedFileMeta[T any](path string, f core.StorageMapping, nshards int, newStore func() extarray.Store[T], m *Metrics) (*Sharded[T], uint64, uint64, error) {
 	r, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	defer r.Close()
-	return LoadSharded[T](r, f, nshards, newStore, m)
+	return LoadShardedMeta[T](r, f, nshards, newStore, m)
+}
+
+// RestoreSnapshot replaces the table's entire contents with snap — the
+// reseed install step, running against a live table under every shard
+// write lock so concurrent readers see either the old state or the new
+// one, never a mix. The snapshot's mapping and every address are validated
+// before any lock is taken; a validation failure leaves the table
+// untouched.
+func (s *Sharded[T]) RestoreSnapshot(snap *extarray.SnapshotData[T]) error {
+	if snap.Mapping != s.f.Name() {
+		return fmt.Errorf("tabled: restore: snapshot was laid out by %q, not %q",
+			snap.Mapping, s.f.Name())
+	}
+	for _, addr := range snap.Addrs {
+		if _, _, err := extarray.CheckSnapshotAddr(snap, s.f, addr); err != nil {
+			return fmt.Errorf("tabled: restore: %w", err)
+		}
+	}
+	s.lockAll()
+	defer s.unlockAll()
+	for i := range s.shards {
+		s.shards[i].store = s.newStore()
+		s.shards[i].moves = 0
+		s.shards[i].footprint = 0
+	}
+	for i, addr := range snap.Addrs {
+		sh := s.shardOf(addr)
+		sh.store.Set(addr, snap.Values[i])
+		if addr > sh.footprint {
+			sh.footprint = addr
+		}
+	}
+	s.rows, s.cols = snap.Rows, snap.Cols
+	s.reshapes = snap.Stats.Reshapes
+	s.shards[0].moves = snap.Stats.Moves
+	return nil
 }

@@ -72,6 +72,15 @@ type WALOptions struct {
 	// WrapFile, when non-nil, wraps the append-side file handle — the
 	// fault-injection seam. Replay always reads the raw file.
 	WrapFile func(WALFile) WALFile
+	// StatePath, when non-empty, names the durable stream-state sidecar:
+	// the log's base sequence and epoch marks survive restarts (see
+	// walog.Options.StatePath). Replicated servers must set it.
+	StatePath string
+	// SnapshotSeq/SnapshotEpoch are the replication cut embedded in the
+	// snapshot the caller just loaded (LoadShardedFileMeta); they drive
+	// the boot rule that discards a log the snapshot subsumes.
+	SnapshotSeq   uint64
+	SnapshotEpoch uint64
 }
 
 // A WAL is an append-only, CRC-framed, fsync-before-ack log of table
@@ -108,10 +117,13 @@ func OpenWAL(path string, apply func(WALRecord) error, opt WALOptions) (*WAL, in
 		}
 		return apply(rec)
 	}, walog.Options{
-		SyncWindow: opt.SyncWindow,
-		Observer:   walObserver{opt.Metrics},
-		WrapFile:   opt.WrapFile,
-		Name:       "tabled: wal",
+		SyncWindow:    opt.SyncWindow,
+		Observer:      walObserver{opt.Metrics},
+		WrapFile:      opt.WrapFile,
+		Name:          "tabled: wal",
+		StatePath:     opt.StatePath,
+		SnapshotSeq:   opt.SnapshotSeq,
+		SnapshotEpoch: opt.SnapshotEpoch,
 	})
 	if err != nil {
 		return nil, replayed, err
@@ -157,6 +169,46 @@ func (w *WAL) AppendResize(rows, cols int64) error {
 // failure is returned.
 func (w *WAL) Checkpoint(save func() error) error {
 	return w.log.Checkpoint(save)
+}
+
+// CheckpointAt is Checkpoint with the cut sequence handed to save so the
+// snapshot can embed it (Sharded.SaveFileAt): the boot rule then resolves
+// any crash between the snapshot write and the log truncation. See
+// walog.Log.CheckpointSeq.
+func (w *WAL) CheckpointAt(save func(cut uint64) error) error {
+	return w.log.CheckpointSeq(save)
+}
+
+// Cut syncs the log and hands save the durable horizon and its epoch while
+// appends are blocked — the /v1/repl/snapshot serving primitive. See
+// walog.Log.Cut.
+func (w *WAL) Cut(save func(cut, epoch uint64) error) error {
+	return w.log.Cut(save)
+}
+
+// ResetTo discards every record and reseats the log at seq under epoch —
+// the reseed install step, run after the fetched snapshot is durably on
+// disk. See walog.Log.ResetTo.
+func (w *WAL) ResetTo(seq, epoch uint64) error { return w.log.ResetTo(seq, epoch) }
+
+// Epoch returns the WAL's current primary epoch (0 before any promotion).
+func (w *WAL) Epoch() uint64 { return w.log.Epoch() }
+
+// EpochAt returns the epoch record seq was (or will be) appended under.
+func (w *WAL) EpochAt(seq uint64) uint64 { return w.log.EpochAt(seq) }
+
+// SetEpoch durably advances the epoch — the promotion path. See
+// walog.Log.SetEpoch.
+func (w *WAL) SetEpoch(e uint64) error { return w.log.SetEpoch(e) }
+
+// ObserveEpoch mirrors a source's epoch boundary — the follower path. See
+// walog.Log.ObserveEpoch.
+func (w *WAL) ObserveEpoch(e, start uint64) error { return w.log.ObserveEpoch(e, start) }
+
+// EpochBarrier reports where history newer than epoch since begins. See
+// walog.Log.EpochBarrier.
+func (w *WAL) EpochBarrier(since uint64) (start uint64, ok bool) {
+	return w.log.EpochBarrier(since)
 }
 
 // Close syncs outstanding records and closes the file. Appends after

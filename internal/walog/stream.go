@@ -114,10 +114,21 @@ func (l *Log) Tail(from uint64, maxBytes int) (frames []byte, next uint64, err e
 		l.mu.Unlock()
 		return nil, from, nil
 	}
+	// A chunk never spans an epoch mark: every record it carries belongs
+	// to one epoch (EpochAt(from)), so the server can tag the response
+	// with a single epoch and a follower observes boundaries exactly at
+	// chunk starts. limit ≥ from+1 always (marks strictly beyond from),
+	// so progress is never stalled by a boundary.
+	limit := committed
+	for _, mk := range l.marks {
+		if mk.Start > from && mk.Start < limit {
+			limit = mk.Start
+		}
+	}
 	start := l.offs[from-base]
 	next = from
 	end := start
-	for next < committed {
+	for next < limit {
 		var recEnd int64
 		if k := next - base + 1; k < uint64(len(l.offs)) {
 			recEnd = l.offs[k]

@@ -57,6 +57,24 @@ type Options struct {
 	WrapFile func(File) File
 	// Name prefixes error messages, e.g. "tabled: wal". Empty uses "walog".
 	Name string
+	// StatePath, when non-empty, names the durable StreamState sidecar
+	// (see state.go): the log's base sequence and epoch marks survive
+	// restarts, so checkpointed records keep their numbers across boots
+	// and promotions are durable. Empty keeps the pre-sidecar behavior
+	// (base restarts at zero; epochs unavailable).
+	StatePath string
+	// SnapshotSeq is the replication cut embedded in the snapshot the
+	// caller just loaded (0 when none). When it is beyond the sidecar's
+	// base, the log on disk predates the snapshot — its records are
+	// already folded in — so Open discards the log before replay and
+	// adopts SnapshotSeq as the base. This one rule resolves every
+	// checkpoint/reseed crash window; see state.go.
+	SnapshotSeq uint64
+	// SnapshotEpoch is the epoch embedded in that snapshot; if newer than
+	// every recorded mark it contributes a mark at the base (a reseed
+	// that crashed between installing the snapshot and resetting the log
+	// still comes up in the new epoch).
+	SnapshotEpoch uint64
 }
 
 // A Log is an append-only, CRC-framed, fsync-before-ack record log. All
@@ -94,6 +112,11 @@ type Log struct {
 	committed uint64
 	commitGen chan struct{}
 
+	// Durable stream identity (see state.go): statePath is the sidecar
+	// file ("" disables persistence), marks the epoch history.
+	statePath string
+	marks     []EpochMark
+
 	kick chan struct{}
 	done chan struct{}
 }
@@ -111,6 +134,30 @@ func Open(path string, apply func(payload []byte) error, opt Options) (*Log, int
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, 0, fmt.Errorf("%s: open: %w", name, err)
+	}
+	st := StreamState{}
+	if opt.StatePath != "" {
+		if st, err = loadStreamState(opt.StatePath); err != nil {
+			f.Close()
+			return nil, 0, fmt.Errorf("%s: state: %w", name, err)
+		}
+	}
+	base := st.Base
+	if opt.SnapshotSeq > base {
+		// The snapshot the caller just loaded cuts beyond this log's
+		// base: every record here is already folded into it (a
+		// checkpoint or reseed died between writing the snapshot and
+		// resetting the log). Discard before replay — replaying would
+		// double-apply and misnumber.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, 0, fmt.Errorf("%s: discard stale log: %w", name, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, 0, fmt.Errorf("%s: sync discarded log: %w", name, err)
+		}
+		base = opt.SnapshotSeq
 	}
 	replayed := 0
 	var (
@@ -163,11 +210,25 @@ func Open(path string, apply func(payload []byte) error, opt Options) (*Log, int
 		f:         wf,
 		size:      valid,
 		synced:    valid,
+		base:      base,
 		offs:      offs,
-		committed: uint64(len(offs)),
+		committed: base + uint64(len(offs)),
 		commitGen: make(chan struct{}),
 		kick:      make(chan struct{}, 1),
 		done:      make(chan struct{}),
+		statePath: opt.StatePath,
+	}
+	l.marks = normalizeMarks(st.Marks, base, l.committed, opt.SnapshotEpoch)
+	if opt.StatePath != "" {
+		// Re-persist the normalized state so the boot-time resolution
+		// (discard, clamp, snapshot epoch adoption) is itself durable.
+		l.mu.Lock()
+		err := l.persistStateLocked()
+		l.mu.Unlock()
+		if err != nil {
+			f.Close()
+			return nil, replayed, fmt.Errorf("%s: persist state: %w", name, err)
+		}
 	}
 	if l.obs != nil {
 		l.obs.LogReplay(replayed, torn)
@@ -351,13 +412,23 @@ func (l *Log) syncer() {
 // this process manages) but the log is left alone and the failure is
 // returned.
 func (l *Log) Checkpoint(save func() error) error {
+	return l.CheckpointSeq(func(uint64) error { return save() })
+}
+
+// CheckpointSeq is Checkpoint with the cut sequence handed to save: the
+// snapshot it writes should embed cut (and the current epoch) so the boot
+// rule in Open can resolve a crash between the snapshot write and the
+// truncation below. After a successful return the log's base is cut and
+// the sidecar (when configured) records it, so record numbering survives
+// the restart.
+func (l *Log) CheckpointSeq(save func(cut uint64) error) error {
 	// Exclude Tail's out-of-lock file reads for the truncation (lock
 	// order: readMu before mu, matching Tail).
 	l.readMu.Lock()
 	defer l.readMu.Unlock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := save(); err != nil {
+	if err := save(l.base + uint64(len(l.offs))); err != nil {
 		return err
 	}
 	if l.failed != nil {
@@ -384,6 +455,11 @@ func (l *Log) Checkpoint(save func() error) error {
 	// from a snapshot — Tail reports the gap instead of serving frames.
 	l.base += uint64(len(l.offs))
 	l.offs = l.offs[:0]
+	// Epoch history before the cut is subsumed by the snapshot: only the
+	// mark defining the current epoch still matters.
+	if n := len(l.marks); n > 1 {
+		l.marks = append(l.marks[:0], l.marks[n-1])
+	}
 	if l.committed != l.base {
 		l.committed = l.base
 		l.wakeCommittedLocked()
@@ -392,7 +468,19 @@ func (l *Log) Checkpoint(save func() error) error {
 		l.obs.LogSize(0)
 		l.obs.LogCheckpoint()
 	}
-	return l.syncLocked()
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	// Persist the advanced base after the truncate: a crash in between
+	// leaves the old base on disk, which the snapshot's embedded cut
+	// overrides at the next Open (SnapshotSeq > base discards nothing —
+	// the log is already empty — and adopts the cut).
+	if err := l.persistStateLocked(); err != nil {
+		l.failed = fmt.Errorf("%s: checkpoint persist state: %w", l.name, err)
+		l.wakeCommittedLocked()
+		return l.failed
+	}
+	return nil
 }
 
 // Close syncs outstanding records and closes the file. Appends after
